@@ -1,0 +1,71 @@
+"""Benchmark: design-choice ablations (DESIGN.md section 5)."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import ablations
+
+
+def test_ablation_sampling_strategy(benchmark, corpora):
+    """Cluster-stratified vs uniform random training-set selection."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_sampling_ablation(corpora=corpora, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation 1: sampling strategy", ablations.render_sampling(result))
+    assert result.stratified_f1 >= result.random_f1 - 0.05
+
+
+def test_ablation_model_family(benchmark, corpora):
+    """CRF vs structured perceptron vs HMM on the same split."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_model_family_ablation(corpora=corpora, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation 2: model family", ablations.render_model_family(result))
+    # Discriminative sequence models clearly beat the generative baseline.
+    assert result.f1_by_family["crf"] > result.f1_by_family["hmm"]
+    assert result.f1_by_family["perceptron"] > result.f1_by_family["hmm"]
+    # CRF and perceptron are of comparable quality (same feature set).
+    assert abs(result.f1_by_family["crf"] - result.f1_by_family["perceptron"]) < 0.08
+
+
+def test_ablation_dictionary_threshold(benchmark, corpora):
+    """Sweep of the technique-dictionary frequency threshold (paper uses 47)."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_threshold_ablation(corpora=corpora, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation 3: dictionary threshold", ablations.render_threshold(result))
+    sizes = [row["dictionary_size"] for row in result.rows]
+    recalls = [row["recall"] for row in result.rows]
+    assert sizes == sorted(sizes, reverse=True)
+    assert recalls[0] >= recalls[-1]
+
+
+def test_ablation_cluster_count(benchmark, corpora):
+    """Downstream NER F1 as a function of the selection-stage cluster count."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_cluster_count_ablation(corpora=corpora, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation 4: cluster count", ablations.render_cluster_count(result))
+    assert set(result.f1_by_k) == {2, 5, 10, 23, 30}
+    # Inertia decreases monotonically with k.
+    inertia = [result.inertia_by_k[k] for k in sorted(result.inertia_by_k)]
+    assert all(a >= b - 1e-9 for a, b in zip(inertia, inertia[1:]))
+
+
+def test_ablation_preprocessing(benchmark, corpora):
+    """Unique ingredient names with vs without pre-processing of NAME spans."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_preprocessing_ablation(corpora=corpora, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation 5: pre-processing", ablations.render_preprocessing(result))
+    # Pre-processing folds surface variants, reducing the distinct-name count.
+    assert result.names_with_preprocessing < result.names_without_preprocessing
+    assert result.compression_ratio < 1.0

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the individual substrates (not tied to a paper table).
+
+These measure the throughput of the components a downstream user calls most:
+tokenisation, POS tagging, POS vectorisation, ingredient NER tagging and
+K-Means clustering.  They exist so performance regressions in the substrates
+are caught even when the end-to-end experiment benchmarks stay green.
+"""
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.pos.vectorizer import PosBagOfWordsVectorizer
+from repro.text.tokenizer import tokenize
+
+
+def test_tokenizer_throughput(benchmark, corpora):
+    phrases = [phrase.text for phrase in corpora.combined.ingredient_phrases()]
+
+    def tokenize_all():
+        return [tokenize(phrase) for phrase in phrases]
+
+    tokens = benchmark(tokenize_all)
+    assert len(tokens) == len(phrases)
+
+
+def test_pos_tagging_throughput(benchmark, corpora, modeler):
+    tagger = modeler.components.pos_tagger
+    sequences = [list(phrase.tokens) for phrase in corpora.combined.ingredient_phrases()[:400]]
+
+    def tag_all():
+        return [tagger.tag_sequence(sequence) for sequence in sequences]
+
+    tagged = benchmark(tag_all)
+    assert len(tagged) == len(sequences)
+
+
+def test_pos_vectorisation_throughput(benchmark, corpora, modeler):
+    vectorizer = PosBagOfWordsVectorizer(modeler.components.pos_tagger)
+    sequences = [list(phrase.tokens) for phrase in corpora.combined.unique_phrases()[:400]]
+
+    def vectorise_all():
+        return vectorizer.transform_tokenized(sequences)
+
+    matrix = benchmark(vectorise_all)
+    assert matrix.shape == (len(sequences), 36)
+
+
+def test_ingredient_ner_throughput(benchmark, corpora, modeler):
+    pipeline = modeler.components.ingredient_pipeline
+    sequences = [list(phrase.tokens) for phrase in corpora.combined.ingredient_phrases()[:400]]
+
+    def tag_all():
+        return [pipeline.tag_tokens(sequence) for sequence in sequences]
+
+    tagged = benchmark(tag_all)
+    assert len(tagged) == len(sequences)
+
+
+def test_kmeans_throughput(benchmark, corpora, modeler):
+    vectorizer = PosBagOfWordsVectorizer(modeler.components.pos_tagger)
+    vectors = vectorizer.transform_tokenized(
+        [list(phrase.tokens) for phrase in corpora.combined.unique_phrases()]
+    )
+
+    def cluster():
+        return KMeans(23, seed=0, n_init=2).fit(vectors)
+
+    result = benchmark(cluster)
+    assert result.centroids.shape == (23, 36)
+    assert np.isfinite(result.inertia)

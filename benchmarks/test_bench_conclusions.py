@@ -1,0 +1,24 @@
+"""Benchmark: conclusion statistics (unique names, relations per instruction)."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import conclusions
+
+
+def test_conclusions_corpus_statistics(benchmark, corpora):
+    """Time the full-corpus structuring pass behind the paper's closing numbers."""
+    result = benchmark.pedantic(
+        lambda: conclusions.run(corpora=corpora, seed=BENCH_SEED, max_recipes=60),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Conclusion statistics", conclusions.render(result))
+
+    # Shape checks: aliases keep the raw unique-name count above the merged
+    # count, and the per-instruction relation count is both sizeable and
+    # highly variable -- the paper's argument for many-to-many relations
+    # (mean 6.164, std 5.70 on the full RecipeDB).
+    assert result.unique_ingredient_names >= result.unique_names_after_alias_merge
+    assert result.mean_relations_per_instruction > 1.5
+    assert result.std_relations_per_instruction > 0.3 * result.mean_relations_per_instruction
+    assert result.max_relations_per_instruction >= 6
+    assert result.instruction_steps > 0

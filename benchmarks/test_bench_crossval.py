@@ -1,0 +1,21 @@
+"""Benchmark: Section II.F -- 5-fold cross-validation of the ingredient NER."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import crossval
+
+
+def test_crossval_five_fold(benchmark, corpora):
+    """Time the full 5-fold protocol on the cluster-stratified annotated sample."""
+    result = benchmark.pedantic(
+        lambda: crossval.run(corpora=corpora, seed=BENCH_SEED, n_folds=5),
+        rounds=1,
+        iterations=1,
+    )
+    emit("5-fold cross-validation", crossval.render(result))
+
+    assert result.result.n_folds == 5
+    # The paper's models land around 0.95; the reproduction stays in a band
+    # consistent with its slightly noisier simulated annotations.
+    assert result.result.mean_f1 > 0.85
+    # Folds agree with each other (validation is stable).
+    assert result.result.std_f1 < 0.08

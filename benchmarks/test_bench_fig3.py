@@ -1,0 +1,35 @@
+"""Benchmark: Fig. 3 -- dependency parsing of instruction sentences."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import fig3
+from repro.parsing.rules import RecipeDependencyParser
+
+
+def test_fig3_dependency_parsing(benchmark, corpora):
+    """Time rule parsing, transition-parser training and the agreement check."""
+    result = benchmark.pedantic(
+        lambda: fig3.run(corpora=corpora, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    emit("Fig. 3", fig3.render(result))
+
+    tree = result.example_tree
+    tokens = list(tree.tokens)
+    # The arcs the paper's figure shows for "Bring the water ... in a pot":
+    bring, water, pot = tokens.index("Bring"), tokens.index("water"), tokens.index("pot")
+    assert tree.label_of(bring) == "ROOT"
+    assert tree.head_of(water) == bring and tree.label_of(water) == "dobj"
+    assert tree.label_of(pot) == "pobj"
+    assert result.attachment_agreement > 0.75
+    assert result.verbs_with_objects > 0.8
+
+
+def test_fig3_rule_parser_throughput(benchmark, corpora):
+    """Microbenchmark: steps parsed per second by the rule-based parser."""
+    parser = RecipeDependencyParser()
+    steps = corpora.combined.instruction_steps()[:200]
+
+    def parse_all():
+        return [parser.parse(list(step.tokens), list(step.pos_tags)) for step in steps]
+
+    trees = benchmark(parse_all)
+    assert len(trees) == len(steps)

@@ -1,0 +1,32 @@
+"""Benchmark: Fig. 4 -- instruction NER inference over a recipe's instructions."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import fig4
+
+
+def test_fig4_instruction_tagging(benchmark, corpora):
+    """Time the Fig. 4 experiment and check the tagging quality on the demo recipe."""
+    result = benchmark.pedantic(
+        lambda: fig4.run(corpora=corpora, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    emit("Fig. 4", fig4.render(result))
+
+    assert result.tagged_steps
+    assert result.entity_f1 > 0.75
+    # The demo recipe must contain recognised processes and utensils/ingredients,
+    # otherwise the figure would be empty.
+    tags = {tag for step in result.tagged_steps for _, tag in step}
+    assert "PROCESS" in tags
+    assert {"INGREDIENT", "UTENSIL"} & tags
+
+
+def test_fig4_tagging_throughput(benchmark, corpora, modeler):
+    """Microbenchmark: instruction steps tagged per second by the fitted pipeline."""
+    pipeline = modeler.components.instruction_pipeline
+    steps = corpora.combined.instruction_steps()[:150]
+
+    def tag_all():
+        return [pipeline.tag_tokens(list(step.tokens)) for step in steps]
+
+    tagged = benchmark(tag_all)
+    assert len(tagged) == len(steps)

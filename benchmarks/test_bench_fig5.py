@@ -1,0 +1,44 @@
+"""Benchmark: Fig. 5 -- many-to-many relation extraction."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import fig5
+
+
+def test_fig5_relation_extraction(benchmark, corpora):
+    """Time the Fig. 5 experiment (NER + parsing + relation extraction)."""
+    result = benchmark.pedantic(
+        lambda: fig5.run(corpora=corpora, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    emit("Fig. 5", fig5.render(result))
+
+    # The canonical example: Bring + water and Bring + pot combine into one
+    # many-to-many tuple.
+    processes = [relation.process for relation in result.example_relations]
+    assert "bring" in processes
+    bring = result.example_relations[processes.index("bring")]
+    assert "water" in bring.ingredients
+    assert "pot" in bring.utensils
+    # Corpus-level pair extraction quality.
+    assert result.precision > 0.7
+    assert result.recall > 0.6
+    assert result.f1 > 0.65
+
+
+def test_fig5_extraction_throughput(benchmark, corpora, modeler):
+    """Microbenchmark: relation tuples extracted per second on corpus steps."""
+    components = modeler.components
+    steps = corpora.combined.instruction_steps()[:100]
+
+    def extract_all():
+        extracted = []
+        for step in steps:
+            tags = components.instruction_pipeline.tag_tokens(list(step.tokens))
+            extracted.append(
+                components.relation_extractor.extract(
+                    list(step.tokens), tags, pos_tags=list(step.pos_tags)
+                )
+            )
+        return extracted
+
+    relations = benchmark(extract_all)
+    assert len(relations) == len(steps)

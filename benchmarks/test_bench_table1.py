@@ -1,0 +1,30 @@
+"""Benchmark: Table I -- NER annotation of the paper's example ingredient phrases."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import table1
+
+
+def test_table1_example_annotations(benchmark, modeler):
+    """Time the annotation of the seven Table I phrases with the fitted pipeline."""
+
+    def annotate():
+        return [
+            modeler.components.ingredient_pipeline.extract_record(phrase)
+            for phrase in table1.PAPER_PHRASES
+        ]
+
+    records = benchmark(annotate)
+    assert len(records) == 7
+    # The headline attributes of the first example phrase must be recovered.
+    first = records[0]
+    assert first.unit == "sheet"
+    assert first.quantity == "1"
+
+
+def test_table1_full_reproduction(benchmark, corpora):
+    """Time the full Table I experiment (training included) and print the table."""
+    result = benchmark.pedantic(
+        lambda: table1.run(scale="tiny", seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    emit("Table I", table1.render(result))
+    assert result.attribute_agreement > 0.7

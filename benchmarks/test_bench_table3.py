@@ -1,0 +1,22 @@
+"""Benchmark: Table III -- cluster-stratified training/testing set construction."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import table3
+
+
+def test_table3_dataset_sizes(benchmark, corpora):
+    """Time POS vectorisation + K-Means + stratified sampling for both corpora."""
+    result = benchmark.pedantic(
+        lambda: table3.run(corpora=corpora, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    emit("Table III", table3.render(result))
+
+    allrecipes = result.sizes["AllRecipes"]
+    foodcom = result.sizes["FOOD.com"]
+    both = result.sizes["BOTH"]
+    # Shape checks mirroring the paper's table: the combined set is the sum of
+    # the per-corpus sets and every training set dominates its test set.
+    assert both[0] == allrecipes[0] + foodcom[0]
+    assert both[1] == allrecipes[1] + foodcom[1]
+    for train, test in result.sizes.values():
+        assert train > test > 0

@@ -1,0 +1,28 @@
+"""Benchmark: Table IV -- cross-corpus ingredient NER evaluation (3x3 F1 matrix)."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import table4
+
+
+def test_table4_cross_corpus_matrix(benchmark, corpora):
+    """Time the full three-model training sweep and print both matrices."""
+    result = benchmark.pedantic(
+        lambda: table4.run(corpora=corpora, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    emit("Table IV", table4.render(result))
+
+    matrix = result.matrix
+    # Paper shape 1: each single-corpus model is better (or close) on its own
+    # corpus than on the other corpus.
+    assert matrix["AllRecipes"]["AllRecipes"] >= matrix["FOOD.com"]["AllRecipes"] - 0.03
+    assert matrix["FOOD.com"]["FOOD.com"] >= matrix["AllRecipes"]["FOOD.com"] - 0.03
+    # Paper shape 2: the AllRecipes-only model transfers worst to FOOD.com.
+    assert matrix["FOOD.com"]["AllRecipes"] <= matrix["FOOD.com"]["FOOD.com"] + 0.02
+    # Paper shape 3: the combined model stays within a few points of the best
+    # single-corpus model on every test set.
+    for test_name in ("AllRecipes", "FOOD.com", "BOTH"):
+        best_single = max(matrix[test_name]["AllRecipes"], matrix[test_name]["FOOD.com"])
+        assert matrix[test_name]["BOTH"] >= best_single - 0.06
+    # All values live in the paper's neighbourhood (high-0.8s to high-0.9s).
+    values = [value for row in matrix.values() for value in row.values()]
+    assert min(values) > 0.75

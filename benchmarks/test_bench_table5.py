@@ -1,0 +1,23 @@
+"""Benchmark: Table V -- instruction-section NER evaluation (processes, utensils)."""
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments import table5
+
+
+def test_table5_instruction_ner(benchmark, corpora):
+    """Time instruction NER training + dictionary building + evaluation."""
+    result = benchmark.pedantic(
+        lambda: table5.run(corpora=corpora, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+    emit("Table V", table5.render(result))
+
+    process_scores = result.scores["PROCESS"]
+    utensil_scores = result.scores["UTENSIL"]
+    # The paper reports F1 = 0.88 (processes) and 0.90 (utensils); the
+    # reproduction lands in the same band.
+    assert 0.80 <= process_scores[2] <= 1.0
+    assert 0.80 <= utensil_scores[2] <= 1.0
+    # Both entity types are extracted with balanced precision/recall.
+    for precision, recall, _ in result.scores.values():
+        assert precision > 0.75
+        assert recall > 0.75

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in editable mode on offline machines whose
+setuptools lacks the PEP 660 editable-wheel path (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Reproduction of "A Named Entity Based Approach to Model Recipes".
+
+The package implements, from scratch, every component the paper relies on:
+
+* :mod:`repro.text` -- recipe-aware tokenisation, normalisation and
+  lemmatisation (replacing NLTK pre-processing).
+* :mod:`repro.pos` -- an averaged-perceptron part-of-speech tagger over the
+  36-tag Penn Treebank tagset and the POS bag-of-words vectoriser used to
+  embed ingredient phrases (replacing the Stanford POS Twitter model).
+* :mod:`repro.ner` -- linear-chain CRF, averaged structured perceptron and
+  HMM sequence labellers (replacing the Stanford NER tagger).
+* :mod:`repro.parsing` -- dependency trees, a rule-based parser for
+  imperative recipe instructions and a trainable transition parser
+  (replacing spaCy).
+* :mod:`repro.cluster` -- K-Means, PCA, the elbow criterion and
+  cluster-stratified sampling (replacing scikit-learn).
+* :mod:`repro.data` -- a deterministic simulator of the RecipeDB corpus with
+  gold annotations for both recipe sections.
+* :mod:`repro.core` -- the paper's contribution: the recipe data structure,
+  the ingredient-section pipeline, the instruction-section pipeline and the
+  many-to-many relation extraction.
+* :mod:`repro.applications` -- recipe similarity, nutrition estimation and
+  ingredient alias analysis built on top of the structured representation.
+* :mod:`repro.eval` -- entity-level precision/recall/F1, cross-validation
+  and report formatting.
+* :mod:`repro.experiments` -- one module per table/figure of the paper.
+"""
+
+from repro.core.schema import ENTITY_TAGS, INGREDIENT_TAGS, INSTRUCTION_TAGS
+from repro.core.pipeline import RecipeModeler
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.data.generator import RecipeCorpusGenerator
+from repro.data.recipedb import RecipeDB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ENTITY_TAGS",
+    "INGREDIENT_TAGS",
+    "INSTRUCTION_TAGS",
+    "IngredientRecord",
+    "InstructionEvent",
+    "RecipeCorpusGenerator",
+    "RecipeDB",
+    "RecipeModeler",
+    "RelationTuple",
+    "StructuredRecipe",
+    "__version__",
+]

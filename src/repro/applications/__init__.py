@@ -1,0 +1,30 @@
+"""Applications built on the structured recipe representation (Section IV).
+
+The paper lists recipe similarity, nutritional-profile estimation and
+ingredient-alias analysis as downstream uses of the mined structure; each is
+implemented here on top of :class:`~repro.core.recipe_model.StructuredRecipe`.
+"""
+
+from repro.applications.similarity import RecipeSimilarity, jaccard_similarity
+from repro.applications.nutrition import NutritionEstimator, RecipeNutrition
+from repro.applications.aliases import AliasAnalyzer, AliasReport
+from repro.applications.knowledge_graph import RecipeKnowledgeGraph
+from repro.applications.generation import GeneratedRecipe, NovelRecipeGenerator
+from repro.applications.translation import RecipeTranslator, TranslatedRecipe
+from repro.applications.cuisine import CuisineClassifier, CuisineEvaluation
+
+__all__ = [
+    "AliasAnalyzer",
+    "AliasReport",
+    "CuisineClassifier",
+    "CuisineEvaluation",
+    "GeneratedRecipe",
+    "NovelRecipeGenerator",
+    "NutritionEstimator",
+    "RecipeKnowledgeGraph",
+    "RecipeNutrition",
+    "RecipeSimilarity",
+    "RecipeTranslator",
+    "TranslatedRecipe",
+    "jaccard_similarity",
+]

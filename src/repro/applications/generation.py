@@ -1,0 +1,236 @@
+"""Novel recipe generation from the mined structure (Section IV).
+
+The paper lists "generation of novel recipes" as a downstream application of
+its structured representation.  The generator here is deliberately
+statistics-driven (no neural decoder): it recombines what the knowledge
+mining stage learned --
+
+* ingredient combinations come from the co-occurrence structure of the
+  :class:`~repro.applications.knowledge_graph.RecipeKnowledgeGraph`
+  (start from a seed ingredient and greedily add frequent partners);
+* the cooking-process sequence is sampled from the
+  :class:`~repro.core.event_chain.EventChainModel` so the steps follow a
+  plausible temporal order (preheat before bake, garnish near the end);
+* each step's utensil is the one most associated with its process in the
+  corpus.
+
+The output is a :class:`~repro.core.recipe_model.StructuredRecipe` plus a
+plain-text rendering, so generated recipes can be fed back through the
+similarity and nutrition applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.applications.knowledge_graph import RecipeKnowledgeGraph
+from repro.core.event_chain import EventChainModel
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.errors import DataError, NotFittedError
+from repro.utils import make_py_rng
+
+__all__ = ["GeneratedRecipe", "NovelRecipeGenerator"]
+
+
+@dataclass(frozen=True)
+class GeneratedRecipe:
+    """A generated recipe with its structured form and text rendering.
+
+    Attributes:
+        structured: The structured representation of the generated recipe.
+        ingredient_lines: Rendered ingredients-section lines.
+        instruction_lines: Rendered instructions-section lines.
+        plausibility: Event-chain plausibility of the process ordering.
+    """
+
+    structured: StructuredRecipe
+    ingredient_lines: tuple[str, ...]
+    instruction_lines: tuple[str, ...]
+    plausibility: float
+
+    def as_text(self) -> str:
+        """Human-readable rendering of the generated recipe."""
+        lines = [self.structured.title, "", "Ingredients:"]
+        lines.extend(f"  - {line}" for line in self.ingredient_lines)
+        lines.append("")
+        lines.append("Instructions:")
+        lines.extend(
+            f"  {index + 1}. {line}" for index, line in enumerate(self.instruction_lines)
+        )
+        return "\n".join(lines)
+
+
+class NovelRecipeGenerator:
+    """Generates novel recipes from corpus statistics.
+
+    Args:
+        graph: Knowledge graph built from structured recipes.
+        event_chain: Temporal process model fitted on the same recipes.
+    """
+
+    #: Default quantity/unit suggestions per position in the ingredient list.
+    _QUANTITY_CYCLE = ("2 cups", "1 cup", "1/2 cup", "2 tablespoons", "1 teaspoon", "1", "2")
+
+    def __init__(self, graph: RecipeKnowledgeGraph, event_chain: EventChainModel) -> None:
+        if not event_chain.is_trained:
+            raise NotFittedError("the event-chain model must be fitted before generation")
+        self.graph = graph
+        self.event_chain = event_chain
+
+    @classmethod
+    def from_recipes(cls, recipes: list[StructuredRecipe]) -> "NovelRecipeGenerator":
+        """Convenience constructor building both models from structured recipes."""
+        if not recipes:
+            raise DataError("cannot build a generator from zero recipes")
+        graph = RecipeKnowledgeGraph.from_recipes(recipes)
+        chain = EventChainModel().fit(recipes)
+        return cls(graph, chain)
+
+    # ------------------------------------------------------------- generate
+
+    def generate(
+        self,
+        *,
+        seed_ingredient: str | None = None,
+        n_ingredients: int = 6,
+        max_steps: int = 8,
+        seed: int | None = None,
+        title: str | None = None,
+    ) -> GeneratedRecipe:
+        """Generate one novel recipe.
+
+        Args:
+            seed_ingredient: Ingredient the recipe is built around; a frequent
+                corpus ingredient is chosen when omitted.
+            n_ingredients: Target number of ingredients.
+            max_steps: Cap on the number of instruction steps.
+            seed: Random seed (sampling of the process chain and pairings).
+            title: Optional title; generated from the seed ingredient otherwise.
+        """
+        if n_ingredients < 1:
+            raise DataError("n_ingredients must be at least 1")
+        rng = make_py_rng(seed)
+        ingredients = self._choose_ingredients(seed_ingredient, n_ingredients, rng)
+        chain = self.event_chain.sample_chain(max_length=max_steps, seed=rng.randint(0, 2**31))
+
+        records = tuple(
+            IngredientRecord(
+                phrase=f"{self._QUANTITY_CYCLE[index % len(self._QUANTITY_CYCLE)]} {name}",
+                name=name,
+                quantity=self._QUANTITY_CYCLE[index % len(self._QUANTITY_CYCLE)].split()[0],
+                unit=(self._QUANTITY_CYCLE[index % len(self._QUANTITY_CYCLE)].split()[1]
+                      if len(self._QUANTITY_CYCLE[index % len(self._QUANTITY_CYCLE)].split()) > 1
+                      else ""),
+            )
+            for index, name in enumerate(ingredients)
+        )
+
+        events = []
+        instruction_lines = []
+        remaining = list(ingredients)
+        for step_index, process in enumerate(chain):
+            step_ingredients = self._take_ingredients(remaining, ingredients, process, rng)
+            utensil = self._utensil_for(process)
+            relation = RelationTuple(
+                process=process,
+                ingredients=tuple(step_ingredients),
+                utensils=(utensil,) if utensil else (),
+            )
+            text = self._render_step(process, step_ingredients, utensil)
+            instruction_lines.append(text)
+            events.append(
+                InstructionEvent(
+                    step_index=step_index,
+                    text=text,
+                    processes=(process,),
+                    ingredients=tuple(step_ingredients),
+                    utensils=(utensil,) if utensil else (),
+                    relations=(relation,),
+                )
+            )
+
+        main = ingredients[0].title()
+        structured = StructuredRecipe(
+            recipe_id=f"generated-{abs(hash((tuple(ingredients), tuple(chain)))) % 10**8:08d}",
+            title=title or f"{main} {chain[-1].title()}",
+            ingredients=records,
+            events=tuple(events),
+        )
+        return GeneratedRecipe(
+            structured=structured,
+            ingredient_lines=tuple(record.phrase for record in records),
+            instruction_lines=tuple(instruction_lines),
+            plausibility=self.event_chain.plausibility(chain),
+        )
+
+    # ------------------------------------------------------------- helpers
+
+    def _choose_ingredients(
+        self, seed_ingredient: str | None, n_ingredients: int, rng
+    ) -> list[str]:
+        common = [name for name, _ in self.graph.common_ingredients(top_k=30)]
+        if not common:
+            raise DataError("the knowledge graph contains no ingredients")
+        if seed_ingredient is None:
+            seed_ingredient = rng.choice(common[: min(10, len(common))])
+        seed_ingredient = seed_ingredient.lower()
+        chosen = [seed_ingredient]
+        # Greedily extend with the strongest co-occurrence partners, falling
+        # back to globally common ingredients when pairings run out.
+        for partner, _ in self.graph.ingredient_pairings(seed_ingredient, top_k=n_ingredients * 2):
+            if len(chosen) >= n_ingredients:
+                break
+            if partner not in chosen:
+                chosen.append(partner)
+        for name in common:
+            if len(chosen) >= n_ingredients:
+                break
+            if name not in chosen:
+                chosen.append(name)
+        return chosen[:n_ingredients]
+
+    def _take_ingredients(self, remaining: list[str], all_ingredients: tuple | list, process: str, rng) -> list[str]:
+        """Pick 0-3 ingredients for a step, preferring ones not yet used."""
+        count = rng.choice((1, 1, 2, 2, 3, 0))
+        if count == 0:
+            return []
+        chosen: list[str] = []
+        while remaining and len(chosen) < count:
+            chosen.append(remaining.pop(0))
+        while len(chosen) < count and all_ingredients:
+            candidate = rng.choice(list(all_ingredients))
+            if candidate not in chosen:
+                chosen.append(candidate)
+            else:
+                break
+        return chosen
+
+    def _utensil_for(self, process: str) -> str:
+        ranked = self.graph.utensils_for_process(process, top_k=1)
+        return ranked[0][0] if ranked else ""
+
+    @staticmethod
+    def _render_step(process: str, ingredients: list[str], utensil: str) -> str:
+        verb = process.capitalize()
+        if ingredients and utensil:
+            listed = self_join(ingredients)
+            return f"{verb} the {listed} in a {utensil}."
+        if ingredients:
+            return f"{verb} the {self_join(ingredients)}."
+        if utensil:
+            return f"{verb} in the {utensil}."
+        return f"{verb} well."
+
+
+def self_join(items: list[str]) -> str:
+    """Join a list as natural-language enumeration ("a, b and c")."""
+    if not items:
+        return ""
+    if len(items) == 1:
+        return items[0]
+    return ", ".join(items[:-1]) + " and " + items[-1]

@@ -1,0 +1,203 @@
+"""Recipe knowledge graph built from the mined structure.
+
+Section I/IV of the paper argues that the extracted relation tuples can be
+"interpreted as Knowledge Graphs and Thought Graphs".  This module builds a
+typed, directed multigraph over the structured corpus:
+
+* nodes: recipes, ingredients, cooking processes, utensils (each typed);
+* edges: ``recipe -uses-> ingredient``, ``recipe -applies-> process``,
+  ``process -on-> ingredient``, ``process -with-> utensil`` (the last two
+  carry the step index so temporal queries remain possible).
+
+On top of the graph the class offers the queries the paper's motivation
+section lists: ingredient co-occurrence (food pairing), the techniques most
+associated with an ingredient, and the utensils a technique needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.core.recipe_model import StructuredRecipe
+from repro.errors import DataError
+
+__all__ = ["RecipeKnowledgeGraph"]
+
+#: Node-kind labels used in the graph.
+RECIPE = "recipe"
+INGREDIENT = "ingredient"
+PROCESS = "process"
+UTENSIL = "utensil"
+
+
+class RecipeKnowledgeGraph:
+    """Typed knowledge graph over a collection of structured recipes."""
+
+    def __init__(self) -> None:
+        self.graph = nx.MultiDiGraph()
+        self._n_recipes = 0
+
+    # ---------------------------------------------------------------- build
+
+    @classmethod
+    def from_recipes(cls, recipes: Iterable[StructuredRecipe]) -> "RecipeKnowledgeGraph":
+        """Build a graph from structured recipes."""
+        builder = cls()
+        for recipe in recipes:
+            builder.add_recipe(recipe)
+        if builder._n_recipes == 0:
+            raise DataError("no recipes supplied to the knowledge graph")
+        return builder
+
+    def add_recipe(self, recipe: StructuredRecipe) -> None:
+        """Add one structured recipe to the graph."""
+        self._n_recipes += 1
+        recipe_node = self._node(RECIPE, recipe.recipe_id)
+        self.graph.add_node(recipe_node, kind=RECIPE, title=recipe.title)
+
+        for name in recipe.ingredient_names:
+            ingredient_node = self._node(INGREDIENT, name)
+            self.graph.add_node(ingredient_node, kind=INGREDIENT, name=name)
+            self.graph.add_edge(recipe_node, ingredient_node, relation="uses")
+
+        for step_index, relation in recipe.temporal_sequence():
+            process_node = self._node(PROCESS, relation.process)
+            self.graph.add_node(process_node, kind=PROCESS, name=relation.process)
+            self.graph.add_edge(recipe_node, process_node, relation="applies", step=step_index)
+            for ingredient in relation.ingredients:
+                ingredient_node = self._node(INGREDIENT, ingredient)
+                self.graph.add_node(ingredient_node, kind=INGREDIENT, name=ingredient)
+                self.graph.add_edge(process_node, ingredient_node, relation="on", step=step_index,
+                                    recipe=recipe.recipe_id)
+            for utensil in relation.utensils:
+                utensil_node = self._node(UTENSIL, utensil)
+                self.graph.add_node(utensil_node, kind=UTENSIL, name=utensil)
+                self.graph.add_edge(process_node, utensil_node, relation="with", step=step_index,
+                                    recipe=recipe.recipe_id)
+
+    @staticmethod
+    def _node(kind: str, name: str) -> str:
+        return f"{kind}:{name}"
+
+    # --------------------------------------------------------------- basics
+
+    @property
+    def n_recipes(self) -> int:
+        """Number of recipes the graph was built from."""
+        return self._n_recipes
+
+    def nodes_of_kind(self, kind: str) -> list[str]:
+        """Names of all nodes of a given kind."""
+        return sorted(
+            data.get("name", node.split(":", 1)[1])
+            for node, data in self.graph.nodes(data=True)
+            if data.get("kind") == kind
+        )
+
+    def ingredients(self) -> list[str]:
+        """All ingredient names in the graph."""
+        return self.nodes_of_kind(INGREDIENT)
+
+    def processes(self) -> list[str]:
+        """All process names in the graph."""
+        return self.nodes_of_kind(PROCESS)
+
+    def utensils(self) -> list[str]:
+        """All utensil names in the graph."""
+        return self.nodes_of_kind(UTENSIL)
+
+    def summary(self) -> dict[str, int]:
+        """Node/edge counts by kind."""
+        return {
+            "recipes": self._n_recipes,
+            "ingredients": len(self.ingredients()),
+            "processes": len(self.processes()),
+            "utensils": len(self.utensils()),
+            "edges": self.graph.number_of_edges(),
+        }
+
+    # -------------------------------------------------------------- queries
+
+    def recipes_using(self, ingredient: str) -> list[str]:
+        """Recipe ids whose ingredients section contains ``ingredient``."""
+        node = self._node(INGREDIENT, ingredient.lower())
+        if node not in self.graph:
+            return []
+        return sorted(
+            source.split(":", 1)[1]
+            for source, _, data in self.graph.in_edges(node, data=True)
+            if data.get("relation") == "uses"
+        )
+
+    def ingredient_pairings(self, ingredient: str, *, top_k: int = 5) -> list[tuple[str, int]]:
+        """Ingredients that co-occur most often with ``ingredient`` (food pairing)."""
+        if top_k < 1:
+            raise DataError("top_k must be at least 1")
+        target = ingredient.lower()
+        co_occurrence: Counter = Counter()
+        for recipe_id in self.recipes_using(target):
+            recipe_node = self._node(RECIPE, recipe_id)
+            for _, neighbour, data in self.graph.out_edges(recipe_node, data=True):
+                if data.get("relation") != "uses":
+                    continue
+                name = self.graph.nodes[neighbour].get("name", "")
+                if name and name != target:
+                    co_occurrence[name] += 1
+        return co_occurrence.most_common(top_k)
+
+    def processes_applied_to(self, ingredient: str, *, top_k: int = 5) -> list[tuple[str, int]]:
+        """Techniques most often applied to ``ingredient`` across the corpus."""
+        node = self._node(INGREDIENT, ingredient.lower())
+        if node not in self.graph:
+            return []
+        counts: Counter = Counter()
+        for source, _, data in self.graph.in_edges(node, data=True):
+            if data.get("relation") == "on" and self.graph.nodes[source].get("kind") == PROCESS:
+                counts[self.graph.nodes[source]["name"]] += 1
+        return counts.most_common(top_k)
+
+    def utensils_for_process(self, process: str, *, top_k: int = 5) -> list[tuple[str, int]]:
+        """Utensils most often involved when ``process`` is applied."""
+        node = self._node(PROCESS, process.lower())
+        if node not in self.graph:
+            return []
+        counts: Counter = Counter()
+        for _, target, data in self.graph.out_edges(node, data=True):
+            if data.get("relation") == "with":
+                counts[self.graph.nodes[target]["name"]] += 1
+        return counts.most_common(top_k)
+
+    def common_ingredients(self, *, top_k: int = 10) -> list[tuple[str, int]]:
+        """Most used ingredients across the corpus (by recipe count)."""
+        counts: Counter = Counter()
+        for node, data in self.graph.nodes(data=True):
+            if data.get("kind") != INGREDIENT:
+                continue
+            uses = sum(
+                1
+                for _, _, edge in self.graph.in_edges(node, data=True)
+                if edge.get("relation") == "uses"
+            )
+            if uses:
+                counts[data["name"]] = uses
+        return counts.most_common(top_k)
+
+    def related_ingredients(self, ingredient: str, *, max_distance: int = 2) -> set[str]:
+        """Ingredients reachable within ``max_distance`` undirected hops."""
+        node = self._node(INGREDIENT, ingredient.lower())
+        if node not in self.graph:
+            return set()
+        undirected = self.graph.to_undirected(as_view=True)
+        reachable = nx.single_source_shortest_path_length(undirected, node, cutoff=max_distance)
+        return {
+            self.graph.nodes[other]["name"]
+            for other in reachable
+            if other != node and self.graph.nodes[other].get("kind") == INGREDIENT
+        }
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """The underlying graph (a copy, safe to mutate)."""
+        return self.graph.copy()

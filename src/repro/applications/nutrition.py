@@ -1,0 +1,100 @@
+"""Nutritional-profile estimation from structured ingredient records.
+
+Section IV of the paper (and its companion DECOR workshop submission) uses
+the mined ingredient attributes -- name, quantity and unit -- to estimate a
+recipe's nutritional profile from the USDA reference tables.  The estimator
+below does exactly that against the simulated USDA table of
+:mod:`repro.data.usda`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.recipe_model import IngredientRecord, StructuredRecipe
+from repro.data.usda import NutrientProfile, ZERO_PROFILE, grams_for, nutrient_profile
+from repro.errors import DataError
+
+__all__ = ["NutritionEstimator", "RecipeNutrition"]
+
+
+@dataclass(frozen=True)
+class RecipeNutrition:
+    """Estimated nutrition of a recipe.
+
+    Attributes:
+        total: Nutrients summed over every resolved ingredient.
+        per_serving: ``total`` divided by the serving count.
+        resolved_ingredients: Ingredient names that contributed to the total.
+        unresolved_ingredients: Records skipped because they had no name.
+    """
+
+    total: NutrientProfile
+    per_serving: NutrientProfile
+    resolved_ingredients: tuple[str, ...]
+    unresolved_ingredients: tuple[str, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of ingredient records that contributed to the estimate."""
+        n_total = len(self.resolved_ingredients) + len(self.unresolved_ingredients)
+        if n_total == 0:
+            return 0.0
+        return len(self.resolved_ingredients) / n_total
+
+
+class NutritionEstimator:
+    """Estimates recipe nutrition from :class:`IngredientRecord` attributes.
+
+    Args:
+        default_quantity: Quantity assumed when a record has no parseable
+            quantity (e.g. "salt to taste").
+    """
+
+    def __init__(self, *, default_quantity: float = 1.0) -> None:
+        if default_quantity <= 0:
+            raise DataError("default_quantity must be positive")
+        self.default_quantity = default_quantity
+
+    def ingredient_nutrition(self, record: IngredientRecord) -> NutrientProfile | None:
+        """Nutrient contribution of one record (``None`` when it has no name)."""
+        if not record.name:
+            return None
+        quantity = record.quantity_value if record.quantity_value is not None else self.default_quantity
+        grams = grams_for(quantity, record.unit or None)
+        return nutrient_profile(record.name).scaled(grams)
+
+    def estimate(self, recipe: StructuredRecipe, *, servings: int = 4) -> RecipeNutrition:
+        """Estimate the nutrition of a structured recipe.
+
+        Args:
+            recipe: The structured recipe.
+            servings: Number of servings to divide the total by.
+
+        Raises:
+            DataError: If ``servings`` is not positive.
+        """
+        if servings <= 0:
+            raise DataError(f"servings must be positive, got {servings}")
+        total = ZERO_PROFILE
+        resolved: list[str] = []
+        unresolved: list[str] = []
+        for record in recipe.ingredients:
+            contribution = self.ingredient_nutrition(record)
+            if contribution is None:
+                unresolved.append(record.phrase)
+                continue
+            total = total + contribution
+            resolved.append(record.name)
+        per_serving = NutrientProfile(
+            energy_kcal=total.energy_kcal / servings,
+            protein_g=total.protein_g / servings,
+            fat_g=total.fat_g / servings,
+            carbohydrate_g=total.carbohydrate_g / servings,
+        )
+        return RecipeNutrition(
+            total=total,
+            per_serving=per_serving,
+            resolved_ingredients=tuple(resolved),
+            unresolved_ingredients=tuple(unresolved),
+        )

@@ -1,0 +1,248 @@
+"""Recipe translation via the structured representation (Section IV).
+
+The paper's first listed application is "translating recipes between
+languages".  The key idea enabled by the structured representation is that
+translation no longer needs free-text machine translation: once a recipe is
+reduced to canonical ingredient names, quantities/units, processes and
+utensils, translating it amounts to looking each canonical item up in a
+bilingual culinary lexicon and re-rendering the structure in the target
+language.
+
+This module ships compact Spanish and French culinary lexicons covering the
+simulator's vocabulary, plus a :class:`RecipeTranslator` that renders a
+:class:`~repro.core.recipe_model.StructuredRecipe` in the target language.
+Unknown terms fall back to the source term, and the translator reports its
+lexical coverage so callers can judge translation quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.recipe_model import StructuredRecipe
+from repro.errors import ConfigurationError
+
+__all__ = ["RecipeTranslator", "TranslatedRecipe", "SUPPORTED_LANGUAGES"]
+
+SUPPORTED_LANGUAGES = ("es", "fr")
+
+#: Spanish culinary lexicon (canonical English term -> Spanish term).
+_SPANISH: dict[str, str] = {
+    # ingredients
+    "tomato": "tomate", "onion": "cebolla", "garlic": "ajo", "garlic clove": "diente de ajo",
+    "potato": "patata", "carrot": "zanahoria", "celery": "apio", "bell pepper": "pimiento",
+    "chili pepper": "chile", "spinach": "espinaca", "broccoli": "brócoli", "mushroom": "champiñón",
+    "cabbage": "col", "lettuce": "lechuga", "pumpkin": "calabaza", "corn": "maíz",
+    "pea": "guisante", "ginger": "jengibre", "lemon": "limón", "lime": "lima",
+    "orange": "naranja", "apple": "manzana", "banana": "plátano", "strawberry": "fresa",
+    "avocado": "aguacate", "milk": "leche", "whole milk": "leche entera", "butter": "mantequilla",
+    "cream": "nata", "heavy cream": "nata para montar", "sour cream": "crema agria",
+    "cream cheese": "queso crema", "cheddar cheese": "queso cheddar", "blue cheese": "queso azul",
+    "parmesan cheese": "queso parmesano", "egg": "huevo", "chicken breast": "pechuga de pollo",
+    "ground beef": "carne picada", "bacon": "tocino", "salmon": "salmón", "shrimp": "gamba",
+    "flour": "harina", "all-purpose flour": "harina de trigo", "sugar": "azúcar",
+    "brown sugar": "azúcar moreno", "baking powder": "levadura en polvo", "rice": "arroz",
+    "pasta": "pasta", "bread": "pan", "olive oil": "aceite de oliva",
+    "extra virgin olive oil": "aceite de oliva virgen extra", "vegetable oil": "aceite vegetal",
+    "soy sauce": "salsa de soja", "honey": "miel", "vinegar": "vinagre", "salt": "sal",
+    "pepper": "pimienta", "black pepper": "pimienta negra", "paprika": "pimentón",
+    "cumin": "comino", "cinnamon": "canela", "oregano": "orégano", "basil": "albahaca",
+    "thyme": "tomillo", "parsley": "perejil", "cilantro": "cilantro", "mint": "menta",
+    "water": "agua", "wine": "vino", "white wine": "vino blanco", "red wine": "vino tinto",
+    "chicken broth": "caldo de pollo", "puff pastry": "hojaldre", "walnut": "nuez",
+    "almond": "almendra", "chickpea": "garbanzo", "lentil": "lenteja",
+    # units
+    "cup": "taza", "tablespoon": "cucharada", "teaspoon": "cucharadita", "ounce": "onza",
+    "pound": "libra", "gram": "gramo", "liter": "litro", "pinch": "pizca", "slice": "rebanada",
+    "clove": "diente", "sheet": "lámina", "package": "paquete", "can": "lata", "piece": "pieza",
+    # processes
+    "preheat": "precalentar", "heat": "calentar", "boil": "hervir", "simmer": "cocer a fuego lento",
+    "fry": "freír", "saute": "saltear", "bake": "hornear", "roast": "asar", "grill": "asar a la parrilla",
+    "steam": "cocinar al vapor", "toast": "tostar", "melt": "derretir", "bring": "llevar",
+    "cook": "cocinar", "mix": "mezclar", "stir": "remover", "whisk": "batir", "combine": "combinar",
+    "add": "añadir", "blend": "licuar", "beat": "batir", "toss": "mezclar", "pour": "verter",
+    "transfer": "transferir", "drain": "escurrir", "rinse": "enjuagar", "chop": "picar",
+    "slice": "cortar en rodajas", "dice": "cortar en dados", "mince": "picar fino",
+    "grate": "rallar", "peel": "pelar", "season": "sazonar", "sprinkle": "espolvorear",
+    "garnish": "decorar", "spread": "untar", "cover": "cubrir", "remove": "retirar",
+    "serve": "servir", "refrigerate": "refrigerar", "cool": "enfriar", "place": "colocar",
+    "reduce": "reducir", "knead": "amasar", "marinate": "marinar", "drizzle": "rociar",
+    # utensils
+    "pan": "sartén", "frying pan": "sartén", "saucepan": "cacerola", "skillet": "sartén",
+    "pot": "olla", "stockpot": "olla grande", "wok": "wok", "oven": "horno",
+    "blender": "licuadora", "food processor": "procesador de alimentos", "bowl": "cuenco",
+    "mixing bowl": "cuenco para mezclar", "baking sheet": "bandeja de horno",
+    "baking dish": "fuente de horno", "tray": "bandeja", "knife": "cuchillo", "whisk": "batidor",
+    "spatula": "espátula", "cutting board": "tabla de cortar", "colander": "colador",
+    "dutch oven": "cocotte", "measuring cup": "taza medidora",
+}
+
+#: French culinary lexicon (canonical English term -> French term).
+_FRENCH: dict[str, str] = {
+    "tomato": "tomate", "onion": "oignon", "garlic": "ail", "garlic clove": "gousse d'ail",
+    "potato": "pomme de terre", "carrot": "carotte", "celery": "céleri", "bell pepper": "poivron",
+    "chili pepper": "piment", "spinach": "épinard", "broccoli": "brocoli", "mushroom": "champignon",
+    "cabbage": "chou", "lettuce": "laitue", "pumpkin": "citrouille", "corn": "maïs",
+    "pea": "petit pois", "ginger": "gingembre", "lemon": "citron", "lime": "citron vert",
+    "orange": "orange", "apple": "pomme", "banana": "banane", "strawberry": "fraise",
+    "avocado": "avocat", "milk": "lait", "whole milk": "lait entier", "butter": "beurre",
+    "cream": "crème", "heavy cream": "crème entière", "sour cream": "crème aigre",
+    "cream cheese": "fromage frais", "cheddar cheese": "cheddar", "blue cheese": "fromage bleu",
+    "parmesan cheese": "parmesan", "egg": "oeuf", "chicken breast": "blanc de poulet",
+    "ground beef": "boeuf haché", "bacon": "lard", "salmon": "saumon", "shrimp": "crevette",
+    "flour": "farine", "all-purpose flour": "farine de blé", "sugar": "sucre",
+    "brown sugar": "sucre roux", "baking powder": "levure chimique", "rice": "riz",
+    "pasta": "pâtes", "bread": "pain", "olive oil": "huile d'olive",
+    "extra virgin olive oil": "huile d'olive extra vierge", "vegetable oil": "huile végétale",
+    "soy sauce": "sauce soja", "honey": "miel", "vinegar": "vinaigre", "salt": "sel",
+    "pepper": "poivre", "black pepper": "poivre noir", "paprika": "paprika",
+    "cumin": "cumin", "cinnamon": "cannelle", "oregano": "origan", "basil": "basilic",
+    "thyme": "thym", "parsley": "persil", "cilantro": "coriandre", "mint": "menthe",
+    "water": "eau", "wine": "vin", "white wine": "vin blanc", "red wine": "vin rouge",
+    "chicken broth": "bouillon de poulet", "puff pastry": "pâte feuilletée", "walnut": "noix",
+    "almond": "amande", "chickpea": "pois chiche", "lentil": "lentille",
+    "cup": "tasse", "tablespoon": "cuillère à soupe", "teaspoon": "cuillère à café",
+    "ounce": "once", "pound": "livre", "gram": "gramme", "liter": "litre", "pinch": "pincée",
+    "slice": "tranche", "clove": "gousse", "sheet": "feuille", "package": "paquet",
+    "can": "boîte", "piece": "morceau",
+    "preheat": "préchauffer", "heat": "chauffer", "boil": "faire bouillir", "simmer": "mijoter",
+    "fry": "frire", "saute": "faire sauter", "bake": "cuire au four", "roast": "rôtir",
+    "grill": "griller", "steam": "cuire à la vapeur", "toast": "griller", "melt": "faire fondre",
+    "bring": "porter", "cook": "cuire", "mix": "mélanger", "stir": "remuer", "whisk": "fouetter",
+    "combine": "combiner", "add": "ajouter", "blend": "mixer", "beat": "battre",
+    "toss": "mélanger", "pour": "verser", "transfer": "transférer", "drain": "égoutter",
+    "rinse": "rincer", "chop": "hacher", "slice": "trancher", "dice": "couper en dés",
+    "mince": "émincer", "grate": "râper", "peel": "éplucher", "season": "assaisonner",
+    "sprinkle": "saupoudrer", "garnish": "garnir", "spread": "étaler", "cover": "couvrir",
+    "remove": "retirer", "serve": "servir", "refrigerate": "réfrigérer", "cool": "refroidir",
+    "place": "placer", "reduce": "réduire", "knead": "pétrir", "marinate": "mariner",
+    "drizzle": "arroser",
+    "pan": "poêle", "frying pan": "poêle", "saucepan": "casserole", "skillet": "poêle",
+    "pot": "marmite", "stockpot": "faitout", "wok": "wok", "oven": "four",
+    "blender": "mixeur", "food processor": "robot de cuisine", "bowl": "bol",
+    "mixing bowl": "saladier", "baking sheet": "plaque de cuisson", "baking dish": "plat à four",
+    "tray": "plateau", "knife": "couteau", "whisk": "fouet", "spatula": "spatule",
+    "cutting board": "planche à découper", "colander": "passoire", "dutch oven": "cocotte",
+    "measuring cup": "verre doseur",
+}
+
+_LEXICONS: dict[str, dict[str, str]] = {"es": _SPANISH, "fr": _FRENCH}
+
+#: Connector words used when rendering instructions in the target language.
+_CONNECTIVES: dict[str, dict[str, str]] = {
+    "es": {"the": "el/la", "in": "en", "with": "con", "and": "y", "step": "Paso"},
+    "fr": {"the": "le/la", "in": "dans", "with": "avec", "and": "et", "step": "Étape"},
+}
+
+
+@dataclass(frozen=True)
+class TranslatedRecipe:
+    """A recipe rendered in a target language.
+
+    Attributes:
+        language: Target language code ("es" or "fr").
+        title: Translated (or passed-through) title.
+        ingredient_lines: Rendered ingredient lines.
+        instruction_lines: Rendered instruction lines.
+        coverage: Fraction of translatable terms found in the lexicon.
+    """
+
+    language: str
+    title: str
+    ingredient_lines: tuple[str, ...]
+    instruction_lines: tuple[str, ...]
+    coverage: float
+
+    def as_text(self) -> str:
+        """Full textual rendering."""
+        lines = [self.title, ""]
+        lines.extend(f"- {line}" for line in self.ingredient_lines)
+        lines.append("")
+        lines.extend(
+            f"{index + 1}. {line}" for index, line in enumerate(self.instruction_lines)
+        )
+        return "\n".join(lines)
+
+
+class RecipeTranslator:
+    """Translates structured recipes through bilingual culinary lexicons.
+
+    Args:
+        language: Target language code; see :data:`SUPPORTED_LANGUAGES`.
+    """
+
+    def __init__(self, language: str) -> None:
+        if language not in _LEXICONS:
+            raise ConfigurationError(
+                f"unsupported target language {language!r}; supported: {SUPPORTED_LANGUAGES}"
+            )
+        self.language = language
+        self._lexicon = _LEXICONS[language]
+        self._connectives = _CONNECTIVES[language]
+
+    def translate_term(self, term: str) -> str:
+        """Translate a canonical term, falling back to the source term."""
+        return self._lexicon.get(term.lower(), term)
+
+    def knows(self, term: str) -> bool:
+        """Whether the lexicon covers ``term``."""
+        return term.lower() in self._lexicon
+
+    def translate(self, recipe: StructuredRecipe) -> TranslatedRecipe:
+        """Render a structured recipe in the target language."""
+        translatable = 0
+        covered = 0
+
+        ingredient_lines = []
+        for record in recipe.ingredients:
+            if record.name:
+                translatable += 1
+                covered += int(self.knows(record.name))
+            pieces = [piece for piece in (record.quantity, self.translate_term(record.unit) if record.unit else "",
+                                          self.translate_term(record.name) if record.name else record.phrase) if piece]
+            if record.state:
+                translatable += 1
+                covered += int(self.knows(record.state))
+                pieces.append(f"({self.translate_term(record.state)})")
+            ingredient_lines.append(" ".join(pieces))
+
+        instruction_lines = []
+        for event in recipe.events:
+            if not event.relations and event.processes:
+                # Events without extracted relations still render their processes.
+                translatable += len(event.processes)
+                covered += sum(int(self.knows(process)) for process in event.processes)
+                rendered = ", ".join(
+                    self.translate_term(process).capitalize() for process in event.processes
+                )
+                instruction_lines.append(rendered + ".")
+                continue
+            for relation in event.relations:
+                translatable += 1
+                covered += int(self.knows(relation.process))
+                verb = self.translate_term(relation.process).capitalize()
+                parts = [verb]
+                if relation.ingredients:
+                    translatable += len(relation.ingredients)
+                    covered += sum(int(self.knows(item)) for item in relation.ingredients)
+                    joined = f" {self._connectives['and']} ".join(
+                        self.translate_term(item) for item in relation.ingredients
+                    )
+                    parts.append(joined)
+                if relation.utensils:
+                    translatable += len(relation.utensils)
+                    covered += sum(int(self.knows(item)) for item in relation.utensils)
+                    joined = f" {self._connectives['and']} ".join(
+                        self.translate_term(item) for item in relation.utensils
+                    )
+                    parts.append(f"{self._connectives['in']} {joined}")
+                instruction_lines.append(" ".join(parts) + ".")
+
+        coverage = covered / translatable if translatable else 0.0
+        return TranslatedRecipe(
+            language=self.language,
+            title=recipe.title,
+            ingredient_lines=tuple(ingredient_lines),
+            instruction_lines=tuple(instruction_lines),
+            coverage=coverage,
+        )

@@ -1,0 +1,99 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table1 --scale small --seed 0
+    python -m repro table4 --scale medium
+    python -m repro all
+
+Every sub-command prints the same rows/series the paper reports (plus the
+paper's own numbers for side-by-side comparison where applicable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.experiments import (
+    ablations,
+    conclusions,
+    crossval,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    table1,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+def _run_ablations(*, scale: str, seed: int) -> str:
+    parts = [
+        ablations.render_sampling(ablations.run_sampling_ablation(scale=scale, seed=seed)),
+        ablations.render_model_family(ablations.run_model_family_ablation(scale=scale, seed=seed)),
+        ablations.render_threshold(ablations.run_threshold_ablation(scale=scale, seed=seed)),
+        ablations.render_cluster_count(ablations.run_cluster_count_ablation(scale=scale, seed=seed)),
+        ablations.render_preprocessing(ablations.run_preprocessing_ablation(scale=scale, seed=seed)),
+    ]
+    return "\n\n".join(parts)
+
+
+#: Experiment name -> callable(scale, seed) -> rendered report.
+EXPERIMENTS: dict[str, Callable[..., str]] = {
+    "table1": lambda *, scale, seed: table1.render(table1.run(scale=scale, seed=seed)),
+    "table3": lambda *, scale, seed: table3.render(table3.run(scale=scale, seed=seed)),
+    "table4": lambda *, scale, seed: table4.render(table4.run(scale=scale, seed=seed)),
+    "table5": lambda *, scale, seed: table5.render(table5.run(scale=scale, seed=seed)),
+    "fig2": lambda *, scale, seed: fig2.render(fig2.run(scale=scale, seed=seed)),
+    "fig3": lambda *, scale, seed: fig3.render(fig3.run(scale=scale, seed=seed)),
+    "fig4": lambda *, scale, seed: fig4.render(fig4.run(scale=scale, seed=seed)),
+    "fig5": lambda *, scale, seed: fig5.render(fig5.run(scale=scale, seed=seed)),
+    "conclusions": lambda *, scale, seed: conclusions.render(conclusions.run(scale=scale, seed=seed)),
+    "crossval": lambda *, scale, seed: crossval.render(crossval.run(scale=scale, seed=seed)),
+    "ablations": _run_ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-recipes",
+        description="Reproduce the tables and figures of 'A Named Entity Based Approach to Model Recipes'.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS.keys(), "all"],
+        help="which paper artefact to regenerate ('all' runs every experiment)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "medium", "large"),
+        help="corpus scale preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the console script and ``python -m repro``."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    for index, name in enumerate(names):
+        if index:
+            print("\n" + "=" * 78 + "\n")
+        print(f"## {name}")
+        report = EXPERIMENTS[name](scale=arguments.scale, seed=arguments.seed)
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

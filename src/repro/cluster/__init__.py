@@ -1,0 +1,23 @@
+"""Clustering substrate: K-Means, PCA, the elbow criterion and sampling.
+
+Section II.D/E of the paper clusters the 1x36 POS-frequency vectors of
+ingredient phrases with K-Means, selects the cluster count with the elbow
+criterion, visualises the clusters after PCA projection to two dimensions
+and samples a fixed percentage of unique phrases from every cluster to form
+the NER training/testing sets.
+"""
+
+from repro.cluster.kmeans import KMeans, KMeansResult
+from repro.cluster.pca import PCA
+from repro.cluster.elbow import elbow_point, inertia_curve
+from repro.cluster.sampling import ClusterStratifiedSampler, StratifiedSample
+
+__all__ = [
+    "ClusterStratifiedSampler",
+    "KMeans",
+    "KMeansResult",
+    "PCA",
+    "StratifiedSample",
+    "elbow_point",
+    "inertia_curve",
+]

@@ -1,0 +1,70 @@
+"""Elbow criterion for choosing the K-Means cluster count.
+
+The paper selects 23 clusters using "inertia of the clusters formed (Elbow
+Criterion Method)" plus manual interpretation.  :func:`inertia_curve`
+computes inertia across a range of *k*; :func:`elbow_point` locates the knee
+as the point of maximum distance to the line joining the curve's endpoints
+(the standard "kneedle"-style geometric criterion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.errors import DataError
+
+__all__ = ["elbow_point", "inertia_curve"]
+
+
+def inertia_curve(
+    vectors: np.ndarray,
+    k_values: Sequence[int],
+    *,
+    seed: int | None = None,
+    n_init: int = 2,
+    max_iterations: int = 50,
+) -> dict[int, float]:
+    """Inertia of the best K-Means fit for each ``k`` in ``k_values``."""
+    if len(k_values) == 0:
+        raise DataError("k_values must not be empty")
+    curve: dict[int, float] = {}
+    for k in k_values:
+        estimator = KMeans(
+            k, n_init=n_init, max_iterations=max_iterations, seed=seed
+        )
+        curve[k] = estimator.fit(vectors).inertia
+    return curve
+
+
+def elbow_point(curve: dict[int, float]) -> int:
+    """Locate the elbow of an inertia curve.
+
+    The elbow is the ``k`` whose point on the (k, inertia) curve lies farthest
+    from the straight line connecting the first and last points.  With fewer
+    than three points the smallest ``k`` is returned.
+    """
+    if not curve:
+        raise DataError("cannot find the elbow of an empty curve")
+    ks = sorted(curve)
+    if len(ks) < 3:
+        return ks[0]
+    points = np.array([[float(k), float(curve[k])] for k in ks])
+    # Normalise both axes so the geometry is scale-independent.
+    spans = points.max(axis=0) - points.min(axis=0)
+    spans[spans == 0] = 1.0
+    normalised = (points - points.min(axis=0)) / spans
+    first, last = normalised[0], normalised[-1]
+    direction = last - first
+    norm = float(np.linalg.norm(direction))
+    if norm == 0:
+        return ks[0]
+    direction /= norm
+    offsets = normalised - first
+    # Distance from each point to the first-last chord.
+    projections = offsets @ direction
+    closest_on_line = first + projections[:, None] * direction
+    distances = np.linalg.norm(normalised - closest_on_line, axis=1)
+    return ks[int(np.argmax(distances))]

@@ -1,0 +1,162 @@
+"""K-Means clustering with k-means++ initialisation (NumPy implementation).
+
+Implements Lloyd's algorithm with:
+
+* k-means++ seeding (D^2 weighting),
+* several random restarts keeping the solution with the lowest inertia,
+* empty-cluster repair (an empty cluster is re-seeded at the point farthest
+  from its centroid),
+* deterministic behaviour under an explicit seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.utils import as_float_array, make_rng
+
+__all__ = ["KMeans", "KMeansResult"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one K-Means fit.
+
+    Attributes:
+        centroids: ``(k, d)`` array of cluster centres.
+        labels: Cluster index for every input vector.
+        inertia: Sum of squared distances of vectors to their centroid.
+        iterations: Lloyd iterations executed by the best restart.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+class KMeans:
+    """K-Means estimator.
+
+    Args:
+        n_clusters: Number of clusters *k*.
+        n_init: Random restarts; the best (lowest inertia) is kept.
+        max_iterations: Cap on Lloyd iterations per restart.
+        tolerance: Relative centroid-shift threshold for convergence.
+        seed: Seed for initialisation and restarts.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        n_init: int = 4,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        seed: int | None = None,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ConfigurationError(f"n_clusters must be positive, got {n_clusters}")
+        if n_init <= 0:
+            raise ConfigurationError(f"n_init must be positive, got {n_init}")
+        if max_iterations <= 0:
+            raise ConfigurationError(f"max_iterations must be positive, got {max_iterations}")
+        self.n_clusters = int(n_clusters)
+        self.n_init = int(n_init)
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.seed = seed
+        self.result: KMeansResult | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.result is not None
+
+    def fit(self, vectors: np.ndarray) -> KMeansResult:
+        """Cluster ``vectors`` (``(n, d)``) and store/return the best result."""
+        data = as_float_array(vectors)
+        n_samples = data.shape[0]
+        if n_samples < self.n_clusters:
+            raise DataError(
+                f"need at least n_clusters={self.n_clusters} samples, got {n_samples}"
+            )
+        rng = make_rng(self.seed)
+        best: KMeansResult | None = None
+        for _ in range(self.n_init):
+            result = self._fit_once(data, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        self.result = best
+        return best
+
+    def fit_predict(self, vectors: np.ndarray) -> np.ndarray:
+        """Fit and return the cluster labels."""
+        return self.fit(vectors).labels
+
+    def predict(self, vectors: np.ndarray) -> np.ndarray:
+        """Assign new vectors to the nearest fitted centroid."""
+        if self.result is None:
+            raise NotFittedError("KMeans.predict called before fit()")
+        data = as_float_array(vectors)
+        distances = self._distances(data, self.result.centroids)
+        return np.argmin(distances, axis=1)
+
+    def _fit_once(self, data: np.ndarray, rng: np.random.Generator) -> KMeansResult:
+        centroids = self._kmeans_plus_plus(data, rng)
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            distances = self._distances(data, centroids)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = np.empty_like(centroids)
+            for cluster in range(self.n_clusters):
+                members = data[labels == cluster]
+                if members.shape[0] == 0:
+                    # Re-seed the empty cluster at the point farthest from its
+                    # current assignment, a standard repair strategy.
+                    farthest = int(np.argmax(np.min(distances, axis=1)))
+                    new_centroids[cluster] = data[farthest]
+                else:
+                    new_centroids[cluster] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if shift <= self.tolerance:
+                break
+        distances = self._distances(data, centroids)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.sum(np.min(distances, axis=1)))
+        return KMeansResult(centroids=centroids, labels=labels, inertia=inertia, iterations=iterations)
+
+    def _kmeans_plus_plus(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n_samples = data.shape[0]
+        centroids = np.empty((self.n_clusters, data.shape[1]), dtype=np.float64)
+        first = int(rng.integers(n_samples))
+        centroids[0] = data[first]
+        closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+        for cluster in range(1, self.n_clusters):
+            total = float(closest_sq.sum())
+            if total <= 0.0:
+                # All remaining points coincide with chosen centroids; pick randomly.
+                choice = int(rng.integers(n_samples))
+            else:
+                probabilities = closest_sq / total
+                choice = int(rng.choice(n_samples, p=probabilities))
+            centroids[cluster] = data[choice]
+            new_sq = np.sum((data - centroids[cluster]) ** 2, axis=1)
+            closest_sq = np.minimum(closest_sq, new_sq)
+        return centroids
+
+    @staticmethod
+    def _distances(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Squared Euclidean distances, shape ``(n_samples, n_clusters)``."""
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed without a Python loop.
+        x_sq = np.sum(data**2, axis=1)[:, None]
+        c_sq = np.sum(centroids**2, axis=1)[None, :]
+        cross = data @ centroids.T
+        distances = x_sq - 2.0 * cross + c_sq
+        np.maximum(distances, 0.0, out=distances)
+        return distances

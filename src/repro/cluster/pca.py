@@ -1,0 +1,77 @@
+"""Principal component analysis via singular value decomposition.
+
+Used by the Fig. 2 reproduction: the 36-dimensional POS-frequency vectors are
+projected to two dimensions either *after* clustering (Fig. 2a) or *before*
+clustering (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.utils import as_float_array
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Exact PCA by SVD of the mean-centred data matrix.
+
+    Args:
+        n_components: Number of principal components to keep.
+    """
+
+    def __init__(self, n_components: int) -> None:
+        if n_components <= 0:
+            raise ConfigurationError(f"n_components must be positive, got {n_components}")
+        self.n_components = int(n_components)
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None  # (n_components, d)
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.components_ is not None
+
+    def fit(self, vectors: np.ndarray) -> "PCA":
+        """Estimate the principal axes of ``vectors`` (``(n, d)``)."""
+        data = as_float_array(vectors)
+        n_samples, n_features = data.shape
+        if self.n_components > min(n_samples, n_features):
+            raise DataError(
+                f"n_components={self.n_components} exceeds min(n_samples, n_features)="
+                f"{min(n_samples, n_features)}"
+            )
+        self.mean_ = data.mean(axis=0)
+        centred = data - self.mean_
+        _, singular_values, rows = np.linalg.svd(centred, full_matrices=False)
+        self.components_ = rows[: self.n_components]
+        variance = (singular_values**2) / max(n_samples - 1, 1)
+        self.explained_variance_ = variance[: self.n_components]
+        total_variance = float(variance.sum())
+        if total_variance > 0:
+            self.explained_variance_ratio_ = self.explained_variance_ / total_variance
+        else:
+            self.explained_variance_ratio_ = np.zeros(self.n_components)
+        return self
+
+    def transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Project ``vectors`` onto the fitted principal axes."""
+        if not self.is_fitted:
+            raise NotFittedError("PCA.transform called before fit()")
+        data = as_float_array(vectors)
+        return (data - self.mean_) @ self.components_.T
+
+    def fit_transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Fit and project in one call."""
+        return self.fit(vectors).transform(vectors)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projected points back into the original feature space."""
+        if not self.is_fitted:
+            raise NotFittedError("PCA.inverse_transform called before fit()")
+        data = as_float_array(projected)
+        return data @ self.components_ + self.mean_

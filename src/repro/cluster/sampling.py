@@ -1,0 +1,145 @@
+"""Cluster-stratified sampling of ingredient phrases (Section II.E).
+
+The paper forms its NER training/testing sets by picking a fixed percentage
+of *unique* ingredient phrases from every K-Means cluster (1% for the
+AllRecipes training set, 0.33% for its test set, 0.5% / 0.165% for
+FOOD.com), with the test sample explicitly excluding phrases already chosen
+for training.  :class:`ClusterStratifiedSampler` reproduces that procedure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils import make_rng, stable_unique
+
+__all__ = ["ClusterStratifiedSampler", "StratifiedSample"]
+
+
+@dataclass(frozen=True)
+class StratifiedSample:
+    """A train/test sample drawn from clustered phrases.
+
+    Attributes:
+        train_indices: Indices (into the unique-phrase list) of training items.
+        test_indices: Indices of testing items (disjoint from training).
+        per_cluster_train: Number of training items drawn from each cluster.
+        per_cluster_test: Number of testing items drawn from each cluster.
+    """
+
+    train_indices: list[int]
+    test_indices: list[int]
+    per_cluster_train: dict[int, int] = field(default_factory=dict)
+    per_cluster_test: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def train_size(self) -> int:
+        """Number of training items."""
+        return len(self.train_indices)
+
+    @property
+    def test_size(self) -> int:
+        """Number of testing items."""
+        return len(self.test_indices)
+
+
+class ClusterStratifiedSampler:
+    """Draws train/test phrase samples stratified by cluster membership.
+
+    Args:
+        train_fraction: Fraction of each cluster's unique phrases used for
+            training (the paper uses 0.01 for AllRecipes, 0.005 for FOOD.com).
+        test_fraction: Fraction used for testing (0.0033 / 0.00165), drawn
+            from the phrases *not* selected for training.
+        minimum_per_cluster: Lower bound on the number of training phrases
+            taken from a non-empty cluster, so small clusters are represented
+            (the paper's "sufficient number of representatives" requirement).
+        seed: Sampling seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        train_fraction: float,
+        test_fraction: float,
+        minimum_per_cluster: int = 1,
+        seed: int | None = None,
+    ) -> None:
+        if not 0 < train_fraction < 1:
+            raise ConfigurationError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        if not 0 < test_fraction < 1:
+            raise ConfigurationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        if minimum_per_cluster < 0:
+            raise ConfigurationError(
+                f"minimum_per_cluster must be non-negative, got {minimum_per_cluster}"
+            )
+        self.train_fraction = float(train_fraction)
+        self.test_fraction = float(test_fraction)
+        self.minimum_per_cluster = int(minimum_per_cluster)
+        self.seed = seed
+
+    def sample(self, cluster_labels: Sequence[int] | np.ndarray) -> StratifiedSample:
+        """Draw a stratified train/test split over item indices.
+
+        Args:
+            cluster_labels: Cluster assignment of every unique phrase.
+        """
+        labels = np.asarray(cluster_labels, dtype=np.int64)
+        if labels.size == 0:
+            raise DataError("cluster_labels must not be empty")
+        rng = make_rng(self.seed)
+        train_indices: list[int] = []
+        test_indices: list[int] = []
+        per_cluster_train: dict[int, int] = {}
+        per_cluster_test: dict[int, int] = {}
+
+        for cluster in sorted(set(labels.tolist())):
+            members = np.flatnonzero(labels == cluster)
+            shuffled = members[rng.permutation(members.size)]
+            train_count = max(
+                self.minimum_per_cluster if members.size else 0,
+                math.ceil(members.size * self.train_fraction),
+            )
+            train_count = min(train_count, members.size)
+            chosen_train = shuffled[:train_count]
+            remaining = shuffled[train_count:]
+            test_count = min(
+                math.ceil(members.size * self.test_fraction), remaining.size
+            )
+            chosen_test = remaining[:test_count]
+            train_indices.extend(int(index) for index in chosen_train)
+            test_indices.extend(int(index) for index in chosen_test)
+            per_cluster_train[int(cluster)] = int(train_count)
+            per_cluster_test[int(cluster)] = int(test_count)
+
+        return StratifiedSample(
+            train_indices=sorted(train_indices),
+            test_indices=sorted(test_indices),
+            per_cluster_train=per_cluster_train,
+            per_cluster_test=per_cluster_test,
+        )
+
+    def sample_phrases(
+        self, phrases: Sequence[str], cluster_labels: Sequence[int]
+    ) -> tuple[list[str], list[str]]:
+        """Convenience wrapper returning the sampled phrase strings.
+
+        Duplicate phrases are removed first (the paper samples *unique*
+        ingredient phrases), keeping the cluster label of the first occurrence.
+        """
+        if len(phrases) != len(cluster_labels):
+            raise DataError("phrases and cluster_labels must align")
+        unique_phrases = stable_unique(phrases)
+        first_label: dict[str, int] = {}
+        for phrase, label in zip(phrases, cluster_labels):
+            first_label.setdefault(phrase, int(label))
+        labels = [first_label[phrase] for phrase in unique_phrases]
+        sample = self.sample(labels)
+        train = [unique_phrases[index] for index in sample.train_indices]
+        test = [unique_phrases[index] for index in sample.test_indices]
+        return train, test

@@ -1,0 +1,64 @@
+"""The paper's contribution: the recipe data structure and its inference pipeline.
+
+* :mod:`repro.core.schema` -- the named-entity tag schema (Table II) and the
+  instruction-section tag set.
+* :mod:`repro.core.recipe_model` -- the structured recipe representation
+  (Fig. 1): ingredient records, instruction events and relation tuples.
+* :mod:`repro.core.selection` -- POS-vector clustering and cluster-stratified
+  training-set selection (Sections II.D/E).
+* :mod:`repro.core.ingredient_pipeline` -- pre-processing + NER over the
+  ingredients section (Section II).
+* :mod:`repro.core.dictionary` -- frequency-thresholded dictionaries of
+  cooking techniques and utensils (Section III.A).
+* :mod:`repro.core.instruction_pipeline` -- NER over the instructions section
+  (Section III.A).
+* :mod:`repro.core.relation_extraction` -- dependency-based many-to-many
+  relation extraction (Section III.B).
+* :mod:`repro.core.pipeline` -- the end-to-end :class:`RecipeModeler`.
+"""
+
+from repro.core.schema import (
+    ENTITY_TAGS,
+    INGREDIENT_TAGS,
+    INGREDIENT_TAG_DESCRIPTIONS,
+    INSTRUCTION_TAGS,
+    validate_ingredient_tag,
+    validate_instruction_tag,
+)
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.core.ingredient_pipeline import IngredientPipeline
+from repro.core.instruction_pipeline import InstructionPipeline
+from repro.core.dictionary import EntityDictionary, build_dictionaries
+from repro.core.relation_extraction import RelationExtractor
+from repro.core.selection import ClusteringSelection, TrainingSetSelector
+from repro.core.event_chain import EventChainModel, ProcessStatistics
+from repro.core.pipeline import RecipeModeler, RecipeModelerConfig
+
+__all__ = [
+    "ClusteringSelection",
+    "ENTITY_TAGS",
+    "EntityDictionary",
+    "EventChainModel",
+    "ProcessStatistics",
+    "INGREDIENT_TAGS",
+    "INGREDIENT_TAG_DESCRIPTIONS",
+    "INSTRUCTION_TAGS",
+    "IngredientPipeline",
+    "IngredientRecord",
+    "InstructionEvent",
+    "InstructionPipeline",
+    "RecipeModeler",
+    "RecipeModelerConfig",
+    "RelationExtractor",
+    "RelationTuple",
+    "StructuredRecipe",
+    "TrainingSetSelector",
+    "build_dictionaries",
+    "validate_ingredient_tag",
+    "validate_instruction_tag",
+]

@@ -1,0 +1,165 @@
+"""Frequency-thresholded dictionaries of cooking techniques and utensils.
+
+Section III.A of the paper: after tagging the instruction sections of
+RecipeDB with the instruction NER model, the predicted PROCESS and UTENSIL
+strings are aggregated into frequency dictionaries and filtered with
+threshold frequencies (47 for techniques, 10 for utensils) "removing most of
+the inconsistencies" -- i.e. rare spurious predictions are dropped, and the
+surviving entries form the closed vocabularies the relation extractor
+trusts.
+
+Because the reproduction corpus is much smaller than 118k recipes, the
+thresholds are expressed both as absolute counts (the paper's numbers) and
+as an optional fraction of the corpus size, so experiments can scale them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.ner.model import NerModel
+from repro.text.lemmatizer import Lemmatizer
+
+__all__ = ["EntityDictionary", "build_dictionaries", "PAPER_PROCESS_THRESHOLD", "PAPER_UTENSIL_THRESHOLD"]
+
+#: Frequency thresholds used by the paper on the 118k-recipe corpus.
+PAPER_PROCESS_THRESHOLD = 47
+PAPER_UTENSIL_THRESHOLD = 10
+
+
+@dataclass(frozen=True)
+class EntityDictionary:
+    """A frequency dictionary of entity strings with a cut-off threshold.
+
+    Attributes:
+        label: The entity type the dictionary covers ("PROCESS" / "UTENSIL").
+        counts: Observed frequency of every candidate string.
+        threshold: Minimum frequency for an entry to be accepted.
+    """
+
+    label: str
+    counts: dict[str, int]
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {self.threshold}")
+
+    @property
+    def entries(self) -> frozenset[str]:
+        """Accepted entries (frequency >= threshold)."""
+        return frozenset(
+            entry for entry, count in self.counts.items() if count >= self.threshold
+        )
+
+    @property
+    def rejected(self) -> frozenset[str]:
+        """Candidates filtered out by the threshold."""
+        return frozenset(
+            entry for entry, count in self.counts.items() if count < self.threshold
+        )
+
+    def __contains__(self, entry: str) -> bool:
+        return entry in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def accepts(self, entry: str) -> bool:
+        """Whether ``entry`` survives the frequency filter."""
+        return entry in self.entries
+
+    def with_threshold(self, threshold: int) -> "EntityDictionary":
+        """Same counts, different threshold (used by the threshold sweep)."""
+        return EntityDictionary(label=self.label, counts=dict(self.counts), threshold=threshold)
+
+    def most_common(self, n: int | None = None) -> list[tuple[str, int]]:
+        """Accepted entries sorted by frequency (descending)."""
+        accepted = [(entry, count) for entry, count in self.counts.items() if count >= self.threshold]
+        accepted.sort(key=lambda item: (-item[1], item[0]))
+        return accepted if n is None else accepted[:n]
+
+
+def _collect_counts(
+    ner: NerModel,
+    token_sequences: Sequence[Sequence[str]],
+    lemmatizer: Lemmatizer,
+) -> tuple[Counter, Counter]:
+    """Tag every sequence and count predicted PROCESS / UTENSIL strings."""
+    process_counts: Counter = Counter()
+    utensil_counts: Counter = Counter()
+    for tokens in token_sequences:
+        tags = ner.tag(tokens)
+        index = 0
+        while index < len(tokens):
+            tag = tags[index]
+            if tag not in ("PROCESS", "UTENSIL"):
+                index += 1
+                continue
+            start = index
+            while index < len(tokens) and tags[index] == tag:
+                index += 1
+            surface = " ".join(token.lower() for token in tokens[start:index])
+            if tag == "PROCESS":
+                process_counts[lemmatizer.lemmatize(surface, pos="verb")] += 1
+            else:
+                utensil_counts[lemmatizer.lemmatize(surface, pos="noun")] += 1
+    return process_counts, utensil_counts
+
+
+def build_dictionaries(
+    ner: NerModel,
+    token_sequences: Sequence[Sequence[str]],
+    *,
+    process_threshold: int | None = None,
+    utensil_threshold: int | None = None,
+    relative_thresholds: bool = True,
+    lemmatizer: Lemmatizer | None = None,
+) -> tuple[EntityDictionary, EntityDictionary]:
+    """Build the technique and utensil dictionaries from NER output.
+
+    Args:
+        ner: Trained instruction NER model.
+        token_sequences: Tokenised instruction steps of the corpus.
+        process_threshold: Absolute frequency threshold for techniques;
+            defaults to the paper's 47 scaled to the corpus size when
+            ``relative_thresholds`` is true.
+        utensil_threshold: Absolute threshold for utensils (paper: 10).
+        relative_thresholds: Scale the paper's thresholds by
+            ``len(token_sequences) / 174_932`` (the paper's instruction-step
+            count) when explicit thresholds are not given.
+        lemmatizer: Lemmatizer used to canonicalise dictionary entries.
+    """
+    lemmatizer = lemmatizer or Lemmatizer()
+    process_counts, utensil_counts = _collect_counts(ner, token_sequences, lemmatizer)
+
+    if process_threshold is None:
+        process_threshold = _scaled_threshold(
+            PAPER_PROCESS_THRESHOLD, len(token_sequences), relative_thresholds
+        )
+    if utensil_threshold is None:
+        utensil_threshold = _scaled_threshold(
+            PAPER_UTENSIL_THRESHOLD, len(token_sequences), relative_thresholds
+        )
+
+    return (
+        EntityDictionary(label="PROCESS", counts=dict(process_counts), threshold=process_threshold),
+        EntityDictionary(label="UTENSIL", counts=dict(utensil_counts), threshold=utensil_threshold),
+    )
+
+
+def _scaled_threshold(paper_threshold: int, n_steps: int, relative: bool) -> int:
+    """Scale a paper threshold to the reproduction corpus size (min 2)."""
+    if not relative:
+        return paper_threshold
+    paper_steps = 174_932
+    scaled = round(paper_threshold * n_steps / paper_steps)
+    return max(2, scaled)
+
+
+def dictionary_from_counts(label: str, counts: Iterable[tuple[str, int]], threshold: int) -> EntityDictionary:
+    """Build a dictionary directly from (entry, count) pairs (testing helper)."""
+    return EntityDictionary(label=label, counts=dict(counts), threshold=threshold)

@@ -1,0 +1,205 @@
+"""Temporal event-chain model over cooking processes.
+
+Section III of the paper frames recipe instructions as a *narrative chain*:
+a temporally ordered sequence of events whose protagonists are ingredients
+and utensils (following Chambers & Jurafsky's unsupervised narrative-chain
+work, which the paper cites).  The structured output already records the
+order of relation tuples; this module learns corpus-level regularities over
+that order:
+
+* a first-order Markov model over cooking processes (which technique tends
+  to follow which), with additive smoothing;
+* typical *positions* of every process inside a recipe (preheat happens
+  early, garnish and serve happen late);
+* a plausibility score for a new process sequence, used by the novel-recipe
+  generator and useful for detecting shuffled or truncated instructions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.recipe_model import StructuredRecipe
+from repro.errors import DataError, NotFittedError
+from repro.utils import make_py_rng
+
+__all__ = ["EventChainModel", "ProcessStatistics"]
+
+#: Synthetic boundary symbols of the process chain.
+CHAIN_START = "<start>"
+CHAIN_END = "<end>"
+
+
+@dataclass(frozen=True)
+class ProcessStatistics:
+    """Corpus statistics for one cooking process.
+
+    Attributes:
+        process: The technique lemma.
+        count: Number of occurrences across the corpus.
+        mean_position: Mean relative position in the recipe (0 = first event,
+            1 = last event).
+        common_followers: Most frequent next processes, ordered.
+    """
+
+    process: str
+    count: int
+    mean_position: float
+    common_followers: tuple[str, ...]
+
+
+class EventChainModel:
+    """First-order temporal model over cooking-process sequences.
+
+    Args:
+        smoothing: Additive smoothing for the transition probabilities.
+    """
+
+    def __init__(self, *, smoothing: float = 0.5) -> None:
+        if smoothing <= 0:
+            raise DataError(f"smoothing must be positive, got {smoothing}")
+        self.smoothing = float(smoothing)
+        self._transition_counts: dict[str, Counter] = defaultdict(Counter)
+        self._process_counts: Counter = Counter()
+        self._position_sums: dict[str, float] = defaultdict(float)
+        self._vocabulary: set[str] = set()
+        self._trained = False
+
+    # ------------------------------------------------------------------ fit
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has seen at least one recipe."""
+        return self._trained
+
+    def fit(self, recipes: Iterable[StructuredRecipe]) -> "EventChainModel":
+        """Accumulate transition and position statistics from structured recipes."""
+        n_recipes = 0
+        for recipe in recipes:
+            chain = self.process_chain(recipe)
+            if not chain:
+                continue
+            n_recipes += 1
+            padded = [CHAIN_START, *chain, CHAIN_END]
+            for previous, current in zip(padded, padded[1:]):
+                self._transition_counts[previous][current] += 1
+            for position, process in enumerate(chain):
+                self._process_counts[process] += 1
+                relative = position / max(len(chain) - 1, 1)
+                self._position_sums[process] += relative
+                self._vocabulary.add(process)
+        if n_recipes == 0:
+            raise DataError("no recipes with extractable process chains")
+        self._trained = True
+        return self
+
+    @staticmethod
+    def process_chain(recipe: StructuredRecipe) -> list[str]:
+        """The temporally ordered process sequence of a structured recipe."""
+        return [relation.process for _, relation in recipe.temporal_sequence()]
+
+    # ------------------------------------------------------------ statistics
+
+    def statistics(self, top_followers: int = 3) -> list[ProcessStatistics]:
+        """Per-process statistics, most frequent first."""
+        self._require_trained()
+        result = []
+        for process, count in self._process_counts.most_common():
+            followers = tuple(
+                follower
+                for follower, _ in self._transition_counts[process].most_common(top_followers)
+                if follower != CHAIN_END
+            )
+            result.append(
+                ProcessStatistics(
+                    process=process,
+                    count=count,
+                    mean_position=self._position_sums[process] / count,
+                    common_followers=followers,
+                )
+            )
+        return result
+
+    def early_processes(self, n: int = 5) -> list[str]:
+        """Processes that typically occur earliest in a recipe."""
+        stats = sorted(self.statistics(), key=lambda item: item.mean_position)
+        return [item.process for item in stats[:n]]
+
+    def late_processes(self, n: int = 5) -> list[str]:
+        """Processes that typically occur last in a recipe."""
+        stats = sorted(self.statistics(), key=lambda item: -item.mean_position)
+        return [item.process for item in stats[:n]]
+
+    def transition_probability(self, previous: str, current: str) -> float:
+        """Smoothed P(current | previous)."""
+        self._require_trained()
+        vocabulary_size = len(self._vocabulary) + 1  # +1 for the end symbol
+        row = self._transition_counts.get(previous, Counter())
+        total = sum(row.values())
+        return (row[current] + self.smoothing) / (total + self.smoothing * vocabulary_size)
+
+    def chain_log_likelihood(self, chain: Sequence[str]) -> float:
+        """Log probability of a process chain under the transition model."""
+        self._require_trained()
+        if not chain:
+            raise DataError("cannot score an empty process chain")
+        padded = [CHAIN_START, *chain, CHAIN_END]
+        return sum(
+            math.log(self.transition_probability(previous, current))
+            for previous, current in zip(padded, padded[1:])
+        )
+
+    def plausibility(self, chain: Sequence[str]) -> float:
+        """Length-normalised plausibility in (0, 1] (geometric-mean probability)."""
+        return math.exp(self.chain_log_likelihood(chain) / (len(chain) + 1))
+
+    def score_recipe(self, recipe: StructuredRecipe) -> float:
+        """Plausibility of a structured recipe's process ordering."""
+        chain = self.process_chain(recipe)
+        if not chain:
+            return 0.0
+        return self.plausibility(chain)
+
+    # ------------------------------------------------------------- sampling
+
+    def sample_chain(
+        self, *, max_length: int = 12, seed: int | None = None, temperature: float = 1.0
+    ) -> list[str]:
+        """Sample a plausible process chain from the transition model.
+
+        Args:
+            max_length: Hard cap on the chain length.
+            seed: Sampling seed.
+            temperature: Softens (>1) or sharpens (<1) the transition
+                distribution before sampling.
+        """
+        self._require_trained()
+        if max_length < 1:
+            raise DataError("max_length must be at least 1")
+        if temperature <= 0:
+            raise DataError("temperature must be positive")
+        rng = make_py_rng(seed)
+        chain: list[str] = []
+        current = CHAIN_START
+        candidates = sorted(self._vocabulary) + [CHAIN_END]
+        for _ in range(max_length):
+            weights = [
+                self.transition_probability(current, candidate) ** (1.0 / temperature)
+                for candidate in candidates
+            ]
+            chosen = rng.choices(candidates, weights=weights, k=1)[0]
+            if chosen == CHAIN_END:
+                break
+            chain.append(chosen)
+            current = chosen
+        if not chain:
+            # Degenerate sample (immediate end): fall back to the most common process.
+            chain.append(self._process_counts.most_common(1)[0][0])
+        return chain
+
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise NotFittedError("EventChainModel used before fit()")

@@ -1,0 +1,132 @@
+"""Ingredient-section pipeline: pre-processing + NER -> structured records.
+
+The pipeline mirrors Section II of the paper:
+
+1. the raw ingredient phrase is tokenised;
+2. an NER model (CRF / structured perceptron / HMM) assigns one of the seven
+   Table II attributes (or ``O``) to every token;
+3. the tagged tokens are assembled into an :class:`IngredientRecord` -- the
+   NAME tokens are additionally pre-processed (lower-cased, stop words
+   dropped, lemmatised) to obtain the canonical ingredient name so that
+   "Tomatoes" and "tomato" collapse onto one name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.recipe_model import IngredientRecord
+from repro.core.schema import INGREDIENT_TAGS, validate_ingredient_tag
+from repro.data.models import AnnotatedPhrase
+from repro.errors import DataError, NotFittedError
+from repro.ner.features import IngredientFeatureExtractor
+from repro.ner.model import NerModel
+from repro.text.normalize import parse_quantity
+from repro.text.preprocess import PreprocessConfig, Preprocessor
+from repro.text.tokenizer import tokenize
+
+__all__ = ["IngredientPipeline"]
+
+
+class IngredientPipeline:
+    """Trains and applies the ingredient-section NER model.
+
+    Args:
+        model_family: Sequence-labeller family ("crf", "perceptron", "hmm").
+        seed: Seed for stochastic training procedures.
+        **model_options: Extra options for the underlying model
+            (e.g. ``crf_l2``, ``perceptron_iterations``).
+    """
+
+    def __init__(self, *, model_family: str = "perceptron", seed: int | None = None, **model_options) -> None:
+        self.ner = NerModel(
+            IngredientFeatureExtractor(), family=model_family, seed=seed, **model_options
+        )
+        self._canonicalizer = Preprocessor(PreprocessConfig(instruction_mode=False))
+
+    # ----------------------------------------------------------------- train
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the underlying NER model is trained."""
+        return self.ner.is_trained
+
+    def train(self, phrases: Sequence[AnnotatedPhrase]) -> "IngredientPipeline":
+        """Train the NER model on annotated ingredient phrases."""
+        if len(phrases) == 0:
+            raise DataError("cannot train the ingredient pipeline on an empty set")
+        tokens = [list(phrase.tokens) for phrase in phrases]
+        tags = [list(phrase.ner_tags) for phrase in phrases]
+        for sequence in tags:
+            for tag in sequence:
+                validate_ingredient_tag(tag)
+        self.ner.train(tokens, tags)
+        return self
+
+    def train_from_tokens(
+        self,
+        token_sequences: Sequence[Sequence[str]],
+        tag_sequences: Sequence[Sequence[str]],
+    ) -> "IngredientPipeline":
+        """Train from already-tokenised phrases (used by the ablations)."""
+        self.ner.train(token_sequences, tag_sequences)
+        return self
+
+    # ------------------------------------------------------------------- tag
+
+    def tag_tokens(self, tokens: Sequence[str]) -> list[str]:
+        """Raw per-token tag predictions for a tokenised phrase."""
+        if not self.is_trained:
+            raise NotFittedError("IngredientPipeline used before training")
+        return self.ner.tag(tokens)
+
+    def tag_phrase(self, phrase: str) -> list[tuple[str, str]]:
+        """(token, tag) pairs for a raw phrase string."""
+        tokens = tokenize(phrase)
+        return list(zip(tokens, self.tag_tokens(tokens)))
+
+    # ---------------------------------------------------------------- records
+
+    def extract_record(self, phrase: str) -> IngredientRecord:
+        """Full Table I style record for one raw ingredient phrase."""
+        tokens = tokenize(phrase)
+        if not tokens:
+            return IngredientRecord(phrase=phrase)
+        tags = self.tag_tokens(tokens)
+        return self.record_from_tagged(phrase, tokens, tags)
+
+    def extract_records(self, phrases: Sequence[str]) -> list[IngredientRecord]:
+        """Records for many raw phrases."""
+        return [self.extract_record(phrase) for phrase in phrases]
+
+    def record_from_tagged(
+        self, phrase: str, tokens: Sequence[str], tags: Sequence[str]
+    ) -> IngredientRecord:
+        """Assemble a record from tokens and their (predicted or gold) tags."""
+        if len(tokens) != len(tags):
+            raise DataError("tokens and tags must align")
+        collected: dict[str, list[str]] = {tag: [] for tag in INGREDIENT_TAGS}
+        for token, tag in zip(tokens, tags):
+            if tag in collected:
+                collected[tag].append(token)
+        name = self.canonical_name(collected["NAME"])
+        quantity = " ".join(collected["QUANTITY"])
+        quantity_value = parse_quantity(collected["QUANTITY"][0]) if collected["QUANTITY"] else None
+        return IngredientRecord(
+            phrase=phrase,
+            name=name,
+            state=" ".join(collected["STATE"]).lower(),
+            quantity=quantity,
+            unit=self.canonical_name(collected["UNIT"]),
+            temperature=" ".join(collected["TEMP"]).lower(),
+            dry_fresh=" ".join(collected["DRY/FRESH"]).lower(),
+            size=" ".join(collected["SIZE"]).lower(),
+            quantity_value=quantity_value,
+        )
+
+    def canonical_name(self, name_tokens: Sequence[str]) -> str:
+        """Canonicalise NAME/UNIT tokens: lower-case, lemmatise, drop stop words."""
+        if not name_tokens:
+            return ""
+        result = self._canonicalizer.run(" ".join(name_tokens))
+        return " ".join(result.tokens)

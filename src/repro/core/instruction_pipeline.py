@@ -1,0 +1,180 @@
+"""Instruction-section pipeline: NER + dictionary filtering (Section III.A).
+
+The pipeline trains a second NER model over {PROCESS, INGREDIENT, UTENSIL, O}
+on annotated instruction steps, applies it to new steps, and (optionally)
+filters the predicted processes and utensils through the frequency
+dictionaries of :mod:`repro.core.dictionary` -- exactly the two-stage filter
+the paper uses to remove spurious predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.dictionary import EntityDictionary, build_dictionaries
+from repro.core.schema import validate_instruction_tag
+from repro.data.models import AnnotatedInstruction
+from repro.errors import DataError, NotFittedError
+from repro.ner.features import InstructionFeatureExtractor
+from repro.ner.model import NerModel
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.tokenizer import tokenize
+
+__all__ = ["InstructionEntities", "InstructionPipeline"]
+
+
+@dataclass(frozen=True)
+class InstructionEntities:
+    """Entities detected in one instruction step.
+
+    Attributes:
+        tokens: Tokenised step.
+        tags: Per-token predicted tags (after dictionary filtering when enabled).
+        processes: Canonicalised cooking techniques, textual order.
+        ingredients: Canonicalised ingredient mentions, textual order.
+        utensils: Canonicalised utensil mentions, textual order.
+    """
+
+    tokens: tuple[str, ...]
+    tags: tuple[str, ...]
+    processes: tuple[str, ...]
+    ingredients: tuple[str, ...]
+    utensils: tuple[str, ...]
+
+
+class InstructionPipeline:
+    """Trains and applies the instruction-section NER model.
+
+    Args:
+        model_family: Sequence labeller family ("crf", "perceptron", "hmm").
+        seed: Seed for stochastic training.
+        **model_options: Extra options forwarded to the sequence model.
+    """
+
+    def __init__(self, *, model_family: str = "perceptron", seed: int | None = None, **model_options) -> None:
+        self.ner = NerModel(
+            InstructionFeatureExtractor(), family=model_family, seed=seed, **model_options
+        )
+        self._lemmatizer = Lemmatizer()
+        self.process_dictionary: EntityDictionary | None = None
+        self.utensil_dictionary: EntityDictionary | None = None
+
+    # ----------------------------------------------------------------- train
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the underlying NER model is trained."""
+        return self.ner.is_trained
+
+    def train(self, steps: Sequence[AnnotatedInstruction]) -> "InstructionPipeline":
+        """Train the instruction NER model on annotated steps."""
+        if len(steps) == 0:
+            raise DataError("cannot train the instruction pipeline on an empty set")
+        tokens = [list(step.tokens) for step in steps]
+        tags = [list(step.ner_tags) for step in steps]
+        for sequence in tags:
+            for tag in sequence:
+                validate_instruction_tag(tag)
+        self.ner.train(tokens, tags)
+        return self
+
+    def build_dictionaries(
+        self,
+        token_sequences: Sequence[Sequence[str]],
+        *,
+        process_threshold: int | None = None,
+        utensil_threshold: int | None = None,
+        relative_thresholds: bool = True,
+    ) -> tuple[EntityDictionary, EntityDictionary]:
+        """Build and attach the frequency dictionaries from corpus NER output."""
+        if not self.is_trained:
+            raise NotFittedError("train the instruction NER model before building dictionaries")
+        processes, utensils = build_dictionaries(
+            self.ner,
+            token_sequences,
+            process_threshold=process_threshold,
+            utensil_threshold=utensil_threshold,
+            relative_thresholds=relative_thresholds,
+            lemmatizer=self._lemmatizer,
+        )
+        self.process_dictionary = processes
+        self.utensil_dictionary = utensils
+        return processes, utensils
+
+    # ------------------------------------------------------------------- tag
+
+    def tag_tokens(self, tokens: Sequence[str], *, apply_dictionary: bool = True) -> list[str]:
+        """Per-token tags for a tokenised step, dictionary-filtered when available."""
+        if not self.is_trained:
+            raise NotFittedError("InstructionPipeline used before training")
+        tags = self.ner.tag(tokens)
+        if not apply_dictionary:
+            return tags
+        return self._filter_tags(tokens, tags)
+
+    def extract(self, text: str, *, apply_dictionary: bool = True) -> InstructionEntities:
+        """Entities for one raw instruction string."""
+        tokens = tokenize(text)
+        if not tokens:
+            return InstructionEntities((), (), (), (), ())
+        tags = self.tag_tokens(tokens, apply_dictionary=apply_dictionary)
+        processes: list[str] = []
+        ingredients: list[str] = []
+        utensils: list[str] = []
+        index = 0
+        while index < len(tokens):
+            tag = tags[index]
+            if tag == "O":
+                index += 1
+                continue
+            start = index
+            while index < len(tokens) and tags[index] == tag:
+                index += 1
+            surface = " ".join(token.lower() for token in tokens[start:index])
+            if tag == "PROCESS":
+                processes.append(self._lemmatizer.lemmatize(surface, pos="verb"))
+            elif tag == "INGREDIENT":
+                ingredients.append(self._canonical_ingredient(tokens[start:index]))
+            elif tag == "UTENSIL":
+                utensils.append(self._lemmatizer.lemmatize(surface, pos="noun"))
+        return InstructionEntities(
+            tokens=tuple(tokens),
+            tags=tuple(tags),
+            processes=tuple(processes),
+            ingredients=tuple(ingredients),
+            utensils=tuple(utensils),
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _canonical_ingredient(self, tokens: Sequence[str]) -> str:
+        lemmas = [self._lemmatizer.lemmatize(token.lower(), pos="noun") for token in tokens]
+        return " ".join(lemmas)
+
+    def _filter_tags(self, tokens: Sequence[str], tags: list[str]) -> list[str]:
+        """Downgrade PROCESS/UTENSIL predictions absent from the dictionaries to ``O``."""
+        if self.process_dictionary is None and self.utensil_dictionary is None:
+            return tags
+        filtered = list(tags)
+        index = 0
+        while index < len(tokens):
+            tag = tags[index]
+            if tag not in ("PROCESS", "UTENSIL"):
+                index += 1
+                continue
+            start = index
+            while index < len(tokens) and tags[index] == tag:
+                index += 1
+            surface = " ".join(token.lower() for token in tokens[start:index])
+            if tag == "PROCESS" and self.process_dictionary is not None:
+                lemma = self._lemmatizer.lemmatize(surface, pos="verb")
+                if not self.process_dictionary.accepts(lemma):
+                    for position in range(start, index):
+                        filtered[position] = "O"
+            if tag == "UTENSIL" and self.utensil_dictionary is not None:
+                lemma = self._lemmatizer.lemmatize(surface, pos="noun")
+                if not self.utensil_dictionary.accepts(lemma):
+                    for position in range(start, index):
+                        filtered[position] = "O"
+        return filtered

@@ -1,0 +1,248 @@
+"""End-to-end recipe modelling pipeline (the paper's full system).
+
+:class:`RecipeModeler` ties every stage together:
+
+1. train the POS tagger on the corpus (gold POS tags from the simulator,
+   standing in for the pre-trained Stanford POS Twitter model);
+2. embed unique ingredient phrases as POS vectors, cluster them and select a
+   cluster-stratified training set (Sections II.D/E);
+3. train the ingredient-section NER model on the selected phrases;
+4. train the instruction-section NER model on annotated steps (the paper
+   annotates the longest instructions of 40 cuisines);
+5. build the frequency-thresholded technique/utensil dictionaries;
+6. expose :meth:`model_recipe` / :meth:`model_text`, which turn raw recipe
+   text into a :class:`~repro.core.recipe_model.StructuredRecipe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ingredient_pipeline import IngredientPipeline
+from repro.core.instruction_pipeline import InstructionPipeline
+from repro.core.recipe_model import InstructionEvent, StructuredRecipe
+from repro.core.relation_extraction import RelationExtractor
+from repro.core.selection import ClusteringSelection, TrainingSetSelector
+from repro.data.models import AnnotatedInstruction, AnnotatedPhrase, Recipe
+from repro.data.recipedb import RecipeDB
+from repro.errors import ConfigurationError, NotFittedError
+from repro.pos.tagger import PerceptronPosTagger
+from repro.pos.vectorizer import PosBagOfWordsVectorizer
+from repro.text.tokenizer import tokenize
+
+__all__ = ["RecipeModeler", "RecipeModelerConfig"]
+
+
+@dataclass(frozen=True)
+class RecipeModelerConfig:
+    """Configuration of the end-to-end pipeline.
+
+    Attributes:
+        model_family: Sequence-labeller family for both NER models.
+        n_clusters: K-Means cluster count for training-set selection
+            (``None`` = choose with the elbow criterion; paper uses 23).
+        train_fraction / test_fraction: Per-cluster sampling fractions.
+        instruction_training_steps: Number of annotated instruction steps
+            used to train the instruction NER model.
+        pos_training_sentences: Cap on sentences used to train the POS tagger.
+        process_threshold / utensil_threshold: Dictionary thresholds
+            (``None`` = scale the paper's 47/10 to the corpus size).
+        apply_dictionary: Filter instruction NER output through the dictionaries.
+        seed: Master seed.
+    """
+
+    model_family: str = "perceptron"
+    n_clusters: int | None = 23
+    train_fraction: float = 0.25
+    test_fraction: float = 0.10
+    instruction_training_steps: int = 250
+    pos_training_sentences: int = 1500
+    process_threshold: int | None = None
+    utensil_threshold: int | None = None
+    apply_dictionary: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.instruction_training_steps < 1:
+            raise ConfigurationError("instruction_training_steps must be positive")
+        if self.pos_training_sentences < 1:
+            raise ConfigurationError("pos_training_sentences must be positive")
+
+
+@dataclass
+class _FittedComponents:
+    """Internal bundle of everything :meth:`RecipeModeler.fit` produces."""
+
+    pos_tagger: PerceptronPosTagger
+    vectorizer: PosBagOfWordsVectorizer
+    selection: ClusteringSelection
+    ingredient_pipeline: IngredientPipeline
+    instruction_pipeline: InstructionPipeline
+    relation_extractor: RelationExtractor
+    held_out_phrases: list[AnnotatedPhrase] = field(default_factory=list)
+    held_out_steps: list[AnnotatedInstruction] = field(default_factory=list)
+
+
+class RecipeModeler:
+    """The full recipe-structuring system of the paper."""
+
+    def __init__(self, config: RecipeModelerConfig | None = None) -> None:
+        self.config = config or RecipeModelerConfig()
+        self._components: _FittedComponents | None = None
+
+    # ------------------------------------------------------------------ fit
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._components is not None
+
+    def fit(self, corpus: RecipeDB) -> "RecipeModeler":
+        """Train every stage of the pipeline on ``corpus``."""
+        config = self.config
+        phrases = corpus.ingredient_phrases()
+        steps = corpus.instruction_steps()
+
+        pos_tagger = self._train_pos_tagger(phrases, steps)
+        vectorizer = PosBagOfWordsVectorizer(pos_tagger)
+
+        selector = TrainingSetSelector(
+            vectorizer,
+            n_clusters=config.n_clusters,
+            train_fraction=config.train_fraction,
+            test_fraction=config.test_fraction,
+            seed=config.seed,
+        )
+        selection = selector.select(phrases)
+
+        ingredient_pipeline = IngredientPipeline(
+            model_family=config.model_family, seed=config.seed
+        )
+        ingredient_pipeline.train(selection.train)
+
+        instruction_pipeline = InstructionPipeline(
+            model_family=config.model_family, seed=config.seed
+        )
+        training_steps, held_out_steps = self._select_instruction_steps(corpus)
+        instruction_pipeline.train(training_steps)
+        instruction_pipeline.build_dictionaries(
+            [list(step.tokens) for step in steps],
+            process_threshold=config.process_threshold,
+            utensil_threshold=config.utensil_threshold,
+        )
+
+        relation_extractor = RelationExtractor(pos_tagger)
+
+        self._components = _FittedComponents(
+            pos_tagger=pos_tagger,
+            vectorizer=vectorizer,
+            selection=selection,
+            ingredient_pipeline=ingredient_pipeline,
+            instruction_pipeline=instruction_pipeline,
+            relation_extractor=relation_extractor,
+            held_out_phrases=selection.test,
+            held_out_steps=held_out_steps,
+        )
+        return self
+
+    def _train_pos_tagger(
+        self, phrases: list[AnnotatedPhrase], steps: list[AnnotatedInstruction]
+    ) -> PerceptronPosTagger:
+        cap = self.config.pos_training_sentences
+        sentences: list[list[str]] = []
+        tags: list[list[str]] = []
+        for phrase in phrases[: cap // 2]:
+            sentences.append(list(phrase.tokens))
+            tags.append(list(phrase.pos_tags))
+        for step in steps[: cap - len(sentences)]:
+            sentences.append(list(step.tokens))
+            tags.append(list(step.pos_tags))
+        tagger = PerceptronPosTagger()
+        tagger.train(sentences, tags, iterations=5, seed=self.config.seed)
+        return tagger
+
+    def _select_instruction_steps(
+        self, corpus: RecipeDB
+    ) -> tuple[list[AnnotatedInstruction], list[AnnotatedInstruction]]:
+        """Pick the training steps: longest steps first (paper's heuristic)."""
+        steps = corpus.instruction_steps()
+        ranked = sorted(steps, key=lambda step: len(step.tokens), reverse=True)
+        budget = min(self.config.instruction_training_steps, max(1, len(ranked) // 2))
+        training = ranked[:budget]
+        held_out = ranked[budget : budget * 2] or ranked[:budget]
+        return training, held_out
+
+    # ------------------------------------------------------------- modelling
+
+    @property
+    def components(self) -> _FittedComponents:
+        """Fitted sub-components (raises before :meth:`fit`)."""
+        if self._components is None:
+            raise NotFittedError("RecipeModeler used before fit()")
+        return self._components
+
+    def model_recipe(self, recipe: Recipe) -> StructuredRecipe:
+        """Structure a simulated recipe (uses only its raw text)."""
+        return self.model_text(
+            recipe_id=recipe.recipe_id,
+            title=recipe.title,
+            ingredient_lines=[phrase.text for phrase in recipe.ingredients],
+            instruction_lines=[step.text for step in recipe.instructions],
+        )
+
+    def model_text(
+        self,
+        *,
+        ingredient_lines: list[str],
+        instruction_lines: list[str],
+        recipe_id: str = "recipe",
+        title: str = "",
+    ) -> StructuredRecipe:
+        """Structure raw recipe text (the public entry point of the library)."""
+        components = self.components
+        records = [
+            components.ingredient_pipeline.extract_record(line)
+            for line in ingredient_lines
+            if line.strip()
+        ]
+        events: list[InstructionEvent] = []
+        for step_index, line in enumerate(instruction_lines):
+            if not line.strip():
+                continue
+            entities = components.instruction_pipeline.extract(
+                line, apply_dictionary=self.config.apply_dictionary
+            )
+            relations = components.relation_extractor.extract(
+                list(entities.tokens), list(entities.tags)
+            )
+            events.append(
+                InstructionEvent(
+                    step_index=step_index,
+                    text=line,
+                    processes=entities.processes,
+                    ingredients=entities.ingredients,
+                    utensils=entities.utensils,
+                    relations=tuple(relations),
+                )
+            )
+        return StructuredRecipe(
+            recipe_id=recipe_id,
+            title=title,
+            ingredients=tuple(records),
+            events=tuple(events),
+        )
+
+    def model_corpus(self, corpus: RecipeDB) -> list[StructuredRecipe]:
+        """Structure every recipe of ``corpus``."""
+        return [self.model_recipe(recipe) for recipe in corpus]
+
+    # --------------------------------------------------------------- parsing
+
+    def tag_ingredient_phrase(self, phrase: str) -> list[tuple[str, str]]:
+        """(token, tag) pairs for one ingredient phrase (Table I helper)."""
+        return self.components.ingredient_pipeline.tag_phrase(phrase)
+
+    def parse_instruction(self, text: str):
+        """Dependency tree of an instruction (Fig. 3 helper)."""
+        tokens = tokenize(text)
+        return self.components.relation_extractor.parse(tokens)

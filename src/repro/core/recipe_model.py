@@ -1,0 +1,201 @@
+"""The structured recipe representation (Fig. 1 of the paper).
+
+A :class:`StructuredRecipe` holds the two modelled sections:
+
+* the **ingredients section** as a list of :class:`IngredientRecord` objects,
+  each carrying the seven attributes of Table II;
+* the **instructions section** as a temporally ordered list of
+  :class:`InstructionEvent` objects, each holding the many-to-many
+  :class:`RelationTuple` relations between cooking processes, ingredients
+  and utensils.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataError
+
+__all__ = [
+    "IngredientRecord",
+    "InstructionEvent",
+    "RelationTuple",
+    "StructuredRecipe",
+]
+
+
+@dataclass(frozen=True)
+class IngredientRecord:
+    """Structured view of one ingredient phrase (Table I row).
+
+    Attributes:
+        phrase: The original ingredient phrase.
+        name: Canonical ingredient name ("puff pastry").
+        state: Processing state ("thawed"), empty when absent.
+        quantity: Quantity string ("1", "2-3", "1 1/2"), empty when absent.
+        unit: Measurement unit ("sheet"), empty when absent.
+        temperature: Temperature attribute ("frozen"), empty when absent.
+        dry_fresh: Dryness/freshness attribute ("fresh"), empty when absent.
+        size: Portion size ("medium"), empty when absent.
+        quantity_value: Numeric interpretation of ``quantity`` when parseable.
+    """
+
+    phrase: str
+    name: str = ""
+    state: str = ""
+    quantity: str = ""
+    unit: str = ""
+    temperature: str = ""
+    dry_fresh: str = ""
+    size: str = ""
+    quantity_value: float | None = None
+
+    def as_row(self) -> dict[str, str]:
+        """Table I style row: attribute -> value (empty string when absent)."""
+        return {
+            "Ingredient Phrase": self.phrase,
+            "Name": self.name,
+            "State": self.state,
+            "Quantity": self.quantity,
+            "Unit": self.unit,
+            "Temperature": self.temperature,
+            "Dry/Fresh": self.dry_fresh,
+            "Size": self.size,
+        }
+
+    @property
+    def attributes(self) -> dict[str, str]:
+        """Non-empty attributes of the record (excluding the phrase itself)."""
+        row = self.as_row()
+        row.pop("Ingredient Phrase")
+        return {key: value for key, value in row.items() if value}
+
+
+@dataclass(frozen=True)
+class RelationTuple:
+    """A many-to-many relation between one process and its entities.
+
+    The paper models each cooking event as a process applied simultaneously
+    to any number of ingredients and utensils ("fry" -> {potatoes, olive oil}
+    x {pan}).  Not every relation has both entity kinds.
+    """
+
+    process: str
+    ingredients: tuple[str, ...] = ()
+    utensils: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.process:
+            raise DataError("a relation tuple requires a process")
+
+    @property
+    def arity(self) -> int:
+        """Total number of related entities."""
+        return len(self.ingredients) + len(self.utensils)
+
+    @property
+    def entities(self) -> tuple[str, ...]:
+        """All related entities, ingredients first."""
+        return self.ingredients + self.utensils
+
+    def as_pairs(self) -> list[tuple[str, str]]:
+        """Expand to (process, entity) pairs -- the unit the paper counts.
+
+        A relation with no entities still yields one pair with an empty
+        entity so that bare processes ("stir well") remain visible.
+        """
+        if not self.entities:
+            return [(self.process, "")]
+        return [(self.process, entity) for entity in self.entities]
+
+
+@dataclass(frozen=True)
+class InstructionEvent:
+    """One instruction step and the relations extracted from it.
+
+    Attributes:
+        step_index: Zero-based temporal position in the recipe.
+        text: The raw instruction text.
+        processes: Cooking techniques detected in the step, in textual order.
+        ingredients: Ingredients detected in the step.
+        utensils: Utensils detected in the step.
+        relations: Many-to-many relation tuples, in textual order.
+    """
+
+    step_index: int
+    text: str
+    processes: tuple[str, ...] = ()
+    ingredients: tuple[str, ...] = ()
+    utensils: tuple[str, ...] = ()
+    relations: tuple[RelationTuple, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.step_index < 0:
+            raise DataError("step_index must be non-negative")
+
+    @property
+    def relation_count(self) -> int:
+        """Number of (process, entity) pairs in the step (the paper's unit)."""
+        return sum(len(relation.as_pairs()) for relation in self.relations)
+
+
+@dataclass(frozen=True)
+class StructuredRecipe:
+    """The full structured recipe of Fig. 1.
+
+    Attributes:
+        recipe_id: Identifier of the source recipe.
+        title: Recipe title.
+        ingredients: Structured ingredient records (ingredients section).
+        events: Temporally ordered instruction events (instructions section).
+    """
+
+    recipe_id: str
+    title: str
+    ingredients: tuple[IngredientRecord, ...] = ()
+    events: tuple[InstructionEvent, ...] = ()
+
+    @property
+    def ingredient_names(self) -> list[str]:
+        """Canonical ingredient names present in the ingredients section."""
+        return [record.name for record in self.ingredients if record.name]
+
+    @property
+    def processes(self) -> list[str]:
+        """Cooking processes in temporal order (duplicates preserved)."""
+        return [process for event in self.events for process in event.processes]
+
+    @property
+    def utensils(self) -> list[str]:
+        """Utensils referenced anywhere in the instructions."""
+        seen: list[str] = []
+        for event in self.events:
+            for utensil in event.utensils:
+                if utensil not in seen:
+                    seen.append(utensil)
+        return seen
+
+    @property
+    def relations(self) -> list[RelationTuple]:
+        """All relation tuples across every event, in temporal order."""
+        return [relation for event in self.events for relation in event.relations]
+
+    def temporal_sequence(self) -> list[tuple[int, RelationTuple]]:
+        """(step index, relation) pairs in the order they occur."""
+        return [
+            (event.step_index, relation)
+            for event in self.events
+            for relation in event.relations
+        ]
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics used by reports and tests."""
+        relation_counts = [event.relation_count for event in self.events]
+        return {
+            "ingredients": len(self.ingredients),
+            "events": len(self.events),
+            "relations": sum(relation_counts),
+            "mean_relations_per_event": (
+                sum(relation_counts) / len(relation_counts) if relation_counts else 0.0
+            ),
+        }

@@ -1,0 +1,184 @@
+"""Dependency-based many-to-many relation extraction (Section III.B).
+
+For every cooking process found by the instruction NER model, the extractor
+walks the dependency tree of the instruction clause and gathers
+
+* direct objects and subjects of the process verb,
+* prepositional objects (``prep`` -> ``pobj``),
+* conjuncts and compounds of those objects,
+
+then keeps only the entities the NER model labelled INGREDIENT or UTENSIL.
+The result is one :class:`~repro.core.recipe_model.RelationTuple` per
+process occurrence -- the many-to-many relation the paper argues for.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.recipe_model import RelationTuple
+from repro.errors import DataError
+from repro.parsing.rules import RecipeDependencyParser
+from repro.parsing.tree import DependencyTree
+from repro.pos.tagger import PerceptronPosTagger
+from repro.text.lemmatizer import Lemmatizer
+from repro.utils import stable_unique
+
+__all__ = ["RelationExtractor"]
+
+#: Dependency labels that connect a verb to its candidate objects.
+_OBJECT_LABELS = {"dobj", "nsubj", "obj", "iobj"}
+#: Labels that extend an object to further entity tokens.
+_EXPANSION_LABELS = {"conj", "compound", "appos"}
+
+
+class RelationExtractor:
+    """Extracts many-to-many (process, ingredients, utensils) tuples.
+
+    Args:
+        pos_tagger: Trained POS tagger used when gold POS tags are absent.
+        parser: Dependency parser (defaults to the rule-based recipe parser).
+        lemmatizer: Lemmatizer for canonicalising processes and entities.
+    """
+
+    def __init__(
+        self,
+        pos_tagger: PerceptronPosTagger,
+        *,
+        parser: RecipeDependencyParser | None = None,
+        lemmatizer: Lemmatizer | None = None,
+    ) -> None:
+        self._pos_tagger = pos_tagger
+        self._parser = parser or RecipeDependencyParser()
+        self._lemmatizer = lemmatizer or Lemmatizer()
+
+    # -------------------------------------------------------------- extract
+
+    def extract(
+        self,
+        tokens: Sequence[str],
+        ner_tags: Sequence[str],
+        *,
+        pos_tags: Sequence[str] | None = None,
+    ) -> list[RelationTuple]:
+        """Relation tuples for one instruction step.
+
+        Args:
+            tokens: Tokenised instruction step.
+            ner_tags: Instruction-section NER tags aligned with ``tokens``.
+            pos_tags: Optional gold POS tags; predicted when omitted.
+        """
+        if len(tokens) != len(ner_tags):
+            raise DataError("tokens and ner_tags must align")
+        if len(tokens) == 0:
+            return []
+        if pos_tags is None:
+            pos_tags = self._pos_tagger.tag_sequence(list(tokens))
+        elif len(pos_tags) != len(tokens):
+            raise DataError("tokens and pos_tags must align")
+
+        relations: list[RelationTuple] = []
+        for clause_tokens, clause_ner, clause_pos in self._split_clauses(tokens, ner_tags, pos_tags):
+            tree = self._parser.parse(clause_tokens, clause_pos)
+            relations.extend(self._relations_for_clause(tree, clause_ner))
+        return relations
+
+    def parse(self, tokens: Sequence[str], pos_tags: Sequence[str] | None = None) -> DependencyTree:
+        """Expose the dependency tree (used by the Fig. 3 experiment)."""
+        if pos_tags is None:
+            pos_tags = self._pos_tagger.tag_sequence(list(tokens))
+        return self._parser.parse(list(tokens), list(pos_tags))
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _split_clauses(
+        tokens: Sequence[str], ner_tags: Sequence[str], pos_tags: Sequence[str]
+    ):
+        """Split a step at sentence-final periods into independent clauses."""
+        start = 0
+        for index, token in enumerate(tokens):
+            if token == ".":
+                if index > start:
+                    yield (
+                        list(tokens[start:index]),
+                        list(ner_tags[start:index]),
+                        list(pos_tags[start:index]),
+                    )
+                start = index + 1
+        if start < len(tokens):
+            yield (
+                list(tokens[start:]),
+                list(ner_tags[start:]),
+                list(pos_tags[start:]),
+            )
+
+    def _relations_for_clause(
+        self, tree: DependencyTree, ner_tags: Sequence[str]
+    ) -> list[RelationTuple]:
+        relations: list[RelationTuple] = []
+        for index in range(len(tree)):
+            if ner_tags[index] != "PROCESS":
+                continue
+            candidate_indices = self._candidate_entities(tree, index)
+            ingredients: list[str] = []
+            utensils: list[str] = []
+            for candidate in candidate_indices:
+                tag = ner_tags[candidate]
+                if tag == "INGREDIENT":
+                    ingredients.append(self._entity_text(tree, ner_tags, candidate, "INGREDIENT"))
+                elif tag == "UTENSIL":
+                    utensils.append(self._entity_text(tree, ner_tags, candidate, "UTENSIL"))
+            process = self._lemmatizer.lemmatize(tree.token(index).lower(), pos="verb")
+            relations.append(
+                RelationTuple(
+                    process=process,
+                    ingredients=tuple(stable_unique(ingredients)),
+                    utensils=tuple(stable_unique(utensils)),
+                )
+            )
+        return relations
+
+    def _candidate_entities(self, tree: DependencyTree, verb_index: int) -> list[int]:
+        """Token indices reachable from the verb through object-like arcs."""
+        candidates: list[int] = []
+        for child in tree.children(verb_index):
+            label = tree.label_of(child)
+            if label in _OBJECT_LABELS:
+                candidates.extend(self._expand_entity(tree, child))
+            elif label == "prep":
+                for grandchild in tree.children(child, label="pobj"):
+                    candidates.extend(self._expand_entity(tree, grandchild))
+        return sorted(stable_unique(candidates))
+
+    def _expand_entity(self, tree: DependencyTree, index: int) -> list[int]:
+        """The entity head plus its conjuncts/compounds (e.g. 'salt and pepper')."""
+        collected = [index]
+        stack = [index]
+        while stack:
+            node = stack.pop()
+            for child in tree.children(node):
+                if tree.label_of(child) in _EXPANSION_LABELS:
+                    collected.append(child)
+                    stack.append(child)
+        # Compound modifiers point *to* their head ("olive" -> "oil"); include
+        # left-neighbour compounds whose head is the collected node as well.
+        for node in list(collected):
+            for child in tree.children(node, label="compound"):
+                if child not in collected:
+                    collected.append(child)
+        return collected
+
+    def _entity_text(
+        self, tree: DependencyTree, ner_tags: Sequence[str], index: int, label: str
+    ) -> str:
+        """Full surface form of the entity span containing ``index``."""
+        start = index
+        while start > 0 and ner_tags[start - 1] == label:
+            start -= 1
+        end = index + 1
+        while end < len(tree) and ner_tags[end] == label:
+            end += 1
+        tokens = [tree.token(position).lower() for position in range(start, end)]
+        lemmas = [self._lemmatizer.lemmatize(token, pos="noun") for token in tokens]
+        return " ".join(lemmas)

@@ -1,0 +1,74 @@
+"""The recipe entity schema (Table II of the paper).
+
+Two tag inventories are defined:
+
+* the **ingredient section** tags -- the seven attributes of an ingredient
+  phrase (NAME, STATE, UNIT, QUANTITY, SIZE, TEMP, DRY/FRESH), plus the
+  outside tag ``O``;
+* the **instruction section** tags -- PROCESS (cooking technique), UTENSIL
+  and INGREDIENT, plus ``O``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.ner.encoding import OUTSIDE_TAG
+
+__all__ = [
+    "ENTITY_TAGS",
+    "INGREDIENT_TAGS",
+    "INGREDIENT_TAG_DESCRIPTIONS",
+    "INSTRUCTION_TAGS",
+    "INSTRUCTION_TAG_DESCRIPTIONS",
+    "validate_ingredient_tag",
+    "validate_instruction_tag",
+]
+
+#: The seven ingredient attributes of Table II (order follows the paper).
+INGREDIENT_TAGS: tuple[str, ...] = (
+    "NAME",
+    "STATE",
+    "UNIT",
+    "QUANTITY",
+    "SIZE",
+    "TEMP",
+    "DRY/FRESH",
+)
+
+#: Significance and examples for each ingredient tag, mirroring Table II.
+INGREDIENT_TAG_DESCRIPTIONS: dict[str, tuple[str, str]] = {
+    "NAME": ("Name of Ingredient", "salt, pepper"),
+    "STATE": ("Processing State of Ingredient", "ground, thawed"),
+    "UNIT": ("Measuring unit(s)", "gram, cup"),
+    "QUANTITY": ("Quantity associated with the unit(s)", "1, 1 1/2, 2-4"),
+    "SIZE": ("Portion sizes mentioned", "small, large"),
+    "TEMP": ("Temperature applied prior to cooking", "hot, frozen"),
+    "DRY/FRESH": ("Fresh otherwise as mentioned", "dry, fresh"),
+}
+
+#: Entities recognised inside instruction steps (Section III.A).
+INSTRUCTION_TAGS: tuple[str, ...] = ("PROCESS", "INGREDIENT", "UTENSIL")
+
+#: Significance and examples for each instruction tag.
+INSTRUCTION_TAG_DESCRIPTIONS: dict[str, tuple[str, str]] = {
+    "PROCESS": ("Cooking technique applied in the step", "boil, preheat"),
+    "INGREDIENT": ("Ingredient the step operates on", "water, potato"),
+    "UTENSIL": ("Utensil involved in the step", "pot, oven"),
+}
+
+#: All entity tags across both sections (without the outside tag).
+ENTITY_TAGS: tuple[str, ...] = INGREDIENT_TAGS + INSTRUCTION_TAGS
+
+
+def validate_ingredient_tag(tag: str) -> str:
+    """Return ``tag`` if it is an ingredient-section tag or ``O``; raise otherwise."""
+    if tag in INGREDIENT_TAGS or tag == OUTSIDE_TAG:
+        return tag
+    raise SchemaError(f"unknown ingredient-section tag: {tag!r}")
+
+
+def validate_instruction_tag(tag: str) -> str:
+    """Return ``tag`` if it is an instruction-section tag or ``O``; raise otherwise."""
+    if tag in INSTRUCTION_TAGS or tag == OUTSIDE_TAG:
+        return tag
+    raise SchemaError(f"unknown instruction-section tag: {tag!r}")

@@ -1,0 +1,40 @@
+"""RecipeDB corpus simulator.
+
+The paper works on 118,000 recipes scraped from AllRecipes.com and FOOD.com
+(RecipeDB).  That corpus is not redistributable and, more importantly, its
+gold annotations were produced manually.  This package provides a
+deterministic *simulator*: a template-grammar generator that produces recipes
+whose ingredient phrases and instruction steps exhibit the lexical variety
+the paper describes, together with gold NER tags, gold POS tags and gold
+relation tuples, so every experiment can be scored automatically.
+
+Two source profiles (``allrecipes`` and ``food.com``) use different template
+mixes and partially different lexicons, which recreates the cross-corpus
+transfer gap visible in Table IV of the paper.
+"""
+
+from repro.data.models import (
+    AnnotatedInstruction,
+    AnnotatedPhrase,
+    GoldRelation,
+    Recipe,
+    Source,
+)
+from repro.data.generator import GeneratorConfig, RecipeCorpusGenerator
+from repro.data.recipedb import RecipeDB
+from repro.data.splits import k_fold_indices, train_test_split
+from repro.data import lexicons
+
+__all__ = [
+    "AnnotatedInstruction",
+    "AnnotatedPhrase",
+    "GeneratorConfig",
+    "GoldRelation",
+    "Recipe",
+    "RecipeCorpusGenerator",
+    "RecipeDB",
+    "Source",
+    "k_fold_indices",
+    "lexicons",
+    "train_test_split",
+]

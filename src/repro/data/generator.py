@@ -1,0 +1,585 @@
+"""Deterministic recipe corpus generator (the RecipeDB simulator).
+
+:class:`RecipeCorpusGenerator` produces :class:`~repro.data.models.Recipe`
+objects whose ingredient phrases and instruction steps are realised from the
+template grammars in :mod:`repro.data.phrase_templates` and
+:mod:`repro.data.instruction_templates`, with gold NER tags, POS tags and
+relation tuples attached.
+
+The two source profiles differ in
+
+* which lexicon entries are available (entries declare their ``sources``),
+* the sampling weights of the phrase / instruction templates,
+
+which yields the in-domain vs cross-domain gap that Table IV of the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.data import lexicons
+from repro.data.instruction_templates import (
+    INSTRUCTION_TEMPLATES,
+    InstructionParts,
+    InstructionTemplate,
+)
+from repro.data.lexicons import LexiconEntry
+from repro.data.models import AnnotatedInstruction, AnnotatedPhrase, Recipe, Source
+from repro.data.phrase_templates import PHRASE_TEMPLATES, PhraseParts, PhraseTemplate
+from repro.errors import ConfigurationError
+from repro.utils import make_py_rng
+
+__all__ = ["GeneratorConfig", "RecipeCorpusGenerator", "render_text"]
+
+
+#: Quantity surface forms, grouped by whether they imply a plural noun/unit.
+_SINGULAR_QUANTITIES = ("1", "1/2", "1/4", "3/4", "1/3", "2/3", "1/8")
+_PLURAL_QUANTITIES = ("2", "3", "4", "5", "6", "8", "12", "1 1/2", "2 1/2", "2-3", "1-2", "3-4")
+_PAREN_QUANTITIES = ("8", "14", "15", "16", "10")
+_DEGREE_NUMBERS = ("325", "350", "375", "400", "425", "450")
+_MINUTE_NUMBERS = ("5", "10", "15", "20", "25", "30", "40", "45", "60")
+
+#: Preferred measurement units per ingredient category (unit canonical names).
+_CATEGORY_UNITS: dict[str, tuple[str, ...]] = {
+    "spice": ("teaspoon", "tablespoon", "pinch", "dash"),
+    "herb": ("teaspoon", "tablespoon", "sprig", "bunch"),
+    "oil": ("tablespoon", "teaspoon", "cup"),
+    "condiment": ("tablespoon", "teaspoon", "cup"),
+    "sweetener": ("tablespoon", "cup", "teaspoon"),
+    "dairy": ("cup", "tablespoon", "ounce", "stick"),
+    "liquid": ("cup", "milliliter", "liter", "quart"),
+    "meat": ("pound", "ounce", "piece"),
+    "seafood": ("pound", "ounce", "piece"),
+    "vegetable": ("cup", "pound", "ounce", "head", "stalk"),
+    "fruit": ("cup", "ounce", "slice"),
+    "grain": ("cup", "ounce", "pound", "package"),
+    "baking": ("cup", "tablespoon", "teaspoon", "ounce", "package"),
+    "legume": ("cup", "can", "ounce"),
+    "nut": ("cup", "tablespoon", "ounce"),
+}
+
+#: Preferred processing states per ingredient category.
+_CATEGORY_STATES: dict[str, tuple[str, ...]] = {
+    "vegetable": ("chopped", "diced", "sliced", "minced", "grated", "peeled", "julienned",
+                  "halved", "quartered", "trimmed", "seeded", "shredded"),
+    "fruit": ("sliced", "diced", "peeled", "halved", "pitted", "crushed"),
+    "herb": ("chopped", "minced", "crushed"),
+    "spice": ("ground", "crushed", "toasted"),
+    "dairy": ("grated", "softened", "melted", "shredded", "crumbled", "cubed", "beaten"),
+    "meat": ("diced", "cubed", "sliced", "shredded", "trimmed", "ground"),
+    "seafood": ("peeled", "rinsed", "cubed", "drained"),
+    "grain": ("cooked", "rinsed", "drained", "toasted"),
+    "baking": ("sifted", "melted", "softened", "thawed"),
+    "legume": ("drained", "rinsed", "mashed", "cooked"),
+    "nut": ("chopped", "toasted", "crushed", "ground"),
+    "oil": ("melted",),
+    "condiment": ("whisked",),
+    "sweetener": ("melted",),
+    "liquid": ("chilled", "warmed"),
+    "misc": ("chopped",),
+}
+
+#: States not present in :data:`repro.data.lexicons.STATES` that the category
+#: map introduces ("cooked", "sifted", "warmed"): they are legitimate
+#: processing states and enlarge the open vocabulary the NER model must handle.
+
+
+#: Filler modifiers injected as annotation noise into ingredient phrases;
+#: real corpora are full of such tokens, which human annotators leave
+#: untagged, and they are a major source of NER confusion.
+_NOISE_MODIFIERS = (
+    "organic",
+    "homemade",
+    "store-bought",
+    "good-quality",
+    "plain",
+    "regular",
+    "light",
+    "reduced-fat",
+    "low-sodium",
+    "premium",
+    "ripe",
+    "leftover",
+)
+
+#: Adverbs injected as noise into instruction clauses.
+_NOISE_ADVERBS = ("carefully", "gently", "quickly", "evenly", "thoroughly", "slowly")
+
+#: Confusable-label maps used by the annotation-noise model: a human annotator
+#: who mislabels a span usually picks a semantically adjacent tag, not an
+#: arbitrary one ("frozen": TEMP or STATE?  "dried": DRY/FRESH or STATE?).
+_INGREDIENT_CONFUSIONS: dict[str, tuple[str, ...]] = {
+    "NAME": ("O",),
+    "STATE": ("DRY/FRESH", "O"),
+    "DRY/FRESH": ("STATE", "TEMP"),
+    "TEMP": ("STATE", "DRY/FRESH"),
+    "SIZE": ("O",),
+    "UNIT": ("NAME", "O"),
+    "QUANTITY": ("O",),
+}
+_INSTRUCTION_CONFUSIONS: dict[str, tuple[str, ...]] = {
+    "PROCESS": ("O",),
+    "UTENSIL": ("INGREDIENT", "O"),
+    "INGREDIENT": ("UTENSIL", "O"),
+}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Configuration of a :class:`RecipeCorpusGenerator`.
+
+    Attributes:
+        source: Which website profile to emulate.
+        seed: Base random seed (combined with the recipe index for stability).
+        min_ingredients / max_ingredients: Ingredient-phrase count per recipe.
+        min_steps / max_steps: Instruction-step count per recipe.
+        max_clauses_per_step: Steps concatenate 1..this many template clauses.
+        noise_level: Probability of injecting lexical noise (untagged filler
+            modifiers, misspelled tokens) into a generated phrase or clause.
+            Noise makes the NER task realistically hard; 0 disables it.
+        ingredient_annotation_noise: Probability that a gold entity span in an
+            ingredient phrase is corrupted (dropped, relabelled with a
+            confusable tag, or boundary-shifted).  Simulates the manual
+            annotation inconsistencies that bound the paper's F1 around 0.95.
+        instruction_annotation_noise: Same, for instruction steps (the paper's
+            instruction annotations are noisier -- F1 around 0.88-0.90).
+    """
+
+    source: Source = Source.ALLRECIPES
+    seed: int = 0
+    min_ingredients: int = 5
+    max_ingredients: int = 12
+    min_steps: int = 4
+    max_steps: int = 9
+    max_clauses_per_step: int = 3
+    noise_level: float = 0.12
+    ingredient_annotation_noise: float = 0.03
+    instruction_annotation_noise: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.min_ingredients < 1 or self.max_ingredients < self.min_ingredients:
+            raise ConfigurationError("invalid ingredient count bounds")
+        if self.min_steps < 1 or self.max_steps < self.min_steps:
+            raise ConfigurationError("invalid instruction step bounds")
+        if self.max_clauses_per_step < 1:
+            raise ConfigurationError("max_clauses_per_step must be >= 1")
+        for name in ("noise_level", "ingredient_annotation_noise", "instruction_annotation_noise"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be within [0, 1]")
+
+
+def render_text(tokens: Sequence[str]) -> str:
+    """Join tokens into display text with conventional punctuation spacing.
+
+    The output re-tokenises to exactly the same token sequence, which keeps
+    gold annotations aligned with what the runtime pipeline sees.
+    """
+    pieces: list[str] = []
+    no_space_before = {",", ".", ";", ":", ")", "!", "?"}
+    for index, token in enumerate(tokens):
+        if index == 0:
+            pieces.append(token)
+            continue
+        if token in no_space_before or tokens[index - 1] == "(":
+            pieces.append(token)
+        else:
+            pieces.append(" " + token)
+    return "".join(pieces)
+
+
+class RecipeCorpusGenerator:
+    """Generates annotated recipes for one source profile.
+
+    Usage::
+
+        generator = RecipeCorpusGenerator(GeneratorConfig(source=Source.ALLRECIPES, seed=7))
+        recipes = generator.generate_corpus(200)
+    """
+
+    def __init__(self, config: GeneratorConfig | None = None) -> None:
+        self.config = config or GeneratorConfig()
+        source_key = self.config.source.value
+        self._ingredients = [e for e in lexicons.INGREDIENTS if source_key in e.sources]
+        self._units = {e.name: e for e in lexicons.UNITS if source_key in e.sources}
+        self._unit_abbreviations = [
+            e for e in lexicons.UNIT_ABBREVIATIONS if source_key in e.sources
+        ]
+        self._techniques = [e for e in lexicons.TECHNIQUES if source_key in e.sources]
+        self._utensils = [e for e in lexicons.UTENSILS if source_key in e.sources]
+        self._phrase_templates = [
+            t for t in PHRASE_TEMPLATES if t.weights.get(source_key, 0.0) > 0.0
+        ]
+        self._phrase_weights = [t.weights[source_key] for t in self._phrase_templates]
+        self._instruction_templates = [
+            t for t in INSTRUCTION_TEMPLATES if t.weights.get(source_key, 0.0) > 0.0
+        ]
+        self._instruction_weights = [t.weights[source_key] for t in self._instruction_templates]
+        self._countable = [e for e in self._ingredients if e.plural is not None]
+        self._default_rng = make_py_rng((self.config.seed, source_key, "phrases"))
+
+    # ------------------------------------------------------------- phrases
+
+    def generate_phrase(self, rng=None) -> AnnotatedPhrase:
+        """Generate one annotated ingredient phrase.
+
+        Without an explicit ``rng`` the generator advances an internal stream,
+        so repeated calls yield different phrases while remaining reproducible
+        for a given configuration.
+        """
+        rng = make_py_rng(rng) if rng is not None else self._default_rng
+        template = rng.choices(self._phrase_templates, weights=self._phrase_weights, k=1)[0]
+        return self._realize_phrase(template, rng)
+
+    def _realize_phrase(self, template: PhraseTemplate, rng) -> AnnotatedPhrase:
+        needs = template.needs
+        # Templates that place the name right after a quantity need countable nouns.
+        countable_only = template.template_id in {"T02", "T04", "T11", "T12", "T13", "T22"}
+        pool = self._countable if countable_only and self._countable else self._ingredients
+        ingredient = rng.choice(pool)
+
+        quantity = None
+        plural = False
+        if "quantity" in needs:
+            if countable_only:
+                quantity = rng.choice(_SINGULAR_QUANTITIES[:1] + _PLURAL_QUANTITIES)
+                plural = quantity not in _SINGULAR_QUANTITIES and ingredient.plural is not None
+            else:
+                quantity = rng.choice(_SINGULAR_QUANTITIES + _PLURAL_QUANTITIES)
+
+        unit = self._pick_unit(ingredient, rng) if "unit" in needs else None
+        if template.template_id == "T03":
+            unit = self._unit_or_fallback(rng.choice(("package", "can", "jar")), rng)
+        if template.template_id == "T19":
+            unit = self._unit_or_fallback(rng.choice(("pinch", "dash")), rng)
+        if template.template_id == "T25" and self._unit_abbreviations:
+            unit = rng.choice(self._unit_abbreviations)
+
+        parts = PhraseParts(
+            ingredient=ingredient,
+            plural=plural,
+            quantity=quantity,
+            quantity2=rng.choice(_PAREN_QUANTITIES) if "quantity2" in needs else None,
+            unit=unit,
+            unit2=self._unit_or_fallback("ounce", rng) if "unit2" in needs else None,
+            alt_ingredient=self._pick_alternative(ingredient, rng)
+            if "alt_ingredient" in needs
+            else None,
+            state=self._pick_state(ingredient, rng) if "state" in needs else None,
+            state2=self._pick_state(ingredient, rng) if "state2" in needs else None,
+            adverb=rng.choice(lexicons.STATE_ADVERBS) if "adverb" in needs else None,
+            size=rng.choice(lexicons.SIZES) if "size" in needs else None,
+            temperature=self._pick_temperature(template, rng)
+            if "temperature" in needs
+            else None,
+            dry_fresh=rng.choice(lexicons.DRY_FRESH) if "dry_fresh" in needs else None,
+        )
+        if template.template_id == "T20" and parts.unit2 is not None:
+            # "2 tablespoons plus 1 teaspoon ..." -- make the two units differ.
+            parts.unit2 = self._unit_or_fallback("teaspoon", rng)
+            parts.quantity2 = "1"
+        tokens, ner_tags, pos_tags = template.realize(parts)
+        tokens, ner_tags, pos_tags = self._apply_phrase_noise(tokens, ner_tags, pos_tags, rng)
+        ner_tags = self._apply_source_conventions(ner_tags, pos_tags)
+        ner_tags = self._apply_annotation_noise(
+            ner_tags,
+            rng,
+            rate=self.config.ingredient_annotation_noise,
+            confusions=_INGREDIENT_CONFUSIONS,
+        )
+        return AnnotatedPhrase(
+            text=render_text(tokens),
+            tokens=tuple(tokens),
+            ner_tags=tuple(ner_tags),
+            pos_tags=tuple(pos_tags),
+            canonical_name=ingredient.name,
+            template_id=template.template_id,
+        )
+
+    # ----------------------------------------------------------------- noise
+
+    def _apply_phrase_noise(self, tokens, ner_tags, pos_tags, rng):
+        """Inject untagged filler modifiers / misspellings into a phrase."""
+        level = self.config.noise_level
+        if level <= 0.0:
+            return tokens, ner_tags, pos_tags
+        tokens, ner_tags, pos_tags = list(tokens), list(ner_tags), list(pos_tags)
+        if rng.random() < level:
+            # Insert an untagged modifier immediately before the NAME span.
+            try:
+                name_start = ner_tags.index("NAME")
+            except ValueError:
+                name_start = 0
+            modifier = rng.choice(_NOISE_MODIFIERS)
+            tokens.insert(name_start, modifier)
+            ner_tags.insert(name_start, "O")
+            pos_tags.insert(name_start, "JJ")
+        if rng.random() < level / 2:
+            self._misspell_one(tokens, rng)
+        return tokens, ner_tags, pos_tags
+
+    def _apply_instruction_noise(self, tokens, ner_tags, pos_tags, rng):
+        """Inject untagged adverbs / misspellings into an instruction clause."""
+        level = self.config.noise_level
+        if level <= 0.0:
+            return tokens, ner_tags, pos_tags
+        tokens, ner_tags, pos_tags = list(tokens), list(ner_tags), list(pos_tags)
+        if rng.random() < level:
+            try:
+                position = ner_tags.index("PROCESS") + 1
+            except ValueError:
+                position = min(1, len(tokens))
+            adverb = rng.choice(_NOISE_ADVERBS)
+            tokens.insert(position, adverb)
+            ner_tags.insert(position, "O")
+            pos_tags.insert(position, "RB")
+        if rng.random() < level / 2:
+            self._misspell_one(tokens, rng)
+        return tokens, ner_tags, pos_tags
+
+    def _apply_annotation_noise(
+        self, ner_tags: list[str], rng, *, rate: float, confusions: dict[str, tuple[str, ...]]
+    ) -> list[str]:
+        """Corrupt gold entity spans with probability ``rate`` per span.
+
+        Three corruption modes, mirroring real annotator mistakes:
+        dropping the span (missed annotation), swapping the label for a
+        confusable one, and shifting a span boundary by one token.
+        """
+        if rate <= 0.0:
+            return ner_tags
+        tags = list(ner_tags)
+        spans: list[tuple[str, int, int]] = []
+        current: str | None = None
+        start = 0
+        for index, tag in enumerate(tags + ["O"]):
+            if tag == current:
+                continue
+            if current not in (None, "O"):
+                spans.append((current, start, index))
+            current = tag
+            start = index
+        for label, span_start, span_end in spans:
+            if rng.random() >= rate:
+                continue
+            mode = rng.random()
+            if mode < 0.4:
+                for position in range(span_start, span_end):
+                    tags[position] = "O"
+            elif mode < 0.8:
+                replacement = rng.choice(confusions.get(label, ("O",)))
+                for position in range(span_start, span_end):
+                    tags[position] = replacement
+            else:
+                # Boundary shift: absorb the previous token or drop the first one.
+                if span_start > 0 and tags[span_start - 1] == "O" and rng.random() < 0.5:
+                    tags[span_start - 1] = label
+                else:
+                    tags[span_start] = "O"
+        return tags
+
+    def _apply_source_conventions(self, ner_tags: list[str], pos_tags: list[str]) -> list[str]:
+        """Per-source annotation conventions (a realistic domain gap).
+
+        FOOD.com annotations include the adverb in the STATE span ("freshly
+        ground" -> both tokens STATE); AllRecipes annotations tag only the
+        participle.  Models trained on one convention lose boundary matches on
+        the other, which is a large part of the Table IV cross-corpus gap.
+        """
+        if self.config.source is not Source.FOOD_COM:
+            return ner_tags
+        tags = list(ner_tags)
+        for index in range(len(tags) - 1):
+            if pos_tags[index] == "RB" and tags[index] == "O" and tags[index + 1] == "STATE":
+                tags[index] = "STATE"
+        return tags
+
+    @staticmethod
+    def _misspell_one(tokens: list[str], rng) -> None:
+        """Swap two adjacent characters of one alphabetic token (in place)."""
+        candidates = [
+            index
+            for index, token in enumerate(tokens)
+            if token.isalpha() and len(token) >= 4
+        ]
+        if not candidates:
+            return
+        index = rng.choice(candidates)
+        token = tokens[index]
+        position = rng.randint(1, len(token) - 2)
+        tokens[index] = (
+            token[:position] + token[position + 1] + token[position] + token[position + 2 :]
+        )
+
+    def _pick_unit(self, ingredient: LexiconEntry, rng) -> LexiconEntry:
+        if ingredient.name == "garlic" and "clove" in self._units:
+            # "2 cloves garlic" -- the UNIT reading of the NAME/UNIT homograph
+            # "clove" (the spice "clove" appears as a NAME on FOOD.com).
+            return self._units["clove"]
+        preferred = _CATEGORY_UNITS.get(ingredient.category, ("cup", "tablespoon", "ounce"))
+        available = [name for name in preferred if name in self._units]
+        if not available:
+            available = list(self._units)
+        return self._units[rng.choice(available)]
+
+    def _unit_or_fallback(self, name: str, rng) -> LexiconEntry:
+        if name in self._units:
+            return self._units[name]
+        return self._units[rng.choice(sorted(self._units))]
+
+    def _pick_state(self, ingredient: LexiconEntry, rng) -> str:
+        states = _CATEGORY_STATES.get(ingredient.category, lexicons.STATES)
+        return rng.choice(states)
+
+    @staticmethod
+    def _pick_temperature(template: PhraseTemplate, rng) -> str:
+        if template.template_id == "T09":
+            return "frozen"
+        if template.template_id == "T17":
+            return rng.choice(("warm", "hot", "cold", "lukewarm", "chilled"))
+        return rng.choice(lexicons.TEMPERATURES)
+
+    def _pick_alternative(self, ingredient: LexiconEntry, rng) -> LexiconEntry:
+        same_category = [
+            entry
+            for entry in self._ingredients
+            if entry.category == ingredient.category and entry.name != ingredient.name
+        ]
+        pool = same_category or [e for e in self._ingredients if e.name != ingredient.name]
+        return rng.choice(pool)
+
+    # --------------------------------------------------------- instructions
+
+    def generate_instruction_step(
+        self, recipe_ingredients: Sequence[LexiconEntry], rng, *, n_clauses: int | None = None
+    ) -> AnnotatedInstruction:
+        """Generate one instruction step built from 1..max_clauses clauses."""
+        rng = make_py_rng(rng)
+        if n_clauses is None:
+            n_clauses = rng.randint(1, self.config.max_clauses_per_step)
+        tokens: list[str] = []
+        ner_tags: list[str] = []
+        pos_tags: list[str] = []
+        relations = []
+        for _ in range(n_clauses):
+            template = rng.choices(
+                self._instruction_templates, weights=self._instruction_weights, k=1
+            )[0]
+            clause_tokens, clause_ner, clause_pos, clause_relations = self._realize_clause(
+                template, recipe_ingredients, rng
+            )
+            clause_tokens, clause_ner, clause_pos = self._apply_instruction_noise(
+                clause_tokens, clause_ner, clause_pos, rng
+            )
+            clause_ner = self._apply_annotation_noise(
+                clause_ner,
+                rng,
+                rate=self.config.instruction_annotation_noise,
+                confusions=_INSTRUCTION_CONFUSIONS,
+            )
+            tokens.extend(clause_tokens)
+            ner_tags.extend(clause_ner)
+            pos_tags.extend(clause_pos)
+            relations.extend(clause_relations)
+        return AnnotatedInstruction(
+            text=render_text(tokens),
+            tokens=tuple(tokens),
+            ner_tags=tuple(ner_tags),
+            pos_tags=tuple(pos_tags),
+            relations=tuple(relations),
+        )
+
+    def _realize_clause(
+        self,
+        template: InstructionTemplate,
+        recipe_ingredients: Sequence[LexiconEntry],
+        rng,
+    ):
+        processes = self._sample_distinct(self._techniques, template.n_processes, rng)
+        ingredient_pool = list(recipe_ingredients) or self._ingredients
+        ingredients = self._sample_distinct(ingredient_pool, template.n_ingredients, rng)
+        utensils = self._sample_distinct(self._utensils, template.n_utensils, rng)
+        if template.template_id in {"I01", "I11"}:
+            # Oven-centric clauses read oddly with an arbitrary utensil.
+            oven = next((u for u in self._utensils if u.name == "oven"), None)
+            if oven is not None:
+                utensils = [oven] + utensils[1:]
+        if template.template_id in {"I17", "I18"} and utensils:
+            # Hand-tool clauses ("using a colander", "with a whisk"); tools such
+            # as "whisk" double as technique verbs, creating the homograph
+            # ambiguity the instruction NER model must resolve.
+            tools = [u for u in self._utensils if u.category == "tool"]
+            if tools:
+                utensils = [rng.choice(tools)] + utensils[1:]
+        parts = InstructionParts(
+            processes=processes,
+            ingredients=ingredients,
+            utensils=utensils,
+            size=rng.choice(lexicons.SIZES) if template.needs_size else None,
+            number=(
+                rng.choice(_DEGREE_NUMBERS)
+                if template.template_id == "I01"
+                else rng.choice(_MINUTE_NUMBERS)
+            )
+            if template.needs_number
+            else None,
+        )
+        return template.realize(parts)
+
+    @staticmethod
+    def _sample_distinct(pool: Sequence[LexiconEntry], count: int, rng) -> list[LexiconEntry]:
+        if count == 0:
+            return []
+        if len(pool) >= count:
+            return list(rng.sample(list(pool), count))
+        # Small pools (tiny recipes) may need repetition to fill all slots.
+        return [rng.choice(list(pool)) for _ in range(count)]
+
+    # --------------------------------------------------------------- recipes
+
+    def generate_recipe(self, index: int) -> Recipe:
+        """Generate the ``index``-th recipe of this profile (deterministic)."""
+        rng = make_py_rng((self.config.seed, self.config.source.value, index))
+        n_ingredients = rng.randint(self.config.min_ingredients, self.config.max_ingredients)
+        phrases: list[AnnotatedPhrase] = []
+        used_entries: list[LexiconEntry] = []
+        seen_names: set[str] = set()
+        attempts = 0
+        while len(phrases) < n_ingredients and attempts < n_ingredients * 6:
+            attempts += 1
+            template = rng.choices(self._phrase_templates, weights=self._phrase_weights, k=1)[0]
+            phrase = self._realize_phrase(template, rng)
+            if phrase.canonical_name in seen_names:
+                continue
+            seen_names.add(phrase.canonical_name)
+            phrases.append(phrase)
+            entry = lexicons.ingredient_by_name(phrase.canonical_name)
+            if entry is not None:
+                used_entries.append(entry)
+
+        n_steps = rng.randint(self.config.min_steps, self.config.max_steps)
+        steps = [
+            self.generate_instruction_step(used_entries, rng)
+            for _ in range(n_steps)
+        ]
+        cuisine = rng.choice(lexicons.CUISINES)
+        main = used_entries[0].name if used_entries else phrases[0].canonical_name
+        title = f"{cuisine.title()} {main.title()} {rng.choice(('Bake', 'Stew', 'Salad', 'Skillet', 'Curry', 'Roast', 'Soup', 'Tart'))}"
+        return Recipe(
+            recipe_id=f"{self.config.source.value}-{index:06d}",
+            title=title,
+            cuisine=cuisine,
+            source=self.config.source,
+            ingredients=tuple(phrases),
+            instructions=tuple(steps),
+            servings=rng.choice((2, 4, 6, 8)),
+        )
+
+    def generate_corpus(self, n_recipes: int) -> list[Recipe]:
+        """Generate ``n_recipes`` recipes (deterministic for a given config)."""
+        if n_recipes <= 0:
+            raise ConfigurationError(f"n_recipes must be positive, got {n_recipes}")
+        return [self.generate_recipe(index) for index in range(n_recipes)]

@@ -1,0 +1,604 @@
+"""Template grammar for instruction steps.
+
+Each template realises one imperative clause pattern seen in RecipeDB
+instructions, together with:
+
+* gold NER tags over {PROCESS, INGREDIENT, UTENSIL, O},
+* gold Penn Treebank POS tags,
+* the gold many-to-many relation tuples that the relation extractor is
+  expected to recover (process -> ingredients/utensils of its clause).
+
+An instruction *step* produced by the generator concatenates one to three
+such clauses, mirroring the multi-sentence steps of the real corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.data.lexicons import LexiconEntry
+from repro.data.models import GoldRelation
+from repro.errors import DataError
+
+__all__ = [
+    "InstructionParts",
+    "InstructionTemplate",
+    "INSTRUCTION_TEMPLATES",
+    "instruction_template_by_id",
+]
+
+
+@dataclass
+class InstructionParts:
+    """Concrete lexical choices used to realise one instruction clause.
+
+    Attributes:
+        processes: Cooking-technique entries, in the order the template uses them.
+        ingredients: Ingredient entries, in template order.
+        utensils: Utensil entries, in template order.
+        size: Optional size adjective ("large pot").
+        number: Optional cardinal (minutes / degrees).
+    """
+
+    processes: list[LexiconEntry] = field(default_factory=list)
+    ingredients: list[LexiconEntry] = field(default_factory=list)
+    utensils: list[LexiconEntry] = field(default_factory=list)
+    size: str | None = None
+    number: str | None = None
+
+
+@dataclass(frozen=True)
+class InstructionTemplate:
+    """One imperative clause pattern.
+
+    Attributes:
+        template_id: Stable identifier ("I01"...).
+        n_processes: Number of technique slots.
+        n_ingredients: Number of ingredient slots.
+        n_utensils: Number of utensil slots.
+        needs_size: Whether a size adjective is used.
+        needs_number: Whether a cardinal number is used.
+        weights: Relative sampling weight per source profile.
+        realize: Builds (tokens, ner, pos, relations) from parts.
+        description: Human-readable description with an example.
+    """
+
+    template_id: str
+    n_processes: int
+    n_ingredients: int
+    n_utensils: int
+    needs_size: bool
+    needs_number: bool
+    weights: dict[str, float]
+    realize: Callable[[InstructionParts], tuple[list[str], list[str], list[str], list[GoldRelation]]]
+    description: str
+
+
+class _Builder:
+    """Accumulates tokens/tags while a template realisation runs."""
+
+    def __init__(self) -> None:
+        self.tokens: list[str] = []
+        self.ner: list[str] = []
+        self.pos: list[str] = []
+
+    def lit(self, token: str, pos: str) -> "_Builder":
+        self.tokens.append(token)
+        self.ner.append("O")
+        self.pos.append(pos)
+        return self
+
+    def words(self, spec: list[tuple[str, str]]) -> "_Builder":
+        for token, pos in spec:
+            self.lit(token, pos)
+        return self
+
+    def process(self, entry: LexiconEntry, *, capitalize: bool = False) -> "_Builder":
+        token = entry.tokens[0]
+        if capitalize:
+            token = token.capitalize()
+        self.tokens.append(token)
+        self.ner.append("PROCESS")
+        self.pos.append("VB")
+        return self
+
+    def ingredient(self, entry: LexiconEntry, *, plural: bool = False) -> "_Builder":
+        tokens = list(entry.plural) if plural and entry.plural else list(entry.tokens)
+        pos = list(entry.plural_pos) if plural and entry.plural_pos else list(entry.pos)
+        self.tokens.extend(tokens)
+        self.ner.extend(["INGREDIENT"] * len(tokens))
+        self.pos.extend(pos)
+        return self
+
+    def utensil(self, entry: LexiconEntry) -> "_Builder":
+        self.tokens.extend(entry.tokens)
+        self.ner.extend(["UTENSIL"] * len(entry.tokens))
+        self.pos.extend(entry.pos)
+        return self
+
+    def out(self) -> tuple[list[str], list[str], list[str]]:
+        return self.tokens, self.ner, self.pos
+
+
+def _require(parts: InstructionParts, processes: int, ingredients: int, utensils: int) -> None:
+    if len(parts.processes) < processes:
+        raise DataError(f"template needs {processes} processes, got {len(parts.processes)}")
+    if len(parts.ingredients) < ingredients:
+        raise DataError(f"template needs {ingredients} ingredients, got {len(parts.ingredients)}")
+    if len(parts.utensils) < utensils:
+        raise DataError(f"template needs {utensils} utensils, got {len(parts.utensils)}")
+
+
+# --------------------------------------------------------------------------- templates
+
+
+def _i01(parts: InstructionParts):
+    """'Preheat the oven to 350 degrees .'"""
+    _require(parts, 1, 0, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit("to", "TO").lit(parts.number or "350", "CD").lit("degrees", "NNS").lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            utensils=(parts.utensils[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i02(parts: InstructionParts):
+    """'Bring the water to a boil in a large pot .'"""
+    _require(parts, 1, 1, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("to", "TO").lit("a", "DT").lit("boil", "NN")
+    builder.lit("in", "IN").lit("a", "DT").lit(parts.size or "large", "JJ")
+    builder.utensil(parts.utensils[0])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name,),
+            utensils=(parts.utensils[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i03(parts: InstructionParts):
+    """'Mix the onion and garlic in a bowl .'"""
+    _require(parts, 1, 2, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("and", "CC")
+    builder.ingredient(parts.ingredients[1])
+    builder.lit("in", "IN").lit("a", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name, parts.ingredients[1].name),
+            utensils=(parts.utensils[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i04(parts: InstructionParts):
+    """'Add the rice to the saucepan and stir well .'"""
+    _require(parts, 2, 1, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("to", "TO").lit("the", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit("and", "CC")
+    builder.process(parts.processes[1])
+    builder.lit("well", "RB").lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name,),
+            utensils=(parts.utensils[0].name,),
+        ),
+        GoldRelation(process=parts.processes[1].name),
+    ]
+    return (*builder.out(), relations)
+
+
+def _i05(parts: InstructionParts):
+    """'Fry the potatoes with olive oil in a pan over medium heat .'"""
+    _require(parts, 1, 2, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0], plural=True)
+    builder.lit("with", "IN")
+    builder.ingredient(parts.ingredients[1])
+    builder.lit("in", "IN").lit("a", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit("over", "IN").lit("medium", "JJ").lit("heat", "NN").lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name, parts.ingredients[1].name),
+            utensils=(parts.utensils[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i06(parts: InstructionParts):
+    """'Saute the onion until golden brown .'"""
+    _require(parts, 1, 1, 0)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("until", "IN").lit("golden", "JJ").lit("brown", "JJ").lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i07(parts: InstructionParts):
+    """'Season the chicken breast with salt and pepper .'"""
+    _require(parts, 1, 3, 0)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("with", "IN")
+    builder.ingredient(parts.ingredients[1])
+    builder.lit("and", "CC")
+    builder.ingredient(parts.ingredients[2])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(
+                parts.ingredients[0].name,
+                parts.ingredients[1].name,
+                parts.ingredients[2].name,
+            ),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i08(parts: InstructionParts):
+    """'Transfer the mixture to a baking dish and bake for 25 minutes .'"""
+    _require(parts, 2, 0, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT").lit("mixture", "NN")
+    builder.lit("to", "TO").lit("a", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit("and", "CC")
+    builder.process(parts.processes[1])
+    builder.lit("for", "IN").lit(parts.number or "25", "CD").lit("minutes", "NNS").lit(".", ".")
+    relations = [
+        GoldRelation(process=parts.processes[0].name, utensils=(parts.utensils[0].name,)),
+        GoldRelation(process=parts.processes[1].name),
+    ]
+    return (*builder.out(), relations)
+
+
+def _i09(parts: InstructionParts):
+    """'Chop and slice the carrots on a cutting board .'"""
+    _require(parts, 2, 1, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("and", "CC")
+    builder.process(parts.processes[1])
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0], plural=True)
+    builder.lit("on", "IN").lit("a", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name,),
+            utensils=(parts.utensils[0].name,),
+        ),
+        GoldRelation(
+            process=parts.processes[1].name,
+            ingredients=(parts.ingredients[0].name,),
+            utensils=(parts.utensils[0].name,),
+        ),
+    ]
+    return (*builder.out(), relations)
+
+
+def _i10(parts: InstructionParts):
+    """'Pour the tomato sauce over the pasta and sprinkle with parmesan cheese .'"""
+    _require(parts, 2, 3, 0)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("over", "IN").lit("the", "DT")
+    builder.ingredient(parts.ingredients[1])
+    builder.lit("and", "CC")
+    builder.process(parts.processes[1])
+    builder.lit("with", "IN")
+    builder.ingredient(parts.ingredients[2])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name, parts.ingredients[1].name),
+        ),
+        GoldRelation(
+            process=parts.processes[1].name,
+            ingredients=(parts.ingredients[2].name,),
+        ),
+    ]
+    return (*builder.out(), relations)
+
+
+def _i11(parts: InstructionParts):
+    """'Bake in the preheated oven for 30 minutes .'"""
+    _require(parts, 1, 0, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("in", "IN").lit("the", "DT").lit("preheated", "VBN")
+    builder.utensil(parts.utensils[0])
+    builder.lit("for", "IN").lit(parts.number or "30", "CD").lit("minutes", "NNS").lit(".", ".")
+    relations = [
+        GoldRelation(process=parts.processes[0].name, utensils=(parts.utensils[0].name,))
+    ]
+    return (*builder.out(), relations)
+
+
+def _i12(parts: InstructionParts):
+    """'Combine the flour , sugar and baking powder in a large mixing bowl .'"""
+    _require(parts, 1, 3, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit(",", ",")
+    builder.ingredient(parts.ingredients[1])
+    builder.lit("and", "CC")
+    builder.ingredient(parts.ingredients[2])
+    builder.lit("in", "IN").lit("a", "DT").lit(parts.size or "large", "JJ")
+    builder.utensil(parts.utensils[0])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(
+                parts.ingredients[0].name,
+                parts.ingredients[1].name,
+                parts.ingredients[2].name,
+            ),
+            utensils=(parts.utensils[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i13(parts: InstructionParts):
+    """'Serve the salmon garnished with parsley .'"""
+    _require(parts, 2, 2, 0)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("garnished", "VBN")
+    builder.lit("with", "IN")
+    builder.ingredient(parts.ingredients[1])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name, ingredients=(parts.ingredients[0].name,)
+        ),
+        GoldRelation(
+            process=parts.processes[1].name, ingredients=(parts.ingredients[1].name,)
+        ),
+    ]
+    return (*builder.out(), relations)
+
+
+def _i14(parts: InstructionParts):
+    """'Remove from the skillet and cool on a tray .'"""
+    _require(parts, 2, 0, 2)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("from", "IN").lit("the", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit("and", "CC")
+    builder.process(parts.processes[1])
+    builder.lit("on", "IN").lit("a", "DT")
+    builder.utensil(parts.utensils[1])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(process=parts.processes[0].name, utensils=(parts.utensils[0].name,)),
+        GoldRelation(process=parts.processes[1].name, utensils=(parts.utensils[1].name,)),
+    ]
+    return (*builder.out(), relations)
+
+
+def _i15(parts: InstructionParts):
+    """'Whisk together the eggs , milk and sugar in a bowl until smooth .'"""
+    _require(parts, 1, 3, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("together", "RB").lit("the", "DT")
+    builder.ingredient(parts.ingredients[0], plural=True)
+    builder.lit(",", ",")
+    builder.ingredient(parts.ingredients[1])
+    builder.lit("and", "CC")
+    builder.ingredient(parts.ingredients[2])
+    builder.lit("in", "IN").lit("a", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit("until", "IN").lit("smooth", "JJ").lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(
+                parts.ingredients[0].name,
+                parts.ingredients[1].name,
+                parts.ingredients[2].name,
+            ),
+            utensils=(parts.utensils[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i16(parts: InstructionParts):
+    """'Cover the pot and simmer the lentils for 20 minutes .'"""
+    _require(parts, 2, 1, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit("and", "CC")
+    builder.process(parts.processes[1])
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0], plural=True)
+    builder.lit("for", "IN").lit(parts.number or "20", "CD").lit("minutes", "NNS").lit(".", ".")
+    relations = [
+        GoldRelation(process=parts.processes[0].name, utensils=(parts.utensils[0].name,)),
+        GoldRelation(
+            process=parts.processes[1].name, ingredients=(parts.ingredients[0].name,)
+        ),
+    ]
+    return (*builder.out(), relations)
+
+
+def _i17(parts: InstructionParts):
+    """'Drain the pasta using a colander .' -- utensil introduced by 'using'."""
+    _require(parts, 1, 1, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("using", "VBG").lit("a", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name,),
+            utensils=(parts.utensils[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i18(parts: InstructionParts):
+    """'Beat the eggs with a whisk until fluffy .' -- process/utensil homographs."""
+    _require(parts, 1, 1, 1)
+    builder = _Builder()
+    builder.process(parts.processes[0], capitalize=True)
+    builder.lit("the", "DT")
+    builder.ingredient(parts.ingredients[0], plural=True)
+    builder.lit("with", "IN").lit("a", "DT")
+    builder.utensil(parts.utensils[0])
+    builder.lit("until", "IN").lit("fluffy", "JJ").lit(".", ".")
+    relations = [
+        GoldRelation(
+            process=parts.processes[0].name,
+            ingredients=(parts.ingredients[0].name,),
+            utensils=(parts.utensils[0].name,),
+        )
+    ]
+    return (*builder.out(), relations)
+
+
+def _i19(parts: InstructionParts):
+    """'Let the dough rest for 10 minutes .' -- verbs that are NOT techniques."""
+    _require(parts, 0, 1, 0)
+    builder = _Builder()
+    builder.lit("Let", "VB").lit("the", "DT")
+    builder.ingredient(parts.ingredients[0])
+    builder.lit("rest", "VB")
+    builder.lit("for", "IN").lit(parts.number or "10", "CD").lit("minutes", "NNS").lit(".", ".")
+    return (*builder.out(), [])
+
+
+def _i20(parts: InstructionParts):
+    """'Taste and adjust the seasoning if needed .' -- non-technique verbs."""
+    _require(parts, 0, 0, 0)
+    builder = _Builder()
+    builder.lit("Taste", "VB").lit("and", "CC").lit("adjust", "VB")
+    builder.lit("the", "DT").lit("seasoning", "NN")
+    builder.lit("if", "IN").lit("needed", "VBN").lit(".", ".")
+    return (*builder.out(), [])
+
+
+INSTRUCTION_TEMPLATES: tuple[InstructionTemplate, ...] = (
+    InstructionTemplate("I01", 1, 0, 1, False, True, {"allrecipes": 6.0, "food.com": 5.0}, _i01,
+                        "Preheat the oven to N degrees."),
+    InstructionTemplate("I02", 1, 1, 1, True, False, {"allrecipes": 5.0, "food.com": 5.0}, _i02,
+                        "Bring the water to a boil in a large pot."),
+    InstructionTemplate("I03", 1, 2, 1, False, False, {"allrecipes": 7.0, "food.com": 6.0}, _i03,
+                        "Mix the onion and garlic in a bowl."),
+    InstructionTemplate("I04", 2, 1, 1, False, False, {"allrecipes": 6.0, "food.com": 6.0}, _i04,
+                        "Add the rice to the saucepan and stir well."),
+    InstructionTemplate("I05", 1, 2, 1, False, False, {"allrecipes": 5.0, "food.com": 6.0}, _i05,
+                        "Fry the potatoes with olive oil in a pan over medium heat."),
+    InstructionTemplate("I06", 1, 1, 0, False, False, {"allrecipes": 5.0, "food.com": 4.0}, _i06,
+                        "Saute the onion until golden brown."),
+    InstructionTemplate("I07", 1, 3, 0, False, False, {"allrecipes": 5.0, "food.com": 5.0}, _i07,
+                        "Season the chicken breast with salt and pepper."),
+    InstructionTemplate("I08", 2, 0, 1, False, True, {"allrecipes": 4.0, "food.com": 4.0}, _i08,
+                        "Transfer the mixture to a baking dish and bake for N minutes."),
+    InstructionTemplate("I09", 2, 1, 1, False, False, {"allrecipes": 3.0, "food.com": 4.0}, _i09,
+                        "Chop and slice the carrots on a cutting board."),
+    InstructionTemplate("I10", 2, 3, 0, False, False, {"allrecipes": 3.0, "food.com": 4.0}, _i10,
+                        "Pour the sauce over the pasta and sprinkle with cheese."),
+    InstructionTemplate("I11", 1, 0, 1, False, True, {"allrecipes": 5.0, "food.com": 4.0}, _i11,
+                        "Bake in the preheated oven for N minutes."),
+    InstructionTemplate("I12", 1, 3, 1, True, False, {"allrecipes": 4.0, "food.com": 5.0}, _i12,
+                        "Combine the flour, sugar and baking powder in a large mixing bowl."),
+    InstructionTemplate("I13", 2, 2, 0, False, False, {"allrecipes": 3.0, "food.com": 3.0}, _i13,
+                        "Serve the salmon garnished with parsley."),
+    InstructionTemplate("I14", 2, 0, 2, False, False, {"allrecipes": 3.0, "food.com": 3.0}, _i14,
+                        "Remove from the skillet and cool on a tray."),
+    InstructionTemplate("I15", 1, 3, 1, False, False, {"allrecipes": 4.0, "food.com": 4.0}, _i15,
+                        "Whisk together the eggs, milk and sugar in a bowl until smooth."),
+    InstructionTemplate("I16", 2, 1, 1, False, True, {"allrecipes": 3.0, "food.com": 4.0}, _i16,
+                        "Cover the pot and simmer the lentils for N minutes."),
+    InstructionTemplate("I17", 1, 1, 1, False, False, {"allrecipes": 2.0, "food.com": 3.0}, _i17,
+                        "Drain the pasta using a colander."),
+    InstructionTemplate("I18", 1, 1, 1, False, False, {"allrecipes": 3.0, "food.com": 3.0}, _i18,
+                        "Beat the eggs with a whisk until fluffy."),
+    InstructionTemplate("I19", 0, 1, 0, False, True, {"allrecipes": 2.5, "food.com": 3.0}, _i19,
+                        "Let the dough rest for N minutes. (no technique)"),
+    InstructionTemplate("I20", 0, 0, 0, False, False, {"allrecipes": 2.0, "food.com": 2.5}, _i20,
+                        "Taste and adjust the seasoning if needed. (no technique)"),
+)
+
+
+_TEMPLATE_INDEX = {template.template_id: template for template in INSTRUCTION_TEMPLATES}
+
+
+def instruction_template_by_id(template_id: str) -> InstructionTemplate:
+    """Look up an instruction template by identifier.
+
+    Raises:
+        DataError: If the identifier is unknown.
+    """
+    try:
+        return _TEMPLATE_INDEX[template_id]
+    except KeyError:
+        raise DataError(f"unknown instruction template: {template_id!r}") from None

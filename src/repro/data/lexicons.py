@@ -1,0 +1,581 @@
+"""Lexicons backing the RecipeDB simulator.
+
+The entries are hand-curated to cover the vocabulary that actually appears in
+the paper's examples (Table I, Figs. 3-5) plus a realistic spread of
+ingredients, measurement units, processing states, cooking techniques and
+utensils.  Each entry records its surface tokens, their Penn Treebank POS
+tags and (where relevant) a plural form, so the generator can emit gold POS
+annotations alongside gold NER tags.
+
+Two helper views are exported for the source profiles: some ingredients and
+techniques are marked as appearing predominantly on one of the two websites,
+which is what creates the AllRecipes vs FOOD.com domain gap of Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LexiconEntry",
+    "INGREDIENTS",
+    "UNITS",
+    "UNIT_ABBREVIATIONS",
+    "STATES",
+    "STATE_ADVERBS",
+    "SIZES",
+    "TEMPERATURES",
+    "DRY_FRESH",
+    "TECHNIQUES",
+    "UTENSILS",
+    "CUISINES",
+    "ingredient_by_name",
+    "technique_lemmas",
+    "utensil_names",
+]
+
+
+@dataclass(frozen=True)
+class LexiconEntry:
+    """A lexicon item with its surface form(s) and POS tags.
+
+    Attributes:
+        name: Canonical lemmatised name ("tomato", "olive oil").
+        tokens: Singular surface tokens.
+        pos: Penn Treebank tags aligned with ``tokens``.
+        plural: Plural surface tokens (``None`` when the item is mass/uncountable).
+        plural_pos: Tags aligned with ``plural``.
+        category: Coarse category used by the applications layer.
+        sources: Which website profiles use the entry ("allrecipes",
+            "food.com"); both by default.
+        aliases: Alternative names referring to the same real-world item.
+    """
+
+    name: str
+    tokens: tuple[str, ...]
+    pos: tuple[str, ...]
+    plural: tuple[str, ...] | None = None
+    plural_pos: tuple[str, ...] | None = None
+    category: str = "misc"
+    sources: tuple[str, ...] = ("allrecipes", "food.com")
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.tokens) != len(self.pos):
+            raise ValueError(f"tokens/pos misaligned for lexicon entry {self.name!r}")
+        if self.plural is not None and self.plural_pos is not None:
+            if len(self.plural) != len(self.plural_pos):
+                raise ValueError(f"plural tokens/pos misaligned for {self.name!r}")
+
+
+def _noun(
+    name: str,
+    *,
+    plural: str | None = None,
+    category: str = "misc",
+    sources: tuple[str, ...] = ("allrecipes", "food.com"),
+    aliases: tuple[str, ...] = (),
+) -> LexiconEntry:
+    """Build a single-or-multi-token noun entry with sensible default tags."""
+    tokens = tuple(name.split())
+    pos = tuple(["NN"] * len(tokens))
+    plural_tokens = None
+    plural_pos = None
+    if plural is not None:
+        plural_tokens = tuple(plural.split())
+        plural_pos = tuple(["NN"] * (len(plural_tokens) - 1) + ["NNS"])
+    return LexiconEntry(
+        name=name,
+        tokens=tokens,
+        pos=pos,
+        plural=plural_tokens,
+        plural_pos=plural_pos,
+        category=category,
+        sources=sources,
+        aliases=aliases,
+    )
+
+
+def _adj_noun(
+    name: str,
+    adjective_count: int,
+    *,
+    plural: str | None = None,
+    category: str = "misc",
+    sources: tuple[str, ...] = ("allrecipes", "food.com"),
+    aliases: tuple[str, ...] = (),
+) -> LexiconEntry:
+    """Multi-token entry whose first ``adjective_count`` tokens are adjectives."""
+    tokens = tuple(name.split())
+    pos = tuple(["JJ"] * adjective_count + ["NN"] * (len(tokens) - adjective_count))
+    plural_tokens = None
+    plural_pos = None
+    if plural is not None:
+        plural_tokens = tuple(plural.split())
+        plural_pos = tuple(
+            ["JJ"] * adjective_count
+            + ["NN"] * (len(plural_tokens) - adjective_count - 1)
+            + ["NNS"]
+        )
+    return LexiconEntry(
+        name=name,
+        tokens=tokens,
+        pos=pos,
+        plural=plural_tokens,
+        plural_pos=plural_pos,
+        category=category,
+        sources=sources,
+        aliases=aliases,
+    )
+
+
+# --------------------------------------------------------------------------- ingredients
+
+INGREDIENTS: tuple[LexiconEntry, ...] = (
+    # vegetables
+    _noun("tomato", plural="tomatoes", category="vegetable"),
+    _noun("onion", plural="onions", category="vegetable"),
+    _noun("garlic", category="vegetable"),
+    _noun("garlic clove", plural="garlic cloves", category="vegetable"),
+    _noun("potato", plural="potatoes", category="vegetable"),
+    _noun("carrot", plural="carrots", category="vegetable"),
+    _noun("celery", category="vegetable"),
+    _noun("bell pepper", plural="bell peppers", category="vegetable"),
+    _noun("chili pepper", plural="chili peppers", category="vegetable"),
+    _noun("spinach", category="vegetable"),
+    _noun("broccoli", category="vegetable"),
+    _noun("cauliflower", category="vegetable"),
+    _noun("zucchini", category="vegetable", sources=("allrecipes",)),
+    _noun("eggplant", category="vegetable", sources=("allrecipes",), aliases=("aubergine",)),
+    _noun("cucumber", plural="cucumbers", category="vegetable"),
+    _noun("mushroom", plural="mushrooms", category="vegetable"),
+    _noun("cabbage", category="vegetable"),
+    _noun("lettuce", category="vegetable"),
+    _noun("kale", category="vegetable", sources=("allrecipes",)),
+    _noun("leek", plural="leeks", category="vegetable", sources=("food.com",)),
+    _noun("shallot", plural="shallots", category="vegetable", sources=("food.com",)),
+    _noun("scallion", plural="scallions", category="vegetable", aliases=("green onion",)),
+    _noun("green onion", plural="green onions", category="vegetable", aliases=("scallion",)),
+    _noun("okra", category="vegetable", sources=("food.com",), aliases=("ladyfinger",)),
+    _noun("ladyfinger", plural="ladyfingers", category="vegetable", sources=("food.com",), aliases=("okra",)),
+    _noun("pumpkin", category="vegetable"),
+    _adj_noun("sweet potato", 1, plural="sweet potatoes", category="vegetable"),
+    _noun("corn", category="vegetable"),
+    _noun("pea", plural="peas", category="vegetable"),
+    _adj_noun("green bean", 1, plural="green beans", category="vegetable"),
+    _noun("asparagus", category="vegetable", sources=("allrecipes",)),
+    _noun("beet", plural="beets", category="vegetable", sources=("food.com",)),
+    _noun("radish", plural="radishes", category="vegetable", sources=("food.com",)),
+    _noun("ginger", category="vegetable"),
+    # fruit
+    _noun("lemon", plural="lemons", category="fruit"),
+    _noun("lime", plural="limes", category="fruit"),
+    _noun("orange", plural="oranges", category="fruit"),
+    _noun("apple", plural="apples", category="fruit"),
+    _noun("banana", plural="bananas", category="fruit"),
+    _noun("strawberry", plural="strawberries", category="fruit"),
+    _noun("blueberry", plural="blueberries", category="fruit", sources=("allrecipes",)),
+    _noun("raspberry", plural="raspberries", category="fruit", sources=("allrecipes",)),
+    _noun("pineapple", category="fruit"),
+    _noun("mango", plural="mangoes", category="fruit", sources=("food.com",)),
+    _noun("avocado", plural="avocados", category="fruit"),
+    _noun("raisin", plural="raisins", category="fruit", sources=("food.com",)),
+    _noun("cranberry", plural="cranberries", category="fruit", sources=("allrecipes",)),
+    _noun("lemon juice", category="fruit"),
+    _noun("lime juice", category="fruit"),
+    _noun("lemon zest", category="fruit", sources=("food.com",)),
+    # dairy & eggs
+    _noun("milk", category="dairy"),
+    _adj_noun("whole milk", 1, category="dairy"),
+    _noun("butter", category="dairy"),
+    _adj_noun("unsalted butter", 1, category="dairy"),
+    _noun("cream", category="dairy"),
+    _adj_noun("heavy cream", 1, category="dairy"),
+    _adj_noun("sour cream", 1, category="dairy"),
+    _noun("cream cheese", category="dairy"),
+    _noun("cheddar cheese", category="dairy"),
+    _adj_noun("blue cheese", 1, category="dairy"),
+    _noun("parmesan cheese", category="dairy"),
+    _noun("mozzarella cheese", category="dairy"),
+    _noun("feta cheese", category="dairy", sources=("allrecipes",)),
+    _noun("yogurt", category="dairy", aliases=("yoghurt",)),
+    _adj_noun("greek yogurt", 1, category="dairy", sources=("allrecipes",)),
+    _noun("egg", plural="eggs", category="dairy"),
+    _noun("egg yolk", plural="egg yolks", category="dairy"),
+    _noun("egg white", plural="egg whites", category="dairy"),
+    _noun("half-and-half", category="dairy", sources=("food.com",)),
+    _noun("buttermilk", category="dairy", sources=("food.com",)),
+    # meat & seafood
+    _noun("chicken breast", plural="chicken breasts", category="meat"),
+    _noun("chicken thigh", plural="chicken thighs", category="meat"),
+    _noun("chicken stock", category="meat"),
+    _adj_noun("ground beef", 1, category="meat"),
+    _noun("beef stock", category="meat"),
+    _noun("bacon", category="meat"),
+    _noun("ham", category="meat"),
+    _noun("sausage", plural="sausages", category="meat"),
+    _noun("pork chop", plural="pork chops", category="meat", sources=("food.com",)),
+    _noun("pork tenderloin", category="meat", sources=("food.com",)),
+    _noun("lamb", category="meat", sources=("food.com",)),
+    _noun("turkey", category="meat", sources=("allrecipes",)),
+    _noun("salmon", category="seafood"),
+    _noun("shrimp", category="seafood"),
+    _noun("tuna", category="seafood"),
+    _noun("cod", category="seafood", sources=("allrecipes",)),
+    _noun("anchovy", plural="anchovies", category="seafood", sources=("food.com",)),
+    # grains, pasta, baking
+    _noun("flour", category="baking"),
+    _adj_noun("all-purpose flour", 1, category="baking"),
+    _adj_noun("whole wheat flour", 2, category="baking", sources=("food.com",)),
+    _noun("sugar", category="baking"),
+    _adj_noun("brown sugar", 1, category="baking"),
+    _noun("powdered sugar", category="baking", sources=("allrecipes",)),
+    _noun("baking powder", category="baking"),
+    _noun("baking soda", category="baking"),
+    _noun("yeast", category="baking"),
+    _noun("cornstarch", category="baking"),
+    _noun("vanilla extract", category="baking"),
+    _noun("cocoa powder", category="baking"),
+    _noun("chocolate chip", plural="chocolate chips", category="baking", sources=("allrecipes",)),
+    _noun("puff pastry", category="baking"),
+    _noun("bread", category="grain"),
+    _noun("breadcrumb", plural="breadcrumbs", category="grain"),
+    _noun("rice", category="grain"),
+    _adj_noun("brown rice", 1, category="grain", sources=("allrecipes",)),
+    _noun("basmati rice", category="grain", sources=("food.com",)),
+    _noun("pasta", category="grain"),
+    _noun("spaghetti", category="grain"),
+    _noun("noodle", plural="noodles", category="grain"),
+    _noun("oat", plural="oats", category="grain"),
+    _noun("quinoa", category="grain", sources=("allrecipes",)),
+    _noun("couscous", category="grain", sources=("food.com",)),
+    _noun("tortilla", plural="tortillas", category="grain"),
+    # legumes & nuts
+    _noun("chickpea", plural="chickpeas", category="legume", aliases=("garbanzo bean",)),
+    _adj_noun("black bean", 1, plural="black beans", category="legume"),
+    _noun("kidney bean", plural="kidney beans", category="legume"),
+    _noun("lentil", plural="lentils", category="legume", sources=("food.com",)),
+    _noun("tofu", category="legume", sources=("allrecipes",)),
+    _noun("almond", plural="almonds", category="nut"),
+    _noun("walnut", plural="walnuts", category="nut"),
+    _noun("peanut", plural="peanuts", category="nut"),
+    _noun("peanut butter", category="nut"),
+    _noun("cashew", plural="cashews", category="nut", sources=("food.com",)),
+    _noun("pecan", plural="pecans", category="nut", sources=("allrecipes",)),
+    _noun("pine nut", plural="pine nuts", category="nut", sources=("food.com",)),
+    _noun("sesame seed", plural="sesame seeds", category="nut"),
+    # oils, condiments, spices, herbs
+    _noun("olive oil", category="oil"),
+    _adj_noun("extra virgin olive oil", 2, category="oil"),
+    _noun("vegetable oil", category="oil"),
+    _noun("canola oil", category="oil", sources=("allrecipes",)),
+    _noun("sesame oil", category="oil", sources=("food.com",)),
+    _noun("coconut oil", category="oil", sources=("allrecipes",)),
+    _noun("soy sauce", category="condiment"),
+    _noun("fish sauce", category="condiment", sources=("food.com",)),
+    _noun("worcestershire sauce", category="condiment", sources=("food.com",)),
+    _noun("tomato paste", category="condiment"),
+    _noun("tomato sauce", category="condiment"),
+    _noun("ketchup", category="condiment", sources=("allrecipes",)),
+    _noun("mustard", category="condiment"),
+    _noun("dijon mustard", category="condiment", sources=("food.com",)),
+    _noun("mayonnaise", category="condiment"),
+    _noun("honey", category="sweetener"),
+    _noun("maple syrup", category="sweetener", sources=("allrecipes",)),
+    _noun("molasses", category="sweetener", sources=("food.com",)),
+    _noun("vinegar", category="condiment"),
+    _noun("balsamic vinegar", category="condiment"),
+    _adj_noun("red wine vinegar", 2, category="condiment", sources=("food.com",)),
+    _adj_noun("apple cider vinegar", 2, category="condiment", sources=("allrecipes",)),
+    _noun("salt", category="spice"),
+    _noun("sea salt", category="spice", sources=("allrecipes",)),
+    _noun("kosher salt", category="spice", sources=("food.com",)),
+    _noun("pepper", category="spice"),
+    _adj_noun("black pepper", 1, category="spice"),
+    _noun("cayenne pepper", category="spice", sources=("food.com",)),
+    _noun("paprika", category="spice"),
+    _noun("cumin", category="spice"),
+    _noun("coriander", category="spice", sources=("food.com",)),
+    _noun("turmeric", category="spice", sources=("food.com",)),
+    _noun("cinnamon", category="spice"),
+    _noun("nutmeg", category="spice"),
+    _noun("clove", plural="cloves", category="spice", sources=("food.com",)),
+    _noun("cardamom", category="spice", sources=("food.com",)),
+    _noun("chili powder", category="spice"),
+    _noun("curry powder", category="spice", sources=("food.com",)),
+    _noun("garam masala", category="spice", sources=("food.com",)),
+    _noun("oregano", category="herb"),
+    _noun("basil", category="herb"),
+    _noun("thyme", category="herb"),
+    _noun("rosemary", category="herb"),
+    _noun("parsley", category="herb"),
+    _noun("cilantro", category="herb", aliases=("coriander leaves",)),
+    _noun("dill", category="herb", sources=("food.com",)),
+    _noun("sage", category="herb", sources=("allrecipes",)),
+    _noun("mint", category="herb"),
+    _noun("bay leaf", plural="bay leaves", category="herb"),
+    _noun("vanilla bean", plural="vanilla beans", category="herb", sources=("food.com",)),
+    # liquids & misc
+    _noun("water", category="liquid"),
+    _noun("wine", category="liquid"),
+    _adj_noun("white wine", 1, category="liquid"),
+    _adj_noun("red wine", 1, category="liquid"),
+    _noun("coconut milk", category="liquid", sources=("food.com",)),
+    _noun("orange juice", category="liquid"),
+    _noun("vegetable broth", category="liquid", sources=("allrecipes",)),
+    _noun("chicken broth", category="liquid"),
+    _noun("beer", category="liquid", sources=("food.com",)),
+    _noun("dark chocolate", category="baking", sources=("allrecipes",)),
+    _noun("gelatin", category="baking", sources=("food.com",)),
+)
+
+
+# --------------------------------------------------------------------------- units
+
+UNITS: tuple[LexiconEntry, ...] = (
+    _noun("cup", plural="cups", category="volume"),
+    _noun("tablespoon", plural="tablespoons", category="volume"),
+    _noun("teaspoon", plural="teaspoons", category="volume"),
+    _noun("ounce", plural="ounces", category="weight"),
+    _noun("pound", plural="pounds", category="weight"),
+    _noun("gram", plural="grams", category="weight"),
+    _noun("kilogram", plural="kilograms", category="weight", sources=("food.com",)),
+    _noun("milliliter", plural="milliliters", category="volume", sources=("food.com",)),
+    _noun("liter", plural="liters", category="volume", sources=("food.com",)),
+    _noun("pint", plural="pints", category="volume", sources=("allrecipes",)),
+    _noun("quart", plural="quarts", category="volume", sources=("allrecipes",)),
+    _noun("clove", plural="cloves", category="count"),
+    _noun("sheet", plural="sheets", category="count"),
+    _noun("package", plural="packages", category="count"),
+    _noun("can", plural="cans", category="count"),
+    _noun("jar", plural="jars", category="count"),
+    _noun("slice", plural="slices", category="count"),
+    _noun("stick", plural="sticks", category="count"),
+    _noun("bunch", plural="bunches", category="count"),
+    _noun("sprig", plural="sprigs", category="count", sources=("food.com",)),
+    _noun("pinch", plural="pinches", category="count"),
+    _noun("dash", plural="dashes", category="count", sources=("food.com",)),
+    _noun("head", plural="heads", category="count"),
+    _noun("stalk", plural="stalks", category="count"),
+    _noun("piece", plural="pieces", category="count"),
+)
+
+#: Abbreviated measurement units (predominantly used by FOOD.com phrases).
+#: ``name`` is the canonical (full) unit so downstream consumers (nutrition
+#: estimation) can still resolve the abbreviation.
+UNIT_ABBREVIATIONS: tuple[LexiconEntry, ...] = (
+    LexiconEntry(name="tablespoon", tokens=("tbsp",), pos=("NN",), category="volume",
+                 sources=("food.com",)),
+    LexiconEntry(name="teaspoon", tokens=("tsp",), pos=("NN",), category="volume",
+                 sources=("food.com",)),
+    LexiconEntry(name="ounce", tokens=("oz",), pos=("NN",), category="weight",
+                 sources=("food.com",)),
+    LexiconEntry(name="gram", tokens=("g",), pos=("NN",), category="weight",
+                 sources=("food.com",)),
+    LexiconEntry(name="milliliter", tokens=("ml",), pos=("NN",), category="volume",
+                 sources=("food.com",)),
+    LexiconEntry(name="pound", tokens=("lb",), pos=("NN",), category="weight",
+                 sources=("food.com",)),
+    LexiconEntry(name="cup", tokens=("c",), pos=("NN",), category="volume",
+                 sources=("food.com",)),
+)
+
+
+# --------------------------------------------------------------------------- attributes
+
+#: Processing states (past participles) with their POS tag.
+STATES: tuple[str, ...] = (
+    "chopped",
+    "minced",
+    "ground",
+    "thawed",
+    "softened",
+    "melted",
+    "crushed",
+    "sliced",
+    "diced",
+    "grated",
+    "beaten",
+    "peeled",
+    "drained",
+    "shredded",
+    "julienned",
+    "crumbled",
+    "toasted",
+    "mashed",
+    "cubed",
+    "rinsed",
+    "halved",
+    "quartered",
+    "trimmed",
+    "pitted",
+    "seeded",
+    "whisked",
+)
+
+#: Adverbs that may precede a processing state ("freshly ground").
+STATE_ADVERBS: tuple[str, ...] = (
+    "freshly",
+    "finely",
+    "coarsely",
+    "thinly",
+    "roughly",
+    "lightly",
+    "very finely",
+)
+
+#: Portion-size adjectives (SIZE tag).
+SIZES: tuple[str, ...] = ("small", "medium", "large", "extra-large", "jumbo")
+
+#: Temperature attributes (TEMP tag); "room temperature" is handled by a
+#: dedicated template because of its two-token form.
+TEMPERATURES: tuple[str, ...] = ("hot", "cold", "warm", "chilled", "frozen", "lukewarm")
+
+#: Dryness / freshness attributes (DRY/FRESH tag).
+DRY_FRESH: tuple[str, ...] = ("fresh", "dried", "dry", "canned")
+
+
+# --------------------------------------------------------------------------- techniques
+
+#: Cooking techniques / processes (verb lemmas).  The tuple order matters only
+#: for deterministic iteration; the generator samples by profile weights.
+TECHNIQUES: tuple[LexiconEntry, ...] = (
+    _noun("preheat", category="heat"),
+    _noun("heat", category="heat"),
+    _noun("boil", category="heat"),
+    _noun("simmer", category="heat"),
+    _noun("fry", category="heat"),
+    _noun("saute", category="heat", aliases=("sauté",)),
+    _noun("bake", category="heat"),
+    _noun("roast", category="heat"),
+    _noun("grill", category="heat", sources=("allrecipes",)),
+    _noun("steam", category="heat", sources=("food.com",)),
+    _noun("broil", category="heat", sources=("allrecipes",)),
+    _noun("toast", category="heat"),
+    _noun("melt", category="heat"),
+    _noun("bring", category="heat"),
+    _noun("reduce", category="heat", sources=("food.com",)),
+    _noun("cook", category="heat"),
+    _noun("mix", category="combine"),
+    _noun("stir", category="combine"),
+    _noun("whisk", category="combine"),
+    _noun("combine", category="combine"),
+    _noun("add", category="combine"),
+    _noun("fold", category="combine", sources=("allrecipes",)),
+    _noun("blend", category="combine"),
+    _noun("beat", category="combine"),
+    _noun("toss", category="combine"),
+    _noun("pour", category="transfer"),
+    _noun("transfer", category="transfer"),
+    _noun("drain", category="prep"),
+    _noun("rinse", category="prep"),
+    _noun("chop", category="prep"),
+    _noun("slice", category="prep"),
+    _noun("dice", category="prep"),
+    _noun("mince", category="prep"),
+    _noun("grate", category="prep"),
+    _noun("peel", category="prep"),
+    _noun("crush", category="prep", sources=("food.com",)),
+    _noun("knead", category="prep", sources=("food.com",)),
+    _noun("roll", category="prep"),
+    _noun("marinate", category="prep", sources=("food.com",)),
+    _noun("season", category="finish"),
+    _noun("sprinkle", category="finish"),
+    _noun("garnish", category="finish"),
+    _noun("spread", category="finish"),
+    _noun("layer", category="finish", sources=("allrecipes",)),
+    _noun("cover", category="finish"),
+    _noun("remove", category="finish"),
+    _noun("serve", category="finish"),
+    _noun("refrigerate", category="finish"),
+    _noun("chill", category="finish", sources=("allrecipes",)),
+    _noun("cool", category="finish"),
+    _noun("set", category="finish"),
+    _noun("place", category="transfer"),
+    _noun("arrange", category="transfer", sources=("allrecipes",)),
+    _noun("divide", category="transfer", sources=("food.com",)),
+    _noun("drizzle", category="finish"),
+    _noun("squeeze", category="prep", sources=("food.com",)),
+)
+
+
+# --------------------------------------------------------------------------- utensils
+
+UTENSILS: tuple[LexiconEntry, ...] = (
+    _noun("pan", plural="pans", category="stovetop"),
+    _noun("frying pan", plural="frying pans", category="stovetop"),
+    _noun("saucepan", plural="saucepans", category="stovetop"),
+    _noun("skillet", plural="skillets", category="stovetop"),
+    _noun("pot", plural="pots", category="stovetop"),
+    _noun("stockpot", plural="stockpots", category="stovetop", sources=("food.com",)),
+    _noun("wok", plural="woks", category="stovetop", sources=("food.com",)),
+    _noun("oven", plural="ovens", category="appliance"),
+    _noun("microwave", plural="microwaves", category="appliance", sources=("allrecipes",)),
+    _noun("blender", plural="blenders", category="appliance"),
+    _noun("food processor", plural="food processors", category="appliance"),
+    _noun("mixer", plural="mixers", category="appliance", sources=("allrecipes",)),
+    _noun("bowl", plural="bowls", category="container"),
+    _noun("mixing bowl", plural="mixing bowls", category="container"),
+    _noun("baking sheet", plural="baking sheets", category="bakeware"),
+    _noun("baking dish", plural="baking dishes", category="bakeware"),
+    _noun("casserole dish", plural="casserole dishes", category="bakeware", sources=("allrecipes",)),
+    _noun("loaf pan", plural="loaf pans", category="bakeware", sources=("allrecipes",)),
+    _noun("muffin tin", plural="muffin tins", category="bakeware", sources=("allrecipes",)),
+    _noun("tray", plural="trays", category="bakeware"),
+    _noun("knife", plural="knives", category="tool"),
+    _noun("whisk", plural="whisks", category="tool"),
+    _noun("spatula", plural="spatulas", category="tool"),
+    _noun("ladle", plural="ladles", category="tool", sources=("food.com",)),
+    _noun("tongs", category="tool", sources=("food.com",)),
+    _noun("cutting board", plural="cutting boards", category="tool"),
+    _noun("rolling pin", plural="rolling pins", category="tool", sources=("food.com",)),
+    _noun("colander", plural="colanders", category="tool"),
+    _noun("grater", plural="graters", category="tool", sources=("food.com",)),
+    _noun("measuring cup", plural="measuring cups", category="tool", sources=("allrecipes",)),
+    _noun("grill pan", plural="grill pans", category="stovetop", sources=("allrecipes",)),
+    _noun("dutch oven", plural="dutch ovens", category="stovetop", sources=("food.com",)),
+)
+
+
+#: Cuisines used for recipe metadata (the paper mentions 40 cuisines; a
+#: representative subset keeps the corpus realistic without bloating it).
+CUISINES: tuple[str, ...] = (
+    "american",
+    "italian",
+    "mexican",
+    "indian",
+    "chinese",
+    "thai",
+    "french",
+    "greek",
+    "japanese",
+    "spanish",
+    "moroccan",
+    "korean",
+    "vietnamese",
+    "lebanese",
+    "turkish",
+    "brazilian",
+    "caribbean",
+    "german",
+    "british",
+    "ethiopian",
+)
+
+
+_INGREDIENT_INDEX: dict[str, LexiconEntry] = {entry.name: entry for entry in INGREDIENTS}
+
+
+def ingredient_by_name(name: str) -> LexiconEntry | None:
+    """Look up an ingredient entry by canonical name (``None`` when unknown)."""
+    return _INGREDIENT_INDEX.get(name)
+
+
+def technique_lemmas() -> frozenset[str]:
+    """Set of all cooking-technique lemmas."""
+    return frozenset(entry.name for entry in TECHNIQUES)
+
+
+def utensil_names() -> frozenset[str]:
+    """Set of all utensil canonical names."""
+    return frozenset(entry.name for entry in UTENSILS)

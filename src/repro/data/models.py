@@ -1,0 +1,243 @@
+"""Data model of the simulated RecipeDB corpus.
+
+Every object keeps three parallel views of its text: the raw string, the
+token sequence, and gold annotations (NER tags over tokens, POS tags over
+tokens and -- for instructions -- the gold relation tuples).  The runtime
+pipelines only consume the raw text or the tokens; the gold annotations are
+used for training and scoring.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import DataError
+
+__all__ = [
+    "AnnotatedInstruction",
+    "AnnotatedPhrase",
+    "GoldRelation",
+    "Recipe",
+    "Source",
+]
+
+
+class Source(str, Enum):
+    """Origin website of a recipe (the two RecipeDB sources)."""
+
+    ALLRECIPES = "allrecipes"
+    FOOD_COM = "food.com"
+
+    @classmethod
+    def parse(cls, value: "str | Source") -> "Source":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise DataError(f"unknown recipe source: {value!r}") from None
+
+
+@dataclass(frozen=True)
+class AnnotatedPhrase:
+    """One ingredient phrase with gold annotations.
+
+    Attributes:
+        text: The raw phrase (e.g. ``"1 sheet frozen puff pastry ( thawed )"``).
+        tokens: Tokenised phrase.
+        ner_tags: Gold entity tag per token (Table II tags or ``"O"``).
+        pos_tags: Gold Penn Treebank tag per token.
+        canonical_name: Canonical (lemmatised) ingredient name of the phrase.
+        template_id: Identifier of the template that generated the phrase
+            (proxy for its lexical-structure family; useful when evaluating
+            the clustering stage).
+    """
+
+    text: str
+    tokens: tuple[str, ...]
+    ner_tags: tuple[str, ...]
+    pos_tags: tuple[str, ...]
+    canonical_name: str
+    template_id: str
+
+    def __post_init__(self) -> None:
+        if not (len(self.tokens) == len(self.ner_tags) == len(self.pos_tags)):
+            raise DataError(
+                f"misaligned annotations for phrase {self.text!r}: "
+                f"{len(self.tokens)} tokens, {len(self.ner_tags)} NER tags, "
+                f"{len(self.pos_tags)} POS tags"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "text": self.text,
+            "tokens": list(self.tokens),
+            "ner_tags": list(self.ner_tags),
+            "pos_tags": list(self.pos_tags),
+            "canonical_name": self.canonical_name,
+            "template_id": self.template_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnnotatedPhrase":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            text=payload["text"],
+            tokens=tuple(payload["tokens"]),
+            ner_tags=tuple(payload["ner_tags"]),
+            pos_tags=tuple(payload["pos_tags"]),
+            canonical_name=payload["canonical_name"],
+            template_id=payload["template_id"],
+        )
+
+
+@dataclass(frozen=True)
+class GoldRelation:
+    """A gold many-to-many relation tuple inside one instruction step.
+
+    Attributes:
+        process: The cooking technique (canonical verb lemma).
+        ingredients: Canonical ingredient names the process acts on.
+        utensils: Canonical utensil names involved.
+    """
+
+    process: str
+    ingredients: tuple[str, ...] = ()
+    utensils: tuple[str, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        """Number of entities (ingredients + utensils) in the relation."""
+        return len(self.ingredients) + len(self.utensils)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "process": self.process,
+            "ingredients": list(self.ingredients),
+            "utensils": list(self.utensils),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GoldRelation":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            process=payload["process"],
+            ingredients=tuple(payload["ingredients"]),
+            utensils=tuple(payload["utensils"]),
+        )
+
+
+@dataclass(frozen=True)
+class AnnotatedInstruction:
+    """One instruction step with gold annotations.
+
+    Attributes:
+        text: The raw instruction sentence.
+        tokens: Tokenised sentence.
+        ner_tags: Gold tags over {PROCESS, INGREDIENT, UTENSIL, O}.
+        pos_tags: Gold Penn Treebank tags.
+        relations: Gold many-to-many relation tuples for this step, in
+            temporal order.
+    """
+
+    text: str
+    tokens: tuple[str, ...]
+    ner_tags: tuple[str, ...]
+    pos_tags: tuple[str, ...]
+    relations: tuple[GoldRelation, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (len(self.tokens) == len(self.ner_tags) == len(self.pos_tags)):
+            raise DataError(
+                f"misaligned annotations for instruction {self.text!r}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "text": self.text,
+            "tokens": list(self.tokens),
+            "ner_tags": list(self.ner_tags),
+            "pos_tags": list(self.pos_tags),
+            "relations": [relation.to_dict() for relation in self.relations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnnotatedInstruction":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            text=payload["text"],
+            tokens=tuple(payload["tokens"]),
+            ner_tags=tuple(payload["ner_tags"]),
+            pos_tags=tuple(payload["pos_tags"]),
+            relations=tuple(GoldRelation.from_dict(item) for item in payload["relations"]),
+        )
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A complete recipe: metadata, ingredients section and instructions section."""
+
+    recipe_id: str
+    title: str
+    cuisine: str
+    source: Source
+    ingredients: tuple[AnnotatedPhrase, ...]
+    instructions: tuple[AnnotatedInstruction, ...]
+    servings: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.ingredients:
+            raise DataError(f"recipe {self.recipe_id} has no ingredients")
+        if not self.instructions:
+            raise DataError(f"recipe {self.recipe_id} has no instructions")
+        if self.servings <= 0:
+            raise DataError(f"recipe {self.recipe_id} has non-positive servings")
+
+    @property
+    def ingredient_names(self) -> list[str]:
+        """Canonical names of every ingredient in the recipe."""
+        return [phrase.canonical_name for phrase in self.ingredients]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "recipe_id": self.recipe_id,
+            "title": self.title,
+            "cuisine": self.cuisine,
+            "source": self.source.value,
+            "servings": self.servings,
+            "ingredients": [phrase.to_dict() for phrase in self.ingredients],
+            "instructions": [step.to_dict() for step in self.instructions],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Recipe":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            recipe_id=payload["recipe_id"],
+            title=payload["title"],
+            cuisine=payload["cuisine"],
+            source=Source.parse(payload["source"]),
+            servings=payload.get("servings", 4),
+            ingredients=tuple(
+                AnnotatedPhrase.from_dict(item) for item in payload["ingredients"]
+            ),
+            instructions=tuple(
+                AnnotatedInstruction.from_dict(item) for item in payload["instructions"]
+            ),
+        )
+
+    def to_json(self) -> str:
+        """Single-line JSON rendering (used by the JSONL persistence layer)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "Recipe":
+        """Parse a recipe from its JSON rendering."""
+        return cls.from_dict(json.loads(line))

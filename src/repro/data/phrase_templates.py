@@ -1,0 +1,580 @@
+"""Template grammar for ingredient phrases.
+
+Each template describes one *lexical structure family* of ingredient phrases
+("quantity unit name", "quantity (quantity unit) package name, state", ...).
+The paper identifies roughly 23 such families via K-Means clustering of POS
+vectors; the 23 templates below generate the same structural variety, so the
+clustering stage has real structure to discover.
+
+A template is realised from a :class:`PhraseParts` bundle of concrete lexical
+choices prepared by the generator.  Realisation returns the tokens, the gold
+NER tags (Table II schema), the gold POS tags and the canonical ingredient
+name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.data.lexicons import LexiconEntry
+from repro.errors import DataError
+
+__all__ = ["PhraseParts", "PhraseTemplate", "PHRASE_TEMPLATES", "template_by_id"]
+
+
+@dataclass
+class PhraseParts:
+    """Concrete lexical choices used to realise one ingredient phrase.
+
+    Only the fields a template declares in ``needs`` are guaranteed to be
+    filled by the generator; the rest may be ``None``.
+    """
+
+    ingredient: LexiconEntry
+    plural: bool = False
+    quantity: str | None = None
+    quantity2: str | None = None
+    unit: LexiconEntry | None = None
+    unit2: LexiconEntry | None = None
+    alt_ingredient: LexiconEntry | None = None
+    state: str | None = None
+    state2: str | None = None
+    adverb: str | None = None
+    size: str | None = None
+    temperature: str | None = None
+    dry_fresh: str | None = None
+
+
+@dataclass(frozen=True)
+class PhraseTemplate:
+    """One lexical-structure family of ingredient phrases.
+
+    Attributes:
+        template_id: Stable identifier ("T01"..."T23").
+        needs: Names of the :class:`PhraseParts` fields the template uses.
+        weights: Relative sampling weight per source profile; a weight of 0
+            means the structure does not occur on that website, which creates
+            the AllRecipes / FOOD.com domain gap.
+        realize: Function building (tokens, ner_tags, pos_tags) from parts.
+        description: Short human-readable description with an example.
+    """
+
+    template_id: str
+    needs: frozenset[str]
+    weights: dict[str, float]
+    realize: Callable[[PhraseParts], tuple[list[str], list[str], list[str]]]
+    description: str
+
+
+def _ingredient_tokens(entry: LexiconEntry, plural: bool) -> tuple[list[str], list[str]]:
+    """Surface tokens and POS tags for an ingredient, honouring plurality."""
+    if plural and entry.plural is not None:
+        return list(entry.plural), list(entry.plural_pos or ["NNS"] * len(entry.plural))
+    return list(entry.tokens), list(entry.pos)
+
+
+def _unit_tokens(entry: LexiconEntry, plural: bool) -> tuple[list[str], list[str]]:
+    if plural and entry.plural is not None:
+        return list(entry.plural), list(entry.plural_pos or ["NNS"])
+    return list(entry.tokens), list(entry.pos)
+
+
+def _emit(
+    pieces: list[tuple[list[str], list[str], list[str]]]
+) -> tuple[list[str], list[str], list[str]]:
+    tokens: list[str] = []
+    ner: list[str] = []
+    pos: list[str] = []
+    for piece_tokens, piece_ner, piece_pos in pieces:
+        tokens.extend(piece_tokens)
+        ner.extend(piece_ner)
+        pos.extend(piece_pos)
+    return tokens, ner, pos
+
+
+def _name_piece(parts: PhraseParts) -> tuple[list[str], list[str], list[str]]:
+    tokens, pos = _ingredient_tokens(parts.ingredient, parts.plural)
+    return tokens, ["NAME"] * len(tokens), pos
+
+
+def _alt_name_piece(parts: PhraseParts) -> tuple[list[str], list[str], list[str]]:
+    if parts.alt_ingredient is None:
+        raise DataError("template requires alt_ingredient but it was not provided")
+    tokens, pos = _ingredient_tokens(parts.alt_ingredient, False)
+    return tokens, ["NAME"] * len(tokens), pos
+
+
+def _unit_piece(parts: PhraseParts, *, second: bool = False) -> tuple[list[str], list[str], list[str]]:
+    entry = parts.unit2 if second else parts.unit
+    if entry is None:
+        raise DataError("template requires a unit but it was not provided")
+    quantity = parts.quantity2 if second else parts.quantity
+    plural = _quantity_is_plural(quantity)
+    tokens, pos = _unit_tokens(entry, plural)
+    return tokens, ["UNIT"] * len(tokens), pos
+
+
+def _quantity_is_plural(quantity: str | None) -> bool:
+    if quantity is None:
+        return False
+    if quantity in {"1", "1/2", "1/4", "3/4", "1/3", "2/3", "1/8"}:
+        return False
+    return True
+
+
+def _qty_piece(parts: PhraseParts, *, second: bool = False) -> tuple[list[str], list[str], list[str]]:
+    quantity = parts.quantity2 if second else parts.quantity
+    if quantity is None:
+        raise DataError("template requires a quantity but it was not provided")
+    return [quantity], ["QUANTITY"], ["CD"]
+
+
+def _state_piece(parts: PhraseParts, *, second: bool = False) -> tuple[list[str], list[str], list[str]]:
+    state = parts.state2 if second else parts.state
+    if state is None:
+        raise DataError("template requires a state but it was not provided")
+    return [state], ["STATE"], ["VBN"]
+
+
+def _adverb_piece(parts: PhraseParts) -> tuple[list[str], list[str], list[str]]:
+    if parts.adverb is None:
+        raise DataError("template requires an adverb but it was not provided")
+    tokens = parts.adverb.split()
+    return tokens, ["O"] * len(tokens), ["RB"] * len(tokens)
+
+
+def _size_piece(parts: PhraseParts) -> tuple[list[str], list[str], list[str]]:
+    if parts.size is None:
+        raise DataError("template requires a size but it was not provided")
+    return [parts.size], ["SIZE"], ["JJ"]
+
+
+def _temp_piece(parts: PhraseParts) -> tuple[list[str], list[str], list[str]]:
+    if parts.temperature is None:
+        raise DataError("template requires a temperature but it was not provided")
+    return [parts.temperature], ["TEMP"], ["JJ"]
+
+
+def _df_piece(parts: PhraseParts) -> tuple[list[str], list[str], list[str]]:
+    if parts.dry_fresh is None:
+        raise DataError("template requires a dry/fresh attribute but it was not provided")
+    return [parts.dry_fresh], ["DRY/FRESH"], ["JJ"]
+
+
+def _lit(token: str, pos: str) -> tuple[list[str], list[str], list[str]]:
+    return [token], ["O"], [pos]
+
+
+# --------------------------------------------------------------------------- templates
+
+
+def _t01(parts: PhraseParts):  # "3/4 cup sugar"
+    return _emit([_qty_piece(parts), _unit_piece(parts), _name_piece(parts)])
+
+
+def _t02(parts: PhraseParts):  # "1 garlic clove , crushed"
+    return _emit([_qty_piece(parts), _name_piece(parts), _lit(",", ","), _state_piece(parts)])
+
+
+def _t03(parts: PhraseParts):  # "1 ( 8 ounce ) package cream cheese , softened"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _lit("(", "("),
+            _qty_piece(parts, second=True),
+            _unit_piece(parts, second=True),
+            _lit(")", ")"),
+            _unit_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _state_piece(parts),
+        ]
+    )
+
+
+def _t04(parts: PhraseParts):  # "2-3 medium tomatoes"
+    return _emit([_qty_piece(parts), _size_piece(parts), _name_piece(parts)])
+
+
+def _t05(parts: PhraseParts):  # "1/2 teaspoon pepper , freshly ground"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _adverb_piece(parts),
+            _state_piece(parts),
+        ]
+    )
+
+
+def _t06(parts: PhraseParts):  # "1/2 teaspoon fresh thyme , minced"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _df_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _state_piece(parts),
+        ]
+    )
+
+
+def _t07(parts: PhraseParts):  # "1 tablespoon whole milk ( or half-and-half )"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _name_piece(parts),
+            _lit("(", "("),
+            _lit("or", "CC"),
+            _alt_name_piece(parts),
+            _lit(")", ")"),
+        ]
+    )
+
+
+def _t08(parts: PhraseParts):  # "6 ounces blue cheese , at room temperature"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _lit("at", "IN"),
+            _lit("room", "NN"),
+            _lit("temperature", "NN"),
+        ]
+    )
+
+
+def _t09(parts: PhraseParts):  # "1 sheet frozen puff pastry ( thawed )"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _temp_piece(parts),
+            _name_piece(parts),
+            _lit("(", "("),
+            _state_piece(parts),
+            _lit(")", ")"),
+        ]
+    )
+
+
+def _t10(parts: PhraseParts):  # "salt to taste"
+    return _emit([_name_piece(parts), _lit("to", "TO"), _lit("taste", "NN")])
+
+
+def _t11(parts: PhraseParts):  # "2 eggs"
+    return _emit([_qty_piece(parts), _name_piece(parts)])
+
+
+def _t12(parts: PhraseParts):  # "2 eggs , beaten"
+    return _emit([_qty_piece(parts), _name_piece(parts), _lit(",", ","), _state_piece(parts)])
+
+
+def _t13(parts: PhraseParts):  # "1-2 fresh chili pepper very finely chopped"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _df_piece(parts),
+            _name_piece(parts),
+            _adverb_piece(parts),
+            _state_piece(parts),
+        ]
+    )
+
+
+def _t14(parts: PhraseParts):  # "1 cup chopped walnuts"
+    return _emit([_qty_piece(parts), _unit_piece(parts), _state_piece(parts), _name_piece(parts)])
+
+
+def _t15(parts: PhraseParts):  # "1 pound potatoes , peeled and diced"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _state_piece(parts),
+            _lit("and", "CC"),
+            _state_piece(parts, second=True),
+        ]
+    )
+
+
+def _t16(parts: PhraseParts):  # "1 cup grated parmesan cheese , divided"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _state_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _lit("divided", "VBN"),
+        ]
+    )
+
+
+def _t17(parts: PhraseParts):  # "1 cup warm water"
+    return _emit([_qty_piece(parts), _unit_piece(parts), _temp_piece(parts), _name_piece(parts)])
+
+
+def _t18(parts: PhraseParts):  # "2 tablespoons vegetable oil for frying"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _name_piece(parts),
+            _lit("for", "IN"),
+            _lit("frying", "VBG"),
+        ]
+    )
+
+
+def _t19(parts: PhraseParts):  # "a pinch of nutmeg"
+    return _emit(
+        [
+            _lit("a", "DT"),
+            _unit_piece(parts),
+            _lit("of", "IN"),
+            _name_piece(parts),
+        ]
+    )
+
+
+def _t20(parts: PhraseParts):  # "2 tablespoons plus 1 teaspoon olive oil"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _lit("plus", "CC"),
+            _qty_piece(parts, second=True),
+            _unit_piece(parts, second=True),
+            _name_piece(parts),
+        ]
+    )
+
+
+def _t21(parts: PhraseParts):  # "cilantro ( optional )"
+    return _emit(
+        [
+            _name_piece(parts),
+            _lit("(", "("),
+            _lit("optional", "JJ"),
+            _lit(")", ")"),
+        ]
+    )
+
+
+def _t22(parts: PhraseParts):  # "1 large onion , chopped"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _size_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _state_piece(parts),
+        ]
+    )
+
+
+def _t23(parts: PhraseParts):  # "1/2 cup dried cranberries , roughly chopped"
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _df_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _adverb_piece(parts),
+            _state_piece(parts),
+        ]
+    )
+
+
+def _t24(parts: PhraseParts):  # "flour - 2 cups" (reversed, FOOD.com style)
+    return _emit(
+        [
+            _name_piece(parts),
+            _lit("-", "SYM"),
+            _qty_piece(parts),
+            _unit_piece(parts),
+        ]
+    )
+
+
+def _t25(parts: PhraseParts):  # "2 tbsp olive oil , chopped" (abbreviated metric units)
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _name_piece(parts),
+            _lit(",", ","),
+            _state_piece(parts),
+        ]
+    )
+
+
+def _t26(parts: PhraseParts):  # "2 cups of sugar" (AllRecipes style)
+    return _emit(
+        [
+            _qty_piece(parts),
+            _unit_piece(parts),
+            _lit("of", "IN"),
+            _name_piece(parts),
+        ]
+    )
+
+
+PHRASE_TEMPLATES: tuple[PhraseTemplate, ...] = (
+    PhraseTemplate(
+        "T01", frozenset({"quantity", "unit"}),
+        {"allrecipes": 16.0, "food.com": 12.0}, _t01,
+        "QTY UNIT NAME -- '3/4 cup sugar'",
+    ),
+    PhraseTemplate(
+        "T02", frozenset({"quantity", "state"}),
+        {"allrecipes": 5.0, "food.com": 6.0}, _t02,
+        "QTY NAME , STATE -- '1 garlic clove , crushed'",
+    ),
+    PhraseTemplate(
+        "T03", frozenset({"quantity", "quantity2", "unit", "unit2", "state"}),
+        {"allrecipes": 3.0, "food.com": 5.0}, _t03,
+        "QTY ( QTY UNIT ) UNIT NAME , STATE -- '1 ( 8 ounce ) package cream cheese , softened'",
+    ),
+    PhraseTemplate(
+        "T04", frozenset({"quantity", "size"}),
+        {"allrecipes": 6.0, "food.com": 4.0}, _t04,
+        "QTY SIZE NAME -- '2-3 medium tomatoes'",
+    ),
+    PhraseTemplate(
+        "T05", frozenset({"quantity", "unit", "adverb", "state"}),
+        {"allrecipes": 4.0, "food.com": 5.0}, _t05,
+        "QTY UNIT NAME , ADV STATE -- '1/2 teaspoon pepper , freshly ground'",
+    ),
+    PhraseTemplate(
+        "T06", frozenset({"quantity", "unit", "dry_fresh", "state"}),
+        {"allrecipes": 4.0, "food.com": 5.0}, _t06,
+        "QTY UNIT DF NAME , STATE -- '1/2 teaspoon fresh thyme , minced'",
+    ),
+    PhraseTemplate(
+        "T07", frozenset({"quantity", "unit", "alt_ingredient"}),
+        {"allrecipes": 1.5, "food.com": 3.0}, _t07,
+        "QTY UNIT NAME ( or NAME ) -- '1 tablespoon whole milk ( or half-and-half )'",
+    ),
+    PhraseTemplate(
+        "T08", frozenset({"quantity", "unit"}),
+        {"allrecipes": 2.0, "food.com": 3.0}, _t08,
+        "QTY UNIT NAME , at room temperature -- '6 ounces blue cheese , at room temperature'",
+    ),
+    PhraseTemplate(
+        "T09", frozenset({"quantity", "unit", "temperature", "state"}),
+        {"allrecipes": 2.0, "food.com": 3.0}, _t09,
+        "QTY UNIT TEMP NAME ( STATE ) -- '1 sheet frozen puff pastry ( thawed )'",
+    ),
+    PhraseTemplate(
+        "T10", frozenset(),
+        {"allrecipes": 4.0, "food.com": 3.0}, _t10,
+        "NAME to taste -- 'salt to taste'",
+    ),
+    PhraseTemplate(
+        "T11", frozenset({"quantity"}),
+        {"allrecipes": 8.0, "food.com": 6.0}, _t11,
+        "QTY NAME -- '2 eggs'",
+    ),
+    PhraseTemplate(
+        "T12", frozenset({"quantity", "state"}),
+        {"allrecipes": 5.0, "food.com": 4.0}, _t12,
+        "QTY NAME , STATE -- '2 eggs , beaten'",
+    ),
+    PhraseTemplate(
+        "T13", frozenset({"quantity", "dry_fresh", "adverb", "state"}),
+        {"allrecipes": 0.0, "food.com": 4.0}, _t13,
+        "QTY DF NAME ADV STATE -- '1-2 fresh chili pepper very finely chopped'",
+    ),
+    PhraseTemplate(
+        "T14", frozenset({"quantity", "unit", "state"}),
+        {"allrecipes": 6.0, "food.com": 5.0}, _t14,
+        "QTY UNIT STATE NAME -- '1 cup chopped walnuts'",
+    ),
+    PhraseTemplate(
+        "T15", frozenset({"quantity", "unit", "state", "state2"}),
+        {"allrecipes": 3.0, "food.com": 4.0}, _t15,
+        "QTY UNIT NAME , STATE and STATE -- '1 pound potatoes , peeled and diced'",
+    ),
+    PhraseTemplate(
+        "T16", frozenset({"quantity", "unit", "state"}),
+        {"allrecipes": 2.0, "food.com": 2.0}, _t16,
+        "QTY UNIT STATE NAME , divided -- '1 cup grated parmesan cheese , divided'",
+    ),
+    PhraseTemplate(
+        "T17", frozenset({"quantity", "unit", "temperature"}),
+        {"allrecipes": 2.5, "food.com": 2.0}, _t17,
+        "QTY UNIT TEMP NAME -- '1 cup warm water'",
+    ),
+    PhraseTemplate(
+        "T18", frozenset({"quantity", "unit"}),
+        {"allrecipes": 1.5, "food.com": 2.5}, _t18,
+        "QTY UNIT NAME for frying -- '2 tablespoons vegetable oil for frying'",
+    ),
+    PhraseTemplate(
+        "T19", frozenset({"unit"}),
+        {"allrecipes": 2.0, "food.com": 2.5}, _t19,
+        "a UNIT of NAME -- 'a pinch of nutmeg'",
+    ),
+    PhraseTemplate(
+        "T20", frozenset({"quantity", "unit", "quantity2", "unit2"}),
+        {"allrecipes": 0.0, "food.com": 2.0}, _t20,
+        "QTY UNIT plus QTY UNIT NAME -- '2 tablespoons plus 1 teaspoon olive oil'",
+    ),
+    PhraseTemplate(
+        "T21", frozenset(),
+        {"allrecipes": 2.0, "food.com": 1.5}, _t21,
+        "NAME ( optional ) -- 'cilantro ( optional )'",
+    ),
+    PhraseTemplate(
+        "T22", frozenset({"quantity", "size", "state"}),
+        {"allrecipes": 6.0, "food.com": 5.0}, _t22,
+        "QTY SIZE NAME , STATE -- '1 large onion , chopped'",
+    ),
+    PhraseTemplate(
+        "T23", frozenset({"quantity", "unit", "dry_fresh", "adverb", "state"}),
+        {"allrecipes": 0.5, "food.com": 3.0}, _t23,
+        "QTY UNIT DF NAME , ADV STATE -- '1/2 cup dried cranberries , roughly chopped'",
+    ),
+    PhraseTemplate(
+        "T24", frozenset({"quantity", "unit"}),
+        {"allrecipes": 0.0, "food.com": 4.0}, _t24,
+        "NAME - QTY UNIT -- 'flour - 2 cups' (reversed order, FOOD.com only)",
+    ),
+    PhraseTemplate(
+        "T25", frozenset({"quantity", "unit", "state"}),
+        {"allrecipes": 0.0, "food.com": 5.0}, _t25,
+        "QTY ABBREV NAME , STATE -- '2 tbsp shallots , minced' (abbreviated units, FOOD.com only)",
+    ),
+    PhraseTemplate(
+        "T26", frozenset({"quantity", "unit"}),
+        {"allrecipes": 3.0, "food.com": 0.0}, _t26,
+        "QTY UNIT of NAME -- '2 cups of sugar' (AllRecipes only)",
+    ),
+)
+
+
+_TEMPLATE_INDEX = {template.template_id: template for template in PHRASE_TEMPLATES}
+
+
+def template_by_id(template_id: str) -> PhraseTemplate:
+    """Look up a phrase template by identifier.
+
+    Raises:
+        DataError: If the identifier is unknown.
+    """
+    try:
+        return _TEMPLATE_INDEX[template_id]
+    except KeyError:
+        raise DataError(f"unknown phrase template: {template_id!r}") from None

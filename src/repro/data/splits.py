@@ -1,0 +1,80 @@
+"""Train/test splitting and k-fold cross-validation index helpers."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TypeVar
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils import make_rng
+
+__all__ = ["train_test_split", "k_fold_indices"]
+
+T = TypeVar("T")
+
+
+def train_test_split(
+    items: Sequence[T],
+    *,
+    test_fraction: float = 0.25,
+    seed: int | None = None,
+) -> tuple[list[T], list[T]]:
+    """Shuffle ``items`` and split them into train/test lists.
+
+    Args:
+        items: Items to split.
+        test_fraction: Fraction placed in the test split (0 < f < 1).
+        seed: Shuffle seed.
+
+    Raises:
+        ConfigurationError: For an out-of-range ``test_fraction``.
+        DataError: If either split would be empty.
+    """
+    if not 0 < test_fraction < 1:
+        raise ConfigurationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if len(items) < 2:
+        raise DataError("need at least two items to split")
+    rng = make_rng(seed)
+    order = rng.permutation(len(items))
+    n_test = max(1, int(round(len(items) * test_fraction)))
+    if n_test >= len(items):
+        n_test = len(items) - 1
+    test_indices = set(order[:n_test].tolist())
+    train = [item for index, item in enumerate(items) if index not in test_indices]
+    test = [item for index, item in enumerate(items) if index in test_indices]
+    return train, test
+
+
+def k_fold_indices(
+    n_items: int,
+    n_folds: int,
+    *,
+    seed: int | None = None,
+) -> list[tuple[list[int], list[int]]]:
+    """Index pairs ``(train_indices, test_indices)`` for k-fold cross-validation.
+
+    Folds differ in size by at most one item and are disjoint; every item
+    appears in exactly one test fold.
+    """
+    if n_folds < 2:
+        raise ConfigurationError(f"n_folds must be at least 2, got {n_folds}")
+    if n_items < n_folds:
+        raise DataError(f"cannot make {n_folds} folds from {n_items} items")
+    rng = make_rng(seed)
+    order = rng.permutation(n_items).tolist()
+    fold_sizes = [n_items // n_folds] * n_folds
+    for index in range(n_items % n_folds):
+        fold_sizes[index] += 1
+    folds: list[list[int]] = []
+    cursor = 0
+    for size in fold_sizes:
+        folds.append(order[cursor : cursor + size])
+        cursor += size
+    splits: list[tuple[list[int], list[int]]] = []
+    for fold_index in range(n_folds):
+        test = sorted(folds[fold_index])
+        train = sorted(
+            index for other, fold in enumerate(folds) if other != fold_index for index in fold
+        )
+        splits.append((train, test))
+    return splits

@@ -1,0 +1,186 @@
+"""Simulated USDA Standard Reference nutrient table.
+
+The paper's entity schema was derived from the USDA Standard Legacy
+Database, and the structured recipes feed a nutritional-profile estimator
+(Section IV).  The real USDA database is not redistributable here, so this
+module provides a small per-100g nutrient table for the generator's
+ingredient lexicon: hand-set values for the most common ingredients and
+category-level defaults for the rest.  The estimator only needs *relative*
+plausibility (energy-dense oils vs watery vegetables), not dietician-grade
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import lexicons
+from repro.errors import DataError
+
+__all__ = ["NutrientProfile", "nutrient_profile", "UNIT_GRAMS", "grams_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class NutrientProfile:
+    """Per-100-gram nutrient values.
+
+    Attributes:
+        energy_kcal: Energy in kilocalories.
+        protein_g: Protein in grams.
+        fat_g: Total fat in grams.
+        carbohydrate_g: Carbohydrates in grams.
+    """
+
+    energy_kcal: float
+    protein_g: float
+    fat_g: float
+    carbohydrate_g: float
+
+    def scaled(self, grams: float) -> "NutrientProfile":
+        """Profile scaled from 100 g to ``grams`` grams."""
+        factor = grams / 100.0
+        return NutrientProfile(
+            energy_kcal=self.energy_kcal * factor,
+            protein_g=self.protein_g * factor,
+            fat_g=self.fat_g * factor,
+            carbohydrate_g=self.carbohydrate_g * factor,
+        )
+
+    def __add__(self, other: "NutrientProfile") -> "NutrientProfile":
+        return NutrientProfile(
+            energy_kcal=self.energy_kcal + other.energy_kcal,
+            protein_g=self.protein_g + other.protein_g,
+            fat_g=self.fat_g + other.fat_g,
+            carbohydrate_g=self.carbohydrate_g + other.carbohydrate_g,
+        )
+
+
+ZERO_PROFILE = NutrientProfile(0.0, 0.0, 0.0, 0.0)
+
+#: Hand-set per-100g profiles for common ingredients (approximate USDA values).
+_SPECIFIC: dict[str, NutrientProfile] = {
+    "olive oil": NutrientProfile(884, 0.0, 100.0, 0.0),
+    "extra virgin olive oil": NutrientProfile(884, 0.0, 100.0, 0.0),
+    "vegetable oil": NutrientProfile(884, 0.0, 100.0, 0.0),
+    "butter": NutrientProfile(717, 0.9, 81.0, 0.1),
+    "unsalted butter": NutrientProfile(717, 0.9, 81.0, 0.1),
+    "sugar": NutrientProfile(387, 0.0, 0.0, 100.0),
+    "brown sugar": NutrientProfile(380, 0.1, 0.0, 98.0),
+    "honey": NutrientProfile(304, 0.3, 0.0, 82.0),
+    "flour": NutrientProfile(364, 10.3, 1.0, 76.0),
+    "all-purpose flour": NutrientProfile(364, 10.3, 1.0, 76.0),
+    "rice": NutrientProfile(365, 7.1, 0.7, 80.0),
+    "pasta": NutrientProfile(371, 13.0, 1.5, 75.0),
+    "milk": NutrientProfile(61, 3.2, 3.3, 4.8),
+    "whole milk": NutrientProfile(61, 3.2, 3.3, 4.8),
+    "heavy cream": NutrientProfile(340, 2.1, 36.0, 2.8),
+    "cream cheese": NutrientProfile(342, 5.9, 34.0, 4.1),
+    "cheddar cheese": NutrientProfile(403, 24.9, 33.1, 1.3),
+    "blue cheese": NutrientProfile(353, 21.4, 28.7, 2.3),
+    "parmesan cheese": NutrientProfile(431, 38.5, 29.0, 4.1),
+    "egg": NutrientProfile(143, 12.6, 9.5, 0.7),
+    "chicken breast": NutrientProfile(165, 31.0, 3.6, 0.0),
+    "ground beef": NutrientProfile(250, 26.0, 15.0, 0.0),
+    "bacon": NutrientProfile(541, 37.0, 42.0, 1.4),
+    "salmon": NutrientProfile(208, 20.4, 13.4, 0.0),
+    "shrimp": NutrientProfile(99, 24.0, 0.3, 0.2),
+    "potato": NutrientProfile(77, 2.0, 0.1, 17.0),
+    "tomato": NutrientProfile(18, 0.9, 0.2, 3.9),
+    "onion": NutrientProfile(40, 1.1, 0.1, 9.3),
+    "garlic": NutrientProfile(149, 6.4, 0.5, 33.1),
+    "carrot": NutrientProfile(41, 0.9, 0.2, 9.6),
+    "spinach": NutrientProfile(23, 2.9, 0.4, 3.6),
+    "avocado": NutrientProfile(160, 2.0, 14.7, 8.5),
+    "almond": NutrientProfile(579, 21.2, 49.9, 21.6),
+    "walnut": NutrientProfile(654, 15.2, 65.2, 13.7),
+    "peanut butter": NutrientProfile(588, 25.1, 50.4, 19.6),
+    "water": NutrientProfile(0, 0.0, 0.0, 0.0),
+    "salt": NutrientProfile(0, 0.0, 0.0, 0.0),
+    "pepper": NutrientProfile(251, 10.4, 3.3, 63.9),
+    "black pepper": NutrientProfile(251, 10.4, 3.3, 63.9),
+    "soy sauce": NutrientProfile(53, 8.1, 0.6, 4.9),
+    "chickpea": NutrientProfile(364, 19.3, 6.0, 60.6),
+    "lentil": NutrientProfile(353, 25.8, 1.1, 60.1),
+}
+
+#: Category-level fallback profiles (per 100 g).
+_CATEGORY_DEFAULTS: dict[str, NutrientProfile] = {
+    "vegetable": NutrientProfile(35, 1.5, 0.3, 7.0),
+    "fruit": NutrientProfile(55, 0.8, 0.3, 13.5),
+    "dairy": NutrientProfile(150, 8.0, 11.0, 5.0),
+    "meat": NutrientProfile(220, 26.0, 12.0, 0.0),
+    "seafood": NutrientProfile(120, 22.0, 3.0, 0.5),
+    "grain": NutrientProfile(350, 10.0, 2.0, 72.0),
+    "baking": NutrientProfile(360, 6.0, 4.0, 76.0),
+    "legume": NutrientProfile(340, 21.0, 3.0, 58.0),
+    "nut": NutrientProfile(600, 18.0, 52.0, 20.0),
+    "oil": NutrientProfile(884, 0.0, 100.0, 0.0),
+    "condiment": NutrientProfile(90, 2.0, 3.0, 14.0),
+    "sweetener": NutrientProfile(320, 0.1, 0.0, 82.0),
+    "spice": NutrientProfile(270, 10.0, 6.0, 50.0),
+    "herb": NutrientProfile(40, 3.0, 0.8, 7.0),
+    "liquid": NutrientProfile(35, 0.5, 0.2, 5.0),
+    "misc": NutrientProfile(150, 5.0, 5.0, 20.0),
+}
+
+#: Approximate gram weight of one measurement unit of a typical ingredient.
+UNIT_GRAMS: dict[str, float] = {
+    "cup": 200.0,
+    "tablespoon": 15.0,
+    "teaspoon": 5.0,
+    "ounce": 28.35,
+    "pound": 453.6,
+    "gram": 1.0,
+    "kilogram": 1000.0,
+    "milliliter": 1.0,
+    "liter": 1000.0,
+    "pint": 473.0,
+    "quart": 946.0,
+    "clove": 5.0,
+    "sheet": 125.0,
+    "package": 225.0,
+    "can": 400.0,
+    "jar": 350.0,
+    "slice": 25.0,
+    "stick": 113.0,
+    "bunch": 100.0,
+    "sprig": 2.0,
+    "pinch": 0.4,
+    "dash": 0.6,
+    "head": 500.0,
+    "stalk": 40.0,
+    "piece": 100.0,
+}
+
+#: Default weight (grams) assumed for a unit-less countable ingredient ("2 eggs").
+DEFAULT_PIECE_GRAMS = 80.0
+
+
+def nutrient_profile(ingredient_name: str) -> NutrientProfile:
+    """Per-100g nutrient profile for a canonical ingredient name.
+
+    Unknown ingredients fall back to their lexicon category default, then to
+    the ``"misc"`` default; the function never raises for unknown names
+    because downstream estimation must degrade gracefully on noisy NER output.
+    """
+    if not ingredient_name:
+        raise DataError("ingredient_name must not be empty")
+    name = ingredient_name.lower().strip()
+    if name in _SPECIFIC:
+        return _SPECIFIC[name]
+    entry = lexicons.ingredient_by_name(name)
+    if entry is not None:
+        return _CATEGORY_DEFAULTS.get(entry.category, _CATEGORY_DEFAULTS["misc"])
+    return _CATEGORY_DEFAULTS["misc"]
+
+
+def grams_for(quantity: float, unit: str | None) -> float:
+    """Convert a quantity and unit to grams (piece weight when unit is None)."""
+    if quantity < 0:
+        raise DataError(f"quantity must be non-negative, got {quantity}")
+    if unit is None or not unit:
+        return quantity * DEFAULT_PIECE_GRAMS
+    unit_key = unit.lower().strip()
+    if unit_key.endswith("s") and unit_key[:-1] in UNIT_GRAMS:
+        unit_key = unit_key[:-1]
+    return quantity * UNIT_GRAMS.get(unit_key, DEFAULT_PIECE_GRAMS)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so downstream
+users can catch one base class.  Modules raise the most specific subclass
+available rather than bare ``ValueError``/``RuntimeError`` so that callers can
+distinguish configuration mistakes from genuine data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a fitted model was called before training."""
+
+
+class VocabularyError(ReproError):
+    """An unknown symbol was encountered where a known one is required."""
+
+
+class SchemaError(ReproError):
+    """A label or tag outside the recipe schema was supplied."""
+
+
+class DataError(ReproError):
+    """Input data violates a structural assumption (empty, misaligned...)."""
+
+
+class ParsingError(ReproError):
+    """The dependency parser could not produce a well-formed tree."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid parameters."""
+
+
+__all__ = [
+    "ConfigurationError",
+    "DataError",
+    "NotFittedError",
+    "ParsingError",
+    "ReproError",
+    "SchemaError",
+    "VocabularyError",
+]

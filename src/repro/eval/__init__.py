@@ -1,0 +1,25 @@
+"""Evaluation utilities: P/R/F1, confusion matrices, cross-validation, reports."""
+
+from repro.eval.metrics import (
+    EvaluationReport,
+    LabelScore,
+    confusion_matrix,
+    entity_f1,
+    evaluate_sequences,
+    token_accuracy,
+)
+from repro.eval.crossval import CrossValidationResult, cross_validate_ner
+from repro.eval.reports import format_matrix, format_table
+
+__all__ = [
+    "CrossValidationResult",
+    "EvaluationReport",
+    "LabelScore",
+    "confusion_matrix",
+    "cross_validate_ner",
+    "entity_f1",
+    "evaluate_sequences",
+    "format_matrix",
+    "format_table",
+    "token_accuracy",
+]

@@ -1,0 +1,92 @@
+"""K-fold cross-validation of NER models (Section II.F).
+
+The paper validates its NER models with 5-fold cross-validation; this module
+runs that protocol for any of the sequence-model families behind the
+:class:`~repro.ner.model.NerModel` facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+import statistics
+
+from repro.data.splits import k_fold_indices
+from repro.errors import DataError
+from repro.eval.metrics import EvaluationReport, evaluate_sequences
+from repro.ner.features import TokenFeatureExtractor
+from repro.ner.model import NerModel
+
+__all__ = ["CrossValidationResult", "cross_validate_ner"]
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Per-fold and aggregate cross-validation scores.
+
+    Attributes:
+        fold_reports: Entity-level evaluation report of every fold.
+        mean_f1: Mean F1 across folds.
+        std_f1: Population standard deviation of the fold F1 scores.
+    """
+
+    fold_reports: list[EvaluationReport]
+    mean_f1: float
+    std_f1: float
+
+    @property
+    def n_folds(self) -> int:
+        """Number of folds evaluated."""
+        return len(self.fold_reports)
+
+    @property
+    def mean_precision(self) -> float:
+        """Mean precision across folds."""
+        return statistics.fmean(report.precision for report in self.fold_reports)
+
+    @property
+    def mean_recall(self) -> float:
+        """Mean recall across folds."""
+        return statistics.fmean(report.recall for report in self.fold_reports)
+
+
+def cross_validate_ner(
+    token_sequences: Sequence[Sequence[str]],
+    tag_sequences: Sequence[Sequence[str]],
+    *,
+    feature_extractor: TokenFeatureExtractor,
+    model_family: str = "perceptron",
+    n_folds: int = 5,
+    seed: int | None = None,
+    **model_options,
+) -> CrossValidationResult:
+    """Run k-fold cross-validation of an NER model.
+
+    Args:
+        token_sequences: Token sequences of the annotated dataset.
+        tag_sequences: Gold tag sequences aligned with ``token_sequences``.
+        feature_extractor: Feature extractor for the NER model.
+        model_family: Sequence model family ("crf", "perceptron", "hmm").
+        n_folds: Number of folds (the paper uses 5).
+        seed: Seed for fold assignment and model training.
+        **model_options: Forwarded to the sequence model constructor.
+    """
+    if len(token_sequences) != len(tag_sequences):
+        raise DataError("token_sequences and tag_sequences must align")
+    splits = k_fold_indices(len(token_sequences), n_folds, seed=seed)
+    reports: list[EvaluationReport] = []
+    for train_indices, test_indices in splits:
+        model = NerModel(feature_extractor, family=model_family, seed=seed, **model_options)
+        model.train(
+            [token_sequences[index] for index in train_indices],
+            [tag_sequences[index] for index in train_indices],
+        )
+        predictions = model.tag_batch([token_sequences[index] for index in test_indices])
+        gold = [list(tag_sequences[index]) for index in test_indices]
+        reports.append(evaluate_sequences(predictions, gold))
+    f1_scores = [report.f1 for report in reports]
+    return CrossValidationResult(
+        fold_reports=reports,
+        mean_f1=statistics.fmean(f1_scores),
+        std_f1=statistics.pstdev(f1_scores) if len(f1_scores) > 1 else 0.0,
+    )

@@ -1,0 +1,184 @@
+"""Precision, recall and F1 for sequence labelling.
+
+Two granularities are provided:
+
+* **entity-level** (the headline numbers of the paper): an entity span is
+  counted correct only if both its boundaries and its label match the gold
+  span exactly (CoNLL convention);
+* **token-level**: per-token accuracy and per-label scores, useful for error
+  analysis and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import DataError
+from repro.ner.encoding import OUTSIDE_TAG, spans_from_tags
+from repro.utils import require_equal_lengths
+
+__all__ = [
+    "EvaluationReport",
+    "LabelScore",
+    "confusion_matrix",
+    "entity_f1",
+    "evaluate_sequences",
+    "token_accuracy",
+]
+
+
+@dataclass(frozen=True)
+class LabelScore:
+    """Precision/recall/F1 for one label.
+
+    Attributes:
+        label: The entity label.
+        precision: TP / (TP + FP); 0 when nothing was predicted.
+        recall: TP / (TP + FN); 0 when nothing was expected.
+        f1: Harmonic mean of precision and recall (0 when both are 0).
+        support: Number of gold entities with this label.
+    """
+
+    label: str
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Micro-averaged scores plus a per-label breakdown."""
+
+    precision: float
+    recall: float
+    f1: float
+    per_label: dict[str, LabelScore]
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def score_for(self, label: str) -> LabelScore:
+        """Per-label score; zero scores when the label never occurred."""
+        if label in self.per_label:
+            return self.per_label[label]
+        return LabelScore(label=label, precision=0.0, recall=0.0, f1=0.0, support=0)
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def _safe_ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def evaluate_sequences(
+    predicted: Sequence[Sequence[str]],
+    gold: Sequence[Sequence[str]],
+    *,
+    labels: Sequence[str] | None = None,
+) -> EvaluationReport:
+    """Entity-level evaluation of predicted vs gold raw tag sequences.
+
+    Args:
+        predicted: Predicted per-token tags, one sequence per sentence.
+        gold: Gold per-token tags, aligned with ``predicted``.
+        labels: Restrict scoring to these labels (default: every label seen
+            in the gold data).
+    """
+    require_equal_lengths("predicted", predicted, "gold", gold)
+    if len(predicted) == 0:
+        raise DataError("cannot evaluate zero sequences")
+
+    tp: Counter = Counter()
+    fp: Counter = Counter()
+    fn: Counter = Counter()
+    wanted = set(labels) if labels is not None else None
+
+    for predicted_tags, gold_tags in zip(predicted, gold):
+        require_equal_lengths("predicted_tags", predicted_tags, "gold_tags", gold_tags)
+        predicted_spans = {
+            (span.label, span.start, span.end)
+            for span in spans_from_tags(list(predicted_tags))
+            if wanted is None or span.label in wanted
+        }
+        gold_spans = {
+            (span.label, span.start, span.end)
+            for span in spans_from_tags(list(gold_tags))
+            if wanted is None or span.label in wanted
+        }
+        for span in predicted_spans & gold_spans:
+            tp[span[0]] += 1
+        for span in predicted_spans - gold_spans:
+            fp[span[0]] += 1
+        for span in gold_spans - predicted_spans:
+            fn[span[0]] += 1
+
+    all_labels = sorted(set(tp) | set(fp) | set(fn))
+    per_label: dict[str, LabelScore] = {}
+    for label in all_labels:
+        precision = _safe_ratio(tp[label], tp[label] + fp[label])
+        recall = _safe_ratio(tp[label], tp[label] + fn[label])
+        per_label[label] = LabelScore(
+            label=label,
+            precision=precision,
+            recall=recall,
+            f1=_f1(precision, recall),
+            support=tp[label] + fn[label],
+        )
+
+    total_tp = sum(tp.values())
+    total_fp = sum(fp.values())
+    total_fn = sum(fn.values())
+    precision = _safe_ratio(total_tp, total_tp + total_fp)
+    recall = _safe_ratio(total_tp, total_tp + total_fn)
+    return EvaluationReport(
+        precision=precision,
+        recall=recall,
+        f1=_f1(precision, recall),
+        per_label=per_label,
+        true_positives=total_tp,
+        false_positives=total_fp,
+        false_negatives=total_fn,
+    )
+
+
+def entity_f1(predicted: Sequence[Sequence[str]], gold: Sequence[Sequence[str]]) -> float:
+    """Micro-averaged entity-level F1 (shorthand for the common case)."""
+    return evaluate_sequences(predicted, gold).f1
+
+
+def token_accuracy(predicted: Sequence[Sequence[str]], gold: Sequence[Sequence[str]]) -> float:
+    """Fraction of tokens whose predicted tag matches the gold tag."""
+    require_equal_lengths("predicted", predicted, "gold", gold)
+    correct = 0
+    total = 0
+    for predicted_tags, gold_tags in zip(predicted, gold):
+        require_equal_lengths("predicted_tags", predicted_tags, "gold_tags", gold_tags)
+        correct += sum(1 for p, g in zip(predicted_tags, gold_tags) if p == g)
+        total += len(gold_tags)
+    if total == 0:
+        raise DataError("cannot compute accuracy over zero tokens")
+    return correct / total
+
+
+def confusion_matrix(
+    predicted: Sequence[Sequence[str]],
+    gold: Sequence[Sequence[str]],
+) -> dict[str, dict[str, int]]:
+    """Token-level confusion counts: ``matrix[gold_tag][predicted_tag]``.
+
+    The outside tag participates, which makes boundary errors visible.
+    """
+    require_equal_lengths("predicted", predicted, "gold", gold)
+    matrix: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for predicted_tags, gold_tags in zip(predicted, gold):
+        require_equal_lengths("predicted_tags", predicted_tags, "gold_tags", gold_tags)
+        for predicted_tag, gold_tag in zip(predicted_tags, gold_tags):
+            matrix[gold_tag or OUTSIDE_TAG][predicted_tag or OUTSIDE_TAG] += 1
+    return {gold_tag: dict(row) for gold_tag, row in matrix.items()}

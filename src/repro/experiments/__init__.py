@@ -1,0 +1,26 @@
+"""Experiment modules: one per table / figure of the paper.
+
+Every module exposes a ``run(...)`` function returning a plain data structure
+(dict / dataclass) plus a ``render(result)`` helper that prints the same rows
+the paper's table reports.  The benchmark harness under ``benchmarks/`` calls
+``run`` through pytest-benchmark; the CLI (``python -m repro``) calls
+``run`` + ``render`` directly.
+
+| Module | Paper artefact |
+|---|---|
+| :mod:`repro.experiments.table1` | Table I  -- example NER annotations |
+| :mod:`repro.experiments.table3` | Table III -- training/testing set sizes |
+| :mod:`repro.experiments.table4` | Table IV -- cross-corpus F1 matrix |
+| :mod:`repro.experiments.table5` | Table V  -- instruction NER P/R/F1 |
+| :mod:`repro.experiments.fig2`   | Fig. 2   -- POS-vector clusters + PCA views |
+| :mod:`repro.experiments.fig3`   | Fig. 3   -- dependency parse of an instruction |
+| :mod:`repro.experiments.fig4`   | Fig. 4   -- instruction NER inference |
+| :mod:`repro.experiments.fig5`   | Fig. 5   -- many-to-many relation tuples |
+| :mod:`repro.experiments.conclusions` | Conclusion statistics (relations/instruction, unique names) |
+| :mod:`repro.experiments.crossval`    | Section II.F 5-fold cross-validation |
+| :mod:`repro.experiments.ablations`   | Design-choice ablations (ours) |
+"""
+
+from repro.experiments.common import ExperimentCorpora, build_corpora, train_modeler
+
+__all__ = ["ExperimentCorpora", "build_corpora", "train_modeler"]

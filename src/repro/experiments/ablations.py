@@ -1,0 +1,359 @@
+"""Design-choice ablations (reproduction extensions, listed in DESIGN.md §5).
+
+Four ablations probe the design decisions the paper makes but does not
+evaluate explicitly:
+
+1. **Sampling** -- cluster-stratified vs uniform random training-set selection
+   at equal budget (the paper's motivation for the clustering stage).
+2. **Model family** -- linear-chain CRF vs averaged structured perceptron vs
+   HMM for the ingredient NER task.
+3. **Dictionary threshold** -- sweep of the technique-dictionary frequency
+   threshold, showing the precision/recall trade-off of the filter.
+4. **Cluster count** -- ingredient NER F1 as a function of the number of
+   K-Means clusters used for training-set selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dictionary import build_dictionaries
+from repro.core.ingredient_pipeline import IngredientPipeline
+from repro.core.instruction_pipeline import InstructionPipeline
+from repro.core.selection import TrainingSetSelector
+from repro.eval.metrics import evaluate_sequences
+from repro.eval.reports import format_table
+from repro.experiments.common import ExperimentCorpora, build_corpora, vectorizer_for
+
+__all__ = [
+    "SamplingAblationResult",
+    "ModelFamilyAblationResult",
+    "ThresholdAblationResult",
+    "ClusterCountAblationResult",
+    "PreprocessingAblationResult",
+    "run_sampling_ablation",
+    "run_model_family_ablation",
+    "run_threshold_ablation",
+    "run_cluster_count_ablation",
+    "run_preprocessing_ablation",
+    "render_sampling",
+    "render_model_family",
+    "render_threshold",
+    "render_cluster_count",
+    "render_preprocessing",
+]
+
+
+# --------------------------------------------------------------- 1. sampling
+
+
+@dataclass(frozen=True)
+class SamplingAblationResult:
+    """F1 of cluster-stratified vs random training-set selection."""
+
+    stratified_f1: float
+    random_f1: float
+    train_size: int
+    test_size: int
+
+
+def run_sampling_ablation(
+    *, scale: str = "small", seed: int = 0, corpora: ExperimentCorpora | None = None
+) -> SamplingAblationResult:
+    """Compare the two selection strategies at the same annotation budget."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    vectorizer = vectorizer_for(corpora.combined, seed=seed)
+    phrases = corpora.combined.ingredient_phrases()
+
+    selector = TrainingSetSelector(
+        vectorizer, n_clusters=23, train_fraction=0.22, test_fraction=0.12, seed=seed
+    )
+    selection = selector.select(phrases)
+    train_size = len(selection.train)
+    test_size = len(selection.test)
+
+    random_train, _ = selector.select_random(phrases, train_size=train_size, test_size=test_size)
+    # Both strategies are evaluated on the stratified held-out set, which is
+    # disjoint from the stratified training set by construction; the random
+    # training set may overlap it slightly, which only *helps* the baseline.
+    gold = [list(phrase.ner_tags) for phrase in selection.test]
+    tokens = [list(phrase.tokens) for phrase in selection.test]
+
+    stratified_model = IngredientPipeline(seed=seed).train(selection.train)
+    random_model = IngredientPipeline(seed=seed).train(random_train)
+    stratified_f1 = evaluate_sequences(
+        [stratified_model.tag_tokens(sequence) for sequence in tokens], gold
+    ).f1
+    random_f1 = evaluate_sequences(
+        [random_model.tag_tokens(sequence) for sequence in tokens], gold
+    ).f1
+    return SamplingAblationResult(
+        stratified_f1=stratified_f1,
+        random_f1=random_f1,
+        train_size=train_size,
+        test_size=test_size,
+    )
+
+
+def render_sampling(result: SamplingAblationResult) -> str:
+    """One-table summary of the sampling ablation."""
+    return format_table(
+        ["Selection strategy", "Train size", "F1"],
+        [
+            ["cluster-stratified (paper)", result.train_size, result.stratified_f1],
+            ["uniform random", result.train_size, result.random_f1],
+        ],
+        title=f"Ablation 1: training-set selection (test size {result.test_size})",
+    )
+
+
+# ---------------------------------------------------------- 2. model family
+
+
+@dataclass(frozen=True)
+class ModelFamilyAblationResult:
+    """Ingredient NER F1 per sequence-model family."""
+
+    f1_by_family: dict[str, float]
+    train_size: int
+    test_size: int
+
+
+def run_model_family_ablation(
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    families: tuple[str, ...] = ("crf", "perceptron", "hmm"),
+    corpora: ExperimentCorpora | None = None,
+) -> ModelFamilyAblationResult:
+    """Train each family on the same split and compare F1."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    vectorizer = vectorizer_for(corpora.combined, seed=seed)
+    selector = TrainingSetSelector(
+        vectorizer, n_clusters=23, train_fraction=0.20, test_fraction=0.10, seed=seed
+    )
+    selection = selector.select(corpora.combined.ingredient_phrases())
+    tokens = [list(phrase.tokens) for phrase in selection.test]
+    gold = [list(phrase.ner_tags) for phrase in selection.test]
+
+    f1_by_family: dict[str, float] = {}
+    for family in families:
+        options = {"crf_max_iterations": 60} if family == "crf" else {}
+        pipeline = IngredientPipeline(model_family=family, seed=seed, **options)
+        pipeline.train(selection.train)
+        predictions = [pipeline.tag_tokens(sequence) for sequence in tokens]
+        f1_by_family[family] = evaluate_sequences(predictions, gold).f1
+    return ModelFamilyAblationResult(
+        f1_by_family=f1_by_family,
+        train_size=len(selection.train),
+        test_size=len(selection.test),
+    )
+
+
+def render_model_family(result: ModelFamilyAblationResult) -> str:
+    """One-table summary of the model-family ablation."""
+    rows = [[family, f1] for family, f1 in sorted(result.f1_by_family.items(), key=lambda kv: -kv[1])]
+    return format_table(
+        ["Sequence model", "F1"],
+        rows,
+        title=(
+            "Ablation 2: sequence-model family "
+            f"({result.train_size} train / {result.test_size} test phrases)"
+        ),
+    )
+
+
+# ------------------------------------------------------------ 3. thresholds
+
+
+@dataclass(frozen=True)
+class ThresholdAblationResult:
+    """Effect of the technique-dictionary threshold on instruction NER."""
+
+    rows: list[dict[str, float]] = field(default_factory=list)
+
+
+def run_threshold_ablation(
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    thresholds: tuple[int, ...] = (1, 2, 3, 5, 8, 13),
+    corpora: ExperimentCorpora | None = None,
+) -> ThresholdAblationResult:
+    """Sweep the PROCESS dictionary threshold and measure P/R/F1."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    steps = corpora.combined.instruction_steps()
+    ranked = sorted(steps, key=lambda step: len(step.tokens), reverse=True)
+    budget = max(1, len(ranked) // 3)
+    train_steps = ranked[:budget]
+    test_steps = ranked[budget : budget * 2]
+
+    pipeline = InstructionPipeline(seed=seed)
+    pipeline.train(train_steps)
+    token_sequences = [list(step.tokens) for step in steps]
+    process_dictionary, utensil_dictionary = build_dictionaries(
+        pipeline.ner, token_sequences, process_threshold=1, utensil_threshold=1
+    )
+
+    gold = [list(step.ner_tags) for step in test_steps]
+    rows: list[dict[str, float]] = []
+    for threshold in thresholds:
+        pipeline.process_dictionary = process_dictionary.with_threshold(threshold)
+        pipeline.utensil_dictionary = utensil_dictionary
+        predictions = [pipeline.tag_tokens(list(step.tokens)) for step in test_steps]
+        report = evaluate_sequences(predictions, gold, labels=("PROCESS",))
+        rows.append(
+            {
+                "threshold": float(threshold),
+                "dictionary_size": float(len(pipeline.process_dictionary)),
+                "precision": report.precision,
+                "recall": report.recall,
+                "f1": report.f1,
+            }
+        )
+    return ThresholdAblationResult(rows=rows)
+
+
+def render_threshold(result: ThresholdAblationResult) -> str:
+    """One-table summary of the threshold sweep."""
+    rows = [
+        [int(row["threshold"]), int(row["dictionary_size"]), row["precision"], row["recall"], row["f1"]]
+        for row in result.rows
+    ]
+    return format_table(
+        ["threshold", "dictionary size", "precision", "recall", "F1"],
+        rows,
+        title="Ablation 3: PROCESS dictionary frequency threshold (paper uses 47 on 174,932 steps)",
+    )
+
+
+# --------------------------------------------------------- 4. cluster count
+
+
+@dataclass(frozen=True)
+class ClusterCountAblationResult:
+    """Ingredient NER F1 as a function of the cluster count used for selection."""
+
+    f1_by_k: dict[int, float]
+    inertia_by_k: dict[int, float]
+
+
+def run_cluster_count_ablation(
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    k_values: tuple[int, ...] = (2, 5, 10, 23, 30),
+    corpora: ExperimentCorpora | None = None,
+) -> ClusterCountAblationResult:
+    """Vary k in the selection stage and measure downstream NER F1."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    vectorizer = vectorizer_for(corpora.combined, seed=seed)
+    phrases = corpora.combined.ingredient_phrases()
+
+    f1_by_k: dict[int, float] = {}
+    inertia_by_k: dict[int, float] = {}
+    for k in k_values:
+        selector = TrainingSetSelector(
+            vectorizer, n_clusters=k, train_fraction=0.20, test_fraction=0.10, seed=seed
+        )
+        selection = selector.select(phrases)
+        inertia_by_k[k] = selection.inertia
+        pipeline = IngredientPipeline(seed=seed).train(selection.train)
+        predictions = [pipeline.tag_tokens(list(phrase.tokens)) for phrase in selection.test]
+        gold = [list(phrase.ner_tags) for phrase in selection.test]
+        f1_by_k[k] = evaluate_sequences(predictions, gold).f1
+    return ClusterCountAblationResult(f1_by_k=f1_by_k, inertia_by_k=inertia_by_k)
+
+
+def render_cluster_count(result: ClusterCountAblationResult) -> str:
+    """One-table summary of the cluster-count ablation."""
+    rows = [
+        [k, result.inertia_by_k[k], result.f1_by_k[k]]
+        for k in sorted(result.f1_by_k)
+    ]
+    return format_table(
+        ["k", "inertia", "downstream NER F1"],
+        rows,
+        title="Ablation 4: cluster count used for training-set selection (paper uses 23)",
+        float_format="{:.3f}",
+    )
+
+
+# --------------------------------------------------------- 5. pre-processing
+
+
+@dataclass(frozen=True)
+class PreprocessingAblationResult:
+    """Effect of the pre-processing stage on ingredient-name canonicalisation.
+
+    The paper's pre-processing (lower-casing, stop-word removal, WordNet
+    lemmatisation) exists so that "Tomatoes" and "tomato" collapse onto one
+    ingredient; this ablation measures how many distinct ingredient names the
+    full pipeline extracts from the corpus with and without that stage.
+
+    Attributes:
+        names_with_preprocessing: Unique canonical names with the stage on.
+        names_without_preprocessing: Unique raw NAME strings with it off.
+        compression_ratio: with / without (smaller = more folding achieved).
+        recipes_processed: Number of recipes pushed through the pipeline.
+    """
+
+    names_with_preprocessing: int
+    names_without_preprocessing: int
+    compression_ratio: float
+    recipes_processed: int
+
+
+def run_preprocessing_ablation(
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    max_recipes: int = 40,
+    corpora: ExperimentCorpora | None = None,
+) -> PreprocessingAblationResult:
+    """Compare unique ingredient-name counts with and without pre-processing."""
+    from repro.experiments.common import train_modeler
+
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    modeler = train_modeler(corpora.combined, seed=seed)
+    pipeline = modeler.components.ingredient_pipeline
+
+    with_preprocessing: set[str] = set()
+    without_preprocessing: set[str] = set()
+    recipes = corpora.combined.recipes[:max_recipes]
+    for recipe in recipes:
+        for phrase in recipe.ingredients:
+            tokens = list(phrase.tokens)
+            tags = pipeline.tag_tokens(tokens)
+            name_tokens = [token for token, tag in zip(tokens, tags) if tag == "NAME"]
+            if not name_tokens:
+                continue
+            with_preprocessing.add(pipeline.canonical_name(name_tokens))
+            without_preprocessing.add(" ".join(name_tokens))
+    ratio = (
+        len(with_preprocessing) / len(without_preprocessing)
+        if without_preprocessing
+        else 0.0
+    )
+    return PreprocessingAblationResult(
+        names_with_preprocessing=len(with_preprocessing),
+        names_without_preprocessing=len(without_preprocessing),
+        compression_ratio=ratio,
+        recipes_processed=len(recipes),
+    )
+
+
+def render_preprocessing(result: PreprocessingAblationResult) -> str:
+    """One-table summary of the pre-processing ablation."""
+    return format_table(
+        ["Canonicalisation", "Unique ingredient names"],
+        [
+            ["with pre-processing (paper)", result.names_with_preprocessing],
+            ["without pre-processing", result.names_without_preprocessing],
+        ],
+        title=(
+            "Ablation 5: pre-processing of NAME spans "
+            f"({result.recipes_processed} recipes; compression ratio "
+            f"{result.compression_ratio:.2f})"
+        ),
+    )

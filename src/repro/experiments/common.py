@@ -1,0 +1,141 @@
+"""Shared infrastructure for the experiment modules.
+
+The paper's corpus (118k recipes; 16k AllRecipes + 102k FOOD.com) is scaled
+down here so every experiment runs on a laptop in seconds while keeping the
+~1:6 source ratio.  ``SCALE_*`` presets control the size; benchmarks default
+to ``small`` and the CLI accepts ``--scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ingredient_pipeline import IngredientPipeline
+from repro.core.pipeline import RecipeModeler, RecipeModelerConfig
+from repro.data.generator import GeneratorConfig, RecipeCorpusGenerator
+from repro.data.models import AnnotatedPhrase, Recipe, Source
+from repro.data.recipedb import RecipeDB
+from repro.errors import ConfigurationError
+from repro.pos.tagger import PerceptronPosTagger
+from repro.pos.vectorizer import PosBagOfWordsVectorizer
+
+__all__ = [
+    "CORPUS_SCALES",
+    "ExperimentCorpora",
+    "build_corpora",
+    "train_modeler",
+    "train_pos_tagger",
+    "unique_phrases",
+]
+
+#: Recipe counts (AllRecipes, FOOD.com) per scale preset.  The real RecipeDB
+#: ratio is roughly 16,000 : 102,000; the presets keep a ~1:4-6 ratio.
+CORPUS_SCALES: dict[str, tuple[int, int]] = {
+    "tiny": (12, 24),
+    "small": (30, 90),
+    "medium": (60, 240),
+    "large": (150, 600),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentCorpora:
+    """The three corpora every multi-corpus experiment works with.
+
+    Attributes:
+        allrecipes: AllRecipes-profile corpus.
+        foodcom: FOOD.com-profile corpus.
+        combined: Union corpus (both sources).
+    """
+
+    allrecipes: RecipeDB
+    foodcom: RecipeDB
+    combined: RecipeDB
+
+    def named(self) -> dict[str, RecipeDB]:
+        """Mapping used by Table III / Table IV ("AllRecipes", "FOOD.com", "BOTH")."""
+        return {
+            "AllRecipes": self.allrecipes,
+            "FOOD.com": self.foodcom,
+            "BOTH": self.combined,
+        }
+
+
+def build_corpora(*, scale: str = "small", seed: int = 0) -> ExperimentCorpora:
+    """Generate the AllRecipes / FOOD.com / combined corpora for one scale."""
+    if scale not in CORPUS_SCALES:
+        raise ConfigurationError(
+            f"unknown corpus scale {scale!r}; choose one of {sorted(CORPUS_SCALES)}"
+        )
+    n_allrecipes, n_foodcom = CORPUS_SCALES[scale]
+    allrecipes = RecipeCorpusGenerator(
+        GeneratorConfig(source=Source.ALLRECIPES, seed=seed)
+    ).generate_corpus(n_allrecipes)
+    foodcom = RecipeCorpusGenerator(
+        GeneratorConfig(source=Source.FOOD_COM, seed=seed + 1)
+    ).generate_corpus(n_foodcom)
+    return ExperimentCorpora(
+        allrecipes=RecipeDB(allrecipes),
+        foodcom=RecipeDB(foodcom),
+        combined=RecipeDB(list(allrecipes) + list(foodcom)),
+    )
+
+
+def train_pos_tagger(corpus: RecipeDB, *, seed: int = 0, cap: int = 1500) -> PerceptronPosTagger:
+    """Train a POS tagger on the gold POS annotations of ``corpus``."""
+    sentences: list[list[str]] = []
+    tags: list[list[str]] = []
+    for phrase in corpus.ingredient_phrases()[: cap // 2]:
+        sentences.append(list(phrase.tokens))
+        tags.append(list(phrase.pos_tags))
+    for step in corpus.instruction_steps()[: cap - len(sentences)]:
+        sentences.append(list(step.tokens))
+        tags.append(list(step.pos_tags))
+    tagger = PerceptronPosTagger()
+    tagger.train(sentences, tags, iterations=5, seed=seed)
+    return tagger
+
+
+def train_modeler(
+    corpus: RecipeDB,
+    *,
+    seed: int = 0,
+    model_family: str = "perceptron",
+    instruction_training_steps: int = 150,
+) -> RecipeModeler:
+    """Fit the end-to-end :class:`RecipeModeler` on ``corpus``."""
+    modeler = RecipeModeler(
+        RecipeModelerConfig(
+            model_family=model_family,
+            seed=seed,
+            instruction_training_steps=instruction_training_steps,
+        )
+    )
+    return modeler.fit(corpus)
+
+
+def unique_phrases(corpus: RecipeDB) -> list[AnnotatedPhrase]:
+    """Unique ingredient phrases of a corpus (first-seen order)."""
+    return corpus.unique_phrases()
+
+
+def vectorizer_for(corpus: RecipeDB, *, seed: int = 0) -> PosBagOfWordsVectorizer:
+    """POS vectoriser built from a tagger trained on ``corpus``."""
+    return PosBagOfWordsVectorizer(train_pos_tagger(corpus, seed=seed))
+
+
+def train_ingredient_pipeline(
+    phrases: list[AnnotatedPhrase], *, seed: int = 0, model_family: str = "perceptron"
+) -> IngredientPipeline:
+    """Train an ingredient NER pipeline directly on annotated phrases."""
+    pipeline = IngredientPipeline(model_family=model_family, seed=seed)
+    return pipeline.train(phrases)
+
+
+def recipes_with_instruction_text(corpus: RecipeDB) -> list[Recipe]:
+    """Recipes sorted by total instruction length, longest first (paper heuristic)."""
+    return sorted(
+        corpus.recipes,
+        key=lambda recipe: sum(len(step.tokens) for step in recipe.instructions),
+        reverse=True,
+    )

@@ -1,0 +1,114 @@
+"""Conclusion-section statistics of the paper.
+
+The paper reports three corpus-level numbers obtained by running the full
+pipeline over RecipeDB:
+
+* 20,280 unique ingredient names extracted from 118,000 recipes (with aliases
+  still counted separately);
+* the instruction pipeline applied to 40,000 recipes / 174,932 steps;
+* an average of 6.164 relations per instruction with standard deviation 5.70,
+  the large spread being the argument for many-to-many modelling.
+
+The reproduction computes the same statistics on the simulated corpus.  The
+absolute counts scale with corpus size; the *shape* checks are that the
+unique-name count exceeds the number of distinct lexicon ingredients (because
+aliases, misspellings and modifier variants are counted separately), and that
+the relation count per step has a standard deviation comparable to its mean.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.applications.aliases import AliasAnalyzer
+from repro.experiments.common import ExperimentCorpora, build_corpora, train_modeler
+
+__all__ = ["ConclusionsResult", "PAPER_STATS", "run", "render"]
+
+#: The paper's reported statistics.
+PAPER_STATS = {
+    "unique_ingredient_names": 20_280,
+    "recipes_processed": 40_000,
+    "instruction_steps": 174_932,
+    "mean_relations_per_instruction": 6.164,
+    "std_relations_per_instruction": 5.70,
+}
+
+
+@dataclass(frozen=True)
+class ConclusionsResult:
+    """Corpus-level statistics from the full pipeline.
+
+    Attributes:
+        recipes_processed: Number of recipes run through the pipeline.
+        instruction_steps: Number of instruction steps processed.
+        unique_ingredient_names: Distinct canonical names extracted by the
+            ingredient pipeline (aliases counted separately, as in the paper).
+        unique_names_after_alias_merge: Same, after alias merging.
+        mean_relations_per_instruction: Mean (process, entity) pairs per step.
+        std_relations_per_instruction: Standard deviation of that count.
+        max_relations_per_instruction: Largest per-step relation count.
+    """
+
+    recipes_processed: int
+    instruction_steps: int
+    unique_ingredient_names: int
+    unique_names_after_alias_merge: int
+    mean_relations_per_instruction: float
+    std_relations_per_instruction: float
+    max_relations_per_instruction: int
+
+
+def run(*, scale: str = "small", seed: int = 0, max_recipes: int | None = 60,
+        corpora: ExperimentCorpora | None = None) -> ConclusionsResult:
+    """Run the full pipeline over the corpus and aggregate the statistics."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    modeler = train_modeler(corpora.combined, seed=seed)
+    recipes = corpora.combined.recipes
+    if max_recipes is not None:
+        recipes = recipes[:max_recipes]
+
+    unique_names: set[str] = set()
+    relation_counts: list[int] = []
+    steps = 0
+    for recipe in recipes:
+        structured = modeler.model_recipe(recipe)
+        unique_names.update(name for name in structured.ingredient_names if name)
+        for event in structured.events:
+            steps += 1
+            relation_counts.append(event.relation_count)
+
+    analyzer = AliasAnalyzer()
+    merged = analyzer.analyze(unique_names).merged_count if unique_names else 0
+    mean_relations = statistics.fmean(relation_counts) if relation_counts else 0.0
+    std_relations = statistics.pstdev(relation_counts) if len(relation_counts) > 1 else 0.0
+    return ConclusionsResult(
+        recipes_processed=len(recipes),
+        instruction_steps=steps,
+        unique_ingredient_names=len(unique_names),
+        unique_names_after_alias_merge=merged,
+        mean_relations_per_instruction=mean_relations,
+        std_relations_per_instruction=std_relations,
+        max_relations_per_instruction=max(relation_counts) if relation_counts else 0,
+    )
+
+
+def render(result: ConclusionsResult) -> str:
+    """Report the measured statistics next to the paper's."""
+    lines = [
+        "Conclusion statistics (ours vs paper):",
+        f"  recipes processed:                 {result.recipes_processed} "
+        f"(paper: {PAPER_STATS['recipes_processed']})",
+        f"  instruction steps:                 {result.instruction_steps} "
+        f"(paper: {PAPER_STATS['instruction_steps']})",
+        f"  unique ingredient names:           {result.unique_ingredient_names} "
+        f"(paper: {PAPER_STATS['unique_ingredient_names']})",
+        f"  ... after alias merging:           {result.unique_names_after_alias_merge}",
+        f"  mean relations per instruction:    {result.mean_relations_per_instruction:.3f} "
+        f"(paper: {PAPER_STATS['mean_relations_per_instruction']})",
+        f"  std of relations per instruction:  {result.std_relations_per_instruction:.3f} "
+        f"(paper: {PAPER_STATS['std_relations_per_instruction']})",
+        f"  max relations in one instruction:  {result.max_relations_per_instruction}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Section II.F -- 5-fold cross-validation of the ingredient NER model.
+
+The paper validates its NER models by 5-fold cross-validation over the
+annotated phrase sets; this experiment runs that protocol on the
+cluster-stratified sample of the combined corpus and reports per-fold and
+aggregate F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.selection import TrainingSetSelector
+from repro.eval.crossval import CrossValidationResult, cross_validate_ner
+from repro.experiments.common import ExperimentCorpora, build_corpora, vectorizer_for
+from repro.ner.features import IngredientFeatureExtractor
+
+__all__ = ["CrossvalResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class CrossvalResult:
+    """Cross-validation outcome.
+
+    Attributes:
+        result: Per-fold and aggregate scores.
+        n_phrases: Number of annotated phrases entering the protocol.
+        model_family: Sequence-model family evaluated.
+    """
+
+    result: CrossValidationResult
+    n_phrases: int
+    model_family: str
+
+
+def run(
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    n_folds: int = 5,
+    model_family: str = "perceptron",
+    corpora: ExperimentCorpora | None = None,
+) -> CrossvalResult:
+    """Run k-fold cross-validation on the cluster-stratified annotated sample."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    vectorizer = vectorizer_for(corpora.combined, seed=seed)
+    selector = TrainingSetSelector(
+        vectorizer, n_clusters=23, train_fraction=0.30, test_fraction=0.10, seed=seed
+    )
+    selection = selector.select(corpora.combined.ingredient_phrases())
+    phrases = selection.train + selection.test
+
+    result = cross_validate_ner(
+        [list(phrase.tokens) for phrase in phrases],
+        [list(phrase.ner_tags) for phrase in phrases],
+        feature_extractor=IngredientFeatureExtractor(),
+        model_family=model_family,
+        n_folds=n_folds,
+        seed=seed,
+    )
+    return CrossvalResult(result=result, n_phrases=len(phrases), model_family=model_family)
+
+
+def render(result: CrossvalResult) -> str:
+    """Report per-fold and mean F1 like the paper's validation paragraph."""
+    folds = ", ".join(f"{report.f1:.4f}" for report in result.result.fold_reports)
+    return "\n".join(
+        [
+            f"{result.result.n_folds}-fold cross-validation of the ingredient NER "
+            f"({result.model_family}, {result.n_phrases} phrases)",
+            f"  per-fold F1: {folds}",
+            f"  mean F1:     {result.result.mean_f1:.4f} (+/- {result.result.std_f1:.4f})",
+            f"  mean P/R:    {result.result.mean_precision:.4f} / {result.result.mean_recall:.4f}",
+        ]
+    )

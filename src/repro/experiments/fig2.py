@@ -1,0 +1,152 @@
+"""Fig. 2 -- K-Means clusters of POS-frequency vectors and their PCA views.
+
+The paper visualises the 23 clusters two ways: (a) cluster the 36-dimensional
+vectors first and project to 2-D with PCA afterwards, and (b) project to 2-D
+first and cluster the projections.  The figure's message is that the clusters
+are separable in the high-dimensional space and correspond to interpretable
+lexical-structure families ("3 teaspoons olive oil" lands with "2 tablespoons
+all-purpose flour").
+
+This experiment computes both variants plus the quantities that let the
+claim be checked numerically instead of visually:
+
+* the inertia curve over k and the elbow point,
+* cluster-label agreement between the clustering and the generator's
+  template families (purity),
+* the 2-D coordinates and explained-variance ratios for both PCA variants,
+* up to 50 representative phrases per cluster (what the figure scatters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.elbow import elbow_point, inertia_curve
+from repro.cluster.kmeans import KMeans
+from repro.cluster.pca import PCA
+from repro.eval.reports import format_table
+from repro.experiments.common import ExperimentCorpora, build_corpora, vectorizer_for
+
+__all__ = ["Fig2Result", "run", "render", "cluster_purity"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Clustering + PCA outputs behind Fig. 2.
+
+    Attributes:
+        n_clusters: Cluster count used (the paper's 23 by default).
+        elbow_k: Cluster count suggested by the elbow criterion.
+        inertia_by_k: Inertia curve over candidate k values.
+        labels_cluster_then_project: Cluster labels from 36-D clustering (Fig 2a).
+        labels_project_then_cluster: Cluster labels from 2-D clustering (Fig 2b).
+        coordinates_2d: PCA projection of the vectors (shared by both panels).
+        explained_variance_ratio: Variance captured by the two components.
+        purity_high_dim / purity_low_dim: Agreement of each clustering with the
+            generator's template families.
+        representatives: cluster id -> up to 50 phrase texts (Fig 2's points).
+    """
+
+    n_clusters: int
+    elbow_k: int
+    inertia_by_k: dict[int, float]
+    labels_cluster_then_project: np.ndarray
+    labels_project_then_cluster: np.ndarray
+    coordinates_2d: np.ndarray
+    explained_variance_ratio: tuple[float, float]
+    purity_high_dim: float
+    purity_low_dim: float
+    representatives: dict[int, list[str]]
+
+
+def cluster_purity(labels: np.ndarray, families: list[str]) -> float:
+    """Purity of a clustering against reference family labels.
+
+    Each cluster votes for its majority family; purity is the fraction of
+    items whose family matches their cluster's majority.
+    """
+    if len(labels) != len(families) or len(families) == 0:
+        raise ValueError("labels and families must be non-empty and aligned")
+    total_majority = 0
+    for cluster in set(labels.tolist()):
+        members = [families[index] for index in np.flatnonzero(labels == cluster)]
+        counts: dict[str, int] = {}
+        for family in members:
+            counts[family] = counts.get(family, 0) + 1
+        total_majority += max(counts.values())
+    return total_majority / len(families)
+
+
+def run(
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    n_clusters: int = 23,
+    k_candidates: tuple[int, ...] = (4, 8, 12, 16, 20, 23, 26, 30),
+    corpora: ExperimentCorpora | None = None,
+) -> Fig2Result:
+    """Cluster the POS vectors of unique phrases and compute both PCA views."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    vectorizer = vectorizer_for(corpora.combined, seed=seed)
+    unique = corpora.combined.unique_phrases()
+    vectors = vectorizer.transform_tokenized([phrase.tokens for phrase in unique])
+    families = [phrase.template_id for phrase in unique]
+
+    candidates = [k for k in k_candidates if k <= len(unique)]
+    curve = inertia_curve(vectors, candidates, seed=seed)
+    elbow_k = elbow_point(curve)
+    n_clusters = min(n_clusters, len(unique))
+
+    # Fig. 2a: cluster in 36 dimensions, project afterwards.
+    high_dim = KMeans(n_clusters, seed=seed).fit(vectors)
+    pca = PCA(2).fit(vectors)
+    coordinates = pca.transform(vectors)
+
+    # Fig. 2b: project to 2 dimensions first, cluster the projections.
+    low_dim = KMeans(n_clusters, seed=seed).fit(coordinates)
+
+    representatives: dict[int, list[str]] = {}
+    for cluster in range(n_clusters):
+        member_indices = np.flatnonzero(high_dim.labels == cluster)[:50]
+        representatives[cluster] = [unique[index].text for index in member_indices]
+
+    ratio = tuple(float(value) for value in pca.explained_variance_ratio_[:2])
+    return Fig2Result(
+        n_clusters=n_clusters,
+        elbow_k=elbow_k,
+        inertia_by_k=curve,
+        labels_cluster_then_project=high_dim.labels,
+        labels_project_then_cluster=low_dim.labels,
+        coordinates_2d=coordinates,
+        explained_variance_ratio=(ratio[0], ratio[1] if len(ratio) > 1 else 0.0),
+        purity_high_dim=cluster_purity(high_dim.labels, families),
+        purity_low_dim=cluster_purity(low_dim.labels, families),
+        representatives=representatives,
+    )
+
+
+def render(result: Fig2Result) -> str:
+    """Summarise the clustering the way the figure caption does."""
+    curve_rows = [[k, inertia] for k, inertia in sorted(result.inertia_by_k.items())]
+    curve_table = format_table(
+        ["k", "inertia"],
+        curve_rows,
+        title="Fig. 2: inertia curve (elbow criterion)",
+        float_format="{:.1f}",
+    )
+    sizes = np.bincount(result.labels_cluster_then_project, minlength=result.n_clusters)
+    summary = [
+        f"clusters used: {result.n_clusters} (elbow suggests k = {result.elbow_k})",
+        f"PCA explained variance (2 components): "
+        f"{result.explained_variance_ratio[0]:.2f} + {result.explained_variance_ratio[1]:.2f}",
+        f"cluster/template purity -- cluster-then-project: {result.purity_high_dim:.2f}, "
+        f"project-then-cluster: {result.purity_low_dim:.2f}",
+        f"cluster sizes: min {int(sizes.min())}, median {int(np.median(sizes))}, max {int(sizes.max())}",
+    ]
+    examples = []
+    for cluster in sorted(result.representatives)[:5]:
+        members = result.representatives[cluster][:3]
+        examples.append(f"  cluster {cluster:2d}: " + " | ".join(members))
+    return "\n".join([curve_table, *summary, "example clusters:", *examples])

@@ -1,0 +1,95 @@
+"""Table III -- training and testing dataset sizes for the ingredient NER.
+
+The paper builds its annotated sets by cluster-stratified sampling of unique
+ingredient phrases: 1% / 0.33% per cluster for AllRecipes (1,470 train / 483
+test) and 0.5% / 0.165% for FOOD.com (5,142 / 1,705), giving a combined set
+of 6,612 / 2,188.  The reproduction corpus is far smaller, so the sampling
+fractions are scaled up (keeping the AllRecipes fraction twice the FOOD.com
+fraction, as in the paper) and the *ratios* are what the experiment checks:
+the FOOD.com split is several times larger than the AllRecipes one, the
+combined split is their sum, and each train set is roughly three times its
+test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.selection import TrainingSetSelector
+from repro.eval.reports import format_table
+from repro.experiments.common import ExperimentCorpora, build_corpora, vectorizer_for
+
+__all__ = ["Table3Result", "PAPER_SIZES", "run", "render"]
+
+#: The paper's Table III values (train size, test size).
+PAPER_SIZES: dict[str, tuple[int, int]] = {
+    "AllRecipes": (1470, 483),
+    "FOOD.com": (5142, 1705),
+    "BOTH": (6612, 2188),
+}
+
+#: Per-cluster sampling fractions used by the reproduction.  The paper's
+#: 0.01/0.0033 (AllRecipes) and 0.005/0.00165 (FOOD.com) target millions of
+#: phrases; the reproduction keeps the same 2:1 and ~3:1 ratios at a scale
+#: that yields usable training sets from thousands of phrases.
+SAMPLING_FRACTIONS: dict[str, tuple[float, float]] = {
+    "AllRecipes": (0.40, 0.13),
+    "FOOD.com": (0.20, 0.066),
+}
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Training/testing sizes produced by the selection stage.
+
+    Attributes:
+        sizes: corpus name -> (train size, test size).
+        n_clusters: Cluster count used by the selector.
+        paper_sizes: The paper's Table III values, for side-by-side rendering.
+    """
+
+    sizes: dict[str, tuple[int, int]]
+    n_clusters: int
+    paper_sizes: dict[str, tuple[int, int]]
+
+
+def run(*, scale: str = "small", seed: int = 0, n_clusters: int = 23,
+        corpora: ExperimentCorpora | None = None) -> Table3Result:
+    """Run cluster-stratified selection on both corpora and the union."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    vectorizer = vectorizer_for(corpora.combined, seed=seed)
+
+    sizes: dict[str, tuple[int, int]] = {}
+    per_corpus_sets: dict[str, tuple[int, int]] = {}
+    for name, corpus in (("AllRecipes", corpora.allrecipes), ("FOOD.com", corpora.foodcom)):
+        train_fraction, test_fraction = SAMPLING_FRACTIONS[name]
+        selector = TrainingSetSelector(
+            vectorizer,
+            n_clusters=n_clusters,
+            train_fraction=train_fraction,
+            test_fraction=test_fraction,
+            seed=seed,
+        )
+        selection = selector.select(corpus.ingredient_phrases())
+        per_corpus_sets[name] = (len(selection.train), len(selection.test))
+        sizes[name] = per_corpus_sets[name]
+    sizes["BOTH"] = (
+        per_corpus_sets["AllRecipes"][0] + per_corpus_sets["FOOD.com"][0],
+        per_corpus_sets["AllRecipes"][1] + per_corpus_sets["FOOD.com"][1],
+    )
+    return Table3Result(sizes=sizes, n_clusters=n_clusters, paper_sizes=dict(PAPER_SIZES))
+
+
+def render(result: Table3Result) -> str:
+    """Format the result like Table III, with the paper's numbers alongside."""
+    headers = ["Dataset", "Train (ours)", "Test (ours)", "Train (paper)", "Test (paper)"]
+    rows = []
+    for name in ("AllRecipes", "FOOD.com", "BOTH"):
+        ours = result.sizes[name]
+        paper = result.paper_sizes[name]
+        rows.append([name, ours[0], ours[1], paper[0], paper[1]])
+    return format_table(
+        headers,
+        rows,
+        title=f"Table III: NER dataset sizes (cluster-stratified sampling, k={result.n_clusters})",
+    )

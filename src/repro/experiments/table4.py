@@ -1,0 +1,132 @@
+"""Table IV -- cross-corpus evaluation of the ingredient NER model.
+
+Three models are trained (on the AllRecipes sample, the FOOD.com sample and
+their union) and each is evaluated on the three test sets, giving the 3x3 F1
+matrix of Table IV.  The paper's qualitative findings that the reproduction
+checks:
+
+* every model is strongest (or tied) on its own corpus,
+* the AllRecipes-only model degrades most on FOOD.com (the larger, more
+  heterogeneous corpus),
+* the combined model is competitive everywhere (within a few points of the
+  best single-corpus model on each test set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ingredient_pipeline import IngredientPipeline
+from repro.core.selection import TrainingSetSelector
+from repro.data.models import AnnotatedPhrase
+from repro.eval.metrics import evaluate_sequences
+from repro.eval.reports import format_matrix
+from repro.experiments.common import ExperimentCorpora, build_corpora, vectorizer_for
+from repro.experiments.table3 import SAMPLING_FRACTIONS
+
+__all__ = ["Table4Result", "PAPER_MATRIX", "run", "render"]
+
+#: The paper's Table IV (rows = testing set, columns = training set).
+PAPER_MATRIX: dict[str, dict[str, float]] = {
+    "AllRecipes": {"AllRecipes": 0.9682, "FOOD.com": 0.9317, "BOTH": 0.9709},
+    "FOOD.com": {"AllRecipes": 0.8672, "FOOD.com": 0.9519, "BOTH": 0.9498},
+    "BOTH": {"AllRecipes": 0.8972, "FOOD.com": 0.9472, "BOTH": 0.9611},
+}
+
+_CORPUS_NAMES = ("AllRecipes", "FOOD.com", "BOTH")
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Cross-corpus F1 matrix.
+
+    Attributes:
+        matrix: ``matrix[test_set][training_set]`` = entity-level F1.
+        train_sizes / test_sizes: Number of phrases in each split.
+        paper_matrix: The paper's Table IV values, for rendering side by side.
+    """
+
+    matrix: dict[str, dict[str, float]]
+    train_sizes: dict[str, int]
+    test_sizes: dict[str, int]
+    paper_matrix: dict[str, dict[str, float]]
+
+
+def _select_sets(
+    corpora: ExperimentCorpora, *, seed: int, n_clusters: int
+) -> tuple[dict[str, list[AnnotatedPhrase]], dict[str, list[AnnotatedPhrase]]]:
+    """Cluster-stratified train/test phrase sets per corpus plus the union."""
+    vectorizer = vectorizer_for(corpora.combined, seed=seed)
+    train_sets: dict[str, list[AnnotatedPhrase]] = {}
+    test_sets: dict[str, list[AnnotatedPhrase]] = {}
+    for name, corpus in (("AllRecipes", corpora.allrecipes), ("FOOD.com", corpora.foodcom)):
+        train_fraction, test_fraction = SAMPLING_FRACTIONS[name]
+        selector = TrainingSetSelector(
+            vectorizer,
+            n_clusters=n_clusters,
+            train_fraction=train_fraction,
+            test_fraction=test_fraction,
+            seed=seed,
+        )
+        selection = selector.select(corpus.ingredient_phrases())
+        train_sets[name] = selection.train
+        test_sets[name] = selection.test
+    train_sets["BOTH"] = train_sets["AllRecipes"] + train_sets["FOOD.com"]
+    test_sets["BOTH"] = test_sets["AllRecipes"] + test_sets["FOOD.com"]
+    return train_sets, test_sets
+
+
+def run(
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    n_clusters: int = 23,
+    model_family: str = "perceptron",
+    corpora: ExperimentCorpora | None = None,
+) -> Table4Result:
+    """Train the three models and fill the 3x3 cross-corpus F1 matrix."""
+    corpora = corpora or build_corpora(scale=scale, seed=seed)
+    train_sets, test_sets = _select_sets(corpora, seed=seed, n_clusters=n_clusters)
+
+    models: dict[str, IngredientPipeline] = {}
+    for name in _CORPUS_NAMES:
+        pipeline = IngredientPipeline(model_family=model_family, seed=seed)
+        models[name] = pipeline.train(train_sets[name])
+
+    matrix: dict[str, dict[str, float]] = {test_name: {} for test_name in _CORPUS_NAMES}
+    for test_name in _CORPUS_NAMES:
+        gold = [list(phrase.ner_tags) for phrase in test_sets[test_name]]
+        tokens = [list(phrase.tokens) for phrase in test_sets[test_name]]
+        for train_name in _CORPUS_NAMES:
+            predictions = [models[train_name].tag_tokens(sequence) for sequence in tokens]
+            matrix[test_name][train_name] = evaluate_sequences(predictions, gold).f1
+
+    return Table4Result(
+        matrix=matrix,
+        train_sizes={name: len(train_sets[name]) for name in _CORPUS_NAMES},
+        test_sizes={name: len(test_sets[name]) for name in _CORPUS_NAMES},
+        paper_matrix={key: dict(value) for key, value in PAPER_MATRIX.items()},
+    )
+
+
+def render(result: Table4Result) -> str:
+    """Format the measured and paper matrices side by side."""
+    ours = format_matrix(
+        list(_CORPUS_NAMES),
+        list(_CORPUS_NAMES),
+        result.matrix,
+        title="Table IV (ours): F1 by testing set (rows) and training set (columns)",
+        corner="Testing \\ Training",
+    )
+    paper = format_matrix(
+        list(_CORPUS_NAMES),
+        list(_CORPUS_NAMES),
+        result.paper_matrix,
+        title="Table IV (paper)",
+        corner="Testing \\ Training",
+    )
+    sizes = ", ".join(
+        f"{name}: {result.train_sizes[name]} train / {result.test_sizes[name]} test"
+        for name in _CORPUS_NAMES
+    )
+    return f"{ours}\n\n{paper}\n\nSplit sizes -- {sizes}"

@@ -1,0 +1,41 @@
+"""Sequence-labelling substrate (the stand-in for the Stanford NER tagger).
+
+Three model families are provided behind one API (:class:`repro.ner.model.NerModel`):
+
+* :class:`repro.ner.crf.LinearChainCRF` -- a linear-chain conditional random
+  field trained with L-BFGS, the same model family as the Stanford NER
+  classifier used by the paper.
+* :class:`repro.ner.structured_perceptron.StructuredPerceptron` -- an
+  averaged structured perceptron, much faster to train, used by the
+  large-corpus experiments and as an ablation baseline.
+* :class:`repro.ner.hmm.HiddenMarkovModel` -- a generative HMM baseline.
+"""
+
+from repro.ner.encoding import (
+    OUTSIDE_TAG,
+    bio_decode,
+    bio_encode,
+    spans_from_tags,
+    tags_from_spans,
+)
+from repro.ner.features import IngredientFeatureExtractor, InstructionFeatureExtractor
+from repro.ner.crf import LinearChainCRF
+from repro.ner.hmm import HiddenMarkovModel
+from repro.ner.structured_perceptron import StructuredPerceptron
+from repro.ner.model import NerModel, TaggedEntity, make_sequence_model
+
+__all__ = [
+    "HiddenMarkovModel",
+    "IngredientFeatureExtractor",
+    "InstructionFeatureExtractor",
+    "LinearChainCRF",
+    "NerModel",
+    "OUTSIDE_TAG",
+    "StructuredPerceptron",
+    "TaggedEntity",
+    "bio_decode",
+    "bio_encode",
+    "make_sequence_model",
+    "spans_from_tags",
+    "tags_from_spans",
+]

@@ -1,0 +1,372 @@
+"""Linear-chain conditional random field trained with L-BFGS.
+
+This is the reproduction of the Stanford NER classifier used throughout the
+paper: a discriminative sequence model with local lexical features, first
+order label transitions, dedicated start/stop scores and L2 regularisation,
+optimised by a quasi-Newton method.
+
+The implementation keeps the design simple and NumPy-friendly:
+
+* features are strings produced by a feature extractor and mapped to dense
+  indices by a :class:`~repro.text.vocab.Vocabulary`;
+* per-token emission scores are computed by summing rows of the emission
+  weight matrix for the active features;
+* the forward-backward recursions run in log space, vectorised over labels;
+* the objective/gradient pair is handed to ``scipy.optimize.minimize``
+  (L-BFGS-B).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+from scipy.special import logsumexp
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.text.vocab import Vocabulary
+from repro.utils import require_equal_lengths, require_nonempty
+
+__all__ = ["LinearChainCRF"]
+
+
+class LinearChainCRF:
+    """First-order linear-chain CRF over string features.
+
+    Args:
+        l2: L2 regularisation strength (Gaussian prior precision).
+        max_iterations: Cap on L-BFGS iterations.
+        min_feature_count: Features observed fewer times than this in the
+            training data are dropped, which keeps the parameter count small
+            and mirrors Stanford NER's feature-count cut-off.
+        tolerance: L-BFGS convergence tolerance on the objective.
+    """
+
+    def __init__(
+        self,
+        *,
+        l2: float = 1.0,
+        max_iterations: int = 120,
+        min_feature_count: int = 1,
+        tolerance: float = 1e-5,
+    ) -> None:
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be non-negative, got {l2}")
+        if max_iterations <= 0:
+            raise ConfigurationError(f"max_iterations must be positive, got {max_iterations}")
+        if min_feature_count < 1:
+            raise ConfigurationError(f"min_feature_count must be >= 1, got {min_feature_count}")
+        self.l2 = float(l2)
+        self.max_iterations = int(max_iterations)
+        self.min_feature_count = int(min_feature_count)
+        self.tolerance = float(tolerance)
+
+        self.feature_vocab: Vocabulary | None = None
+        self.label_vocab: Vocabulary | None = None
+        self.emission_weights: np.ndarray | None = None  # (n_features, n_labels)
+        self.transition_weights: np.ndarray | None = None  # (n_labels, n_labels)
+        self.start_weights: np.ndarray | None = None  # (n_labels,)
+        self.end_weights: np.ndarray | None = None  # (n_labels,)
+        self.training_history: list[float] = []
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the model holds fitted weights."""
+        return self.emission_weights is not None
+
+    def fit(
+        self,
+        feature_sequences: Sequence[Sequence[Sequence[str]]],
+        label_sequences: Sequence[Sequence[str]],
+    ) -> "LinearChainCRF":
+        """Train on parallel feature/label sequences.
+
+        Args:
+            feature_sequences: One list of feature-string lists per sentence.
+            label_sequences: One list of label strings per sentence.
+        """
+        require_nonempty("feature_sequences", feature_sequences)
+        require_equal_lengths(
+            "feature_sequences", feature_sequences, "label_sequences", label_sequences
+        )
+        self._build_vocabularies(feature_sequences, label_sequences)
+        encoded = self._encode_dataset(feature_sequences, label_sequences)
+        n_features = len(self.feature_vocab)
+        n_labels = len(self.label_vocab)
+        n_params = n_features * n_labels + n_labels * n_labels + 2 * n_labels
+        initial = np.zeros(n_params, dtype=np.float64)
+        self.training_history = []
+
+        def objective(params: np.ndarray) -> tuple[float, np.ndarray]:
+            value, gradient = self._objective(params, encoded, n_features, n_labels)
+            self.training_history.append(float(value))
+            return value, gradient
+
+        result = minimize(
+            objective,
+            initial,
+            method="L-BFGS-B",
+            jac=True,
+            tol=self.tolerance,
+            options={"maxiter": self.max_iterations},
+        )
+        self._unpack(result.x, n_features, n_labels)
+        return self
+
+    def predict(self, feature_sequence: Sequence[Sequence[str]]) -> list[str]:
+        """Most likely label sequence (Viterbi decode) for one sentence."""
+        if not self.is_trained:
+            raise NotFittedError("LinearChainCRF.predict called before fit()")
+        if len(feature_sequence) == 0:
+            return []
+        emissions = self._emission_scores(feature_sequence)
+        path = self._viterbi(emissions)
+        return [self.label_vocab.symbol(index) for index in path]
+
+    def predict_batch(
+        self, feature_sequences: Sequence[Sequence[Sequence[str]]]
+    ) -> list[list[str]]:
+        """Viterbi decode for many sentences."""
+        return [self.predict(sequence) for sequence in feature_sequences]
+
+    def sequence_log_likelihood(
+        self, feature_sequence: Sequence[Sequence[str]], labels: Sequence[str]
+    ) -> float:
+        """Log P(labels | features) under the fitted model."""
+        if not self.is_trained:
+            raise NotFittedError("model must be fitted first")
+        require_equal_lengths("feature_sequence", feature_sequence, "labels", labels)
+        if len(labels) == 0:
+            raise DataError("cannot score an empty sequence")
+        emissions = self._emission_scores(feature_sequence)
+        label_indices = [self.label_vocab.index(label) for label in labels]
+        score = self.start_weights[label_indices[0]] + emissions[0, label_indices[0]]
+        for t in range(1, len(label_indices)):
+            score += self.transition_weights[label_indices[t - 1], label_indices[t]]
+            score += emissions[t, label_indices[t]]
+        score += self.end_weights[label_indices[-1]]
+        log_z = self._log_partition(emissions)
+        return float(score - log_z)
+
+    def marginals(self, feature_sequence: Sequence[Sequence[str]]) -> np.ndarray:
+        """Per-token posterior marginals, shape ``(len(sequence), n_labels)``."""
+        if not self.is_trained:
+            raise NotFittedError("model must be fitted first")
+        emissions = self._emission_scores(feature_sequence)
+        alpha = self._forward(emissions)
+        beta = self._backward(emissions)
+        log_z = logsumexp(alpha[-1] + self.end_weights)
+        return np.exp(alpha + beta - log_z)
+
+    def labels(self) -> list[str]:
+        """Label inventory learnt during training."""
+        if self.label_vocab is None:
+            raise NotFittedError("model must be fitted first")
+        return self.label_vocab.symbols()
+
+    # --------------------------------------------------------------- fitting
+
+    def _build_vocabularies(
+        self,
+        feature_sequences: Sequence[Sequence[Sequence[str]]],
+        label_sequences: Sequence[Sequence[str]],
+    ) -> None:
+        counts: dict[str, int] = {}
+        for sentence in feature_sequences:
+            for token_features in sentence:
+                for feature in token_features:
+                    counts[feature] = counts.get(feature, 0) + 1
+        kept = [f for f, count in counts.items() if count >= self.min_feature_count]
+        self.feature_vocab = Vocabulary(sorted(kept)).freeze()
+        labels = sorted({label for sentence in label_sequences for label in sentence})
+        if not labels:
+            raise DataError("no labels found in the training data")
+        self.label_vocab = Vocabulary(labels).freeze()
+
+    def _encode_dataset(
+        self,
+        feature_sequences: Sequence[Sequence[Sequence[str]]],
+        label_sequences: Sequence[Sequence[str]],
+    ) -> list[tuple[list[np.ndarray], np.ndarray]]:
+        encoded: list[tuple[list[np.ndarray], np.ndarray]] = []
+        for sentence, labels in zip(feature_sequences, label_sequences):
+            require_equal_lengths("sentence", sentence, "labels", labels)
+            if len(sentence) == 0:
+                continue
+            token_feature_indices = [
+                np.array(
+                    sorted(
+                        {
+                            index
+                            for feature in token_features
+                            if (index := self.feature_vocab.get(feature)) is not None
+                        }
+                    ),
+                    dtype=np.int64,
+                )
+                for token_features in sentence
+            ]
+            label_indices = np.array(
+                [self.label_vocab.index(label) for label in labels], dtype=np.int64
+            )
+            encoded.append((token_feature_indices, label_indices))
+        if not encoded:
+            raise DataError("all training sequences were empty")
+        return encoded
+
+    def _objective(
+        self,
+        params: np.ndarray,
+        encoded: list[tuple[list[np.ndarray], np.ndarray]],
+        n_features: int,
+        n_labels: int,
+    ) -> tuple[float, np.ndarray]:
+        emission, transition, start, end = self._split(params, n_features, n_labels)
+        grad_emission = np.zeros_like(emission)
+        grad_transition = np.zeros_like(transition)
+        grad_start = np.zeros_like(start)
+        grad_end = np.zeros_like(end)
+        negative_log_likelihood = 0.0
+
+        for token_feature_indices, label_indices in encoded:
+            length = len(token_feature_indices)
+            emissions = np.zeros((length, n_labels), dtype=np.float64)
+            for t, indices in enumerate(token_feature_indices):
+                if indices.size:
+                    emissions[t] = emission[indices].sum(axis=0)
+
+            alpha = self._forward_scores(emissions, transition, start)
+            beta = self._backward_scores(emissions, transition, end)
+            log_z = logsumexp(alpha[-1] + end)
+
+            # Gold path score.
+            gold = start[label_indices[0]] + emissions[0, label_indices[0]]
+            for t in range(1, length):
+                gold += transition[label_indices[t - 1], label_indices[t]]
+                gold += emissions[t, label_indices[t]]
+            gold += end[label_indices[-1]]
+            negative_log_likelihood += log_z - gold
+
+            # Posterior marginals.
+            gamma = np.exp(alpha + beta - log_z)  # (length, n_labels)
+
+            # Emission gradient: expected minus empirical counts.
+            for t, indices in enumerate(token_feature_indices):
+                if indices.size:
+                    grad_emission[indices] += gamma[t]
+                    grad_emission[indices, label_indices[t]] -= 1.0
+
+            # Start / end gradients.
+            grad_start += gamma[0]
+            grad_start[label_indices[0]] -= 1.0
+            grad_end += gamma[-1]
+            grad_end[label_indices[-1]] -= 1.0
+
+            # Transition gradient via pairwise marginals.
+            for t in range(1, length):
+                pairwise = (
+                    alpha[t - 1][:, None]
+                    + transition
+                    + emissions[t][None, :]
+                    + beta[t][None, :]
+                    - log_z
+                )
+                xi = np.exp(pairwise)
+                grad_transition += xi
+                grad_transition[label_indices[t - 1], label_indices[t]] -= 1.0
+
+        # L2 regularisation.
+        negative_log_likelihood += 0.5 * self.l2 * float(np.dot(params, params))
+        gradient = np.concatenate(
+            [grad_emission.ravel(), grad_transition.ravel(), grad_start, grad_end]
+        )
+        gradient += self.l2 * params
+        return negative_log_likelihood, gradient
+
+    # ----------------------------------------------------------- inference
+
+    def _emission_scores(self, feature_sequence: Sequence[Sequence[str]]) -> np.ndarray:
+        n_labels = len(self.label_vocab)
+        emissions = np.zeros((len(feature_sequence), n_labels), dtype=np.float64)
+        for t, token_features in enumerate(feature_sequence):
+            indices = [
+                index
+                for feature in token_features
+                if (index := self.feature_vocab.get(feature)) is not None
+            ]
+            if indices:
+                emissions[t] = self.emission_weights[np.array(indices, dtype=np.int64)].sum(axis=0)
+        return emissions
+
+    def _forward(self, emissions: np.ndarray) -> np.ndarray:
+        return self._forward_scores(emissions, self.transition_weights, self.start_weights)
+
+    def _backward(self, emissions: np.ndarray) -> np.ndarray:
+        return self._backward_scores(emissions, self.transition_weights, self.end_weights)
+
+    @staticmethod
+    def _forward_scores(
+        emissions: np.ndarray, transition: np.ndarray, start: np.ndarray
+    ) -> np.ndarray:
+        length, n_labels = emissions.shape
+        alpha = np.empty((length, n_labels), dtype=np.float64)
+        alpha[0] = start + emissions[0]
+        for t in range(1, length):
+            alpha[t] = logsumexp(alpha[t - 1][:, None] + transition, axis=0) + emissions[t]
+        return alpha
+
+    @staticmethod
+    def _backward_scores(
+        emissions: np.ndarray, transition: np.ndarray, end: np.ndarray
+    ) -> np.ndarray:
+        length, n_labels = emissions.shape
+        beta = np.empty((length, n_labels), dtype=np.float64)
+        beta[-1] = end
+        for t in range(length - 2, -1, -1):
+            beta[t] = logsumexp(transition + (emissions[t + 1] + beta[t + 1])[None, :], axis=1)
+        return beta
+
+    def _log_partition(self, emissions: np.ndarray) -> float:
+        alpha = self._forward(emissions)
+        return float(logsumexp(alpha[-1] + self.end_weights))
+
+    def _viterbi(self, emissions: np.ndarray) -> list[int]:
+        length, n_labels = emissions.shape
+        scores = self.start_weights + emissions[0]
+        backpointers = np.zeros((length, n_labels), dtype=np.int64)
+        for t in range(1, length):
+            candidate = scores[:, None] + self.transition_weights
+            backpointers[t] = np.argmax(candidate, axis=0)
+            scores = candidate[backpointers[t], np.arange(n_labels)] + emissions[t]
+        scores = scores + self.end_weights
+        best_last = int(np.argmax(scores))
+        path = [best_last]
+        for t in range(length - 1, 0, -1):
+            path.append(int(backpointers[t, path[-1]]))
+        path.reverse()
+        return path
+
+    # -------------------------------------------------------------- helpers
+
+    def _split(
+        self, params: np.ndarray, n_features: int, n_labels: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        emission_size = n_features * n_labels
+        transition_size = n_labels * n_labels
+        emission = params[:emission_size].reshape(n_features, n_labels)
+        transition = params[emission_size : emission_size + transition_size].reshape(
+            n_labels, n_labels
+        )
+        start = params[emission_size + transition_size : emission_size + transition_size + n_labels]
+        end = params[emission_size + transition_size + n_labels :]
+        return emission, transition, start, end
+
+    def _unpack(self, params: np.ndarray, n_features: int, n_labels: int) -> None:
+        emission, transition, start, end = self._split(params, n_features, n_labels)
+        self.emission_weights = emission.copy()
+        self.transition_weights = transition.copy()
+        self.start_weights = start.copy()
+        self.end_weights = end.copy()

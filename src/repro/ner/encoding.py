@@ -1,0 +1,132 @@
+"""Label encodings for sequence labelling.
+
+The paper's annotation scheme assigns one of seven entity types (or nothing)
+to every token.  Internally we support both *raw* tagging (each token carries
+its entity type directly, the Stanford NER convention) and *BIO* encoding
+(Begin/Inside/Outside), plus conversion between token tags and entity spans,
+which the entity-level F1 metric needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataError, SchemaError
+
+__all__ = [
+    "OUTSIDE_TAG",
+    "EntitySpan",
+    "bio_decode",
+    "bio_encode",
+    "spans_from_tags",
+    "tags_from_spans",
+]
+
+#: Tag used for tokens outside every entity (Stanford NER uses "O").
+OUTSIDE_TAG = "O"
+
+
+@dataclass(frozen=True, slots=True)
+class EntitySpan:
+    """A labelled span of tokens.
+
+    Attributes:
+        label: Entity type (e.g. ``"NAME"`` or ``"UNIT"``).
+        start: Index of the first token of the span.
+        end: Index one past the last token of the span.
+    """
+
+    label: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise DataError(f"invalid span boundaries: start={self.start}, end={self.end}")
+
+    @property
+    def length(self) -> int:
+        """Number of tokens covered by the span."""
+        return self.end - self.start
+
+    def tokens(self, sequence: list[str]) -> list[str]:
+        """Slice of ``sequence`` covered by this span."""
+        return sequence[self.start : self.end]
+
+
+def bio_encode(raw_tags: list[str]) -> list[str]:
+    """Convert raw per-token entity tags to BIO tags.
+
+    Consecutive tokens with the same raw tag form a single entity; the first
+    becomes ``B-<label>`` and the rest ``I-<label>``.  ``O`` passes through.
+
+    >>> bio_encode(["QUANTITY", "UNIT", "NAME", "NAME", "O"])
+    ['B-QUANTITY', 'B-UNIT', 'B-NAME', 'I-NAME', 'O']
+    """
+    encoded: list[str] = []
+    previous = OUTSIDE_TAG
+    for tag in raw_tags:
+        if tag == OUTSIDE_TAG:
+            encoded.append(OUTSIDE_TAG)
+        elif tag == previous:
+            encoded.append(f"I-{tag}")
+        else:
+            encoded.append(f"B-{tag}")
+        previous = tag
+    return encoded
+
+
+def bio_decode(bio_tags: list[str]) -> list[str]:
+    """Convert BIO tags back to raw per-token entity tags.
+
+    An ``I-`` tag that does not continue the preceding entity is tolerated and
+    treated as a begin (the usual "conll relaxed" reading), because greedy
+    decoders occasionally emit such sequences.
+    """
+    raw: list[str] = []
+    for tag in bio_tags:
+        if tag == OUTSIDE_TAG:
+            raw.append(OUTSIDE_TAG)
+        elif tag.startswith(("B-", "I-")):
+            raw.append(tag[2:])
+        else:
+            raise SchemaError(f"not a BIO tag: {tag!r}")
+    return raw
+
+
+def spans_from_tags(raw_tags: list[str]) -> list[EntitySpan]:
+    """Group consecutive identical raw tags into :class:`EntitySpan` objects.
+
+    >>> spans_from_tags(["QUANTITY", "UNIT", "NAME", "NAME"])
+    [EntitySpan(label='QUANTITY', start=0, end=1), EntitySpan(label='UNIT', start=1, end=2), EntitySpan(label='NAME', start=2, end=4)]
+    """
+    spans: list[EntitySpan] = []
+    current_label: str | None = None
+    current_start = 0
+    for index, tag in enumerate(raw_tags):
+        if tag == current_label:
+            continue
+        if current_label not in (None, OUTSIDE_TAG):
+            spans.append(EntitySpan(label=current_label, start=current_start, end=index))
+        current_label = tag
+        current_start = index
+    if current_label not in (None, OUTSIDE_TAG):
+        spans.append(EntitySpan(label=current_label, start=current_start, end=len(raw_tags)))
+    return spans
+
+
+def tags_from_spans(spans: list[EntitySpan], length: int) -> list[str]:
+    """Expand spans back into a raw tag sequence of ``length`` tokens.
+
+    Raises:
+        DataError: If spans overlap or extend past ``length``.
+    """
+    tags = [OUTSIDE_TAG] * length
+    for span in spans:
+        if span.end > length:
+            raise DataError(f"span {span} extends past sequence length {length}")
+        for position in range(span.start, span.end):
+            if tags[position] != OUTSIDE_TAG:
+                raise DataError(f"span {span} overlaps an earlier span at position {position}")
+            tags[position] = span.label
+    return tags

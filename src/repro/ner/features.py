@@ -1,0 +1,159 @@
+"""Feature templates for the ingredient and instruction NER models.
+
+The Stanford NER tagger used in the paper relies on local lexical features
+(word identity, affixes, shape, neighbouring words).  The extractors here
+reproduce that recipe-tuned feature design:
+
+* :class:`IngredientFeatureExtractor` -- adds features for quantity shapes,
+  measurement-unit suffixes, temperature/size/freshness trigger words and
+  parenthesis context, which is what distinguishes STATE from NAME and UNIT
+  from NAME in homograph cases ("clove").
+* :class:`InstructionFeatureExtractor` -- adds verb-position and imperative
+  features useful for spotting cooking techniques and utensils.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+__all__ = [
+    "IngredientFeatureExtractor",
+    "InstructionFeatureExtractor",
+    "TokenFeatureExtractor",
+]
+
+_NUMERIC_RE = re.compile(r"^\d+(?:\.\d+)?$")
+_FRACTION_RE = re.compile(r"^\d+(?: \d+)?/\d+$")
+_RANGE_RE = re.compile(r"^\d+(?:\.\d+)?-\d+(?:\.\d+)?$")
+
+#: Trigger words strongly associated with particular ingredient attributes.
+_SIZE_WORDS = frozenset({"small", "medium", "large", "big", "extra-large", "jumbo"})
+_TEMP_WORDS = frozenset({"hot", "cold", "warm", "chilled", "frozen", "room", "lukewarm", "iced"})
+_FRESHNESS_WORDS = frozenset({"fresh", "dried", "dry", "freeze-dried", "canned"})
+_UNIT_SUFFIXES = ("spoon", "spoons", "ounce", "ounces", "gram", "grams", "liter", "litre")
+_STATE_SUFFIXES = ("ed", "en")
+
+
+def _shape(token: str) -> str:
+    chars = []
+    for char in token:
+        if char.isdigit():
+            chars.append("d")
+        elif char.isalpha():
+            chars.append("X" if char.isupper() else "x")
+        else:
+            chars.append(char)
+    collapsed: list[str] = []
+    for char in chars:
+        if not collapsed or collapsed[-1] != char:
+            collapsed.append(char)
+    return "".join(collapsed)
+
+
+def _is_numberish(token: str) -> bool:
+    return bool(
+        _NUMERIC_RE.match(token) or _FRACTION_RE.match(token) or _RANGE_RE.match(token)
+    )
+
+
+class TokenFeatureExtractor:
+    """Base extractor producing context-window lexical features.
+
+    Subclasses extend :meth:`token_features` with domain-specific triggers.
+    The extractor is deliberately stateless so one instance can be shared by
+    parallel experiments.
+    """
+
+    window = 2
+
+    def sequence_features(self, tokens: Sequence[str]) -> list[list[str]]:
+        """Feature lists for every position of ``tokens``."""
+        lowered = [token.lower() for token in tokens]
+        return [self.token_features(lowered, index, tokens) for index in range(len(tokens))]
+
+    def token_features(self, lowered: Sequence[str], index: int, raw: Sequence[str]) -> list[str]:
+        """Features for position ``index``; ``lowered`` is the lower-cased view."""
+        token = lowered[index]
+        original = raw[index]
+        features = [
+            "bias",
+            f"w={token}",
+            f"suffix3={token[-3:]}",
+            f"suffix2={token[-2:]}",
+            f"prefix2={token[:2]}",
+            f"shape={_shape(original)}",
+            f"pos_in_seq={'first' if index == 0 else 'last' if index == len(lowered) - 1 else 'mid'}",
+        ]
+        if _is_numberish(token):
+            features.append("is_number")
+        if "-" in token:
+            features.append("has_hyphen")
+        if original[:1].isupper():
+            features.append("is_capitalised")
+        for offset in range(1, self.window + 1):
+            if index - offset >= 0:
+                features.append(f"w[-{offset}]={lowered[index - offset]}")
+            else:
+                features.append(f"w[-{offset}]=<s>")
+            if index + offset < len(lowered):
+                features.append(f"w[+{offset}]={lowered[index + offset]}")
+            else:
+                features.append(f"w[+{offset}]=</s>")
+        if index > 0 and _is_numberish(lowered[index - 1]):
+            features.append("prev_is_number")
+        if index + 1 < len(lowered) and _is_numberish(lowered[index + 1]):
+            features.append("next_is_number")
+        return features
+
+
+class IngredientFeatureExtractor(TokenFeatureExtractor):
+    """Features tuned for the seven ingredient attributes of Table II."""
+
+    def token_features(self, lowered: Sequence[str], index: int, raw: Sequence[str]) -> list[str]:
+        features = super().token_features(lowered, index, raw)
+        token = lowered[index]
+        if token in _SIZE_WORDS:
+            features.append("size_trigger")
+        if token in _TEMP_WORDS:
+            features.append("temp_trigger")
+        if token in _FRESHNESS_WORDS:
+            features.append("freshness_trigger")
+        if token.endswith(_UNIT_SUFFIXES):
+            features.append("unit_suffix")
+        if token.endswith(_STATE_SUFFIXES) and not _is_numberish(token):
+            features.append("participle_suffix")
+        if token.endswith("ly"):
+            features.append("adverb_suffix")
+        # Parenthesis context: "( thawed )", "(8 ounce) package".
+        if "(" in lowered[:index] and ")" not in lowered[:index]:
+            features.append("inside_parens")
+        if index > 0 and lowered[index - 1] == ",":
+            features.append("after_comma")
+        if "," in lowered[:index]:
+            features.append("after_any_comma")
+        return features
+
+
+class InstructionFeatureExtractor(TokenFeatureExtractor):
+    """Features tuned for processes, utensils and ingredients in instructions."""
+
+    _UTENSIL_SUFFIXES = ("pan", "pot", "bowl", "oven", "sheet", "skillet", "dish", "board")
+    _PREPOSITIONS = frozenset({"in", "into", "with", "on", "onto", "over", "to", "from", "using"})
+
+    def token_features(self, lowered: Sequence[str], index: int, raw: Sequence[str]) -> list[str]:
+        features = super().token_features(lowered, index, raw)
+        token = lowered[index]
+        if index == 0:
+            features.append("sentence_initial")  # imperative verbs open the step
+        if token.endswith(self._UTENSIL_SUFFIXES):
+            features.append("utensil_suffix")
+        if token.endswith("ing"):
+            features.append("gerund_suffix")
+        if index > 0 and lowered[index - 1] in self._PREPOSITIONS:
+            features.append("after_preposition")
+        if index > 0 and lowered[index - 1] in {"a", "an", "the"}:
+            features.append("after_determiner")
+        if index + 1 < len(lowered) and lowered[index + 1] in self._PREPOSITIONS:
+            features.append("before_preposition")
+        return features

@@ -1,0 +1,165 @@
+"""Hidden Markov model baseline for sequence labelling.
+
+The HMM is a *generative* baseline included for the model-family ablation:
+it ignores all contextual features except the token identity (taken from the
+``w=...`` feature emitted by the feature extractors) and models label
+transitions and token emissions with add-one smoothed maximum-likelihood
+estimates.  Decoding is Viterbi in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+
+from repro.errors import DataError, NotFittedError
+from repro.utils import require_equal_lengths, require_nonempty
+
+__all__ = ["HiddenMarkovModel"]
+
+_UNKNOWN = "<unk>"
+_WORD_FEATURE_PREFIX = "w="
+
+
+def _observation(token_features: Sequence[str]) -> str:
+    """Pull the token identity out of a feature list (``w=...``)."""
+    for feature in token_features:
+        if feature.startswith(_WORD_FEATURE_PREFIX):
+            return feature[len(_WORD_FEATURE_PREFIX) :]
+    # Fall back to the whole feature list hash; should not happen with the
+    # provided extractors, but keeps the model usable with minimal features.
+    return "|".join(token_features) if token_features else _UNKNOWN
+
+
+class HiddenMarkovModel:
+    """Add-one smoothed first-order HMM over token observations.
+
+    Args:
+        smoothing: Additive smoothing constant for transition and emission
+            probabilities.
+    """
+
+    def __init__(self, *, smoothing: float = 1.0) -> None:
+        if smoothing <= 0:
+            raise DataError(f"smoothing must be positive, got {smoothing}")
+        self.smoothing = float(smoothing)
+        self._labels: list[str] = []
+        self._vocabulary: set[str] = set()
+        self._transition_log_prob: dict[tuple[str, str], float] = {}
+        self._start_log_prob: dict[str, float] = {}
+        self._emission_log_prob: dict[tuple[str, str], float] = {}
+        self._emission_unknown_log_prob: dict[str, float] = {}
+        self._trained = False
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._trained
+
+    def fit(
+        self,
+        feature_sequences: Sequence[Sequence[Sequence[str]]],
+        label_sequences: Sequence[Sequence[str]],
+    ) -> "HiddenMarkovModel":
+        """Estimate transition and emission tables from labelled sequences."""
+        require_nonempty("feature_sequences", feature_sequences)
+        require_equal_lengths(
+            "feature_sequences", feature_sequences, "label_sequences", label_sequences
+        )
+        transition_counts: dict[str, Counter] = defaultdict(Counter)
+        start_counts: Counter = Counter()
+        emission_counts: dict[str, Counter] = defaultdict(Counter)
+        label_set: set[str] = set()
+
+        for sentence, labels in zip(feature_sequences, label_sequences):
+            require_equal_lengths("sentence", sentence, "labels", labels)
+            if not labels:
+                continue
+            observations = [_observation(token_features) for token_features in sentence]
+            start_counts[labels[0]] += 1
+            for position, (observation, label) in enumerate(zip(observations, labels)):
+                label_set.add(label)
+                self._vocabulary.add(observation)
+                emission_counts[label][observation] += 1
+                if position > 0:
+                    transition_counts[labels[position - 1]][label] += 1
+
+        if not label_set:
+            raise DataError("no labels found in the training data")
+        self._labels = sorted(label_set)
+        vocabulary_size = len(self._vocabulary) + 1  # +1 for the unknown word
+        total_starts = sum(start_counts.values())
+
+        for label in self._labels:
+            self._start_log_prob[label] = math.log(
+                (start_counts[label] + self.smoothing)
+                / (total_starts + self.smoothing * len(self._labels))
+            )
+            transition_total = sum(transition_counts[label].values())
+            for next_label in self._labels:
+                self._transition_log_prob[(label, next_label)] = math.log(
+                    (transition_counts[label][next_label] + self.smoothing)
+                    / (transition_total + self.smoothing * len(self._labels))
+                )
+            emission_total = sum(emission_counts[label].values())
+            denominator = emission_total + self.smoothing * vocabulary_size
+            for observation, count in emission_counts[label].items():
+                self._emission_log_prob[(label, observation)] = math.log(
+                    (count + self.smoothing) / denominator
+                )
+            self._emission_unknown_log_prob[label] = math.log(self.smoothing / denominator)
+
+        self._trained = True
+        return self
+
+    def predict(self, feature_sequence: Sequence[Sequence[str]]) -> list[str]:
+        """Viterbi decode a single sentence."""
+        if not self._trained:
+            raise NotFittedError("HiddenMarkovModel.predict called before fit()")
+        if len(feature_sequence) == 0:
+            return []
+        observations = [_observation(token_features) for token_features in feature_sequence]
+        # Viterbi over log probabilities.
+        scores = {
+            label: self._start_log_prob[label] + self._emission(label, observations[0])
+            for label in self._labels
+        }
+        backpointers: list[dict[str, str]] = []
+        for observation in observations[1:]:
+            new_scores: dict[str, float] = {}
+            pointers: dict[str, str] = {}
+            for label in self._labels:
+                best_prev, best_score = None, -math.inf
+                for prev_label in self._labels:
+                    candidate = scores[prev_label] + self._transition_log_prob[(prev_label, label)]
+                    if candidate > best_score:
+                        best_prev, best_score = prev_label, candidate
+                new_scores[label] = best_score + self._emission(label, observation)
+                pointers[label] = best_prev
+            scores = new_scores
+            backpointers.append(pointers)
+        best_last = max(self._labels, key=lambda label: (scores[label], label))
+        path = [best_last]
+        for pointers in reversed(backpointers):
+            path.append(pointers[path[-1]])
+        path.reverse()
+        return path
+
+    def predict_batch(
+        self, feature_sequences: Sequence[Sequence[Sequence[str]]]
+    ) -> list[list[str]]:
+        """Viterbi decode many sentences."""
+        return [self.predict(sequence) for sequence in feature_sequences]
+
+    def labels(self) -> list[str]:
+        """Label inventory learnt during training."""
+        if not self._trained:
+            raise NotFittedError("model must be fitted first")
+        return list(self._labels)
+
+    def _emission(self, label: str, observation: str) -> float:
+        log_prob = self._emission_log_prob.get((label, observation))
+        if log_prob is None:
+            return self._emission_unknown_log_prob[label]
+        return log_prob

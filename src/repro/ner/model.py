@@ -1,0 +1,169 @@
+"""High-level NER model API used by the recipe pipelines.
+
+:class:`NerModel` wraps a feature extractor together with one of the three
+sequence labellers (CRF, structured perceptron, HMM) and exposes train /
+tag / evaluate operations on *token* sequences, which is the level the core
+pipelines work at.  The paper's two NER models (ingredients section,
+instructions section) are both instances of this class with different
+feature extractors and label inventories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError, DataError
+from repro.ner.crf import LinearChainCRF
+from repro.ner.encoding import OUTSIDE_TAG, spans_from_tags
+from repro.ner.features import (
+    IngredientFeatureExtractor,
+    InstructionFeatureExtractor,
+    TokenFeatureExtractor,
+)
+from repro.ner.hmm import HiddenMarkovModel
+from repro.ner.structured_perceptron import StructuredPerceptron
+from repro.utils import require_equal_lengths
+
+__all__ = ["NerModel", "TaggedEntity", "make_sequence_model", "SEQUENCE_MODEL_FAMILIES"]
+
+#: Model families accepted by :func:`make_sequence_model`.
+SEQUENCE_MODEL_FAMILIES = ("crf", "perceptron", "hmm")
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedEntity:
+    """An extracted entity: label, covered text and token span."""
+
+    label: str
+    text: str
+    start: int
+    end: int
+
+
+def make_sequence_model(
+    family: str,
+    *,
+    seed: int | None = None,
+    crf_l2: float = 1.0,
+    crf_max_iterations: int = 120,
+    perceptron_iterations: int = 8,
+):
+    """Instantiate a sequence labeller by family name.
+
+    Args:
+        family: ``"crf"``, ``"perceptron"`` or ``"hmm"``.
+        seed: Seed forwarded to models with stochastic training order.
+        crf_l2: L2 strength for the CRF.
+        crf_max_iterations: L-BFGS iteration cap for the CRF.
+        perceptron_iterations: Training epochs for the structured perceptron.
+    """
+    if family == "crf":
+        return LinearChainCRF(l2=crf_l2, max_iterations=crf_max_iterations)
+    if family == "perceptron":
+        return StructuredPerceptron(iterations=perceptron_iterations, seed=seed)
+    if family == "hmm":
+        return HiddenMarkovModel()
+    raise ConfigurationError(
+        f"unknown sequence model family {family!r}; expected one of {SEQUENCE_MODEL_FAMILIES}"
+    )
+
+
+class NerModel:
+    """Named-entity recogniser over token sequences.
+
+    Args:
+        feature_extractor: Converts token sequences into per-token feature
+            lists.  Use :class:`IngredientFeatureExtractor` for the
+            ingredients section and :class:`InstructionFeatureExtractor` for
+            the instructions section.
+        family: Sequence-labeller family (``"crf"``, ``"perceptron"``, ``"hmm"``).
+        seed: Seed for stochastic training procedures.
+        **model_options: Extra options forwarded to :func:`make_sequence_model`.
+    """
+
+    def __init__(
+        self,
+        feature_extractor: TokenFeatureExtractor | None = None,
+        *,
+        family: str = "perceptron",
+        seed: int | None = None,
+        **model_options,
+    ) -> None:
+        self.feature_extractor = feature_extractor or IngredientFeatureExtractor()
+        self.family = family
+        self.model = make_sequence_model(family, seed=seed, **model_options)
+
+    # ----------------------------------------------------------------- train
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the underlying sequence model is fitted."""
+        return self.model.is_trained
+
+    def train(
+        self,
+        token_sequences: Sequence[Sequence[str]],
+        tag_sequences: Sequence[Sequence[str]],
+    ) -> "NerModel":
+        """Train on parallel token/tag sequences (raw per-token entity tags)."""
+        require_equal_lengths("token_sequences", token_sequences, "tag_sequences", tag_sequences)
+        if len(token_sequences) == 0:
+            raise DataError("cannot train an NER model on an empty dataset")
+        features = [self.feature_extractor.sequence_features(tokens) for tokens in token_sequences]
+        labels = [list(tags) for tags in tag_sequences]
+        self.model.fit(features, labels)
+        return self
+
+    # ------------------------------------------------------------------- tag
+
+    def tag(self, tokens: Sequence[str]) -> list[str]:
+        """Predict one raw entity tag per token."""
+        if len(tokens) == 0:
+            return []
+        features = self.feature_extractor.sequence_features(tokens)
+        return self.model.predict(features)
+
+    def tag_batch(self, token_sequences: Sequence[Sequence[str]]) -> list[list[str]]:
+        """Tag many token sequences."""
+        return [self.tag(tokens) for tokens in token_sequences]
+
+    def extract_entities(self, tokens: Sequence[str]) -> list[TaggedEntity]:
+        """Group predicted tags into :class:`TaggedEntity` spans."""
+        tags = self.tag(tokens)
+        entities = []
+        for span in spans_from_tags(tags):
+            entities.append(
+                TaggedEntity(
+                    label=span.label,
+                    text=" ".join(tokens[span.start : span.end]),
+                    start=span.start,
+                    end=span.end,
+                )
+            )
+        return entities
+
+    def labels(self) -> list[str]:
+        """Labels known to the underlying model (includes ``O`` if present)."""
+        return self.model.labels()
+
+    # ------------------------------------------------------------------ eval
+
+    def predicted_and_gold(
+        self,
+        token_sequences: Sequence[Sequence[str]],
+        tag_sequences: Sequence[Sequence[str]],
+    ) -> tuple[list[list[str]], list[list[str]]]:
+        """Predictions next to gold tags, ready for the metrics module."""
+        require_equal_lengths("token_sequences", token_sequences, "tag_sequences", tag_sequences)
+        predictions = self.tag_batch(token_sequences)
+        return predictions, [list(tags) for tags in tag_sequences]
+
+
+def outside_ratio(tag_sequences: Sequence[Sequence[str]]) -> float:
+    """Fraction of tokens tagged ``O`` (useful sanity diagnostic for datasets)."""
+    total = sum(len(tags) for tags in tag_sequences)
+    if total == 0:
+        raise DataError("empty tag sequences")
+    outside = sum(1 for tags in tag_sequences for tag in tags if tag == OUTSIDE_TAG)
+    return outside / total

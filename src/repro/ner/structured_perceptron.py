@@ -1,0 +1,251 @@
+"""Averaged structured perceptron sequence labeller.
+
+Trains in a handful of passes over the data with Viterbi decoding inside the
+loop, which makes it roughly an order of magnitude faster than the CRF while
+landing within a point of F1 on the recipe corpora.  The large-corpus
+experiments (Table IV sweep, full-RecipeDB statistics) default to this model;
+the CRF remains available for fidelity to the paper's Stanford NER setup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.text.vocab import Vocabulary
+from repro.utils import make_py_rng, require_equal_lengths, require_nonempty
+
+__all__ = ["StructuredPerceptron"]
+
+
+class StructuredPerceptron:
+    """First-order structured perceptron with weight averaging.
+
+    The parameterisation matches :class:`~repro.ner.crf.LinearChainCRF`
+    (emission matrix, transition matrix, start/end vectors), so the two models
+    are interchangeable behind :class:`~repro.ner.model.NerModel`.
+
+    Args:
+        iterations: Number of passes over the training data.
+        seed: Shuffle seed; training order affects the final weights.
+    """
+
+    def __init__(self, *, iterations: int = 8, seed: int | None = None) -> None:
+        if iterations <= 0:
+            raise ConfigurationError(f"iterations must be positive, got {iterations}")
+        self.iterations = int(iterations)
+        self.seed = seed
+        self.feature_vocab: Vocabulary | None = None
+        self.label_vocab: Vocabulary | None = None
+        self.emission_weights: np.ndarray | None = None
+        self.transition_weights: np.ndarray | None = None
+        self.start_weights: np.ndarray | None = None
+        self.end_weights: np.ndarray | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the model holds fitted weights."""
+        return self.emission_weights is not None
+
+    def fit(
+        self,
+        feature_sequences: Sequence[Sequence[Sequence[str]]],
+        label_sequences: Sequence[Sequence[str]],
+    ) -> "StructuredPerceptron":
+        """Train on parallel feature/label sequences."""
+        require_nonempty("feature_sequences", feature_sequences)
+        require_equal_lengths(
+            "feature_sequences", feature_sequences, "label_sequences", label_sequences
+        )
+        self._build_vocabularies(feature_sequences, label_sequences)
+        encoded = self._encode_dataset(feature_sequences, label_sequences)
+
+        n_features = len(self.feature_vocab)
+        n_labels = len(self.label_vocab)
+        emission = np.zeros((n_features, n_labels), dtype=np.float64)
+        transition = np.zeros((n_labels, n_labels), dtype=np.float64)
+        start = np.zeros(n_labels, dtype=np.float64)
+        end = np.zeros(n_labels, dtype=np.float64)
+        emission_sum = np.zeros_like(emission)
+        transition_sum = np.zeros_like(transition)
+        start_sum = np.zeros_like(start)
+        end_sum = np.zeros_like(end)
+
+        rng = make_py_rng(self.seed)
+        order = list(range(len(encoded)))
+        steps = 0
+        for _ in range(self.iterations):
+            rng.shuffle(order)
+            for index in order:
+                token_feature_indices, gold = encoded[index]
+                emissions = self._emission_matrix(token_feature_indices, emission, n_labels)
+                predicted = self._viterbi(emissions, transition, start, end)
+                steps += 1
+                if not np.array_equal(predicted, gold):
+                    self._apply_update(
+                        token_feature_indices,
+                        gold,
+                        predicted,
+                        emission,
+                        transition,
+                        start,
+                        end,
+                    )
+                emission_sum += emission
+                transition_sum += transition
+                start_sum += start
+                end_sum += end
+
+        # Averaging stabilises the perceptron exactly as in the POS tagger.
+        self.emission_weights = emission_sum / steps
+        self.transition_weights = transition_sum / steps
+        self.start_weights = start_sum / steps
+        self.end_weights = end_sum / steps
+        return self
+
+    def predict(self, feature_sequence: Sequence[Sequence[str]]) -> list[str]:
+        """Viterbi decode a single sentence."""
+        if not self.is_trained:
+            raise NotFittedError("StructuredPerceptron.predict called before fit()")
+        if len(feature_sequence) == 0:
+            return []
+        n_labels = len(self.label_vocab)
+        token_feature_indices = [
+            np.array(
+                sorted(
+                    {
+                        index
+                        for feature in token_features
+                        if (index := self.feature_vocab.get(feature)) is not None
+                    }
+                ),
+                dtype=np.int64,
+            )
+            for token_features in feature_sequence
+        ]
+        emissions = self._emission_matrix(token_feature_indices, self.emission_weights, n_labels)
+        path = self._viterbi(emissions, self.transition_weights, self.start_weights, self.end_weights)
+        return [self.label_vocab.symbol(int(index)) for index in path]
+
+    def predict_batch(
+        self, feature_sequences: Sequence[Sequence[Sequence[str]]]
+    ) -> list[list[str]]:
+        """Viterbi decode many sentences."""
+        return [self.predict(sequence) for sequence in feature_sequences]
+
+    def labels(self) -> list[str]:
+        """Label inventory learnt during training."""
+        if self.label_vocab is None:
+            raise NotFittedError("model must be fitted first")
+        return self.label_vocab.symbols()
+
+    # ------------------------------------------------------------- internals
+
+    def _build_vocabularies(
+        self,
+        feature_sequences: Sequence[Sequence[Sequence[str]]],
+        label_sequences: Sequence[Sequence[str]],
+    ) -> None:
+        features = sorted(
+            {
+                feature
+                for sentence in feature_sequences
+                for token_features in sentence
+                for feature in token_features
+            }
+        )
+        self.feature_vocab = Vocabulary(features).freeze()
+        labels = sorted({label for sentence in label_sequences for label in sentence})
+        if not labels:
+            raise DataError("no labels found in the training data")
+        self.label_vocab = Vocabulary(labels).freeze()
+
+    def _encode_dataset(
+        self,
+        feature_sequences: Sequence[Sequence[Sequence[str]]],
+        label_sequences: Sequence[Sequence[str]],
+    ) -> list[tuple[list[np.ndarray], np.ndarray]]:
+        encoded = []
+        for sentence, labels in zip(feature_sequences, label_sequences):
+            require_equal_lengths("sentence", sentence, "labels", labels)
+            if len(sentence) == 0:
+                continue
+            token_feature_indices = [
+                np.array(
+                    sorted({self.feature_vocab.index(feature) for feature in token_features}),
+                    dtype=np.int64,
+                )
+                for token_features in sentence
+            ]
+            label_indices = np.array(
+                [self.label_vocab.index(label) for label in labels], dtype=np.int64
+            )
+            encoded.append((token_feature_indices, label_indices))
+        if not encoded:
+            raise DataError("all training sequences were empty")
+        return encoded
+
+    @staticmethod
+    def _emission_matrix(
+        token_feature_indices: list[np.ndarray], emission: np.ndarray, n_labels: int
+    ) -> np.ndarray:
+        emissions = np.zeros((len(token_feature_indices), n_labels), dtype=np.float64)
+        for t, indices in enumerate(token_feature_indices):
+            if indices.size:
+                emissions[t] = emission[indices].sum(axis=0)
+        return emissions
+
+    @staticmethod
+    def _viterbi(
+        emissions: np.ndarray,
+        transition: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+    ) -> np.ndarray:
+        length, n_labels = emissions.shape
+        scores = start + emissions[0]
+        backpointers = np.zeros((length, n_labels), dtype=np.int64)
+        for t in range(1, length):
+            candidate = scores[:, None] + transition
+            backpointers[t] = np.argmax(candidate, axis=0)
+            scores = candidate[backpointers[t], np.arange(n_labels)] + emissions[t]
+        scores = scores + end
+        best_last = int(np.argmax(scores))
+        path = np.empty(length, dtype=np.int64)
+        path[-1] = best_last
+        for t in range(length - 1, 0, -1):
+            path[t - 1] = backpointers[t, path[t]]
+        return path
+
+    @staticmethod
+    def _apply_update(
+        token_feature_indices: list[np.ndarray],
+        gold: np.ndarray,
+        predicted: np.ndarray,
+        emission: np.ndarray,
+        transition: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+    ) -> None:
+        length = len(token_feature_indices)
+        for t in range(length):
+            if gold[t] == predicted[t]:
+                continue
+            indices = token_feature_indices[t]
+            if indices.size:
+                emission[indices, gold[t]] += 1.0
+                emission[indices, predicted[t]] -= 1.0
+        if gold[0] != predicted[0]:
+            start[gold[0]] += 1.0
+            start[predicted[0]] -= 1.0
+        if gold[-1] != predicted[-1]:
+            end[gold[-1]] += 1.0
+            end[predicted[-1]] -= 1.0
+        for t in range(1, length):
+            gold_bigram = (gold[t - 1], gold[t])
+            predicted_bigram = (predicted[t - 1], predicted[t])
+            if gold_bigram != predicted_bigram:
+                transition[gold_bigram] += 1.0
+                transition[predicted_bigram] -= 1.0

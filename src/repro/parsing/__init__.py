@@ -1,0 +1,27 @@
+"""Dependency-parsing substrate (the stand-in for spaCy in the paper).
+
+The relation-extraction stage (Section III.B) needs, for every instruction
+step, the verbs and their subject / object / prepositional-object
+attachments.  Two parsers are provided:
+
+* :class:`repro.parsing.rules.RecipeDependencyParser` -- a deterministic
+  rule-based parser specialised for imperative recipe clauses; this is the
+  parser the core pipeline uses.
+* :class:`repro.parsing.transition.TransitionDependencyParser` -- a trainable
+  greedy arc-standard parser (averaged perceptron) demonstrating the general
+  mechanism and used in the parser ablation.
+"""
+
+from repro.parsing.tree import Arc, DependencyTree, ROOT_INDEX
+from repro.parsing.rules import RecipeDependencyParser
+from repro.parsing.oracle import arc_standard_oracle
+from repro.parsing.transition import TransitionDependencyParser
+
+__all__ = [
+    "Arc",
+    "DependencyTree",
+    "ROOT_INDEX",
+    "RecipeDependencyParser",
+    "TransitionDependencyParser",
+    "arc_standard_oracle",
+]

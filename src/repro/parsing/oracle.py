@@ -1,0 +1,80 @@
+"""Arc-standard oracle: derive the transition sequence that builds a gold tree.
+
+The trainable transition parser learns to imitate this oracle.  The oracle
+implements the classic static arc-standard rules:
+
+* ``LEFT-ARC``  -- the stack's second-from-top is a dependent of the top and
+  all of its own dependents have already been attached;
+* ``RIGHT-ARC`` -- the stack's top is a dependent of the second-from-top and
+  all of its dependents have been attached;
+* ``SHIFT``     -- otherwise, move the next buffer token onto the stack.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParsingError
+from repro.parsing.tree import DependencyTree, ROOT_INDEX
+
+__all__ = ["arc_standard_oracle", "SHIFT", "LEFT_ARC", "RIGHT_ARC"]
+
+SHIFT = "SHIFT"
+LEFT_ARC = "LEFT"
+RIGHT_ARC = "RIGHT"
+
+
+def arc_standard_oracle(tree: DependencyTree) -> list[tuple[str, str | None]]:
+    """Transition sequence (action, label) reproducing ``tree``.
+
+    The sentence is processed with a virtual root appended at the far end of
+    the stack bottom (standard formulation where the root lives on the stack
+    as index ``ROOT_INDEX``).
+
+    Raises:
+        ParsingError: If the tree is not projective (cannot be built by
+            arc-standard transitions); recipe clauses produced by the rule
+            parser and the corpus generator are always projective.
+    """
+    n = len(tree)
+    heads = tree.heads
+    # Number of dependents each token still needs attached.
+    pending_children = [0] * (n + 1)  # last slot is for the root
+    for head in heads:
+        index = n if head == ROOT_INDEX else head
+        pending_children[index] += 1
+
+    stack: list[int] = [ROOT_INDEX]
+    buffer: list[int] = list(range(n))
+    transitions: list[tuple[str, str | None]] = []
+    attached = 0
+
+    def _head_slot(index: int) -> int:
+        return n if heads[index] == ROOT_INDEX else heads[index]
+
+    while buffer or len(stack) > 1:
+        progressed = False
+        if len(stack) >= 2:
+            top = stack[-1]
+            below = stack[-2]
+            # LEFT-ARC: below <- top (below's head is top), below has no pending children.
+            if below != ROOT_INDEX and heads[below] == top and pending_children[below] == 0:
+                transitions.append((LEFT_ARC, tree.labels[below]))
+                stack.pop(-2)
+                pending_children[top if top != ROOT_INDEX else n] -= 1
+                attached += 1
+                progressed = True
+            # RIGHT-ARC: top's head is below, top has no pending children.
+            elif top != ROOT_INDEX and _head_slot(top) == (n if below == ROOT_INDEX else below) and pending_children[top] == 0:
+                transitions.append((RIGHT_ARC, tree.labels[top]))
+                stack.pop()
+                pending_children[n if below == ROOT_INDEX else below] -= 1
+                attached += 1
+                progressed = True
+        if not progressed:
+            if not buffer:
+                raise ParsingError("tree is not reachable by arc-standard transitions (non-projective)")
+            transitions.append((SHIFT, None))
+            stack.append(buffer.pop(0))
+
+    if attached != n:
+        raise ParsingError("oracle terminated before attaching every token")
+    return transitions

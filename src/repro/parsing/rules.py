@@ -1,0 +1,245 @@
+"""Rule-based dependency parser for imperative recipe instructions.
+
+Recipe instruction steps are overwhelmingly imperative clauses of the form
+
+    VERB (particle)? OBJECT* (PREP OBJECT*)* (, VERB ...)*
+
+e.g. *"Bring the water to a boil in a large pot"* or *"fry the potatoes with
+olive oil in a pan"*.  The relation extractor (Section III.B of the paper)
+only needs the arcs a general-purpose parser would label ``dobj``, ``pobj``,
+``prep``, ``conj``, ``nsubj`` and ``ROOT``; this parser produces exactly
+those arcs with deterministic rules driven by POS tags:
+
+1. every verb opens a clause and attaches to the root (first verb) or to the
+   previous verb with ``conj``;
+2. nouns before any preposition attach to the active verb as ``dobj`` (or
+   ``nsubj`` when they precede the first verb);
+3. a preposition attaches to the active verb as ``prep`` and the following
+   noun(s) attach to the preposition as ``pobj``;
+4. determiners, adjectives and adverbs attach to the next noun/verb
+   (``det`` / ``amod`` / ``advmod``);
+5. conjunctions between nouns chain them with ``conj`` so that *"salt and
+   pepper"* yields two objects of the same verb.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ParsingError
+from repro.parsing.tree import DependencyTree, ROOT_INDEX
+from repro.pos.tagset import is_adjective_tag, is_noun_tag, is_verb_tag
+
+__all__ = ["RecipeDependencyParser"]
+
+_PREPOSITION_TAGS = {"IN", "TO", "RP"}
+_DETERMINER_TAGS = {"DT", "PDT", "PRP$"}
+_ADVERB_TAGS = {"RB", "RBR", "RBS"}
+_PUNCT_TAGS = {",", ".", ":", "(", ")"}
+
+
+class RecipeDependencyParser:
+    """Deterministic dependency parser for imperative recipe clauses.
+
+    The parser consumes tokens *with* POS tags (from
+    :class:`~repro.pos.tagger.PerceptronPosTagger` or gold tags) and emits a
+    :class:`~repro.parsing.tree.DependencyTree`.
+    """
+
+    def parse(self, tokens: Sequence[str], pos_tags: Sequence[str]) -> DependencyTree:
+        """Parse one instruction clause.
+
+        Args:
+            tokens: Sentence tokens.
+            pos_tags: POS tags aligned with ``tokens``.
+
+        Raises:
+            ParsingError: On misaligned input; an empty sentence raises too.
+        """
+        if len(tokens) == 0:
+            raise ParsingError("cannot parse an empty sentence")
+        if len(tokens) != len(pos_tags):
+            raise ParsingError(
+                f"tokens and pos_tags must align (got {len(tokens)} and {len(pos_tags)})"
+            )
+        n = len(tokens)
+        heads = [ROOT_INDEX] * n
+        labels = ["dep"] * n
+
+        lowered = [token.lower() for token in tokens]
+        first_verb = self._find_first_verb(lowered, pos_tags)
+        active_verb = first_verb if first_verb is not None else ROOT_INDEX
+        active_prep: int | None = None
+        last_object: int | None = None
+        previous_verb: int | None = None
+
+        for index in range(n):
+            tag = pos_tags[index]
+            token = lowered[index]
+
+            if index == first_verb:
+                heads[index] = ROOT_INDEX
+                labels[index] = "ROOT"
+                previous_verb = index
+                active_verb = index
+                active_prep = None
+                last_object = None
+                continue
+
+            if is_verb_tag(tag) or (tag == "VB" ):
+                # Subsequent verbs start coordinated clauses.
+                if previous_verb is not None:
+                    heads[index] = previous_verb
+                    labels[index] = "conj"
+                else:
+                    heads[index] = ROOT_INDEX
+                    labels[index] = "ROOT"
+                previous_verb = index
+                active_verb = index
+                active_prep = None
+                last_object = None
+                continue
+
+            if tag in _PREPOSITION_TAGS and token != "to" or tag == "TO":
+                heads[index] = active_verb if active_verb != ROOT_INDEX else index - 1 if index else ROOT_INDEX
+                labels[index] = "prep"
+                active_prep = index
+                last_object = None
+                continue
+
+            if tag in _DETERMINER_TAGS:
+                heads[index] = self._attach_forward(index, pos_tags, fallback=active_verb)
+                labels[index] = "det"
+                continue
+
+            if is_adjective_tag(tag) or tag == "VBN" or tag == "VBG":
+                heads[index] = self._attach_forward(index, pos_tags, fallback=active_verb)
+                labels[index] = "amod"
+                continue
+
+            if tag in _ADVERB_TAGS:
+                target = active_verb if active_verb != ROOT_INDEX else self._attach_forward(index, pos_tags, fallback=ROOT_INDEX)
+                heads[index] = target
+                labels[index] = "advmod"
+                continue
+
+            if tag == "CD":
+                heads[index] = self._attach_forward(index, pos_tags, fallback=active_verb)
+                labels[index] = "nummod"
+                continue
+
+            if tag == "CC":
+                heads[index] = last_object if last_object is not None else active_verb
+                labels[index] = "cc"
+                continue
+
+            if tag in _PUNCT_TAGS:
+                heads[index] = active_verb if active_verb != ROOT_INDEX else (first_verb if first_verb is not None else 0 if index else ROOT_INDEX)
+                if heads[index] == index:
+                    heads[index] = ROOT_INDEX
+                labels[index] = "punct"
+                continue
+
+            if is_noun_tag(tag) or tag in {"PRP", "FW"}:
+                head, label = self._attach_noun(
+                    index,
+                    lowered,
+                    pos_tags,
+                    active_verb=active_verb,
+                    active_prep=active_prep,
+                    last_object=last_object,
+                    first_verb=first_verb,
+                )
+                heads[index] = head
+                labels[index] = label
+                if label in {"dobj", "pobj", "nsubj", "conj"}:
+                    last_object = index
+                continue
+
+            # Anything else hangs off the active verb as a generic dependent.
+            heads[index] = active_verb if active_verb not in (ROOT_INDEX, index) else ROOT_INDEX
+            labels[index] = "dep"
+
+        self._break_self_loops(heads, labels)
+        try:
+            return DependencyTree.build(list(tokens), heads, labels, list(pos_tags))
+        except ParsingError:
+            # Extremely irregular input (e.g. fuzzed token soup) can defeat the
+            # attachment rules; fall back to a flat tree rooted at the first
+            # verb (or the first token) so the pipeline never crashes.
+            return self._flat_tree(list(tokens), list(pos_tags), first_verb)
+
+    @staticmethod
+    def _flat_tree(tokens: list[str], pos_tags: list[str], first_verb: int | None) -> DependencyTree:
+        root = first_verb if first_verb is not None else 0
+        heads = [root] * len(tokens)
+        labels = ["dep"] * len(tokens)
+        heads[root] = ROOT_INDEX
+        labels[root] = "ROOT"
+        return DependencyTree.build(tokens, heads, labels, pos_tags)
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _find_first_verb(lowered: Sequence[str], pos_tags: Sequence[str]) -> int | None:
+        for index, tag in enumerate(pos_tags):
+            if is_verb_tag(tag):
+                return index
+        # Imperative steps sometimes get their initial verb mis-tagged as a
+        # noun ("Heat the oil"); treat a sentence-initial non-determiner word
+        # followed by a determiner/noun as the verb.
+        if len(lowered) >= 2 and pos_tags[0] in {"NN", "NNP"} and pos_tags[1] in {"DT", "NN", "NNS", "JJ", "CD"}:
+            return 0
+        return None
+
+    @staticmethod
+    def _attach_forward(index: int, pos_tags: Sequence[str], *, fallback: int) -> int:
+        """Attach modifiers to the next noun (or verb) to their right.
+
+        The scan stops at a sentence-final period so that a clause-final
+        modifier ("until golden brown .") never attaches across the clause
+        boundary, which would make the tree non-projective.
+        """
+        for candidate in range(index + 1, len(pos_tags)):
+            if pos_tags[candidate] == ".":
+                break
+            if is_noun_tag(pos_tags[candidate]) or pos_tags[candidate] in {"PRP", "FW"}:
+                return candidate
+            if is_verb_tag(pos_tags[candidate]):
+                return candidate
+        if fallback != ROOT_INDEX and fallback != index:
+            return fallback
+        return ROOT_INDEX
+
+    @staticmethod
+    def _attach_noun(
+        index: int,
+        lowered: Sequence[str],
+        pos_tags: Sequence[str],
+        *,
+        active_verb: int,
+        active_prep: int | None,
+        last_object: int | None,
+        first_verb: int | None,
+    ) -> tuple[int, str]:
+        # Compound nouns: a noun immediately followed by another noun is a
+        # compound modifier of the following noun ("olive oil", "baking sheet").
+        if index + 1 < len(pos_tags) and is_noun_tag(pos_tags[index + 1]):
+            return index + 1, "compound"
+        # Coordination: noun preceded by a CC whose left neighbour was an object.
+        if index >= 2 and pos_tags[index - 1] == "CC" and last_object is not None:
+            return last_object, "conj"
+        if active_prep is not None:
+            return active_prep, "pobj"
+        if first_verb is not None and index < first_verb:
+            return first_verb, "nsubj"
+        if active_verb != ROOT_INDEX:
+            return active_verb, "dobj"
+        return ROOT_INDEX, "ROOT"
+
+    @staticmethod
+    def _break_self_loops(heads: list[int], labels: list[str]) -> None:
+        for index, head in enumerate(heads):
+            if head == index:
+                heads[index] = ROOT_INDEX
+                labels[index] = "ROOT"

@@ -1,0 +1,197 @@
+"""Greedy arc-standard transition dependency parser (averaged perceptron).
+
+This parser demonstrates the general, trainable mechanism behind spaCy-style
+parsing: a classifier chooses SHIFT / LEFT-ARC / RIGHT-ARC actions from
+features of the current stack/buffer configuration.  It is trained by
+imitation of :func:`repro.parsing.oracle.arc_standard_oracle` on trees
+produced either by the rule parser or by the corpus generator's gold
+instruction templates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import NotFittedError, ParsingError
+from repro.parsing.oracle import LEFT_ARC, RIGHT_ARC, SHIFT, arc_standard_oracle
+from repro.parsing.tree import DependencyTree, ROOT_INDEX
+from repro.pos.perceptron import AveragedPerceptron
+from repro.utils import make_py_rng
+
+__all__ = ["TransitionDependencyParser"]
+
+_ROOT_TOKEN = "<root>"
+_EMPTY = "<none>"
+
+
+class _Configuration:
+    """Mutable parser state: stack, buffer and the partially built arcs."""
+
+    __slots__ = ("stack", "buffer", "heads", "labels")
+
+    def __init__(self, n: int) -> None:
+        self.stack: list[int] = [ROOT_INDEX]
+        self.buffer: list[int] = list(range(n))
+        self.heads: list[int] = [ROOT_INDEX] * n
+        self.labels: list[str] = ["dep"] * n
+
+    def terminal(self) -> bool:
+        return not self.buffer and len(self.stack) == 1
+
+
+class TransitionDependencyParser:
+    """Greedy arc-standard parser trained by oracle imitation.
+
+    Args:
+        iterations: Training epochs over the tree bank.
+        seed: Shuffle seed for the training order.
+    """
+
+    def __init__(self, *, iterations: int = 5, seed: int | None = None) -> None:
+        self.iterations = int(iterations)
+        self.seed = seed
+        self.model = AveragedPerceptron()
+        self._trained = False
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has completed."""
+        return self._trained
+
+    def train(self, trees: Sequence[DependencyTree]) -> "TransitionDependencyParser":
+        """Train on gold dependency trees (non-projective trees are skipped)."""
+        examples: list[tuple[list[str], list[str], list[tuple[str, str | None]]]] = []
+        for tree in trees:
+            try:
+                transitions = arc_standard_oracle(tree)
+            except ParsingError:
+                continue
+            tokens = list(tree.tokens)
+            pos_tags = list(tree.pos_tags) if tree.pos_tags else ["NN"] * len(tokens)
+            examples.append((tokens, pos_tags, transitions))
+        if not examples:
+            raise ParsingError("no projective trees available for training")
+
+        rng = make_py_rng(self.seed)
+        for _ in range(self.iterations):
+            rng.shuffle(examples)
+            for tokens, pos_tags, transitions in examples:
+                config = _Configuration(len(tokens))
+                for action, label in transitions:
+                    features = self._features(config, tokens, pos_tags)
+                    gold = self._encode_action(action, label)
+                    guess = self.model.predict(features) if self.model.classes else gold
+                    self.model.update(gold, guess, features)
+                    self._apply(config, action, label)
+        self.model.average_weights()
+        self._trained = True
+        return self
+
+    def parse(self, tokens: Sequence[str], pos_tags: Sequence[str]) -> DependencyTree:
+        """Parse a sentence greedily with the learnt action classifier."""
+        if not self._trained:
+            raise NotFittedError("TransitionDependencyParser.parse called before train()")
+        if len(tokens) == 0:
+            raise ParsingError("cannot parse an empty sentence")
+        if len(tokens) != len(pos_tags):
+            raise ParsingError("tokens and pos_tags must align")
+        config = _Configuration(len(tokens))
+        guard = 0
+        max_steps = 4 * len(tokens) + 8
+        while not config.terminal() and guard < max_steps:
+            guard += 1
+            features = self._features(config, list(tokens), list(pos_tags))
+            scores = self.model.score(features)
+            for encoded in sorted(scores, key=lambda a: (-scores[a], a)):
+                action, label = self._decode_action(encoded)
+                if self._is_legal(config, action):
+                    self._apply(config, action, label)
+                    break
+            else:  # no legal action scored: force a SHIFT or RIGHT-ARC
+                if config.buffer:
+                    self._apply(config, SHIFT, None)
+                else:
+                    self._apply(config, RIGHT_ARC, "dep")
+        return DependencyTree.build(list(tokens), config.heads, config.labels, list(pos_tags))
+
+    # ------------------------------------------------------------- actions
+
+    @staticmethod
+    def _encode_action(action: str, label: str | None) -> str:
+        return action if label is None else f"{action}:{label}"
+
+    @staticmethod
+    def _decode_action(encoded: str) -> tuple[str, str | None]:
+        if ":" in encoded:
+            action, label = encoded.split(":", 1)
+            return action, label
+        return encoded, None
+
+    @staticmethod
+    def _is_legal(config: _Configuration, action: str) -> bool:
+        if action == SHIFT:
+            return bool(config.buffer)
+        if action == LEFT_ARC:
+            return len(config.stack) >= 2 and config.stack[-2] != ROOT_INDEX
+        if action == RIGHT_ARC:
+            return len(config.stack) >= 2 and config.stack[-1] != ROOT_INDEX
+        return False
+
+    @staticmethod
+    def _apply(config: _Configuration, action: str, label: str | None) -> None:
+        if action == SHIFT:
+            config.stack.append(config.buffer.pop(0))
+            return
+        if action == LEFT_ARC:
+            dependent = config.stack.pop(-2)
+            head = config.stack[-1]
+            config.heads[dependent] = head
+            config.labels[dependent] = label or "dep"
+            return
+        if action == RIGHT_ARC:
+            dependent = config.stack.pop()
+            head = config.stack[-1]
+            config.heads[dependent] = head
+            config.labels[dependent] = label or "dep"
+            return
+        raise ParsingError(f"unknown transition action: {action!r}")
+
+    # ------------------------------------------------------------ features
+
+    @staticmethod
+    def _features(config: _Configuration, tokens: list[str], pos_tags: list[str]) -> list[str]:
+        def word(index: int | None) -> str:
+            if index is None:
+                return _EMPTY
+            if index == ROOT_INDEX:
+                return _ROOT_TOKEN
+            return tokens[index].lower()
+
+        def pos(index: int | None) -> str:
+            if index is None:
+                return _EMPTY
+            if index == ROOT_INDEX:
+                return _ROOT_TOKEN
+            return pos_tags[index]
+
+        s0 = config.stack[-1] if config.stack else None
+        s1 = config.stack[-2] if len(config.stack) >= 2 else None
+        b0 = config.buffer[0] if config.buffer else None
+        b1 = config.buffer[1] if len(config.buffer) >= 2 else None
+        return [
+            "bias",
+            f"s0w={word(s0)}",
+            f"s0p={pos(s0)}",
+            f"s1w={word(s1)}",
+            f"s1p={pos(s1)}",
+            f"b0w={word(b0)}",
+            f"b0p={pos(b0)}",
+            f"b1p={pos(b1)}",
+            f"s0p|s1p={pos(s0)}|{pos(s1)}",
+            f"s0p|b0p={pos(s0)}|{pos(b0)}",
+            f"s1p|b0p={pos(s1)}|{pos(b0)}",
+            f"s0w|s1p={word(s0)}|{pos(s1)}",
+            f"s1w|s0p={word(s1)}|{pos(s0)}",
+            f"stack_size={min(len(config.stack), 4)}",
+            f"buffer_size={min(len(config.buffer), 4)}",
+        ]

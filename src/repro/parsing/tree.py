@@ -1,0 +1,181 @@
+"""Dependency-tree data structure.
+
+A :class:`DependencyTree` stores, for a tokenised sentence, the head index
+and dependency label of every token.  The synthetic root is index ``-1``
+(:data:`ROOT_INDEX`); exactly the tokens whose head is the root are the
+sentence roots (imperative recipe steps typically have one verb root per
+clause).  The structure is deliberately immutable after construction and can
+be exported to a :mod:`networkx` digraph for visualisation and graph
+algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ParsingError
+
+__all__ = ["Arc", "DependencyTree", "ROOT_INDEX"]
+
+#: Index used for the synthetic root node.
+ROOT_INDEX = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """A single dependency arc ``head -> dependent`` with its relation label."""
+
+    head: int
+    dependent: int
+    label: str
+
+
+@dataclass(frozen=True)
+class DependencyTree:
+    """A dependency parse of one sentence.
+
+    Attributes:
+        tokens: The sentence tokens.
+        heads: ``heads[i]`` is the index of token *i*'s head, or
+            :data:`ROOT_INDEX` when token *i* is a root.
+        labels: ``labels[i]`` is the dependency relation of the arc from
+            ``heads[i]`` to *i* (e.g. ``"dobj"``, ``"pobj"``, ``"nsubj"``).
+        pos_tags: Optional POS tags aligned with ``tokens``.
+    """
+
+    tokens: tuple[str, ...]
+    heads: tuple[int, ...]
+    labels: tuple[str, ...]
+    pos_tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        n = len(self.tokens)
+        if len(self.heads) != n or len(self.labels) != n:
+            raise ParsingError(
+                "tokens, heads and labels must have equal lengths "
+                f"(got {n}, {len(self.heads)}, {len(self.labels)})"
+            )
+        if self.pos_tags and len(self.pos_tags) != n:
+            raise ParsingError("pos_tags must align with tokens")
+        for index, head in enumerate(self.heads):
+            if head == index:
+                raise ParsingError(f"token {index} cannot be its own head")
+            if head != ROOT_INDEX and not (0 <= head < n):
+                raise ParsingError(f"head index {head} of token {index} out of range")
+        self._check_acyclic()
+
+    @classmethod
+    def build(
+        cls,
+        tokens: list[str],
+        heads: list[int],
+        labels: list[str],
+        pos_tags: list[str] | None = None,
+    ) -> "DependencyTree":
+        """Convenience constructor from plain lists."""
+        return cls(
+            tokens=tuple(tokens),
+            heads=tuple(heads),
+            labels=tuple(labels),
+            pos_tags=tuple(pos_tags) if pos_tags else (),
+        )
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def _check_acyclic(self) -> None:
+        for start in range(len(self.tokens)):
+            seen = set()
+            node = start
+            while node != ROOT_INDEX:
+                if node in seen:
+                    raise ParsingError(f"dependency cycle detected involving token {start}")
+                seen.add(node)
+                node = self.heads[node]
+
+    # ----------------------------------------------------------- navigation
+
+    def roots(self) -> list[int]:
+        """Indices of tokens attached directly to the synthetic root."""
+        return [index for index, head in enumerate(self.heads) if head == ROOT_INDEX]
+
+    def children(self, index: int, label: str | None = None) -> list[int]:
+        """Indices of the direct dependents of token ``index``.
+
+        Args:
+            index: Head token index (or :data:`ROOT_INDEX`).
+            label: If given, only dependents attached with this relation.
+        """
+        return [
+            child
+            for child, head in enumerate(self.heads)
+            if head == index and (label is None or self.labels[child] == label)
+        ]
+
+    def arcs(self) -> list[Arc]:
+        """All arcs of the tree (root arcs included)."""
+        return [
+            Arc(head=head, dependent=index, label=self.labels[index])
+            for index, head in enumerate(self.heads)
+        ]
+
+    def subtree(self, index: int) -> list[int]:
+        """Indices of the subtree rooted at ``index`` (inclusive), sorted."""
+        collected: list[int] = []
+        stack = [index]
+        while stack:
+            node = stack.pop()
+            collected.append(node)
+            stack.extend(self.children(node))
+        return sorted(collected)
+
+    def label_of(self, index: int) -> str:
+        """Dependency label of the arc entering token ``index``."""
+        return self.labels[index]
+
+    def head_of(self, index: int) -> int:
+        """Head index of token ``index``."""
+        return self.heads[index]
+
+    def token(self, index: int) -> str:
+        """Token text at ``index``."""
+        return self.tokens[index]
+
+    def pos_of(self, index: int) -> str | None:
+        """POS tag at ``index`` when available."""
+        if not self.pos_tags:
+            return None
+        return self.pos_tags[index]
+
+    # --------------------------------------------------------------- export
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export as a directed graph with a ``"ROOT"`` node."""
+        graph = nx.DiGraph()
+        graph.add_node("ROOT")
+        for index, token in enumerate(self.tokens):
+            graph.add_node(index, text=token, pos=self.pos_of(index))
+        for arc in self.arcs():
+            source = "ROOT" if arc.head == ROOT_INDEX else arc.head
+            graph.add_edge(source, arc.dependent, label=arc.label)
+        return graph
+
+    def to_conll(self) -> str:
+        """Render the tree in a CoNLL-like tab-separated format."""
+        lines = []
+        for index, token in enumerate(self.tokens):
+            head = self.heads[index]
+            head_display = 0 if head == ROOT_INDEX else head + 1
+            pos = self.pos_of(index) or "_"
+            lines.append(f"{index + 1}\t{token}\t{pos}\t{head_display}\t{self.labels[index]}")
+        return "\n".join(lines)
+
+    def pretty(self) -> str:
+        """Human-readable arc listing, used by the Fig. 3 experiment."""
+        parts = []
+        for arc in self.arcs():
+            head_text = "ROOT" if arc.head == ROOT_INDEX else self.tokens[arc.head]
+            parts.append(f"{head_text} --{arc.label}--> {self.tokens[arc.dependent]}")
+        return "\n".join(parts)

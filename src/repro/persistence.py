@@ -1,0 +1,375 @@
+"""Persistence of trained components.
+
+Training the full pipeline is cheap on the simulated corpus but a real
+deployment (the paper applies its models to 118k recipes) trains once and
+tags forever, so every learned component can be serialised to plain JSON:
+
+* the sequence labellers (:class:`StructuredPerceptron`,
+  :class:`LinearChainCRF`, :class:`HiddenMarkovModel`),
+* the POS tagger,
+* the high-level :class:`~repro.ner.model.NerModel` facade,
+* the frequency dictionaries,
+* and a :class:`PipelineBundle` that packages everything a fitted
+  :class:`~repro.core.pipeline.RecipeModeler` needs to tag new recipes
+  (POS tagger, both NER models, both dictionaries), with
+  :meth:`PipelineBundle.save` / :meth:`PipelineBundle.load` and a
+  :meth:`PipelineBundle.model_text` convenience mirroring the modeler's API.
+
+JSON was chosen over pickle on purpose: the files are inspectable,
+diff-able, and loading them never executes arbitrary code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dictionary import EntityDictionary
+from repro.core.ingredient_pipeline import IngredientPipeline
+from repro.core.instruction_pipeline import InstructionPipeline
+from repro.core.pipeline import RecipeModeler
+from repro.core.recipe_model import StructuredRecipe
+from repro.core.relation_extraction import RelationExtractor
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.ner.crf import LinearChainCRF
+from repro.ner.features import IngredientFeatureExtractor, InstructionFeatureExtractor
+from repro.ner.hmm import HiddenMarkovModel
+from repro.ner.model import NerModel
+from repro.ner.structured_perceptron import StructuredPerceptron
+from repro.pos.perceptron import AveragedPerceptron
+from repro.pos.tagger import PerceptronPosTagger
+from repro.text.vocab import Vocabulary
+
+__all__ = [
+    "PipelineBundle",
+    "dictionary_from_payload",
+    "dictionary_to_payload",
+    "load_ner_model",
+    "load_pos_tagger",
+    "load_sequence_model",
+    "ner_model_to_payload",
+    "pos_tagger_to_payload",
+    "sequence_model_to_payload",
+]
+
+_FORMAT_VERSION = 1
+
+_FEATURE_EXTRACTORS = {
+    "ingredient": IngredientFeatureExtractor,
+    "instruction": InstructionFeatureExtractor,
+}
+
+
+# ------------------------------------------------------------ sequence models
+
+
+def sequence_model_to_payload(model) -> dict:
+    """Serialise a fitted sequence labeller to a JSON-compatible payload."""
+    if isinstance(model, StructuredPerceptron):
+        _require(model.is_trained, "StructuredPerceptron")
+        return {
+            "kind": "perceptron",
+            "version": _FORMAT_VERSION,
+            "features": model.feature_vocab.symbols(),
+            "labels": model.label_vocab.symbols(),
+            "emission": model.emission_weights.tolist(),
+            "transition": model.transition_weights.tolist(),
+            "start": model.start_weights.tolist(),
+            "end": model.end_weights.tolist(),
+        }
+    if isinstance(model, LinearChainCRF):
+        _require(model.is_trained, "LinearChainCRF")
+        return {
+            "kind": "crf",
+            "version": _FORMAT_VERSION,
+            "l2": model.l2,
+            "features": model.feature_vocab.symbols(),
+            "labels": model.label_vocab.symbols(),
+            "emission": model.emission_weights.tolist(),
+            "transition": model.transition_weights.tolist(),
+            "start": model.start_weights.tolist(),
+            "end": model.end_weights.tolist(),
+        }
+    if isinstance(model, HiddenMarkovModel):
+        _require(model.is_trained, "HiddenMarkovModel")
+        return {
+            "kind": "hmm",
+            "version": _FORMAT_VERSION,
+            "smoothing": model.smoothing,
+            "labels": model.labels(),
+            "vocabulary": sorted(model._vocabulary),
+            "start": dict(model._start_log_prob),
+            "transition": {
+                f"{left} {right}": value
+                for (left, right), value in model._transition_log_prob.items()
+            },
+            "emission": {
+                f"{label} {observation}": value
+                for (label, observation), value in model._emission_log_prob.items()
+            },
+            "emission_unknown": dict(model._emission_unknown_log_prob),
+        }
+    raise ConfigurationError(f"cannot serialise sequence model of type {type(model).__name__}")
+
+
+def load_sequence_model(payload: dict):
+    """Rebuild a sequence labeller from :func:`sequence_model_to_payload` output."""
+    kind = payload.get("kind")
+    if kind == "perceptron":
+        model = StructuredPerceptron()
+    elif kind == "crf":
+        model = LinearChainCRF(l2=payload.get("l2", 1.0))
+    elif kind == "hmm":
+        return _load_hmm(payload)
+    else:
+        raise ConfigurationError(f"unknown sequence-model kind: {kind!r}")
+    model.feature_vocab = Vocabulary(payload["features"]).freeze()
+    model.label_vocab = Vocabulary(payload["labels"]).freeze()
+    model.emission_weights = np.asarray(payload["emission"], dtype=np.float64)
+    model.transition_weights = np.asarray(payload["transition"], dtype=np.float64)
+    model.start_weights = np.asarray(payload["start"], dtype=np.float64)
+    model.end_weights = np.asarray(payload["end"], dtype=np.float64)
+    _validate_shapes(model)
+    return model
+
+
+def _validate_shapes(model) -> None:
+    n_features = len(model.feature_vocab)
+    n_labels = len(model.label_vocab)
+    if model.emission_weights.shape != (n_features, n_labels):
+        raise DataError("emission weight shape does not match the vocabularies")
+    if model.transition_weights.shape != (n_labels, n_labels):
+        raise DataError("transition weight shape does not match the label vocabulary")
+    if model.start_weights.shape != (n_labels,) or model.end_weights.shape != (n_labels,):
+        raise DataError("start/end weight shapes do not match the label vocabulary")
+
+
+def _load_hmm(payload: dict) -> HiddenMarkovModel:
+    model = HiddenMarkovModel(smoothing=payload.get("smoothing", 1.0))
+    model._labels = list(payload["labels"])
+    model._vocabulary = set(payload["vocabulary"])
+    model._start_log_prob = dict(payload["start"])
+    model._transition_log_prob = {
+        tuple(key.split(" ", 1)): value for key, value in payload["transition"].items()
+    }
+    model._emission_log_prob = {
+        tuple(key.split(" ", 1)): value for key, value in payload["emission"].items()
+    }
+    model._emission_unknown_log_prob = dict(payload["emission_unknown"])
+    model._trained = True
+    return model
+
+
+# ------------------------------------------------------------------ NerModel
+
+
+def ner_model_to_payload(model: NerModel) -> dict:
+    """Serialise a trained :class:`NerModel` (feature extractor + weights)."""
+    extractor_kind = (
+        "instruction"
+        if isinstance(model.feature_extractor, InstructionFeatureExtractor)
+        else "ingredient"
+    )
+    return {
+        "version": _FORMAT_VERSION,
+        "family": model.family,
+        "feature_extractor": extractor_kind,
+        "model": sequence_model_to_payload(model.model),
+    }
+
+
+def load_ner_model(payload: dict) -> NerModel:
+    """Rebuild a :class:`NerModel` from :func:`ner_model_to_payload` output."""
+    extractor_kind = payload.get("feature_extractor", "ingredient")
+    if extractor_kind not in _FEATURE_EXTRACTORS:
+        raise ConfigurationError(f"unknown feature extractor kind: {extractor_kind!r}")
+    model = NerModel(_FEATURE_EXTRACTORS[extractor_kind](), family=payload.get("family", "perceptron"))
+    model.model = load_sequence_model(payload["model"])
+    return model
+
+
+# ----------------------------------------------------------------- POS tagger
+
+
+def pos_tagger_to_payload(tagger: PerceptronPosTagger) -> dict:
+    """Serialise a trained POS tagger."""
+    _require(tagger.is_trained, "PerceptronPosTagger")
+    return {
+        "version": _FORMAT_VERSION,
+        "perceptron": tagger.model.to_dict(),
+        "tagdict": dict(tagger.tagdict),
+    }
+
+
+def load_pos_tagger(payload: dict) -> PerceptronPosTagger:
+    """Rebuild a POS tagger from :func:`pos_tagger_to_payload` output."""
+    tagger = PerceptronPosTagger()
+    tagger.model = AveragedPerceptron.from_dict(payload["perceptron"])
+    tagger.tagdict = dict(payload["tagdict"])
+    tagger._trained = True
+    return tagger
+
+
+# ---------------------------------------------------------------- dictionaries
+
+
+def dictionary_to_payload(dictionary: EntityDictionary) -> dict:
+    """Serialise an :class:`EntityDictionary`."""
+    return {
+        "label": dictionary.label,
+        "threshold": dictionary.threshold,
+        "counts": dict(dictionary.counts),
+    }
+
+
+def dictionary_from_payload(payload: dict) -> EntityDictionary:
+    """Rebuild an :class:`EntityDictionary`."""
+    return EntityDictionary(
+        label=payload["label"],
+        counts=dict(payload["counts"]),
+        threshold=int(payload["threshold"]),
+    )
+
+
+# -------------------------------------------------------------------- bundle
+
+
+@dataclass
+class PipelineBundle:
+    """Everything a fitted pipeline needs to structure new recipes.
+
+    Attributes:
+        pos_tagger: Trained POS tagger (drives parsing and POS vectors).
+        ingredient_pipeline: Trained ingredient-section pipeline.
+        instruction_pipeline: Trained instruction-section pipeline with its
+            dictionaries attached.
+    """
+
+    pos_tagger: PerceptronPosTagger
+    ingredient_pipeline: IngredientPipeline
+    instruction_pipeline: InstructionPipeline
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def from_modeler(cls, modeler: RecipeModeler) -> "PipelineBundle":
+        """Extract the tag-time components of a fitted :class:`RecipeModeler`."""
+        components = modeler.components
+        return cls(
+            pos_tagger=components.pos_tagger,
+            ingredient_pipeline=components.ingredient_pipeline,
+            instruction_pipeline=components.instruction_pipeline,
+        )
+
+    def to_payload(self) -> dict:
+        """Serialise the bundle to a JSON-compatible payload."""
+        instruction = self.instruction_pipeline
+        return {
+            "version": _FORMAT_VERSION,
+            "pos_tagger": pos_tagger_to_payload(self.pos_tagger),
+            "ingredient_ner": ner_model_to_payload(self.ingredient_pipeline.ner),
+            "instruction_ner": ner_model_to_payload(instruction.ner),
+            "process_dictionary": (
+                dictionary_to_payload(instruction.process_dictionary)
+                if instruction.process_dictionary is not None
+                else None
+            ),
+            "utensil_dictionary": (
+                dictionary_to_payload(instruction.utensil_dictionary)
+                if instruction.utensil_dictionary is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PipelineBundle":
+        """Rebuild a bundle from :meth:`to_payload` output."""
+        pos_tagger = load_pos_tagger(payload["pos_tagger"])
+        ingredient_pipeline = IngredientPipeline()
+        ingredient_pipeline.ner = load_ner_model(payload["ingredient_ner"])
+        instruction_pipeline = InstructionPipeline()
+        instruction_pipeline.ner = load_ner_model(payload["instruction_ner"])
+        if payload.get("process_dictionary"):
+            instruction_pipeline.process_dictionary = dictionary_from_payload(
+                payload["process_dictionary"]
+            )
+        if payload.get("utensil_dictionary"):
+            instruction_pipeline.utensil_dictionary = dictionary_from_payload(
+                payload["utensil_dictionary"]
+            )
+        return cls(
+            pos_tagger=pos_tagger,
+            ingredient_pipeline=ingredient_pipeline,
+            instruction_pipeline=instruction_pipeline,
+        )
+
+    # ------------------------------------------------------------------- IO
+
+    def save(self, path: str | Path) -> None:
+        """Write the bundle as a single JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PipelineBundle":
+        """Load a bundle previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls.from_payload(payload)
+
+    # ------------------------------------------------------------- modelling
+
+    def model_text(
+        self,
+        *,
+        ingredient_lines: list[str],
+        instruction_lines: list[str],
+        recipe_id: str = "recipe",
+        title: str = "",
+        apply_dictionary: bool = True,
+    ) -> StructuredRecipe:
+        """Structure raw recipe text with the loaded components.
+
+        Mirrors :meth:`repro.core.pipeline.RecipeModeler.model_text` so a
+        bundle loaded from disk is a drop-in replacement at tag time.
+        """
+        from repro.core.recipe_model import InstructionEvent
+
+        extractor = RelationExtractor(self.pos_tagger)
+        records = [
+            self.ingredient_pipeline.extract_record(line)
+            for line in ingredient_lines
+            if line.strip()
+        ]
+        events = []
+        for step_index, line in enumerate(instruction_lines):
+            if not line.strip():
+                continue
+            entities = self.instruction_pipeline.extract(line, apply_dictionary=apply_dictionary)
+            relations = extractor.extract(list(entities.tokens), list(entities.tags))
+            events.append(
+                InstructionEvent(
+                    step_index=step_index,
+                    text=line,
+                    processes=entities.processes,
+                    ingredients=entities.ingredients,
+                    utensils=entities.utensils,
+                    relations=tuple(relations),
+                )
+            )
+        return StructuredRecipe(
+            recipe_id=recipe_id,
+            title=title,
+            ingredients=tuple(records),
+            events=tuple(events),
+        )
+
+
+def _require(condition: bool, name: str) -> None:
+    if not condition:
+        raise NotFittedError(f"{name} must be trained before serialisation")

@@ -1,0 +1,32 @@
+"""Part-of-speech tagging substrate.
+
+The paper feeds every ingredient phrase through the Stanford POS Twitter
+model and represents the phrase as a 1x36 vector of Penn Treebank tag
+frequencies (Section II.D).  This package provides:
+
+* the 36-tag Penn Treebank tagset (:mod:`repro.pos.tagset`),
+* an averaged-perceptron tagger trained on gold tags from the corpus
+  generator, with a lexicon/regex back-off (:mod:`repro.pos.tagger`),
+* the POS bag-of-words vectoriser producing the 1x36 phrase vectors
+  (:mod:`repro.pos.vectorizer`).
+"""
+
+from repro.pos.tagset import PTB_TAGS, PTB_TAG_INDEX, coarse_tag, is_noun_tag, is_verb_tag
+from repro.pos.lexicon import RECIPE_TAG_LEXICON, heuristic_tag
+from repro.pos.perceptron import AveragedPerceptron
+from repro.pos.tagger import PerceptronPosTagger, TaggedToken
+from repro.pos.vectorizer import PosBagOfWordsVectorizer
+
+__all__ = [
+    "AveragedPerceptron",
+    "PTB_TAGS",
+    "PTB_TAG_INDEX",
+    "PerceptronPosTagger",
+    "PosBagOfWordsVectorizer",
+    "RECIPE_TAG_LEXICON",
+    "TaggedToken",
+    "coarse_tag",
+    "heuristic_tag",
+    "is_noun_tag",
+    "is_verb_tag",
+]

@@ -1,0 +1,77 @@
+"""Feature extraction for the perceptron POS tagger.
+
+Features follow the classic greedy left-to-right tagger design: word
+identity, prefixes/suffixes, shape features (digits, hyphen, case) and the
+two previously predicted tags.  All features are plain strings so the
+averaged perceptron can store them directly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["START_PAD", "END_PAD", "extract_features", "word_shape"]
+
+#: Synthetic context tokens used at the sequence boundaries.
+START_PAD = ("-START-", "-START2-")
+END_PAD = ("-END-", "-END2-")
+
+
+def word_shape(word: str) -> str:
+    """Coarse shape of a token (digits -> d, letters -> x/X, other kept)."""
+    shape_chars: list[str] = []
+    for char in word:
+        if char.isdigit():
+            shape_chars.append("d")
+        elif char.isalpha():
+            shape_chars.append("X" if char.isupper() else "x")
+        else:
+            shape_chars.append(char)
+    # Collapse runs so "1 1/2" and "3/4" map to small shape alphabets.
+    collapsed: list[str] = []
+    for char in shape_chars:
+        if not collapsed or collapsed[-1] != char:
+            collapsed.append(char)
+    return "".join(collapsed)
+
+
+def extract_features(
+    index: int,
+    word: str,
+    context: list[str],
+    prev_tag: str,
+    prev2_tag: str,
+) -> list[str]:
+    """Features for the token at ``index`` of the padded ``context``.
+
+    Args:
+        index: Position of the word in ``context`` (which includes the two
+            start pads, so the first real token has index 2).
+        word: The (lower-cased) token being tagged.
+        context: ``list(START_PAD) + tokens + list(END_PAD)``.
+        prev_tag: Tag predicted for the previous token.
+        prev2_tag: Tag predicted two tokens back.
+    """
+    features = [
+        "bias",
+        f"word={word}",
+        f"suffix3={word[-3:]}",
+        f"suffix2={word[-2:]}",
+        f"prefix1={word[:1]}",
+        f"prefix2={word[:2]}",
+        f"shape={word_shape(word)}",
+        f"prev_tag={prev_tag}",
+        f"prev2_tags={prev2_tag}|{prev_tag}",
+        f"prev_tag+word={prev_tag}|{word}",
+        f"prev_word={context[index - 1]}",
+        f"prev_word_suffix={context[index - 1][-3:]}",
+        f"prev2_word={context[index - 2]}",
+        f"next_word={context[index + 1]}",
+        f"next_word_suffix={context[index + 1][-3:]}",
+        f"next2_word={context[index + 2]}",
+    ]
+    if any(char.isdigit() for char in word):
+        features.append("has_digit")
+    if "-" in word:
+        features.append("has_hyphen")
+    if "/" in word:
+        features.append("has_slash")
+    return features

@@ -1,0 +1,135 @@
+"""Seed lexicon and regex heuristics for recipe part-of-speech tagging.
+
+The averaged-perceptron tagger backs off to these heuristics for tokens it
+has never seen; they also provide the unambiguous-word shortcut used by
+NLTK's perceptron tagger (words whose tag is effectively deterministic in
+recipe text are tagged from the lexicon directly).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["RECIPE_TAG_LEXICON", "heuristic_tag"]
+
+_NUMBER_RE = re.compile(r"^\d+(?:\.\d+)?$")
+_FRACTION_RE = re.compile(r"^\d+(?: \d+)?/\d+$")
+_RANGE_RE = re.compile(r"^\d+(?:\.\d+)?-\d+(?:\.\d+)?$")
+_PUNCT_MAP = {
+    ",": ",",
+    ".": ".",
+    ";": ":",
+    ":": ":",
+    "(": "(",
+    ")": ")",
+    "&": "CC",
+    "%": "SYM",
+    "°": "SYM",
+    "/": "SYM",
+    "-": "SYM",
+}
+
+#: Tokens whose tag is unambiguous in recipe text.
+RECIPE_TAG_LEXICON: dict[str, str] = {
+    # determiners / conjunctions / prepositions
+    "a": "DT",
+    "an": "DT",
+    "the": "DT",
+    "each": "DT",
+    "and": "CC",
+    "or": "CC",
+    "plus": "CC",
+    "of": "IN",
+    "in": "IN",
+    "into": "IN",
+    "with": "IN",
+    "on": "IN",
+    "onto": "IN",
+    "over": "IN",
+    "for": "IN",
+    "from": "IN",
+    "at": "IN",
+    "until": "IN",
+    "about": "IN",
+    "per": "IN",
+    "without": "IN",
+    "to": "TO",
+    # adverbs typical of state clauses
+    "freshly": "RB",
+    "finely": "RB",
+    "coarsely": "RB",
+    "thinly": "RB",
+    "roughly": "RB",
+    "lightly": "RB",
+    "gently": "RB",
+    "well": "RB",
+    "very": "RB",
+    "approximately": "RB",
+    "thoroughly": "RB",
+    "evenly": "RB",
+    "completely": "RB",
+    "optionally": "RB",
+    "together": "RB",
+    "aside": "RB",
+    "immediately": "RB",
+    "again": "RB",
+    "then": "RB",
+    "once": "RB",
+    # modal / auxiliaries occasionally present
+    "can": "MD",
+    "should": "MD",
+    "may": "MD",
+    "is": "VBZ",
+    "are": "VBP",
+    "be": "VB",
+    "been": "VBN",
+    # adjectives describing size / freshness / temperature
+    "small": "JJ",
+    "medium": "JJ",
+    "large": "JJ",
+    "extra-large": "JJ",
+    "big": "JJ",
+    "fresh": "JJ",
+    "dry": "JJ",
+    "dried": "JJ",
+    "hot": "JJ",
+    "cold": "JJ",
+    "warm": "JJ",
+    "frozen": "JJ",
+    "ripe": "JJ",
+    "raw": "JJ",
+    "whole": "JJ",
+    "extra": "JJ",
+    "virgin": "JJ",
+    "boneless": "JJ",
+    "skinless": "JJ",
+    "unsalted": "JJ",
+    "low-fat": "JJ",
+    "nonfat": "JJ",
+    "all-purpose": "JJ",
+    "half-and-half": "NN",
+    # pronouns (instructions sometimes address the reader)
+    "you": "PRP",
+    "it": "PRP",
+    "they": "PRP",
+    "your": "PRP$",
+}
+
+
+def heuristic_tag(token: str) -> str | None:
+    """Best-effort tag for ``token`` from regex shape and the seed lexicon.
+
+    Returns ``None`` when no heuristic applies (the perceptron then decides).
+    """
+    if not token:
+        return None
+    if token in _PUNCT_MAP:
+        return _PUNCT_MAP[token]
+    lowered = token.lower()
+    if lowered in RECIPE_TAG_LEXICON:
+        return RECIPE_TAG_LEXICON[lowered]
+    if _NUMBER_RE.match(token) or _FRACTION_RE.match(token) or _RANGE_RE.match(token):
+        return "CD"
+    if lowered.endswith("ly") and len(lowered) > 4:
+        return "RB"
+    return None

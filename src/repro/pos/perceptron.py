@@ -1,0 +1,121 @@
+"""Averaged perceptron for multi-class classification over sparse features.
+
+This is the learner behind both the POS tagger and the greedy transition
+dependency parser.  Features are arbitrary strings, weights live in nested
+dictionaries (feature -> class -> weight) and averaging uses the standard
+lazy-update trick so training stays linear in the number of updates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.errors import NotFittedError
+
+__all__ = ["AveragedPerceptron"]
+
+
+class AveragedPerceptron:
+    """Multi-class averaged perceptron with string features.
+
+    The implementation follows the classic structure popularised by Matthew
+    Honnibal's "average perceptron" POS tagger: each feature maps to a
+    dictionary of per-class weights, updates are +1/-1 on the gold/predicted
+    classes, and the final weights are the average of the weight vector over
+    every update step (lazy accumulation via timestamps).
+    """
+
+    def __init__(self) -> None:
+        self.weights: dict[str, dict[str, float]] = {}
+        self.classes: set[str] = set()
+        # Accumulated (feature, class) totals and the timestamp of their last update.
+        self._totals: dict[tuple[str, str], float] = defaultdict(float)
+        self._timestamps: dict[tuple[str, str], int] = defaultdict(int)
+        self._updates = 0
+        self._averaged = False
+
+    def predict(self, features: Iterable[str], *, return_scores: bool = False):
+        """Highest-scoring class for ``features``.
+
+        Args:
+            features: Iterable of feature strings (multiset semantics: repeated
+                features count twice).
+            return_scores: Also return the full class->score dictionary.
+
+        Raises:
+            NotFittedError: If the model has no classes yet.
+        """
+        if not self.classes:
+            raise NotFittedError("perceptron has no classes; train or add classes first")
+        scores: dict[str, float] = dict.fromkeys(self.classes, 0.0)
+        for feature in features:
+            class_weights = self.weights.get(feature)
+            if not class_weights:
+                continue
+            for label, weight in class_weights.items():
+                scores[label] += weight
+        # Deterministic tie-break on the class name keeps results reproducible.
+        best = max(self.classes, key=lambda label: (scores[label], label))
+        if return_scores:
+            return best, scores
+        return best
+
+    def update(self, truth: str, guess: str, features: Iterable[str]) -> None:
+        """Perceptron update after one prediction (no-op when correct)."""
+        self.classes.add(truth)
+        self.classes.add(guess)
+        self._updates += 1
+        if truth == guess:
+            return
+        for feature in features:
+            class_weights = self.weights.setdefault(feature, {})
+            self._bump(feature, truth, class_weights.get(truth, 0.0), +1.0)
+            self._bump(feature, guess, class_weights.get(guess, 0.0), -1.0)
+
+    def _bump(self, feature: str, label: str, current: float, delta: float) -> None:
+        key = (feature, label)
+        # Accumulate the value held since the last change, then apply the delta.
+        self._totals[key] += (self._updates - self._timestamps[key]) * current
+        self._timestamps[key] = self._updates
+        self.weights.setdefault(feature, {})[label] = current + delta
+
+    def average_weights(self) -> None:
+        """Replace the weights by their average over all update steps.
+
+        Idempotent: calling it twice is a no-op for the second call.
+        """
+        if self._averaged or self._updates == 0:
+            self._averaged = True
+            return
+        for feature, class_weights in self.weights.items():
+            for label, weight in list(class_weights.items()):
+                key = (feature, label)
+                total = self._totals[key] + (self._updates - self._timestamps[key]) * weight
+                averaged = total / self._updates
+                if abs(averaged) > 1e-12:
+                    class_weights[label] = round(averaged, 6)
+                else:
+                    del class_weights[label]
+        self._averaged = True
+
+    def score(self, features: Iterable[str]) -> dict[str, float]:
+        """Class->score dictionary for ``features`` (0 for unseen classes)."""
+        _, scores = self.predict(features, return_scores=True)
+        return scores
+
+    def to_dict(self) -> dict:
+        """Serializable snapshot of the (averaged) weights and classes."""
+        return {
+            "weights": {feature: dict(cw) for feature, cw in self.weights.items()},
+            "classes": sorted(self.classes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AveragedPerceptron":
+        """Rebuild a perceptron from :meth:`to_dict` output."""
+        model = cls()
+        model.weights = {feature: dict(cw) for feature, cw in payload["weights"].items()}
+        model.classes = set(payload["classes"])
+        model._averaged = True
+        return model

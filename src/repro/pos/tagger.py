@@ -1,0 +1,168 @@
+"""Greedy averaged-perceptron part-of-speech tagger.
+
+The tagger plays the role of the Stanford POS Twitter model in the paper:
+ingredient phrases are short, not grammatically complete, and need robust
+tagging of numbers, units and food nouns.  A single-word lexicon handles
+unambiguous tokens; the perceptron decides the rest from contextual
+features.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.errors import DataError, NotFittedError
+from repro.pos.features import END_PAD, START_PAD, extract_features
+from repro.pos.lexicon import heuristic_tag
+from repro.pos.perceptron import AveragedPerceptron
+from repro.pos.tagset import validate_tag
+from repro.utils import make_py_rng, require_equal_lengths, require_nonempty
+
+__all__ = ["PerceptronPosTagger", "TaggedToken"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedToken:
+    """A token paired with its predicted Penn Treebank tag."""
+
+    text: str
+    tag: str
+
+
+class PerceptronPosTagger:
+    """Greedy left-to-right POS tagger with averaged-perceptron scoring.
+
+    Usage::
+
+        tagger = PerceptronPosTagger()
+        tagger.train(sentences, tag_sequences, iterations=5, seed=7)
+        tagger.tag(["1/2", "teaspoon", "pepper"])
+    """
+
+    #: Words seen at least this often with a single tag >= this fraction of the
+    #: time are tagged from the unambiguous-word dictionary directly.
+    AMBIGUITY_THRESHOLD = 0.97
+    FREQUENCY_THRESHOLD = 5
+
+    def __init__(self) -> None:
+        self.model = AveragedPerceptron()
+        self.tagdict: dict[str, str] = {}
+        self._trained = False
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has completed at least once."""
+        return self._trained
+
+    def train(
+        self,
+        sentences: list[list[str]],
+        tags: list[list[str]],
+        *,
+        iterations: int = 5,
+        seed: int | None = None,
+    ) -> None:
+        """Train the tagger on parallel token/tag sequences.
+
+        Args:
+            sentences: Token sequences.
+            tags: Gold PTB tag sequences aligned with ``sentences``.
+            iterations: Number of passes over the shuffled training data.
+            seed: Seed controlling the shuffle order.
+
+        Raises:
+            DataError: On empty or misaligned input.
+        """
+        require_nonempty("sentences", sentences)
+        require_equal_lengths("sentences", sentences, "tags", tags)
+        for sentence, sentence_tags in zip(sentences, tags):
+            require_equal_lengths("sentence", sentence, "tags", sentence_tags)
+            if not sentence:
+                raise DataError("training sentences must not be empty")
+            for tag in sentence_tags:
+                validate_tag(tag)
+        self._build_tagdict(sentences, tags)
+        for tag_sequence in tags:
+            for tag in tag_sequence:
+                self.model.classes.add(tag)
+        rng = make_py_rng(seed)
+        data = list(zip(sentences, tags))
+        for _ in range(iterations):
+            rng.shuffle(data)
+            for sentence, gold_tags in data:
+                self._train_one(sentence, gold_tags)
+        self.model.average_weights()
+        self._trained = True
+
+    def tag(self, tokens: list[str]) -> list[TaggedToken]:
+        """Tag ``tokens`` and return :class:`TaggedToken` objects.
+
+        Raises:
+            NotFittedError: If called before :meth:`train`.
+        """
+        if not self._trained:
+            raise NotFittedError("PerceptronPosTagger.tag called before train()")
+        if not tokens:
+            return []
+        prev, prev2 = START_PAD
+        context = list(START_PAD) + [token.lower() for token in tokens] + list(END_PAD)
+        output: list[TaggedToken] = []
+        for i, token in enumerate(tokens):
+            tag = self._lookup_tag(token)
+            if tag is None:
+                features = extract_features(i + 2, token.lower(), context, prev, prev2)
+                tag = self.model.predict(features)
+            output.append(TaggedToken(text=token, tag=tag))
+            prev2, prev = prev, tag
+        return output
+
+    def tag_sequence(self, tokens: list[str]) -> list[str]:
+        """Tag ``tokens`` returning only the tag strings."""
+        return [tagged.tag for tagged in self.tag(tokens)]
+
+    def accuracy(self, sentences: list[list[str]], tags: list[list[str]]) -> float:
+        """Token-level tagging accuracy over a labelled evaluation set."""
+        require_equal_lengths("sentences", sentences, "tags", tags)
+        correct = 0
+        total = 0
+        for sentence, gold in zip(sentences, tags):
+            predicted = self.tag_sequence(sentence)
+            correct += sum(1 for p, g in zip(predicted, gold) if p == g)
+            total += len(gold)
+        if total == 0:
+            raise DataError("cannot compute accuracy over an empty evaluation set")
+        return correct / total
+
+    def _lookup_tag(self, token: str) -> str | None:
+        """Tag from the unambiguous dictionary or the shape/lexicon heuristics."""
+        unambiguous = self.tagdict.get(token.lower())
+        if unambiguous is not None:
+            return unambiguous
+        return heuristic_tag(token)
+
+    def _train_one(self, sentence: list[str], gold_tags: list[str]) -> None:
+        prev, prev2 = START_PAD
+        context = list(START_PAD) + [token.lower() for token in sentence] + list(END_PAD)
+        for i, (token, gold) in enumerate(zip(sentence, gold_tags)):
+            fixed = self._lookup_tag(token)
+            if fixed is None:
+                features = extract_features(i + 2, token.lower(), context, prev, prev2)
+                guess = self.model.predict(features)
+                self.model.update(gold, guess, features)
+                tag = guess
+            else:
+                tag = fixed
+            prev2, prev = prev, tag
+
+    def _build_tagdict(self, sentences: list[list[str]], tags: list[list[str]]) -> None:
+        counts: dict[str, Counter] = defaultdict(Counter)
+        for sentence, sentence_tags in zip(sentences, tags):
+            for token, tag in zip(sentence, sentence_tags):
+                counts[token.lower()][tag] += 1
+        self.tagdict = {}
+        for word, tag_counts in counts.items():
+            tag, mode_count = tag_counts.most_common(1)[0]
+            total = sum(tag_counts.values())
+            if total >= self.FREQUENCY_THRESHOLD and mode_count / total >= self.AMBIGUITY_THRESHOLD:
+                self.tagdict[word] = tag

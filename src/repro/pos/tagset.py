@@ -1,0 +1,116 @@
+"""The 36-tag Penn Treebank part-of-speech tagset.
+
+The paper represents each ingredient phrase as a 1x36 vector whose
+dimensions are the frequencies of the 36 Penn Treebank word-level tags
+(punctuation tags are excluded, which is exactly how a 36-dimensional space
+arises from the full PTB tagset).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "PTB_TAGS",
+    "PTB_TAG_INDEX",
+    "coarse_tag",
+    "is_adjective_tag",
+    "is_noun_tag",
+    "is_number_tag",
+    "is_verb_tag",
+    "validate_tag",
+]
+
+#: The 36 word-level Penn Treebank tags, in conventional order.
+PTB_TAGS: tuple[str, ...] = (
+    "CC",    # coordinating conjunction
+    "CD",    # cardinal number
+    "DT",    # determiner
+    "EX",    # existential there
+    "FW",    # foreign word
+    "IN",    # preposition / subordinating conjunction
+    "JJ",    # adjective
+    "JJR",   # adjective, comparative
+    "JJS",   # adjective, superlative
+    "LS",    # list item marker
+    "MD",    # modal
+    "NN",    # noun, singular or mass
+    "NNS",   # noun, plural
+    "NNP",   # proper noun, singular
+    "NNPS",  # proper noun, plural
+    "PDT",   # predeterminer
+    "POS",   # possessive ending
+    "PRP",   # personal pronoun
+    "PRP$",  # possessive pronoun
+    "RB",    # adverb
+    "RBR",   # adverb, comparative
+    "RBS",   # adverb, superlative
+    "RP",    # particle
+    "SYM",   # symbol
+    "TO",    # to
+    "UH",    # interjection
+    "VB",    # verb, base form
+    "VBD",   # verb, past tense
+    "VBG",   # verb, gerund/present participle
+    "VBN",   # verb, past participle
+    "VBP",   # verb, non-3rd person singular present
+    "VBZ",   # verb, 3rd person singular present
+    "WDT",   # wh-determiner
+    "WP",    # wh-pronoun
+    "WP$",   # possessive wh-pronoun
+    "WRB",   # wh-adverb
+)
+
+#: Mapping from tag to its dimension in the 1x36 phrase vector.
+PTB_TAG_INDEX: dict[str, int] = {tag: index for index, tag in enumerate(PTB_TAGS)}
+
+#: Tags assigned to punctuation tokens; they do not occupy a vector dimension.
+PUNCTUATION_TAGS: frozenset[str] = frozenset({",", ".", ":", "(", ")", "``", "''", "$", "#"})
+
+_NOUN_TAGS = frozenset({"NN", "NNS", "NNP", "NNPS"})
+_VERB_TAGS = frozenset({"VB", "VBD", "VBG", "VBN", "VBP", "VBZ"})
+_ADJECTIVE_TAGS = frozenset({"JJ", "JJR", "JJS"})
+
+
+def validate_tag(tag: str) -> str:
+    """Return ``tag`` if it is a PTB word-level or punctuation tag, else raise."""
+    if tag in PTB_TAG_INDEX or tag in PUNCTUATION_TAGS:
+        return tag
+    raise SchemaError(f"unknown Penn Treebank tag: {tag!r}")
+
+
+def is_noun_tag(tag: str) -> bool:
+    """Whether ``tag`` denotes any noun category."""
+    return tag in _NOUN_TAGS
+
+
+def is_verb_tag(tag: str) -> bool:
+    """Whether ``tag`` denotes any verb category."""
+    return tag in _VERB_TAGS
+
+
+def is_adjective_tag(tag: str) -> bool:
+    """Whether ``tag`` denotes any adjective category."""
+    return tag in _ADJECTIVE_TAGS
+
+
+def is_number_tag(tag: str) -> bool:
+    """Whether ``tag`` is the cardinal-number tag."""
+    return tag == "CD"
+
+
+def coarse_tag(tag: str) -> str:
+    """Collapse a fine PTB tag to a coarse class (NOUN/VERB/ADJ/NUM/PUNCT/OTHER)."""
+    if tag in _NOUN_TAGS:
+        return "NOUN"
+    if tag in _VERB_TAGS:
+        return "VERB"
+    if tag in _ADJECTIVE_TAGS:
+        return "ADJ"
+    if tag == "CD":
+        return "NUM"
+    if tag in ("RB", "RBR", "RBS"):
+        return "ADV"
+    if tag in PUNCTUATION_TAGS:
+        return "PUNCT"
+    return "OTHER"

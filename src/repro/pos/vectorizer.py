@@ -1,0 +1,80 @@
+"""POS bag-of-words vectoriser: ingredient phrase -> 1x36 tag-frequency vector.
+
+Section II.D of the paper represents every unique ingredient phrase as a
+vector over the 36 Penn Treebank tags, where dimension *i* holds the number
+of tokens of the phrase tagged with tag *i*.  Phrases with similar lexical
+structure ("3 teaspoons olive oil" vs "2 tablespoons all-purpose flour") land
+close to each other in Euclidean distance, which is what the K-Means stage
+exploits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.pos.tagger import PerceptronPosTagger
+from repro.pos.tagset import PTB_TAGS, PTB_TAG_INDEX
+from repro.text.tokenizer import tokenize
+
+__all__ = ["PosBagOfWordsVectorizer"]
+
+
+class PosBagOfWordsVectorizer:
+    """Turns phrases into 1x36 POS-tag frequency vectors.
+
+    Args:
+        tagger: A trained :class:`PerceptronPosTagger`.
+        normalize: If true, divide each vector by the phrase length so that
+            phrases of different lengths with the same tag mix coincide.  The
+            paper uses raw frequencies; normalisation is exposed for the
+            ablation benchmarks.
+    """
+
+    def __init__(self, tagger: PerceptronPosTagger, *, normalize: bool = False) -> None:
+        if not tagger.is_trained:
+            raise NotFittedError("the POS tagger must be trained before building vectors")
+        self._tagger = tagger
+        self._normalize = normalize
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the produced vectors (always 36)."""
+        return len(PTB_TAGS)
+
+    def vectorize_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """Vector for an already-tokenised phrase."""
+        vector = np.zeros(len(PTB_TAGS), dtype=np.float64)
+        if not tokens:
+            return vector
+        for tagged in self._tagger.tag(list(tokens)):
+            index = PTB_TAG_INDEX.get(tagged.tag)
+            if index is not None:  # punctuation tags fall outside the 36 dims
+                vector[index] += 1.0
+        if self._normalize and vector.sum() > 0:
+            vector /= vector.sum()
+        return vector
+
+    def vectorize(self, phrase: str) -> np.ndarray:
+        """Vector for a raw phrase string (tokenised internally)."""
+        return self.vectorize_tokens(tokenize(phrase))
+
+    def transform(self, phrases: Iterable[str]) -> np.ndarray:
+        """Stack vectors for many phrases into an ``(n, 36)`` matrix."""
+        vectors = [self.vectorize(phrase) for phrase in phrases]
+        if not vectors:
+            return np.zeros((0, len(PTB_TAGS)), dtype=np.float64)
+        return np.vstack(vectors)
+
+    def transform_tokenized(self, token_sequences: Iterable[Sequence[str]]) -> np.ndarray:
+        """Stack vectors for many pre-tokenised phrases."""
+        vectors = [self.vectorize_tokens(tokens) for tokens in token_sequences]
+        if not vectors:
+            return np.zeros((0, len(PTB_TAGS)), dtype=np.float64)
+        return np.vstack(vectors)
+
+    def tag_signature(self, phrase: str) -> tuple[str, ...]:
+        """The sequence of PTB tags for ``phrase`` (useful for inspecting clusters)."""
+        return tuple(tagged.tag for tagged in self._tagger.tag(tokenize(phrase)))

@@ -1,0 +1,35 @@
+"""Text substrate: recipe-aware tokenisation, normalisation and lemmatisation.
+
+The paper pre-processes every ingredient phrase and instruction step before
+feeding it to the POS tagger and NER models: stop-word removal, WordNet
+lemmatisation and lower-casing (Section II.C).  This package provides the
+equivalent functionality without external NLP libraries.
+"""
+
+from repro.text.tokenizer import Token, tokenize, tokenize_with_spans
+from repro.text.normalize import (
+    fold_unicode_fractions,
+    normalize_phrase,
+    normalize_token,
+    split_quantity_range,
+)
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.stopwords import STOP_WORDS, is_stop_word
+from repro.text.preprocess import PreprocessConfig, Preprocessor
+from repro.text.vocab import Vocabulary
+
+__all__ = [
+    "Lemmatizer",
+    "PreprocessConfig",
+    "Preprocessor",
+    "STOP_WORDS",
+    "Token",
+    "Vocabulary",
+    "fold_unicode_fractions",
+    "is_stop_word",
+    "normalize_phrase",
+    "normalize_token",
+    "split_quantity_range",
+    "tokenize",
+    "tokenize_with_spans",
+]

@@ -1,0 +1,204 @@
+"""Rule-and-exception lemmatizer standing in for the WordNet lemmatizer.
+
+The pre-processing step of the paper lemmatises every token so that
+"tomatoes" and "Tomato" are treated as the same ingredient (Section II.C).
+Recipe vocabulary is small and morphologically regular, so a rule-based
+suffix stripper with an exception dictionary recovers the behaviour the
+pipeline needs: plural folding for nouns and (optionally) -ing/-ed folding
+for verbs when lemmatising instruction steps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Lemmatizer", "NOUN_EXCEPTIONS", "VERB_EXCEPTIONS"]
+
+
+#: Irregular noun plurals common in recipe text.
+NOUN_EXCEPTIONS: dict[str, str] = {
+    "children": "child",
+    "cloves": "clove",
+    "dice": "dice",
+    "feet": "foot",
+    "geese": "goose",
+    "halves": "half",
+    "knives": "knife",
+    "leaves": "leaf",
+    "loaves": "loaf",
+    "mice": "mouse",
+    "potatoes": "potato",
+    "radii": "radius",
+    "shelves": "shelf",
+    "teeth": "tooth",
+    "tomatoes": "tomato",
+    "wolves": "wolf",
+}
+
+#: Irregular verb forms common in instruction text (past/participle -> lemma).
+VERB_EXCEPTIONS: dict[str, str] = {
+    "beaten": "beat",
+    "brought": "bring",
+    "cut": "cut",
+    "done": "do",
+    "drained": "drain",
+    "frozen": "freeze",
+    "fried": "fry",
+    "ground": "grind",
+    "kept": "keep",
+    "left": "leave",
+    "made": "make",
+    "melted": "melt",
+    "put": "put",
+    "set": "set",
+    "taken": "take",
+    "thrown": "throw",
+}
+
+#: Words ending in "s" that are not plurals and must never be stripped.
+_NON_PLURAL_S = frozenset(
+    {
+        "molasses",
+        "couscous",
+        "asparagus",
+        "hummus",
+        "swiss",
+        "citrus",
+        "octopus",
+        "grits",
+        "watercress",
+        "brussels",
+        "less",
+        "press",
+        "process",
+        "toss",
+        "dress",
+        "glass",
+    }
+)
+
+
+class Lemmatizer:
+    """Suffix-rule lemmatizer with per-POS exception dictionaries.
+
+    The public entry point is :meth:`lemmatize`, which takes a token and an
+    optional coarse part of speech (``"noun"`` or ``"verb"``).  Without a POS
+    hint only noun rules are applied, which matches how the paper's pipeline
+    treats ingredient phrases (they contain almost no inflected verbs).
+    """
+
+    def __init__(
+        self,
+        *,
+        extra_noun_exceptions: dict[str, str] | None = None,
+        extra_verb_exceptions: dict[str, str] | None = None,
+    ) -> None:
+        self._noun_exceptions = dict(NOUN_EXCEPTIONS)
+        self._verb_exceptions = dict(VERB_EXCEPTIONS)
+        if extra_noun_exceptions:
+            self._noun_exceptions.update(
+                {key.lower(): value.lower() for key, value in extra_noun_exceptions.items()}
+            )
+        if extra_verb_exceptions:
+            self._verb_exceptions.update(
+                {key.lower(): value.lower() for key, value in extra_verb_exceptions.items()}
+            )
+
+    def lemmatize(self, token: str, pos: str = "noun") -> str:
+        """Return the lemma of ``token``.
+
+        Args:
+            token: Word to lemmatise; case is folded.
+            pos: ``"noun"`` (default) or ``"verb"``.
+
+        Raises:
+            ConfigurationError: If ``pos`` is not a supported coarse tag.
+        """
+        word = token.lower()
+        if pos == "noun":
+            return self._lemmatize_noun(word)
+        if pos == "verb":
+            return self._lemmatize_verb(word)
+        raise ConfigurationError(f"unsupported part of speech for lemmatizer: {pos!r}")
+
+    def lemmatize_tokens(self, tokens: list[str], pos: str = "noun") -> list[str]:
+        """Lemmatise each token in ``tokens`` (convenience wrapper)."""
+        return [self.lemmatize(token, pos=pos) for token in tokens]
+
+    def _lemmatize_noun(self, word: str) -> str:
+        if word in self._noun_exceptions:
+            return self._noun_exceptions[word]
+        if word in _NON_PLURAL_S or len(word) <= 3 or not word.endswith("s"):
+            return word
+        if word.endswith("ies") and len(word) > 4:
+            return word[:-3] + "y"
+        if word.endswith("oes") and len(word) > 4:
+            return word[:-2]
+        if word.endswith(("ches", "shes", "sses", "xes", "zes")):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        return word[:-1]
+
+    def _lemmatize_verb(self, word: str) -> str:
+        if word in self._verb_exceptions:
+            return self._verb_exceptions[word]
+        if word.endswith("ing") and len(word) > 5:
+            stem = word[:-3]
+            return self._undouble(stem)
+        if word.endswith("ied") and len(word) > 4:
+            return word[:-3] + "y"
+        if word.endswith("ed") and len(word) > 4:
+            stem = word[:-2]
+            return self._undouble(stem)
+        if word.endswith("es") and len(word) > 4:
+            return word[:-2]
+        if word.endswith("s") and len(word) > 3 and not word.endswith("ss"):
+            return word[:-1]
+        return word
+
+    @staticmethod
+    def _undouble(stem: str) -> str:
+        """Undo consonant doubling ("chopp" -> "chop") and restore final "e"."""
+        if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in "aeiou" and stem[-1] not in "ls":
+            return stem[:-1]
+        # "bak" -> "bake", "slic" -> "slice": restore e after consonant+consonant? Use a
+        # short whitelist of stems that need a final e restored.
+        if stem in _E_RESTORE_STEMS:
+            return stem + "e"
+        return stem
+
+
+#: Verb stems that need a trailing "e" restored after suffix stripping.
+_E_RESTORE_STEMS = frozenset(
+    {
+        "bak",
+        "combin",
+        "cor",
+        "cub",
+        "dic",
+        "driz",
+        "drizzl",
+        "glaz",
+        "grat",
+        "juli",
+        "marinat",
+        "measur",
+        "plac",
+        "prepar",
+        "puré",
+        "pure",
+        "reduc",
+        "remov",
+        "rins",
+        "sauté",
+        "saut",
+        "serv",
+        "shak",
+        "slic",
+        "sprinkl",
+        "squeez",
+        "stor",
+        "whisk",  # whisk is already fine but harmless
+    }
+) - {"whisk"}

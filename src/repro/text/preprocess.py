@@ -1,0 +1,102 @@
+"""The pre-processing pipeline from Section II.C of the paper.
+
+Order of operations (matching the paper): unicode-fraction folding,
+tokenisation, stop-word removal, lemmatisation, lower-casing.  The
+pre-processor records the mapping from output tokens back to input tokens so
+that NER tags predicted on the pre-processed sequence can be projected back
+onto the raw text (needed when rendering Table I style output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.normalize import fold_unicode_fractions, normalize_token
+from repro.text.stopwords import is_stop_word
+from repro.text.tokenizer import Token, tokenize_with_spans
+
+__all__ = ["PreprocessConfig", "PreprocessResult", "Preprocessor"]
+
+
+@dataclass(frozen=True, slots=True)
+class PreprocessConfig:
+    """Configuration of the pre-processing pipeline.
+
+    Attributes:
+        lowercase: Fold case (the paper always does).
+        remove_stop_words: Drop stop words (ingredient-section behaviour).
+        lemmatize: Apply the lemmatizer to every surviving token.
+        instruction_mode: Use the reduced stop-word list and verb
+            lemmatisation appropriate for instruction steps.
+    """
+
+    lowercase: bool = True
+    remove_stop_words: bool = True
+    lemmatize: bool = True
+    instruction_mode: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class PreprocessResult:
+    """Output of :meth:`Preprocessor.run`.
+
+    Attributes:
+        tokens: Pre-processed token texts, in order.
+        source_tokens: The raw tokens produced by the tokenizer.
+        alignment: For each output token, the index of the raw token it came
+            from (stop-word removal makes this non-identity).
+    """
+
+    tokens: list[str]
+    source_tokens: list[Token]
+    alignment: list[int]
+
+    def raw_token_for(self, output_index: int) -> Token:
+        """Raw token that produced output token ``output_index``."""
+        return self.source_tokens[self.alignment[output_index]]
+
+
+class Preprocessor:
+    """Configurable pre-processing pipeline shared by both recipe sections."""
+
+    def __init__(self, config: PreprocessConfig | None = None, lemmatizer: Lemmatizer | None = None) -> None:
+        self.config = config or PreprocessConfig()
+        self._lemmatizer = lemmatizer or Lemmatizer()
+
+    def run(self, text: str) -> PreprocessResult:
+        """Pre-process ``text`` and return tokens plus alignment metadata."""
+        folded = fold_unicode_fractions(text)
+        source_tokens = tokenize_with_spans(folded)
+        tokens: list[str] = []
+        alignment: list[int] = []
+        for index, token in enumerate(source_tokens):
+            text_out = token.text
+            if self.config.remove_stop_words and is_stop_word(
+                text_out, instruction_mode=self.config.instruction_mode
+            ):
+                continue
+            if self.config.lowercase:
+                text_out = normalize_token(text_out)
+            if self.config.lemmatize and text_out.isalpha():
+                pos = "verb" if self.config.instruction_mode and index == 0 else "noun"
+                text_out = self._lemmatizer.lemmatize(text_out, pos=pos)
+            if not text_out:
+                continue
+            tokens.append(text_out)
+            alignment.append(index)
+        return PreprocessResult(tokens=tokens, source_tokens=source_tokens, alignment=alignment)
+
+    def __call__(self, text: str) -> list[str]:
+        """Shorthand returning only the pre-processed tokens."""
+        return self.run(text).tokens
+
+
+def default_ingredient_preprocessor() -> Preprocessor:
+    """Pre-processor with the paper's ingredient-section settings."""
+    return Preprocessor(PreprocessConfig(instruction_mode=False))
+
+
+def default_instruction_preprocessor() -> Preprocessor:
+    """Pre-processor with the instruction-section settings (keeps prepositions)."""
+    return Preprocessor(PreprocessConfig(instruction_mode=True, lemmatize=False))

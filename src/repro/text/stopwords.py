@@ -1,0 +1,99 @@
+"""Stop-word list used by the pre-processing stage.
+
+The paper removes English stop words before NER tagging (Section II.C).  The
+list below mirrors the NLTK English stop-word list restricted to words that
+actually occur in recipe text, *minus* words that are load-bearing for the
+recipe schema ("to", "of", "with", "in", "for" are kept out of the removal
+set for the instructions section because prepositional attachment is needed
+by the relation extractor -- the pipeline therefore exposes two sets).
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOP_WORDS", "INSTRUCTION_SAFE_STOP_WORDS", "is_stop_word"]
+
+#: Words removed from ingredient phrases before tagging.
+STOP_WORDS: frozenset[str] = frozenset(
+    {
+        "a",
+        "an",
+        "and",
+        "as",
+        "at",
+        "be",
+        "been",
+        "but",
+        "by",
+        "can",
+        "could",
+        "did",
+        "do",
+        "does",
+        "few",
+        "had",
+        "has",
+        "have",
+        "if",
+        "is",
+        "it",
+        "its",
+        "may",
+        "might",
+        "more",
+        "most",
+        "much",
+        "must",
+        "no",
+        "nor",
+        "not",
+        "of",
+        "or",
+        "other",
+        "own",
+        "per",
+        "plus",
+        "same",
+        "should",
+        "so",
+        "some",
+        "such",
+        "than",
+        "that",
+        "the",
+        "their",
+        "them",
+        "then",
+        "there",
+        "these",
+        "they",
+        "this",
+        "those",
+        "too",
+        "was",
+        "were",
+        "will",
+        "would",
+        "your",
+    }
+)
+
+#: Much smaller removal set for instruction steps: prepositions and
+#: conjunctions must survive because the dependency parser and relation
+#: extractor rely on them ("fry the potatoes *with* olive oil *in* a pan").
+INSTRUCTION_SAFE_STOP_WORDS: frozenset[str] = frozenset(
+    {"a", "an", "the", "some", "few", "your", "their", "its"}
+)
+
+
+def is_stop_word(token: str, *, instruction_mode: bool = False) -> bool:
+    """Return whether ``token`` should be dropped during pre-processing.
+
+    Args:
+        token: Token text (any case).
+        instruction_mode: Use the smaller instruction-safe removal set, which
+            keeps prepositions needed for dependency-based relation extraction.
+    """
+    lowered = token.lower()
+    if instruction_mode:
+        return lowered in INSTRUCTION_SAFE_STOP_WORDS
+    return lowered in STOP_WORDS

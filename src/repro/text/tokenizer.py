@@ -1,0 +1,84 @@
+"""Recipe-aware tokenisation.
+
+Ingredient phrases are not grammatical sentences; they mix cardinal numbers,
+vulgar fractions ("1 1/2", "¾"), ranges ("2-3"), parenthesised remarks
+("( thawed )", "(8 ounce) package") and comma-separated state clauses
+("pepper, freshly ground").  The tokenizer below keeps those units intact
+where the downstream models need them (fractions, decimals, ranges) and
+splits punctuation that carries structure (commas, parentheses, slashes in
+"half-and-half" are kept because hyphenated compounds are single culinary
+tokens).
+
+The tokenizer is intentionally rule-based and deterministic so that the gold
+annotations produced by the corpus generator align token-for-token with what
+the runtime pipeline produces.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "tokenize", "tokenize_with_spans", "TOKEN_PATTERN"]
+
+
+#: Pattern describing a single token, ordered by priority.
+TOKEN_PATTERN = re.compile(
+    r"""
+    \d+\s+\d+/\d+             # mixed fraction: "1 1/2"
+    | \d+/\d+                 # plain fraction: "3/4"
+    | \d+(?:\.\d+)?-\d+(?:\.\d+)?   # numeric range: "2-3", "1.5-2"
+    | \d+(?:\.\d+)?           # integer or decimal: "8", "0.5"
+    | [A-Za-z]+(?:[-'][A-Za-z]+)*   # words incl. hyphen/apostrophe compounds
+    | [(),;:!?./&%°-]         # structural punctuation kept as single tokens
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A token with the character span it was read from.
+
+    Attributes:
+        text: The raw token text as it appears in the input.
+        start: Index of the first character of the token in the input string.
+        end: Index one past the last character of the token.
+    """
+
+    text: str
+    start: int
+    end: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text
+
+
+def tokenize_with_spans(text: str) -> list[Token]:
+    """Tokenize ``text`` returning :class:`Token` objects with character spans.
+
+    The empty string and whitespace-only strings yield an empty list rather
+    than raising: recipes occasionally contain blank instruction lines and the
+    pipeline simply skips them.
+    """
+    tokens: list[Token] = []
+    for match in TOKEN_PATTERN.finditer(text):
+        raw = match.group(0)
+        # Mixed fractions contain internal whitespace which we canonicalise to
+        # a single space so "1   1/2" and "1 1/2" become the same token text.
+        canonical = re.sub(r"\s+", " ", raw)
+        tokens.append(Token(text=canonical, start=match.start(), end=match.end()))
+    return tokens
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize ``text`` into a list of token strings.
+
+    >>> tokenize("1 sheet frozen puff pastry ( thawed )")
+    ['1', 'sheet', 'frozen', 'puff', 'pastry', '(', 'thawed', ')']
+    >>> tokenize("1/2 teaspoon pepper,freshly ground")
+    ['1/2', 'teaspoon', 'pepper', ',', 'freshly', 'ground']
+    >>> tokenize("2-3 medium tomatoes")
+    ['2-3', 'medium', 'tomatoes']
+    """
+    return [token.text for token in tokenize_with_spans(text)]

@@ -1,0 +1,106 @@
+"""Bidirectional symbol/index vocabulary used by the statistical models."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import VocabularyError
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Maps hashable symbols to dense integer indices and back.
+
+    The CRF, HMM and perceptron models all need stable feature/label indices;
+    this class centralises the bookkeeping.  A vocabulary can be *frozen*
+    after training so that unseen symbols raise (for labels) or are ignored
+    (for features, via :meth:`get`).
+    """
+
+    def __init__(self, symbols: Iterable[str] = (), *, frozen: bool = False) -> None:
+        self._index_of: dict[str, int] = {}
+        self._symbols: list[str] = []
+        self._frozen = False
+        for symbol in symbols:
+            self.add(symbol)
+        self._frozen = frozen
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    @property
+    def frozen(self) -> bool:
+        """Whether new symbols may still be added."""
+        return self._frozen
+
+    def freeze(self) -> "Vocabulary":
+        """Prevent further additions; returns ``self`` for chaining."""
+        self._frozen = True
+        return self
+
+    def add(self, symbol: str) -> int:
+        """Add ``symbol`` (if new) and return its index.
+
+        Raises:
+            VocabularyError: If the vocabulary is frozen and the symbol is new.
+        """
+        index = self._index_of.get(symbol)
+        if index is not None:
+            return index
+        if self._frozen:
+            raise VocabularyError(f"cannot add {symbol!r} to a frozen vocabulary")
+        index = len(self._symbols)
+        self._index_of[symbol] = index
+        self._symbols.append(symbol)
+        return index
+
+    def index(self, symbol: str) -> int:
+        """Index of ``symbol``; raises :class:`VocabularyError` when unknown."""
+        try:
+            return self._index_of[symbol]
+        except KeyError:
+            raise VocabularyError(f"unknown symbol: {symbol!r}") from None
+
+    def get(self, symbol: str, default: int | None = None) -> int | None:
+        """Index of ``symbol`` or ``default`` when unknown."""
+        return self._index_of.get(symbol, default)
+
+    def symbol(self, index: int) -> str:
+        """Symbol stored at ``index``."""
+        try:
+            return self._symbols[index]
+        except IndexError:
+            raise VocabularyError(f"index out of range: {index}") from None
+
+    def symbols(self) -> list[str]:
+        """All symbols in insertion order (a copy)."""
+        return list(self._symbols)
+
+    def to_dict(self) -> dict[str, int]:
+        """Mapping of symbol to index (a copy)."""
+        return dict(self._index_of)
+
+    @classmethod
+    def from_dict(cls, mapping: dict[str, int], *, frozen: bool = True) -> "Vocabulary":
+        """Rebuild a vocabulary from a symbol->index mapping (e.g. JSON)."""
+        ordered = sorted(mapping.items(), key=lambda item: item[1])
+        vocab = cls(symbol for symbol, _ in ordered)
+        expected = list(range(len(ordered)))
+        actual = [index for _, index in ordered]
+        if actual != expected:
+            raise VocabularyError("vocabulary mapping indices must be 0..n-1 without gaps")
+        if frozen:
+            vocab.freeze()
+        return vocab

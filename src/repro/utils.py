@@ -1,0 +1,143 @@
+"""Small shared utilities: seeding, iteration helpers and validation.
+
+The paper's pipeline has several stochastic stages (corpus generation,
+K-Means initialisation, training-set sampling, perceptron shuffling).  To keep
+every experiment reproducible, randomness is always drawn from explicitly
+constructed generators created by :func:`make_rng` / :func:`make_py_rng`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+T = TypeVar("T")
+
+#: Seed used by experiments when the caller does not supply one.
+DEFAULT_SEED = 20200425  # arXiv submission date of the paper (2020-04-25).
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a NumPy random generator for ``seed``.
+
+    ``None`` maps to :data:`DEFAULT_SEED` so that library defaults stay
+    deterministic; passing an existing generator returns it unchanged, which
+    lets pipelines share one stream across stages.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def make_py_rng(seed: int | str | tuple | random.Random | None = None) -> random.Random:
+    """Return a ``random.Random`` instance for ``seed`` (see :func:`make_rng`).
+
+    Tuples are accepted as composite seeds (e.g. ``(base_seed, source, index)``)
+    and folded into a stable string, which ``random.Random`` hashes
+    deterministically.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    if isinstance(seed, tuple):
+        seed = "|".join(str(part) for part in seed)
+    return random.Random(seed)
+
+
+def batched(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield consecutive slices of ``items`` with at most ``size`` elements."""
+    if size <= 0:
+        raise ConfigurationError(f"batch size must be positive, got {size}")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def pairwise(items: Iterable[T]) -> Iterator[tuple[T, T]]:
+    """Yield overlapping pairs ``(items[i], items[i + 1])``."""
+    return itertools.pairwise(items)
+
+
+def require_equal_lengths(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Raise :class:`DataError` unless the two sequences have equal length."""
+    if len(a) != len(b):
+        raise DataError(
+            f"{name_a} and {name_b} must have the same length "
+            f"(got {len(a)} and {len(b)})"
+        )
+
+
+def require_nonempty(name: str, value: Sequence) -> None:
+    """Raise :class:`DataError` if ``value`` is empty."""
+    if len(value) == 0:
+        raise DataError(f"{name} must not be empty")
+
+
+def argmax(scores: Sequence[float]) -> int:
+    """Index of the maximum value, first occurrence wins (pure-Python helper)."""
+    require_nonempty("scores", scores)
+    best_index = 0
+    best_value = scores[0]
+    for index, value in enumerate(scores):
+        if value > best_value:
+            best_index = index
+            best_value = value
+    return best_index
+
+
+def normalize_counts(counts: dict[T, float]) -> dict[T, float]:
+    """Return ``counts`` scaled so the values sum to one (empty dict passes through)."""
+    total = float(sum(counts.values()))
+    if total <= 0.0:
+        return dict(counts)
+    return {key: value / total for key, value in counts.items()}
+
+
+def flatten(nested: Iterable[Iterable[T]]) -> list[T]:
+    """Flatten one level of nesting into a list."""
+    return [item for inner in nested for item in inner]
+
+
+def stable_unique(items: Iterable[T]) -> list[T]:
+    """Deduplicate ``items`` preserving first-seen order."""
+    seen: set[T] = set()
+    result: list[T] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result
+
+
+def as_float_array(vectors: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+    """Convert ``vectors`` to a 2-D ``float64`` array, validating the shape."""
+    array = np.asarray(vectors, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise DataError(f"expected a 2-D array of vectors, got ndim={array.ndim}")
+    return array
+
+
+__all__ = [
+    "DEFAULT_SEED",
+    "argmax",
+    "as_float_array",
+    "batched",
+    "flatten",
+    "make_py_rng",
+    "make_rng",
+    "normalize_counts",
+    "pairwise",
+    "require_equal_lengths",
+    "require_nonempty",
+    "stable_unique",
+]

@@ -1,0 +1,54 @@
+"""Tests for ingredient alias analysis."""
+
+import pytest
+
+from repro.applications.aliases import AliasAnalyzer
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return AliasAnalyzer()
+
+
+class TestCanonical:
+    def test_alias_maps_to_lexicon_representative(self, analyzer):
+        # okra / ladyfinger is the paper's own example of an alias pair.
+        assert analyzer.canonical("ladyfinger") == analyzer.canonical("okra")
+
+    def test_unknown_name_maps_to_itself(self, analyzer):
+        assert analyzer.canonical("dragonfruit") == "dragonfruit"
+
+    def test_case_is_folded(self, analyzer):
+        assert analyzer.canonical("Okra") == analyzer.canonical("okra")
+
+    def test_empty_name_raises(self, analyzer):
+        with pytest.raises(DataError):
+            analyzer.canonical("")
+
+
+class TestAnalysis:
+    def test_alias_groups_shrink_the_name_count(self, analyzer):
+        report = analyzer.analyze(["okra", "ladyfinger", "tomato", "salt"])
+        assert report.raw_count == 4
+        assert report.merged_count == 3
+        assert report.alias_pairs == 1
+
+    def test_duplicates_are_ignored(self, analyzer):
+        report = analyzer.analyze(["salt", "Salt", "salt "])
+        assert report.raw_count == 1
+        assert report.merged_count == 1
+
+    def test_groups_cover_every_raw_name(self, analyzer):
+        names = ["okra", "ladyfinger", "scallion", "green onion", "sugar"]
+        report = analyzer.analyze(names)
+        grouped = {name for group in report.groups for name in group}
+        assert grouped == set(report.raw_names)
+
+    def test_empty_input_raises(self, analyzer):
+        with pytest.raises(DataError):
+            analyzer.analyze([])
+
+    def test_corpus_names_analyse_cleanly(self, analyzer, corpus):
+        report = analyzer.analyze(corpus.unique_ingredient_names())
+        assert report.merged_count <= report.raw_count

@@ -1,0 +1,108 @@
+"""Tests for the novel recipe generator."""
+
+import pytest
+
+from repro.applications.generation import NovelRecipeGenerator, self_join
+from repro.core.recipe_model import StructuredRecipe
+from repro.errors import DataError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def structured_corpus(modeler, corpus):
+    return [modeler.model_recipe(recipe) for recipe in corpus.recipes[:20]]
+
+
+@pytest.fixture(scope="module")
+def generator(structured_corpus):
+    return NovelRecipeGenerator.from_recipes(structured_corpus)
+
+
+class TestConstruction:
+    def test_from_empty_corpus_raises(self):
+        with pytest.raises(DataError):
+            NovelRecipeGenerator.from_recipes([])
+
+    def test_requires_fitted_event_chain(self, structured_corpus):
+        from repro.applications.knowledge_graph import RecipeKnowledgeGraph
+        from repro.core.event_chain import EventChainModel
+
+        graph = RecipeKnowledgeGraph.from_recipes(structured_corpus)
+        with pytest.raises(NotFittedError):
+            NovelRecipeGenerator(graph, EventChainModel())
+
+
+class TestGeneration:
+    def test_generated_recipe_is_well_formed(self, generator):
+        generated = generator.generate(seed=1)
+        structured = generated.structured
+        assert isinstance(structured, StructuredRecipe)
+        assert structured.ingredients
+        assert structured.events
+        assert len(generated.ingredient_lines) == len(structured.ingredients)
+        assert len(generated.instruction_lines) == len(structured.events)
+
+    def test_requested_ingredient_count(self, generator):
+        generated = generator.generate(n_ingredients=4, seed=2)
+        assert len(generated.structured.ingredients) == 4
+
+    def test_seed_ingredient_is_included(self, generator, structured_corpus):
+        seed_name = structured_corpus[0].ingredient_names[0]
+        generated = generator.generate(seed_ingredient=seed_name, seed=3)
+        assert seed_name in generated.structured.ingredient_names
+
+    def test_step_cap_is_respected(self, generator):
+        generated = generator.generate(max_steps=4, seed=4)
+        assert len(generated.structured.events) <= 4
+
+    def test_generation_is_deterministic_under_seed(self, generator):
+        first = generator.generate(seed=9)
+        second = generator.generate(seed=9)
+        assert first.instruction_lines == second.instruction_lines
+        assert first.ingredient_lines == second.ingredient_lines
+
+    def test_plausibility_is_positive(self, generator):
+        generated = generator.generate(seed=5)
+        assert 0.0 < generated.plausibility <= 1.0
+
+    def test_processes_come_from_the_corpus(self, generator, structured_corpus):
+        corpus_processes = {
+            relation.process for recipe in structured_corpus for relation in recipe.relations
+        }
+        generated = generator.generate(seed=6)
+        assert set(generated.structured.processes) <= corpus_processes
+
+    def test_invalid_ingredient_count(self, generator):
+        with pytest.raises(DataError):
+            generator.generate(n_ingredients=0)
+
+    def test_as_text_rendering(self, generator):
+        generated = generator.generate(seed=7)
+        text = generated.as_text()
+        assert "Ingredients:" in text
+        assert "Instructions:" in text
+        assert generated.structured.title in text
+
+    def test_generated_recipe_feeds_other_applications(self, generator):
+        from repro.applications.nutrition import NutritionEstimator
+        from repro.applications.similarity import RecipeSimilarity
+
+        first = generator.generate(seed=10)
+        second = generator.generate(seed=11)
+        similarity = RecipeSimilarity().similarity(first.structured, second.structured)
+        assert 0.0 <= similarity <= 1.0
+        nutrition = NutritionEstimator().estimate(first.structured)
+        assert nutrition.total.energy_kcal >= 0.0
+
+
+class TestSelfJoin:
+    def test_empty(self):
+        assert self_join([]) == ""
+
+    def test_single(self):
+        assert self_join(["salt"]) == "salt"
+
+    def test_two(self):
+        assert self_join(["salt", "pepper"]) == "salt and pepper"
+
+    def test_three(self):
+        assert self_join(["a", "b", "c"]) == "a, b and c"

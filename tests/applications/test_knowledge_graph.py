@@ -1,0 +1,140 @@
+"""Tests for the recipe knowledge graph."""
+
+import networkx as nx
+import pytest
+
+from repro.applications.knowledge_graph import RecipeKnowledgeGraph
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.errors import DataError
+
+
+def _recipe(recipe_id, ingredients, relations_by_step):
+    events = []
+    for step, relations in enumerate(relations_by_step):
+        events.append(
+            InstructionEvent(
+                step_index=step,
+                text="step",
+                processes=tuple(r.process for r in relations),
+                ingredients=tuple(i for r in relations for i in r.ingredients),
+                utensils=tuple(u for r in relations for u in r.utensils),
+                relations=tuple(relations),
+            )
+        )
+    return StructuredRecipe(
+        recipe_id=recipe_id,
+        title=recipe_id,
+        ingredients=tuple(IngredientRecord(phrase=i, name=i) for i in ingredients),
+        events=tuple(events),
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    recipes = [
+        _recipe(
+            "tomato-soup",
+            ["tomato", "onion", "garlic", "water"],
+            [
+                [RelationTuple("chop", ingredients=("tomato", "onion"))],
+                [RelationTuple("boil", ingredients=("water",), utensils=("pot",))],
+                [RelationTuple("simmer", ingredients=("tomato",), utensils=("pot",))],
+            ],
+        ),
+        _recipe(
+            "tomato-salad",
+            ["tomato", "cucumber", "olive oil"],
+            [
+                [RelationTuple("slice", ingredients=("tomato", "cucumber"))],
+                [RelationTuple("toss", ingredients=("olive oil",), utensils=("bowl",))],
+            ],
+        ),
+        _recipe(
+            "garlic-bread",
+            ["bread", "garlic", "butter"],
+            [
+                [RelationTuple("spread", ingredients=("butter", "garlic"))],
+                [RelationTuple("bake", utensils=("oven",))],
+            ],
+        ),
+    ]
+    return RecipeKnowledgeGraph.from_recipes(recipes)
+
+
+class TestConstruction:
+    def test_empty_input_raises(self):
+        with pytest.raises(DataError):
+            RecipeKnowledgeGraph.from_recipes([])
+
+    def test_summary_counts(self, graph):
+        summary = graph.summary()
+        assert summary["recipes"] == 3
+        assert summary["ingredients"] >= 8
+        assert summary["processes"] >= 6
+        assert summary["utensils"] >= 3
+        assert summary["edges"] > 10
+
+    def test_node_kind_views(self, graph):
+        assert "tomato" in graph.ingredients()
+        assert "boil" in graph.processes()
+        assert "pot" in graph.utensils()
+
+    def test_to_networkx_returns_a_copy(self, graph):
+        exported = graph.to_networkx()
+        assert isinstance(exported, nx.MultiDiGraph)
+        exported.add_node("mutation")
+        assert "mutation" not in graph.graph
+
+
+class TestQueries:
+    def test_recipes_using(self, graph):
+        assert graph.recipes_using("tomato") == ["tomato-salad", "tomato-soup"]
+        assert graph.recipes_using("saffron") == []
+
+    def test_ingredient_pairings(self, graph):
+        pairings = dict(graph.ingredient_pairings("tomato", top_k=10))
+        assert pairings["onion"] == 1
+        assert pairings["cucumber"] == 1
+        assert "tomato" not in pairings
+
+    def test_pairings_validate_top_k(self, graph):
+        with pytest.raises(DataError):
+            graph.ingredient_pairings("tomato", top_k=0)
+
+    def test_processes_applied_to(self, graph):
+        processes = dict(graph.processes_applied_to("tomato"))
+        assert set(processes) == {"chop", "simmer", "slice"}
+
+    def test_utensils_for_process(self, graph):
+        assert graph.utensils_for_process("boil") == [("pot", 1)]
+        assert graph.utensils_for_process("chop") == []
+        assert graph.utensils_for_process("nonexistent") == []
+
+    def test_common_ingredients(self, graph):
+        ranking = graph.common_ingredients(top_k=2)
+        assert ranking[0][0] in {"tomato", "garlic"}
+        assert ranking[0][1] == 2
+
+    def test_related_ingredients(self, graph):
+        related = graph.related_ingredients("tomato", max_distance=2)
+        assert "onion" in related
+        assert "tomato" not in related
+        assert graph.related_ingredients("unobtainium") == set()
+
+
+class TestOnPipelineOutput:
+    def test_graph_from_modelled_corpus(self, modeler, corpus):
+        structured = [modeler.model_recipe(recipe) for recipe in corpus.recipes[:15]]
+        graph = RecipeKnowledgeGraph.from_recipes(structured)
+        summary = graph.summary()
+        assert summary["recipes"] == 15
+        assert summary["ingredients"] > 10
+        assert summary["processes"] > 5
+        # At least one frequent ingredient has a non-empty pairing list.
+        top_ingredient = graph.common_ingredients(top_k=1)[0][0]
+        assert graph.ingredient_pairings(top_ingredient)

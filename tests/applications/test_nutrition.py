@@ -1,0 +1,90 @@
+"""Tests for nutritional-profile estimation."""
+
+import pytest
+
+from repro.applications.nutrition import NutritionEstimator
+from repro.core.recipe_model import IngredientRecord, StructuredRecipe
+from repro.errors import DataError
+
+
+def _recipe(records):
+    return StructuredRecipe(recipe_id="r", title="t", ingredients=tuple(records))
+
+
+class TestIngredientNutrition:
+    def test_known_ingredient_with_unit(self):
+        estimator = NutritionEstimator()
+        record = IngredientRecord(
+            phrase="2 cups sugar", name="sugar", quantity="2", unit="cup", quantity_value=2.0
+        )
+        profile = estimator.ingredient_nutrition(record)
+        # 400 g of sugar at 387 kcal / 100 g.
+        assert profile.energy_kcal == pytest.approx(387 * 4, rel=0.01)
+
+    def test_record_without_name_is_unresolved(self):
+        estimator = NutritionEstimator()
+        assert estimator.ingredient_nutrition(IngredientRecord(phrase="???")) is None
+
+    def test_missing_quantity_uses_default(self):
+        estimator = NutritionEstimator(default_quantity=1.0)
+        record = IngredientRecord(phrase="salt to taste", name="salt")
+        profile = estimator.ingredient_nutrition(record)
+        assert profile is not None
+        assert profile.energy_kcal == pytest.approx(0.0)
+
+    def test_invalid_default_quantity(self):
+        with pytest.raises(DataError):
+            NutritionEstimator(default_quantity=0)
+
+
+class TestRecipeEstimation:
+    def test_totals_add_up(self):
+        estimator = NutritionEstimator()
+        records = [
+            IngredientRecord(phrase="1 cup sugar", name="sugar", unit="cup", quantity_value=1.0),
+            IngredientRecord(phrase="1 cup flour", name="flour", unit="cup", quantity_value=1.0),
+        ]
+        nutrition = estimator.estimate(_recipe(records), servings=2)
+        individual = sum(
+            estimator.ingredient_nutrition(record).energy_kcal for record in records
+        )
+        assert nutrition.total.energy_kcal == pytest.approx(individual)
+        assert nutrition.per_serving.energy_kcal == pytest.approx(individual / 2)
+
+    def test_coverage_reflects_unresolved_records(self):
+        estimator = NutritionEstimator()
+        records = [
+            IngredientRecord(phrase="1 cup sugar", name="sugar", unit="cup", quantity_value=1.0),
+            IngredientRecord(phrase="mystery item"),
+        ]
+        nutrition = estimator.estimate(_recipe(records))
+        assert nutrition.coverage == pytest.approx(0.5)
+        assert nutrition.unresolved_ingredients == ("mystery item",)
+
+    def test_invalid_servings(self):
+        with pytest.raises(DataError):
+            NutritionEstimator().estimate(_recipe([]), servings=0)
+
+    def test_empty_recipe(self):
+        nutrition = NutritionEstimator().estimate(_recipe([]))
+        assert nutrition.total.energy_kcal == 0.0
+        assert nutrition.coverage == 0.0
+
+    def test_oil_heavy_recipe_has_more_fat_than_sugar_recipe(self):
+        estimator = NutritionEstimator()
+        oil = _recipe([
+            IngredientRecord(phrase="1 cup olive oil", name="olive oil", unit="cup", quantity_value=1.0)
+        ])
+        sugar = _recipe([
+            IngredientRecord(phrase="1 cup sugar", name="sugar", unit="cup", quantity_value=1.0)
+        ])
+        assert (
+            estimator.estimate(oil).total.fat_g > estimator.estimate(sugar).total.fat_g
+        )
+
+    def test_end_to_end_with_pipeline_records(self, modeler, corpus):
+        estimator = NutritionEstimator()
+        structured = modeler.model_recipe(corpus[0])
+        nutrition = estimator.estimate(structured, servings=corpus[0].servings)
+        assert nutrition.total.energy_kcal > 0
+        assert nutrition.coverage > 0.5

@@ -1,0 +1,100 @@
+"""Tests for recipe similarity."""
+
+import pytest
+
+from repro.applications.similarity import RecipeSimilarity, cosine_counts, jaccard_similarity
+from repro.core.recipe_model import IngredientRecord, InstructionEvent, StructuredRecipe
+from repro.errors import ConfigurationError, DataError
+
+
+def _recipe(recipe_id, names, processes, utensils=("pot",)):
+    return StructuredRecipe(
+        recipe_id=recipe_id,
+        title=recipe_id,
+        ingredients=tuple(IngredientRecord(phrase=name, name=name) for name in names),
+        events=(
+            InstructionEvent(
+                step_index=0,
+                text="step",
+                processes=tuple(processes),
+                utensils=tuple(utensils),
+            ),
+        ),
+    )
+
+
+class TestSetSimilarities:
+    def test_jaccard_identical(self):
+        assert jaccard_similarity(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_similarity(["a"], ["b"]) == 0.0
+
+    def test_jaccard_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+    def test_cosine_identical_bags(self):
+        assert cosine_counts(["a", "a", "b"], ["a", "a", "b"]) == pytest.approx(1.0)
+
+    def test_cosine_disjoint(self):
+        assert cosine_counts(["a"], ["b"]) == 0.0
+
+    def test_cosine_one_empty(self):
+        assert cosine_counts([], ["a"]) == 0.0
+
+
+class TestRecipeSimilarity:
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigurationError):
+            RecipeSimilarity(ingredient_weight=0, process_weight=0, utensil_weight=0)
+        with pytest.raises(ConfigurationError):
+            RecipeSimilarity(ingredient_weight=-1, process_weight=1, utensil_weight=1)
+
+    def test_identical_recipes_have_similarity_one(self):
+        recipe = _recipe("a", ["salt", "pepper"], ["boil"])
+        assert RecipeSimilarity().similarity(recipe, recipe) == pytest.approx(1.0)
+
+    def test_disjoint_recipes_have_similarity_zero(self):
+        left = _recipe("a", ["salt"], ["boil"], utensils=("pot",))
+        right = _recipe("b", ["sugar"], ["bake"], utensils=("oven",))
+        assert RecipeSimilarity().similarity(left, right) == pytest.approx(0.0)
+
+    def test_shared_ingredients_raise_similarity(self):
+        query = _recipe("q", ["salt", "pepper", "tomato"], ["boil"])
+        close = _recipe("c", ["salt", "pepper", "onion"], ["boil"])
+        far = _recipe("f", ["sugar", "flour", "butter"], ["bake"], utensils=("oven",))
+        similarity = RecipeSimilarity()
+        assert similarity.similarity(query, close) > similarity.similarity(query, far)
+
+    def test_breakdown_components_are_bounded(self):
+        left = _recipe("a", ["salt"], ["boil"])
+        right = _recipe("b", ["salt", "sugar"], ["boil", "bake"])
+        breakdown = RecipeSimilarity().breakdown(left, right)
+        for value in (
+            breakdown.ingredient_similarity,
+            breakdown.process_similarity,
+            breakdown.utensil_similarity,
+            breakdown.combined,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_most_similar_ranks_and_excludes_self(self):
+        query = _recipe("q", ["salt", "pepper"], ["boil"])
+        candidates = [
+            query,
+            _recipe("near", ["salt", "pepper"], ["boil"]),
+            _recipe("far", ["sugar"], ["bake"], utensils=("oven",)),
+        ]
+        ranked = RecipeSimilarity().most_similar(query, candidates, top_k=2)
+        assert [recipe.recipe_id for recipe, _ in ranked] == ["near", "far"]
+
+    def test_most_similar_validates_arguments(self):
+        query = _recipe("q", ["salt"], ["boil"])
+        with pytest.raises(ConfigurationError):
+            RecipeSimilarity().most_similar(query, [query], top_k=0)
+        with pytest.raises(DataError):
+            RecipeSimilarity().most_similar(query, [], top_k=1)
+
+    def test_weights_are_normalised(self):
+        similarity = RecipeSimilarity(ingredient_weight=2, process_weight=1, utensil_weight=1)
+        assert similarity.ingredient_weight == pytest.approx(0.5)

@@ -1,0 +1,125 @@
+"""Tests for structured-recipe translation."""
+
+import pytest
+
+from repro.applications.translation import SUPPORTED_LANGUAGES, RecipeTranslator
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def recipe():
+    return StructuredRecipe(
+        recipe_id="soup",
+        title="Tomato Soup",
+        ingredients=(
+            IngredientRecord(phrase="2 cups tomato", name="tomato", quantity="2", unit="cup"),
+            IngredientRecord(phrase="1 onion, chopped", name="onion", quantity="1", state="chopped"),
+            IngredientRecord(phrase="salt to taste", name="salt"),
+        ),
+        events=(
+            InstructionEvent(
+                step_index=0,
+                text="Boil the tomato in a pot.",
+                processes=("boil",),
+                ingredients=("tomato",),
+                utensils=("pot",),
+                relations=(
+                    RelationTuple(process="boil", ingredients=("tomato",), utensils=("pot",)),
+                ),
+            ),
+            InstructionEvent(
+                step_index=1,
+                text="Serve.",
+                processes=("serve",),
+                relations=(),
+            ),
+        ),
+    )
+
+
+class TestConfiguration:
+    def test_supported_languages(self):
+        assert set(SUPPORTED_LANGUAGES) == {"es", "fr"}
+
+    def test_unsupported_language_raises(self):
+        with pytest.raises(ConfigurationError):
+            RecipeTranslator("de")
+
+
+class TestTermTranslation:
+    def test_spanish_terms(self):
+        translator = RecipeTranslator("es")
+        assert translator.translate_term("tomato") == "tomate"
+        assert translator.translate_term("boil") == "hervir"
+        assert translator.translate_term("pot") == "olla"
+
+    def test_french_terms(self):
+        translator = RecipeTranslator("fr")
+        assert translator.translate_term("flour") == "farine"
+        assert translator.translate_term("oven") == "four"
+
+    def test_unknown_term_falls_back(self):
+        translator = RecipeTranslator("es")
+        assert translator.translate_term("unobtainium") == "unobtainium"
+        assert not translator.knows("unobtainium")
+
+    def test_lookup_is_case_insensitive(self):
+        assert RecipeTranslator("es").translate_term("Tomato") == "tomate"
+
+
+class TestRecipeTranslation:
+    def test_spanish_rendering(self, recipe):
+        translated = RecipeTranslator("es").translate(recipe)
+        assert translated.language == "es"
+        assert any("tomate" in line for line in translated.ingredient_lines)
+        assert any("Hervir" in line for line in translated.instruction_lines)
+        assert any("olla" in line for line in translated.instruction_lines)
+
+    def test_french_rendering(self, recipe):
+        translated = RecipeTranslator("fr").translate(recipe)
+        assert any("tomate" in line for line in translated.ingredient_lines)
+        assert any("bouillir" in line.lower() for line in translated.instruction_lines)
+
+    def test_every_section_is_rendered(self, recipe):
+        translated = RecipeTranslator("es").translate(recipe)
+        assert len(translated.ingredient_lines) == len(recipe.ingredients)
+        # One line per relation-bearing event plus one for the bare "serve" event.
+        assert len(translated.instruction_lines) == 2
+
+    def test_coverage_is_high_for_lexicon_vocabulary(self, recipe):
+        translated = RecipeTranslator("es").translate(recipe)
+        assert translated.coverage > 0.8
+
+    def test_coverage_drops_for_unknown_vocabulary(self):
+        exotic = StructuredRecipe(
+            recipe_id="x",
+            title="Exotic",
+            ingredients=(IngredientRecord(phrase="1 cup unobtainium", name="unobtainium"),),
+            events=(
+                InstructionEvent(
+                    step_index=0,
+                    text="Transmogrify the unobtainium.",
+                    processes=("transmogrify",),
+                    relations=(RelationTuple(process="transmogrify", ingredients=("unobtainium",)),),
+                ),
+            ),
+        )
+        translated = RecipeTranslator("es").translate(exotic)
+        assert translated.coverage == 0.0
+
+    def test_as_text(self, recipe):
+        text = RecipeTranslator("fr").translate(recipe).as_text()
+        assert "Tomato Soup" in text
+        assert "1." in text
+
+    def test_pipeline_output_translates_with_good_coverage(self, modeler, corpus):
+        structured = modeler.model_recipe(corpus.recipes[0])
+        translated = RecipeTranslator("es").translate(structured)
+        assert translated.ingredient_lines
+        assert translated.coverage > 0.5

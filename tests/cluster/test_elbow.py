@@ -1,0 +1,58 @@
+"""Tests for the elbow criterion."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.elbow import elbow_point, inertia_curve
+from repro.errors import DataError
+
+
+def _blobs(k=4, n_per_blob=25, seed=3):
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(-50, 50, size=(k, 2))
+    return np.vstack(
+        [centre + rng.normal(scale=0.5, size=(n_per_blob, 2)) for centre in centres]
+    )
+
+
+class TestInertiaCurve:
+    def test_curve_is_monotone_decreasing(self):
+        points = _blobs()
+        curve = inertia_curve(points, [2, 3, 4, 5, 6], seed=0, n_init=3)
+        values = [curve[k] for k in sorted(curve)]
+        assert all(a >= b - 1e-6 for a, b in zip(values, values[1:]))
+
+    def test_empty_k_values_raise(self):
+        with pytest.raises(DataError):
+            inertia_curve(np.zeros((5, 2)), [])
+
+    def test_keys_match_requested_k(self):
+        points = _blobs()
+        curve = inertia_curve(points, [2, 4], seed=0)
+        assert set(curve) == {2, 4}
+
+
+class TestElbowPoint:
+    def test_finds_true_cluster_count(self):
+        # The maximum-distance-to-chord criterion can land one short of the
+        # true blob count when the first inertia drop dwarfs the rest, so the
+        # check allows the immediate neighbourhood of the true k.
+        points = _blobs(k=4)
+        curve = inertia_curve(points, [2, 3, 4, 5, 6, 7, 8], seed=0, n_init=3)
+        assert elbow_point(curve) in {3, 4}
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(DataError):
+            elbow_point({})
+
+    def test_two_point_curve_returns_smallest(self):
+        assert elbow_point({2: 100.0, 3: 50.0}) == 2
+
+    def test_synthetic_knee(self):
+        # A curve with an obvious knee at k = 5.
+        curve = {2: 1000.0, 3: 800.0, 4: 600.0, 5: 120.0, 6: 110.0, 7: 100.0, 8: 95.0}
+        assert elbow_point(curve) == 5
+
+    def test_flat_curve_does_not_crash(self):
+        curve = {2: 10.0, 3: 10.0, 4: 10.0}
+        assert elbow_point(curve) in {2, 3, 4}

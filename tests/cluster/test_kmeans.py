@@ -1,0 +1,109 @@
+"""Tests for the K-Means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import KMeans
+from repro.errors import ConfigurationError, DataError, NotFittedError
+
+
+def _three_blobs(n_per_blob=30, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    points = np.vstack(
+        [centre + rng.normal(scale=0.5, size=(n_per_blob, 2)) for centre in centres]
+    )
+    labels = np.repeat(np.arange(3), n_per_blob)
+    return points, labels
+
+
+class TestConfiguration:
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(0)
+
+    def test_invalid_n_init(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(2, n_init=0)
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(2, max_iterations=0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(DataError):
+            KMeans(5, seed=0).fit(np.zeros((3, 2)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+
+class TestClustering:
+    def test_recovers_well_separated_blobs(self):
+        points, truth = _three_blobs()
+        result = KMeans(3, seed=1).fit(points)
+        # Each true blob must map to exactly one predicted cluster.
+        for blob in range(3):
+            blob_labels = set(result.labels[truth == blob].tolist())
+            assert len(blob_labels) == 1
+        assert len(set(result.labels.tolist())) == 3
+
+    def test_inertia_is_low_for_separated_blobs(self):
+        points, _ = _three_blobs()
+        result = KMeans(3, seed=1).fit(points)
+        # With scale-0.5 noise in 2-D, per-point squared distance is ~0.5.
+        assert result.inertia < len(points) * 1.5
+
+    def test_labels_within_range(self):
+        points, _ = _three_blobs()
+        labels = KMeans(3, seed=0).fit_predict(points)
+        assert labels.min() >= 0
+        assert labels.max() < 3
+
+    def test_centroids_shape(self):
+        points, _ = _three_blobs()
+        result = KMeans(3, seed=0).fit(points)
+        assert result.centroids.shape == (3, 2)
+
+    def test_more_clusters_never_increase_inertia(self):
+        points, _ = _three_blobs()
+        inertia_small = KMeans(2, seed=0, n_init=4).fit(points).inertia
+        inertia_large = KMeans(6, seed=0, n_init=4).fit(points).inertia
+        assert inertia_large <= inertia_small + 1e-9
+
+    def test_predict_assigns_nearest_centroid(self):
+        points, _ = _three_blobs()
+        estimator = KMeans(3, seed=0)
+        estimator.fit(points)
+        predictions = estimator.predict(np.array([[0.1, -0.2], [9.8, 10.1]]))
+        centroids = estimator.result.centroids
+        for point, label in zip([[0.1, -0.2], [9.8, 10.1]], predictions):
+            distances = np.linalg.norm(centroids - np.array(point), axis=1)
+            assert label == int(np.argmin(distances))
+
+    def test_k_equals_n_samples(self):
+        points = np.arange(10, dtype=float).reshape(5, 2)
+        result = KMeans(5, seed=0).fit(points)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_duplicate_points_are_handled(self):
+        points = np.ones((20, 3))
+        result = KMeans(2, seed=0).fit(points)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        points, _ = _three_blobs()
+        first = KMeans(3, seed=42).fit(points)
+        second = KMeans(3, seed=42).fit(points)
+        assert np.array_equal(first.labels, second.labels)
+        assert first.inertia == pytest.approx(second.inertia)
+
+    def test_is_fitted_flag(self):
+        points, _ = _three_blobs()
+        estimator = KMeans(3, seed=0)
+        assert not estimator.is_fitted
+        estimator.fit(points)
+        assert estimator.is_fitted

@@ -1,0 +1,75 @@
+"""Tests for the PCA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.pca import PCA
+from repro.errors import ConfigurationError, DataError, NotFittedError
+
+
+def _correlated_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 1))
+    noise = rng.normal(scale=0.05, size=(n, 3))
+    return np.hstack([latent, 2 * latent, -latent]) + noise
+
+
+class TestConfiguration:
+    def test_invalid_component_count(self):
+        with pytest.raises(ConfigurationError):
+            PCA(0)
+
+    def test_too_many_components(self):
+        with pytest.raises(DataError):
+            PCA(5).fit(np.zeros((3, 2)))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            PCA(2).transform(np.zeros((2, 2)))
+
+
+class TestProjection:
+    def test_output_shape(self):
+        data = _correlated_data()
+        projected = PCA(2).fit_transform(data)
+        assert projected.shape == (data.shape[0], 2)
+
+    def test_first_component_captures_dominant_variance(self):
+        data = _correlated_data()
+        pca = PCA(2).fit(data)
+        assert pca.explained_variance_ratio_[0] > 0.95
+
+    def test_explained_variance_sorted(self):
+        data = _correlated_data()
+        pca = PCA(3).fit(data)
+        ratios = pca.explained_variance_ratio_
+        assert all(ratios[i] >= ratios[i + 1] - 1e-12 for i in range(len(ratios) - 1))
+
+    def test_projection_is_centred(self):
+        data = _correlated_data()
+        projected = PCA(2).fit_transform(data)
+        np.testing.assert_allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_components_are_orthonormal(self):
+        data = _correlated_data()
+        pca = PCA(3).fit(data)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_inverse_transform_reconstructs_with_full_rank(self):
+        data = _correlated_data()
+        pca = PCA(3).fit(data)
+        reconstructed = pca.inverse_transform(pca.transform(data))
+        np.testing.assert_allclose(reconstructed, data, atol=1e-8)
+
+    def test_reconstruction_error_small_with_dominant_component(self):
+        data = _correlated_data()
+        pca = PCA(1).fit(data)
+        reconstructed = pca.inverse_transform(pca.transform(data))
+        relative_error = np.linalg.norm(reconstructed - data) / np.linalg.norm(data)
+        assert relative_error < 0.1
+
+    def test_constant_data_has_zero_variance_ratio(self):
+        data = np.ones((10, 4))
+        pca = PCA(2).fit(data)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(0.0)

@@ -1,0 +1,85 @@
+"""Tests for cluster-stratified sampling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.sampling import ClusterStratifiedSampler
+from repro.errors import ConfigurationError, DataError
+
+
+class TestConfiguration:
+    def test_invalid_train_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ClusterStratifiedSampler(train_fraction=0.0, test_fraction=0.1)
+
+    def test_invalid_test_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ClusterStratifiedSampler(train_fraction=0.1, test_fraction=1.5)
+
+    def test_negative_minimum(self):
+        with pytest.raises(ConfigurationError):
+            ClusterStratifiedSampler(
+                train_fraction=0.1, test_fraction=0.1, minimum_per_cluster=-1
+            )
+
+    def test_empty_labels_raise(self):
+        sampler = ClusterStratifiedSampler(train_fraction=0.1, test_fraction=0.05)
+        with pytest.raises(DataError):
+            sampler.sample([])
+
+
+class TestSampling:
+    def test_train_and_test_are_disjoint(self):
+        labels = np.repeat(np.arange(5), 40)
+        sampler = ClusterStratifiedSampler(train_fraction=0.2, test_fraction=0.1, seed=0)
+        sample = sampler.sample(labels)
+        assert not set(sample.train_indices) & set(sample.test_indices)
+
+    def test_every_cluster_is_represented_in_training(self):
+        labels = np.repeat(np.arange(8), 25)
+        sampler = ClusterStratifiedSampler(train_fraction=0.05, test_fraction=0.02, seed=1)
+        sample = sampler.sample(labels)
+        trained_clusters = {int(labels[index]) for index in sample.train_indices}
+        assert trained_clusters == set(range(8))
+
+    def test_minimum_per_cluster_applies_to_small_clusters(self):
+        labels = np.array([0] * 100 + [1] * 3)
+        sampler = ClusterStratifiedSampler(
+            train_fraction=0.01, test_fraction=0.01, minimum_per_cluster=2, seed=0
+        )
+        sample = sampler.sample(labels)
+        assert sample.per_cluster_train[1] >= 2
+
+    def test_fractions_scale_the_sample_size(self):
+        labels = np.repeat(np.arange(4), 100)
+        small = ClusterStratifiedSampler(train_fraction=0.05, test_fraction=0.02, seed=0).sample(labels)
+        large = ClusterStratifiedSampler(train_fraction=0.30, test_fraction=0.02, seed=0).sample(labels)
+        assert large.train_size > small.train_size
+
+    def test_deterministic_under_seed(self):
+        labels = np.repeat(np.arange(6), 30)
+        first = ClusterStratifiedSampler(train_fraction=0.1, test_fraction=0.05, seed=9).sample(labels)
+        second = ClusterStratifiedSampler(train_fraction=0.1, test_fraction=0.05, seed=9).sample(labels)
+        assert first.train_indices == second.train_indices
+        assert first.test_indices == second.test_indices
+
+    def test_sizes_property(self):
+        labels = np.repeat(np.arange(3), 50)
+        sample = ClusterStratifiedSampler(train_fraction=0.1, test_fraction=0.06, seed=0).sample(labels)
+        assert sample.train_size == len(sample.train_indices)
+        assert sample.test_size == len(sample.test_indices)
+
+
+class TestPhraseSampling:
+    def test_unique_phrases_only(self):
+        phrases = ["a b", "a b", "c d", "e f", "g h", "i j"]
+        labels = [0, 0, 0, 1, 1, 1]
+        sampler = ClusterStratifiedSampler(train_fraction=0.5, test_fraction=0.3, seed=0)
+        train, test = sampler.sample_phrases(phrases, labels)
+        assert len(set(train)) == len(train)
+        assert not set(train) & set(test)
+
+    def test_misaligned_inputs_raise(self):
+        sampler = ClusterStratifiedSampler(train_fraction=0.5, test_fraction=0.3)
+        with pytest.raises(DataError):
+            sampler.sample_phrases(["a"], [0, 1])

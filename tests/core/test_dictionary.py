@@ -1,0 +1,91 @@
+"""Tests for the frequency-thresholded entity dictionaries."""
+
+import pytest
+
+from repro.core.dictionary import (
+    EntityDictionary,
+    PAPER_PROCESS_THRESHOLD,
+    PAPER_UTENSIL_THRESHOLD,
+    build_dictionaries,
+    dictionary_from_counts,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEntityDictionary:
+    def _dictionary(self, threshold=3):
+        counts = {"boil": 10, "fry": 5, "zap": 1, "blorp": 2}
+        return EntityDictionary(label="PROCESS", counts=counts, threshold=threshold)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EntityDictionary(label="PROCESS", counts={}, threshold=0)
+
+    def test_entries_respect_threshold(self):
+        dictionary = self._dictionary(threshold=3)
+        assert dictionary.entries == {"boil", "fry"}
+        assert dictionary.rejected == {"zap", "blorp"}
+
+    def test_membership_and_len(self):
+        dictionary = self._dictionary()
+        assert "boil" in dictionary
+        assert "zap" not in dictionary
+        assert len(dictionary) == 2
+        assert dictionary.accepts("fry")
+
+    def test_with_threshold_rebuilds(self):
+        dictionary = self._dictionary(threshold=3)
+        relaxed = dictionary.with_threshold(1)
+        assert len(relaxed) == 4
+        assert len(dictionary) == 2  # original unchanged
+
+    def test_most_common_is_sorted(self):
+        ranking = self._dictionary(threshold=1).most_common()
+        assert ranking[0] == ("boil", 10)
+        assert ranking == sorted(ranking, key=lambda item: (-item[1], item[0]))
+
+    def test_most_common_top_n(self):
+        assert len(self._dictionary(threshold=1).most_common(2)) == 2
+
+    def test_paper_thresholds_are_exposed(self):
+        assert PAPER_PROCESS_THRESHOLD == 47
+        assert PAPER_UTENSIL_THRESHOLD == 10
+
+    def test_dictionary_from_counts_helper(self):
+        dictionary = dictionary_from_counts("UTENSIL", [("pan", 5), ("pot", 1)], threshold=2)
+        assert dictionary.entries == {"pan"}
+
+
+class TestBuildDictionaries:
+    def test_build_from_trained_ner(self, instruction_pipeline, sample_steps):
+        processes, utensils = build_dictionaries(
+            instruction_pipeline.ner,
+            [list(step.tokens) for step in sample_steps[:80]],
+            process_threshold=2,
+            utensil_threshold=2,
+        )
+        assert processes.label == "PROCESS"
+        assert utensils.label == "UTENSIL"
+        assert len(processes) > 0
+        assert len(utensils) > 0
+        # Canonicalised entries are verb/noun lemmas, not inflected forms.
+        assert all(" " not in entry or entry.count(" ") <= 2 for entry in processes.entries)
+
+    def test_relative_threshold_scaling(self, instruction_pipeline, sample_steps):
+        token_sequences = [list(step.tokens) for step in sample_steps[:50]]
+        processes, utensils = build_dictionaries(
+            instruction_pipeline.ner, token_sequences, relative_thresholds=True
+        )
+        # The paper's 47/174,932 scaled to 50 steps is far below 1, so the
+        # floor of 2 applies.
+        assert processes.threshold == 2
+        assert utensils.threshold == 2
+
+    def test_absolute_thresholds_override(self, instruction_pipeline, sample_steps):
+        processes, _ = build_dictionaries(
+            instruction_pipeline.ner,
+            [list(step.tokens) for step in sample_steps[:30]],
+            process_threshold=5,
+            utensil_threshold=3,
+        )
+        assert processes.threshold == 5

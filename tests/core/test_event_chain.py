@@ -1,0 +1,141 @@
+"""Tests for the temporal event-chain model."""
+
+import pytest
+
+from repro.core.event_chain import CHAIN_END, CHAIN_START, EventChainModel
+from repro.core.recipe_model import InstructionEvent, RelationTuple, StructuredRecipe
+from repro.errors import DataError, NotFittedError
+
+
+def _recipe(recipe_id, chains):
+    """Build a structured recipe whose steps apply the given process chains."""
+    events = []
+    for step, processes in enumerate(chains):
+        relations = tuple(RelationTuple(process=p, ingredients=("water",)) for p in processes)
+        events.append(
+            InstructionEvent(
+                step_index=step, text="step", processes=tuple(processes), relations=relations
+            )
+        )
+    return StructuredRecipe(recipe_id=recipe_id, title=recipe_id, events=tuple(events))
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    recipes = [
+        _recipe("a", [["preheat"], ["mix"], ["bake"], ["serve"]]),
+        _recipe("b", [["preheat"], ["chop"], ["mix"], ["bake"], ["garnish"]]),
+        _recipe("c", [["chop"], ["mix"], ["bake"], ["serve"]]),
+        _recipe("d", [["preheat"], ["mix", "stir"], ["bake"], ["serve"]]),
+    ]
+    return EventChainModel().fit(recipes)
+
+
+@pytest.fixture(scope="module")
+def corpus_chain_model(modeler, corpus):
+    structured = [modeler.model_recipe(recipe) for recipe in corpus.recipes[:20]]
+    return EventChainModel().fit(structured)
+
+
+class TestFitting:
+    def test_unfitted_model_raises(self):
+        with pytest.raises(NotFittedError):
+            EventChainModel().statistics()
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(DataError):
+            EventChainModel(smoothing=0)
+
+    def test_fit_requires_chains(self):
+        with pytest.raises(DataError):
+            EventChainModel().fit([StructuredRecipe(recipe_id="x", title="x")])
+
+    def test_is_trained(self, fitted):
+        assert fitted.is_trained
+
+
+class TestStatistics:
+    def test_statistics_sorted_by_frequency(self, fitted):
+        stats = fitted.statistics()
+        counts = [item.count for item in stats]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_positions_capture_temporal_roles(self, fitted):
+        by_name = {item.process: item for item in fitted.statistics()}
+        # preheat always opens recipes; serve/garnish always close them.
+        assert by_name["preheat"].mean_position < by_name["bake"].mean_position
+        assert by_name["serve"].mean_position > by_name["mix"].mean_position
+
+    def test_early_and_late_processes(self, fitted):
+        assert "preheat" in fitted.early_processes(2)
+        late = fitted.late_processes(2)
+        assert "serve" in late or "garnish" in late
+
+    def test_followers_reflect_the_corpus(self, fitted):
+        by_name = {item.process: item for item in fitted.statistics()}
+        assert "bake" in by_name["mix"].common_followers
+
+
+class TestProbabilities:
+    def test_transition_probabilities_are_a_distribution_over_known_events(self, fitted):
+        vocabulary = [item.process for item in fitted.statistics()] + [CHAIN_END]
+        total = sum(fitted.transition_probability("mix", target) for target in vocabulary)
+        assert total <= 1.0 + 1e-9
+        assert all(fitted.transition_probability("mix", target) > 0 for target in vocabulary)
+
+    def test_frequent_transition_scores_higher(self, fitted):
+        assert fitted.transition_probability("mix", "bake") > fitted.transition_probability(
+            "mix", "preheat"
+        )
+
+    def test_chain_log_likelihood_orders_plausible_chains_first(self, fitted):
+        natural = ["preheat", "mix", "bake", "serve"]
+        shuffled = ["serve", "bake", "mix", "preheat"]
+        assert fitted.chain_log_likelihood(natural) > fitted.chain_log_likelihood(shuffled)
+
+    def test_plausibility_is_bounded(self, fitted):
+        value = fitted.plausibility(["preheat", "mix", "bake"])
+        assert 0.0 < value <= 1.0
+
+    def test_empty_chain_raises(self, fitted):
+        with pytest.raises(DataError):
+            fitted.chain_log_likelihood([])
+
+    def test_score_recipe(self, fitted):
+        recipe = _recipe("probe", [["preheat"], ["bake"]])
+        assert 0.0 < fitted.score_recipe(recipe) <= 1.0
+        assert fitted.score_recipe(StructuredRecipe(recipe_id="e", title="e")) == 0.0
+
+
+class TestSampling:
+    def test_sampled_chain_uses_known_processes(self, fitted):
+        chain = fitted.sample_chain(seed=3)
+        known = {item.process for item in fitted.statistics()}
+        assert chain
+        assert set(chain) <= known
+
+    def test_sampling_is_deterministic_under_seed(self, fitted):
+        assert fitted.sample_chain(seed=11) == fitted.sample_chain(seed=11)
+
+    def test_max_length_is_respected(self, fitted):
+        assert len(fitted.sample_chain(max_length=3, seed=0)) <= 3
+
+    def test_invalid_parameters(self, fitted):
+        with pytest.raises(DataError):
+            fitted.sample_chain(max_length=0)
+        with pytest.raises(DataError):
+            fitted.sample_chain(temperature=0)
+
+    def test_sampled_chains_score_reasonably(self, fitted):
+        chain = fitted.sample_chain(seed=7)
+        assert fitted.plausibility(chain) > 0.0
+
+
+class TestOnPipelineOutput:
+    def test_fits_on_modelled_corpus(self, corpus_chain_model):
+        stats = corpus_chain_model.statistics()
+        assert len(stats) > 5
+        assert all(item.count > 0 for item in stats)
+
+    def test_start_symbol_not_in_statistics(self, corpus_chain_model):
+        assert CHAIN_START not in {item.process for item in corpus_chain_model.statistics()}

@@ -1,0 +1,105 @@
+"""Tests for the end-to-end RecipeModeler."""
+
+import pytest
+
+from repro.core.pipeline import RecipeModeler, RecipeModelerConfig
+from repro.core.recipe_model import StructuredRecipe
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class TestConfiguration:
+    def test_invalid_instruction_budget(self):
+        with pytest.raises(ConfigurationError):
+            RecipeModelerConfig(instruction_training_steps=0)
+
+    def test_invalid_pos_budget(self):
+        with pytest.raises(ConfigurationError):
+            RecipeModelerConfig(pos_training_sentences=0)
+
+    def test_components_before_fit_raise(self):
+        with pytest.raises(NotFittedError):
+            RecipeModeler().components
+
+    def test_is_fitted_flag(self, modeler):
+        assert modeler.is_fitted
+
+
+class TestFittedComponents:
+    def test_all_components_are_trained(self, modeler):
+        components = modeler.components
+        assert components.pos_tagger.is_trained
+        assert components.ingredient_pipeline.is_trained
+        assert components.instruction_pipeline.is_trained
+        assert components.instruction_pipeline.process_dictionary is not None
+
+    def test_selection_uses_23_clusters_by_default(self, modeler):
+        assert modeler.components.selection.n_clusters == 23
+
+    def test_held_out_sets_are_available(self, modeler):
+        assert modeler.components.held_out_phrases
+        assert modeler.components.held_out_steps
+
+
+class TestModelling:
+    def test_model_recipe_produces_structured_recipe(self, modeler, corpus):
+        structured = modeler.model_recipe(corpus[0])
+        assert isinstance(structured, StructuredRecipe)
+        assert structured.recipe_id == corpus[0].recipe_id
+        assert len(structured.ingredients) == len(corpus[0].ingredients)
+        assert len(structured.events) == len(corpus[0].instructions)
+
+    def test_most_ingredients_get_a_name(self, modeler, corpus):
+        structured = modeler.model_recipe(corpus[1])
+        named = [record for record in structured.ingredients if record.name]
+        assert len(named) >= len(structured.ingredients) * 0.7
+
+    def test_events_contain_relations(self, modeler, corpus):
+        structured = modeler.model_recipe(corpus[2])
+        assert any(event.relations for event in structured.events)
+
+    def test_model_text_skips_blank_lines(self, modeler):
+        structured = modeler.model_text(
+            ingredient_lines=["2 cups sugar", "", "   "],
+            instruction_lines=["Boil the water.", ""],
+        )
+        assert len(structured.ingredients) == 1
+        assert len(structured.events) == 1
+
+    def test_model_text_sets_metadata(self, modeler):
+        structured = modeler.model_text(
+            ingredient_lines=["1 cup rice"],
+            instruction_lines=["Boil the rice."],
+            recipe_id="my-id",
+            title="My Recipe",
+        )
+        assert structured.recipe_id == "my-id"
+        assert structured.title == "My Recipe"
+
+    def test_tag_ingredient_phrase_helper(self, modeler):
+        pairs = modeler.tag_ingredient_phrase("2 cups sugar")
+        assert [token for token, _ in pairs] == ["2", "cups", "sugar"]
+
+    def test_parse_instruction_helper(self, modeler):
+        tree = modeler.parse_instruction("Boil the water in a pot.")
+        assert len(tree) == 7
+
+    def test_model_corpus(self, modeler, corpora):
+        structured = modeler.model_corpus(corpora.allrecipes)
+        assert len(structured) == len(corpora.allrecipes)
+
+
+class TestQuality:
+    def test_temporal_order_is_preserved(self, modeler, corpus):
+        structured = modeler.model_recipe(corpus[3])
+        steps = [event.step_index for event in structured.events]
+        assert steps == sorted(steps)
+
+    def test_processes_come_from_the_technique_vocabulary(self, modeler, corpus):
+        from repro.data import lexicons
+
+        structured = modeler.model_recipe(corpus[4])
+        known = lexicons.technique_lemmas()
+        found = [process for event in structured.events for process in event.processes]
+        if found:
+            matching = sum(1 for process in found if process in known)
+            assert matching / len(found) > 0.7

@@ -1,0 +1,115 @@
+"""Tests for the structured recipe representation (Fig. 1)."""
+
+import pytest
+
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.errors import DataError
+
+
+def _record(name="tomato", **kwargs):
+    return IngredientRecord(phrase=f"2 {name}", name=name, quantity="2", **kwargs)
+
+
+def _event(step=0, processes=("boil",), relations=()):
+    return InstructionEvent(
+        step_index=step,
+        text="Boil the water.",
+        processes=processes,
+        ingredients=("water",),
+        utensils=("pot",),
+        relations=relations,
+    )
+
+
+class TestIngredientRecord:
+    def test_as_row_contains_all_columns(self):
+        row = _record().as_row()
+        assert set(row) == {
+            "Ingredient Phrase", "Name", "State", "Quantity", "Unit",
+            "Temperature", "Dry/Fresh", "Size",
+        }
+
+    def test_attributes_drops_empty_cells(self):
+        record = _record(state="chopped")
+        assert record.attributes == {"Name": "tomato", "Quantity": "2", "State": "chopped"}
+
+    def test_quantity_value_optional(self):
+        assert _record().quantity_value is None
+
+
+class TestRelationTuple:
+    def test_requires_a_process(self):
+        with pytest.raises(DataError):
+            RelationTuple(process="")
+
+    def test_arity_and_entities(self):
+        relation = RelationTuple(process="fry", ingredients=("potato", "oil"), utensils=("pan",))
+        assert relation.arity == 3
+        assert relation.entities == ("potato", "oil", "pan")
+
+    def test_as_pairs_many_to_many(self):
+        relation = RelationTuple(process="fry", ingredients=("potato",), utensils=("pan",))
+        assert relation.as_pairs() == [("fry", "potato"), ("fry", "pan")]
+
+    def test_as_pairs_bare_process(self):
+        assert RelationTuple(process="stir").as_pairs() == [("stir", "")]
+
+
+class TestInstructionEvent:
+    def test_negative_step_rejected(self):
+        with pytest.raises(DataError):
+            InstructionEvent(step_index=-1, text="x")
+
+    def test_relation_count(self):
+        event = _event(
+            relations=(
+                RelationTuple(process="boil", ingredients=("water",), utensils=("pot",)),
+                RelationTuple(process="stir"),
+            )
+        )
+        assert event.relation_count == 3
+
+
+class TestStructuredRecipe:
+    def _recipe(self):
+        return StructuredRecipe(
+            recipe_id="r1",
+            title="Soup",
+            ingredients=(_record("water"), _record("salt"), IngredientRecord(phrase="???")),
+            events=(
+                _event(0, relations=(RelationTuple("boil", ingredients=("water",)),)),
+                _event(1, processes=("season",), relations=(RelationTuple("season"),)),
+            ),
+        )
+
+    def test_ingredient_names_skip_empty(self):
+        assert self._recipe().ingredient_names == ["water", "salt"]
+
+    def test_processes_in_temporal_order(self):
+        assert self._recipe().processes == ["boil", "season"]
+
+    def test_utensils_are_deduplicated(self):
+        assert self._recipe().utensils == ["pot"]
+
+    def test_relations_flattened(self):
+        assert len(self._recipe().relations) == 2
+
+    def test_temporal_sequence_pairs_steps_and_relations(self):
+        sequence = self._recipe().temporal_sequence()
+        assert [step for step, _ in sequence] == [0, 1]
+
+    def test_summary(self):
+        summary = self._recipe().summary()
+        assert summary["ingredients"] == 3
+        assert summary["events"] == 2
+        assert summary["relations"] == 2
+        assert summary["mean_relations_per_event"] == pytest.approx(1.0)
+
+    def test_empty_recipe_summary(self):
+        empty = StructuredRecipe(recipe_id="empty", title="")
+        assert empty.summary()["mean_relations_per_event"] == 0.0

@@ -1,0 +1,99 @@
+"""Tests for the many-to-many relation extractor."""
+
+import pytest
+
+from repro.core.relation_extraction import RelationExtractor
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def extractor(pos_tagger):
+    return RelationExtractor(pos_tagger)
+
+
+class TestPaperExample:
+    def test_bring_water_pot(self, extractor):
+        # The Fig. 5 example: Bring relates to both water and pot.
+        tokens = ["Bring", "the", "water", "to", "a", "boil", "in", "a", "large", "pot", "."]
+        ner = ["PROCESS", "O", "INGREDIENT", "O", "O", "O", "O", "O", "O", "UTENSIL", "O"]
+        relations = extractor.extract(tokens, ner)
+        assert len(relations) == 1
+        relation = relations[0]
+        assert relation.process == "bring"
+        assert relation.ingredients == ("water",)
+        assert relation.utensils == ("pot",)
+
+    def test_fry_with_two_ingredients_and_a_pan(self, extractor):
+        tokens = ["Fry", "the", "potatoes", "with", "olive", "oil", "in", "a", "pan", "."]
+        ner = ["PROCESS", "O", "INGREDIENT", "O", "INGREDIENT", "INGREDIENT", "O", "O", "UTENSIL", "O"]
+        relations = extractor.extract(tokens, ner)
+        assert len(relations) == 1
+        relation = relations[0]
+        assert relation.process == "fry"
+        assert "potato" in relation.ingredients
+        assert "olive oil" in relation.ingredients
+        assert relation.utensils == ("pan",)
+
+    def test_conjoined_ingredients_share_the_relation(self, extractor):
+        tokens = ["Mix", "the", "salt", "and", "pepper", "in", "a", "bowl", "."]
+        ner = ["PROCESS", "O", "INGREDIENT", "O", "INGREDIENT", "O", "O", "UTENSIL", "O"]
+        relation = extractor.extract(tokens, ner)[0]
+        assert set(relation.ingredients) == {"salt", "pepper"}
+        assert relation.utensils == ("bowl",)
+
+    def test_bare_process_still_yields_a_relation(self, extractor):
+        tokens = ["Stir", "well", "."]
+        ner = ["PROCESS", "O", "O"]
+        relations = extractor.extract(tokens, ner)
+        assert len(relations) == 1
+        assert relations[0].process == "stir"
+        assert relations[0].arity == 0
+
+    def test_two_clauses_give_two_relations(self, extractor):
+        tokens = [
+            "Preheat", "the", "oven", ".",
+            "Boil", "the", "water", ".",
+        ]
+        ner = ["PROCESS", "O", "UTENSIL", "O", "PROCESS", "O", "INGREDIENT", "O"]
+        relations = extractor.extract(tokens, ner)
+        assert [relation.process for relation in relations] == ["preheat", "boil"]
+
+    def test_non_process_verbs_are_ignored(self, extractor):
+        tokens = ["Let", "the", "dough", "rest", "."]
+        ner = ["O", "O", "INGREDIENT", "O", "O"]
+        assert extractor.extract(tokens, ner) == []
+
+
+class TestValidation:
+    def test_misaligned_inputs_raise(self, extractor):
+        with pytest.raises(DataError):
+            extractor.extract(["a", "b"], ["O"])
+
+    def test_misaligned_pos_raise(self, extractor):
+        with pytest.raises(DataError):
+            extractor.extract(["a"], ["O"], pos_tags=["NN", "NN"])
+
+    def test_empty_input(self, extractor):
+        assert extractor.extract([], []) == []
+
+    def test_parse_exposes_a_tree(self, extractor):
+        tree = extractor.parse(["Boil", "the", "water"])
+        assert len(tree) == 3
+        assert tree.roots() == [0]
+
+
+class TestCorpusAgreement:
+    def test_gold_tag_relations_recover_most_gold_pairs(self, extractor, sample_steps):
+        """With gold NER tags, extraction recovers the majority of gold pairs."""
+        from repro.experiments.fig5 import relation_scores
+
+        steps = sample_steps[:60]
+        predicted = [
+            extractor.extract(list(step.tokens), list(step.ner_tags), pos_tags=list(step.pos_tags))
+            for step in steps
+        ]
+        gold = [step.relations for step in steps]
+        precision, recall, f1 = relation_scores(predicted, gold)
+        assert recall > 0.7
+        assert precision > 0.7
+        assert f1 > 0.7

@@ -1,0 +1,55 @@
+"""Tests for the recipe entity schema (Table II)."""
+
+import pytest
+
+from repro.core.schema import (
+    ENTITY_TAGS,
+    INGREDIENT_TAG_DESCRIPTIONS,
+    INGREDIENT_TAGS,
+    INSTRUCTION_TAG_DESCRIPTIONS,
+    INSTRUCTION_TAGS,
+    validate_ingredient_tag,
+    validate_instruction_tag,
+)
+from repro.errors import SchemaError
+
+
+class TestTableII:
+    def test_exactly_seven_ingredient_attributes(self):
+        assert len(INGREDIENT_TAGS) == 7
+
+    def test_expected_attribute_names(self):
+        assert set(INGREDIENT_TAGS) == {
+            "NAME", "STATE", "UNIT", "QUANTITY", "SIZE", "TEMP", "DRY/FRESH",
+        }
+
+    def test_every_tag_has_a_description_and_example(self):
+        for tag in INGREDIENT_TAGS:
+            significance, example = INGREDIENT_TAG_DESCRIPTIONS[tag]
+            assert significance and example
+
+    def test_instruction_tags(self):
+        assert set(INSTRUCTION_TAGS) == {"PROCESS", "INGREDIENT", "UTENSIL"}
+        for tag in INSTRUCTION_TAGS:
+            assert tag in INSTRUCTION_TAG_DESCRIPTIONS
+
+    def test_entity_tags_is_the_union(self):
+        assert set(ENTITY_TAGS) == set(INGREDIENT_TAGS) | set(INSTRUCTION_TAGS)
+
+
+class TestValidation:
+    def test_valid_ingredient_tags(self):
+        for tag in (*INGREDIENT_TAGS, "O"):
+            assert validate_ingredient_tag(tag) == tag
+
+    def test_invalid_ingredient_tag(self):
+        with pytest.raises(SchemaError):
+            validate_ingredient_tag("PROCESS")
+
+    def test_valid_instruction_tags(self):
+        for tag in (*INSTRUCTION_TAGS, "O"):
+            assert validate_instruction_tag(tag) == tag
+
+    def test_invalid_instruction_tag(self):
+        with pytest.raises(SchemaError):
+            validate_instruction_tag("NAME")

@@ -1,0 +1,83 @@
+"""Tests for the cluster-based training-set selection stage."""
+
+import pytest
+
+from repro.core.selection import TrainingSetSelector
+from repro.errors import ConfigurationError, DataError
+
+
+@pytest.fixture(scope="module")
+def selector(vectorizer):
+    return TrainingSetSelector(
+        vectorizer, n_clusters=12, train_fraction=0.2, test_fraction=0.08, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def selection(selector, sample_phrases):
+    return selector.select(sample_phrases)
+
+
+class TestConfiguration:
+    def test_invalid_cluster_count(self, vectorizer):
+        with pytest.raises(ConfigurationError):
+            TrainingSetSelector(vectorizer, n_clusters=1)
+
+    def test_empty_phrase_list_raises(self, selector):
+        with pytest.raises(DataError):
+            selector.select([])
+
+
+class TestSelection:
+    def test_train_and_test_are_disjoint(self, selection):
+        train_texts = {phrase.text for phrase in selection.train}
+        test_texts = {phrase.text for phrase in selection.test}
+        assert not train_texts & test_texts
+
+    def test_selected_phrases_are_unique(self, selection):
+        texts = [phrase.text for phrase in selection.train]
+        assert len(texts) == len(set(texts))
+
+    def test_vectors_align_with_unique_phrases(self, selection):
+        assert selection.vectors.shape == (len(selection.unique_phrases), 36)
+        assert len(selection.cluster_labels) == len(selection.unique_phrases)
+
+    def test_cluster_count(self, selection):
+        assert selection.n_clusters == 12
+        assert selection.inertia >= 0.0
+
+    def test_training_set_covers_many_clusters(self, selection):
+        labels_by_text = {
+            phrase.text: int(label)
+            for phrase, label in zip(selection.unique_phrases, selection.cluster_labels)
+        }
+        covered = {labels_by_text[phrase.text] for phrase in selection.train}
+        # Stratified sampling must touch (nearly) every non-empty cluster.
+        assert len(covered) >= selection.n_clusters - 1
+
+    def test_train_larger_than_test(self, selection):
+        assert len(selection.train) > len(selection.test)
+
+    def test_elbow_mode_runs(self, vectorizer, sample_phrases):
+        selector = TrainingSetSelector(
+            vectorizer,
+            n_clusters=None,
+            train_fraction=0.2,
+            test_fraction=0.08,
+            elbow_candidates=(4, 8, 12),
+            seed=0,
+        )
+        selection = selector.select(sample_phrases[:150])
+        assert selection.n_clusters in {4, 8, 12}
+
+
+class TestRandomBaseline:
+    def test_random_selection_sizes(self, selector, sample_phrases):
+        train, test = selector.select_random(sample_phrases, train_size=50, test_size=20)
+        assert len(train) == 50
+        assert len(test) == 20
+        assert not {p.text for p in train} & {p.text for p in test}
+
+    def test_random_selection_too_large_raises(self, selector, sample_phrases):
+        with pytest.raises(DataError):
+            selector.select_random(sample_phrases, train_size=10**6, test_size=1)

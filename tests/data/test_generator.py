@@ -1,0 +1,156 @@
+"""Tests for the recipe corpus generator."""
+
+import pytest
+
+from repro.core.schema import validate_ingredient_tag, validate_instruction_tag
+from repro.data.generator import GeneratorConfig, RecipeCorpusGenerator, render_text
+from repro.data.models import Source
+from repro.errors import ConfigurationError
+from repro.text.tokenizer import tokenize
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return RecipeCorpusGenerator(GeneratorConfig(source=Source.ALLRECIPES, seed=5))
+
+
+@pytest.fixture(scope="module")
+def recipes(generator):
+    return generator.generate_corpus(10)
+
+
+class TestConfiguration:
+    def test_invalid_ingredient_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(min_ingredients=5, max_ingredients=2)
+
+    def test_invalid_step_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(min_steps=5, max_steps=1)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(noise_level=1.5)
+
+    def test_invalid_annotation_noise(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(ingredient_annotation_noise=-0.1)
+
+    def test_invalid_recipe_count(self, generator):
+        with pytest.raises(ConfigurationError):
+            generator.generate_corpus(0)
+
+
+class TestRenderText:
+    def test_no_space_before_comma_or_period(self):
+        assert render_text(["pepper", ",", "ground", "."]) == "pepper, ground."
+
+    def test_no_space_after_open_paren(self):
+        assert render_text(["(", "8", "ounce", ")"]) == "(8 ounce)"
+
+    def test_roundtrips_through_the_tokenizer(self):
+        tokens = ["1", "(", "8", "ounce", ")", "package", "cream", "cheese", ",", "softened"]
+        assert tokenize(render_text(tokens)) == tokens
+
+
+class TestPhrases:
+    def test_phrase_annotations_are_aligned_and_valid(self, generator):
+        for _ in range(50):
+            phrase = generator.generate_phrase()
+            assert len(phrase.tokens) == len(phrase.ner_tags) == len(phrase.pos_tags)
+            for tag in phrase.ner_tags:
+                validate_ingredient_tag(tag)
+
+    def test_phrase_text_tokenises_back_to_gold_tokens(self, generator):
+        for _ in range(50):
+            phrase = generator.generate_phrase()
+            assert tokenize(phrase.text) == list(phrase.tokens)
+
+    def test_successive_phrases_differ(self, generator):
+        texts = {generator.generate_phrase().text for _ in range(20)}
+        assert len(texts) > 5
+
+    def test_canonical_name_is_a_lexicon_ingredient(self, generator):
+        from repro.data import lexicons
+
+        phrase = generator.generate_phrase()
+        assert lexicons.ingredient_by_name(phrase.canonical_name) is not None
+
+
+class TestRecipes:
+    def test_recipe_counts_respect_bounds(self, recipes, generator):
+        config = generator.config
+        for recipe in recipes:
+            assert config.min_ingredients <= len(recipe.ingredients) <= config.max_ingredients
+            assert config.min_steps <= len(recipe.instructions) <= config.max_steps
+
+    def test_recipe_ids_are_unique(self, recipes):
+        ids = [recipe.recipe_id for recipe in recipes]
+        assert len(ids) == len(set(ids))
+
+    def test_ingredient_names_are_unique_within_a_recipe(self, recipes):
+        for recipe in recipes:
+            names = recipe.ingredient_names
+            assert len(names) == len(set(names))
+
+    def test_instruction_annotations_are_valid(self, recipes):
+        for recipe in recipes:
+            for step in recipe.instructions:
+                assert len(step.tokens) == len(step.ner_tags) == len(step.pos_tags)
+                for tag in step.ner_tags:
+                    validate_instruction_tag(tag)
+                assert tokenize(step.text) == list(step.tokens)
+
+    def test_source_is_stamped(self, recipes):
+        assert all(recipe.source is Source.ALLRECIPES for recipe in recipes)
+
+    def test_generation_is_deterministic(self):
+        first = RecipeCorpusGenerator(GeneratorConfig(seed=3)).generate_recipe(7)
+        second = RecipeCorpusGenerator(GeneratorConfig(seed=3)).generate_recipe(7)
+        assert first.to_json() == second.to_json()
+
+    def test_different_indices_give_different_recipes(self):
+        generator = RecipeCorpusGenerator(GeneratorConfig(seed=3))
+        assert generator.generate_recipe(1).to_json() != generator.generate_recipe(2).to_json()
+
+
+class TestSourceProfiles:
+    def test_source_exclusive_vocabulary(self):
+        allrecipes = RecipeCorpusGenerator(GeneratorConfig(source=Source.ALLRECIPES, seed=1))
+        foodcom = RecipeCorpusGenerator(GeneratorConfig(source=Source.FOOD_COM, seed=1))
+        allrecipes_names = {
+            phrase.canonical_name
+            for recipe in allrecipes.generate_corpus(15)
+            for phrase in recipe.ingredients
+        }
+        foodcom_names = {
+            phrase.canonical_name
+            for recipe in foodcom.generate_corpus(15)
+            for phrase in recipe.ingredients
+        }
+        # The two profiles overlap but are not identical.
+        assert allrecipes_names & foodcom_names
+        assert allrecipes_names != foodcom_names
+
+    def test_foodcom_only_templates_do_not_appear_in_allrecipes(self):
+        allrecipes = RecipeCorpusGenerator(GeneratorConfig(source=Source.ALLRECIPES, seed=2))
+        templates_used = {
+            phrase.template_id
+            for recipe in allrecipes.generate_corpus(20)
+            for phrase in recipe.ingredients
+        }
+        assert "T24" not in templates_used
+        assert "T25" not in templates_used
+
+    def test_noise_free_generator_has_clean_annotations(self):
+        generator = RecipeCorpusGenerator(
+            GeneratorConfig(
+                seed=4, noise_level=0.0,
+                ingredient_annotation_noise=0.0, instruction_annotation_noise=0.0,
+            )
+        )
+        recipe = generator.generate_recipe(0)
+        # Without noise the NAME span of every phrase matches its canonical
+        # entry tokens (modulo plurality), so at least one NAME tag exists.
+        for phrase in recipe.ingredients:
+            assert "NAME" in phrase.ner_tags

@@ -1,0 +1,83 @@
+"""Tests for the instruction template grammar."""
+
+import pytest
+
+from repro.core.schema import validate_instruction_tag
+from repro.data import lexicons
+from repro.data.instruction_templates import (
+    INSTRUCTION_TEMPLATES,
+    InstructionParts,
+    instruction_template_by_id,
+)
+from repro.errors import DataError
+from repro.pos.tagset import validate_tag
+
+
+def _parts_for(template) -> InstructionParts:
+    techniques = [e for e in lexicons.TECHNIQUES][: max(template.n_processes, 1)]
+    ingredients = [e for e in lexicons.INGREDIENTS][: max(template.n_ingredients, 1)]
+    utensils = [e for e in lexicons.UTENSILS][: max(template.n_utensils, 1)]
+    return InstructionParts(
+        processes=techniques[: template.n_processes],
+        ingredients=ingredients[: template.n_ingredients],
+        utensils=utensils[: template.n_utensils],
+        size="large",
+        number="20",
+    )
+
+
+class TestInventory:
+    def test_ids_are_unique(self):
+        ids = [t.template_id for t in INSTRUCTION_TEMPLATES]
+        assert len(ids) == len(set(ids))
+
+    def test_lookup(self):
+        assert instruction_template_by_id("I01").template_id == "I01"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(DataError):
+            instruction_template_by_id("I99")
+
+    def test_templates_without_processes_exist(self):
+        # Non-technique clauses ("Let the dough rest...") are needed so the
+        # PROCESS tag has genuine negatives.
+        assert any(t.n_processes == 0 for t in INSTRUCTION_TEMPLATES)
+
+
+class TestRealisation:
+    @pytest.mark.parametrize("template", INSTRUCTION_TEMPLATES, ids=lambda t: t.template_id)
+    def test_every_template_realises_with_aligned_annotations(self, template):
+        tokens, ner, pos, relations = template.realize(_parts_for(template))
+        assert len(tokens) == len(ner) == len(pos)
+        for tag in ner:
+            validate_instruction_tag(tag)
+        for tag in pos:
+            validate_tag(tag)
+        assert tokens[-1] == "."
+
+    @pytest.mark.parametrize("template", INSTRUCTION_TEMPLATES, ids=lambda t: t.template_id)
+    def test_relation_count_matches_process_slots(self, template):
+        _, ner, _, relations = template.realize(_parts_for(template))
+        # Every declared process slot yields exactly one gold relation.
+        assert len(relations) == template.n_processes
+
+    @pytest.mark.parametrize("template", INSTRUCTION_TEMPLATES, ids=lambda t: t.template_id)
+    def test_relation_entities_appear_in_the_tokens(self, template):
+        tokens, _, _, relations = template.realize(_parts_for(template))
+        text = " ".join(token.lower() for token in tokens)
+        for relation in relations:
+            for entity in relation.ingredients + relation.utensils:
+                head = entity.split()[-1]
+                assert head[:4] in text  # plural/singular differences allowed
+
+    def test_i01_preheat_shape(self):
+        template = instruction_template_by_id("I01")
+        tokens, ner, _, relations = template.realize(_parts_for(template))
+        assert ner[0] == "PROCESS"
+        assert "UTENSIL" in ner
+        assert relations[0].utensils
+
+    def test_missing_parts_raise(self):
+        template = instruction_template_by_id("I03")  # needs 2 ingredients
+        with pytest.raises(DataError):
+            template.realize(InstructionParts())

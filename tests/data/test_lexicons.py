@@ -1,0 +1,83 @@
+"""Tests for the lexicons backing the corpus simulator."""
+
+from repro.data import lexicons
+from repro.pos.tagset import validate_tag
+
+
+class TestEntryConsistency:
+    def test_all_entries_have_aligned_pos(self):
+        for collection in (lexicons.INGREDIENTS, lexicons.UNITS, lexicons.TECHNIQUES,
+                           lexicons.UTENSILS, lexicons.UNIT_ABBREVIATIONS):
+            for entry in collection:
+                assert len(entry.tokens) == len(entry.pos)
+                if entry.plural is not None and entry.plural_pos is not None:
+                    assert len(entry.plural) == len(entry.plural_pos)
+
+    def test_all_pos_tags_are_valid(self):
+        for collection in (lexicons.INGREDIENTS, lexicons.UNITS, lexicons.UTENSILS):
+            for entry in collection:
+                for tag in entry.pos:
+                    validate_tag(tag)
+
+    def test_names_are_unique_within_each_lexicon(self):
+        for collection in (lexicons.UNITS, lexicons.TECHNIQUES, lexicons.UTENSILS):
+            names = [entry.name for entry in collection]
+            assert len(names) == len(set(names))
+
+    def test_sources_are_known(self):
+        for entry in lexicons.INGREDIENTS:
+            assert set(entry.sources) <= {"allrecipes", "food.com"}
+            assert entry.sources  # never empty
+
+
+class TestCoverage:
+    def test_lexicon_is_reasonably_sized(self):
+        # The reproduction needs enough vocabulary to make NER non-trivial.
+        assert len(lexicons.INGREDIENTS) >= 100
+        assert len(lexicons.TECHNIQUES) >= 40
+        assert len(lexicons.UTENSILS) >= 25
+        assert len(lexicons.UNITS) >= 20
+
+    def test_paper_examples_are_covered(self):
+        names = {entry.name for entry in lexicons.INGREDIENTS}
+        for required in ("puff pastry", "blue cheese", "tomato", "pepper", "thyme",
+                         "extra virgin olive oil", "whole milk"):
+            assert required in names
+
+    def test_both_source_profiles_have_exclusive_ingredients(self):
+        allrecipes_only = [e for e in lexicons.INGREDIENTS if e.sources == ("allrecipes",)]
+        foodcom_only = [e for e in lexicons.INGREDIENTS if e.sources == ("food.com",)]
+        assert allrecipes_only and foodcom_only
+
+    def test_alias_pairs_exist(self):
+        # The okra/ladyfinger alias from the paper's conclusion must be present.
+        by_name = {e.name: e for e in lexicons.INGREDIENTS}
+        assert "ladyfinger" in by_name["okra"].aliases
+        assert "okra" in by_name["ladyfinger"].aliases
+
+    def test_clove_homograph_exists(self):
+        # "clove" appears both as a unit and as a spice name (identification
+        # challenge #2 of the paper).
+        unit_names = {e.name for e in lexicons.UNITS}
+        ingredient_names = {e.name for e in lexicons.INGREDIENTS}
+        assert "clove" in unit_names
+        assert "clove" in ingredient_names
+
+
+class TestLookups:
+    def test_ingredient_by_name(self):
+        assert lexicons.ingredient_by_name("tomato") is not None
+        assert lexicons.ingredient_by_name("unobtainium") is None
+
+    def test_technique_lemmas(self):
+        lemmas = lexicons.technique_lemmas()
+        assert {"boil", "preheat", "fry", "bake"} <= lemmas
+
+    def test_utensil_names(self):
+        names = lexicons.utensil_names()
+        assert {"pan", "pot", "oven", "whisk"} <= names
+
+    def test_abbreviations_resolve_to_full_units(self):
+        full_units = {e.name for e in lexicons.UNITS}
+        for abbreviation in lexicons.UNIT_ABBREVIATIONS:
+            assert abbreviation.name in full_units

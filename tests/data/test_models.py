@@ -1,0 +1,132 @@
+"""Tests for the corpus data model."""
+
+import pytest
+
+from repro.data.models import (
+    AnnotatedInstruction,
+    AnnotatedPhrase,
+    GoldRelation,
+    Recipe,
+    Source,
+)
+from repro.errors import DataError
+
+
+def _phrase():
+    return AnnotatedPhrase(
+        text="2 cups sugar",
+        tokens=("2", "cups", "sugar"),
+        ner_tags=("QUANTITY", "UNIT", "NAME"),
+        pos_tags=("CD", "NNS", "NN"),
+        canonical_name="sugar",
+        template_id="T01",
+    )
+
+
+def _instruction():
+    return AnnotatedInstruction(
+        text="Boil the water.",
+        tokens=("Boil", "the", "water", "."),
+        ner_tags=("PROCESS", "O", "INGREDIENT", "O"),
+        pos_tags=("VB", "DT", "NN", "."),
+        relations=(GoldRelation(process="boil", ingredients=("water",)),),
+    )
+
+
+def _recipe():
+    return Recipe(
+        recipe_id="r-1",
+        title="Test Soup",
+        cuisine="french",
+        source=Source.ALLRECIPES,
+        ingredients=(_phrase(),),
+        instructions=(_instruction(),),
+        servings=4,
+    )
+
+
+class TestSource:
+    def test_parse_string(self):
+        assert Source.parse("allrecipes") is Source.ALLRECIPES
+        assert Source.parse("food.com") is Source.FOOD_COM
+
+    def test_parse_enum_passthrough(self):
+        assert Source.parse(Source.FOOD_COM) is Source.FOOD_COM
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(DataError):
+            Source.parse("epicurious")
+
+
+class TestAnnotatedPhrase:
+    def test_misaligned_annotations_raise(self):
+        with pytest.raises(DataError):
+            AnnotatedPhrase(
+                text="x",
+                tokens=("a", "b"),
+                ner_tags=("O",),
+                pos_tags=("NN", "NN"),
+                canonical_name="a",
+                template_id="T01",
+            )
+
+    def test_roundtrip(self):
+        phrase = _phrase()
+        assert AnnotatedPhrase.from_dict(phrase.to_dict()) == phrase
+
+
+class TestGoldRelation:
+    def test_arity(self):
+        relation = GoldRelation(process="fry", ingredients=("potato", "oil"), utensils=("pan",))
+        assert relation.arity == 3
+
+    def test_roundtrip(self):
+        relation = GoldRelation(process="fry", ingredients=("potato",))
+        assert GoldRelation.from_dict(relation.to_dict()) == relation
+
+
+class TestAnnotatedInstruction:
+    def test_misaligned_raise(self):
+        with pytest.raises(DataError):
+            AnnotatedInstruction(
+                text="x", tokens=("a",), ner_tags=("O", "O"), pos_tags=("NN",)
+            )
+
+    def test_roundtrip(self):
+        instruction = _instruction()
+        assert AnnotatedInstruction.from_dict(instruction.to_dict()) == instruction
+
+
+class TestRecipe:
+    def test_requires_ingredients(self):
+        with pytest.raises(DataError):
+            Recipe(
+                recipe_id="r", title="t", cuisine="c", source=Source.ALLRECIPES,
+                ingredients=(), instructions=(_instruction(),),
+            )
+
+    def test_requires_instructions(self):
+        with pytest.raises(DataError):
+            Recipe(
+                recipe_id="r", title="t", cuisine="c", source=Source.ALLRECIPES,
+                ingredients=(_phrase(),), instructions=(),
+            )
+
+    def test_requires_positive_servings(self):
+        with pytest.raises(DataError):
+            Recipe(
+                recipe_id="r", title="t", cuisine="c", source=Source.ALLRECIPES,
+                ingredients=(_phrase(),), instructions=(_instruction(),), servings=0,
+            )
+
+    def test_ingredient_names(self):
+        assert _recipe().ingredient_names == ["sugar"]
+
+    def test_json_roundtrip(self):
+        recipe = _recipe()
+        assert Recipe.from_json(recipe.to_json()) == recipe
+
+    def test_dict_roundtrip_preserves_source(self):
+        recipe = _recipe()
+        rebuilt = Recipe.from_dict(recipe.to_dict())
+        assert rebuilt.source is Source.ALLRECIPES

@@ -1,0 +1,106 @@
+"""Tests for the ingredient phrase template grammar."""
+
+import pytest
+
+from repro.core.schema import validate_ingredient_tag
+from repro.data import lexicons
+from repro.data.phrase_templates import (
+    PHRASE_TEMPLATES,
+    PhraseParts,
+    template_by_id,
+)
+from repro.errors import DataError
+from repro.pos.tagset import validate_tag
+
+
+def _full_parts() -> PhraseParts:
+    """Parts with every field filled, usable by any template."""
+    units = {entry.name: entry for entry in lexicons.UNITS}
+    return PhraseParts(
+        ingredient=lexicons.ingredient_by_name("tomato"),
+        plural=True,
+        quantity="2-3",
+        quantity2="8",
+        unit=units["cup"],
+        unit2=units["ounce"],
+        alt_ingredient=lexicons.ingredient_by_name("onion"),
+        state="chopped",
+        state2="diced",
+        adverb="finely",
+        size="medium",
+        temperature="frozen",
+        dry_fresh="fresh",
+    )
+
+
+class TestTemplateInventory:
+    def test_at_least_23_structure_families(self):
+        # The paper identifies 23 clusters of lexical structures.
+        assert len(PHRASE_TEMPLATES) >= 23
+
+    def test_ids_are_unique(self):
+        ids = [template.template_id for template in PHRASE_TEMPLATES]
+        assert len(ids) == len(set(ids))
+
+    def test_lookup_by_id(self):
+        assert template_by_id("T01").template_id == "T01"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(DataError):
+            template_by_id("T99")
+
+    def test_every_template_has_a_positive_weight_somewhere(self):
+        for template in PHRASE_TEMPLATES:
+            assert max(template.weights.values()) > 0
+
+    def test_source_exclusive_templates_exist(self):
+        allrecipes_only = [t for t in PHRASE_TEMPLATES if t.weights.get("food.com", 0) == 0]
+        foodcom_only = [t for t in PHRASE_TEMPLATES if t.weights.get("allrecipes", 0) == 0]
+        assert allrecipes_only and foodcom_only
+
+
+class TestRealisation:
+    @pytest.mark.parametrize("template", PHRASE_TEMPLATES, ids=lambda t: t.template_id)
+    def test_every_template_realises_with_aligned_annotations(self, template):
+        tokens, ner, pos = template.realize(_full_parts())
+        assert len(tokens) == len(ner) == len(pos)
+        assert tokens
+        for tag in ner:
+            validate_ingredient_tag(tag)
+        for tag in pos:
+            validate_tag(tag)
+
+    @pytest.mark.parametrize("template", PHRASE_TEMPLATES, ids=lambda t: t.template_id)
+    def test_every_template_contains_a_name(self, template):
+        _, ner, _ = template.realize(_full_parts())
+        assert "NAME" in ner
+
+    def test_t01_shape(self):
+        tokens, ner, _ = template_by_id("T01").realize(_full_parts())
+        assert ner[0] == "QUANTITY"
+        assert ner[1] == "UNIT"
+        assert ner[-1] == "NAME"
+
+    def test_t09_paper_example_shape(self):
+        # "1 sheet frozen puff pastry ( thawed )"
+        parts = _full_parts()
+        tokens, ner, _ = template_by_id("T09").realize(parts)
+        assert "TEMP" in ner
+        assert "STATE" in ner
+        assert "(" in tokens and ")" in tokens
+
+    def test_missing_required_part_raises(self):
+        parts = PhraseParts(ingredient=lexicons.ingredient_by_name("salt"))
+        with pytest.raises(DataError):
+            template_by_id("T01").realize(parts)  # needs quantity and unit
+
+    def test_plural_forms_are_used_when_requested(self):
+        parts = _full_parts()
+        tokens, _, _ = template_by_id("T04").realize(parts)
+        assert "tomatoes" in tokens
+
+    def test_singular_when_not_plural(self):
+        parts = _full_parts()
+        parts.plural = False
+        tokens, _, _ = template_by_id("T04").realize(parts)
+        assert "tomato" in tokens

@@ -1,0 +1,95 @@
+"""Tests for the RecipeDB corpus container."""
+
+import pytest
+
+from repro.data.models import Source
+from repro.data.recipedb import RecipeDB
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return RecipeDB.generate(6, 10, seed=2)
+
+
+class TestConstruction:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(DataError):
+            RecipeDB([])
+
+    def test_generate_produces_both_sources(self, db):
+        assert db.sources() == {Source.ALLRECIPES, Source.FOOD_COM}
+
+    def test_generate_counts(self, db):
+        assert len(db) == 16
+
+    def test_generate_single_source(self):
+        db = RecipeDB.generate(4, 0, seed=1)
+        assert db.sources() == {Source.ALLRECIPES}
+
+
+class TestQueries:
+    def test_iteration_and_indexing(self, db):
+        assert db[0].recipe_id == db.recipes[0].recipe_id
+        assert len(list(db)) == len(db)
+
+    def test_by_source_filters(self, db):
+        allrecipes = db.by_source("allrecipes")
+        assert all(recipe.source is Source.ALLRECIPES for recipe in allrecipes)
+        assert len(allrecipes) == 6
+
+    def test_by_source_missing_raises(self):
+        db = RecipeDB.generate(3, 0, seed=1)
+        with pytest.raises(DataError):
+            db.by_source(Source.FOOD_COM)
+
+    def test_ingredient_phrases_cover_all_recipes(self, db):
+        phrases = db.ingredient_phrases()
+        assert len(phrases) == sum(len(recipe.ingredients) for recipe in db)
+
+    def test_unique_phrases_have_no_duplicates(self, db):
+        texts = [phrase.text for phrase in db.unique_phrases()]
+        assert len(texts) == len(set(texts))
+        assert texts == db.unique_phrase_texts()
+
+    def test_unique_ingredient_names(self, db):
+        names = db.unique_ingredient_names()
+        assert len(names) == len(set(names))
+        assert names
+
+    def test_instruction_steps(self, db):
+        steps = db.instruction_steps()
+        assert len(steps) == sum(len(recipe.instructions) for recipe in db)
+
+    def test_cuisine_counts_sum_to_corpus_size(self, db):
+        assert sum(db.cuisine_counts().values()) == len(db)
+
+    def test_statistics_keys(self, db):
+        stats = db.statistics()
+        for key in (
+            "recipes",
+            "ingredient_phrases",
+            "unique_ingredient_phrases",
+            "unique_ingredient_names",
+            "instruction_steps",
+            "mean_ingredients_per_recipe",
+            "mean_steps_per_recipe",
+        ):
+            assert key in stats
+        assert stats["recipes"] == len(db)
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, db, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        db.save_jsonl(path)
+        reloaded = RecipeDB.load_jsonl(path)
+        assert len(reloaded) == len(db)
+        assert reloaded[0].to_dict() == db[0].to_dict()
+
+    def test_jsonl_is_one_line_per_recipe(self, db, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        db.save_jsonl(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == len(db)

@@ -1,0 +1,67 @@
+"""Tests for train/test splitting and k-fold indices."""
+
+import pytest
+
+from repro.data.splits import k_fold_indices, train_test_split
+from repro.errors import ConfigurationError, DataError
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        items = list(range(100))
+        train, test = train_test_split(items, test_fraction=0.25, seed=1)
+        assert sorted(train + test) == items
+        assert not set(train) & set(test)
+
+    def test_test_fraction_is_respected(self):
+        items = list(range(200))
+        _, test = train_test_split(items, test_fraction=0.25, seed=1)
+        assert len(test) == 50
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split([1, 2, 3], test_fraction=0.0)
+
+    def test_too_few_items(self):
+        with pytest.raises(DataError):
+            train_test_split([1], test_fraction=0.5)
+
+    def test_deterministic(self):
+        items = list(range(50))
+        assert train_test_split(items, seed=3) == train_test_split(items, seed=3)
+
+    def test_both_sides_nonempty_even_with_extreme_fraction(self):
+        train, test = train_test_split(list(range(4)), test_fraction=0.9, seed=0)
+        assert train and test
+
+
+class TestKFold:
+    def test_folds_partition_the_items(self):
+        splits = k_fold_indices(53, 5, seed=2)
+        all_test = sorted(index for _, test in splits for index in test)
+        assert all_test == list(range(53))
+
+    def test_train_and_test_are_disjoint_in_each_fold(self):
+        for train, test in k_fold_indices(40, 4, seed=1):
+            assert not set(train) & set(test)
+            assert sorted(train + test) == list(range(40))
+
+    def test_fold_sizes_differ_by_at_most_one(self):
+        sizes = [len(test) for _, test in k_fold_indices(23, 5, seed=0)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_five_folds_like_the_paper(self):
+        splits = k_fold_indices(100, 5, seed=0)
+        assert len(splits) == 5
+        assert all(len(test) == 20 for _, test in splits)
+
+    def test_too_few_items_raise(self):
+        with pytest.raises(DataError):
+            k_fold_indices(3, 5)
+
+    def test_less_than_two_folds_raise(self):
+        with pytest.raises(ConfigurationError):
+            k_fold_indices(10, 1)
+
+    def test_deterministic(self):
+        assert k_fold_indices(30, 3, seed=9) == k_fold_indices(30, 3, seed=9)

@@ -1,0 +1,73 @@
+"""Tests for the simulated USDA nutrient table."""
+
+import pytest
+
+from repro.data.usda import (
+    DEFAULT_PIECE_GRAMS,
+    NutrientProfile,
+    grams_for,
+    nutrient_profile,
+)
+from repro.errors import DataError
+
+
+class TestNutrientProfile:
+    def test_scaling(self):
+        profile = NutrientProfile(100.0, 10.0, 5.0, 20.0)
+        half = profile.scaled(50.0)
+        assert half.energy_kcal == pytest.approx(50.0)
+        assert half.protein_g == pytest.approx(5.0)
+
+    def test_addition(self):
+        total = NutrientProfile(100, 1, 2, 3) + NutrientProfile(50, 1, 1, 1)
+        assert total.energy_kcal == 150
+        assert total.carbohydrate_g == 4
+
+
+class TestLookups:
+    def test_specific_ingredient(self):
+        assert nutrient_profile("olive oil").energy_kcal == pytest.approx(884)
+
+    def test_lookup_is_case_insensitive(self):
+        assert nutrient_profile("Olive Oil").fat_g == pytest.approx(100.0)
+
+    def test_category_fallback(self):
+        # "zucchini" has no specific entry; it falls back to the vegetable default.
+        profile = nutrient_profile("zucchini")
+        assert 0 < profile.energy_kcal < 100
+
+    def test_unknown_ingredient_gets_misc_default(self):
+        profile = nutrient_profile("unobtainium paste")
+        assert profile.energy_kcal > 0
+
+    def test_empty_name_raises(self):
+        with pytest.raises(DataError):
+            nutrient_profile("")
+
+    def test_relative_plausibility(self):
+        # Oils are far denser than vegetables; sugar is mostly carbohydrate.
+        assert nutrient_profile("olive oil").energy_kcal > nutrient_profile("tomato").energy_kcal
+        assert nutrient_profile("sugar").carbohydrate_g > 90
+
+
+class TestGramsConversion:
+    def test_known_units(self):
+        assert grams_for(2, "cup") == pytest.approx(400.0)
+        assert grams_for(1, "pound") == pytest.approx(453.6)
+
+    def test_plural_unit_names(self):
+        assert grams_for(2, "cups") == grams_for(2, "cup")
+
+    def test_missing_unit_uses_piece_weight(self):
+        assert grams_for(2, None) == pytest.approx(2 * DEFAULT_PIECE_GRAMS)
+        assert grams_for(1, "") == pytest.approx(DEFAULT_PIECE_GRAMS)
+
+    def test_unknown_unit_uses_piece_weight(self):
+        assert grams_for(1, "smidgen") == pytest.approx(DEFAULT_PIECE_GRAMS)
+
+    def test_negative_quantity_raises(self):
+        with pytest.raises(DataError):
+            grams_for(-1, "cup")
+
+    def test_zero_quantity(self):
+        assert grams_for(0, "cup") == 0.0

@@ -1,0 +1,65 @@
+"""Tests for k-fold cross-validation of NER models."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.eval.crossval import cross_validate_ner
+from repro.ner.features import IngredientFeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def annotated(clean_corpus):
+    phrases = clean_corpus.unique_phrases()[:80]
+    return (
+        [list(phrase.tokens) for phrase in phrases],
+        [list(phrase.ner_tags) for phrase in phrases],
+    )
+
+
+class TestCrossValidation:
+    def test_five_folds_like_the_paper(self, annotated):
+        tokens, tags = annotated
+        result = cross_validate_ner(
+            tokens,
+            tags,
+            feature_extractor=IngredientFeatureExtractor(),
+            model_family="perceptron",
+            n_folds=5,
+            seed=0,
+        )
+        assert result.n_folds == 5
+        assert 0.0 <= result.mean_f1 <= 1.0
+        assert result.std_f1 >= 0.0
+        assert 0.0 <= result.mean_precision <= 1.0
+        assert 0.0 <= result.mean_recall <= 1.0
+
+    def test_clean_data_scores_high(self, annotated):
+        tokens, tags = annotated
+        result = cross_validate_ner(
+            tokens,
+            tags,
+            feature_extractor=IngredientFeatureExtractor(),
+            model_family="perceptron",
+            n_folds=4,
+            seed=1,
+        )
+        assert result.mean_f1 > 0.8
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(DataError):
+            cross_validate_ner(
+                [["a"]], [["NAME"], ["NAME"]],
+                feature_extractor=IngredientFeatureExtractor(),
+            )
+
+    def test_deterministic_under_seed(self, annotated):
+        tokens, tags = annotated
+        kwargs = dict(
+            feature_extractor=IngredientFeatureExtractor(),
+            model_family="perceptron",
+            n_folds=3,
+            seed=5,
+        )
+        first = cross_validate_ner(tokens, tags, **kwargs)
+        second = cross_validate_ner(tokens, tags, **kwargs)
+        assert first.mean_f1 == pytest.approx(second.mean_f1)

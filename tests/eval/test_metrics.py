@@ -1,0 +1,97 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.eval.metrics import (
+    confusion_matrix,
+    entity_f1,
+    evaluate_sequences,
+    token_accuracy,
+)
+
+
+class TestEntityLevelScores:
+    def test_perfect_prediction(self):
+        gold = [["QUANTITY", "UNIT", "NAME"], ["O", "NAME"]]
+        report = evaluate_sequences(gold, gold)
+        assert report.precision == report.recall == report.f1 == 1.0
+        assert report.false_positives == report.false_negatives == 0
+
+    def test_everything_outside_prediction(self):
+        gold = [["NAME", "NAME", "O"]]
+        predicted = [["O", "O", "O"]]
+        report = evaluate_sequences(predicted, gold)
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_boundary_error_counts_as_both_fp_and_fn(self):
+        gold = [["NAME", "NAME", "O"]]
+        predicted = [["NAME", "O", "O"]]
+        report = evaluate_sequences(predicted, gold)
+        assert report.true_positives == 0
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+
+    def test_label_error(self):
+        gold = [["STATE"]]
+        predicted = [["TEMP"]]
+        report = evaluate_sequences(predicted, gold)
+        assert report.f1 == 0.0
+        assert report.score_for("STATE").recall == 0.0
+        assert report.score_for("TEMP").precision == 0.0
+
+    def test_partial_match_scores(self):
+        gold = [["NAME", "O", "UNIT"], ["QUANTITY", "O"]]
+        predicted = [["NAME", "O", "O"], ["QUANTITY", "O"]]
+        report = evaluate_sequences(predicted, gold)
+        assert report.precision == pytest.approx(1.0)
+        assert report.recall == pytest.approx(2 / 3)
+        assert report.f1 == pytest.approx(0.8)
+
+    def test_restricting_to_labels(self):
+        gold = [["PROCESS", "O", "UTENSIL", "INGREDIENT"]]
+        predicted = [["PROCESS", "O", "O", "O"]]
+        report = evaluate_sequences(predicted, gold, labels=("PROCESS",))
+        assert report.f1 == 1.0
+
+    def test_per_label_support(self):
+        gold = [["NAME", "O", "NAME"], ["NAME", "O"]]
+        predicted = gold
+        report = evaluate_sequences(predicted, gold)
+        assert report.score_for("NAME").support == 3
+
+    def test_unknown_label_scores_zero(self):
+        report = evaluate_sequences([["NAME"]], [["NAME"]])
+        assert report.score_for("QUANTITY").f1 == 0.0
+
+    def test_misaligned_sequences_raise(self):
+        with pytest.raises(DataError):
+            evaluate_sequences([["O"]], [["O", "O"]])
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(DataError):
+            evaluate_sequences([], [])
+
+    def test_entity_f1_shorthand(self):
+        gold = [["NAME", "O"]]
+        assert entity_f1(gold, gold) == 1.0
+
+
+class TestTokenLevel:
+    def test_token_accuracy(self):
+        gold = [["NAME", "O", "UNIT"]]
+        predicted = [["NAME", "O", "NAME"]]
+        assert token_accuracy(predicted, gold) == pytest.approx(2 / 3)
+
+    def test_token_accuracy_empty_raises(self):
+        with pytest.raises(DataError):
+            token_accuracy([[]], [[]])
+
+    def test_confusion_matrix(self):
+        gold = [["NAME", "UNIT", "O"]]
+        predicted = [["NAME", "NAME", "O"]]
+        matrix = confusion_matrix(predicted, gold)
+        assert matrix["NAME"]["NAME"] == 1
+        assert matrix["UNIT"]["NAME"] == 1
+        assert matrix["O"]["O"] == 1

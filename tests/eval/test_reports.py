@@ -1,0 +1,51 @@
+"""Tests for the plain-text report formatting."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.eval.reports import format_matrix, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        table = format_table(["name", "f1"], [["model-a", 0.95], ["model-b", 0.9]])
+        assert "name" in table
+        assert "model-a" in table
+        assert "0.9500" in table
+
+    def test_title_is_prepended(self):
+        table = format_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(DataError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_headers_raises(self):
+        with pytest.raises(DataError):
+            format_table([], [])
+
+    def test_custom_float_format(self):
+        table = format_table(["x"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in table
+
+    def test_empty_rows_render_headers_only(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+    def test_columns_are_aligned(self):
+        table = format_table(["a", "b"], [["xxx", 1], ["y", 22]])
+        lines = table.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+
+class TestFormatMatrix:
+    def test_matrix_rendering(self):
+        values = {"r1": {"c1": 0.5, "c2": 0.25}, "r2": {"c1": 1.0, "c2": 0.0}}
+        rendered = format_matrix(["r1", "r2"], ["c1", "c2"], values, corner="test")
+        assert "r1" in rendered
+        assert "0.2500" in rendered
+
+    def test_missing_cells_render_as_nan(self):
+        rendered = format_matrix(["r1"], ["c1"], {})
+        assert "nan" in rendered

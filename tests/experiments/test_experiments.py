@@ -1,0 +1,295 @@
+"""Shape tests for the experiment modules (tables and figures of the paper).
+
+These run every experiment at the ``tiny`` scale on a shared corpus and check
+the *qualitative* claims of the paper rather than absolute values: ordering
+of cross-corpus F1 cells, presence of the expected attributes in Table I,
+instruction NER scores in a plausible band, many-to-many relation statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, conclusions, crossval, fig2, fig3, fig4, fig5
+from repro.experiments import table1, table3, table4, table5
+from repro.experiments.common import build_corpora
+
+
+@pytest.fixture(scope="module")
+def shared_corpora():
+    return build_corpora(scale="tiny", seed=0)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run(scale="tiny", seed=0)
+
+    def test_seven_rows(self, result):
+        assert len(result.records) == len(table1.PAPER_PHRASES) == 7
+
+    def test_attribute_agreement_is_high(self, result):
+        assert result.attribute_agreement > 0.7
+
+    def test_puff_pastry_row(self, result):
+        row = result.records[0]
+        assert "pastry" in row.name
+        assert row.quantity == "1"
+        assert row.unit == "sheet"
+
+    def test_render_contains_paper_columns(self, result):
+        rendered = table1.render(result)
+        for column in ("Name", "State", "Quantity", "Unit", "Temperature"):
+            assert column in rendered
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, shared_corpora):
+        return table3.run(corpora=shared_corpora, seed=0)
+
+    def test_both_is_the_sum_of_the_parts(self, result):
+        allrecipes = result.sizes["AllRecipes"]
+        foodcom = result.sizes["FOOD.com"]
+        both = result.sizes["BOTH"]
+        assert both[0] == allrecipes[0] + foodcom[0]
+        assert both[1] == allrecipes[1] + foodcom[1]
+
+    def test_train_is_larger_than_test(self, result):
+        for train, test in result.sizes.values():
+            assert train > test > 0
+
+    def test_render_mentions_paper_sizes(self, result):
+        rendered = table3.render(result)
+        assert "6612" in rendered and "2188" in rendered
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self, shared_corpora):
+        return table4.run(corpora=shared_corpora, seed=0)
+
+    def test_matrix_is_complete(self, result):
+        for test_name in ("AllRecipes", "FOOD.com", "BOTH"):
+            for train_name in ("AllRecipes", "FOOD.com", "BOTH"):
+                assert 0.0 <= result.matrix[test_name][train_name] <= 1.0
+
+    def test_in_domain_beats_cross_domain_for_allrecipes(self, result):
+        row = result.matrix["AllRecipes"]
+        assert row["AllRecipes"] > row["FOOD.com"] - 0.02
+
+    def test_foodcom_model_is_best_or_close_on_foodcom(self, result):
+        row = result.matrix["FOOD.com"]
+        assert row["FOOD.com"] >= row["AllRecipes"] - 0.02
+
+    def test_combined_model_is_competitive_everywhere(self, result):
+        for test_name in ("AllRecipes", "FOOD.com", "BOTH"):
+            row = result.matrix[test_name]
+            best_single = max(row["AllRecipes"], row["FOOD.com"])
+            assert row["BOTH"] >= best_single - 0.06
+
+    def test_scores_are_in_the_paper_neighbourhood(self, result):
+        values = [value for row in result.matrix.values() for value in row.values()]
+        assert min(values) > 0.7
+        assert max(values) <= 1.0
+
+    def test_render_shows_both_matrices(self, result):
+        rendered = table4.render(result)
+        assert "Table IV (ours)" in rendered
+        assert "Table IV (paper)" in rendered
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self, shared_corpora):
+        return table5.run(corpora=shared_corpora, seed=0)
+
+    def test_scores_for_both_entity_types(self, result):
+        assert set(result.scores) == {"PROCESS", "UTENSIL"}
+
+    def test_scores_in_paper_band(self, result):
+        for precision, recall, f1 in result.scores.values():
+            assert 0.75 <= f1 <= 1.0
+            assert 0.7 <= precision <= 1.0
+            assert 0.7 <= recall <= 1.0
+
+    def test_render(self, result):
+        rendered = table5.render(result)
+        assert "Processes" in rendered and "Utensils" in rendered
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self, shared_corpora):
+        return fig2.run(corpora=shared_corpora, seed=0)
+
+    def test_23_clusters_by_default(self, result):
+        assert result.n_clusters == 23
+
+    def test_inertia_curve_is_decreasing(self, result):
+        values = [result.inertia_by_k[k] for k in sorted(result.inertia_by_k)]
+        assert all(a >= b - 1e-6 for a, b in zip(values, values[1:]))
+
+    def test_labels_align_with_coordinates(self, result):
+        assert len(result.labels_cluster_then_project) == result.coordinates_2d.shape[0]
+        assert len(result.labels_project_then_cluster) == result.coordinates_2d.shape[0]
+
+    def test_clusters_capture_template_structure(self, result):
+        # Clusters should align with the generator's template families far
+        # better than chance (1/23 ~ 0.04).
+        assert result.purity_high_dim > 0.4
+
+    def test_representatives_capped_at_50(self, result):
+        assert all(len(members) <= 50 for members in result.representatives.values())
+
+    def test_explained_variance_is_a_fraction(self, result):
+        total = sum(result.explained_variance_ratio)
+        assert 0.0 < total <= 1.0
+
+    def test_cluster_purity_validates_input(self):
+        with pytest.raises(ValueError):
+            fig2.cluster_purity(np.array([0, 1]), ["a"])
+
+    def test_render(self, result):
+        assert "elbow" in fig2.render(result)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self, shared_corpora):
+        return fig3.run(corpora=shared_corpora, seed=0)
+
+    def test_example_parse_has_expected_arcs(self, result):
+        tree = result.example_tree
+        tokens = list(tree.tokens)
+        bring = tokens.index("Bring")
+        water = tokens.index("water")
+        assert tree.head_of(water) == bring
+        assert tree.label_of(water) == "dobj"
+        assert tree.label_of(bring) == "ROOT"
+
+    def test_parsers_agree_on_most_attachments(self, result):
+        assert result.attachment_agreement > 0.75
+
+    def test_most_clauses_have_objects(self, result):
+        assert result.verbs_with_objects > 0.8
+
+    def test_render(self, result):
+        assert "dobj" in fig3.render(result)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, shared_corpora):
+        return fig4.run(corpora=shared_corpora, seed=0)
+
+    def test_steps_are_tagged(self, result):
+        assert result.tagged_steps
+        for step in result.tagged_steps:
+            assert all(isinstance(token, str) and isinstance(tag, str) for token, tag in step)
+
+    def test_entity_f1_on_demo_recipe(self, result):
+        assert result.entity_f1 > 0.7
+
+    def test_render_marks_entities(self, result):
+        rendered = fig4.render(result)
+        assert "{PROCESS}" in rendered or "{INGREDIENT}" in rendered
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, shared_corpora):
+        return fig5.run(corpora=shared_corpora, seed=0)
+
+    def test_example_extracts_bring_relation(self, result):
+        processes = [relation.process for relation in result.example_relations]
+        assert "bring" in processes
+        bring = result.example_relations[processes.index("bring")]
+        assert "water" in bring.ingredients
+        assert "pot" in bring.utensils
+
+    def test_corpus_level_scores(self, result):
+        assert result.f1 > 0.6
+        assert result.precision > 0.6
+        assert result.recall > 0.5
+
+    def test_render(self, result):
+        assert "bring" in fig5.render(result)
+
+
+class TestConclusions:
+    @pytest.fixture(scope="class")
+    def result(self, shared_corpora):
+        return conclusions.run(corpora=shared_corpora, seed=0, max_recipes=25)
+
+    def test_counts_are_positive(self, result):
+        assert result.recipes_processed == 25
+        assert result.instruction_steps > 0
+        assert result.unique_ingredient_names > 0
+
+    def test_alias_merging_never_increases_the_count(self, result):
+        assert result.unique_names_after_alias_merge <= result.unique_ingredient_names
+
+    def test_relation_variance_motivates_many_to_many(self, result):
+        # The paper's argument: the std is large relative to the mean.
+        assert result.mean_relations_per_instruction > 1.0
+        assert result.std_relations_per_instruction > 0.3 * result.mean_relations_per_instruction
+        assert result.max_relations_per_instruction >= 5
+
+    def test_render(self, result):
+        rendered = conclusions.render(result)
+        assert "6.164" in rendered  # the paper's number is shown for comparison
+
+
+class TestCrossval:
+    def test_crossval_runs_and_scores(self, shared_corpora):
+        result = crossval.run(corpora=shared_corpora, seed=0, n_folds=3)
+        assert result.result.n_folds == 3
+        assert 0.5 < result.result.mean_f1 <= 1.0
+        assert "fold" in crossval.render(result)
+
+
+class TestAblations:
+    def test_sampling_ablation(self, shared_corpora):
+        result = ablations.run_sampling_ablation(corpora=shared_corpora, seed=0)
+        assert 0.0 <= result.random_f1 <= 1.0
+        assert 0.0 <= result.stratified_f1 <= 1.0
+        # Stratified selection should not be substantially worse than random.
+        assert result.stratified_f1 >= result.random_f1 - 0.05
+        assert "stratified" in ablations.render_sampling(result)
+
+    def test_model_family_ablation(self, shared_corpora):
+        result = ablations.run_model_family_ablation(
+            corpora=shared_corpora, seed=0, families=("perceptron", "hmm")
+        )
+        # The discriminative model beats the generative baseline.
+        assert result.f1_by_family["perceptron"] > result.f1_by_family["hmm"]
+        assert "perceptron" in ablations.render_model_family(result)
+
+    def test_threshold_ablation_trades_recall_for_precision(self, shared_corpora):
+        result = ablations.run_threshold_ablation(
+            corpora=shared_corpora, seed=0, thresholds=(1, 3, 8)
+        )
+        recalls = [row["recall"] for row in result.rows]
+        sizes = [row["dictionary_size"] for row in result.rows]
+        # Raising the threshold shrinks the dictionary and can only lower recall.
+        assert sizes == sorted(sizes, reverse=True)
+        assert recalls[0] >= recalls[-1]
+        assert "threshold" in ablations.render_threshold(result)
+
+    def test_cluster_count_ablation(self, shared_corpora):
+        result = ablations.run_cluster_count_ablation(
+            corpora=shared_corpora, seed=0, k_values=(2, 23)
+        )
+        assert set(result.f1_by_k) == {2, 23}
+        assert result.inertia_by_k[23] <= result.inertia_by_k[2]
+        assert "cluster" in ablations.render_cluster_count(result).lower()
+
+    def test_preprocessing_ablation(self, shared_corpora):
+        result = ablations.run_preprocessing_ablation(
+            corpora=shared_corpora, seed=0, max_recipes=20
+        )
+        # Canonicalisation folds plural/case/stop-word variants together, so it
+        # can only reduce (or preserve) the number of distinct names.
+        assert result.names_with_preprocessing <= result.names_without_preprocessing
+        assert 0 < result.compression_ratio <= 1.0
+        assert "pre-processing" in ablations.render_preprocessing(result)

@@ -1,0 +1,124 @@
+"""Tests for the linear-chain CRF."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.ner.crf import LinearChainCRF
+from repro.ner.features import IngredientFeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(clean_corpus):
+    """Feature/label sequences for a small, noise-free phrase set."""
+    extractor = IngredientFeatureExtractor()
+    phrases = clean_corpus.unique_phrases()[:90]
+    features = [extractor.sequence_features(list(p.tokens)) for p in phrases]
+    labels = [list(p.ner_tags) for p in phrases]
+    return features, labels
+
+
+@pytest.fixture(scope="module")
+def fitted_crf(tiny_dataset):
+    features, labels = tiny_dataset
+    model = LinearChainCRF(l2=0.5, max_iterations=80)
+    return model.fit(features[:60], labels[:60])
+
+
+class TestConfiguration:
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearChainCRF(l2=-1.0)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearChainCRF(max_iterations=0)
+
+    def test_min_feature_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            LinearChainCRF(min_feature_count=0)
+
+
+class TestTraining:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearChainCRF().predict([["w=salt"]])
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(DataError):
+            LinearChainCRF().fit([], [])
+
+    def test_misaligned_dataset_raises(self):
+        with pytest.raises(DataError):
+            LinearChainCRF().fit([[["w=a"]]], [["NAME", "NAME"]])
+
+    def test_training_reduces_objective(self, fitted_crf):
+        history = fitted_crf.training_history
+        assert len(history) > 2
+        assert history[-1] < history[0]
+
+    def test_is_trained_flag(self, fitted_crf):
+        assert fitted_crf.is_trained
+
+    def test_labels_inventory(self, fitted_crf):
+        labels = fitted_crf.labels()
+        assert "NAME" in labels
+        assert "QUANTITY" in labels
+
+
+class TestPrediction:
+    def test_fits_training_distribution(self, fitted_crf, tiny_dataset):
+        features, labels = tiny_dataset
+        correct = 0
+        total = 0
+        for feats, gold in zip(features[60:90], labels[60:90]):
+            predicted = fitted_crf.predict(feats)
+            correct += sum(1 for p, g in zip(predicted, gold) if p == g)
+            total += len(gold)
+        assert correct / total > 0.85
+
+    def test_prediction_length_matches_input(self, fitted_crf, tiny_dataset):
+        features, _ = tiny_dataset
+        assert len(fitted_crf.predict(features[0])) == len(features[0])
+
+    def test_empty_sequence_predicts_empty(self, fitted_crf):
+        assert fitted_crf.predict([]) == []
+
+    def test_predict_batch(self, fitted_crf, tiny_dataset):
+        features, _ = tiny_dataset
+        batch = fitted_crf.predict_batch(features[:3])
+        assert len(batch) == 3
+
+    def test_unknown_features_are_ignored(self, fitted_crf):
+        predicted = fitted_crf.predict([["w=unobtainium", "bias"], ["w=xyzzy"]])
+        assert len(predicted) == 2
+
+
+class TestProbabilisticOutputs:
+    def test_marginals_are_distributions(self, fitted_crf, tiny_dataset):
+        features, _ = tiny_dataset
+        marginals = fitted_crf.marginals(features[0])
+        assert marginals.shape == (len(features[0]), len(fitted_crf.labels()))
+        np.testing.assert_allclose(marginals.sum(axis=1), 1.0, atol=1e-6)
+        assert (marginals >= 0).all()
+
+    def test_gold_log_likelihood_is_negative_and_finite(self, fitted_crf, tiny_dataset):
+        features, labels = tiny_dataset
+        value = fitted_crf.sequence_log_likelihood(features[0], labels[0])
+        assert value <= 0.0
+        assert np.isfinite(value)
+
+    def test_viterbi_path_is_most_likely(self, fitted_crf, tiny_dataset):
+        features, _ = tiny_dataset
+        best = fitted_crf.predict(features[1])
+        best_ll = fitted_crf.sequence_log_likelihood(features[1], best)
+        # Perturb one position: the likelihood must not increase.
+        labels = fitted_crf.labels()
+        alternative = list(best)
+        alternative[0] = next(label for label in labels if label != best[0])
+        alt_ll = fitted_crf.sequence_log_likelihood(features[1], alternative)
+        assert best_ll >= alt_ll - 1e-9
+
+    def test_scoring_empty_sequence_raises(self, fitted_crf):
+        with pytest.raises(DataError):
+            fitted_crf.sequence_log_likelihood([], [])

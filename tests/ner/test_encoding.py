@@ -1,0 +1,85 @@
+"""Tests for label encodings and span conversion."""
+
+import pytest
+
+from repro.errors import DataError, SchemaError
+from repro.ner.encoding import (
+    EntitySpan,
+    bio_decode,
+    bio_encode,
+    spans_from_tags,
+    tags_from_spans,
+)
+
+
+class TestBioEncoding:
+    def test_simple_encoding(self):
+        raw = ["QUANTITY", "UNIT", "NAME", "NAME", "O"]
+        assert bio_encode(raw) == ["B-QUANTITY", "B-UNIT", "B-NAME", "I-NAME", "O"]
+
+    def test_adjacent_different_entities_both_begin(self):
+        assert bio_encode(["UNIT", "NAME"]) == ["B-UNIT", "B-NAME"]
+
+    def test_outside_only(self):
+        assert bio_encode(["O", "O"]) == ["O", "O"]
+
+    def test_empty(self):
+        assert bio_encode([]) == []
+
+    def test_roundtrip(self):
+        raw = ["O", "NAME", "NAME", "O", "STATE"]
+        assert bio_decode(bio_encode(raw)) == raw
+
+    def test_decode_tolerates_dangling_inside(self):
+        assert bio_decode(["I-NAME", "O"]) == ["NAME", "O"]
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            bio_decode(["NAME"])
+
+
+class TestSpans:
+    def test_spans_from_tags(self):
+        spans = spans_from_tags(["QUANTITY", "UNIT", "NAME", "NAME"])
+        assert spans == [
+            EntitySpan("QUANTITY", 0, 1),
+            EntitySpan("UNIT", 1, 2),
+            EntitySpan("NAME", 2, 4),
+        ]
+
+    def test_outside_breaks_spans(self):
+        spans = spans_from_tags(["NAME", "O", "NAME"])
+        assert [s.start for s in spans] == [0, 2]
+
+    def test_empty_sequence(self):
+        assert spans_from_tags([]) == []
+
+    def test_all_outside(self):
+        assert spans_from_tags(["O", "O", "O"]) == []
+
+    def test_span_length_and_tokens(self):
+        span = EntitySpan("NAME", 2, 4)
+        assert span.length == 2
+        assert span.tokens(["1", "cup", "olive", "oil"]) == ["olive", "oil"]
+
+    def test_invalid_span_raises(self):
+        with pytest.raises(DataError):
+            EntitySpan("NAME", 3, 3)
+        with pytest.raises(DataError):
+            EntitySpan("NAME", -1, 2)
+
+
+class TestTagsFromSpans:
+    def test_roundtrip(self):
+        tags = ["QUANTITY", "UNIT", "NAME", "NAME", "O", "STATE"]
+        spans = spans_from_tags(tags)
+        assert tags_from_spans(spans, len(tags)) == tags
+
+    def test_overlapping_spans_raise(self):
+        spans = [EntitySpan("NAME", 0, 2), EntitySpan("UNIT", 1, 3)]
+        with pytest.raises(DataError):
+            tags_from_spans(spans, 4)
+
+    def test_span_past_end_raises(self):
+        with pytest.raises(DataError):
+            tags_from_spans([EntitySpan("NAME", 0, 5)], 3)

@@ -1,0 +1,101 @@
+"""Tests for the NER feature extractors."""
+
+from repro.ner.features import (
+    IngredientFeatureExtractor,
+    InstructionFeatureExtractor,
+    TokenFeatureExtractor,
+)
+
+
+class TestBaseExtractor:
+    def test_one_feature_list_per_token(self):
+        extractor = TokenFeatureExtractor()
+        features = extractor.sequence_features(["1", "cup", "sugar"])
+        assert len(features) == 3
+        assert all(isinstance(f, list) for f in features)
+
+    def test_word_identity_feature(self):
+        extractor = TokenFeatureExtractor()
+        features = extractor.sequence_features(["Sugar"])[0]
+        assert "w=sugar" in features
+
+    def test_number_flag(self):
+        extractor = TokenFeatureExtractor()
+        features = extractor.sequence_features(["1/2", "cup"])
+        assert "is_number" in features[0]
+        assert "prev_is_number" in features[1]
+
+    def test_window_features_at_boundaries(self):
+        extractor = TokenFeatureExtractor()
+        features = extractor.sequence_features(["salt"])[0]
+        assert "w[-1]=<s>" in features
+        assert "w[+1]=</s>" in features
+
+    def test_capitalisation_feature(self):
+        extractor = TokenFeatureExtractor()
+        assert "is_capitalised" in extractor.sequence_features(["Preheat"])[0]
+        assert "is_capitalised" not in extractor.sequence_features(["preheat"])[0]
+
+
+class TestIngredientExtractor:
+    def test_size_trigger(self):
+        extractor = IngredientFeatureExtractor()
+        features = extractor.sequence_features(["2", "large", "eggs"])
+        assert "size_trigger" in features[1]
+
+    def test_temperature_trigger(self):
+        extractor = IngredientFeatureExtractor()
+        features = extractor.sequence_features(["frozen", "peas"])
+        assert "temp_trigger" in features[0]
+
+    def test_freshness_trigger(self):
+        extractor = IngredientFeatureExtractor()
+        features = extractor.sequence_features(["fresh", "thyme"])
+        assert "freshness_trigger" in features[0]
+
+    def test_unit_suffix(self):
+        extractor = IngredientFeatureExtractor()
+        features = extractor.sequence_features(["2", "tablespoons", "oil"])
+        assert "unit_suffix" in features[1]
+
+    def test_parenthesis_context(self):
+        extractor = IngredientFeatureExtractor()
+        tokens = ["puff", "pastry", "(", "thawed", ")"]
+        features = extractor.sequence_features(tokens)
+        assert "inside_parens" in features[3]
+        assert "inside_parens" not in features[1]
+
+    def test_after_comma_feature(self):
+        extractor = IngredientFeatureExtractor()
+        tokens = ["pepper", ",", "ground"]
+        features = extractor.sequence_features(tokens)
+        assert "after_comma" in features[2]
+
+    def test_participle_suffix(self):
+        extractor = IngredientFeatureExtractor()
+        features = extractor.sequence_features(["chopped", "walnuts"])
+        assert "participle_suffix" in features[0]
+
+
+class TestInstructionExtractor:
+    def test_sentence_initial_flag(self):
+        extractor = InstructionFeatureExtractor()
+        features = extractor.sequence_features(["Preheat", "the", "oven"])
+        assert "sentence_initial" in features[0]
+        assert "sentence_initial" not in features[1]
+
+    def test_utensil_suffix(self):
+        extractor = InstructionFeatureExtractor()
+        features = extractor.sequence_features(["in", "a", "saucepan"])
+        assert "utensil_suffix" in features[2]
+
+    def test_after_preposition(self):
+        extractor = InstructionFeatureExtractor()
+        features = extractor.sequence_features(["in", "a", "pan"])
+        assert "after_determiner" in features[2]
+        assert "after_preposition" in features[1]
+
+    def test_gerund_suffix(self):
+        extractor = InstructionFeatureExtractor()
+        features = extractor.sequence_features(["frying", "pan"])
+        assert "gerund_suffix" in features[0]

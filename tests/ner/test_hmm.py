@@ -1,0 +1,70 @@
+"""Tests for the HMM baseline."""
+
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.ner.features import IngredientFeatureExtractor
+from repro.ner.hmm import HiddenMarkovModel
+
+
+@pytest.fixture(scope="module")
+def dataset(clean_corpus):
+    extractor = IngredientFeatureExtractor()
+    phrases = clean_corpus.unique_phrases()[:100]
+    features = [extractor.sequence_features(list(p.tokens)) for p in phrases]
+    labels = [list(p.ner_tags) for p in phrases]
+    return features, labels
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    features, labels = dataset
+    return HiddenMarkovModel().fit(features[:70], labels[:70])
+
+
+class TestTraining:
+    def test_invalid_smoothing(self):
+        with pytest.raises(DataError):
+            HiddenMarkovModel(smoothing=0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            HiddenMarkovModel().predict([["w=x"]])
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(DataError):
+            HiddenMarkovModel().fit([], [])
+
+    def test_is_trained(self, fitted):
+        assert fitted.is_trained
+
+    def test_labels(self, fitted):
+        assert set(fitted.labels()) >= {"NAME", "QUANTITY"}
+
+
+class TestPrediction:
+    def test_reasonable_accuracy_on_seen_vocabulary(self, fitted, dataset):
+        features, labels = dataset
+        correct = 0
+        total = 0
+        for feats, gold in zip(features[:40], labels[:40]):
+            predicted = fitted.predict(feats)
+            correct += sum(1 for p, g in zip(predicted, gold) if p == g)
+            total += len(gold)
+        assert correct / total > 0.7
+
+    def test_prediction_length(self, fitted, dataset):
+        features, _ = dataset
+        assert len(fitted.predict(features[0])) == len(features[0])
+
+    def test_empty_sequence(self, fitted):
+        assert fitted.predict([]) == []
+
+    def test_unknown_words_get_some_label(self, fitted):
+        predicted = fitted.predict([["w=qwertyzxcv"], ["w=asdfghjkl"]])
+        assert len(predicted) == 2
+        assert all(label in fitted.labels() for label in predicted)
+
+    def test_predict_batch(self, fitted, dataset):
+        features, _ = dataset
+        assert len(fitted.predict_batch(features[:3])) == 3

@@ -1,0 +1,90 @@
+"""Tests for the high-level NerModel facade."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.ner.features import IngredientFeatureExtractor, InstructionFeatureExtractor
+from repro.ner.model import NerModel, TaggedEntity, make_sequence_model, outside_ratio
+from repro.ner.crf import LinearChainCRF
+from repro.ner.hmm import HiddenMarkovModel
+from repro.ner.structured_perceptron import StructuredPerceptron
+
+
+@pytest.fixture(scope="module")
+def trained_model(clean_corpus):
+    phrases = clean_corpus.unique_phrases()[:80]
+    model = NerModel(IngredientFeatureExtractor(), family="perceptron", seed=1)
+    model.train([list(p.tokens) for p in phrases], [list(p.ner_tags) for p in phrases])
+    return model
+
+
+class TestFactory:
+    def test_families(self):
+        assert isinstance(make_sequence_model("crf"), LinearChainCRF)
+        assert isinstance(make_sequence_model("perceptron"), StructuredPerceptron)
+        assert isinstance(make_sequence_model("hmm"), HiddenMarkovModel)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_sequence_model("transformer")
+
+    def test_options_are_forwarded(self):
+        crf = make_sequence_model("crf", crf_l2=2.5, crf_max_iterations=10)
+        assert crf.l2 == 2.5
+        assert crf.max_iterations == 10
+
+
+class TestTraining:
+    def test_empty_dataset_raises(self):
+        with pytest.raises(DataError):
+            NerModel().train([], [])
+
+    def test_misaligned_dataset_raises(self):
+        with pytest.raises(DataError):
+            NerModel().train([["a"]], [["NAME"], ["NAME"]])
+
+    def test_is_trained(self, trained_model):
+        assert trained_model.is_trained
+
+
+class TestTagging:
+    def test_tag_length(self, trained_model):
+        tokens = ["2", "cups", "sugar"]
+        assert len(trained_model.tag(tokens)) == 3
+
+    def test_tag_empty(self, trained_model):
+        assert trained_model.tag([]) == []
+
+    def test_tag_batch(self, trained_model):
+        batch = trained_model.tag_batch([["2", "cups", "sugar"], ["salt"]])
+        assert len(batch) == 2
+
+    def test_extract_entities(self, trained_model):
+        entities = trained_model.extract_entities(["2", "cups", "sugar"])
+        assert all(isinstance(entity, TaggedEntity) for entity in entities)
+        names = [entity for entity in entities if entity.label == "NAME"]
+        assert names and names[0].text == "sugar"
+
+    def test_predicted_and_gold(self, trained_model, clean_corpus):
+        phrases = clean_corpus.unique_phrases()[80:90]
+        predictions, gold = trained_model.predicted_and_gold(
+            [list(p.tokens) for p in phrases], [list(p.ner_tags) for p in phrases]
+        )
+        assert len(predictions) == len(gold) == len(phrases)
+
+    def test_instruction_feature_extractor_variant(self, clean_corpus):
+        steps = clean_corpus.instruction_steps()[:60]
+        model = NerModel(InstructionFeatureExtractor(), family="perceptron", seed=2)
+        model.train([list(s.tokens) for s in steps], [list(s.ner_tags) for s in steps])
+        tags = model.tag(["Preheat", "the", "oven", "."])
+        assert tags[0] == "PROCESS"
+        assert tags[2] == "UTENSIL"
+
+
+class TestOutsideRatio:
+    def test_outside_ratio(self):
+        assert outside_ratio([["O", "NAME"], ["O", "O"]]) == pytest.approx(0.75)
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            outside_ratio([])

@@ -1,0 +1,81 @@
+"""Tests for the averaged structured perceptron."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.ner.features import IngredientFeatureExtractor
+from repro.ner.structured_perceptron import StructuredPerceptron
+
+
+@pytest.fixture(scope="module")
+def dataset(clean_corpus):
+    extractor = IngredientFeatureExtractor()
+    phrases = clean_corpus.unique_phrases()[:100]
+    features = [extractor.sequence_features(list(p.tokens)) for p in phrases]
+    labels = [list(p.ner_tags) for p in phrases]
+    return features, labels
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    features, labels = dataset
+    return StructuredPerceptron(iterations=6, seed=3).fit(features[:70], labels[:70])
+
+
+class TestConfiguration:
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StructuredPerceptron(iterations=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StructuredPerceptron().predict([["w=x"]])
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(DataError):
+            StructuredPerceptron().fit([], [])
+
+
+class TestLearning:
+    def test_generalises_to_held_out_phrases(self, fitted, dataset):
+        features, labels = dataset
+        correct = 0
+        total = 0
+        for feats, gold in zip(features[70:100], labels[70:100]):
+            predicted = fitted.predict(feats)
+            correct += sum(1 for p, g in zip(predicted, gold) if p == g)
+            total += len(gold)
+        assert correct / total > 0.85
+
+    def test_prediction_length(self, fitted, dataset):
+        features, _ = dataset
+        assert len(fitted.predict(features[0])) == len(features[0])
+
+    def test_empty_sequence(self, fitted):
+        assert fitted.predict([]) == []
+
+    def test_labels_inventory(self, fitted):
+        assert "NAME" in fitted.labels()
+
+    def test_predict_batch(self, fitted, dataset):
+        features, _ = dataset
+        assert len(fitted.predict_batch(features[:4])) == 4
+
+    def test_unknown_features_do_not_crash(self, fitted):
+        assert len(fitted.predict([["w=unseen-token-xyz"]])) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_predictions(self, dataset):
+        features, labels = dataset
+        first = StructuredPerceptron(iterations=3, seed=11).fit(features[:40], labels[:40])
+        second = StructuredPerceptron(iterations=3, seed=11).fit(features[:40], labels[:40])
+        for feats in features[40:50]:
+            assert first.predict(feats) == second.predict(feats)
+
+    def test_weights_are_averaged(self, fitted):
+        # Averaged weights are fractional in general (raw perceptron weights
+        # would be integers); check the matrix is not integer-valued.
+        weights = fitted.emission_weights
+        assert weights is not None
+        assert not float(abs(weights - weights.round()).sum()) == 0.0

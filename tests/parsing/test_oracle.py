@@ -1,0 +1,79 @@
+"""Tests for the arc-standard oracle."""
+
+import pytest
+
+from repro.errors import ParsingError
+from repro.parsing.oracle import LEFT_ARC, RIGHT_ARC, SHIFT, arc_standard_oracle
+from repro.parsing.rules import RecipeDependencyParser
+from repro.parsing.tree import DependencyTree, ROOT_INDEX
+
+
+def _rebuild_from_transitions(tree, transitions):
+    """Re-run the transitions and return the heads they produce."""
+    heads = [None] * len(tree)
+    stack = [ROOT_INDEX]
+    buffer = list(range(len(tree)))
+    for action, _label in transitions:
+        if action == SHIFT:
+            stack.append(buffer.pop(0))
+        elif action == LEFT_ARC:
+            dependent = stack.pop(-2)
+            heads[dependent] = stack[-1]
+        elif action == RIGHT_ARC:
+            dependent = stack.pop()
+            heads[dependent] = stack[-1]
+    return heads
+
+
+class TestOracle:
+    def test_single_token_tree(self):
+        tree = DependencyTree.build(["Stir"], [ROOT_INDEX], ["ROOT"])
+        transitions = arc_standard_oracle(tree)
+        assert transitions == [(SHIFT, None), (RIGHT_ARC, "ROOT")]
+
+    def test_simple_clause_roundtrip(self):
+        tree = DependencyTree.build(
+            ["Bring", "the", "water"],
+            [ROOT_INDEX, 2, 0],
+            ["ROOT", "det", "dobj"],
+        )
+        transitions = arc_standard_oracle(tree)
+        heads = _rebuild_from_transitions(tree, transitions)
+        assert heads == list(tree.heads)
+
+    def test_transition_count(self):
+        # Arc-standard uses exactly 2n transitions for an n-token sentence.
+        tree = DependencyTree.build(
+            ["Mix", "the", "salt", "and", "pepper"],
+            [ROOT_INDEX, 2, 0, 2, 2],
+            ["ROOT", "det", "dobj", "cc", "conj"],
+        )
+        transitions = arc_standard_oracle(tree)
+        assert len(transitions) == 2 * len(tree)
+
+    def test_rule_parser_trees_are_reachable(self, sample_steps):
+        parser = RecipeDependencyParser()
+        reachable = 0
+        total = 0
+        for step in sample_steps[:80]:
+            tree = parser.parse(list(step.tokens), list(step.pos_tags))
+            total += 1
+            try:
+                transitions = arc_standard_oracle(tree)
+            except ParsingError:
+                continue
+            heads = _rebuild_from_transitions(tree, transitions)
+            assert heads == list(tree.heads)
+            reachable += 1
+        # The rule parser produces projective trees for the vast majority of
+        # template clauses.
+        assert reachable / total > 0.9
+
+    def test_labels_are_preserved(self):
+        tree = DependencyTree.build(
+            ["Bring", "the", "water"],
+            [ROOT_INDEX, 2, 0],
+            ["ROOT", "det", "dobj"],
+        )
+        labels = [label for action, label in arc_standard_oracle(tree) if action != SHIFT]
+        assert sorted(labels) == ["ROOT", "det", "dobj"]

@@ -1,0 +1,102 @@
+"""Tests for the rule-based recipe dependency parser."""
+
+import pytest
+
+from repro.errors import ParsingError
+from repro.parsing.rules import RecipeDependencyParser
+from repro.parsing.tree import ROOT_INDEX
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return RecipeDependencyParser()
+
+
+def _parse(parser, sentence, tags):
+    return parser.parse(sentence.split(), tags.split())
+
+
+class TestBasicClauses:
+    def test_imperative_root_is_the_verb(self, parser):
+        tree = _parse(parser, "Bring the water", "VB DT NN")
+        assert tree.roots() == [0]
+        assert tree.label_of(0) == "ROOT"
+
+    def test_direct_object(self, parser):
+        tree = _parse(parser, "Bring the water", "VB DT NN")
+        assert tree.head_of(2) == 0
+        assert tree.label_of(2) == "dobj"
+
+    def test_determiner_attaches_to_noun(self, parser):
+        tree = _parse(parser, "Bring the water", "VB DT NN")
+        assert tree.head_of(1) == 2
+        assert tree.label_of(1) == "det"
+
+    def test_prepositional_object(self, parser):
+        tree = _parse(parser, "Bring the water to a boil in a large pot",
+                      "VB DT NN TO DT NN IN DT JJ NN")
+        # "in" attaches to the verb; "pot" attaches to "in" as pobj.
+        assert tree.label_of(6) == "prep"
+        assert tree.head_of(6) == 0
+        assert tree.label_of(9) == "pobj"
+        assert tree.head_of(9) == 6
+
+    def test_adjective_modifies_following_noun(self, parser):
+        tree = _parse(parser, "in a large pot", "IN DT JJ NN")
+        assert tree.head_of(2) == 3
+        assert tree.label_of(2) == "amod"
+
+    def test_compound_noun(self, parser):
+        tree = _parse(parser, "Add the olive oil", "VB DT NN NN")
+        assert tree.head_of(2) == 3
+        assert tree.label_of(2) == "compound"
+
+    def test_conjoined_objects(self, parser):
+        tree = _parse(parser, "Mix the salt and pepper", "VB DT NN CC NN")
+        assert tree.label_of(2) == "dobj"
+        assert tree.label_of(4) == "conj"
+        assert tree.head_of(4) == 2
+
+    def test_second_verb_is_conjoined_clause(self, parser):
+        tree = _parse(parser, "Add the rice and stir", "VB DT NN CC VB")
+        assert tree.label_of(4) == "conj"
+        assert tree.head_of(4) == 0
+
+    def test_adverb_attaches_to_verb(self, parser):
+        tree = _parse(parser, "Stir well", "VB RB")
+        assert tree.head_of(1) == 0
+        assert tree.label_of(1) == "advmod"
+
+    def test_punctuation_label(self, parser):
+        tree = _parse(parser, "Stir well .", "VB RB .")
+        assert tree.label_of(2) == "punct"
+
+
+class TestRobustness:
+    def test_empty_sentence_raises(self, parser):
+        with pytest.raises(ParsingError):
+            parser.parse([], [])
+
+    def test_misaligned_input_raises(self, parser):
+        with pytest.raises(ParsingError):
+            parser.parse(["a", "b"], ["NN"])
+
+    def test_sentence_without_verbs_still_parses(self, parser):
+        tree = parser.parse(["salt", "and", "pepper"], ["NN", "CC", "NN"])
+        assert len(tree) == 3
+        assert len(tree.roots()) >= 1
+
+    def test_every_instruction_in_corpus_parses(self, parser, sample_steps):
+        for step in sample_steps[:150]:
+            tree = parser.parse(list(step.tokens), list(step.pos_tags))
+            assert len(tree) == len(step.tokens)
+            assert tree.roots(), "every parse needs at least one root"
+
+    def test_relation_relevant_arcs_exist_for_template_clause(self, parser):
+        # "Fry the potatoes with olive oil in a pan" -- the arcs the relation
+        # extractor needs must be present.
+        tree = _parse(parser, "Fry the potatoes with olive oil in a pan",
+                      "VB DT NNS IN NN NN IN DT NN")
+        assert tree.label_of(2) == "dobj"
+        pobj_heads = [tree.head_of(i) for i in range(len(tree)) if tree.label_of(i) == "pobj"]
+        assert pobj_heads  # at least one prepositional object found

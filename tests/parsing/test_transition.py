@@ -1,0 +1,71 @@
+"""Tests for the trainable arc-standard transition parser."""
+
+import pytest
+
+from repro.errors import NotFittedError, ParsingError
+from repro.parsing.rules import RecipeDependencyParser
+from repro.parsing.transition import TransitionDependencyParser
+
+
+@pytest.fixture(scope="module")
+def rule_trees(sample_steps):
+    parser = RecipeDependencyParser()
+    return [
+        parser.parse(list(step.tokens), list(step.pos_tags))
+        for step in sample_steps[:120]
+    ]
+
+
+@pytest.fixture(scope="module")
+def trained_parser(rule_trees):
+    parser = TransitionDependencyParser(iterations=4, seed=5)
+    return parser.train(rule_trees[:90])
+
+
+class TestTraining:
+    def test_parse_before_training_raises(self):
+        with pytest.raises(NotFittedError):
+            TransitionDependencyParser().parse(["Stir"], ["VB"])
+
+    def test_training_on_no_trees_raises(self):
+        with pytest.raises(ParsingError):
+            TransitionDependencyParser().train([])
+
+    def test_is_trained(self, trained_parser):
+        assert trained_parser.is_trained
+
+
+class TestParsing:
+    def test_empty_sentence_raises(self, trained_parser):
+        with pytest.raises(ParsingError):
+            trained_parser.parse([], [])
+
+    def test_misaligned_raises(self, trained_parser):
+        with pytest.raises(ParsingError):
+            trained_parser.parse(["a"], ["NN", "NN"])
+
+    def test_output_is_well_formed(self, trained_parser):
+        tree = trained_parser.parse(
+            ["Mix", "the", "flour", "in", "a", "bowl"],
+            ["VB", "DT", "NN", "IN", "DT", "NN"],
+        )
+        assert len(tree) == 6
+        assert tree.roots()  # acyclicity is enforced by the tree constructor
+
+    def test_agreement_with_rule_parser(self, trained_parser, rule_trees):
+        agreement = 0
+        total = 0
+        for gold in rule_trees[90:120]:
+            predicted = trained_parser.parse(list(gold.tokens), list(gold.pos_tags))
+            for index in range(len(gold)):
+                total += 1
+                if predicted.head_of(index) == gold.head_of(index):
+                    agreement += 1
+        assert agreement / total > 0.8
+
+    def test_learns_the_verb_root(self, trained_parser):
+        tree = trained_parser.parse(
+            ["Add", "the", "rice", "to", "the", "saucepan"],
+            ["VB", "DT", "NN", "TO", "DT", "NN"],
+        )
+        assert 0 in tree.roots()

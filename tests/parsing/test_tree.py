@@ -1,0 +1,92 @@
+"""Tests for the dependency-tree data structure."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ParsingError
+from repro.parsing.tree import Arc, DependencyTree, ROOT_INDEX
+
+
+@pytest.fixture()
+def simple_tree():
+    # "Bring the water" : Bring <- ROOT, the <- water (det), water <- Bring (dobj)
+    return DependencyTree.build(
+        ["Bring", "the", "water"],
+        [ROOT_INDEX, 2, 0],
+        ["ROOT", "det", "dobj"],
+        ["VB", "DT", "NN"],
+    )
+
+
+class TestValidation:
+    def test_misaligned_lengths_raise(self):
+        with pytest.raises(ParsingError):
+            DependencyTree.build(["a", "b"], [ROOT_INDEX], ["ROOT"])
+
+    def test_self_loop_raises(self):
+        with pytest.raises(ParsingError):
+            DependencyTree.build(["a"], [0], ["dep"])
+
+    def test_out_of_range_head_raises(self):
+        with pytest.raises(ParsingError):
+            DependencyTree.build(["a", "b"], [ROOT_INDEX, 5], ["ROOT", "dep"])
+
+    def test_cycle_raises(self):
+        with pytest.raises(ParsingError):
+            DependencyTree.build(["a", "b"], [1, 0], ["dep", "dep"])
+
+    def test_misaligned_pos_raises(self):
+        with pytest.raises(ParsingError):
+            DependencyTree.build(["a"], [ROOT_INDEX], ["ROOT"], ["NN", "NN"])
+
+
+class TestNavigation:
+    def test_roots(self, simple_tree):
+        assert simple_tree.roots() == [0]
+
+    def test_children(self, simple_tree):
+        assert simple_tree.children(0) == [2]
+        assert simple_tree.children(2) == [1]
+
+    def test_children_filtered_by_label(self, simple_tree):
+        assert simple_tree.children(0, label="dobj") == [2]
+        assert simple_tree.children(0, label="prep") == []
+
+    def test_arcs(self, simple_tree):
+        arcs = simple_tree.arcs()
+        assert Arc(head=0, dependent=2, label="dobj") in arcs
+        assert len(arcs) == 3
+
+    def test_subtree(self, simple_tree):
+        assert simple_tree.subtree(0) == [0, 1, 2]
+        assert simple_tree.subtree(2) == [1, 2]
+
+    def test_accessors(self, simple_tree):
+        assert simple_tree.token(2) == "water"
+        assert simple_tree.head_of(2) == 0
+        assert simple_tree.label_of(1) == "det"
+        assert simple_tree.pos_of(0) == "VB"
+        assert len(simple_tree) == 3
+
+    def test_pos_of_without_tags(self):
+        tree = DependencyTree.build(["a"], [ROOT_INDEX], ["ROOT"])
+        assert tree.pos_of(0) is None
+
+
+class TestExport:
+    def test_to_networkx(self, simple_tree):
+        graph = simple_tree.to_networkx()
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.has_edge("ROOT", 0)
+        assert graph.has_edge(0, 2)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_to_conll_has_one_line_per_token(self, simple_tree):
+        lines = simple_tree.to_conll().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("1\tBring")
+
+    def test_pretty_mentions_every_token(self, simple_tree):
+        rendered = simple_tree.pretty()
+        for token in simple_tree.tokens:
+            assert token in rendered

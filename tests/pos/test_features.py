@@ -1,0 +1,60 @@
+"""Tests for POS feature extraction."""
+
+from repro.pos.features import END_PAD, START_PAD, extract_features, word_shape
+
+
+class TestWordShape:
+    def test_lowercase_word(self):
+        assert word_shape("sugar") == "x"
+
+    def test_capitalised_word(self):
+        assert word_shape("Tomato") == "Xx"
+
+    def test_number(self):
+        assert word_shape("250") == "d"
+
+    def test_fraction(self):
+        assert word_shape("1/2") == "d/d"
+
+    def test_range(self):
+        assert word_shape("2-3") == "d-d"
+
+    def test_hyphenated_word(self):
+        assert word_shape("all-purpose") == "x-x"
+
+
+class TestExtractFeatures:
+    def _features_for(self, tokens, index, prev="-START-", prev2="-START2-"):
+        context = list(START_PAD) + [t.lower() for t in tokens] + list(END_PAD)
+        return extract_features(index + 2, tokens[index].lower(), context, prev, prev2)
+
+    def test_contains_word_identity(self):
+        features = self._features_for(["1", "cup", "sugar"], 1)
+        assert "word=cup" in features
+
+    def test_contains_previous_and_next_words(self):
+        features = self._features_for(["1", "cup", "sugar"], 1)
+        assert "prev_word=1" in features
+        assert "next_word=sugar" in features
+
+    def test_boundary_uses_pads(self):
+        features = self._features_for(["sugar"], 0)
+        # The context window is [-START-, -START2-, sugar, -END-, -END2-], so
+        # the immediate neighbours of the only real token are the inner pads.
+        assert "prev_word=-START2-" in features
+        assert "next_word=-END-" in features
+
+    def test_digit_flag(self):
+        features = self._features_for(["1", "cup"], 0)
+        assert "has_digit" in features
+
+    def test_hyphen_flag(self):
+        features = self._features_for(["all-purpose", "flour"], 0)
+        assert "has_hyphen" in features
+
+    def test_previous_tag_feature(self):
+        features = self._features_for(["1", "cup"], 1, prev="CD")
+        assert "prev_tag=CD" in features
+
+    def test_bias_always_present(self):
+        assert "bias" in self._features_for(["salt"], 0)

@@ -1,0 +1,49 @@
+"""Tests for the POS seed lexicon and shape heuristics."""
+
+from repro.pos.lexicon import RECIPE_TAG_LEXICON, heuristic_tag
+
+
+class TestHeuristicTag:
+    def test_numbers_are_cd(self):
+        assert heuristic_tag("2") == "CD"
+        assert heuristic_tag("0.5") == "CD"
+
+    def test_fractions_are_cd(self):
+        assert heuristic_tag("1/2") == "CD"
+        assert heuristic_tag("1 1/2") == "CD"
+
+    def test_ranges_are_cd(self):
+        assert heuristic_tag("2-3") == "CD"
+
+    def test_punctuation(self):
+        assert heuristic_tag(",") == ","
+        assert heuristic_tag("(") == "("
+        assert heuristic_tag("-") == "SYM"
+
+    def test_lexicon_words(self):
+        assert heuristic_tag("the") == "DT"
+        assert heuristic_tag("and") == "CC"
+        assert heuristic_tag("with") == "IN"
+        assert heuristic_tag("to") == "TO"
+
+    def test_case_insensitive_lexicon_lookup(self):
+        assert heuristic_tag("The") == "DT"
+
+    def test_ly_adverbs(self):
+        assert heuristic_tag("freshly") == "RB"
+        assert heuristic_tag("coarsely") == "RB"
+
+    def test_unknown_word_returns_none(self):
+        assert heuristic_tag("pastrami") is None
+
+    def test_empty_string_returns_none(self):
+        assert heuristic_tag("") is None
+
+
+class TestLexiconContents:
+    def test_lexicon_is_lowercase(self):
+        assert all(word == word.lower() for word in RECIPE_TAG_LEXICON)
+
+    def test_common_recipe_adjectives_present(self):
+        for word in ("fresh", "frozen", "large", "medium"):
+            assert RECIPE_TAG_LEXICON[word] == "JJ"

@@ -1,0 +1,91 @@
+"""Tests for the averaged perceptron learner."""
+
+import pytest
+
+from repro.errors import NotFittedError
+from repro.pos.perceptron import AveragedPerceptron
+
+
+def _train_simple(model: AveragedPerceptron, rounds: int = 5) -> None:
+    """Teach the perceptron two linearly separable classes."""
+    examples = [
+        (["f=red", "f=round"], "apple"),
+        (["f=yellow", "f=long"], "banana"),
+        (["f=red", "f=small"], "apple"),
+        (["f=yellow", "f=curved"], "banana"),
+    ]
+    for _ in range(rounds):
+        for features, label in examples:
+            guess = model.predict(features) if model.classes else label
+            model.update(label, guess, features)
+
+
+class TestPrediction:
+    def test_predict_before_training_raises(self):
+        with pytest.raises(NotFittedError):
+            AveragedPerceptron().predict(["f=x"])
+
+    def test_learns_separable_classes(self):
+        model = AveragedPerceptron()
+        _train_simple(model)
+        model.average_weights()
+        assert model.predict(["f=red"]) == "apple"
+        assert model.predict(["f=yellow"]) == "banana"
+
+    def test_predict_with_scores(self):
+        model = AveragedPerceptron()
+        _train_simple(model)
+        model.average_weights()
+        label, scores = model.predict(["f=red"], return_scores=True)
+        assert label == "apple"
+        assert scores["apple"] > scores["banana"]
+
+    def test_unseen_features_fall_back_to_tie_break(self):
+        model = AveragedPerceptron()
+        _train_simple(model)
+        model.average_weights()
+        # No informative features: the deterministic tie-break picks a class.
+        assert model.predict(["f=unknown"]) in {"apple", "banana"}
+
+    def test_score_helper(self):
+        model = AveragedPerceptron()
+        _train_simple(model)
+        model.average_weights()
+        scores = model.score(["f=yellow"])
+        assert set(scores) == {"apple", "banana"}
+
+
+class TestUpdates:
+    def test_correct_prediction_is_a_noop_on_weights(self):
+        model = AveragedPerceptron()
+        model.update("a", "a", ["f=x"])
+        assert model.weights == {}
+
+    def test_wrong_prediction_moves_weights(self):
+        model = AveragedPerceptron()
+        model.update("a", "b", ["f=x"])
+        assert model.weights["f=x"]["a"] == 1.0
+        assert model.weights["f=x"]["b"] == -1.0
+
+    def test_averaging_is_idempotent(self):
+        model = AveragedPerceptron()
+        _train_simple(model)
+        model.average_weights()
+        snapshot = {f: dict(w) for f, w in model.weights.items()}
+        model.average_weights()
+        assert snapshot == model.weights
+
+    def test_averaging_with_no_updates(self):
+        model = AveragedPerceptron()
+        model.average_weights()  # must not raise
+        assert model.weights == {}
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        model = AveragedPerceptron()
+        _train_simple(model)
+        model.average_weights()
+        rebuilt = AveragedPerceptron.from_dict(model.to_dict())
+        assert rebuilt.predict(["f=red"]) == model.predict(["f=red"])
+        assert rebuilt.classes == model.classes

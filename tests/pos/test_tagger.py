@@ -1,0 +1,94 @@
+"""Tests for the perceptron POS tagger."""
+
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.pos.tagger import PerceptronPosTagger, TaggedToken
+
+
+@pytest.fixture(scope="module")
+def trained_tagger(corpus):
+    """Tagger trained on the tiny corpus (module-scoped for isolation tests)."""
+    sentences = []
+    tags = []
+    for phrase in corpus.ingredient_phrases()[:240]:
+        sentences.append(list(phrase.tokens))
+        tags.append(list(phrase.pos_tags))
+    for step in corpus.instruction_steps()[:150]:
+        sentences.append(list(step.tokens))
+        tags.append(list(step.pos_tags))
+    tagger = PerceptronPosTagger()
+    tagger.train(sentences, tags, iterations=5, seed=13)
+    return tagger
+
+
+class TestTraining:
+    def test_untrained_tagger_raises(self):
+        with pytest.raises(NotFittedError):
+            PerceptronPosTagger().tag(["sugar"])
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(DataError):
+            PerceptronPosTagger().train([], [])
+
+    def test_misaligned_training_data_raises(self):
+        with pytest.raises(DataError):
+            PerceptronPosTagger().train([["a", "b"]], [["DT"]])
+
+    def test_invalid_tag_raises(self):
+        with pytest.raises(Exception):
+            PerceptronPosTagger().train([["sugar"]], [["NOT_A_TAG"]])
+
+    def test_is_trained_flag(self, trained_tagger):
+        assert trained_tagger.is_trained
+
+
+class TestTagging:
+    def test_returns_tagged_tokens(self, trained_tagger):
+        result = trained_tagger.tag(["2", "cups", "sugar"])
+        assert all(isinstance(item, TaggedToken) for item in result)
+        assert [item.text for item in result] == ["2", "cups", "sugar"]
+
+    def test_numbers_are_cd(self, trained_tagger):
+        tags = trained_tagger.tag_sequence(["2", "cups", "sugar"])
+        assert tags[0] == "CD"
+
+    def test_nouns_in_simple_phrase(self, trained_tagger):
+        tags = trained_tagger.tag_sequence(["1", "cup", "sugar"])
+        assert tags[1] in {"NN", "NNS"}
+        assert tags[2] in {"NN", "NNS"}
+
+    def test_plural_unit(self, trained_tagger):
+        tags = trained_tagger.tag_sequence(["2", "cups", "flour"])
+        assert tags[1] == "NNS"
+
+    def test_determiner_from_lexicon(self, trained_tagger):
+        tags = trained_tagger.tag_sequence(["Mix", "the", "flour"])
+        assert tags[1] == "DT"
+
+    def test_empty_sequence(self, trained_tagger):
+        assert trained_tagger.tag([]) == []
+
+    def test_accuracy_on_training_distribution(self, trained_tagger, corpus):
+        phrases = corpus.ingredient_phrases()[240:290]
+        sentences = [list(p.tokens) for p in phrases]
+        gold = [list(p.pos_tags) for p in phrases]
+        accuracy = trained_tagger.accuracy(sentences, gold)
+        assert accuracy > 0.9
+
+    def test_accuracy_requires_nonempty(self, trained_tagger):
+        with pytest.raises(DataError):
+            trained_tagger.accuracy([], [])
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self, corpus):
+        phrases = corpus.ingredient_phrases()[:150]
+        sentences = [list(p.tokens) for p in phrases]
+        tags = [list(p.pos_tags) for p in phrases]
+        first = PerceptronPosTagger()
+        second = PerceptronPosTagger()
+        first.train(sentences, tags, iterations=3, seed=7)
+        second.train(sentences, tags, iterations=3, seed=7)
+        probe = ["1/2", "cup", "finely", "chopped", "walnuts"]
+        assert first.tag_sequence(probe) == second.tag_sequence(probe)

@@ -1,0 +1,84 @@
+"""Tests for the Penn Treebank tagset module."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.pos.tagset import (
+    PTB_TAGS,
+    PTB_TAG_INDEX,
+    coarse_tag,
+    is_adjective_tag,
+    is_noun_tag,
+    is_number_tag,
+    is_verb_tag,
+    validate_tag,
+)
+
+
+class TestTagInventory:
+    def test_exactly_36_word_level_tags(self):
+        # The paper's phrase vectors are 1x36; the tagset must match.
+        assert len(PTB_TAGS) == 36
+
+    def test_tags_are_unique(self):
+        assert len(set(PTB_TAGS)) == len(PTB_TAGS)
+
+    def test_index_is_consistent(self):
+        for index, tag in enumerate(PTB_TAGS):
+            assert PTB_TAG_INDEX[tag] == index
+
+    def test_core_tags_present(self):
+        for tag in ("NN", "NNS", "VB", "VBN", "JJ", "CD", "DT", "IN", "RB"):
+            assert tag in PTB_TAG_INDEX
+
+
+class TestValidation:
+    def test_word_tags_validate(self):
+        assert validate_tag("NN") == "NN"
+
+    def test_punctuation_tags_validate(self):
+        assert validate_tag(",") == ","
+        assert validate_tag("(") == "("
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(SchemaError):
+            validate_tag("NOUN")
+
+
+class TestPredicates:
+    def test_noun_tags(self):
+        assert is_noun_tag("NN")
+        assert is_noun_tag("NNS")
+        assert not is_noun_tag("VB")
+
+    def test_verb_tags(self):
+        assert is_verb_tag("VB")
+        assert is_verb_tag("VBN")
+        assert not is_verb_tag("NN")
+
+    def test_adjective_tags(self):
+        assert is_adjective_tag("JJ")
+        assert not is_adjective_tag("RB")
+
+    def test_number_tag(self):
+        assert is_number_tag("CD")
+        assert not is_number_tag("NN")
+
+
+class TestCoarseTags:
+    @pytest.mark.parametrize(
+        "tag, coarse",
+        [
+            ("NN", "NOUN"),
+            ("NNS", "NOUN"),
+            ("VB", "VERB"),
+            ("VBG", "VERB"),
+            ("JJ", "ADJ"),
+            ("CD", "NUM"),
+            ("RB", "ADV"),
+            (",", "PUNCT"),
+            ("DT", "OTHER"),
+        ],
+    )
+    def test_mapping(self, tag, coarse):
+        assert coarse_tag(tag) == coarse

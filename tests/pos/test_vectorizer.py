@@ -1,0 +1,65 @@
+"""Tests for the POS bag-of-words vectoriser (the 1x36 phrase vectors)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.pos.tagger import PerceptronPosTagger
+from repro.pos.vectorizer import PosBagOfWordsVectorizer
+
+
+class TestConstruction:
+    def test_requires_trained_tagger(self):
+        with pytest.raises(NotFittedError):
+            PosBagOfWordsVectorizer(PerceptronPosTagger())
+
+    def test_dimensions_are_36(self, vectorizer):
+        assert vectorizer.dimensions == 36
+
+
+class TestVectors:
+    def test_vector_shape(self, vectorizer):
+        vector = vectorizer.vectorize("2 cups sugar")
+        assert vector.shape == (36,)
+
+    def test_counts_sum_to_word_token_count(self, vectorizer):
+        # Three word-level tokens, no punctuation: the counts sum to 3.
+        vector = vectorizer.vectorize("2 cups sugar")
+        assert vector.sum() == pytest.approx(3.0)
+
+    def test_punctuation_not_counted(self, vectorizer):
+        with_punct = vectorizer.vectorize("cream cheese , softened")
+        without_punct = vectorizer.vectorize("cream cheese softened")
+        assert with_punct.sum() == without_punct.sum()
+
+    def test_similar_structures_have_close_vectors(self, vectorizer):
+        # The paper's example: these two phrases should share a cluster.
+        a = vectorizer.vectorize("3 teaspoons olive oil")
+        b = vectorizer.vectorize("2 tablespoons all-purpose flour")
+        c = vectorizer.vectorize("salt to taste")
+        assert np.linalg.norm(a - b) < np.linalg.norm(a - c)
+
+    def test_empty_phrase_is_zero_vector(self, vectorizer):
+        assert vectorizer.vectorize("").sum() == 0.0
+
+    def test_normalised_variant(self, pos_tagger):
+        normalised = PosBagOfWordsVectorizer(pos_tagger, normalize=True)
+        vector = normalised.vectorize("2 cups sugar")
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_transform_stacks_vectors(self, vectorizer):
+        matrix = vectorizer.transform(["2 cups sugar", "salt to taste"])
+        assert matrix.shape == (2, 36)
+
+    def test_transform_empty_list(self, vectorizer):
+        assert vectorizer.transform([]).shape == (0, 36)
+
+    def test_transform_tokenized(self, vectorizer, sample_phrases):
+        matrix = vectorizer.transform_tokenized([p.tokens for p in sample_phrases[:5]])
+        assert matrix.shape == (5, 36)
+        assert (matrix.sum(axis=1) > 0).all()
+
+    def test_tag_signature(self, vectorizer):
+        signature = vectorizer.tag_signature("2 cups sugar")
+        assert len(signature) == 3
+        assert signature[0] == "CD"

@@ -1,0 +1,129 @@
+"""Property-based tests for encodings, metrics, clustering and the generator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.kmeans import KMeans
+from repro.cluster.pca import PCA
+from repro.core.schema import INGREDIENT_TAGS
+from repro.data.generator import GeneratorConfig, RecipeCorpusGenerator, render_text
+from repro.data.models import Source
+from repro.data.splits import k_fold_indices
+from repro.eval.metrics import evaluate_sequences, token_accuracy
+from repro.ner.encoding import bio_decode, bio_encode, spans_from_tags, tags_from_spans
+from repro.text.tokenizer import tokenize
+
+ingredient_tag = st.sampled_from([*INGREDIENT_TAGS, "O"])
+tag_sequence = st.lists(ingredient_tag, min_size=1, max_size=12)
+
+
+class TestEncodingProperties:
+    @given(tag_sequence)
+    @settings(max_examples=300)
+    def test_bio_roundtrip(self, tags):
+        assert bio_decode(bio_encode(tags)) == tags
+
+    @given(tag_sequence)
+    @settings(max_examples=300)
+    def test_spans_roundtrip(self, tags):
+        spans = spans_from_tags(tags)
+        assert tags_from_spans(spans, len(tags)) == tags
+
+    @given(tag_sequence)
+    @settings(max_examples=300)
+    def test_spans_are_disjoint_and_ordered(self, tags):
+        spans = spans_from_tags(tags)
+        for left, right in zip(spans, spans[1:]):
+            assert left.end <= right.start
+
+    @given(tag_sequence)
+    @settings(max_examples=300)
+    def test_span_lengths_sum_to_non_outside_tokens(self, tags):
+        spans = spans_from_tags(tags)
+        assert sum(span.length for span in spans) == sum(1 for tag in tags if tag != "O")
+
+
+class TestMetricProperties:
+    @given(st.lists(tag_sequence, min_size=1, max_size=6))
+    @settings(max_examples=150)
+    def test_perfect_prediction_scores_one(self, sequences):
+        report = evaluate_sequences(sequences, sequences)
+        if any(tag != "O" for tags in sequences for tag in tags):
+            assert report.f1 == 1.0
+        assert token_accuracy(sequences, sequences) == 1.0 or all(
+            len(tags) == 0 for tags in sequences
+        )
+
+    @given(st.lists(tag_sequence, min_size=1, max_size=6), st.randoms(use_true_random=False))
+    @settings(max_examples=150)
+    def test_scores_are_bounded(self, sequences, rng):
+        tags = [*INGREDIENT_TAGS, "O"]
+        corrupted = [
+            [rng.choice(tags) if rng.random() < 0.5 else tag for tag in sequence]
+            for sequence in sequences
+        ]
+        report = evaluate_sequences(corrupted, sequences)
+        assert 0.0 <= report.precision <= 1.0
+        assert 0.0 <= report.recall <= 1.0
+        assert 0.0 <= report.f1 <= 1.0
+
+
+class TestClusteringProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=20, max_value=60),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_kmeans_invariants(self, k, n_points, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n_points, 3))
+        result = KMeans(k, seed=seed, n_init=2, max_iterations=30).fit(points)
+        assert result.labels.shape == (n_points,)
+        assert set(result.labels.tolist()) <= set(range(k))
+        assert result.inertia >= 0.0
+        # Inertia equals the sum of squared distances to assigned centroids.
+        recomputed = sum(
+            float(np.sum((points[i] - result.centroids[result.labels[i]]) ** 2))
+            for i in range(n_points)
+        )
+        assert abs(recomputed - result.inertia) < 1e-6 * max(1.0, recomputed)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pca_never_increases_variance(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(40, 6))
+        pca = PCA(3).fit(data)
+        assert pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+
+class TestSplitProperties:
+    @given(st.integers(min_value=10, max_value=200), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=50)
+    def test_k_fold_partitions(self, n_items, n_folds):
+        if n_items < n_folds:
+            return
+        splits = k_fold_indices(n_items, n_folds, seed=0)
+        all_test = sorted(index for _, test in splits for index in test)
+        assert all_test == list(range(n_items))
+        for train, test in splits:
+            assert not set(train) & set(test)
+
+
+class TestGeneratorProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_phrases_always_align(self, seed):
+        generator = RecipeCorpusGenerator(GeneratorConfig(source=Source.FOOD_COM, seed=seed))
+        phrase = generator.generate_phrase()
+        assert len(phrase.tokens) == len(phrase.ner_tags) == len(phrase.pos_tags)
+        assert tokenize(phrase.text) == list(phrase.tokens)
+
+    @given(st.lists(st.sampled_from(["sugar", "1/2", ",", "(", ")", "olive", "oil", "."]),
+                    min_size=1, max_size=10))
+    @settings(max_examples=200)
+    def test_render_text_roundtrips(self, tokens):
+        # Note: adjacent bare integers are excluded because "1 1/2" legitimately
+        # re-tokenises as a single mixed-fraction token.
+        assert tokenize(render_text(tokens)) == tokens

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_is_a_choice(self):
+        parser = build_parser()
+        arguments = parser.parse_args(["table4", "--scale", "tiny", "--seed", "3"])
+        assert arguments.experiment == "table4"
+        assert arguments.scale == "tiny"
+        assert arguments.seed == 3
+
+    def test_all_is_accepted(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "huge"])
+
+    def test_registry_covers_every_paper_artifact(self):
+        for name in ("table1", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5",
+                     "conclusions", "crossval", "ablations"):
+            assert name in EXPERIMENTS
+
+
+class TestMain:
+    def test_main_runs_a_cheap_experiment(self, capsys):
+        exit_code = main(["fig3", "--scale", "tiny", "--seed", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "## fig3" in captured.out
+        assert "dobj" in captured.out
+
+    def test_main_runs_table3(self, capsys):
+        exit_code = main(["table3", "--scale", "tiny"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table III" in captured.out

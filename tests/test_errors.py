@@ -1,0 +1,32 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.NotFittedError,
+            errors.VocabularyError,
+            errors.SchemaError,
+            errors.DataError,
+            errors.ParsingError,
+            errors.ConfigurationError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception):
+        assert issubclass(exception, errors.ReproError)
+        assert issubclass(exception, Exception)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DataError("boom")
+
+    def test_messages_are_preserved(self):
+        try:
+            raise errors.SchemaError("unknown tag")
+        except errors.ReproError as caught:
+            assert "unknown tag" in str(caught)

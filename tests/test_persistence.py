@@ -1,0 +1,145 @@
+"""Tests for JSON persistence of trained components."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.ner.features import IngredientFeatureExtractor
+from repro.ner.hmm import HiddenMarkovModel
+from repro.ner.model import NerModel
+from repro.ner.structured_perceptron import StructuredPerceptron
+from repro.persistence import (
+    PipelineBundle,
+    dictionary_from_payload,
+    dictionary_to_payload,
+    load_ner_model,
+    load_pos_tagger,
+    load_sequence_model,
+    ner_model_to_payload,
+    pos_tagger_to_payload,
+    sequence_model_to_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def annotated(clean_corpus):
+    phrases = clean_corpus.unique_phrases()[:70]
+    extractor = IngredientFeatureExtractor()
+    features = [extractor.sequence_features(list(p.tokens)) for p in phrases]
+    labels = [list(p.ner_tags) for p in phrases]
+    return phrases, features, labels
+
+
+class TestSequenceModelRoundtrip:
+    def test_perceptron_roundtrip_preserves_predictions(self, annotated):
+        _, features, labels = annotated
+        model = StructuredPerceptron(iterations=4, seed=1).fit(features[:50], labels[:50])
+        payload = json.loads(json.dumps(sequence_model_to_payload(model)))
+        rebuilt = load_sequence_model(payload)
+        for sequence in features[50:60]:
+            assert rebuilt.predict(sequence) == model.predict(sequence)
+
+    def test_hmm_roundtrip_preserves_predictions(self, annotated):
+        _, features, labels = annotated
+        model = HiddenMarkovModel().fit(features[:50], labels[:50])
+        payload = json.loads(json.dumps(sequence_model_to_payload(model)))
+        rebuilt = load_sequence_model(payload)
+        for sequence in features[50:60]:
+            assert rebuilt.predict(sequence) == model.predict(sequence)
+
+    def test_untrained_model_cannot_be_serialised(self):
+        with pytest.raises(NotFittedError):
+            sequence_model_to_payload(StructuredPerceptron())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_sequence_model({"kind": "transformer"})
+
+    def test_corrupted_shapes_rejected(self, annotated):
+        _, features, labels = annotated
+        model = StructuredPerceptron(iterations=2, seed=1).fit(features[:30], labels[:30])
+        payload = sequence_model_to_payload(model)
+        payload["emission"] = payload["emission"][:-1]  # drop one feature row
+        with pytest.raises(DataError):
+            load_sequence_model(payload)
+
+
+class TestNerModelRoundtrip:
+    def test_roundtrip(self, annotated):
+        phrases, _, _ = annotated
+        model = NerModel(IngredientFeatureExtractor(), family="perceptron", seed=0)
+        model.train([list(p.tokens) for p in phrases[:50]], [list(p.ner_tags) for p in phrases[:50]])
+        rebuilt = load_ner_model(json.loads(json.dumps(ner_model_to_payload(model))))
+        probe = list(phrases[55].tokens)
+        assert rebuilt.tag(probe) == model.tag(probe)
+
+    def test_unknown_extractor_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_ner_model({"feature_extractor": "mystery", "model": {}})
+
+
+class TestPosTaggerRoundtrip:
+    def test_roundtrip(self, pos_tagger):
+        payload = json.loads(json.dumps(pos_tagger_to_payload(pos_tagger)))
+        rebuilt = load_pos_tagger(payload)
+        probe = ["1/2", "cup", "finely", "chopped", "walnuts"]
+        assert rebuilt.tag_sequence(probe) == pos_tagger.tag_sequence(probe)
+
+    def test_untrained_tagger_rejected(self):
+        from repro.pos.tagger import PerceptronPosTagger
+
+        with pytest.raises(NotFittedError):
+            pos_tagger_to_payload(PerceptronPosTagger())
+
+
+class TestDictionaryRoundtrip:
+    def test_roundtrip(self, instruction_pipeline):
+        original = instruction_pipeline.process_dictionary
+        rebuilt = dictionary_from_payload(
+            json.loads(json.dumps(dictionary_to_payload(original)))
+        )
+        assert rebuilt.entries == original.entries
+        assert rebuilt.threshold == original.threshold
+
+
+class TestPipelineBundle:
+    @pytest.fixture(scope="class")
+    def bundle(self, modeler):
+        return PipelineBundle.from_modeler(modeler)
+
+    def test_save_and_load(self, bundle, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        loaded = PipelineBundle.load(path)
+        assert loaded.pos_tagger.is_trained
+        assert loaded.ingredient_pipeline.is_trained
+        assert loaded.instruction_pipeline.is_trained
+        assert loaded.instruction_pipeline.process_dictionary is not None
+
+    def test_loaded_bundle_matches_original_tagging(self, bundle, modeler, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        loaded = PipelineBundle.load(path)
+        phrase = "2-3 medium tomatoes"
+        original = modeler.components.ingredient_pipeline.tag_phrase(phrase)
+        rebuilt = loaded.ingredient_pipeline.tag_phrase(phrase)
+        assert original == rebuilt
+
+    def test_loaded_bundle_structures_text(self, bundle, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        loaded = PipelineBundle.load(path)
+        structured = loaded.model_text(
+            ingredient_lines=["2 cups sugar", "1 large onion, chopped"],
+            instruction_lines=["Preheat the oven to 350 degrees.", "Mix the sugar and onion in a bowl."],
+            title="Bundle Test",
+        )
+        assert len(structured.ingredients) == 2
+        assert len(structured.events) == 2
+        assert any(event.relations for event in structured.events)
+
+    def test_bundle_roundtrip_through_payload(self, bundle):
+        payload = json.loads(json.dumps(bundle.to_payload()))
+        rebuilt = PipelineBundle.from_payload(payload)
+        assert rebuilt.ingredient_pipeline.ner.labels() == bundle.ingredient_pipeline.ner.labels()

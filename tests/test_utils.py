@@ -1,0 +1,99 @@
+"""Tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils import (
+    argmax,
+    as_float_array,
+    batched,
+    flatten,
+    make_py_rng,
+    make_rng,
+    normalize_counts,
+    pairwise,
+    require_equal_lengths,
+    require_nonempty,
+    stable_unique,
+)
+
+
+class TestRngFactories:
+    def test_same_seed_same_stream(self):
+        assert make_rng(5).integers(1000) == make_rng(5).integers(1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert make_rng(generator) is generator
+
+    def test_py_rng_same_seed(self):
+        assert make_py_rng(3).random() == make_py_rng(3).random()
+
+    def test_py_rng_tuple_seed(self):
+        assert make_py_rng((1, "a", 2)).random() == make_py_rng((1, "a", 2)).random()
+        assert make_py_rng((1, "a", 2)).random() != make_py_rng((1, "b", 2)).random()
+
+    def test_py_rng_passthrough(self):
+        rng = make_py_rng(0)
+        assert make_py_rng(rng) is rng
+
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().integers(10**6) == make_rng().integers(10**6)
+
+
+class TestIterationHelpers:
+    def test_batched(self):
+        assert list(batched([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_batched_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            list(batched([1], 0))
+
+    def test_pairwise(self):
+        assert list(pairwise([1, 2, 3])) == [(1, 2), (2, 3)]
+
+    def test_flatten(self):
+        assert flatten([[1, 2], [3], []]) == [1, 2, 3]
+
+    def test_stable_unique(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+
+class TestValidation:
+    def test_require_equal_lengths(self):
+        require_equal_lengths("a", [1], "b", [2])
+        with pytest.raises(DataError):
+            require_equal_lengths("a", [1], "b", [2, 3])
+
+    def test_require_nonempty(self):
+        require_nonempty("x", [1])
+        with pytest.raises(DataError):
+            require_nonempty("x", [])
+
+    def test_argmax(self):
+        assert argmax([1.0, 5.0, 5.0, 2.0]) == 1
+
+    def test_argmax_empty_raises(self):
+        with pytest.raises(DataError):
+            argmax([])
+
+
+class TestNumericHelpers:
+    def test_normalize_counts(self):
+        assert normalize_counts({"a": 1.0, "b": 3.0}) == {"a": 0.25, "b": 0.75}
+
+    def test_normalize_counts_zero_total(self):
+        assert normalize_counts({"a": 0.0}) == {"a": 0.0}
+
+    def test_as_float_array_2d(self):
+        array = as_float_array([[1, 2], [3, 4]])
+        assert array.shape == (2, 2)
+        assert array.dtype == np.float64
+
+    def test_as_float_array_promotes_1d(self):
+        assert as_float_array([1, 2, 3]).shape == (1, 3)
+
+    def test_as_float_array_rejects_3d(self):
+        with pytest.raises(DataError):
+            as_float_array(np.zeros((2, 2, 2)))

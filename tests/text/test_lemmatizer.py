@@ -1,0 +1,88 @@
+"""Tests for the rule-and-exception lemmatizer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.text.lemmatizer import Lemmatizer
+
+
+@pytest.fixture(scope="module")
+def lemmatizer():
+    return Lemmatizer()
+
+
+class TestNounLemmatization:
+    @pytest.mark.parametrize(
+        "word, lemma",
+        [
+            ("tomatoes", "tomato"),
+            ("potatoes", "potato"),
+            ("cups", "cup"),
+            ("ounces", "ounce"),
+            ("berries", "berry"),
+            ("knives", "knife"),
+            ("leaves", "leaf"),
+            ("dishes", "dish"),
+            ("boxes", "box"),
+            ("eggs", "egg"),
+            ("cloves", "clove"),
+        ],
+    )
+    def test_plural_folding(self, lemmatizer, word, lemma):
+        assert lemmatizer.lemmatize(word) == lemma
+
+    @pytest.mark.parametrize("word", ["molasses", "couscous", "asparagus", "hummus"])
+    def test_mass_nouns_ending_in_s_are_untouched(self, lemmatizer, word):
+        assert lemmatizer.lemmatize(word) == word
+
+    def test_case_is_folded(self, lemmatizer):
+        assert lemmatizer.lemmatize("Tomatoes") == "tomato"
+
+    def test_singular_is_unchanged(self, lemmatizer):
+        assert lemmatizer.lemmatize("tomato") == "tomato"
+
+    def test_short_words_are_untouched(self, lemmatizer):
+        assert lemmatizer.lemmatize("gas") == "gas"
+
+    def test_double_s_is_untouched(self, lemmatizer):
+        assert lemmatizer.lemmatize("glass") == "glass"
+
+
+class TestVerbLemmatization:
+    @pytest.mark.parametrize(
+        "word, lemma",
+        [
+            ("chopped", "chop"),
+            ("chopping", "chop"),
+            ("fried", "fry"),
+            ("ground", "grind"),
+            ("frozen", "freeze"),
+            ("beaten", "beat"),
+            ("mixed", "mix"),
+            ("slicing", "slice"),
+            ("baking", "bake"),
+            ("stirs", "stir"),
+        ],
+    )
+    def test_verb_forms(self, lemmatizer, word, lemma):
+        assert lemmatizer.lemmatize(word, pos="verb") == lemma
+
+    def test_base_form_unchanged(self, lemmatizer):
+        assert lemmatizer.lemmatize("boil", pos="verb") == "boil"
+
+
+class TestConfiguration:
+    def test_unknown_pos_raises(self, lemmatizer):
+        with pytest.raises(ConfigurationError):
+            lemmatizer.lemmatize("tomatoes", pos="adjective")
+
+    def test_extra_noun_exception_wins(self):
+        custom = Lemmatizer(extra_noun_exceptions={"okhra": "okra"})
+        assert custom.lemmatize("okhra") == "okra"
+
+    def test_extra_verb_exception_wins(self):
+        custom = Lemmatizer(extra_verb_exceptions={"sautéed": "saute"})
+        assert custom.lemmatize("sautéed", pos="verb") == "saute"
+
+    def test_lemmatize_tokens_helper(self, lemmatizer):
+        assert lemmatizer.lemmatize_tokens(["Tomatoes", "cups"]) == ["tomato", "cup"]

@@ -1,0 +1,87 @@
+"""Tests for text normalisation helpers."""
+
+import pytest
+
+from repro.text.normalize import (
+    fold_unicode_fractions,
+    normalize_phrase,
+    normalize_token,
+    parse_quantity,
+    split_quantity_range,
+)
+
+
+class TestUnicodeFractions:
+    def test_standalone_fraction(self):
+        assert fold_unicode_fractions("½ cup sugar") == "1/2 cup sugar"
+
+    def test_attached_mixed_fraction_gets_a_space(self):
+        assert fold_unicode_fractions("1½ cups") == "1 1/2 cups"
+
+    def test_three_quarters(self):
+        assert fold_unicode_fractions("¾ teaspoon") == "3/4 teaspoon"
+
+    def test_no_fraction_is_unchanged(self):
+        assert fold_unicode_fractions("2 cups flour") == "2 cups flour"
+
+
+class TestNormalizeToken:
+    def test_lowercases(self):
+        assert normalize_token("Tomato") == "tomato"
+
+    def test_strips_stray_hyphens(self):
+        assert normalize_token("-fresh-") == "fresh"
+
+    def test_keeps_internal_hyphen(self):
+        assert normalize_token("All-Purpose") == "all-purpose"
+
+
+class TestNormalizePhrase:
+    def test_full_phrase(self):
+        assert normalize_phrase("2 Cups  All-Purpose Flour") == "2 cups all-purpose flour"
+
+    def test_unicode_fraction_in_phrase(self):
+        assert normalize_phrase("1½ cups Sugar") == "1 1/2 cups sugar"
+
+
+class TestSplitQuantityRange:
+    def test_simple_range(self):
+        assert split_quantity_range("2-3") == ("2", "3")
+
+    def test_decimal_range(self):
+        assert split_quantity_range("1.5-2") == ("1.5", "2")
+
+    def test_not_a_range(self):
+        assert split_quantity_range("2") is None
+
+    def test_word_is_not_a_range(self):
+        assert split_quantity_range("extra-large") is None
+
+
+class TestParseQuantity:
+    @pytest.mark.parametrize(
+        "token, expected",
+        [
+            ("2", 2.0),
+            ("0.5", 0.5),
+            ("1/2", 0.5),
+            ("3/4", 0.75),
+            ("1 1/2", 1.5),
+            ("2-3", 2.5),
+            ("2-4", 3.0),
+        ],
+    )
+    def test_numeric_forms(self, token, expected):
+        assert parse_quantity(token) == pytest.approx(expected)
+
+    def test_non_numeric_returns_none(self):
+        assert parse_quantity("some") is None
+
+    def test_zero_denominator_returns_none(self):
+        assert parse_quantity("1/0") is None
+
+    def test_mixed_with_zero_denominator_returns_none(self):
+        assert parse_quantity("1 1/0") is None
+
+    def test_whitespace_is_tolerated(self):
+        assert parse_quantity("  2  ") == 2.0

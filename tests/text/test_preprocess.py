@@ -1,0 +1,71 @@
+"""Tests for the pre-processing pipeline (Section II.C behaviour)."""
+
+from repro.text.preprocess import (
+    PreprocessConfig,
+    Preprocessor,
+    default_ingredient_preprocessor,
+    default_instruction_preprocessor,
+)
+
+
+class TestIngredientPreprocessing:
+    def test_plurality_and_case_are_folded(self):
+        # The paper's own example: "tomatoes" and "Tomato" become "tomato".
+        preprocessor = Preprocessor()
+        assert preprocessor("2 Tomatoes") == ["2", "tomato"]
+        assert preprocessor("1 tomato") == ["1", "tomato"]
+
+    def test_stop_words_are_removed(self):
+        preprocessor = Preprocessor()
+        assert preprocessor("a pinch of salt") == ["pinch", "salt"]
+
+    def test_numbers_are_preserved(self):
+        preprocessor = Preprocessor()
+        assert preprocessor("1 1/2 cups flour")[0] == "1 1/2"
+
+    def test_lowercase_only_configuration(self):
+        preprocessor = Preprocessor(
+            PreprocessConfig(remove_stop_words=False, lemmatize=False)
+        )
+        assert preprocessor("The Tomatoes") == ["the", "tomatoes"]
+
+    def test_disabled_lowercase(self):
+        preprocessor = Preprocessor(
+            PreprocessConfig(lowercase=False, remove_stop_words=False, lemmatize=False)
+        )
+        assert preprocessor("Fresh Thyme") == ["Fresh", "Thyme"]
+
+
+class TestAlignment:
+    def test_alignment_maps_back_to_raw_tokens(self):
+        preprocessor = Preprocessor()
+        result = preprocessor.run("a pinch of Nutmeg")
+        # "a" and "of" are dropped; the surviving tokens map to raw positions.
+        assert result.tokens == ["pinch", "nutmeg"]
+        assert [result.raw_token_for(i).text for i in range(len(result.tokens))] == [
+            "pinch",
+            "Nutmeg",
+        ]
+
+    def test_alignment_identity_without_stop_words(self):
+        preprocessor = Preprocessor()
+        result = preprocessor.run("2 cups sugar")
+        assert result.alignment == [0, 1, 2]
+
+    def test_empty_input(self):
+        preprocessor = Preprocessor()
+        result = preprocessor.run("")
+        assert result.tokens == []
+        assert result.alignment == []
+
+
+class TestDefaults:
+    def test_default_ingredient_preprocessor_lemmatizes(self):
+        assert default_ingredient_preprocessor()("Chopped Walnuts") == ["chopped", "walnut"]
+
+    def test_default_instruction_preprocessor_keeps_prepositions(self):
+        tokens = default_instruction_preprocessor()("Fry the potatoes with olive oil in a pan")
+        assert "with" in tokens
+        assert "in" in tokens
+        assert "the" not in tokens
+        assert "a" not in tokens

@@ -1,0 +1,39 @@
+"""Tests for the stop-word lists."""
+
+from repro.text.stopwords import INSTRUCTION_SAFE_STOP_WORDS, STOP_WORDS, is_stop_word
+
+
+class TestIngredientStopWords:
+    def test_common_stop_words_are_removed(self):
+        for word in ("the", "a", "an", "of", "and"):
+            assert is_stop_word(word)
+
+    def test_case_insensitive(self):
+        assert is_stop_word("The")
+        assert is_stop_word("OF")
+
+    def test_content_words_survive(self):
+        for word in ("tomato", "cup", "frozen", "chopped", "pepper"):
+            assert not is_stop_word(word)
+
+    def test_prepositions_needed_by_parsing_are_not_in_instruction_set(self):
+        # The instruction-mode list must keep "with"/"in"/"to" because the
+        # relation extractor relies on prepositional attachment.
+        for word in ("with", "in", "to", "over", "for"):
+            assert not is_stop_word(word, instruction_mode=True)
+
+    def test_instruction_mode_still_removes_determiners(self):
+        assert is_stop_word("the", instruction_mode=True)
+        assert is_stop_word("a", instruction_mode=True)
+
+
+class TestListContents:
+    def test_instruction_list_is_subset_of_full_list(self):
+        assert INSTRUCTION_SAFE_STOP_WORDS <= STOP_WORDS
+
+    def test_lists_are_lowercase(self):
+        assert all(word == word.lower() for word in STOP_WORDS)
+
+    def test_lists_are_frozen(self):
+        assert isinstance(STOP_WORDS, frozenset)
+        assert isinstance(INSTRUCTION_SAFE_STOP_WORDS, frozenset)

@@ -1,0 +1,82 @@
+"""Tests for the recipe-aware tokenizer."""
+
+from repro.text.tokenizer import Token, tokenize, tokenize_with_spans
+
+
+class TestBasicTokenization:
+    def test_simple_phrase(self):
+        assert tokenize("3/4 cup sugar") == ["3/4", "cup", "sugar"]
+
+    def test_paper_example_puff_pastry(self):
+        assert tokenize("1 sheet frozen puff pastry ( thawed )") == [
+            "1", "sheet", "frozen", "puff", "pastry", "(", "thawed", ")",
+        ]
+
+    def test_tight_comma_is_split(self):
+        assert tokenize("pepper,freshly ground") == ["pepper", ",", "freshly", "ground"]
+
+    def test_tight_parentheses_are_split(self):
+        assert tokenize("(8 ounce) package") == ["(", "8", "ounce", ")", "package"]
+
+    def test_range_is_one_token(self):
+        assert tokenize("2-3 medium tomatoes") == ["2-3", "medium", "tomatoes"]
+
+    def test_decimal_range(self):
+        assert tokenize("1.5-2 cups") == ["1.5-2", "cups"]
+
+    def test_mixed_fraction_is_one_token(self):
+        assert tokenize("1 1/2 cups flour") == ["1 1/2", "cups", "flour"]
+
+    def test_mixed_fraction_with_extra_spaces_is_canonicalised(self):
+        assert tokenize("1   1/2 cups") == ["1 1/2", "cups"]
+
+    def test_plain_fraction(self):
+        assert tokenize("1/2 teaspoon salt") == ["1/2", "teaspoon", "salt"]
+
+    def test_decimal_number(self):
+        assert tokenize("0.5 liter milk") == ["0.5", "liter", "milk"]
+
+    def test_hyphenated_compound_stays_together(self):
+        assert tokenize("half-and-half") == ["half-and-half"]
+
+    def test_all_purpose_flour(self):
+        assert tokenize("2 cups all-purpose flour") == ["2", "cups", "all-purpose", "flour"]
+
+    def test_standalone_hyphen_is_a_token(self):
+        assert tokenize("flour - 2 cups") == ["flour", "-", "2", "cups"]
+
+    def test_period_kept(self):
+        assert tokenize("Preheat the oven.") == ["Preheat", "the", "oven", "."]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t  ") == []
+
+    def test_apostrophe_compound(self):
+        assert tokenize("confectioner's sugar") == ["confectioner's", "sugar"]
+
+
+class TestTokenSpans:
+    def test_spans_point_back_into_text(self):
+        text = "1/2 teaspoon pepper"
+        tokens = tokenize_with_spans(text)
+        assert all(isinstance(token, Token) for token in tokens)
+        for token in tokens:
+            assert text[token.start : token.end] == token.text
+
+    def test_spans_are_ordered_and_non_overlapping(self):
+        tokens = tokenize_with_spans("2 cups all-purpose flour, sifted")
+        for left, right in zip(tokens, tokens[1:]):
+            assert left.end <= right.start
+
+    def test_str_of_token_is_its_text(self):
+        token = tokenize_with_spans("sugar")[0]
+        assert str(token) == "sugar"
+
+    def test_canonical_text_of_mixed_fraction(self):
+        tokens = tokenize_with_spans("1  1/2 cups")
+        assert tokens[0].text == "1 1/2"
+        # The span still covers the raw (un-canonicalised) slice.
+        assert tokens[0].start == 0

@@ -1,0 +1,84 @@
+"""Tests for the bidirectional vocabulary."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.text.vocab import Vocabulary
+
+
+class TestConstruction:
+    def test_initial_symbols_get_sequential_indices(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert [vocab.index(s) for s in "abc"] == [0, 1, 2]
+
+    def test_duplicates_are_collapsed(self):
+        vocab = Vocabulary(["a", "b", "a"])
+        assert len(vocab) == 2
+
+    def test_frozen_at_construction(self):
+        vocab = Vocabulary(["a"], frozen=True)
+        assert vocab.frozen
+        with pytest.raises(VocabularyError):
+            vocab.add("b")
+
+
+class TestAddAndLookup:
+    def test_add_returns_index(self):
+        vocab = Vocabulary()
+        assert vocab.add("x") == 0
+        assert vocab.add("y") == 1
+        assert vocab.add("x") == 0  # idempotent
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(["a"]).index("missing")
+
+    def test_get_with_default(self):
+        vocab = Vocabulary(["a"])
+        assert vocab.get("missing") is None
+        assert vocab.get("missing", -1) == -1
+        assert vocab.get("a") == 0
+
+    def test_symbol_roundtrip(self):
+        vocab = Vocabulary(["salt", "pepper"])
+        assert vocab.symbol(vocab.index("pepper")) == "pepper"
+
+    def test_symbol_out_of_range_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(["a"]).symbol(5)
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary(["a", "b"])
+        assert "a" in vocab
+        assert "z" not in vocab
+        assert list(vocab) == ["a", "b"]
+
+
+class TestFreezing:
+    def test_freeze_prevents_additions(self):
+        vocab = Vocabulary(["a"])
+        vocab.freeze()
+        with pytest.raises(VocabularyError):
+            vocab.add("b")
+
+    def test_freeze_returns_self(self):
+        vocab = Vocabulary()
+        assert vocab.freeze() is vocab
+
+
+class TestSerialisation:
+    def test_to_from_dict_roundtrip(self):
+        vocab = Vocabulary(["salt", "pepper", "cumin"])
+        rebuilt = Vocabulary.from_dict(vocab.to_dict())
+        assert rebuilt == vocab
+        assert rebuilt.frozen
+
+    def test_from_dict_with_gaps_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.from_dict({"a": 0, "b": 2})
+
+    def test_symbols_returns_copy(self):
+        vocab = Vocabulary(["a"])
+        symbols = vocab.symbols()
+        symbols.append("mutated")
+        assert len(vocab) == 1
