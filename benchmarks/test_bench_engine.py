@@ -1,0 +1,234 @@
+"""Perf-smoke benchmark for the vectorized engine (writes BENCH_engine.json).
+
+Times the two hot paths the engine rewrote against faithful re-implementations
+of the seed's per-token Python loops, on the same simulated corpus:
+
+* one L-BFGS objective/gradient evaluation of the CRF (training inner loop);
+* corpus-scale Viterbi decode (``predict_batch`` feeding ``model_corpus``).
+
+The measured wall times and speedups are written to
+``benchmarks/BENCH_engine.json`` so the perf trajectory is tracked across
+PRs.  The run fails if either speedup drops below 3x or if the engine and
+seed paths disagree on a single prediction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp
+
+from repro.engine import EncodedDataset
+from repro.ner.crf import LinearChainCRF
+from repro.ner.features import IngredientFeatureExtractor
+from repro.ner.structured_perceptron import StructuredPerceptron
+
+from conftest import emit
+
+RESULT_PATH = Path(__file__).parent / "BENCH_engine.json"
+MIN_SPEEDUP = 3.0
+REPEATS = 3
+
+
+def _best_time(function, *args):
+    best = np.inf
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = function(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+# --------------------------------------------------------- seed re-implementations
+
+
+def _seed_objective(crf, params, feature_sequences, label_sequences):
+    """The seed CRF objective: per-token emission loops, per-timestep xi."""
+    n_features = len(crf.feature_vocab)
+    n_labels = len(crf.label_vocab)
+    emission, transition, start, end = crf._split(params, n_features, n_labels)
+    grad_emission = np.zeros_like(emission)
+    grad_transition = np.zeros_like(transition)
+    grad_start = np.zeros_like(start)
+    grad_end = np.zeros_like(end)
+    nll = 0.0
+
+    encoded = []
+    for sentence, labels in zip(feature_sequences, label_sequences):
+        if len(sentence) == 0:
+            continue
+        token_feature_indices = [
+            np.array(
+                sorted(
+                    {
+                        index
+                        for feature in token_features
+                        if (index := crf.feature_vocab.get(feature)) is not None
+                    }
+                ),
+                dtype=np.int64,
+            )
+            for token_features in sentence
+        ]
+        label_indices = np.array(
+            [crf.label_vocab.index(label) for label in labels], dtype=np.int64
+        )
+        encoded.append((token_feature_indices, label_indices))
+
+    for token_feature_indices, label_indices in encoded:
+        length = len(token_feature_indices)
+        emissions = np.zeros((length, n_labels))
+        for t, indices in enumerate(token_feature_indices):
+            if indices.size:
+                emissions[t] = emission[indices].sum(axis=0)
+        alpha = np.empty((length, n_labels))
+        alpha[0] = start + emissions[0]
+        for t in range(1, length):
+            alpha[t] = logsumexp(alpha[t - 1][:, None] + transition, axis=0) + emissions[t]
+        beta = np.empty((length, n_labels))
+        beta[-1] = end
+        for t in range(length - 2, -1, -1):
+            beta[t] = logsumexp(transition + (emissions[t + 1] + beta[t + 1])[None, :], axis=1)
+        log_z = logsumexp(alpha[-1] + end)
+
+        gold = start[label_indices[0]] + emissions[0, label_indices[0]]
+        for t in range(1, length):
+            gold += transition[label_indices[t - 1], label_indices[t]]
+            gold += emissions[t, label_indices[t]]
+        gold += end[label_indices[-1]]
+        nll += log_z - gold
+
+        gamma = np.exp(alpha + beta - log_z)
+        for t, indices in enumerate(token_feature_indices):
+            if indices.size:
+                grad_emission[indices] += gamma[t]
+                grad_emission[indices, label_indices[t]] -= 1.0
+        grad_start += gamma[0]
+        grad_start[label_indices[0]] -= 1.0
+        grad_end += gamma[-1]
+        grad_end[label_indices[-1]] -= 1.0
+        for t in range(1, length):
+            pairwise = (
+                alpha[t - 1][:, None]
+                + transition
+                + emissions[t][None, :]
+                + beta[t][None, :]
+                - log_z
+            )
+            grad_transition += np.exp(pairwise)
+            grad_transition[label_indices[t - 1], label_indices[t]] -= 1.0
+
+    nll += 0.5 * crf.l2 * float(np.dot(params, params))
+    gradient = np.concatenate(
+        [grad_emission.ravel(), grad_transition.ravel(), grad_start, grad_end]
+    )
+    gradient += crf.l2 * params
+    return nll, gradient
+
+
+def _seed_decode(model, feature_sequences):
+    """The seed decode loop: re-encode and Viterbi one sentence at a time."""
+    results = []
+    for feature_sequence in feature_sequences:
+        if len(feature_sequence) == 0:
+            results.append([])
+            continue
+        n_labels = len(model.label_vocab)
+        token_feature_indices = [
+            np.array(
+                sorted(
+                    {
+                        index
+                        for feature in token_features
+                        if (index := model.feature_vocab.get(feature)) is not None
+                    }
+                ),
+                dtype=np.int64,
+            )
+            for token_features in feature_sequence
+        ]
+        emissions = np.zeros((len(token_feature_indices), n_labels))
+        for t, indices in enumerate(token_feature_indices):
+            if indices.size:
+                emissions[t] = model.emission_weights[indices].sum(axis=0)
+        path = model._viterbi(
+            emissions, model.transition_weights, model.start_weights, model.end_weights
+        )
+        results.append([model.label_vocab.symbol(int(index)) for index in path])
+    return results
+
+
+# ------------------------------------------------------------------- benchmark
+
+
+@pytest.fixture(scope="module")
+def labelled_sentences(corpora):
+    extractor = IngredientFeatureExtractor()
+    phrases = corpora.combined.ingredient_phrases()[:1000]
+    features = [extractor.sequence_features(list(phrase.tokens)) for phrase in phrases]
+    labels = [list(phrase.ner_tags) for phrase in phrases]
+    return features, labels
+
+
+def test_bench_engine(labelled_sentences):
+    features, labels = labelled_sentences
+
+    # ---- (a) CRF objective evaluation: engine vs seed loops.
+    crf = LinearChainCRF()
+    crf._build_vocabularies(features, labels)
+    dataset = EncodedDataset.build(crf.encoder, crf.label_vocab, features, labels)
+    n_features = len(crf.feature_vocab)
+    n_labels = len(crf.label_vocab)
+    rng = np.random.default_rng(0)
+    params = rng.normal(
+        scale=0.05, size=n_features * n_labels + n_labels * n_labels + 2 * n_labels
+    )
+    engine_fit_s, (value, gradient) = _best_time(
+        crf._objective, params, dataset, n_features, n_labels
+    )
+    seed_fit_s, (seed_value, seed_gradient) = _best_time(
+        _seed_objective, crf, params, features, labels
+    )
+    np.testing.assert_allclose(value, seed_value, rtol=1e-10)
+    np.testing.assert_allclose(gradient, seed_gradient, rtol=1e-8, atol=1e-10)
+    fit_speedup = seed_fit_s / engine_fit_s
+
+    # ---- (b) corpus-scale decode: batched engine vs seed per-line loop.
+    model = StructuredPerceptron(iterations=2, seed=0).fit(features, labels)
+    engine_decode_s, batched = _best_time(model.predict_batch, features)
+    seed_decode_s, sequential = _best_time(_seed_decode, model, features)
+    assert batched == sequential, "batched decode must match the seed predictions"
+    decode_speedup = seed_decode_s / engine_decode_s
+
+    report = {
+        "corpus_sentences": len(features),
+        "n_features": n_features,
+        "n_labels": n_labels,
+        "fit_objective": {
+            "seed_s": round(seed_fit_s, 6),
+            "engine_s": round(engine_fit_s, 6),
+            "speedup": round(fit_speedup, 2),
+        },
+        "corpus_decode": {
+            "seed_s": round(seed_decode_s, 6),
+            "engine_s": round(engine_decode_s, 6),
+            "speedup": round(decode_speedup, 2),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit(
+        "ENGINE PERF SMOKE (BENCH_engine.json)",
+        json.dumps(report, indent=2),
+    )
+
+    assert fit_speedup >= MIN_SPEEDUP, (
+        f"CRF objective speedup {fit_speedup:.1f}x below the {MIN_SPEEDUP}x floor"
+    )
+    assert decode_speedup >= MIN_SPEEDUP, (
+        f"corpus decode speedup {decode_speedup:.1f}x below the {MIN_SPEEDUP}x floor"
+    )

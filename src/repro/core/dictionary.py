@@ -91,8 +91,8 @@ def _collect_counts(
     """Tag every sequence and count predicted PROCESS / UTENSIL strings."""
     process_counts: Counter = Counter()
     utensil_counts: Counter = Counter()
-    for tokens in token_sequences:
-        tags = ner.tag(tokens)
+    tag_sequences = ner.tag_batch(token_sequences)
+    for tokens, tags in zip(token_sequences, tag_sequences):
         index = 0
         while index < len(tokens):
             tag = tags[index]

@@ -80,6 +80,12 @@ class IngredientPipeline:
             raise NotFittedError("IngredientPipeline used before training")
         return self.ner.tag(tokens)
 
+    def tag_token_batch(self, token_sequences: Sequence[Sequence[str]]) -> list[list[str]]:
+        """Raw tag predictions for many tokenised phrases (batched decode)."""
+        if not self.is_trained:
+            raise NotFittedError("IngredientPipeline used before training")
+        return self.ner.tag_batch(token_sequences)
+
     def tag_phrase(self, phrase: str) -> list[tuple[str, str]]:
         """(token, tag) pairs for a raw phrase string."""
         tokens = tokenize(phrase)
@@ -89,15 +95,23 @@ class IngredientPipeline:
 
     def extract_record(self, phrase: str) -> IngredientRecord:
         """Full Table I style record for one raw ingredient phrase."""
-        tokens = tokenize(phrase)
-        if not tokens:
-            return IngredientRecord(phrase=phrase)
-        tags = self.tag_tokens(tokens)
-        return self.record_from_tagged(phrase, tokens, tags)
+        return self.extract_records([phrase])[0]
 
     def extract_records(self, phrases: Sequence[str]) -> list[IngredientRecord]:
-        """Records for many raw phrases."""
-        return [self.extract_record(phrase) for phrase in phrases]
+        """Records for many raw phrases; all phrases are tagged in one batch."""
+        token_sequences = [tokenize(phrase) for phrase in phrases]
+        nonempty = [index for index, tokens in enumerate(token_sequences) if tokens]
+        tag_sequences = (
+            self.tag_token_batch([token_sequences[index] for index in nonempty])
+            if nonempty
+            else []
+        )
+        records = [IngredientRecord(phrase=phrase) for phrase in phrases]
+        for index, tags in zip(nonempty, tag_sequences):
+            records[index] = self.record_from_tagged(
+                phrases[index], token_sequences[index], tags
+            )
+        return records
 
     def record_from_tagged(
         self, phrase: str, tokens: Sequence[str], tags: Sequence[str]

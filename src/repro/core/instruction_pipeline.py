@@ -113,12 +113,47 @@ class InstructionPipeline:
             return tags
         return self._filter_tags(tokens, tags)
 
+    def tag_token_batch(
+        self, token_sequences: Sequence[Sequence[str]], *, apply_dictionary: bool = True
+    ) -> list[list[str]]:
+        """Per-token tags for many tokenised steps (batched decode)."""
+        if not self.is_trained:
+            raise NotFittedError("InstructionPipeline used before training")
+        tag_sequences = self.ner.tag_batch(token_sequences)
+        if not apply_dictionary:
+            return tag_sequences
+        return [
+            self._filter_tags(tokens, tags)
+            for tokens, tags in zip(token_sequences, tag_sequences)
+        ]
+
     def extract(self, text: str, *, apply_dictionary: bool = True) -> InstructionEntities:
         """Entities for one raw instruction string."""
-        tokens = tokenize(text)
-        if not tokens:
-            return InstructionEntities((), (), (), (), ())
-        tags = self.tag_tokens(tokens, apply_dictionary=apply_dictionary)
+        return self.extract_batch([text], apply_dictionary=apply_dictionary)[0]
+
+    def extract_batch(
+        self, texts: Sequence[str], *, apply_dictionary: bool = True
+    ) -> list[InstructionEntities]:
+        """Entities for many raw instruction strings, tagged in one batch."""
+        token_sequences = [tokenize(text) for text in texts]
+        nonempty = [index for index, tokens in enumerate(token_sequences) if tokens]
+        tag_sequences = (
+            self.tag_token_batch(
+                [token_sequences[index] for index in nonempty],
+                apply_dictionary=apply_dictionary,
+            )
+            if nonempty
+            else []
+        )
+        entities = [InstructionEntities((), (), (), (), ()) for _ in texts]
+        for index, tags in zip(nonempty, tag_sequences):
+            entities[index] = self._entities_from_tagged(token_sequences[index], tags)
+        return entities
+
+    def _entities_from_tagged(
+        self, tokens: Sequence[str], tags: Sequence[str]
+    ) -> InstructionEntities:
+        """Group tagged tokens into canonicalised entity spans."""
         processes: list[str] = []
         ingredients: list[str] = []
         utensils: list[str] = []

@@ -123,7 +123,7 @@ class RecipeModeler:
         instruction_pipeline = InstructionPipeline(
             model_family=config.model_family, seed=config.seed
         )
-        training_steps, held_out_steps = self._select_instruction_steps(corpus)
+        training_steps, held_out_steps = self._select_instruction_steps(steps)
         instruction_pipeline.train(training_steps)
         instruction_pipeline.build_dictionaries(
             [list(step.tokens) for step in steps],
@@ -162,10 +162,13 @@ class RecipeModeler:
         return tagger
 
     def _select_instruction_steps(
-        self, corpus: RecipeDB
+        self, steps: list[AnnotatedInstruction]
     ) -> tuple[list[AnnotatedInstruction], list[AnnotatedInstruction]]:
-        """Pick the training steps: longest steps first (paper's heuristic)."""
-        steps = corpus.instruction_steps()
+        """Pick the training steps: longest steps first (paper's heuristic).
+
+        ``steps`` is the list :meth:`fit` already materialised; re-reading it
+        from the corpus would re-tokenize every instruction.
+        """
         ranked = sorted(steps, key=lambda step: len(step.tokens), reverse=True)
         budget = min(self.config.instruction_training_steps, max(1, len(ranked) // 2))
         training = ranked[:budget]
@@ -198,20 +201,26 @@ class RecipeModeler:
         recipe_id: str = "recipe",
         title: str = "",
     ) -> StructuredRecipe:
-        """Structure raw recipe text (the public entry point of the library)."""
+        """Structure raw recipe text (the public entry point of the library).
+
+        All ingredient lines and all instruction lines are tagged in two
+        batched decodes; repeated lines come out of the models' decode caches.
+        """
         components = self.components
-        records = [
-            components.ingredient_pipeline.extract_record(line)
-            for line in ingredient_lines
+        records = components.ingredient_pipeline.extract_records(
+            [line for line in ingredient_lines if line.strip()]
+        )
+        kept_steps = [
+            (step_index, line)
+            for step_index, line in enumerate(instruction_lines)
             if line.strip()
         ]
+        entity_batch = components.instruction_pipeline.extract_batch(
+            [line for _, line in kept_steps],
+            apply_dictionary=self.config.apply_dictionary,
+        )
         events: list[InstructionEvent] = []
-        for step_index, line in enumerate(instruction_lines):
-            if not line.strip():
-                continue
-            entities = components.instruction_pipeline.extract(
-                line, apply_dictionary=self.config.apply_dictionary
-            )
+        for (step_index, line), entities in zip(kept_steps, entity_batch):
             relations = components.relation_extractor.extract(
                 list(entities.tokens), list(entities.tags)
             )
@@ -233,8 +242,33 @@ class RecipeModeler:
         )
 
     def model_corpus(self, corpus: RecipeDB) -> list[StructuredRecipe]:
-        """Structure every recipe of ``corpus``."""
-        return [self.model_recipe(recipe) for recipe in corpus]
+        """Structure every recipe of ``corpus``.
+
+        The corpus-scale path first tags *all* ingredient lines and *all*
+        instruction steps of the corpus in two large batched decodes, priming
+        the pipelines' decoded-line caches; per-recipe assembly then reads
+        every line from cache, so the result is element-wise identical to
+        calling :meth:`model_recipe` per recipe.
+        """
+        recipes = list(corpus)
+        components = self.components
+        ingredient_tokens = [
+            tokens
+            for recipe in recipes
+            for phrase in recipe.ingredients
+            if phrase.text.strip() and (tokens := tokenize(phrase.text))
+        ]
+        instruction_tokens = [
+            tokens
+            for recipe in recipes
+            for step in recipe.instructions
+            if step.text.strip() and (tokens := tokenize(step.text))
+        ]
+        if ingredient_tokens:
+            components.ingredient_pipeline.tag_token_batch(ingredient_tokens)
+        if instruction_tokens:
+            components.instruction_pipeline.ner.tag_batch(instruction_tokens)
+        return [self.model_recipe(recipe) for recipe in recipes]
 
     # --------------------------------------------------------------- parsing
 

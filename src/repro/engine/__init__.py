@@ -1,0 +1,58 @@
+"""Vectorized sequence-labeling engine.
+
+``repro.engine`` is the shared encode/score/decode substrate behind the four
+sequence labelers (:class:`~repro.ner.crf.LinearChainCRF`,
+:class:`~repro.ner.hmm.HiddenMarkovModel`,
+:class:`~repro.ner.structured_perceptron.StructuredPerceptron` and the POS
+:class:`~repro.pos.perceptron.AveragedPerceptron`).  The design moves all
+per-token work out of Python loops:
+
+* :mod:`repro.engine.encoder` interns string features to integer ids once and
+  stores them as CSR-style ``indices``/``offsets`` arrays
+  (:class:`EncodedSequence`, :class:`EncodedBatch`) plus a full training-set
+  encoding with precomputed empirical counts (:class:`EncodedDataset`);
+* :mod:`repro.engine.lattice` holds the NumPy kernels: one-shot emission
+  gathers (``np.add.reduceat`` over the CSR layout), batched log-space
+  forward/backward recursions and padded batch Viterbi;
+* :mod:`repro.engine.batching` groups sequences into length buckets so a
+  single kernel call decodes hundreds of sentences;
+* :mod:`repro.engine.scorer` compiles string-keyed perceptron weights into a
+  dense matrix scorer (bitwise-identical to dictionary scoring);
+* :mod:`repro.engine.session` memoizes feature extraction and decoded lines
+  for the corpus-scale inference paths.
+"""
+
+from repro.engine.batching import LengthBuckets, bucket_length
+from repro.engine.encoder import (
+    EncodedBatch,
+    EncodedDataset,
+    EncodedSequence,
+    FeatureEncoder,
+)
+from repro.engine.lattice import (
+    backward_batch,
+    decode_emissions,
+    flat_emission_scores,
+    forward_batch,
+    sequence_emission_scores,
+    viterbi_padded,
+)
+from repro.engine.scorer import CompiledLinearScorer
+from repro.engine.session import InferenceSession
+
+__all__ = [
+    "CompiledLinearScorer",
+    "EncodedBatch",
+    "EncodedDataset",
+    "EncodedSequence",
+    "FeatureEncoder",
+    "InferenceSession",
+    "LengthBuckets",
+    "backward_batch",
+    "bucket_length",
+    "decode_emissions",
+    "flat_emission_scores",
+    "forward_batch",
+    "sequence_emission_scores",
+    "viterbi_padded",
+]

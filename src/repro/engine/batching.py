@@ -1,0 +1,57 @@
+"""Length bucketing for padded batch decoding.
+
+Sentences are grouped into buckets whose width is the sentence length rounded
+up to the next power of two; every bucket is decoded with one padded kernel
+call.  Padding wastes at most half of each lattice sweep while keeping the
+number of distinct kernel launches logarithmic in the length range, which is
+the standard trade-off for CPU-vectorized sequence models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["LengthBuckets", "bucket_length", "pad_and_stack"]
+
+
+def bucket_length(length: int) -> int:
+    """Bucket width for a sentence of ``length`` tokens (next power of two)."""
+    if length <= 1:
+        return 1
+    return 1 << (length - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class LengthBuckets:
+    """Sentence ids grouped by padded bucket width."""
+
+    buckets: dict[int, np.ndarray]  # width -> (batch,) sentence ids
+
+    @classmethod
+    def from_lengths(cls, lengths: Sequence[int]) -> "LengthBuckets":
+        widths = np.array([bucket_length(int(n)) for n in lengths], dtype=np.int64)
+        buckets = {
+            int(width): np.flatnonzero(widths == width)
+            for width in np.unique(widths)
+        }
+        return cls(buckets=buckets)
+
+
+def pad_and_stack(
+    matrices: Sequence[np.ndarray], sentence_ids: np.ndarray, width: int
+) -> np.ndarray:
+    """Stack ``matrices[i]`` for ``i`` in ``sentence_ids`` into ``(B, width, L)``.
+
+    Rows beyond each sentence's true length are zero; the lattice kernels
+    carry scores through padded steps unchanged, so the padding value never
+    reaches a result.
+    """
+    n_labels = matrices[sentence_ids[0]].shape[1]
+    stacked = np.zeros((len(sentence_ids), width, n_labels), dtype=np.float64)
+    for row, sentence_id in enumerate(sentence_ids):
+        emissions = matrices[sentence_id]
+        stacked[row, : emissions.shape[0]] = emissions
+    return stacked

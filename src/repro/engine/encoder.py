@@ -1,0 +1,331 @@
+"""Feature interning and CSR-style dataset encoding.
+
+The sequence labelers all consume per-token *string* features.  Re-mapping
+those strings to integer ids on every objective evaluation or prediction is
+the single largest cost of the seed implementation, so the encoder performs
+the mapping exactly once and stores the result in a compressed-sparse-row
+layout:
+
+* ``indices`` -- one flat ``int64`` array with the (deduplicated, sorted)
+  feature ids of every token, concatenated;
+* ``offsets`` -- ``int64`` array of length ``n_tokens + 1`` such that token
+  ``t`` owns ``indices[offsets[t]:offsets[t + 1]]``.
+
+On top of the per-sentence (:class:`EncodedSequence`) and per-corpus
+(:class:`EncodedBatch`) views, :class:`EncodedDataset` prepares everything a
+training objective needs: gold labels, exact-length sentence groups with
+precomputed gather indices, a feature scatter plan for the emission gradient
+and the (parameter-independent) empirical feature counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.text.vocab import Vocabulary
+from repro.utils import require_equal_lengths
+
+__all__ = ["EncodedBatch", "EncodedDataset", "EncodedSequence", "FeatureEncoder"]
+
+
+@dataclass(frozen=True)
+class EncodedSequence:
+    """One sentence in CSR form: flat feature ids + per-token offsets."""
+
+    indices: np.ndarray  # (total_active_features,) int64
+    offsets: np.ndarray  # (n_tokens + 1,) int64
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def token_indices(self, position: int) -> np.ndarray:
+        """Feature ids active at ``position`` (a view, do not mutate)."""
+        return self.indices[self.offsets[position] : self.offsets[position + 1]]
+
+
+@dataclass(frozen=True)
+class EncodedBatch:
+    """Many sentences in one flat CSR block.
+
+    ``sentence_offsets`` indexes the *token* axis: sentence ``s`` owns tokens
+    ``sentence_offsets[s]:sentence_offsets[s + 1]`` of the flat layout.
+    """
+
+    indices: np.ndarray  # (total_active_features,) int64
+    offsets: np.ndarray  # (total_tokens + 1,) int64
+    sentence_offsets: np.ndarray  # (n_sentences + 1,) int64
+
+    @property
+    def n_sentences(self) -> int:
+        return len(self.sentence_offsets) - 1
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Token count per sentence."""
+        return np.diff(self.sentence_offsets)
+
+    def sentence(self, index: int) -> EncodedSequence:
+        """CSR view of one sentence."""
+        start = self.sentence_offsets[index]
+        stop = self.sentence_offsets[index + 1]
+        token_offsets = self.offsets[start : stop + 1]
+        base = token_offsets[0]
+        return EncodedSequence(
+            indices=self.indices[base : token_offsets[-1]],
+            offsets=token_offsets - base,
+        )
+
+
+class FeatureEncoder:
+    """Interns string features against a (frozen) feature vocabulary.
+
+    The encoder is the *single* train/predict mapping used by every model:
+    unknown features are dropped and each token's surviving ids are
+    deduplicated and sorted, so repeated feature strings can never score a
+    token twice (the seed CRF deduplicated at train time but not at predict
+    time).
+    """
+
+    def __init__(self, vocab: Vocabulary) -> None:
+        self.vocab = vocab
+
+    def encode_token(self, token_features: Sequence[str]) -> np.ndarray:
+        """Sorted, deduplicated feature ids for one token."""
+        lookup = self.vocab.get
+        ids = [i for feature in token_features if (i := lookup(feature)) is not None]
+        if not ids:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.asarray(ids, dtype=np.int64))
+
+    def encode_sequence(self, feature_sequence: Sequence[Sequence[str]]) -> EncodedSequence:
+        """CSR encoding of one sentence."""
+        per_token = [self.encode_token(token) for token in feature_sequence]
+        offsets = np.zeros(len(per_token) + 1, dtype=np.int64)
+        if per_token:
+            np.cumsum([ids.size for ids in per_token], out=offsets[1:])
+            indices = np.concatenate(per_token) if offsets[-1] else np.empty(0, dtype=np.int64)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        return EncodedSequence(indices=indices, offsets=offsets)
+
+    def encode_batch(
+        self, feature_sequences: Sequence[Sequence[Sequence[str]]]
+    ) -> EncodedBatch:
+        """Flat CSR encoding of many sentences (empty sentences allowed).
+
+        One Python pass gathers ``(token, feature_id)`` pairs; a single
+        ``np.unique`` over combined keys then deduplicates and sorts every
+        token's ids at once, so the per-token cost is a dict lookup per
+        feature string and nothing else.
+        """
+        lookup = self.vocab.index_map.get
+        # Three flat comprehensions instead of nested Python loops: the only
+        # per-feature Python work left is one bare dict lookup.
+        raw_counts = [len(token) for sentence in feature_sequences for token in sentence]
+        raw_ids = [
+            lookup(feature, -1)
+            for sentence in feature_sequences
+            for token in sentence
+            for feature in token
+        ]
+        sentence_offsets = np.zeros(len(feature_sequences) + 1, dtype=np.int64)
+        np.cumsum([len(sentence) for sentence in feature_sequences], out=sentence_offsets[1:])
+        token_count = len(raw_counts)
+        ids = np.asarray(raw_ids, dtype=np.int64)
+        known = ids >= 0
+        if not known.any():
+            return EncodedBatch(
+                indices=np.empty(0, dtype=np.int64),
+                offsets=np.zeros(token_count + 1, dtype=np.int64),
+                sentence_offsets=sentence_offsets,
+            )
+        owners = np.repeat(np.arange(token_count, dtype=np.int64), raw_counts)
+        # Combined (token, feature) keys: one global sort + dedup in C (a
+        # plain sort beats np.unique's hash path on integer keys).
+        stride = np.int64(max(len(self.vocab), 1))
+        keys = owners[known] * stride + ids[known]
+        keys.sort(kind="stable")
+        keys = keys[np.r_[True, keys[1:] != keys[:-1]]]
+        owner_tokens = keys // stride
+        indices = keys % stride
+        offsets = np.zeros(token_count + 1, dtype=np.int64)
+        np.cumsum(np.bincount(owner_tokens, minlength=token_count), out=offsets[1:])
+        return EncodedBatch(indices=indices, offsets=offsets, sentence_offsets=sentence_offsets)
+
+
+@dataclass
+class _LengthGroup:
+    """All training sentences of one exact length, stacked."""
+
+    length: int
+    sentence_ids: np.ndarray  # (batch,) int64, indices into the kept sentences
+    token_gather: np.ndarray  # (batch * length,) int64, flat token positions
+    labels: np.ndarray  # (batch, length) int64 gold labels
+
+
+@dataclass
+class EncodedDataset:
+    """A labelled training set, fully encoded for vectorized objectives.
+
+    Built once per :meth:`fit` call; every L-BFGS objective evaluation then
+    runs entirely on the precomputed arrays.  Empty sentences are skipped
+    (matching the seed encoders) and a dataset with no surviving sentences
+    raises :class:`~repro.errors.DataError`.
+    """
+
+    batch: EncodedBatch
+    labels: np.ndarray  # (total_tokens,) int64
+    n_features: int
+    n_labels: int
+    groups: list[_LengthGroup] = field(default_factory=list)
+    # Scatter plan: positions of `batch.indices` sorted by feature id.
+    feature_order: np.ndarray | None = None
+    feature_unique: np.ndarray | None = None
+    feature_starts: np.ndarray | None = None
+    token_of_feature: np.ndarray | None = None
+    gather_order: np.ndarray | None = None  # token_of_feature[feature_order]
+    # Empirical (parameter-independent) gradient counts.
+    empirical_emission: np.ndarray | None = None
+    empirical_transition: np.ndarray | None = None
+    empirical_start: np.ndarray | None = None
+    empirical_end: np.ndarray | None = None
+
+    @classmethod
+    def build(
+        cls,
+        encoder: FeatureEncoder,
+        label_vocab: Vocabulary,
+        feature_sequences: Sequence[Sequence[Sequence[str]]],
+        label_sequences: Sequence[Sequence[str]],
+    ) -> "EncodedDataset":
+        kept_features: list[Sequence[Sequence[str]]] = []
+        kept_labels: list[np.ndarray] = []
+        for sentence, labels in zip(feature_sequences, label_sequences):
+            require_equal_lengths("sentence", sentence, "labels", labels)
+            if len(sentence) == 0:
+                continue
+            kept_features.append(sentence)
+            kept_labels.append(
+                np.array([label_vocab.index(label) for label in labels], dtype=np.int64)
+            )
+        if not kept_features:
+            raise DataError("all training sequences were empty")
+
+        batch = encoder.encode_batch(kept_features)
+        labels_flat = np.concatenate(kept_labels)
+        dataset = cls(
+            batch=batch,
+            labels=labels_flat,
+            n_features=len(encoder.vocab),
+            n_labels=len(label_vocab),
+        )
+        dataset._build_groups()
+        dataset._build_scatter_plan()
+        dataset._build_empirical_counts()
+        return dataset
+
+    # ------------------------------------------------------------ precompute
+
+    def _build_groups(self) -> None:
+        lengths = self.batch.lengths
+        starts = self.batch.sentence_offsets[:-1]
+        for length in np.unique(lengths):
+            sentence_ids = np.flatnonzero(lengths == length)
+            token_gather = (
+                starts[sentence_ids][:, None] + np.arange(length, dtype=np.int64)[None, :]
+            ).ravel()
+            self.groups.append(
+                _LengthGroup(
+                    length=int(length),
+                    sentence_ids=sentence_ids,
+                    token_gather=token_gather,
+                    labels=self.labels[token_gather].reshape(len(sentence_ids), int(length)),
+                )
+            )
+
+    def _build_scatter_plan(self) -> None:
+        indices = self.batch.indices
+        counts = np.diff(self.batch.offsets)
+        self.token_of_feature = np.repeat(
+            np.arange(self.batch.n_tokens, dtype=np.int64), counts
+        )
+        if indices.size:
+            order = np.argsort(indices, kind="stable")
+            sorted_ids = indices[order]
+            starts = np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
+            self.feature_order = order
+            self.feature_unique = sorted_ids[starts]
+            self.feature_starts = starts
+            self.gather_order = self.token_of_feature[order]
+        else:
+            self.feature_order = np.empty(0, dtype=np.int64)
+            self.feature_unique = np.empty(0, dtype=np.int64)
+            self.feature_starts = np.empty(0, dtype=np.int64)
+            self.gather_order = np.empty(0, dtype=np.int64)
+
+    def _build_empirical_counts(self) -> None:
+        n_labels = self.n_labels
+        labels = self.labels
+        sent_starts = self.batch.sentence_offsets[:-1]
+        sent_lasts = self.batch.sentence_offsets[1:] - 1
+        self.empirical_start = np.bincount(
+            labels[sent_starts], minlength=n_labels
+        ).astype(np.float64)
+        self.empirical_end = np.bincount(labels[sent_lasts], minlength=n_labels).astype(
+            np.float64
+        )
+
+        transition = np.zeros((n_labels, n_labels), dtype=np.float64)
+        if self.batch.n_tokens > 1:
+            is_start = np.zeros(self.batch.n_tokens, dtype=bool)
+            is_start[sent_starts] = True
+            keep = ~is_start[1:]
+            np.add.at(transition, (labels[:-1][keep], labels[1:][keep]), 1.0)
+        self.empirical_transition = transition
+
+        emission = np.zeros((self.n_features, n_labels), dtype=np.float64)
+        if self.batch.indices.size:
+            np.add.at(
+                emission,
+                (self.batch.indices, labels[self.token_of_feature]),
+                1.0,
+            )
+        self.empirical_emission = emission
+
+    # -------------------------------------------------------------- gradient
+
+    def scatter_emission_gradient(
+        self, gamma_flat: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Accumulate expected emission counts: ``out[f] += sum gamma[token]``.
+
+        ``gamma_flat`` has shape ``(total_tokens, n_labels)``; the scatter
+        aggregates per feature id with one ``reduceat`` over the precomputed
+        sorted order instead of a slow ``np.add.at`` with duplicate indices.
+        """
+        if self.batch.indices.size == 0:
+            return
+        contributions = gamma_flat[self.gather_order]
+        out[self.feature_unique] += np.add.reduceat(
+            contributions, self.feature_starts, axis=0
+        )
+
+    def per_sentence(self) -> list[tuple[EncodedSequence, np.ndarray]]:
+        """(sequence, gold labels) pairs for online (shuffled) trainers."""
+        return [
+            (
+                self.batch.sentence(s),
+                self.labels[
+                    self.batch.sentence_offsets[s] : self.batch.sentence_offsets[s + 1]
+                ],
+            )
+            for s in range(self.batch.n_sentences)
+        ]

@@ -1,0 +1,181 @@
+"""NumPy lattice kernels: emissions, forward/backward, batched Viterbi.
+
+Every kernel is elementwise-identical to the sequential seed recursions --
+the batch dimension only widens the arrays, it never changes the order of
+floating-point operations within one sentence -- so batched decoding is
+bitwise-reproducible against per-sentence decoding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.engine.batching import LengthBuckets, pad_and_stack
+from repro.engine.encoder import EncodedSequence
+
+__all__ = [
+    "backward_batch",
+    "decode_emissions",
+    "flat_emission_scores",
+    "forward_batch",
+    "sequence_emission_scores",
+    "viterbi_padded",
+]
+
+
+# ------------------------------------------------------------------ emissions
+
+
+def flat_emission_scores(
+    indices: np.ndarray,
+    offsets: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Emission scores for all tokens of a CSR block in one gather.
+
+    Equivalent to ``weights[token_ids].sum(axis=0)`` per token, computed with
+    a single ``np.add.reduceat`` over the non-empty segments.  Tokens with no
+    active features score zero for every label.
+    """
+    n_tokens = len(offsets) - 1
+    n_labels = weights.shape[1]
+    scores = np.zeros((n_tokens, n_labels), dtype=np.float64)
+    if indices.size == 0 or n_tokens == 0:
+        return scores
+    counts = np.diff(offsets)
+    nonempty = np.flatnonzero(counts > 0)
+    # Segments between consecutive non-empty starts cover exactly one token's
+    # features (empty tokens own no slots), so reduceat needs no end markers.
+    scores[nonempty] = np.add.reduceat(weights[indices], offsets[nonempty], axis=0)
+    return scores
+
+
+def sequence_emission_scores(
+    sequence: EncodedSequence, weights: np.ndarray
+) -> np.ndarray:
+    """Emission score matrix ``(len(sequence), n_labels)`` for one sentence."""
+    return flat_emission_scores(sequence.indices, sequence.offsets, weights)
+
+
+# ----------------------------------------------------------- forward/backward
+
+
+def forward_batch(
+    emissions: np.ndarray, transition: np.ndarray, start: np.ndarray
+) -> np.ndarray:
+    """Log-space forward recursion over a ``(B, T, L)`` emission block."""
+    batch, length, n_labels = emissions.shape
+    alpha = np.empty((batch, length, n_labels), dtype=np.float64)
+    alpha[:, 0] = start + emissions[:, 0]
+    for t in range(1, length):
+        alpha[:, t] = (
+            logsumexp(alpha[:, t - 1][:, :, None] + transition[None, :, :], axis=1)
+            + emissions[:, t]
+        )
+    return alpha
+
+
+def backward_batch(
+    emissions: np.ndarray, transition: np.ndarray, end: np.ndarray
+) -> np.ndarray:
+    """Log-space backward recursion over a ``(B, T, L)`` emission block."""
+    batch, length, n_labels = emissions.shape
+    beta = np.empty((batch, length, n_labels), dtype=np.float64)
+    beta[:, -1] = end
+    for t in range(length - 2, -1, -1):
+        beta[:, t] = logsumexp(
+            transition[None, :, :] + (emissions[:, t + 1] + beta[:, t + 1])[:, None, :],
+            axis=2,
+        )
+    return beta
+
+
+# --------------------------------------------------------------- batch viterbi
+
+
+def viterbi_padded(
+    emissions: np.ndarray,
+    lengths: np.ndarray,
+    transition: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+    *,
+    prefer_last_final: bool = False,
+) -> list[np.ndarray]:
+    """Viterbi decode a padded ``(B, T, L)`` block with per-sentence lengths.
+
+    Scores of a sentence freeze once ``t`` reaches its length, so padding
+    never influences a result.  ``prefer_last_final`` selects the *largest*
+    label index among ties for the final state (the HMM's historical
+    tie-break); intermediate backpointers always keep the smallest index,
+    matching ``np.argmax``.
+    """
+    batch, width, n_labels = emissions.shape
+    scores = start + emissions[:, 0]
+    backpointers = np.zeros((batch, width, n_labels), dtype=np.int64)
+    for t in range(1, width):
+        candidate = scores[:, :, None] + transition[None, :, :]
+        step_back = np.argmax(candidate, axis=1)
+        stepped = (
+            np.take_along_axis(candidate, step_back[:, None, :], axis=1)[:, 0]
+            + emissions[:, t]
+        )
+        active = (t < lengths)[:, None]
+        scores = np.where(active, stepped, scores)
+        backpointers[:, t] = step_back
+    final = scores + end
+    if prefer_last_final:
+        last = n_labels - 1 - np.argmax(final[:, ::-1], axis=1)
+    else:
+        last = np.argmax(final, axis=1)
+
+    rows = np.arange(batch)
+    path = np.zeros((batch, width), dtype=np.int64)
+    path[rows, lengths - 1] = last
+    for t in range(width - 1, 0, -1):
+        stepped_back = backpointers[rows, t, path[:, t]]
+        path[:, t - 1] = np.where(t < lengths, stepped_back, path[:, t - 1])
+    return [path[row, : lengths[row]] for row in range(batch)]
+
+
+def decode_emissions(
+    emission_matrices: Sequence[np.ndarray],
+    transition: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+    *,
+    prefer_last_final: bool = False,
+) -> list[np.ndarray]:
+    """Batch Viterbi over per-sentence emission matrices of varying length.
+
+    Sentences are length-bucketed, padded and decoded one bucket per kernel
+    call; results come back in input order.  Empty sentences decode to empty
+    paths.
+    """
+    paths: list[np.ndarray | None] = [None] * len(emission_matrices)
+    lengths = [matrix.shape[0] for matrix in emission_matrices]
+    decodable = [i for i, n in enumerate(lengths) if n > 0]
+    for i, n in enumerate(lengths):
+        if n == 0:
+            paths[i] = np.empty(0, dtype=np.int64)
+    if not decodable:
+        return [path for path in paths]  # type: ignore[misc]
+    buckets = LengthBuckets.from_lengths([lengths[i] for i in decodable])
+    for width, local_ids in buckets.buckets.items():
+        sentence_ids = np.array([decodable[i] for i in local_ids], dtype=np.int64)
+        stacked = pad_and_stack(emission_matrices, sentence_ids, width)
+        bucket_lengths = np.array([lengths[i] for i in sentence_ids], dtype=np.int64)
+        decoded = viterbi_padded(
+            stacked,
+            bucket_lengths,
+            transition,
+            start,
+            end,
+            prefer_last_final=prefer_last_final,
+        )
+        for sentence_id, path in zip(sentence_ids, decoded):
+            paths[sentence_id] = path
+    return [path for path in paths]  # type: ignore[misc]

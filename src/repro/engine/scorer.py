@@ -1,0 +1,69 @@
+"""Dense compiled scorer for string-featured linear models.
+
+The POS :class:`~repro.pos.perceptron.AveragedPerceptron` stores weights as
+``feature -> class -> weight`` dictionaries, which is convenient during
+online training but slow at inference: every prediction walks nested dicts.
+:class:`CompiledLinearScorer` freezes those weights into a dense
+``(n_features, n_classes)`` matrix over a feature vocabulary.
+
+Scoring accumulates matrix rows *sequentially in feature order*, exactly the
+order the dictionary implementation adds weights per class, so compiled
+scores are bitwise-identical to dictionary scores (adding an exact ``0.0``
+for a class a feature never touched is a no-op in IEEE arithmetic).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+
+__all__ = ["CompiledLinearScorer"]
+
+
+class CompiledLinearScorer:
+    """Dense row-gather scorer over string features.
+
+    Args:
+        weights: Nested ``feature -> class -> weight`` mapping.
+        classes: Full class inventory (classes may carry no weight at all).
+    """
+
+    def __init__(
+        self, weights: Mapping[str, Mapping[str, float]], classes: Iterable[str]
+    ) -> None:
+        self.classes: list[str] = sorted(classes)
+        self._class_index = {label: i for i, label in enumerate(self.classes)}
+        self.feature_vocab = Vocabulary(sorted(weights)).freeze()
+        self.matrix = np.zeros(
+            (len(self.feature_vocab), len(self.classes)), dtype=np.float64
+        )
+        for feature, class_weights in weights.items():
+            row = self.feature_vocab.index(feature)
+            for label, weight in class_weights.items():
+                self.matrix[row, self._class_index[label]] = weight
+
+    def scores(self, features: Iterable[str]) -> np.ndarray:
+        """Per-class score vector (multiset semantics: repeats count twice)."""
+        scores = np.zeros(len(self.classes), dtype=np.float64)
+        lookup = self.feature_vocab.get
+        matrix = self.matrix
+        for feature in features:
+            row = lookup(feature)
+            if row is not None:
+                scores += matrix[row]
+        return scores
+
+    def predict(self, features: Iterable[str]) -> str:
+        """Highest-scoring class; ties break toward the largest class name."""
+        scores = self.scores(features)
+        # Largest label among score ties == last argmax over sorted classes.
+        best = len(self.classes) - 1 - int(np.argmax(scores[::-1]))
+        return self.classes[best]
+
+    def score_dict(self, features: Iterable[str]) -> dict[str, float]:
+        """Class -> score mapping (compatibility with the dict scorer)."""
+        scores = self.scores(features)
+        return {label: float(scores[i]) for i, label in enumerate(self.classes)}

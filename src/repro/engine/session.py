@@ -1,0 +1,97 @@
+"""Memoizing inference session: feature extraction + decoded-line caches.
+
+Recipe corpora repeat themselves heavily -- the same ingredient phrase occurs
+in dozens of recipes and the dictionary builder re-tags the very steps the
+pipeline later decodes -- so the corpus-scale inference path keeps two
+memos per model:
+
+* a *feature cache* keyed on the token tuple, skipping re-extraction of the
+  string feature templates;
+* a *decode LRU* keyed on the token tuple (plus any post-processing flag),
+  returning previously decoded tag sequences without touching the lattice.
+
+Both caches are bounded LRUs and are cleared whenever the owning model is
+retrained.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+
+__all__ = ["InferenceSession"]
+
+
+class InferenceSession:
+    """Bounded LRU caches shared by a model's inference entry points.
+
+    Args:
+        feature_cache_size: Max token tuples whose extracted features are kept.
+        decode_cache_size: Max decoded lines kept.
+    """
+
+    def __init__(
+        self, *, feature_cache_size: int = 65536, decode_cache_size: int = 65536
+    ) -> None:
+        self.feature_cache_size = int(feature_cache_size)
+        self.decode_cache_size = int(decode_cache_size)
+        self._features: OrderedDict[Hashable, object] = OrderedDict()
+        self._decodes: OrderedDict[Hashable, object] = OrderedDict()
+        self.feature_hits = 0
+        self.feature_misses = 0
+        self.decode_hits = 0
+        self.decode_misses = 0
+
+    # ---------------------------------------------------------------- features
+
+    def get_features(self, key: Hashable):
+        """Cached feature extraction result for ``key`` or ``None``."""
+        cached = self._features.get(key)
+        if cached is None:
+            self.feature_misses += 1
+            return None
+        self._features.move_to_end(key)
+        self.feature_hits += 1
+        return cached
+
+    def put_features(self, key: Hashable, value) -> None:
+        self._features[key] = value
+        self._features.move_to_end(key)
+        while len(self._features) > self.feature_cache_size:
+            self._features.popitem(last=False)
+
+    # ----------------------------------------------------------------- decodes
+
+    def get_decode(self, key: Hashable):
+        """Cached decoded tags for ``key`` or ``None``."""
+        cached = self._decodes.get(key)
+        if cached is None:
+            self.decode_misses += 1
+            return None
+        self._decodes.move_to_end(key)
+        self.decode_hits += 1
+        return cached
+
+    def put_decode(self, key: Hashable, value) -> None:
+        self._decodes[key] = value
+        self._decodes.move_to_end(key)
+        while len(self._decodes) > self.decode_cache_size:
+            self._decodes.popitem(last=False)
+
+    # ------------------------------------------------------------------ admin
+
+    def clear(self) -> None:
+        """Drop both caches (call after retraining the owning model)."""
+        self._features.clear()
+        self._decodes.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters plus current cache sizes."""
+        return {
+            "feature_hits": self.feature_hits,
+            "feature_misses": self.feature_misses,
+            "feature_entries": len(self._features),
+            "decode_hits": self.decode_hits,
+            "decode_misses": self.decode_misses,
+            "decode_entries": len(self._decodes),
+        }

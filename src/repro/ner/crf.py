@@ -5,25 +5,36 @@ paper: a discriminative sequence model with local lexical features, first
 order label transitions, dedicated start/stop scores and L2 regularisation,
 optimised by a quasi-Newton method.
 
-The implementation keeps the design simple and NumPy-friendly:
+The implementation runs entirely on the :mod:`repro.engine` substrate:
 
-* features are strings produced by a feature extractor and mapped to dense
-  indices by a :class:`~repro.text.vocab.Vocabulary`;
-* per-token emission scores are computed by summing rows of the emission
-  weight matrix for the active features;
-* the forward-backward recursions run in log space, vectorised over labels;
-* the objective/gradient pair is handed to ``scipy.optimize.minimize``
-  (L-BFGS-B).
+* features are strings produced by a feature extractor, interned once by an
+  :class:`~repro.engine.encoder.FeatureEncoder` into CSR index/offset arrays;
+* every L-BFGS objective evaluation computes all emission scores with one
+  ``np.add.reduceat`` gather, runs forward-backward batched over
+  exact-length sentence groups, and obtains the transition gradient's
+  pairwise marginals for all timesteps of a group with a single broadcast;
+* the empirical (parameter-independent) half of the gradient is precomputed
+  when the dataset is encoded;
+* decoding batches hundreds of sentences per padded Viterbi kernel call.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Sequence
 
 import numpy as np
 from scipy.optimize import minimize
 from scipy.special import logsumexp
 
+from repro.engine import (
+    EncodedDataset,
+    FeatureEncoder,
+    backward_batch,
+    decode_emissions,
+    flat_emission_scores,
+    forward_batch,
+)
 from repro.errors import ConfigurationError, DataError, NotFittedError
 from repro.text.vocab import Vocabulary
 from repro.utils import require_equal_lengths, require_nonempty
@@ -77,6 +88,13 @@ class LinearChainCRF:
         """Whether the model holds fitted weights."""
         return self.emission_weights is not None
 
+    @property
+    def encoder(self) -> FeatureEncoder:
+        """The train/predict feature encoder (shared deduplicating path)."""
+        if self.feature_vocab is None:
+            raise NotFittedError("model must be fitted first")
+        return FeatureEncoder(self.feature_vocab)
+
     def fit(
         self,
         feature_sequences: Sequence[Sequence[Sequence[str]]],
@@ -93,7 +111,9 @@ class LinearChainCRF:
             "feature_sequences", feature_sequences, "label_sequences", label_sequences
         )
         self._build_vocabularies(feature_sequences, label_sequences)
-        encoded = self._encode_dataset(feature_sequences, label_sequences)
+        dataset = EncodedDataset.build(
+            self.encoder, self.label_vocab, feature_sequences, label_sequences
+        )
         n_features = len(self.feature_vocab)
         n_labels = len(self.label_vocab)
         n_params = n_features * n_labels + n_labels * n_labels + 2 * n_labels
@@ -101,7 +121,7 @@ class LinearChainCRF:
         self.training_history = []
 
         def objective(params: np.ndarray) -> tuple[float, np.ndarray]:
-            value, gradient = self._objective(params, encoded, n_features, n_labels)
+            value, gradient = self._objective(params, dataset, n_features, n_labels)
             self.training_history.append(float(value))
             return value, gradient
 
@@ -129,8 +149,25 @@ class LinearChainCRF:
     def predict_batch(
         self, feature_sequences: Sequence[Sequence[Sequence[str]]]
     ) -> list[list[str]]:
-        """Viterbi decode for many sentences."""
-        return [self.predict(sequence) for sequence in feature_sequences]
+        """Viterbi decode for many sentences with one padded kernel per bucket."""
+        if not self.is_trained:
+            raise NotFittedError("LinearChainCRF.predict_batch called before fit()")
+        if len(feature_sequences) == 0:
+            return []
+        batch = self.encoder.encode_batch(feature_sequences)
+        flat = flat_emission_scores(batch.indices, batch.offsets, self.emission_weights)
+        emission_matrices = [
+            flat[batch.sentence_offsets[s] : batch.sentence_offsets[s + 1]]
+            for s in range(batch.n_sentences)
+        ]
+        paths = decode_emissions(
+            emission_matrices,
+            self.transition_weights,
+            self.start_weights,
+            self.end_weights,
+        )
+        symbols = self.label_vocab.symbols()
+        return [[symbols[index] for index in path.tolist()] for path in paths]
 
     def sequence_log_likelihood(
         self, feature_sequence: Sequence[Sequence[str]], labels: Sequence[str]
@@ -174,11 +211,10 @@ class LinearChainCRF:
         feature_sequences: Sequence[Sequence[Sequence[str]]],
         label_sequences: Sequence[Sequence[str]],
     ) -> None:
-        counts: dict[str, int] = {}
+        counts: Counter[str] = Counter()
         for sentence in feature_sequences:
             for token_features in sentence:
-                for feature in token_features:
-                    counts[feature] = counts.get(feature, 0) + 1
+                counts.update(token_features)
         kept = [f for f, count in counts.items() if count >= self.min_feature_count]
         self.feature_vocab = Vocabulary(sorted(kept)).freeze()
         labels = sorted({label for sentence in label_sequences for label in sentence})
@@ -186,97 +222,70 @@ class LinearChainCRF:
             raise DataError("no labels found in the training data")
         self.label_vocab = Vocabulary(labels).freeze()
 
-    def _encode_dataset(
-        self,
-        feature_sequences: Sequence[Sequence[Sequence[str]]],
-        label_sequences: Sequence[Sequence[str]],
-    ) -> list[tuple[list[np.ndarray], np.ndarray]]:
-        encoded: list[tuple[list[np.ndarray], np.ndarray]] = []
-        for sentence, labels in zip(feature_sequences, label_sequences):
-            require_equal_lengths("sentence", sentence, "labels", labels)
-            if len(sentence) == 0:
-                continue
-            token_feature_indices = [
-                np.array(
-                    sorted(
-                        {
-                            index
-                            for feature in token_features
-                            if (index := self.feature_vocab.get(feature)) is not None
-                        }
-                    ),
-                    dtype=np.int64,
-                )
-                for token_features in sentence
-            ]
-            label_indices = np.array(
-                [self.label_vocab.index(label) for label in labels], dtype=np.int64
-            )
-            encoded.append((token_feature_indices, label_indices))
-        if not encoded:
-            raise DataError("all training sequences were empty")
-        return encoded
-
     def _objective(
         self,
         params: np.ndarray,
-        encoded: list[tuple[list[np.ndarray], np.ndarray]],
+        dataset: EncodedDataset,
         n_features: int,
         n_labels: int,
     ) -> tuple[float, np.ndarray]:
         emission, transition, start, end = self._split(params, n_features, n_labels)
-        grad_emission = np.zeros_like(emission)
+
+        # All emission scores in one CSR gather.
+        flat = flat_emission_scores(dataset.batch.indices, dataset.batch.offsets, emission)
+        gamma_flat = np.empty_like(flat)
+
+        negative_log_likelihood = 0.0
         grad_transition = np.zeros_like(transition)
         grad_start = np.zeros_like(start)
         grad_end = np.zeros_like(end)
-        negative_log_likelihood = 0.0
 
-        for token_feature_indices, label_indices in encoded:
-            length = len(token_feature_indices)
-            emissions = np.zeros((length, n_labels), dtype=np.float64)
-            for t, indices in enumerate(token_feature_indices):
-                if indices.size:
-                    emissions[t] = emission[indices].sum(axis=0)
+        for group in dataset.groups:
+            batch_size = len(group.sentence_ids)
+            length = group.length
+            emissions = flat[group.token_gather].reshape(batch_size, length, n_labels)
+            alpha = forward_batch(emissions, transition, start)
+            beta = backward_batch(emissions, transition, end)
+            log_z = logsumexp(alpha[:, -1] + end, axis=1)  # (batch,)
 
-            alpha = self._forward_scores(emissions, transition, start)
-            beta = self._backward_scores(emissions, transition, end)
-            log_z = logsumexp(alpha[-1] + end)
+            # Gold path scores, vectorized over the group.
+            labels = group.labels
+            rows = np.arange(batch_size)[:, None]
+            cols = np.arange(length)[None, :]
+            gold = (
+                start[labels[:, 0]]
+                + end[labels[:, -1]]
+                + emissions[rows, cols, labels].sum(axis=1)
+            )
+            if length > 1:
+                gold += transition[labels[:, :-1], labels[:, 1:]].sum(axis=1)
+            negative_log_likelihood += float((log_z - gold).sum())
 
-            # Gold path score.
-            gold = start[label_indices[0]] + emissions[0, label_indices[0]]
-            for t in range(1, length):
-                gold += transition[label_indices[t - 1], label_indices[t]]
-                gold += emissions[t, label_indices[t]]
-            gold += end[label_indices[-1]]
-            negative_log_likelihood += log_z - gold
+            # Posterior marginals for every token of the group.
+            gamma = np.exp(alpha + beta - log_z[:, None, None])
+            gamma_flat[group.token_gather] = gamma.reshape(batch_size * length, n_labels)
 
-            # Posterior marginals.
-            gamma = np.exp(alpha + beta - log_z)  # (length, n_labels)
+            grad_start += gamma[:, 0].sum(axis=0)
+            grad_end += gamma[:, -1].sum(axis=0)
 
-            # Emission gradient: expected minus empirical counts.
-            for t, indices in enumerate(token_feature_indices):
-                if indices.size:
-                    grad_emission[indices] += gamma[t]
-                    grad_emission[indices, label_indices[t]] -= 1.0
-
-            # Start / end gradients.
-            grad_start += gamma[0]
-            grad_start[label_indices[0]] -= 1.0
-            grad_end += gamma[-1]
-            grad_end[label_indices[-1]] -= 1.0
-
-            # Transition gradient via pairwise marginals.
-            for t in range(1, length):
+            # Pairwise marginals (xi) for all timesteps in one broadcast.
+            if length > 1:
                 pairwise = (
-                    alpha[t - 1][:, None]
-                    + transition
-                    + emissions[t][None, :]
-                    + beta[t][None, :]
-                    - log_z
+                    alpha[:, :-1, :, None]
+                    + transition[None, None, :, :]
+                    + (emissions[:, 1:] + beta[:, 1:])[:, :, None, :]
+                    - log_z[:, None, None, None]
                 )
-                xi = np.exp(pairwise)
-                grad_transition += xi
-                grad_transition[label_indices[t - 1], label_indices[t]] -= 1.0
+                grad_transition += np.exp(pairwise).sum(axis=(0, 1))
+
+        # Expected emission counts scattered back per feature id, then the
+        # precomputed empirical counts subtracted (gradient = E[f] - f).
+        grad_emission = np.zeros_like(emission)
+        dataset.scatter_emission_gradient(gamma_flat, grad_emission)
+        grad_emission -= dataset.empirical_emission
+        grad_transition -= dataset.empirical_transition
+        grad_start -= dataset.empirical_start
+        grad_end -= dataset.empirical_end
 
         # L2 regularisation.
         negative_log_likelihood += 0.5 * self.l2 * float(np.dot(params, params))
@@ -289,17 +298,8 @@ class LinearChainCRF:
     # ----------------------------------------------------------- inference
 
     def _emission_scores(self, feature_sequence: Sequence[Sequence[str]]) -> np.ndarray:
-        n_labels = len(self.label_vocab)
-        emissions = np.zeros((len(feature_sequence), n_labels), dtype=np.float64)
-        for t, token_features in enumerate(feature_sequence):
-            indices = [
-                index
-                for feature in token_features
-                if (index := self.feature_vocab.get(feature)) is not None
-            ]
-            if indices:
-                emissions[t] = self.emission_weights[np.array(indices, dtype=np.int64)].sum(axis=0)
-        return emissions
+        sequence = self.encoder.encode_sequence(feature_sequence)
+        return flat_emission_scores(sequence.indices, sequence.offsets, self.emission_weights)
 
     def _forward(self, emissions: np.ndarray) -> np.ndarray:
         return self._forward_scores(emissions, self.transition_weights, self.start_weights)
@@ -311,43 +311,23 @@ class LinearChainCRF:
     def _forward_scores(
         emissions: np.ndarray, transition: np.ndarray, start: np.ndarray
     ) -> np.ndarray:
-        length, n_labels = emissions.shape
-        alpha = np.empty((length, n_labels), dtype=np.float64)
-        alpha[0] = start + emissions[0]
-        for t in range(1, length):
-            alpha[t] = logsumexp(alpha[t - 1][:, None] + transition, axis=0) + emissions[t]
-        return alpha
+        return forward_batch(emissions[None], transition, start)[0]
 
     @staticmethod
     def _backward_scores(
         emissions: np.ndarray, transition: np.ndarray, end: np.ndarray
     ) -> np.ndarray:
-        length, n_labels = emissions.shape
-        beta = np.empty((length, n_labels), dtype=np.float64)
-        beta[-1] = end
-        for t in range(length - 2, -1, -1):
-            beta[t] = logsumexp(transition + (emissions[t + 1] + beta[t + 1])[None, :], axis=1)
-        return beta
+        return backward_batch(emissions[None], transition, end)[0]
 
     def _log_partition(self, emissions: np.ndarray) -> float:
         alpha = self._forward(emissions)
         return float(logsumexp(alpha[-1] + self.end_weights))
 
     def _viterbi(self, emissions: np.ndarray) -> list[int]:
-        length, n_labels = emissions.shape
-        scores = self.start_weights + emissions[0]
-        backpointers = np.zeros((length, n_labels), dtype=np.int64)
-        for t in range(1, length):
-            candidate = scores[:, None] + self.transition_weights
-            backpointers[t] = np.argmax(candidate, axis=0)
-            scores = candidate[backpointers[t], np.arange(n_labels)] + emissions[t]
-        scores = scores + self.end_weights
-        best_last = int(np.argmax(scores))
-        path = [best_last]
-        for t in range(length - 1, 0, -1):
-            path.append(int(backpointers[t, path[-1]]))
-        path.reverse()
-        return path
+        paths = decode_emissions(
+            [emissions], self.transition_weights, self.start_weights, self.end_weights
+        )
+        return [int(index) for index in paths[0]]
 
     # -------------------------------------------------------------- helpers
 

@@ -4,7 +4,10 @@ The HMM is a *generative* baseline included for the model-family ablation:
 it ignores all contextual features except the token identity (taken from the
 ``w=...`` feature emitted by the feature extractors) and models label
 transitions and token emissions with add-one smoothed maximum-likelihood
-estimates.  Decoding is Viterbi in log space.
+estimates.  Decoding compiles the probability tables into dense arrays once
+and runs the shared :mod:`repro.engine` batched Viterbi in log space,
+preserving the historical tie-breaks of the dictionary-based decoder
+(first-best backpointers, largest label for the final state).
 """
 
 from __future__ import annotations
@@ -13,6 +16,9 @@ import math
 from collections import Counter, defaultdict
 from collections.abc import Sequence
 
+import numpy as np
+
+from repro.engine import decode_emissions
 from repro.errors import DataError, NotFittedError
 from repro.utils import require_equal_lengths, require_nonempty
 
@@ -51,6 +57,7 @@ class HiddenMarkovModel:
         self._emission_log_prob: dict[tuple[str, str], float] = {}
         self._emission_unknown_log_prob: dict[str, float] = {}
         self._trained = False
+        self._compiled: dict | None = None
 
     @property
     def is_trained(self) -> bool:
@@ -67,6 +74,13 @@ class HiddenMarkovModel:
         require_equal_lengths(
             "feature_sequences", feature_sequences, "label_sequences", label_sequences
         )
+        # Reset state so refitting never replays a previous corpus's tables.
+        self._labels = []
+        self._vocabulary = set()
+        self._transition_log_prob = {}
+        self._start_log_prob = {}
+        self._emission_log_prob = {}
+        self._emission_unknown_log_prob = {}
         transition_counts: dict[str, Counter] = defaultdict(Counter)
         start_counts: Counter = Counter()
         emission_counts: dict[str, Counter] = defaultdict(Counter)
@@ -111,55 +125,85 @@ class HiddenMarkovModel:
             self._emission_unknown_log_prob[label] = math.log(self.smoothing / denominator)
 
         self._trained = True
+        self._compiled = None
         return self
+
+    def _compile(self) -> dict:
+        """Freeze the probability dictionaries into dense decode arrays."""
+        if self._compiled is not None:
+            return self._compiled
+        labels = self._labels
+        n_labels = len(labels)
+        observation_index = {
+            observation: column for column, observation in enumerate(sorted(self._vocabulary))
+        }
+        unknown_column = len(observation_index)
+        # Row per observation (last row = unknown), column per label; cells
+        # reuse the exact stored floats so compiled decoding is bitwise
+        # identical to dictionary lookups.
+        label_index = {label: column for column, label in enumerate(labels)}
+        emissions = np.empty((unknown_column + 1, n_labels), dtype=np.float64)
+        for column_label, label in enumerate(labels):
+            emissions[:, column_label] = self._emission_unknown_log_prob[label]
+        for (label, observation), log_prob in self._emission_log_prob.items():
+            emissions[observation_index[observation], label_index[label]] = log_prob
+        transition = np.array(
+            [
+                [self._transition_log_prob[(prev, nxt)] for nxt in labels]
+                for prev in labels
+            ],
+            dtype=np.float64,
+        )
+        start = np.array([self._start_log_prob[label] for label in labels], dtype=np.float64)
+        self._compiled = {
+            "observation_index": observation_index,
+            "unknown_column": unknown_column,
+            "emissions": emissions,
+            "transition": transition,
+            "start": start,
+            "end": np.zeros(n_labels, dtype=np.float64),
+        }
+        return self._compiled
+
+    def _emission_matrix(self, feature_sequence: Sequence[Sequence[str]]) -> np.ndarray:
+        """Per-token emission log-prob matrix ``(len(sequence), n_labels)``."""
+        compiled = self._compile()
+        observation_index = compiled["observation_index"]
+        unknown = compiled["unknown_column"]
+        columns = [
+            observation_index.get(_observation(token_features), unknown)
+            for token_features in feature_sequence
+        ]
+        return compiled["emissions"][columns]
 
     def predict(self, feature_sequence: Sequence[Sequence[str]]) -> list[str]:
         """Viterbi decode a single sentence."""
-        if not self._trained:
-            raise NotFittedError("HiddenMarkovModel.predict called before fit()")
-        if len(feature_sequence) == 0:
-            return []
-        observations = [_observation(token_features) for token_features in feature_sequence]
-        # Viterbi over log probabilities.
-        scores = {
-            label: self._start_log_prob[label] + self._emission(label, observations[0])
-            for label in self._labels
-        }
-        backpointers: list[dict[str, str]] = []
-        for observation in observations[1:]:
-            new_scores: dict[str, float] = {}
-            pointers: dict[str, str] = {}
-            for label in self._labels:
-                best_prev, best_score = None, -math.inf
-                for prev_label in self._labels:
-                    candidate = scores[prev_label] + self._transition_log_prob[(prev_label, label)]
-                    if candidate > best_score:
-                        best_prev, best_score = prev_label, candidate
-                new_scores[label] = best_score + self._emission(label, observation)
-                pointers[label] = best_prev
-            scores = new_scores
-            backpointers.append(pointers)
-        best_last = max(self._labels, key=lambda label: (scores[label], label))
-        path = [best_last]
-        for pointers in reversed(backpointers):
-            path.append(pointers[path[-1]])
-        path.reverse()
-        return path
+        return self.predict_batch([feature_sequence])[0]
 
     def predict_batch(
         self, feature_sequences: Sequence[Sequence[Sequence[str]]]
     ) -> list[list[str]]:
-        """Viterbi decode many sentences."""
-        return [self.predict(sequence) for sequence in feature_sequences]
+        """Viterbi decode many sentences with one padded kernel per bucket."""
+        if not self._trained:
+            raise NotFittedError("HiddenMarkovModel.predict called before fit()")
+        if len(feature_sequences) == 0:
+            return []
+        compiled = self._compile()
+        emission_matrices = [
+            self._emission_matrix(sequence) for sequence in feature_sequences
+        ]
+        paths = decode_emissions(
+            emission_matrices,
+            compiled["transition"],
+            compiled["start"],
+            compiled["end"],
+            prefer_last_final=True,
+        )
+        labels = self._labels
+        return [[labels[int(index)] for index in path] for path in paths]
 
     def labels(self) -> list[str]:
         """Label inventory learnt during training."""
         if not self._trained:
             raise NotFittedError("model must be fitted first")
         return list(self._labels)
-
-    def _emission(self, label: str, observation: str) -> float:
-        log_prob = self._emission_log_prob.get((label, observation))
-        if log_prob is None:
-            return self._emission_unknown_log_prob[label]
-        return log_prob

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
+from repro.engine import InferenceSession
 from repro.errors import ConfigurationError, DataError
 from repro.ner.crf import LinearChainCRF
 from repro.ner.encoding import OUTSIDE_TAG, spans_from_tags
@@ -93,6 +94,7 @@ class NerModel:
         self.feature_extractor = feature_extractor or IngredientFeatureExtractor()
         self.family = family
         self.model = make_sequence_model(family, seed=seed, **model_options)
+        self.session = InferenceSession()
 
     # ----------------------------------------------------------------- train
 
@@ -113,20 +115,59 @@ class NerModel:
         features = [self.feature_extractor.sequence_features(tokens) for tokens in token_sequences]
         labels = [list(tags) for tags in tag_sequences]
         self.model.fit(features, labels)
+        self.session.clear()
         return self
 
     # ------------------------------------------------------------------- tag
+
+    def _features(self, tokens: Sequence[str]) -> list[list[str]]:
+        """Session-cached feature extraction keyed on the token tuple."""
+        key = tuple(tokens)
+        cached = self.session.get_features(key)
+        if cached is None:
+            cached = self.feature_extractor.sequence_features(tokens)
+            self.session.put_features(key, cached)
+        return cached
 
     def tag(self, tokens: Sequence[str]) -> list[str]:
         """Predict one raw entity tag per token."""
         if len(tokens) == 0:
             return []
-        features = self.feature_extractor.sequence_features(tokens)
-        return self.model.predict(features)
+        key = tuple(tokens)
+        cached = self.session.get_decode(key)
+        if cached is None:
+            cached = tuple(self.model.predict(self._features(tokens)))
+            self.session.put_decode(key, cached)
+        return list(cached)
 
     def tag_batch(self, token_sequences: Sequence[Sequence[str]]) -> list[list[str]]:
-        """Tag many token sequences."""
-        return [self.tag(tokens) for tokens in token_sequences]
+        """Tag many token sequences with one batched decode for cache misses.
+
+        Distinct uncached sequences are decoded together through the model's
+        ``predict_batch`` (length-bucketed batch Viterbi for the engine-backed
+        labelers); results are identical to calling :meth:`tag` per sequence.
+        """
+        results: list[list[str] | None] = [None] * len(token_sequences)
+        miss_positions: dict[tuple[str, ...], list[int]] = {}
+        for position, tokens in enumerate(token_sequences):
+            if len(tokens) == 0:
+                results[position] = []
+                continue
+            key = tuple(tokens)
+            cached = self.session.get_decode(key)
+            if cached is not None:
+                results[position] = list(cached)
+            else:
+                miss_positions.setdefault(key, []).append(position)
+        if miss_positions:
+            miss_keys = list(miss_positions)
+            features = [self._features(key) for key in miss_keys]
+            predictions = self.model.predict_batch(features)
+            for key, tags in zip(miss_keys, predictions):
+                self.session.put_decode(key, tuple(tags))
+                for position in miss_positions[key]:
+                    results[position] = list(tags)
+        return results  # type: ignore[return-value]
 
     def extract_entities(self, tokens: Sequence[str]) -> list[TaggedEntity]:
         """Group predicted tags into :class:`TaggedEntity` spans."""

@@ -13,6 +13,14 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.engine import (
+    EncodedDataset,
+    EncodedSequence,
+    FeatureEncoder,
+    decode_emissions,
+    flat_emission_scores,
+    sequence_emission_scores,
+)
 from repro.errors import ConfigurationError, DataError, NotFittedError
 from repro.text.vocab import Vocabulary
 from repro.utils import make_py_rng, require_equal_lengths, require_nonempty
@@ -49,6 +57,13 @@ class StructuredPerceptron:
         """Whether the model holds fitted weights."""
         return self.emission_weights is not None
 
+    @property
+    def encoder(self) -> FeatureEncoder:
+        """The train/predict feature encoder (shared deduplicating path)."""
+        if self.feature_vocab is None:
+            raise NotFittedError("model must be fitted first")
+        return FeatureEncoder(self.feature_vocab)
+
     def fit(
         self,
         feature_sequences: Sequence[Sequence[Sequence[str]]],
@@ -60,7 +75,9 @@ class StructuredPerceptron:
             "feature_sequences", feature_sequences, "label_sequences", label_sequences
         )
         self._build_vocabularies(feature_sequences, label_sequences)
-        encoded = self._encode_dataset(feature_sequences, label_sequences)
+        encoded = EncodedDataset.build(
+            self.encoder, self.label_vocab, feature_sequences, label_sequences
+        ).per_sentence()
 
         n_features = len(self.feature_vocab)
         n_labels = len(self.label_vocab)
@@ -79,13 +96,13 @@ class StructuredPerceptron:
         for _ in range(self.iterations):
             rng.shuffle(order)
             for index in order:
-                token_feature_indices, gold = encoded[index]
-                emissions = self._emission_matrix(token_feature_indices, emission, n_labels)
+                sequence, gold = encoded[index]
+                emissions = sequence_emission_scores(sequence, emission)
                 predicted = self._viterbi(emissions, transition, start, end)
                 steps += 1
                 if not np.array_equal(predicted, gold):
                     self._apply_update(
-                        token_feature_indices,
+                        sequence,
                         gold,
                         predicted,
                         emission,
@@ -111,29 +128,33 @@ class StructuredPerceptron:
             raise NotFittedError("StructuredPerceptron.predict called before fit()")
         if len(feature_sequence) == 0:
             return []
-        n_labels = len(self.label_vocab)
-        token_feature_indices = [
-            np.array(
-                sorted(
-                    {
-                        index
-                        for feature in token_features
-                        if (index := self.feature_vocab.get(feature)) is not None
-                    }
-                ),
-                dtype=np.int64,
-            )
-            for token_features in feature_sequence
-        ]
-        emissions = self._emission_matrix(token_feature_indices, self.emission_weights, n_labels)
+        sequence = self.encoder.encode_sequence(feature_sequence)
+        emissions = sequence_emission_scores(sequence, self.emission_weights)
         path = self._viterbi(emissions, self.transition_weights, self.start_weights, self.end_weights)
         return [self.label_vocab.symbol(int(index)) for index in path]
 
     def predict_batch(
         self, feature_sequences: Sequence[Sequence[Sequence[str]]]
     ) -> list[list[str]]:
-        """Viterbi decode many sentences."""
-        return [self.predict(sequence) for sequence in feature_sequences]
+        """Viterbi decode many sentences with one padded kernel per bucket."""
+        if not self.is_trained:
+            raise NotFittedError("StructuredPerceptron.predict_batch called before fit()")
+        if len(feature_sequences) == 0:
+            return []
+        batch = self.encoder.encode_batch(feature_sequences)
+        flat = flat_emission_scores(batch.indices, batch.offsets, self.emission_weights)
+        emission_matrices = [
+            flat[batch.sentence_offsets[s] : batch.sentence_offsets[s + 1]]
+            for s in range(batch.n_sentences)
+        ]
+        paths = decode_emissions(
+            emission_matrices,
+            self.transition_weights,
+            self.start_weights,
+            self.end_weights,
+        )
+        symbols = self.label_vocab.symbols()
+        return [[symbols[index] for index in path.tolist()] for path in paths]
 
     def labels(self) -> list[str]:
         """Label inventory learnt during training."""
@@ -162,41 +183,6 @@ class StructuredPerceptron:
             raise DataError("no labels found in the training data")
         self.label_vocab = Vocabulary(labels).freeze()
 
-    def _encode_dataset(
-        self,
-        feature_sequences: Sequence[Sequence[Sequence[str]]],
-        label_sequences: Sequence[Sequence[str]],
-    ) -> list[tuple[list[np.ndarray], np.ndarray]]:
-        encoded = []
-        for sentence, labels in zip(feature_sequences, label_sequences):
-            require_equal_lengths("sentence", sentence, "labels", labels)
-            if len(sentence) == 0:
-                continue
-            token_feature_indices = [
-                np.array(
-                    sorted({self.feature_vocab.index(feature) for feature in token_features}),
-                    dtype=np.int64,
-                )
-                for token_features in sentence
-            ]
-            label_indices = np.array(
-                [self.label_vocab.index(label) for label in labels], dtype=np.int64
-            )
-            encoded.append((token_feature_indices, label_indices))
-        if not encoded:
-            raise DataError("all training sequences were empty")
-        return encoded
-
-    @staticmethod
-    def _emission_matrix(
-        token_feature_indices: list[np.ndarray], emission: np.ndarray, n_labels: int
-    ) -> np.ndarray:
-        emissions = np.zeros((len(token_feature_indices), n_labels), dtype=np.float64)
-        for t, indices in enumerate(token_feature_indices):
-            if indices.size:
-                emissions[t] = emission[indices].sum(axis=0)
-        return emissions
-
     @staticmethod
     def _viterbi(
         emissions: np.ndarray,
@@ -221,7 +207,7 @@ class StructuredPerceptron:
 
     @staticmethod
     def _apply_update(
-        token_feature_indices: list[np.ndarray],
+        sequence: EncodedSequence,
         gold: np.ndarray,
         predicted: np.ndarray,
         emission: np.ndarray,
@@ -229,11 +215,11 @@ class StructuredPerceptron:
         start: np.ndarray,
         end: np.ndarray,
     ) -> None:
-        length = len(token_feature_indices)
+        length = len(sequence)
         for t in range(length):
             if gold[t] == predicted[t]:
                 continue
-            indices = token_feature_indices[t]
+            indices = sequence.token_indices(t)
             if indices.size:
                 emission[indices, gold[t]] += 1.0
                 emission[indices, predicted[t]] -= 1.0

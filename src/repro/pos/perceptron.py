@@ -4,6 +4,11 @@ This is the learner behind both the POS tagger and the greedy transition
 dependency parser.  Features are arbitrary strings, weights live in nested
 dictionaries (feature -> class -> weight) and averaging uses the standard
 lazy-update trick so training stays linear in the number of updates.
+
+After :meth:`average_weights` the model compiles itself into a dense
+:class:`~repro.engine.scorer.CompiledLinearScorer` (the engine's shared
+scoring substrate), which replaces nested-dictionary walks with NumPy row
+accumulation while producing bitwise-identical scores.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable
 
+from repro.engine.scorer import CompiledLinearScorer
 from repro.errors import NotFittedError
 
 __all__ = ["AveragedPerceptron"]
@@ -34,6 +40,7 @@ class AveragedPerceptron:
         self._timestamps: dict[tuple[str, str], int] = defaultdict(int)
         self._updates = 0
         self._averaged = False
+        self._scorer: CompiledLinearScorer | None = None
 
     def predict(self, features: Iterable[str], *, return_scores: bool = False):
         """Highest-scoring class for ``features``.
@@ -48,6 +55,11 @@ class AveragedPerceptron:
         """
         if not self.classes:
             raise NotFittedError("perceptron has no classes; train or add classes first")
+        if self._scorer is not None:
+            if return_scores:
+                scores = self._scorer.score_dict(features := list(features))
+                return self._scorer.predict(features), scores
+            return self._scorer.predict(features)
         scores: dict[str, float] = dict.fromkeys(self.classes, 0.0)
         for feature in features:
             class_weights = self.weights.get(feature)
@@ -65,6 +77,7 @@ class AveragedPerceptron:
         """Perceptron update after one prediction (no-op when correct)."""
         self.classes.add(truth)
         self.classes.add(guess)
+        self._scorer = None
         self._updates += 1
         if truth == guess:
             return
@@ -83,10 +96,12 @@ class AveragedPerceptron:
     def average_weights(self) -> None:
         """Replace the weights by their average over all update steps.
 
-        Idempotent: calling it twice is a no-op for the second call.
+        Idempotent: calling it twice is a no-op for the second call.  Once
+        averaged, the weights are frozen into a dense compiled scorer.
         """
         if self._averaged or self._updates == 0:
             self._averaged = True
+            self.compile()
             return
         for feature, class_weights in self.weights.items():
             for label, weight in list(class_weights.items()):
@@ -98,6 +113,12 @@ class AveragedPerceptron:
                 else:
                     del class_weights[label]
         self._averaged = True
+        self.compile()
+
+    def compile(self) -> None:
+        """Build the dense scorer used by :meth:`predict` from the weights."""
+        if self.classes:
+            self._scorer = CompiledLinearScorer(self.weights, self.classes)
 
     def score(self, features: Iterable[str]) -> dict[str, float]:
         """Class->score dictionary for ``features`` (0 for unseen classes)."""
@@ -118,4 +139,5 @@ class AveragedPerceptron:
         model.weights = {feature: dict(cw) for feature, cw in payload["weights"].items()}
         model.classes = set(payload["classes"])
         model._averaged = True
+        model.compile()
         return model

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
+from repro.engine import InferenceSession
 from repro.errors import DataError, NotFittedError
 from repro.pos.features import END_PAD, START_PAD, extract_features
 from repro.pos.lexicon import heuristic_tag
@@ -48,6 +49,9 @@ class PerceptronPosTagger:
     def __init__(self) -> None:
         self.model = AveragedPerceptron()
         self.tagdict: dict[str, str] = {}
+        self.session = InferenceSession()
+        #: Bumped on every (re)train so downstream memos can invalidate.
+        self.generation = 0
         self._trained = False
 
     @property
@@ -93,10 +97,15 @@ class PerceptronPosTagger:
             for sentence, gold_tags in data:
                 self._train_one(sentence, gold_tags)
         self.model.average_weights()
+        self.session.clear()
+        self.generation += 1
         self._trained = True
 
     def tag(self, tokens: list[str]) -> list[TaggedToken]:
         """Tag ``tokens`` and return :class:`TaggedToken` objects.
+
+        Distinct token sequences are decoded once per session; repeats come
+        out of the decoded-line cache (recipe corpora repeat phrases heavily).
 
         Raises:
             NotFittedError: If called before :meth:`train`.
@@ -105,6 +114,14 @@ class PerceptronPosTagger:
             raise NotFittedError("PerceptronPosTagger.tag called before train()")
         if not tokens:
             return []
+        key = tuple(tokens)
+        cached = self.session.get_decode(key)
+        if cached is None:
+            cached = tuple(self._tag_uncached(tokens))
+            self.session.put_decode(key, cached)
+        return list(cached)
+
+    def _tag_uncached(self, tokens: list[str]) -> list[TaggedToken]:
         prev, prev2 = START_PAD
         context = list(START_PAD) + [token.lower() for token in tokens] + list(END_PAD)
         output: list[TaggedToken] = []
@@ -116,6 +133,10 @@ class PerceptronPosTagger:
             output.append(TaggedToken(text=token, tag=tag))
             prev2, prev = prev, tag
         return output
+
+    def tag_batch(self, sentences: list[list[str]]) -> list[list[TaggedToken]]:
+        """Tag many sentences, decoding each distinct sentence once."""
+        return [self.tag(sentence) for sentence in sentences]
 
     def tag_sequence(self, tokens: list[str]) -> list[str]:
         """Tag ``tokens`` returning only the tag strings."""

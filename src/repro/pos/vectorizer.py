@@ -33,11 +33,16 @@ class PosBagOfWordsVectorizer:
             ablation benchmarks.
     """
 
+    #: Entries kept in the phrase-vector memo before it is reset.
+    CACHE_LIMIT = 131072
+
     def __init__(self, tagger: PerceptronPosTagger, *, normalize: bool = False) -> None:
         if not tagger.is_trained:
             raise NotFittedError("the POS tagger must be trained before building vectors")
         self._tagger = tagger
         self._normalize = normalize
+        self._vector_cache: dict[tuple[str, ...], np.ndarray] = {}
+        self._cache_generation = tagger.generation
 
     @property
     def dimensions(self) -> int:
@@ -45,17 +50,26 @@ class PosBagOfWordsVectorizer:
         return len(PTB_TAGS)
 
     def vectorize_tokens(self, tokens: Sequence[str]) -> np.ndarray:
-        """Vector for an already-tokenised phrase."""
-        vector = np.zeros(len(PTB_TAGS), dtype=np.float64)
+        """Vector for an already-tokenised phrase (memoized per token tuple)."""
         if not tokens:
-            return vector
-        for tagged in self._tagger.tag(list(tokens)):
-            index = PTB_TAG_INDEX.get(tagged.tag)
-            if index is not None:  # punctuation tags fall outside the 36 dims
-                vector[index] += 1.0
-        if self._normalize and vector.sum() > 0:
-            vector /= vector.sum()
-        return vector
+            return np.zeros(len(PTB_TAGS), dtype=np.float64)
+        if self._cache_generation != self._tagger.generation:
+            self._vector_cache.clear()
+            self._cache_generation = self._tagger.generation
+        key = tuple(tokens)
+        cached = self._vector_cache.get(key)
+        if cached is None:
+            vector = np.zeros(len(PTB_TAGS), dtype=np.float64)
+            for tagged in self._tagger.tag(list(tokens)):
+                index = PTB_TAG_INDEX.get(tagged.tag)
+                if index is not None:  # punctuation tags fall outside the 36 dims
+                    vector[index] += 1.0
+            if self._normalize and vector.sum() > 0:
+                vector /= vector.sum()
+            if len(self._vector_cache) >= self.CACHE_LIMIT:
+                self._vector_cache.clear()
+            cached = self._vector_cache[key] = vector
+        return cached.copy()
 
     def vectorize(self, phrase: str) -> np.ndarray:
         """Vector for a raw phrase string (tokenised internally)."""

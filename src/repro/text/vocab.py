@@ -45,6 +45,15 @@ class Vocabulary:
         """Whether new symbols may still be added."""
         return self._frozen
 
+    @property
+    def index_map(self) -> dict[str, int]:
+        """The live symbol->index mapping (read-only; do not mutate).
+
+        Exposed for hot loops (the engine's batch encoder) that need a bare
+        ``dict.get`` without per-call method dispatch.
+        """
+        return self._index_of
+
     def freeze(self) -> "Vocabulary":
         """Prevent further additions; returns ``self`` for chaining."""
         self._frozen = True

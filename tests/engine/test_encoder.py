@@ -1,0 +1,127 @@
+"""Tests for the engine's CSR feature encoding."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EncodedDataset, FeatureEncoder
+from repro.errors import DataError
+from repro.text.vocab import Vocabulary
+
+
+@pytest.fixture()
+def encoder():
+    return FeatureEncoder(Vocabulary(["a", "b", "c", "d"]).freeze())
+
+
+class TestEncodeToken:
+    def test_known_features_sorted(self, encoder):
+        ids = encoder.encode_token(["c", "a"])
+        assert ids.tolist() == [0, 2]
+
+    def test_duplicates_collapse(self, encoder):
+        ids = encoder.encode_token(["b", "b", "a", "b"])
+        assert ids.tolist() == [0, 1]
+
+    def test_unknown_features_dropped(self, encoder):
+        assert encoder.encode_token(["zzz", "b"]).tolist() == [1]
+
+    def test_all_unknown_yields_empty(self, encoder):
+        ids = encoder.encode_token(["x", "y"])
+        assert ids.size == 0
+        assert ids.dtype == np.int64
+
+
+class TestEncodeSequence:
+    def test_offsets_partition_indices(self, encoder):
+        sequence = encoder.encode_sequence([["a", "b"], [], ["d"]])
+        assert len(sequence) == 3
+        assert sequence.offsets.tolist() == [0, 2, 2, 3]
+        assert sequence.token_indices(0).tolist() == [0, 1]
+        assert sequence.token_indices(1).tolist() == []
+        assert sequence.token_indices(2).tolist() == [3]
+
+    def test_empty_sequence(self, encoder):
+        sequence = encoder.encode_sequence([])
+        assert len(sequence) == 0
+        assert sequence.indices.size == 0
+
+
+class TestEncodeBatch:
+    def test_flat_layout_and_views(self, encoder):
+        batch = encoder.encode_batch([[["a"], ["b", "c"]], [], [["d"]]])
+        assert batch.n_sentences == 3
+        assert batch.n_tokens == 3
+        assert batch.lengths.tolist() == [2, 0, 1]
+        middle = batch.sentence(1)
+        assert len(middle) == 0
+        last = batch.sentence(2)
+        assert last.token_indices(0).tolist() == [3]
+
+    def test_sentence_view_matches_encode_sequence(self, encoder):
+        sentences = [[["b", "a"], ["c"]], [["d"], ["a"], ["b"]]]
+        batch = encoder.encode_batch(sentences)
+        for index, sentence in enumerate(sentences):
+            direct = encoder.encode_sequence(sentence)
+            view = batch.sentence(index)
+            np.testing.assert_array_equal(direct.indices, view.indices)
+            np.testing.assert_array_equal(direct.offsets, view.offsets)
+
+
+class TestEncodedDataset:
+    def _dataset(self, encoder):
+        labels = Vocabulary(["O", "X"]).freeze()
+        features = [[["a", "b"], ["c"]], [], [["a"]]]
+        tags = [["O", "X"], [], ["X"]]
+        return EncodedDataset.build(encoder, labels, features, tags)
+
+    def test_empty_sentences_skipped(self, encoder):
+        dataset = self._dataset(encoder)
+        assert dataset.batch.n_sentences == 2
+        assert dataset.labels.tolist() == [0, 1, 1]
+
+    def test_all_empty_raises(self, encoder):
+        labels = Vocabulary(["O"]).freeze()
+        with pytest.raises(DataError):
+            EncodedDataset.build(encoder, labels, [[], []], [[], []])
+
+    def test_empirical_counts(self, encoder):
+        dataset = self._dataset(encoder)
+        # Starts: labels O (sentence one) and X (sentence two).
+        assert dataset.empirical_start.tolist() == [1.0, 1.0]
+        # Ends: X and X.
+        assert dataset.empirical_end.tolist() == [0.0, 2.0]
+        # One O->X bigram inside sentence one, none across the boundary.
+        assert dataset.empirical_transition.tolist() == [[0.0, 1.0], [0.0, 0.0]]
+        # Feature "a" fires for gold O (token one) and gold X (sentence two).
+        expected_emission = np.zeros((4, 2))
+        expected_emission[0] = [1.0, 1.0]  # a
+        expected_emission[1] = [1.0, 0.0]  # b
+        expected_emission[2] = [0.0, 1.0]  # c
+        np.testing.assert_array_equal(dataset.empirical_emission, expected_emission)
+
+    def test_groups_cover_all_tokens(self, encoder):
+        dataset = self._dataset(encoder)
+        gathered = np.concatenate([group.token_gather for group in dataset.groups])
+        assert sorted(gathered.tolist()) == list(range(dataset.batch.n_tokens))
+
+    def test_scatter_matches_add_at(self, encoder):
+        dataset = self._dataset(encoder)
+        rng = np.random.default_rng(7)
+        gamma = rng.normal(size=(dataset.batch.n_tokens, dataset.n_labels))
+        fast = np.zeros((dataset.n_features, dataset.n_labels))
+        dataset.scatter_emission_gradient(gamma, fast)
+        slow = np.zeros_like(fast)
+        np.add.at(
+            slow,
+            dataset.batch.indices,
+            gamma[dataset.token_of_feature],
+        )
+        np.testing.assert_allclose(fast, slow, atol=1e-12)
+
+    def test_per_sentence_roundtrip(self, encoder):
+        dataset = self._dataset(encoder)
+        pairs = dataset.per_sentence()
+        assert len(pairs) == 2
+        first_sequence, first_labels = pairs[0]
+        assert len(first_sequence) == 2
+        assert first_labels.tolist() == [0, 1]

@@ -1,0 +1,172 @@
+"""Tests for the lattice kernels against naive sequential references."""
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp
+
+from repro.engine import (
+    backward_batch,
+    decode_emissions,
+    flat_emission_scores,
+    forward_batch,
+    viterbi_padded,
+)
+from repro.engine.batching import LengthBuckets, bucket_length
+
+N_LABELS = 4
+
+
+def _random_model(rng):
+    transition = rng.normal(size=(N_LABELS, N_LABELS))
+    start = rng.normal(size=N_LABELS)
+    end = rng.normal(size=N_LABELS)
+    return transition, start, end
+
+
+def _reference_viterbi(emissions, transition, start, end):
+    """The seed's sequential Viterbi (first-max tie-breaks throughout)."""
+    length, n_labels = emissions.shape
+    scores = start + emissions[0]
+    backpointers = np.zeros((length, n_labels), dtype=np.int64)
+    for t in range(1, length):
+        candidate = scores[:, None] + transition
+        backpointers[t] = np.argmax(candidate, axis=0)
+        scores = candidate[backpointers[t], np.arange(n_labels)] + emissions[t]
+    scores = scores + end
+    path = [int(np.argmax(scores))]
+    for t in range(length - 1, 0, -1):
+        path.append(int(backpointers[t, path[-1]]))
+    path.reverse()
+    return np.array(path, dtype=np.int64)
+
+
+def _reference_forward(emissions, transition, start):
+    length, n_labels = emissions.shape
+    alpha = np.empty((length, n_labels))
+    alpha[0] = start + emissions[0]
+    for t in range(1, length):
+        alpha[t] = logsumexp(alpha[t - 1][:, None] + transition, axis=0) + emissions[t]
+    return alpha
+
+
+def _reference_backward(emissions, transition, end):
+    length, n_labels = emissions.shape
+    beta = np.empty((length, n_labels))
+    beta[-1] = end
+    for t in range(length - 2, -1, -1):
+        beta[t] = logsumexp(transition + (emissions[t + 1] + beta[t + 1])[None, :], axis=1)
+    return beta
+
+
+class TestFlatEmissionScores:
+    def test_matches_naive_row_sums(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(6, N_LABELS))
+        token_ids = [[0, 3], [], [5], [1, 2, 4], []]
+        indices = np.array([i for ids in token_ids for i in ids], dtype=np.int64)
+        offsets = np.cumsum([0] + [len(ids) for ids in token_ids]).astype(np.int64)
+        scores = flat_emission_scores(indices, offsets, weights)
+        for t, ids in enumerate(token_ids):
+            expected = weights[ids].sum(axis=0) if ids else np.zeros(N_LABELS)
+            np.testing.assert_allclose(scores[t], expected, atol=1e-12)
+
+    def test_no_tokens(self):
+        weights = np.ones((3, N_LABELS))
+        scores = flat_emission_scores(
+            np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), weights
+        )
+        assert scores.shape == (0, N_LABELS)
+
+    def test_trailing_empty_token(self):
+        weights = np.arange(8, dtype=np.float64).reshape(2, N_LABELS)
+        indices = np.array([0, 1], dtype=np.int64)
+        offsets = np.array([0, 2, 2], dtype=np.int64)
+        scores = flat_emission_scores(indices, offsets, weights)
+        np.testing.assert_allclose(scores[0], weights.sum(axis=0))
+        np.testing.assert_allclose(scores[1], 0.0)
+
+
+class TestForwardBackwardBatch:
+    @pytest.mark.parametrize("length", [1, 2, 7])
+    def test_matches_sequential(self, length):
+        rng = np.random.default_rng(length)
+        transition, start, end = _random_model(rng)
+        emissions = rng.normal(size=(5, length, N_LABELS))
+        alpha = forward_batch(emissions, transition, start)
+        beta = backward_batch(emissions, transition, end)
+        for row in range(5):
+            np.testing.assert_array_equal(
+                alpha[row], _reference_forward(emissions[row], transition, start)
+            )
+            np.testing.assert_array_equal(
+                beta[row], _reference_backward(emissions[row], transition, end)
+            )
+
+
+class TestViterbiPadded:
+    def test_matches_sequential_on_mixed_lengths(self):
+        rng = np.random.default_rng(11)
+        transition, start, end = _random_model(rng)
+        lengths = np.array([3, 1, 4, 4, 2], dtype=np.int64)
+        width = 4
+        emissions = rng.normal(size=(len(lengths), width, N_LABELS))
+        paths = viterbi_padded(emissions, lengths, transition, start, end)
+        for row, length in enumerate(lengths):
+            expected = _reference_viterbi(
+                emissions[row, :length], transition, start, end
+            )
+            np.testing.assert_array_equal(paths[row], expected)
+
+    def test_prefer_last_final_tie_break(self):
+        # Two labels with identical scores everywhere: first-max picks label
+        # zero, the HMM-style tie-break picks the largest label.
+        emissions = np.zeros((1, 1, 2))
+        lengths = np.array([1], dtype=np.int64)
+        transition = np.zeros((2, 2))
+        start = np.zeros(2)
+        end = np.zeros(2)
+        first = viterbi_padded(emissions, lengths, transition, start, end)
+        last = viterbi_padded(
+            emissions, lengths, transition, start, end, prefer_last_final=True
+        )
+        assert first[0].tolist() == [0]
+        assert last[0].tolist() == [1]
+
+
+class TestDecodeEmissions:
+    def test_restores_input_order_with_empties(self):
+        rng = np.random.default_rng(3)
+        transition, start, end = _random_model(rng)
+        matrices = [
+            rng.normal(size=(3, N_LABELS)),
+            np.zeros((0, N_LABELS)),
+            rng.normal(size=(1, N_LABELS)),
+            rng.normal(size=(6, N_LABELS)),
+        ]
+        paths = decode_emissions(matrices, transition, start, end)
+        assert [len(path) for path in paths] == [3, 0, 1, 6]
+        for matrix, path in zip(matrices, paths):
+            if matrix.shape[0]:
+                expected = _reference_viterbi(matrix, transition, start, end)
+                np.testing.assert_array_equal(path, expected)
+
+    def test_all_empty(self):
+        transition = np.zeros((N_LABELS, N_LABELS))
+        paths = decode_emissions(
+            [np.zeros((0, N_LABELS))], transition, np.zeros(N_LABELS), np.zeros(N_LABELS)
+        )
+        assert len(paths) == 1
+        assert paths[0].size == 0
+
+
+class TestBucketing:
+    def test_bucket_length_powers_of_two(self):
+        assert [bucket_length(n) for n in [0, 1, 2, 3, 4, 5, 9]] == [1, 1, 2, 4, 4, 8, 16]
+
+    def test_buckets_partition_sentences(self):
+        buckets = LengthBuckets.from_lengths([1, 3, 4, 8, 2, 2])
+        assigned = sorted(
+            index for ids in buckets.buckets.values() for index in ids.tolist()
+        )
+        assert assigned == [0, 1, 2, 3, 4, 5]
+        assert set(buckets.buckets) == {1, 2, 4, 8}

@@ -1,0 +1,327 @@
+"""Batch/sequential parity: the engine must reproduce the seed semantics.
+
+Property-style tests over random corpora assert that every batched path
+(``predict_batch``, the vectorized CRF objective, ``tag_batch``,
+``model_corpus``) is element-wise identical to decoding one sentence at a
+time, including the edge cases: empty lines, length-1 sentences and unseen
+features.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp
+
+from repro.ner.crf import LinearChainCRF
+from repro.ner.hmm import HiddenMarkovModel, _observation
+from repro.ner.structured_perceptron import StructuredPerceptron
+
+LABELS = ["A", "B", "O"]
+FEATURES = [f"f{i}" for i in range(40)]
+
+
+def random_corpus(seed, n_sentences=30, allow_empty=False, unseen=False):
+    """Random feature/label sequences; duplicates features inside tokens."""
+    rng = np.random.default_rng(seed)
+    feature_pool = FEATURES + (["unseen-x", "unseen-y"] if unseen else [])
+    corpus_features, corpus_labels = [], []
+    for _ in range(n_sentences):
+        low = 0 if allow_empty else 1
+        length = int(rng.integers(low, 9))
+        sentence, labels = [], []
+        for _ in range(length):
+            n_feats = int(rng.integers(1, 6))
+            token = [feature_pool[i] for i in rng.integers(0, len(feature_pool), n_feats)]
+            if rng.random() < 0.3 and token:
+                token.append(token[0])  # duplicated feature string
+            sentence.append(token)
+            labels.append(LABELS[int(rng.integers(0, len(LABELS)))])
+        corpus_features.append(sentence)
+        corpus_labels.append(labels)
+    return corpus_features, corpus_labels
+
+
+def _seed_objective(crf, params, feature_sequences, label_sequences):
+    """The seed's per-token-loop objective (reference implementation)."""
+    n_features = len(crf.feature_vocab)
+    n_labels = len(crf.label_vocab)
+    emission, transition, start, end = crf._split(params, n_features, n_labels)
+    grad_emission = np.zeros_like(emission)
+    grad_transition = np.zeros_like(transition)
+    grad_start = np.zeros_like(start)
+    grad_end = np.zeros_like(end)
+    nll = 0.0
+
+    encoded = []
+    for sentence, labels in zip(feature_sequences, label_sequences):
+        if len(sentence) == 0:
+            continue
+        token_feature_indices = [
+            np.array(
+                sorted(
+                    {
+                        index
+                        for feature in token_features
+                        if (index := crf.feature_vocab.get(feature)) is not None
+                    }
+                ),
+                dtype=np.int64,
+            )
+            for token_features in sentence
+        ]
+        label_indices = np.array(
+            [crf.label_vocab.index(label) for label in labels], dtype=np.int64
+        )
+        encoded.append((token_feature_indices, label_indices))
+
+    for token_feature_indices, label_indices in encoded:
+        length = len(token_feature_indices)
+        emissions = np.zeros((length, n_labels))
+        for t, indices in enumerate(token_feature_indices):
+            if indices.size:
+                emissions[t] = emission[indices].sum(axis=0)
+        alpha = np.empty((length, n_labels))
+        alpha[0] = start + emissions[0]
+        for t in range(1, length):
+            alpha[t] = logsumexp(alpha[t - 1][:, None] + transition, axis=0) + emissions[t]
+        beta = np.empty((length, n_labels))
+        beta[-1] = end
+        for t in range(length - 2, -1, -1):
+            beta[t] = logsumexp(transition + (emissions[t + 1] + beta[t + 1])[None, :], axis=1)
+        log_z = logsumexp(alpha[-1] + end)
+
+        gold = start[label_indices[0]] + emissions[0, label_indices[0]]
+        for t in range(1, length):
+            gold += transition[label_indices[t - 1], label_indices[t]]
+            gold += emissions[t, label_indices[t]]
+        gold += end[label_indices[-1]]
+        nll += log_z - gold
+
+        gamma = np.exp(alpha + beta - log_z)
+        for t, indices in enumerate(token_feature_indices):
+            if indices.size:
+                grad_emission[indices] += gamma[t]
+                grad_emission[indices, label_indices[t]] -= 1.0
+        grad_start += gamma[0]
+        grad_start[label_indices[0]] -= 1.0
+        grad_end += gamma[-1]
+        grad_end[label_indices[-1]] -= 1.0
+        for t in range(1, length):
+            pairwise = (
+                alpha[t - 1][:, None]
+                + transition
+                + emissions[t][None, :]
+                + beta[t][None, :]
+                - log_z
+            )
+            grad_transition += np.exp(pairwise)
+            grad_transition[label_indices[t - 1], label_indices[t]] -= 1.0
+
+    nll += 0.5 * crf.l2 * float(np.dot(params, params))
+    gradient = np.concatenate(
+        [grad_emission.ravel(), grad_transition.ravel(), grad_start, grad_end]
+    )
+    gradient += crf.l2 * params
+    return nll, gradient
+
+
+def _seed_hmm_viterbi(model, feature_sequence):
+    """The seed's dictionary-based HMM Viterbi (reference implementation)."""
+    if len(feature_sequence) == 0:
+        return []
+    observations = [_observation(token_features) for token_features in feature_sequence]
+
+    def emission(label, observation):
+        log_prob = model._emission_log_prob.get((label, observation))
+        if log_prob is None:
+            return model._emission_unknown_log_prob[label]
+        return log_prob
+
+    scores = {
+        label: model._start_log_prob[label] + emission(label, observations[0])
+        for label in model._labels
+    }
+    backpointers = []
+    for observation in observations[1:]:
+        new_scores, pointers = {}, {}
+        for label in model._labels:
+            best_prev, best_score = None, -math.inf
+            for prev_label in model._labels:
+                candidate = scores[prev_label] + model._transition_log_prob[(prev_label, label)]
+                if candidate > best_score:
+                    best_prev, best_score = prev_label, candidate
+            new_scores[label] = best_score + emission(label, observation)
+            pointers[label] = best_prev
+        scores = new_scores
+        backpointers.append(pointers)
+    best_last = max(model._labels, key=lambda label: (scores[label], label))
+    path = [best_last]
+    for pointers in reversed(backpointers):
+        path.append(pointers[path[-1]])
+    path.reverse()
+    return path
+
+
+@pytest.fixture(scope="module")
+def trained_trio():
+    """CRF, perceptron and HMM fitted on the same random corpus."""
+    features, labels = random_corpus(seed=1, n_sentences=40)
+    crf = LinearChainCRF(l2=0.5, max_iterations=25).fit(features, labels)
+    perceptron = StructuredPerceptron(iterations=3, seed=0).fit(features, labels)
+    hmm = HiddenMarkovModel().fit(features, labels)
+    return crf, perceptron, hmm
+
+
+class TestCrfObjectiveParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_vectorized_objective_matches_seed_loops(self, seed):
+        from repro.engine import EncodedDataset
+
+        features, labels = random_corpus(seed=seed, n_sentences=20, allow_empty=True)
+        # Keep at least one non-empty sentence for the vocabularies.
+        features.append([["f0"], ["f1", "f2"]])
+        labels.append(["A", "B"])
+        crf = LinearChainCRF()
+        crf._build_vocabularies(features, labels)
+        dataset = EncodedDataset.build(crf.encoder, crf.label_vocab, features, labels)
+        n_features = len(crf.feature_vocab)
+        n_labels = len(crf.label_vocab)
+        rng = np.random.default_rng(seed)
+        params = rng.normal(
+            scale=0.1, size=n_features * n_labels + n_labels * n_labels + 2 * n_labels
+        )
+        value, gradient = crf._objective(params, dataset, n_features, n_labels)
+        ref_value, ref_gradient = _seed_objective(crf, params, features, labels)
+        np.testing.assert_allclose(value, ref_value, rtol=1e-10)
+        np.testing.assert_allclose(gradient, ref_gradient, rtol=1e-8, atol=1e-10)
+
+
+class TestDecodeParity:
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_predict_batch_matches_sequential(self, trained_trio, seed):
+        features, _ = random_corpus(seed=seed, n_sentences=25, allow_empty=True, unseen=True)
+        features.append([[["never-seen"]]][0])  # single token, only unseen features
+        crf, perceptron, hmm = trained_trio
+        for model in (crf, perceptron, hmm):
+            batched = model.predict_batch(features)
+            sequential = [model.predict(sentence) for sentence in features]
+            assert batched == sequential
+
+    def test_hmm_matches_seed_dictionary_viterbi(self, trained_trio):
+        _, _, hmm = trained_trio
+        features, _ = random_corpus(seed=9, n_sentences=25, allow_empty=True, unseen=True)
+        for sentence in features:
+            assert hmm.predict(sentence) == _seed_hmm_viterbi(hmm, sentence)
+
+    def test_length_one_and_empty(self, trained_trio):
+        crf, perceptron, hmm = trained_trio
+        sentences = [[], [["f0", "f0", "f3"]], []]
+        for model in (crf, perceptron, hmm):
+            batched = model.predict_batch(sentences)
+            assert batched[0] == [] and batched[2] == []
+            assert len(batched[1]) == 1
+            assert batched == [model.predict(s) for s in sentences]
+
+    def test_hmm_refit_with_new_labels(self):
+        # Refitting must rebuild the compiled tables from scratch; stale
+        # entries from the first corpus used to crash the compiled decoder.
+        model = HiddenMarkovModel()
+        model.fit([[["w=a"], ["w=b"]]], [["X", "Y"]])
+        assert model.predict([["w=a"]]) == ["X"]
+        model.fit([[["w=c"], ["w=d"]]], [["P", "Q"]])
+        assert model.labels() == ["P", "Q"]
+        assert model.predict([["w=c"], ["w=d"]]) == ["P", "Q"]
+
+    def test_crf_train_predict_encoding_consistent(self):
+        # A token with a repeated feature string must score identically at
+        # train and predict time (the seed deduplicated only at train time).
+        features = [[["f0", "f0", "f1"]], [["f2"]]]
+        labels = [["A"], ["B"]]
+        crf = LinearChainCRF(max_iterations=10).fit(features, labels)
+        duplicated = crf._emission_scores([["f0", "f0", "f1"]])
+        deduplicated = crf._emission_scores([["f0", "f1"]])
+        np.testing.assert_array_equal(duplicated, deduplicated)
+
+
+class TestModelLevelParity:
+    def test_ner_tag_batch_matches_tag(self, ingredient_pipeline):
+        ner = ingredient_pipeline.ner
+        sequences = [
+            ["2", "cups", "flour"],
+            [],
+            ["1", "clove", "garlic", ",", "minced"],
+            ["2", "cups", "flour"],  # repeat: exercises the decode cache
+            ["totally", "unseen", "tokens"],
+        ]
+        batched = ner.tag_batch(sequences)
+        sequential = [ner.tag(tokens) for tokens in sequences]
+        assert batched == sequential
+        assert batched[0] == batched[3]
+
+    def test_model_corpus_matches_per_recipe(self, modeler, corpus):
+        recipes = list(corpus)[:6]
+
+        class _Slice:
+            def __iter__(self):
+                return iter(recipes)
+
+        batched = modeler.model_corpus(_Slice())
+        sequential = [modeler.model_recipe(recipe) for recipe in recipes]
+        assert batched == sequential
+
+    def test_model_text_handles_blank_lines(self, modeler):
+        structured = modeler.model_text(
+            ingredient_lines=["", "2 cups flour", "   "],
+            instruction_lines=["", "Stir well.", ""],
+        )
+        assert len(structured.ingredients) == 1
+        assert len(structured.events) == 1
+        assert structured.events[0].step_index == 1
+
+
+class TestPosCompiledParity:
+    def test_compiled_predict_matches_dict_path(self):
+        from repro.pos.tagger import PerceptronPosTagger
+
+        sentences = [
+            ["2", "cups", "chopped", "fresh", "basil"],
+            ["preheat", "the", "oven", "to", "350", "degrees"],
+            ["stir", "in", "the", "flour", "and", "mix", "well"],
+            ["1", "large", "onion", ",", "diced"],
+        ] * 3
+        tags = [
+            ["CD", "NNS", "VBN", "JJ", "NN"],
+            ["VB", "DT", "NN", "IN", "CD", "NNS"],
+            ["VB", "IN", "DT", "NN", "CC", "VB", "RB"],
+            ["CD", "JJ", "NN", ",", "VBN"],
+        ] * 3
+        tagger = PerceptronPosTagger()
+        tagger.train(sentences, tags, iterations=3, seed=0)
+        assert tagger.model._scorer is not None
+
+        test_sentences = [
+            ["mix", "the", "chopped", "basil"],
+            ["350", "degrees", "for", "20", "minutes"],
+            ["unknownword", "another"],
+        ]
+        compiled = [tagger.tag_sequence(list(sentence)) for sentence in test_sentences]
+        tagger.session.clear()
+        tagger.model._scorer = None  # force the dictionary path
+        dictionary = [tagger.tag_sequence(list(sentence)) for sentence in test_sentences]
+        assert compiled == dictionary
+
+    def test_vectorizer_cache_invalidated_on_retrain(self):
+        from repro.pos.tagger import PerceptronPosTagger
+        from repro.pos.vectorizer import PosBagOfWordsVectorizer
+
+        tagger = PerceptronPosTagger()
+        tagger.train([["chop", "onions"]], [["VB", "NNS"]], iterations=2, seed=0)
+        vectorizer = PosBagOfWordsVectorizer(tagger)
+        vectorizer.vectorize_tokens(["chop", "onions"])  # populate the memo
+        # Retrain with a flipped tag inventory; the memo must not serve the
+        # vector computed under the old model.
+        tagger.train([["chop", "onions"]], [["NN", "NN"]], iterations=2, seed=0)
+        refreshed = vectorizer.vectorize_tokens(["chop", "onions"])
+        expected = PosBagOfWordsVectorizer(tagger).vectorize_tokens(["chop", "onions"])
+        np.testing.assert_array_equal(refreshed, expected)

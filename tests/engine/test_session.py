@@ -1,0 +1,83 @@
+"""Tests for the memoizing inference session and the compiled scorer."""
+
+import numpy as np
+
+from repro.engine import CompiledLinearScorer, InferenceSession
+
+
+class TestInferenceSession:
+    def test_feature_cache_roundtrip(self):
+        session = InferenceSession()
+        assert session.get_features(("a",)) is None
+        session.put_features(("a",), [["f1"]])
+        assert session.get_features(("a",)) == [["f1"]]
+        stats = session.stats()
+        assert stats["feature_hits"] == 1
+        assert stats["feature_misses"] == 1
+
+    def test_decode_cache_roundtrip(self):
+        session = InferenceSession()
+        assert session.get_decode(("a", "b")) is None
+        session.put_decode(("a", "b"), ("O", "NAME"))
+        assert session.get_decode(("a", "b")) == ("O", "NAME")
+
+    def test_lru_eviction(self):
+        session = InferenceSession(decode_cache_size=2)
+        session.put_decode("one", 1)
+        session.put_decode("two", 2)
+        assert session.get_decode("one") == 1  # refresh "one"
+        session.put_decode("three", 3)  # evicts "two"
+        assert session.get_decode("two") is None
+        assert session.get_decode("one") == 1
+        assert session.get_decode("three") == 3
+
+    def test_clear(self):
+        session = InferenceSession()
+        session.put_features("k", "v")
+        session.put_decode("k", "v")
+        session.clear()
+        assert session.get_features("k") is None
+        assert session.get_decode("k") is None
+        assert session.stats()["feature_entries"] == 0
+
+
+class TestCompiledLinearScorer:
+    WEIGHTS = {
+        "bias": {"NN": 0.5, "VB": -0.25},
+        "w=stir": {"VB": 1.5},
+        "suffix=ir": {"NN": 0.125},
+    }
+
+    def _dict_scores(self, features, classes):
+        scores = dict.fromkeys(classes, 0.0)
+        for feature in features:
+            for label, weight in self.WEIGHTS.get(feature, {}).items():
+                scores[label] += weight
+        return scores
+
+    def test_scores_match_dict_accumulation(self):
+        classes = {"NN", "VB", "JJ"}
+        scorer = CompiledLinearScorer(self.WEIGHTS, classes)
+        features = ["bias", "w=stir", "unseen", "suffix=ir", "bias"]
+        expected = self._dict_scores(features, classes)
+        produced = scorer.score_dict(features)
+        assert produced == expected
+
+    def test_repeated_features_count_twice(self):
+        scorer = CompiledLinearScorer(self.WEIGHTS, {"NN", "VB"})
+        single = scorer.scores(["w=stir"])
+        double = scorer.scores(["w=stir", "w=stir"])
+        np.testing.assert_allclose(double, 2 * single)
+
+    def test_tie_breaks_toward_largest_class(self):
+        scorer = CompiledLinearScorer({}, {"AA", "ZZ", "MM"})
+        # No weights at all: every class scores 0.0.
+        assert scorer.predict(["anything"]) == "ZZ"
+
+    def test_prediction_matches_dict_rule(self):
+        classes = {"NN", "VB", "JJ"}
+        scorer = CompiledLinearScorer(self.WEIGHTS, classes)
+        features = ["bias", "suffix=ir"]
+        expected_scores = self._dict_scores(features, classes)
+        expected = max(classes, key=lambda label: (expected_scores[label], label))
+        assert scorer.predict(features) == expected
