@@ -1,0 +1,117 @@
+"""Serving perf smoke: microbatched queue vs per-request decoding.
+
+Simulates the two serving architectures on a >=1k-line corpus with the same
+trained ingredient NER model:
+
+* **per-request**: each line is feature-extracted and Viterbi-decoded on its
+  own, the way a naive HTTP handler would do it (no shared state between
+  requests);
+* **microbatched**: every line goes through a :class:`MicrobatchQueue` over
+  ``NerModel.tag_batch``, so concurrent requests coalesce into a handful of
+  length-bucketed batch decodes.
+
+Both paths must produce byte-identical tags (and match ``tag_batch``
+itself); the measured wall times, throughputs and flush counters are written
+to ``benchmarks/BENCH_serve.json``.  The run fails if the microbatched
+throughput is less than 3x the per-request loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import MicrobatchQueue
+
+from conftest import emit
+
+RESULT_PATH = Path(__file__).parent / "BENCH_serve.json"
+MIN_SPEEDUP = 3.0
+MIN_LINES = 1000
+REPEATS = 3
+
+
+def _best_time(function, *, setup=None):
+    best = np.inf
+    result = None
+    for _ in range(REPEATS):
+        if setup is not None:
+            setup()
+        started = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def serving_corpus(corpora):
+    """Every ingredient line of the small corpus, as serving requests."""
+    lines = [list(phrase.tokens) for phrase in corpora.combined.ingredient_phrases()]
+    assert len(lines) >= MIN_LINES, "serving benchmark needs a >=1k-line corpus"
+    return lines
+
+
+def test_bench_serve(modeler, serving_corpus):
+    model = modeler.components.ingredient_pipeline.ner
+    lines = serving_corpus
+
+    # Reference output: the engine's own batched decode.
+    model.session.clear()
+    expected = model.tag_batch(lines)
+
+    # ---- (a) per-request decode loop: one kernel call per line, no caches.
+    def per_request():
+        return [
+            model.model.predict(model.feature_extractor.sequence_features(tokens))
+            for tokens in lines
+        ]
+
+    per_request_s, sequential = _best_time(per_request)
+    assert sequential == expected, "per-request decoding must match tag_batch"
+
+    # ---- (b) microbatched queue over tag_batch, cold caches every repeat.
+    last_stats = {}
+
+    def microbatched():
+        with MicrobatchQueue(
+            model.tag_batch,
+            max_batch=512,
+            max_tokens=32768,
+            max_delay_s=0.001,
+            name="bench",
+        ) as queue:
+            results = queue.tag_many(lines, timeout=120)
+        last_stats.update(queue.stats())
+        return results
+
+    microbatch_s, batched = _best_time(microbatched, setup=model.session.clear)
+    assert batched == expected, "microbatched serving must be byte-identical to tag_batch"
+
+    speedup = per_request_s / microbatch_s
+    report = {
+        "lines": len(lines),
+        "unique_lines": len({tuple(tokens) for tokens in lines}),
+        "per_request": {
+            "seconds": round(per_request_s, 6),
+            "lines_per_s": round(len(lines) / per_request_s, 1),
+        },
+        "microbatch": {
+            "seconds": round(microbatch_s, 6),
+            "lines_per_s": round(len(lines) / microbatch_s, 1),
+            "flushes": last_stats.get("flushes_total"),
+            "largest_flush": last_stats.get("largest_flush"),
+            "mean_flush_size": round(last_stats.get("mean_flush_size", 0.0), 1),
+        },
+        "speedup": round(speedup, 2),
+        "byte_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit("SERVE PERF SMOKE (BENCH_serve.json)", json.dumps(report, indent=2))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"microbatched serving speedup {speedup:.1f}x below the {MIN_SPEEDUP}x floor"
+    )

@@ -1,18 +1,25 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: paper artefacts plus the serving workflow.
 
 Usage::
 
-    python -m repro table1 --scale small --seed 0
-    python -m repro table4 --scale medium
-    python -m repro all
+    python -m repro table1 --scale small --seed 0     # regenerate a table
+    python -m repro all                               # every paper artefact
+    python -m repro train --scale small --output bundle.json
+    python -m repro tag --bundle bundle.json --section ingredient "2 cups sugar"
+    python -m repro serve --bundle bundle.json --port 8080
 
-Every sub-command prints the same rows/series the paper reports (plus the
-paper's own numbers for side-by-side comparison where applicable).
+The experiment sub-commands print the same rows/series the paper reports.
+``train`` fits the end-to-end pipeline on the simulated corpus and writes an
+atomic, checksummed :class:`~repro.persistence.PipelineBundle` artifact;
+``tag`` and ``serve`` load such an artifact through the
+:mod:`repro.serve` model registry and answer tagging requests through the
+microbatching queue (one JSON object per input line on stdout for ``tag``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Callable, Sequence
 
@@ -59,32 +66,105 @@ EXPERIMENTS: dict[str, Callable[..., str]] = {
     "ablations": _run_ablations,
 }
 
+_SCALES = ("tiny", "small", "medium", "large")
+
+
+def _add_corpus_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=_SCALES,
+        help="corpus scale preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
         prog="repro-recipes",
-        description="Reproduce the tables and figures of 'A Named Entity Based Approach to Model Recipes'.",
+        description=(
+            "Reproduce the tables and figures of 'A Named Entity Based Approach "
+            "to Model Recipes', or train and serve the pipeline."
+        ),
     )
-    parser.add_argument(
-        "experiment",
-        choices=[*EXPERIMENTS.keys(), "all"],
-        help="which paper artefact to regenerate ('all' runs every experiment)",
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    for name in [*EXPERIMENTS, "all"]:
+        help_text = (
+            "run every experiment" if name == "all" else f"regenerate the paper's {name}"
+        )
+        experiment = subparsers.add_parser(name, help=help_text)
+        _add_corpus_options(experiment)
+        experiment.set_defaults(experiment=name, handler=_cmd_experiments)
+
+    train = subparsers.add_parser(
+        "train", help="fit the full pipeline and save a serving bundle artifact"
     )
-    parser.add_argument(
-        "--scale",
-        default="small",
-        choices=("tiny", "small", "medium", "large"),
-        help="corpus scale preset (default: small)",
+    _add_corpus_options(train)
+    train.add_argument(
+        "--family",
+        default="perceptron",
+        choices=("crf", "perceptron", "hmm"),
+        help="sequence-model family for both NER models (default: perceptron)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    train.add_argument(
+        "--output", required=True, help="path the bundle artifact is written to"
+    )
+    train.set_defaults(handler=_cmd_train)
+
+    tag = subparsers.add_parser(
+        "tag", help="tag recipe lines with a saved bundle (JSON per line on stdout)"
+    )
+    tag.add_argument("--bundle", required=True, help="bundle artifact to load")
+    tag.add_argument(
+        "--section",
+        default="instruction",
+        choices=("ingredient", "instruction"),
+        help="which recipe section the lines belong to (default: instruction)",
+    )
+    tag.add_argument(
+        "--no-dictionary",
+        action="store_true",
+        help="skip the frequency-dictionary filter on instruction predictions",
+    )
+    tag.add_argument(
+        "lines",
+        nargs="*",
+        help="recipe lines to tag (reads one line per stdin row when omitted)",
+    )
+    tag.set_defaults(handler=_cmd_tag)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a saved bundle over HTTP with microbatched decoding"
+    )
+    serve.add_argument("--bundle", required=True, help="bundle artifact to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (default: 8080)")
+    serve.add_argument(
+        "--max-batch", type=int, default=256, help="flush threshold / per-kernel sentence cap"
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="microbatch coalescing window in milliseconds (default: 2)",
+    )
+    serve.add_argument(
+        "--no-dictionary",
+        action="store_true",
+        help="skip the frequency-dictionary filter on instruction predictions",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.set_defaults(handler=_cmd_serve)
+
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point for the console script and ``python -m repro``."""
-    parser = build_parser()
-    arguments = parser.parse_args(argv)
+# ------------------------------------------------------------------- commands
+
+
+def _cmd_experiments(arguments: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for index, name in enumerate(names):
         if index:
@@ -93,6 +173,72 @@ def main(argv: Sequence[str] | None = None) -> int:
         report = EXPERIMENTS[name](scale=arguments.scale, seed=arguments.seed)
         print(report)
     return 0
+
+
+def _cmd_train(arguments: argparse.Namespace) -> int:
+    from repro.experiments.common import build_corpora, train_modeler
+    from repro.serve import ModelRegistry
+
+    corpus = build_corpora(scale=arguments.scale, seed=arguments.seed).combined
+    modeler = train_modeler(corpus, seed=arguments.seed, model_family=arguments.family)
+    modeler.save_bundle(arguments.output)
+    record = ModelRegistry().load(arguments.output)
+    print(json.dumps({"saved": record.describe()}))
+    return 0
+
+
+def _make_service(arguments: argparse.Namespace, **service_options):
+    from repro.serve import ModelRegistry, TaggingService
+
+    registry = ModelRegistry()
+    registry.load(arguments.bundle)
+    return TaggingService(
+        registry,
+        apply_dictionary=not arguments.no_dictionary,
+        **service_options,
+    )
+
+
+def _cmd_tag(arguments: argparse.Namespace) -> int:
+    lines = arguments.lines or [line.rstrip("\n") for line in sys.stdin]
+    with _make_service(arguments, max_delay_s=0.0) as service:
+        for result in service.tag_lines(arguments.section, lines):
+            print(json.dumps(result))
+    return 0
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from repro.serve import make_server
+
+    service = _make_service(
+        arguments,
+        max_batch=arguments.max_batch,
+        max_delay_s=arguments.max_delay_ms / 1000.0,
+    )
+    server = make_server(
+        service, host=arguments.host, port=arguments.port, verbose=arguments.verbose
+    )
+    record = service.model_record()
+    print(
+        f"serving bundle {record.path} (sha256 {record.sha256[:12]}, "
+        f"generation {record.generation}) on http://{arguments.host}:{server.server_address[1]}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the console script and ``python -m repro``."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -270,6 +270,23 @@ class RecipeModeler:
             components.instruction_pipeline.ner.tag_batch(instruction_tokens)
         return [self.model_recipe(recipe) for recipe in recipes]
 
+    # ------------------------------------------------------------ persistence
+
+    def to_bundle(self):
+        """Package the fitted tag-time components as a :class:`PipelineBundle`."""
+        from repro.persistence import PipelineBundle  # local import: persistence imports this module
+
+        return PipelineBundle.from_modeler(self)
+
+    def save_bundle(self, path) -> None:
+        """Atomically save the fitted tag-time components to ``path``.
+
+        The resulting artifact is the serving currency of :mod:`repro.serve`:
+        ``PipelineBundle.load`` (or a :class:`~repro.serve.ModelRegistry`)
+        restores a drop-in tagger without retraining.
+        """
+        self.to_bundle().save(path)
+
     # --------------------------------------------------------------- parsing
 
     def tag_ingredient_phrase(self, phrase: str) -> list[tuple[str, str]]:

@@ -22,7 +22,7 @@ per-token work out of Python loops:
   for the corpus-scale inference paths.
 """
 
-from repro.engine.batching import LengthBuckets, bucket_length
+from repro.engine.batching import LengthBuckets, bucket_length, plan_flush_chunks
 from repro.engine.encoder import (
     EncodedBatch,
     EncodedDataset,
@@ -53,6 +53,7 @@ __all__ = [
     "decode_emissions",
     "flat_emission_scores",
     "forward_batch",
+    "plan_flush_chunks",
     "sequence_emission_scores",
     "viterbi_padded",
 ]

@@ -14,7 +14,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["LengthBuckets", "bucket_length", "pad_and_stack"]
+__all__ = ["LengthBuckets", "bucket_length", "pad_and_stack", "plan_flush_chunks"]
 
 
 def bucket_length(length: int) -> int:
@@ -38,6 +38,43 @@ class LengthBuckets:
             for width in np.unique(widths)
         }
         return cls(buckets=buckets)
+
+
+def plan_flush_chunks(
+    lengths: Sequence[int], *, max_sentences: int = 256, max_tokens: int = 16384
+) -> list[list[int]]:
+    """Partition sentence indices into decode chunks bounded in both axes.
+
+    The microbatching queue drains an unbounded number of coalesced requests
+    per flush; pushing them all through one padded kernel would let a traffic
+    spike allocate an arbitrarily large ``(B, T, L)`` lattice.  This planner
+    splits the drained batch into consecutive chunks holding at most
+    ``max_sentences`` sentences and at most ``max_tokens`` *padded* tokens
+    (each sentence accounted at its power-of-two bucket width), so every
+    kernel launch has a bounded footprint while chunks stay as full as the
+    budgets allow.  A single oversized sentence still gets its own chunk.
+    """
+    if max_sentences < 1:
+        raise ValueError("max_sentences must be at least 1")
+    if max_tokens < 1:
+        raise ValueError("max_tokens must be at least 1")
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    current_tokens = 0
+    for index, length in enumerate(lengths):
+        width = bucket_length(int(length))
+        over_budget = current and (
+            len(current) >= max_sentences or current_tokens + width > max_tokens
+        )
+        if over_budget:
+            chunks.append(current)
+            current = []
+            current_tokens = 0
+        current.append(index)
+        current_tokens += width
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def pad_and_stack(

@@ -81,9 +81,22 @@ class InferenceSession:
     # ------------------------------------------------------------------ admin
 
     def clear(self) -> None:
-        """Drop both caches (call after retraining the owning model)."""
+        """Drop both caches and zero the hit/miss counters.
+
+        Called after retraining the owning model; resetting the counters with
+        the caches keeps :meth:`stats` describing only the current model
+        instead of blending in hit rates from before the retrain.
+        """
         self._features.clear()
         self._decodes.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without touching the cached entries."""
+        self.feature_hits = 0
+        self.feature_misses = 0
+        self.decode_hits = 0
+        self.decode_misses = 0
 
     def stats(self) -> dict[str, int]:
         """Hit/miss counters plus current cache sizes."""

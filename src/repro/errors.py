@@ -37,11 +37,16 @@ class ConfigurationError(ReproError):
     """A component was configured with invalid parameters."""
 
 
+class PersistenceError(ReproError):
+    """A serialised artifact is corrupt, truncated or of an unknown version."""
+
+
 __all__ = [
     "ConfigurationError",
     "DataError",
     "NotFittedError",
     "ParsingError",
+    "PersistenceError",
     "ReproError",
     "SchemaError",
     "VocabularyError",

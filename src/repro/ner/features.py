@@ -10,12 +10,22 @@ reproduce that recipe-tuned feature design:
   from NAME in homograph cases ("clove").
 * :class:`InstructionFeatureExtractor` -- adds verb-position and imperative
   features useful for spotting cooking techniques and utensils.
+
+Feature extraction sits on the serving hot path (it is the one stage the
+batched Viterbi kernels cannot amortise), and recipe text draws from a small
+vocabulary, so every *token-static* feature group is memoised per token with
+``functools.lru_cache``: the f-string formatting, shape computation and
+regex checks run once per distinct token instead of once per occurrence.
+Only genuinely positional features (sequence position, context windows,
+prefix punctuation state) are computed per call, and the emitted feature
+lists are identical to the uncached implementation, element for element.
 """
 
 from __future__ import annotations
 
 import re
 from collections.abc import Sequence
+from functools import lru_cache
 
 __all__ = [
     "IngredientFeatureExtractor",
@@ -34,6 +44,14 @@ _FRESHNESS_WORDS = frozenset({"fresh", "dried", "dry", "freeze-dried", "canned"}
 _UNIT_SUFFIXES = ("spoon", "spoons", "ounce", "ounces", "gram", "grams", "liter", "litre")
 _STATE_SUFFIXES = ("ed", "en")
 
+_UTENSIL_SUFFIXES = ("pan", "pot", "bowl", "oven", "sheet", "skillet", "dish", "board")
+_PREPOSITIONS = frozenset({"in", "into", "with", "on", "onto", "over", "to", "from", "using"})
+_DETERMINERS = frozenset({"a", "an", "the"})
+
+#: Per-token memo capacity; recipe vocabularies are a few thousand types, so
+#: this never evicts in practice while still bounding adversarial input.
+_MEMO_SIZE = 131072
+
 
 def _shape(token: str) -> str:
     chars = []
@@ -51,10 +69,75 @@ def _shape(token: str) -> str:
     return "".join(collapsed)
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def _is_numberish(token: str) -> bool:
     return bool(
         _NUMERIC_RE.match(token) or _FRACTION_RE.match(token) or _RANGE_RE.match(token)
     )
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _token_lexical(token: str, original: str) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """The base token-static features: (head before pos_in_seq, flags after)."""
+    head = (
+        "bias",
+        f"w={token}",
+        f"suffix3={token[-3:]}",
+        f"suffix2={token[-2:]}",
+        f"prefix2={token[:2]}",
+        f"shape={_shape(original)}",
+    )
+    flags = []
+    if _is_numberish(token):
+        flags.append("is_number")
+    if "-" in token:
+        flags.append("has_hyphen")
+    if original[:1].isupper():
+        flags.append("is_capitalised")
+    return head, tuple(flags)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _neighbor_feature(label: str, token: str) -> str:
+    """Cached ``w[-1]=salt`` style context-window strings."""
+    return f"w[{label}]={token}"
+
+
+@lru_cache(maxsize=64)
+def _window_labels(window: int) -> tuple[tuple[int, str, str, str, str], ...]:
+    """(offset, left/right labels, left/right boundary features) per offset."""
+    return tuple(
+        (offset, f"-{offset}", f"+{offset}", f"w[-{offset}]=<s>", f"w[+{offset}]=</s>")
+        for offset in range(1, window + 1)
+    )
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _ingredient_lexical(token: str) -> tuple[str, ...]:
+    extras = []
+    if token in _SIZE_WORDS:
+        extras.append("size_trigger")
+    if token in _TEMP_WORDS:
+        extras.append("temp_trigger")
+    if token in _FRESHNESS_WORDS:
+        extras.append("freshness_trigger")
+    if token.endswith(_UNIT_SUFFIXES):
+        extras.append("unit_suffix")
+    if token.endswith(_STATE_SUFFIXES) and not _is_numberish(token):
+        extras.append("participle_suffix")
+    if token.endswith("ly"):
+        extras.append("adverb_suffix")
+    return tuple(extras)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _instruction_lexical(token: str) -> tuple[str, ...]:
+    extras = []
+    if token.endswith(_UTENSIL_SUFFIXES):
+        extras.append("utensil_suffix")
+    if token.endswith("ing"):
+        extras.append("gerund_suffix")
+    return tuple(extras)
 
 
 class TokenFeatureExtractor:
@@ -62,7 +145,8 @@ class TokenFeatureExtractor:
 
     Subclasses extend :meth:`token_features` with domain-specific triggers.
     The extractor is deliberately stateless so one instance can be shared by
-    parallel experiments.
+    parallel experiments and by the serving threads (the token memos above
+    are module-level and thread-safe).
     """
 
     window = 2
@@ -75,34 +159,31 @@ class TokenFeatureExtractor:
     def token_features(self, lowered: Sequence[str], index: int, raw: Sequence[str]) -> list[str]:
         """Features for position ``index``; ``lowered`` is the lower-cased view."""
         token = lowered[index]
-        original = raw[index]
-        features = [
-            "bias",
-            f"w={token}",
-            f"suffix3={token[-3:]}",
-            f"suffix2={token[-2:]}",
-            f"prefix2={token[:2]}",
-            f"shape={_shape(original)}",
-            f"pos_in_seq={'first' if index == 0 else 'last' if index == len(lowered) - 1 else 'mid'}",
-        ]
-        if _is_numberish(token):
-            features.append("is_number")
-        if "-" in token:
-            features.append("has_hyphen")
-        if original[:1].isupper():
-            features.append("is_capitalised")
-        for offset in range(1, self.window + 1):
-            if index - offset >= 0:
-                features.append(f"w[-{offset}]={lowered[index - offset]}")
-            else:
-                features.append(f"w[-{offset}]=<s>")
-            if index + offset < len(lowered):
-                features.append(f"w[+{offset}]={lowered[index + offset]}")
-            else:
-                features.append(f"w[+{offset}]=</s>")
+        length = len(lowered)
+        head, flags = _token_lexical(token, raw[index])
+        features = list(head)
+        features.append(
+            "pos_in_seq=first"
+            if index == 0
+            else "pos_in_seq=last" if index == length - 1 else "pos_in_seq=mid"
+        )
+        features.extend(flags)
+        for offset, left_label, right_label, left_boundary, right_boundary in _window_labels(
+            self.window
+        ):
+            features.append(
+                _neighbor_feature(left_label, lowered[index - offset])
+                if index - offset >= 0
+                else left_boundary
+            )
+            features.append(
+                _neighbor_feature(right_label, lowered[index + offset])
+                if index + offset < length
+                else right_boundary
+            )
         if index > 0 and _is_numberish(lowered[index - 1]):
             features.append("prev_is_number")
-        if index + 1 < len(lowered) and _is_numberish(lowered[index + 1]):
+        if index + 1 < length and _is_numberish(lowered[index + 1]):
             features.append("next_is_number")
         return features
 
@@ -113,24 +194,22 @@ class IngredientFeatureExtractor(TokenFeatureExtractor):
     def token_features(self, lowered: Sequence[str], index: int, raw: Sequence[str]) -> list[str]:
         features = super().token_features(lowered, index, raw)
         token = lowered[index]
-        if token in _SIZE_WORDS:
-            features.append("size_trigger")
-        if token in _TEMP_WORDS:
-            features.append("temp_trigger")
-        if token in _FRESHNESS_WORDS:
-            features.append("freshness_trigger")
-        if token.endswith(_UNIT_SUFFIXES):
-            features.append("unit_suffix")
-        if token.endswith(_STATE_SUFFIXES) and not _is_numberish(token):
-            features.append("participle_suffix")
-        if token.endswith("ly"):
-            features.append("adverb_suffix")
+        features.extend(_ingredient_lexical(token))
         # Parenthesis context: "( thawed )", "(8 ounce) package".
-        if "(" in lowered[:index] and ")" not in lowered[:index]:
+        has_open = has_close = has_comma = False
+        for position in range(index):
+            previous = lowered[position]
+            if previous == "(":
+                has_open = True
+            elif previous == ")":
+                has_close = True
+            elif previous == ",":
+                has_comma = True
+        if has_open and not has_close:
             features.append("inside_parens")
         if index > 0 and lowered[index - 1] == ",":
             features.append("after_comma")
-        if "," in lowered[:index]:
+        if has_comma:
             features.append("after_any_comma")
         return features
 
@@ -138,22 +217,16 @@ class IngredientFeatureExtractor(TokenFeatureExtractor):
 class InstructionFeatureExtractor(TokenFeatureExtractor):
     """Features tuned for processes, utensils and ingredients in instructions."""
 
-    _UTENSIL_SUFFIXES = ("pan", "pot", "bowl", "oven", "sheet", "skillet", "dish", "board")
-    _PREPOSITIONS = frozenset({"in", "into", "with", "on", "onto", "over", "to", "from", "using"})
-
     def token_features(self, lowered: Sequence[str], index: int, raw: Sequence[str]) -> list[str]:
         features = super().token_features(lowered, index, raw)
         token = lowered[index]
         if index == 0:
             features.append("sentence_initial")  # imperative verbs open the step
-        if token.endswith(self._UTENSIL_SUFFIXES):
-            features.append("utensil_suffix")
-        if token.endswith("ing"):
-            features.append("gerund_suffix")
-        if index > 0 and lowered[index - 1] in self._PREPOSITIONS:
+        features.extend(_instruction_lexical(token))
+        if index > 0 and lowered[index - 1] in _PREPOSITIONS:
             features.append("after_preposition")
-        if index > 0 and lowered[index - 1] in {"a", "an", "the"}:
+        if index > 0 and lowered[index - 1] in _DETERMINERS:
             features.append("after_determiner")
-        if index + 1 < len(lowered) and lowered[index + 1] in self._PREPOSITIONS:
+        if index + 1 < len(lowered) and lowered[index + 1] in _PREPOSITIONS:
             features.append("before_preposition")
         return features

@@ -188,6 +188,16 @@ class NerModel:
         """Labels known to the underlying model (includes ``O`` if present)."""
         return self.model.labels()
 
+    # ----------------------------------------------------------------- stats
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters and entry counts of the inference session caches."""
+        return self.session.stats()
+
+    def reset_stats(self) -> None:
+        """Zero the cache counters while keeping the cached entries warm."""
+        self.session.reset_stats()
+
     # ------------------------------------------------------------------ eval
 
     def predicted_and_gold(

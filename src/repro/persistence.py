@@ -21,7 +21,11 @@ diff-able, and loading them never executes arbitrary code.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
+from contextlib import suppress
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -33,7 +37,7 @@ from repro.core.instruction_pipeline import InstructionPipeline
 from repro.core.pipeline import RecipeModeler
 from repro.core.recipe_model import StructuredRecipe
 from repro.core.relation_extraction import RelationExtractor
-from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.errors import ConfigurationError, DataError, NotFittedError, PersistenceError
 from repro.ner.crf import LinearChainCRF
 from repro.ner.features import IngredientFeatureExtractor, InstructionFeatureExtractor
 from repro.ner.hmm import HiddenMarkovModel
@@ -44,6 +48,8 @@ from repro.pos.tagger import PerceptronPosTagger
 from repro.text.vocab import Vocabulary
 
 __all__ = [
+    "ARTIFACT_FORMAT",
+    "FORMAT_VERSION",
     "PipelineBundle",
     "dictionary_from_payload",
     "dictionary_to_payload",
@@ -51,16 +57,72 @@ __all__ = [
     "load_pos_tagger",
     "load_sequence_model",
     "ner_model_to_payload",
+    "payload_checksum",
     "pos_tagger_to_payload",
     "sequence_model_to_payload",
+    "write_json_atomic",
 ]
 
 _FORMAT_VERSION = 1
+
+#: Current on-disk payload format version (gate checked on every load).
+FORMAT_VERSION = _FORMAT_VERSION
+
+#: ``format`` marker of the checksummed artifact envelope written by
+#: :meth:`PipelineBundle.save`.
+ARTIFACT_FORMAT = "repro-pipeline-bundle"
 
 _FEATURE_EXTRACTORS = {
     "ingredient": IngredientFeatureExtractor,
     "instruction": InstructionFeatureExtractor,
 }
+
+_SEQUENCE_MODEL_KINDS = ("perceptron", "crf", "hmm")
+
+
+def _check_version(payload: dict, what: str) -> None:
+    """Gate a payload on its ``version`` field (no silent defaulting)."""
+    version = payload.get("version")
+    if version is None:
+        raise PersistenceError(
+            f"{what} payload is missing its 'version' field; refusing to guess the format"
+        )
+    if version != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"{what} payload has format version {version!r} but this build reads "
+            f"version {_FORMAT_VERSION}; re-export the artifact with a matching build"
+        )
+
+
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical (sorted-key, compact) JSON form of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def write_json_atomic(path: str | Path, document: dict) -> None:
+    """Write ``document`` as JSON via a same-directory temp file + ``os.replace``.
+
+    The temp file is flushed and fsynced before the rename, so a crash at any
+    point leaves either the previous artifact or the complete new one on disk,
+    never a truncated mix.  Concurrent writers each rename their own temp file;
+    the last rename wins atomically.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        with suppress(OSError):
+            os.unlink(temp_name)
+        raise
 
 
 # ------------------------------------------------------------ sequence models
@@ -116,16 +178,24 @@ def sequence_model_to_payload(model) -> dict:
 
 
 def load_sequence_model(payload: dict):
-    """Rebuild a sequence labeller from :func:`sequence_model_to_payload` output."""
+    """Rebuild a sequence labeller from :func:`sequence_model_to_payload` output.
+
+    The payload's ``kind`` and ``version`` fields are both validated before
+    any weights are touched; unknown values raise a descriptive
+    :class:`~repro.errors.ReproError` instead of silently defaulting.
+    """
     kind = payload.get("kind")
+    if kind not in _SEQUENCE_MODEL_KINDS:
+        raise ConfigurationError(
+            f"unknown sequence-model kind: {kind!r}; expected one of {_SEQUENCE_MODEL_KINDS}"
+        )
+    _check_version(payload, f"sequence model ({kind})")
     if kind == "perceptron":
         model = StructuredPerceptron()
     elif kind == "crf":
         model = LinearChainCRF(l2=payload.get("l2", 1.0))
-    elif kind == "hmm":
-        return _load_hmm(payload)
     else:
-        raise ConfigurationError(f"unknown sequence-model kind: {kind!r}")
+        return _load_hmm(payload)
     model.feature_vocab = Vocabulary(payload["features"]).freeze()
     model.label_vocab = Vocabulary(payload["labels"]).freeze()
     model.emission_weights = np.asarray(payload["emission"], dtype=np.float64)
@@ -186,6 +256,7 @@ def load_ner_model(payload: dict) -> NerModel:
     extractor_kind = payload.get("feature_extractor", "ingredient")
     if extractor_kind not in _FEATURE_EXTRACTORS:
         raise ConfigurationError(f"unknown feature extractor kind: {extractor_kind!r}")
+    _check_version(payload, f"NER model ({extractor_kind})")
     model = NerModel(_FEATURE_EXTRACTORS[extractor_kind](), family=payload.get("family", "perceptron"))
     model.model = load_sequence_model(payload["model"])
     return model
@@ -206,6 +277,7 @@ def pos_tagger_to_payload(tagger: PerceptronPosTagger) -> dict:
 
 def load_pos_tagger(payload: dict) -> PerceptronPosTagger:
     """Rebuild a POS tagger from :func:`pos_tagger_to_payload` output."""
+    _check_version(payload, "POS tagger")
     tagger = PerceptronPosTagger()
     tagger.model = AveragedPerceptron.from_dict(payload["perceptron"])
     tagger.tagdict = dict(payload["tagdict"])
@@ -286,7 +358,21 @@ class PipelineBundle:
 
     @classmethod
     def from_payload(cls, payload: dict) -> "PipelineBundle":
-        """Rebuild a bundle from :meth:`to_payload` output."""
+        """Rebuild a bundle from :meth:`to_payload` output.
+
+        The payload ``version`` (and, recursively, every component's
+        ``version``/``kind``) is validated; mismatches raise
+        :class:`~repro.errors.PersistenceError` rather than silently loading
+        weights under wrong assumptions.
+        """
+        if not isinstance(payload, dict):
+            raise PersistenceError(
+                f"pipeline-bundle payload must be a JSON object, got {type(payload).__name__}"
+            )
+        _check_version(payload, "pipeline bundle")
+        for field in ("pos_tagger", "ingredient_ner", "instruction_ner"):
+            if field not in payload:
+                raise PersistenceError(f"pipeline-bundle payload is missing its {field!r} field")
         pos_tagger = load_pos_tagger(payload["pos_tagger"])
         ingredient_pipeline = IngredientPipeline()
         ingredient_pipeline.ner = load_ner_model(payload["ingredient_ner"])
@@ -309,17 +395,68 @@ class PipelineBundle:
     # ------------------------------------------------------------------- IO
 
     def save(self, path: str | Path) -> None:
-        """Write the bundle as a single JSON file."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_payload(), handle)
+        """Atomically write the bundle as a single checksummed JSON artifact.
+
+        The payload is wrapped in an envelope carrying the artifact format
+        marker, the format version and a SHA-256 over the canonical payload
+        JSON, then written to a temp file in the destination directory,
+        fsynced and moved into place with ``os.replace`` — a crash mid-save
+        (or a concurrent save) can never leave a truncated artifact behind.
+        """
+        payload = self.to_payload()
+        envelope = {
+            "format": ARTIFACT_FORMAT,
+            "version": _FORMAT_VERSION,
+            "sha256": payload_checksum(payload),
+            "payload": payload,
+        }
+        write_json_atomic(path, envelope)
 
     @classmethod
     def load(cls, path: str | Path) -> "PipelineBundle":
-        """Load a bundle previously written by :meth:`save`."""
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        """Load and validate a bundle previously written by :meth:`save`.
+
+        Both the checksummed envelope format and the legacy bare-payload
+        format are accepted; corrupt JSON, checksum mismatches and unknown
+        versions all raise :class:`~repro.errors.PersistenceError` with the
+        offending path in the message.
+        """
+        path = Path(path)
+        return cls.loads(path.read_text(encoding="utf-8"), source=str(path))
+
+    @classmethod
+    def loads(cls, text: str, *, source: str = "<bundle>") -> "PipelineBundle":
+        """Validate and rebuild a bundle from artifact *text* already in hand.
+
+        Callers that also fingerprint the artifact (the serving registry)
+        parse the very bytes they hashed, so a concurrent re-save between two
+        file reads can never pair one file's checksum with another's weights.
+        ``source`` only labels error messages.
+        """
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise PersistenceError(
+                f"bundle artifact {source} is not valid JSON (truncated or corrupt): {error}"
+            ) from error
+        if not isinstance(document, dict):
+            raise PersistenceError(
+                f"bundle artifact {source} must hold a JSON object, got {type(document).__name__}"
+            )
+        if document.get("format") == ARTIFACT_FORMAT:
+            _check_version(document, f"bundle artifact {source}")
+            payload = document.get("payload")
+            if not isinstance(payload, dict):
+                raise PersistenceError(f"bundle artifact {source} envelope has no payload object")
+            expected = document.get("sha256")
+            actual = payload_checksum(payload)
+            if expected != actual:
+                raise PersistenceError(
+                    f"bundle artifact {source} failed its checksum "
+                    f"(recorded {expected!r}, recomputed {actual!r}); the file is corrupt"
+                )
+        else:
+            payload = document  # legacy bare payload; still version-gated below
         return cls.from_payload(payload)
 
     # ------------------------------------------------------------- modelling

@@ -1,0 +1,34 @@
+"""Serving layer: warm model registry, microbatching queue, HTTP front end.
+
+The ROADMAP north star is serving recipe tagging to many concurrent clients,
+which needs three things the library core deliberately does not provide:
+
+* :mod:`repro.serve.registry` -- a :class:`ModelRegistry` that loads
+  versioned, checksummed :class:`~repro.persistence.PipelineBundle`
+  artifacts once, keeps them warm, and hot-swaps a new artifact in without
+  dropping in-flight requests;
+* :mod:`repro.serve.microbatch` -- a :class:`MicrobatchQueue` that coalesces
+  concurrent tag requests into one length-bucketed batch decode per flush
+  (one kernel call instead of one per request);
+* :mod:`repro.serve.service` / :mod:`repro.serve.http` -- the
+  :class:`TaggingService` facade over both, and a stdlib-only threaded HTTP
+  server exposing tag / stats / reload endpoints.
+
+Everything here is pure stdlib + the existing engine; there is no new
+dependency to deploy.
+"""
+
+from repro.serve.http import TaggingHTTPServer, make_server
+from repro.serve.microbatch import MicrobatchQueue, QueueSaturatedError
+from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.serve.service import TaggingService
+
+__all__ = [
+    "MicrobatchQueue",
+    "ModelRecord",
+    "ModelRegistry",
+    "QueueSaturatedError",
+    "TaggingHTTPServer",
+    "TaggingService",
+    "make_server",
+]

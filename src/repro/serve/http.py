@@ -1,0 +1,162 @@
+"""Stdlib-only HTTP front end for the tagging service.
+
+``http.server.ThreadingHTTPServer`` gives one thread per connection; every
+concurrently arriving ``POST /v1/tag`` therefore lands its lines in the
+microbatch queues at the same time and they are decoded together.  No
+third-party web framework is required, which keeps the serving path
+deployable in the same environment the library runs in.
+
+Endpoints:
+
+* ``GET /healthz`` -- liveness plus the serving artifact's provenance.
+* ``GET /stats`` -- model provenance, queue coalescing counters and the
+  per-model decode/feature cache hit rates.
+* ``POST /v1/tag`` -- body ``{"section": "ingredient"|"instruction",
+  "lines": [...]}``; responds with one ``{"tokens", "tags"}`` object per line.
+* ``POST /v1/reload`` -- hot-swap the serving bundle from its artifact path
+  (body ``{"force": true}`` to swap even when the file is unchanged).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import PersistenceError, ReproError
+from repro.serve.microbatch import QueueSaturatedError
+from repro.serve.service import TaggingService
+
+__all__ = ["TaggingHTTPServer", "TaggingRequestHandler", "make_server"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class TaggingRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning server's :class:`TaggingService`."""
+
+    server: "TaggingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ----------------------------------------------------------------- verbs
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            if self.path == "/healthz":
+                self._respond(200, self._handle_health())
+            elif self.path == "/stats":
+                self._respond(200, self.server.service.stats())
+            else:
+                self._respond(404, {"error": f"unknown path {self.path!r}"})
+        except ReproError as error:
+            self._respond(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - client must get a status line
+            self._respond(500, {"error": f"internal error: {error}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        # Drain the body before routing: on HTTP/1.1 keep-alive connections an
+        # unread body would be parsed as the next request line.
+        try:
+            body = self._read_json_body()
+        except ReproError as error:
+            self._respond(400, {"error": str(error)})
+            return
+        if self.path == "/v1/tag":
+            handler = self._handle_tag
+        elif self.path == "/v1/reload":
+            handler = self._handle_reload
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            self._respond(200, handler(body))
+        except QueueSaturatedError as error:
+            self._respond(503, {"error": str(error)})
+        except PersistenceError as error:
+            # The live model keeps serving; the *replacement* artifact is bad.
+            self._respond(500, {"error": str(error)})
+        except ReproError as error:
+            self._respond(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - client must get a status line
+            self._respond(500, {"error": f"internal error: {error}"})
+
+    # -------------------------------------------------------------- handlers
+
+    def _handle_health(self) -> dict:
+        return {"status": "ok", "model": self.server.service.model_record().describe()}
+
+    def _handle_tag(self, body: dict) -> dict:
+        section = body.get("section", "instruction")
+        lines = body.get("lines")
+        if lines is None and "line" in body:
+            lines = [body["line"]]
+        if not isinstance(lines, list) or not all(isinstance(line, str) for line in lines):
+            raise ReproError("request body must carry 'lines': a list of strings")
+        results = self.server.service.tag_lines(section, lines)
+        record = self.server.service.model_record()
+        return {
+            "model": {"name": record.name, "generation": record.generation},
+            "results": results,
+        }
+
+    def _handle_reload(self, body: dict) -> dict:
+        before = self.server.service.model_record().generation
+        record = self.server.service.reload(force=bool(body.get("force", False)))
+        return {"swapped": record.generation != before, "model": record.describe()}
+
+    # -------------------------------------------------------------- plumbing
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            self.close_connection = True  # the unread body would desync keep-alive
+            raise ReproError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(body, dict):
+            raise ReproError("request body must be a JSON object")
+        return body
+
+    def _respond(self, status: int, document: dict) -> None:
+        data = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class TaggingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`TaggingService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: TaggingService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, TaggingRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: TaggingService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> TaggingHTTPServer:
+    """Build a ready-to-``serve_forever`` server (``port=0`` picks a free port)."""
+    return TaggingHTTPServer((host, port), service, verbose=verbose)

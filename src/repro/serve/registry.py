@@ -1,0 +1,144 @@
+"""Warm registry of validated, hot-swappable pipeline-bundle artifacts.
+
+A serving process loads each trained :class:`~repro.persistence.PipelineBundle`
+exactly once and answers every request from the warm copy.  The registry owns
+that lifecycle:
+
+* **validated load** -- artifacts go through :meth:`PipelineBundle.load`,
+  which enforces the checksum envelope and the format-version gate, so a
+  corrupt or stale file can never become the serving model;
+* **hot swap** -- :meth:`ModelRegistry.reload` builds the replacement bundle
+  completely *before* taking the registry lock, then swaps the record in one
+  assignment; requests running against the old record keep their reference
+  and finish untouched;
+* **provenance** -- every record carries the artifact's file SHA-256, size
+  and a monotonically increasing generation counter, which the serving stats
+  endpoint reports so operators can tell which artifact is live.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.persistence import PipelineBundle
+
+__all__ = ["ModelRecord", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One loaded artifact: the warm bundle plus its provenance.
+
+    Attributes:
+        name: Registry key the bundle is served under.
+        path: Artifact file the bundle was loaded from.
+        bundle: The warm, validated :class:`PipelineBundle`.
+        sha256: SHA-256 of the artifact file bytes (not the payload checksum;
+            this identifies the exact file that was loaded).
+        size_bytes: Artifact file size.
+        generation: 1-based load counter for ``name``; bumps on every swap.
+        loaded_at: ``time.time()`` of the load, for the stats endpoint.
+    """
+
+    name: str
+    path: Path
+    bundle: PipelineBundle
+    sha256: str
+    size_bytes: int
+    generation: int
+    loaded_at: float
+
+    def describe(self) -> dict:
+        """JSON-ready provenance (everything except the bundle itself)."""
+        return {
+            "name": self.name,
+            "path": str(self.path),
+            "sha256": self.sha256,
+            "size_bytes": self.size_bytes,
+            "generation": self.generation,
+            "loaded_at": self.loaded_at,
+        }
+
+
+def _fingerprint(path: Path) -> tuple[str, int]:
+    data = path.read_bytes()
+    return hashlib.sha256(data).hexdigest(), len(data)
+
+
+class ModelRegistry:
+    """Thread-safe name -> :class:`ModelRecord` store with hot-swap reload."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._records: dict[str, ModelRecord] = {}
+
+    # ------------------------------------------------------------------ load
+
+    def load(self, path: str | Path, *, name: str = "default") -> ModelRecord:
+        """Load, validate and register the artifact at ``path`` under ``name``.
+
+        The bundle is fully constructed (checksum + version checks included)
+        before the registry is touched, so a failing load leaves any
+        previously registered model serving.
+        """
+        path = Path(path)
+        # One read serves both the fingerprint and the parse, so a concurrent
+        # atomic re-save cannot pair one file's checksum with another's weights.
+        data = path.read_bytes()
+        sha256, size_bytes = hashlib.sha256(data).hexdigest(), len(data)
+        bundle = PipelineBundle.loads(data.decode("utf-8"), source=str(path))
+        with self._lock:
+            previous = self._records.get(name)
+            record = ModelRecord(
+                name=name,
+                path=path,
+                bundle=bundle,
+                sha256=sha256,
+                size_bytes=size_bytes,
+                generation=(previous.generation + 1) if previous else 1,
+                loaded_at=time.time(),
+            )
+            self._records[name] = record
+        return record
+
+    def reload(self, name: str = "default", *, force: bool = False) -> ModelRecord:
+        """Re-load ``name`` from its artifact path, swapping only on change.
+
+        If the file's SHA-256 matches the live record and ``force`` is false,
+        the live record is returned unchanged (cheap periodic polling); a
+        failing reload raises and leaves the live record serving.
+        """
+        current = self.get(name)
+        if not force:
+            sha256, _ = _fingerprint(current.path)
+            if sha256 == current.sha256:
+                return current
+        return self.load(current.path, name=name)
+
+    # ---------------------------------------------------------------- access
+
+    def get(self, name: str = "default") -> ModelRecord:
+        """The live record for ``name`` (raises if nothing is registered)."""
+        with self._lock:
+            record = self._records.get(name)
+        if record is None:
+            raise ConfigurationError(
+                f"no model named {name!r} is registered; known models: {self.names()}"
+            )
+        return record
+
+    def names(self) -> list[str]:
+        """Registered model names, sorted."""
+        with self._lock:
+            return sorted(self._records)
+
+    def describe(self) -> dict[str, dict]:
+        """Provenance of every registered model (for the stats endpoint)."""
+        with self._lock:
+            records = list(self._records.values())
+        return {record.name: record.describe() for record in records}

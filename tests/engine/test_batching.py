@@ -1,0 +1,47 @@
+"""Tests for length bucketing and flush-chunk planning."""
+
+import pytest
+
+from repro.engine import LengthBuckets, bucket_length, plan_flush_chunks
+
+
+class TestBucketLength:
+    def test_powers_of_two(self):
+        assert bucket_length(1) == 1
+        assert bucket_length(2) == 2
+        assert bucket_length(3) == 4
+        assert bucket_length(8) == 8
+        assert bucket_length(9) == 16
+
+    def test_grouping(self):
+        buckets = LengthBuckets.from_lengths([1, 3, 4, 9, 2])
+        assert sorted(buckets.buckets) == [1, 2, 4, 16]
+        assert list(buckets.buckets[4]) == [1, 2]
+
+
+class TestPlanFlushChunks:
+    def test_everything_fits_in_one_chunk(self):
+        assert plan_flush_chunks([3, 5, 2]) == [[0, 1, 2]]
+
+    def test_sentence_cap_splits(self):
+        assert plan_flush_chunks([1] * 5, max_sentences=2) == [[0, 1], [2, 3], [4]]
+
+    def test_token_budget_counts_padded_widths(self):
+        # length 5 -> bucket width 8; two sentences fill a 16-token budget.
+        assert plan_flush_chunks([5, 5, 5], max_tokens=16) == [[0, 1], [2]]
+
+    def test_oversized_sentence_gets_its_own_chunk(self):
+        assert plan_flush_chunks([100, 1, 1], max_tokens=8) == [[0], [1, 2]]
+
+    def test_empty_input(self):
+        assert plan_flush_chunks([]) == []
+
+    def test_order_is_preserved(self):
+        chunks = plan_flush_chunks(list(range(1, 40)), max_sentences=7)
+        assert [index for chunk in chunks for index in chunk] == list(range(39))
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            plan_flush_chunks([1], max_sentences=0)
+        with pytest.raises(ValueError):
+            plan_flush_chunks([1], max_tokens=0)

@@ -40,6 +40,46 @@ class TestInferenceSession:
         assert session.get_decode("k") is None
         assert session.stats()["feature_entries"] == 0
 
+    def test_clear_resets_hit_miss_counters(self):
+        session = InferenceSession()
+        session.put_decode("k", "v")
+        session.get_decode("k")  # hit
+        session.get_decode("other")  # miss
+        session.get_features("other")  # miss
+        session.clear()
+        stats = session.stats()
+        assert stats["decode_hits"] == 0
+        assert stats["decode_misses"] == 0
+        assert stats["feature_hits"] == 0
+        assert stats["feature_misses"] == 0
+
+    def test_reset_stats_keeps_cached_entries_warm(self):
+        session = InferenceSession()
+        session.put_decode("k", "v")
+        session.get_decode("k")
+        session.reset_stats()
+        assert session.stats()["decode_hits"] == 0
+        assert session.stats()["decode_entries"] == 1
+        assert session.get_decode("k") == "v"
+
+    def test_stats_reflect_only_the_current_model_after_retrain(self, corpus):
+        """Retraining an NER model must not report pre-retrain hit rates."""
+        from repro.ner.model import NerModel
+
+        phrases = corpus.ingredient_phrases()[:40]
+        tokens = [list(p.tokens) for p in phrases]
+        tags = [list(p.ner_tags) for p in phrases]
+        model = NerModel(seed=0)
+        model.train(tokens, tags)
+        model.tag_batch(tokens)
+        model.tag_batch(tokens)  # second pass: all decode hits
+        assert model.cache_stats()["decode_hits"] > 0
+        model.train(tokens, tags)  # retrain clears caches AND counters
+        stats = model.cache_stats()
+        assert stats["decode_hits"] == 0
+        assert stats["decode_misses"] == 0
+        assert stats["decode_entries"] == 0
+
 
 class TestCompiledLinearScorer:
     WEIGHTS = {

@@ -1,0 +1,50 @@
+"""Shared fixtures for the serving-layer tests.
+
+The bundle artifact is saved once from the session-scoped fitted modeler;
+registry/service/server fixtures are rebuilt per module so tests that mutate
+serving state (reloads, closed queues) stay isolated.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import ModelRegistry, TaggingService, make_server
+
+
+@pytest.fixture(scope="session")
+def bundle_path(modeler, tmp_path_factory):
+    """A saved bundle artifact for the fitted tiny-scale modeler."""
+    path = tmp_path_factory.mktemp("serve") / "bundle.json"
+    modeler.save_bundle(path)
+    return path
+
+
+@pytest.fixture()
+def registry(bundle_path):
+    """A registry with the bundle loaded under the default name."""
+    registry = ModelRegistry()
+    registry.load(bundle_path)
+    return registry
+
+
+@pytest.fixture()
+def service(registry):
+    """A tagging service over the registry (closed after the test)."""
+    with TaggingService(registry, max_delay_s=0.001) as service:
+        yield service
+
+
+@pytest.fixture()
+def server(service):
+    """A running HTTP server on an OS-assigned port (stopped after the test)."""
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,147 @@
+"""Tests for the stdlib HTTP front end."""
+
+import http.client
+import json
+import shutil
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ModelRegistry, TaggingService, make_server
+
+
+def _request(server, path, *, body=None, raw_body=None):
+    port = server.server_address[1]
+    url = f"http://127.0.0.1:{port}{path}"
+    data = raw_body if raw_body is not None else (
+        json.dumps(body).encode("utf-8") if body is not None else None
+    )
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_healthz_reports_the_serving_artifact(self, server):
+        status, document = _request(server, "/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["model"]["generation"] >= 1
+        assert document["model"]["sha256"]
+
+    def test_tag_matches_the_pipeline_byte_for_byte(self, server, modeler):
+        lines = [
+            "Mix the sugar and onion in a bowl.",
+            "",
+            "Saute the garlic until golden.",
+        ]
+        status, document = _request(
+            server, "/v1/tag", body={"section": "instruction", "lines": lines}
+        )
+        assert status == 200
+        results = document["results"]
+        assert results[1] == {"tokens": [], "tags": []}
+        pipeline = modeler.components.instruction_pipeline
+        from repro.text.tokenizer import tokenize
+
+        for line, result in zip(lines, results):
+            tokens = tokenize(line)
+            assert result["tokens"] == tokens
+            if tokens:
+                assert result["tags"] == pipeline.tag_token_batch([tokens])[0]
+
+    def test_tag_ingredient_section(self, server, modeler):
+        status, document = _request(
+            server, "/v1/tag", body={"section": "ingredient", "lines": ["2 cups sugar"]}
+        )
+        assert status == 200
+        expected = [tag for _, tag in modeler.components.ingredient_pipeline.tag_phrase("2 cups sugar")]
+        assert document["results"][0]["tags"] == expected
+
+    def test_stats_exposes_queue_and_cache_counters(self, server):
+        _request(server, "/v1/tag", body={"section": "ingredient", "lines": ["1 cup milk"]})
+        status, document = _request(server, "/stats")
+        assert status == 200
+        assert document["queues"]["ingredient"]["requests_total"] >= 1
+        assert document["model"]["generation"] >= 1
+        assert "decode_hits" in document["caches"]["instruction"]
+
+    def test_reload_endpoint_hot_swaps(self, server):
+        status, document = _request(server, "/v1/reload", body={"force": True})
+        assert status == 200
+        assert document["swapped"] is True
+        generation = document["model"]["generation"]
+        status, document = _request(server, "/v1/reload", body={})
+        assert status == 200
+        assert document["swapped"] is False
+        assert document["model"]["generation"] == generation
+
+
+class TestErrorHandling:
+    def test_unknown_path_is_404(self, server):
+        assert _request(server, "/nope")[0] == 404
+        assert _request(server, "/v1/nope", body={})[0] == 404
+
+    def test_unknown_section_is_400(self, server):
+        status, document = _request(
+            server, "/v1/tag", body={"section": "dessert", "lines": ["x"]}
+        )
+        assert status == 400
+        assert "unknown recipe section" in document["error"]
+
+    def test_malformed_json_is_400(self, server):
+        status, document = _request(server, "/v1/tag", raw_body=b"{not json")
+        assert status == 400
+        assert "not valid JSON" in document["error"]
+
+    @pytest.mark.parametrize("body", [{}, {"lines": "mix it"}, {"lines": [1, 2]}])
+    def test_missing_or_non_string_lines_is_400(self, server, body):
+        status, document = _request(server, "/v1/tag", body=body)
+        assert status == 400
+        assert "lines" in document["error"]
+
+    def test_keep_alive_connection_survives_a_404_with_body(self, server):
+        """An unread POST body must not desync the persistent connection."""
+        connection = http.client.HTTPConnection("127.0.0.1", server.server_address[1])
+        try:
+            body = json.dumps({"lines": ["some body"]})
+            connection.request("POST", "/v2/wrong", body=body)
+            assert connection.getresponse().read() and True  # drain the 404
+            connection.request("GET", "/healthz")  # same socket, next request
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_reload_of_a_vanished_artifact_is_500_not_a_dropped_connection(
+        self, bundle_path, tmp_path
+    ):
+        artifact = tmp_path / "bundle.json"
+        shutil.copy(bundle_path, artifact)
+        registry = ModelRegistry()
+        registry.load(artifact)
+        with TaggingService(registry, max_delay_s=0.001) as service:
+            server = make_server(service, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                artifact.unlink()
+                status, document = _request(server, "/v1/reload", body={"force": True})
+                assert status == 500
+                assert "error" in document
+                # The live model keeps serving.
+                status, _ = _request(
+                    server, "/v1/tag", body={"section": "ingredient", "lines": ["1 cup milk"]}
+                )
+                assert status == 200
+            finally:
+                server.shutdown()
+                server.server_close()

@@ -1,0 +1,138 @@
+"""Tests for the microbatching queue: coalescing, chunking, parity, errors."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.serve import MicrobatchQueue, QueueSaturatedError
+
+
+class Recorder:
+    """A deterministic tag_batch stub that records every flush it receives."""
+
+    def __init__(self):
+        self.calls: list[list[tuple[str, ...]]] = []
+        self.lock = threading.Lock()
+
+    def __call__(self, token_sequences):
+        with self.lock:
+            self.calls.append([tuple(tokens) for tokens in token_sequences])
+        return [[token.upper() for token in tokens] for tokens in token_sequences]
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_flushes(self):
+        recorder = Recorder()
+        with MicrobatchQueue(recorder, max_delay_s=0.05) as queue:
+            results = queue.tag_many([["a"], ["b", "c"], ["d"]] * 10, timeout=10)
+        assert results == [["A"], ["B", "C"], ["D"]] * 10
+        stats = queue.stats()
+        assert stats["requests_total"] == 30
+        # Everything submitted inside one coalescing window lands in a
+        # handful of kernel calls, not thirty.
+        assert stats["flushes_total"] < stats["requests_total"] / 2
+        assert stats["largest_flush"] > 1
+        assert sum(len(call) for call in recorder.calls) == 30
+
+    def test_full_batch_flushes_before_the_window_expires(self):
+        recorder = Recorder()
+        with MicrobatchQueue(recorder, max_batch=4, max_delay_s=30.0) as queue:
+            results = queue.tag_many([["x"]] * 4, timeout=10)
+        assert results == [["X"]] * 4
+
+    def test_token_budget_splits_oversized_flushes(self):
+        recorder = Recorder()
+        with MicrobatchQueue(recorder, max_tokens=8, max_delay_s=0.05) as queue:
+            queue.tag_many([["t"] * 5] * 6, timeout=10)  # bucket width 8 each
+        assert all(len(call) == 1 for call in recorder.calls)
+        assert queue.stats()["flushes_total"] == 6
+
+    def test_results_keep_submission_order(self):
+        recorder = Recorder()
+        sequences = [[f"w{i}"] for i in range(50)]
+        with MicrobatchQueue(recorder, max_delay_s=0.02) as queue:
+            results = queue.tag_many(sequences, timeout=10)
+        assert results == [[f"W{i}"] for i in range(50)]
+
+
+class TestModelParity:
+    def test_queue_output_is_byte_identical_to_tag_batch(self, modeler, sample_phrases):
+        ner = modeler.components.ingredient_pipeline.ner
+        token_sequences = [list(phrase.tokens) for phrase in sample_phrases[:80]]
+        expected = ner.tag_batch(token_sequences)
+        with MicrobatchQueue(ner.tag_batch, max_delay_s=0.005) as queue:
+            results = queue.tag_many(token_sequences, timeout=30)
+        assert results == expected
+
+
+class TestFailureModes:
+    def test_flush_exception_reaches_every_caller(self):
+        def explode(_token_sequences):
+            raise DataError("decode blew up")
+
+        with MicrobatchQueue(explode, max_delay_s=0.01) as queue:
+            futures = [queue.submit(["a"]), queue.submit(["b"])]
+            for future in futures:
+                with pytest.raises(DataError, match="decode blew up"):
+                    future.result(timeout=10)
+
+    def test_queue_survives_a_failing_flush(self):
+        state = {"fail": True}
+
+        def flaky(token_sequences):
+            if state["fail"]:
+                raise DataError("transient")
+            return [list(tokens) for tokens in token_sequences]
+
+        with MicrobatchQueue(flaky, max_delay_s=0.01) as queue:
+            with pytest.raises(DataError):
+                queue.tag(["a"], timeout=10)
+            state["fail"] = False
+            assert queue.tag(["b"], timeout=10) == ["b"]
+
+    def test_submit_after_close_is_rejected(self):
+        queue = MicrobatchQueue(Recorder(), max_delay_s=0.01)
+        queue.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            queue.submit(["a"])
+
+    def test_close_drains_pending_requests(self):
+        recorder = Recorder()
+        queue = MicrobatchQueue(recorder, max_delay_s=0.2)
+        futures = [queue.submit(["a"]), queue.submit(["b"])]
+        queue.close()
+        assert [future.result(timeout=1) for future in futures] == [["A"], ["B"]]
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicrobatchQueue(Recorder(), max_batch=0)
+        with pytest.raises(ConfigurationError):
+            MicrobatchQueue(Recorder(), max_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            MicrobatchQueue(Recorder(), max_pending=0)
+
+    def test_saturated_queue_sheds_load_instead_of_growing(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow(token_sequences):
+            started.set()
+            assert release.wait(timeout=10)
+            return [[token.upper() for token in tokens] for tokens in token_sequences]
+
+        queue = MicrobatchQueue(slow, max_delay_s=0.0, max_pending=2)
+        try:
+            first = queue.submit(["a"])  # drained immediately, blocks in flush
+            assert started.wait(timeout=5)
+            accepted = [queue.submit(["b"]), queue.submit(["c"])]  # backlog at cap
+            with pytest.raises(QueueSaturatedError, match="saturated"):
+                queue.submit(["d"])
+            with pytest.raises(QueueSaturatedError):
+                queue.submit_many([["e"]])
+            release.set()
+            assert first.result(timeout=5) == ["A"]
+        finally:
+            release.set()
+            queue.close()
+        assert [future.result(timeout=5) for future in accepted] == [["B"], ["C"]]

@@ -1,0 +1,84 @@
+"""Tests for the warm model registry: validated loads and hot-swap reloads."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, PersistenceError
+from repro.serve import ModelRegistry
+
+
+class TestLoad:
+    def test_load_returns_warm_validated_record(self, registry, bundle_path):
+        record = registry.get()
+        assert record.name == "default"
+        assert record.path == bundle_path
+        assert record.generation == 1
+        assert record.sha256 == hashlib.sha256(bundle_path.read_bytes()).hexdigest()
+        assert record.size_bytes == bundle_path.stat().st_size
+        assert record.bundle.ingredient_pipeline.is_trained
+
+    def test_named_models_are_independent(self, registry, bundle_path):
+        registry.load(bundle_path, name="candidate")
+        assert registry.names() == ["candidate", "default"]
+        assert registry.get("candidate").generation == 1
+
+    def test_unregistered_name_raises(self, registry):
+        with pytest.raises(ConfigurationError, match="no model named"):
+            registry.get("missing")
+
+    def test_corrupt_artifact_never_becomes_the_serving_model(
+        self, registry, bundle_path, tmp_path
+    ):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text(bundle_path.read_text()[:-40])
+        with pytest.raises(PersistenceError):
+            registry.load(corrupt, name="default")
+        # The previously loaded model keeps serving.
+        assert registry.get().path == bundle_path
+
+    def test_describe_reports_provenance_without_the_bundle(self, registry):
+        description = registry.describe()["default"]
+        assert set(description) == {
+            "name", "path", "sha256", "size_bytes", "generation", "loaded_at",
+        }
+
+
+class TestReload:
+    def test_unchanged_file_is_not_reloaded(self, registry):
+        before = registry.get()
+        assert registry.reload() is before
+        assert registry.get().generation == 1
+
+    def test_force_reload_bumps_the_generation(self, registry):
+        before = registry.get()
+        record = registry.reload(force=True)
+        assert record.generation == 2
+        assert record.sha256 == before.sha256
+        # In-flight holders of the old record are untouched by the swap.
+        assert before.generation == 1
+        assert before.bundle.instruction_pipeline.is_trained
+
+    def test_changed_file_is_hot_swapped(self, registry, bundle_path):
+        original = bundle_path.read_text()
+        try:
+            document = json.loads(original)
+            bundle_path.write_text(json.dumps(document, indent=1))  # same payload, new bytes
+            record = registry.reload()
+            assert record.generation == 2
+            assert record.bundle.ingredient_pipeline.is_trained
+        finally:
+            bundle_path.write_text(original)
+
+    def test_failed_reload_keeps_the_live_model(self, registry, bundle_path):
+        original = bundle_path.read_text()
+        bundle_path.write_text(original[: len(original) // 2])
+        try:
+            with pytest.raises(PersistenceError):
+                registry.reload()
+            live = registry.get()
+            assert live.generation == 1
+            assert live.bundle.ingredient_pipeline.is_trained
+        finally:
+            bundle_path.write_text(original)

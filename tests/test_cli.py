@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -28,6 +30,55 @@ class TestParser:
         for name in ("table1", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5",
                      "conclusions", "crossval", "ablations"):
             assert name in EXPERIMENTS
+
+
+class TestServingCommands:
+    @pytest.fixture(scope="class")
+    def bundle_path(self, modeler, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "bundle.json"
+        modeler.save_bundle(path)
+        return path
+
+    def test_train_parser(self):
+        arguments = build_parser().parse_args(
+            ["train", "--scale", "tiny", "--output", "out.json", "--family", "crf"]
+        )
+        assert arguments.command == "train"
+        assert arguments.family == "crf"
+        assert arguments.output == "out.json"
+
+    def test_tag_requires_a_bundle(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tag", "some line"])
+
+    def test_serve_parser_defaults(self):
+        arguments = build_parser().parse_args(["serve", "--bundle", "b.json"])
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 8080
+        assert arguments.max_delay_ms == 2.0
+
+    def test_tag_command_prints_json_per_line(self, bundle_path, modeler, capsys):
+        exit_code = main(
+            ["tag", "--bundle", str(bundle_path), "--section", "ingredient",
+             "2 cups sugar", "1 large onion, chopped"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        rows = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(rows) == 2
+        expected = [tag for _, tag in modeler.components.ingredient_pipeline.tag_phrase("2 cups sugar")]
+        assert rows[0]["tags"] == expected
+
+    def test_tag_command_instruction_section(self, bundle_path, capsys):
+        exit_code = main(
+            ["tag", "--bundle", str(bundle_path), "--section", "instruction",
+             "Mix the sugar and onion in a bowl."]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        row = json.loads(captured.out.strip())
+        assert row["tokens"][0] == "Mix"
+        assert len(row["tags"]) == len(row["tokens"])
 
 
 class TestMain:

@@ -1,10 +1,11 @@
 """Tests for JSON persistence of trained components."""
 
 import json
+import os
 
 import pytest
 
-from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.errors import ConfigurationError, DataError, NotFittedError, PersistenceError
 from repro.ner.features import IngredientFeatureExtractor
 from repro.ner.hmm import HiddenMarkovModel
 from repro.ner.model import NerModel
@@ -62,6 +63,22 @@ class TestSequenceModelRoundtrip:
         payload = sequence_model_to_payload(model)
         payload["emission"] = payload["emission"][:-1]  # drop one feature row
         with pytest.raises(DataError):
+            load_sequence_model(payload)
+
+    def test_missing_version_rejected(self, annotated):
+        _, features, labels = annotated
+        model = StructuredPerceptron(iterations=2, seed=1).fit(features[:30], labels[:30])
+        payload = sequence_model_to_payload(model)
+        del payload["version"]
+        with pytest.raises(PersistenceError, match="version"):
+            load_sequence_model(payload)
+
+    def test_unknown_version_rejected(self, annotated):
+        _, features, labels = annotated
+        model = StructuredPerceptron(iterations=2, seed=1).fit(features[:30], labels[:30])
+        payload = sequence_model_to_payload(model)
+        payload["version"] = 99
+        with pytest.raises(PersistenceError, match="99"):
             load_sequence_model(payload)
 
 
@@ -143,3 +160,108 @@ class TestPipelineBundle:
         payload = json.loads(json.dumps(bundle.to_payload()))
         rebuilt = PipelineBundle.from_payload(payload)
         assert rebuilt.ingredient_pipeline.ner.labels() == bundle.ingredient_pipeline.ner.labels()
+
+    def test_reloaded_bundle_tags_held_out_corpus_byte_identically(
+        self, bundle, modeler, tmp_path
+    ):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        loaded = PipelineBundle.load(path)
+        phrase_tokens = [
+            list(phrase.tokens) for phrase in modeler.components.held_out_phrases
+        ]
+        step_tokens = [list(step.tokens) for step in modeler.components.held_out_steps]
+        assert loaded.ingredient_pipeline.ner.tag_batch(phrase_tokens) == (
+            bundle.ingredient_pipeline.ner.tag_batch(phrase_tokens)
+        )
+        assert loaded.instruction_pipeline.tag_token_batch(step_tokens) == (
+            bundle.instruction_pipeline.tag_token_batch(step_tokens)
+        )
+
+
+class TestArtifactHardening:
+    """Atomic save + checksum/version gates on the on-disk artifact."""
+
+    @pytest.fixture(scope="class")
+    def bundle(self, modeler):
+        return PipelineBundle.from_modeler(modeler)
+
+    def test_save_writes_a_checksummed_envelope(self, bundle, tmp_path):
+        from repro.persistence import ARTIFACT_FORMAT, FORMAT_VERSION, payload_checksum
+
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        document = json.loads(path.read_text())
+        assert document["format"] == ARTIFACT_FORMAT
+        assert document["version"] == FORMAT_VERSION
+        assert document["sha256"] == payload_checksum(document["payload"])
+
+    def test_save_leaves_no_temp_files_behind(self, bundle, tmp_path):
+        bundle.save(tmp_path / "bundle.json")
+        bundle.save(tmp_path / "bundle.json")  # overwrite in place
+        assert os.listdir(tmp_path) == ["bundle.json"]
+
+    def test_interrupted_save_leaves_previous_artifact_intact(
+        self, bundle, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        before = path.read_bytes()
+
+        def crash(_source, _destination):
+            raise OSError("simulated crash before the rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            bundle.save(path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert os.listdir(tmp_path) == ["bundle.json"]  # temp file cleaned up
+        assert PipelineBundle.load(path).ingredient_pipeline.is_trained
+
+    def test_truncated_artifact_fails_to_load(self, bundle, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        path.write_text(path.read_text()[:-50])
+        with pytest.raises(PersistenceError, match="truncated or corrupt"):
+            PipelineBundle.load(path)
+
+    def test_checksum_mismatch_fails_to_load(self, bundle, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        document = json.loads(path.read_text())
+        document["payload"]["ingredient_ner"]["family"] = "hmm"  # silent weight swap
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="checksum"):
+            PipelineBundle.load(path)
+
+    def test_version_mismatched_artifact_fails_to_load(self, bundle, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="version 99"):
+            PipelineBundle.load(path)
+
+    def test_legacy_bare_payload_is_still_version_gated(self, bundle, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(bundle.to_payload()))
+        assert PipelineBundle.load(path).instruction_pipeline.is_trained
+        payload = bundle.to_payload()
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="version 99"):
+            PipelineBundle.load(path)
+
+    def test_non_object_artifact_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError, match="JSON object"):
+            PipelineBundle.load(path)
+
+    def test_payload_missing_components_rejected(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"version": 1, "pos_tagger": {}}))
+        with pytest.raises(PersistenceError, match="ingredient_ner"):
+            PipelineBundle.load(path)
