@@ -24,6 +24,17 @@ The package implements, from scratch, every component the paper relies on:
 * :mod:`repro.eval` -- entity-level precision/recall/F1, cross-validation
   and report formatting.
 * :mod:`repro.experiments` -- one module per table/figure of the paper.
+
+Scaling substrates grown on top of the reproduction:
+
+* :mod:`repro.engine` -- vectorised encode/score/decode kernels shared by
+  every sequence labeller (CSR feature interning, batched lattice sweeps,
+  length bucketing, inference-session caches).
+* :mod:`repro.serve` -- model registry, microbatching queue and HTTP front
+  end for low-latency tagging.
+* :mod:`repro.corpus` -- streaming, bounded-memory, multi-core corpus
+  structuring (lazy JSONL ingestion, budget-bounded chunk planning, ordered
+  parallel execution, JSONL sinks).
 """
 
 from repro.core.schema import ENTITY_TAGS, INGREDIENT_TAGS, INSTRUCTION_TAGS

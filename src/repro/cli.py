@@ -6,6 +6,8 @@ Usage::
     python -m repro all                               # every paper artefact
     python -m repro train --scale small --output bundle.json
     python -m repro tag --bundle bundle.json --section ingredient "2 cups sugar"
+    python -m repro tag --bundle bundle.json --input corpus.jsonl \
+        --output structured.jsonl --workers 4
     python -m repro serve --bundle bundle.json --port 8080
 
 The experiment sub-commands print the same rows/series the paper reports.
@@ -14,6 +16,9 @@ atomic, checksummed :class:`~repro.persistence.PipelineBundle` artifact;
 ``tag`` and ``serve`` load such an artifact through the
 :mod:`repro.serve` model registry and answer tagging requests through the
 microbatching queue (one JSON object per input line on stdout for ``tag``).
+With ``--input``, ``tag`` instead streams a whole recipe-corpus JSONL through
+the :mod:`repro.corpus` substrate — budget-bounded chunks, optionally across
+``--workers`` processes — writing one structured recipe per output line.
 """
 
 from __future__ import annotations
@@ -114,19 +119,49 @@ def build_parser() -> argparse.ArgumentParser:
     train.set_defaults(handler=_cmd_train)
 
     tag = subparsers.add_parser(
-        "tag", help="tag recipe lines with a saved bundle (JSON per line on stdout)"
+        "tag",
+        help=(
+            "tag recipe lines with a saved bundle (JSON per line on stdout), or "
+            "structure a whole recipe-corpus JSONL with --input"
+        ),
     )
     tag.add_argument("--bundle", required=True, help="bundle artifact to load")
     tag.add_argument(
         "--section",
-        default="instruction",
+        default=None,
         choices=("ingredient", "instruction"),
-        help="which recipe section the lines belong to (default: instruction)",
+        help=(
+            "which recipe section the lines belong to (default: instruction; "
+            "line mode only — --input structures both sections)"
+        ),
     )
     tag.add_argument(
         "--no-dictionary",
         action="store_true",
         help="skip the frequency-dictionary filter on instruction predictions",
+    )
+    tag.add_argument(
+        "--input",
+        help=(
+            "recipe-corpus JSONL to structure end-to-end; streamed in "
+            "budget-bounded chunks, one structured recipe per output line"
+        ),
+    )
+    tag.add_argument(
+        "--output",
+        help="write structured-recipe JSONL here instead of stdout (with --input)",
+    )
+    tag.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --input structuring (default: 1, in-process)",
+    )
+    tag.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="max recipes per work chunk for --input (default: budget-bounded only)",
     )
     tag.add_argument(
         "lines",
@@ -200,10 +235,47 @@ def _make_service(arguments: argparse.Namespace, **service_options):
 
 
 def _cmd_tag(arguments: argparse.Namespace) -> int:
+    if arguments.input:
+        return _cmd_tag_corpus(arguments)
     lines = arguments.lines or [line.rstrip("\n") for line in sys.stdin]
     with _make_service(arguments, max_delay_s=0.0) as service:
-        for result in service.tag_lines(arguments.section, lines):
+        for result in service.tag_lines(arguments.section or "instruction", lines):
             print(json.dumps(result))
+    return 0
+
+
+def _cmd_tag_corpus(arguments: argparse.Namespace) -> int:
+    """Stream a recipe-corpus JSONL through the structuring pipeline."""
+    from repro.corpus import CorpusReader, StructuredRecipeSink, plan_corpus_chunks, structure_chunks
+
+    if arguments.lines:
+        print("tag: --input and positional lines are mutually exclusive", file=sys.stderr)
+        return 2
+    if arguments.section:
+        print(
+            "tag: --section applies to line mode only; --input structures both sections",
+            file=sys.stderr,
+        )
+        return 2
+    chunks = plan_corpus_chunks(
+        CorpusReader(arguments.input), max_recipes=arguments.chunk_size
+    )
+    # Workers (or the in-process fallback) load the bundle artifact themselves.
+    structured = structure_chunks(
+        chunks,
+        workers=arguments.workers,
+        bundle_path=arguments.bundle,
+        apply_dictionary=not arguments.no_dictionary,
+    )
+    with StructuredRecipeSink(arguments.output or sys.stdout) as sink:
+        for recipe in structured:
+            sink.write(recipe)
+        count = sink.count
+    print(
+        f"structured {count} recipes from {arguments.input} "
+        f"({arguments.workers} worker{'s' if arguments.workers != 1 else ''})",
+        file=sys.stderr,
+    )
     return 0
 
 

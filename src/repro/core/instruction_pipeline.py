@@ -147,13 +147,13 @@ class InstructionPipeline:
         )
         entities = [InstructionEntities((), (), (), (), ()) for _ in texts]
         for index, tags in zip(nonempty, tag_sequences):
-            entities[index] = self._entities_from_tagged(token_sequences[index], tags)
+            entities[index] = self.entities_from_tagged(token_sequences[index], tags)
         return entities
 
-    def _entities_from_tagged(
+    def entities_from_tagged(
         self, tokens: Sequence[str], tags: Sequence[str]
     ) -> InstructionEntities:
-        """Group tagged tokens into canonicalised entity spans."""
+        """Group (predicted or gold) tagged tokens into canonicalised entity spans."""
         processes: list[str] = []
         ingredients: list[str] = []
         utensils: list[str] = []

@@ -16,13 +16,22 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.core.ingredient_pipeline import IngredientPipeline
 from repro.core.instruction_pipeline import InstructionPipeline
-from repro.core.recipe_model import InstructionEvent, StructuredRecipe
+from repro.core.recipe_model import StructuredRecipe
 from repro.core.relation_extraction import RelationExtractor
 from repro.core.selection import ClusteringSelection, TrainingSetSelector
+from repro.corpus.executor import structure_chunks
+from repro.corpus.planner import (
+    DEFAULT_MAX_SENTENCES,
+    DEFAULT_MAX_TOKENS,
+    RecipeWork,
+    plan_corpus_chunks,
+)
+from repro.corpus.structurer import RecipeStructurer
 from repro.data.models import AnnotatedInstruction, AnnotatedPhrase, Recipe
 from repro.data.recipedb import RecipeDB
 from repro.errors import ConfigurationError, NotFittedError
@@ -203,72 +212,65 @@ class RecipeModeler:
     ) -> StructuredRecipe:
         """Structure raw recipe text (the public entry point of the library).
 
-        All ingredient lines and all instruction lines are tagged in two
-        batched decodes; repeated lines come out of the models' decode caches.
+        Every line is tokenised exactly once; all ingredient lines and all
+        instruction lines are then tagged in two batched decodes, with
+        repeated lines coming out of the models' decode caches.
         """
-        components = self.components
-        records = components.ingredient_pipeline.extract_records(
-            [line for line in ingredient_lines if line.strip()]
-        )
-        kept_steps = [
-            (step_index, line)
-            for step_index, line in enumerate(instruction_lines)
-            if line.strip()
-        ]
-        entity_batch = components.instruction_pipeline.extract_batch(
-            [line for _, line in kept_steps],
-            apply_dictionary=self.config.apply_dictionary,
-        )
-        events: list[InstructionEvent] = []
-        for (step_index, line), entities in zip(kept_steps, entity_batch):
-            relations = components.relation_extractor.extract(
-                list(entities.tokens), list(entities.tags)
-            )
-            events.append(
-                InstructionEvent(
-                    step_index=step_index,
-                    text=line,
-                    processes=entities.processes,
-                    ingredients=entities.ingredients,
-                    utensils=entities.utensils,
-                    relations=tuple(relations),
-                )
-            )
-        return StructuredRecipe(
+        work = RecipeWork.from_lines(
             recipe_id=recipe_id,
             title=title,
-            ingredients=tuple(records),
-            events=tuple(events),
+            ingredient_lines=ingredient_lines,
+            instruction_lines=instruction_lines,
         )
+        return RecipeStructurer.from_modeler(self).structure(work)
 
-    def model_corpus(self, corpus: RecipeDB) -> list[StructuredRecipe]:
-        """Structure every recipe of ``corpus``.
+    def model_corpus_iter(
+        self,
+        recipes: Iterable[Recipe],
+        *,
+        workers: int = 1,
+        chunk_recipes: int | None = None,
+        max_sentences: int = DEFAULT_MAX_SENTENCES,
+        max_tokens: int = DEFAULT_MAX_TOKENS,
+    ) -> Iterator[StructuredRecipe]:
+        """Stream structured recipes for a (possibly huge) recipe stream.
 
-        The corpus-scale path first tags *all* ingredient lines and *all*
-        instruction steps of the corpus in two large batched decodes, priming
-        the pipelines' decoded-line caches; per-recipe assembly then reads
-        every line from cache, so the result is element-wise identical to
-        calling :meth:`model_recipe` per recipe.
+        The stream is cut into chunks bounded by ``chunk_recipes`` recipes,
+        ``max_sentences`` sentences and ``max_tokens`` padded tokens; each
+        chunk is structured with two batched decodes and yielded in input
+        order, so peak memory is bounded by the chunk budgets rather than
+        the corpus size.  With ``workers > 1`` the chunks are structured
+        concurrently by a process pool whose workers each load the pipeline
+        bundle once; the output is element-wise identical to ``workers=1``,
+        which in turn is element-wise identical to calling
+        :meth:`model_recipe` per recipe.
         """
-        recipes = list(corpus)
-        components = self.components
-        ingredient_tokens = [
-            tokens
-            for recipe in recipes
-            for phrase in recipe.ingredients
-            if phrase.text.strip() and (tokens := tokenize(phrase.text))
-        ]
-        instruction_tokens = [
-            tokens
-            for recipe in recipes
-            for step in recipe.instructions
-            if step.text.strip() and (tokens := tokenize(step.text))
-        ]
-        if ingredient_tokens:
-            components.ingredient_pipeline.tag_token_batch(ingredient_tokens)
-        if instruction_tokens:
-            components.instruction_pipeline.ner.tag_batch(instruction_tokens)
-        return [self.model_recipe(recipe) for recipe in recipes]
+        chunks = plan_corpus_chunks(
+            recipes,
+            max_recipes=chunk_recipes,
+            max_sentences=max_sentences,
+            max_tokens=max_tokens,
+        )
+        if workers <= 1:
+            yield from structure_chunks(
+                chunks, structurer=RecipeStructurer.from_modeler(self)
+            )
+        else:
+            yield from structure_chunks(
+                chunks,
+                workers=workers,
+                bundle_payload=self.to_bundle().to_payload(),
+                apply_dictionary=self.config.apply_dictionary,
+            )
+
+    def model_corpus(self, corpus: RecipeDB, *, workers: int = 1) -> list[StructuredRecipe]:
+        """Structure every recipe of ``corpus`` (materialised convenience).
+
+        Thin wrapper over :meth:`model_corpus_iter`; use the iterator (with a
+        :class:`~repro.corpus.sink.StructuredRecipeSink`) when the corpus or
+        its structured form should never be fully resident.
+        """
+        return list(self.model_corpus_iter(corpus, workers=workers))
 
     # ------------------------------------------------------------ persistence
 

@@ -8,10 +8,15 @@ A :class:`StructuredRecipe` holds the two modelled sections:
   :class:`InstructionEvent` objects, each holding the many-to-many
   :class:`RelationTuple` relations between cooking processes, ingredients
   and utensils.
+
+Every class serialises to plain JSON (``to_dict``/``from_dict`` and, on the
+recipe, ``to_json``/``from_json``) so a structured corpus can be streamed to
+and from JSONL by :mod:`repro.corpus.sink`.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.errors import DataError
@@ -70,6 +75,35 @@ class IngredientRecord:
         row.pop("Ingredient Phrase")
         return {key: value for key, value in row.items() if value}
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "phrase": self.phrase,
+            "name": self.name,
+            "state": self.state,
+            "quantity": self.quantity,
+            "unit": self.unit,
+            "temperature": self.temperature,
+            "dry_fresh": self.dry_fresh,
+            "size": self.size,
+            "quantity_value": self.quantity_value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IngredientRecord":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            phrase=payload["phrase"],
+            name=payload.get("name", ""),
+            state=payload.get("state", ""),
+            quantity=payload.get("quantity", ""),
+            unit=payload.get("unit", ""),
+            temperature=payload.get("temperature", ""),
+            dry_fresh=payload.get("dry_fresh", ""),
+            size=payload.get("size", ""),
+            quantity_value=payload.get("quantity_value"),
+        )
+
 
 @dataclass(frozen=True)
 class RelationTuple:
@@ -108,6 +142,23 @@ class RelationTuple:
             return [(self.process, "")]
         return [(self.process, entity) for entity in self.entities]
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "process": self.process,
+            "ingredients": list(self.ingredients),
+            "utensils": list(self.utensils),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RelationTuple":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            process=payload["process"],
+            ingredients=tuple(payload.get("ingredients", ())),
+            utensils=tuple(payload.get("utensils", ())),
+        )
+
 
 @dataclass(frozen=True)
 class InstructionEvent:
@@ -137,6 +188,31 @@ class InstructionEvent:
     def relation_count(self) -> int:
         """Number of (process, entity) pairs in the step (the paper's unit)."""
         return sum(len(relation.as_pairs()) for relation in self.relations)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "step_index": self.step_index,
+            "text": self.text,
+            "processes": list(self.processes),
+            "ingredients": list(self.ingredients),
+            "utensils": list(self.utensils),
+            "relations": [relation.to_dict() for relation in self.relations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InstructionEvent":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            step_index=payload["step_index"],
+            text=payload["text"],
+            processes=tuple(payload.get("processes", ())),
+            ingredients=tuple(payload.get("ingredients", ())),
+            utensils=tuple(payload.get("utensils", ())),
+            relations=tuple(
+                RelationTuple.from_dict(item) for item in payload.get("relations", ())
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -199,3 +275,37 @@ class StructuredRecipe:
                 sum(relation_counts) / len(relation_counts) if relation_counts else 0.0
             ),
         }
+
+    # ---------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "recipe_id": self.recipe_id,
+            "title": self.title,
+            "ingredients": [record.to_dict() for record in self.ingredients],
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StructuredRecipe":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            recipe_id=payload["recipe_id"],
+            title=payload.get("title", ""),
+            ingredients=tuple(
+                IngredientRecord.from_dict(item) for item in payload.get("ingredients", ())
+            ),
+            events=tuple(
+                InstructionEvent.from_dict(item) for item in payload.get("events", ())
+            ),
+        )
+
+    def to_json(self) -> str:
+        """Single-line JSON rendering (used by the JSONL sinks)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "StructuredRecipe":
+        """Parse a structured recipe from its JSON rendering."""
+        return cls.from_dict(json.loads(line))

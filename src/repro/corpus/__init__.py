@@ -1,0 +1,49 @@
+"""Streaming corpus substrate: bounded-memory, multi-core recipe structuring.
+
+The package decomposes "structure a whole corpus" into four composable
+stages, each of which streams:
+
+* :mod:`repro.corpus.reader` — lazy JSONL ingestion with per-line error
+  context (:func:`iter_jsonl`, :class:`CorpusReader`);
+* :mod:`repro.corpus.planner` — cut the recipe stream into work chunks
+  bounded by the same sentence/padded-token budgets the serving flush
+  planner uses (:func:`plan_corpus_chunks`, :class:`RecipeWork`);
+* :mod:`repro.corpus.structurer` / :mod:`repro.corpus.executor` — structure
+  chunks with two batched decodes each, in-process or across a
+  ``multiprocessing`` pool, yielding results in input order
+  (:class:`RecipeStructurer`, :func:`structure_chunks`);
+* :mod:`repro.corpus.sink` — stream :class:`StructuredRecipe` results out
+  as JSONL (:class:`StructuredRecipeSink`, :func:`write_structured_jsonl`).
+
+Peak memory on this path is bounded by the chunk budgets, never by the
+corpus size.
+"""
+
+from repro.corpus.executor import structure_chunks
+from repro.corpus.planner import (
+    DEFAULT_MAX_SENTENCES,
+    DEFAULT_MAX_TOKENS,
+    RecipeWork,
+    plan_corpus_chunks,
+)
+from repro.corpus.reader import CorpusReader, iter_jsonl
+from repro.corpus.sink import (
+    StructuredRecipeSink,
+    iter_structured_jsonl,
+    write_structured_jsonl,
+)
+from repro.corpus.structurer import RecipeStructurer
+
+__all__ = [
+    "CorpusReader",
+    "DEFAULT_MAX_SENTENCES",
+    "DEFAULT_MAX_TOKENS",
+    "RecipeStructurer",
+    "RecipeWork",
+    "StructuredRecipeSink",
+    "iter_jsonl",
+    "iter_structured_jsonl",
+    "plan_corpus_chunks",
+    "structure_chunks",
+    "write_structured_jsonl",
+]

@@ -1,0 +1,145 @@
+"""Ordered parallel execution of corpus-structuring chunks.
+
+``structure_chunks`` drives a ``multiprocessing`` pool whose workers each
+load the pipeline bundle **once** (in the pool initializer) and then
+structure whole chunks per task, so IPC carries recipes and results — never
+model weights — after start-up.  Results are yielded strictly in input
+order while later chunks keep decoding in the background, and the number of
+in-flight chunks is capped so neither the task queue nor the result buffer
+grows with corpus size.  ``workers <= 1`` falls back to a deterministic
+in-process loop over the same :class:`RecipeStructurer` code path, which is
+the reference the parallel path must match element-wise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.core.recipe_model import StructuredRecipe
+from repro.corpus.planner import RecipeWork
+from repro.corpus.structurer import RecipeStructurer
+from repro.errors import ConfigurationError
+
+__all__ = ["structure_chunks"]
+
+#: In-flight chunks beyond the worker count: enough to keep every worker
+#: busy while the consumer drains the head of the queue.
+_INFLIGHT_SLACK = 2
+
+#: Per-process structurer, created once by :func:`_initialize_worker`.
+_worker_structurer: RecipeStructurer | None = None
+#: Initializer failure, if any, re-raised by the first task of the worker.
+_worker_error: BaseException | None = None
+
+
+def _initialize_worker(bundle_path, bundle_payload, apply_dictionary: bool) -> None:
+    # An exception escaping a Pool initializer kills the worker and the pool
+    # respawns it forever — the parent would hang on .get() while dead workers
+    # burn CPU.  Capture the failure instead; the first task re-raises it into
+    # the parent, which tears the pool down.
+    global _worker_structurer, _worker_error
+    try:
+        from repro.persistence import PipelineBundle  # deferred: persistence imports core
+
+        bundle = (
+            PipelineBundle.load(bundle_path)
+            if bundle_path is not None
+            else PipelineBundle.from_payload(bundle_payload)
+        )
+        _worker_structurer = RecipeStructurer.from_bundle(
+            bundle, apply_dictionary=apply_dictionary
+        )
+    except BaseException as error:  # noqa: BLE001 - must reach the parent process
+        _worker_error = error
+
+
+def _structure_chunk(works: list[RecipeWork]) -> list[StructuredRecipe]:
+    if _worker_structurer is None:
+        raise _worker_error if _worker_error is not None else RuntimeError(
+            "corpus worker used before initialization"
+        )
+    return _worker_structurer.structure_chunk(works)
+
+
+def _in_process_structurer(structurer, bundle_path, bundle_payload, apply_dictionary):
+    if structurer is not None:
+        return structurer
+    if bundle_path is None and bundle_payload is None:
+        raise ConfigurationError(
+            "structure_chunks needs a structurer, a bundle_path or a bundle_payload"
+        )
+    from repro.persistence import PipelineBundle  # deferred: persistence imports core
+
+    bundle = (
+        PipelineBundle.load(bundle_path)
+        if bundle_path is not None
+        else PipelineBundle.from_payload(bundle_payload)
+    )
+    return RecipeStructurer.from_bundle(bundle, apply_dictionary=apply_dictionary)
+
+
+def structure_chunks(
+    chunks: Iterable[list[RecipeWork]],
+    *,
+    structurer: RecipeStructurer | None = None,
+    workers: int = 1,
+    bundle_path=None,
+    bundle_payload: dict | None = None,
+    apply_dictionary: bool = True,
+    mp_context: multiprocessing.context.BaseContext | None = None,
+    max_inflight: int | None = None,
+) -> Iterator[StructuredRecipe]:
+    """Structure planned chunks, yielding recipes in input order.
+
+    Args:
+        chunks: Work chunks from
+            :func:`~repro.corpus.planner.plan_corpus_chunks` (consumed lazily).
+        structurer: In-process structurer; used directly when ``workers <= 1``
+            (its ``apply_dictionary`` wins over the argument below).
+        workers: Process count.  ``<= 1`` structures in-process and
+            deterministically; ``> 1`` spreads chunks over a pool.
+        bundle_path: Serving-bundle artifact each worker loads once.  The
+            cheapest hand-off when the bundle already lives on disk.
+        bundle_payload: In-memory bundle payload
+            (``PipelineBundle.to_payload()``) shipped to each worker instead
+            of a path.  One of ``structurer`` / ``bundle_path`` /
+            ``bundle_payload`` is required.
+        apply_dictionary: Dictionary filtering flag for structurers built
+            here (workers, or the in-process fallback from a bundle).
+        mp_context: Multiprocessing context (defaults to the platform one).
+        max_inflight: Cap on chunks submitted but not yet yielded
+            (default ``workers + 2``); this is what bounds memory.
+
+    Yields:
+        :class:`StructuredRecipe` objects in exact input order.
+    """
+    if workers <= 1:
+        active = _in_process_structurer(
+            structurer, bundle_path, bundle_payload, apply_dictionary
+        )
+        for chunk in chunks:
+            yield from active.structure_chunk(chunk)
+        return
+    if bundle_path is None and bundle_payload is None:
+        raise ConfigurationError(
+            "parallel structuring needs a bundle_path or bundle_payload "
+            "to initialize the worker processes"
+        )
+    if max_inflight is not None and max_inflight < 1:
+        raise ConfigurationError("max_inflight must be at least 1")
+    limit = max_inflight if max_inflight is not None else workers + _INFLIGHT_SLACK
+    context = mp_context or multiprocessing.get_context()
+    with context.Pool(
+        processes=workers,
+        initializer=_initialize_worker,
+        initargs=(bundle_path, bundle_payload, apply_dictionary),
+    ) as pool:
+        pending: deque = deque()
+        for chunk in chunks:
+            pending.append(pool.apply_async(_structure_chunk, (chunk,)))
+            while len(pending) >= limit:
+                yield from pending.popleft().get()
+        while pending:
+            yield from pending.popleft().get()

@@ -1,0 +1,158 @@
+"""Chunk planning: cut a recipe stream into budget-bounded work units.
+
+The streaming corpus path decodes one chunk of recipes at a time, so the
+chunk — not the corpus — bounds peak memory.  A chunk's cost is measured the
+same way the serving flush planner measures a microbatch
+(:func:`repro.engine.batching.plan_flush_chunks`): each non-empty line
+counts as one sentence at its power-of-two padded bucket width, so both the
+number of lattice rows and the padded-token footprint of every decode are
+capped.  Tokenisation happens exactly once, here; the token sequences ride
+along inside :class:`RecipeWork` all the way to the decode kernels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.data.models import Recipe
+from repro.engine.batching import bucket_length
+from repro.errors import ConfigurationError
+from repro.text.tokenizer import tokenize
+
+__all__ = [
+    "DEFAULT_MAX_SENTENCES",
+    "DEFAULT_MAX_TOKENS",
+    "RecipeWork",
+    "plan_corpus_chunks",
+]
+
+#: Default per-chunk budgets, matching the serving flush planner's defaults
+#: (:func:`repro.engine.batching.plan_flush_chunks`).
+DEFAULT_MAX_SENTENCES = 256
+DEFAULT_MAX_TOKENS = 16384
+
+
+@dataclass(frozen=True)
+class RecipeWork:
+    """One recipe, pre-tokenised and ready for batched structuring.
+
+    Blank lines are dropped exactly the way
+    :meth:`~repro.core.pipeline.RecipeModeler.model_text` drops them:
+    blank ingredient lines disappear, blank instruction lines keep their
+    original ``step_index`` gap.
+
+    Attributes:
+        recipe_id: Identifier carried into the :class:`StructuredRecipe`.
+        title: Recipe title.
+        ingredient_lines: Non-blank ingredient lines, original text.
+        ingredient_tokens: Token sequence per kept ingredient line (may be
+            empty for lines the tokenizer yields nothing for).
+        instruction_steps: ``(step_index, text)`` per non-blank instruction
+            line, ``step_index`` counted over the original line list.
+        instruction_tokens: Token sequence per kept instruction line.
+    """
+
+    recipe_id: str
+    title: str
+    ingredient_lines: tuple[str, ...]
+    ingredient_tokens: tuple[tuple[str, ...], ...]
+    instruction_steps: tuple[tuple[int, str], ...]
+    instruction_tokens: tuple[tuple[str, ...], ...]
+
+    @classmethod
+    def from_lines(
+        cls,
+        *,
+        recipe_id: str,
+        title: str,
+        ingredient_lines: Iterable[str],
+        instruction_lines: Iterable[str],
+    ) -> "RecipeWork":
+        """Tokenise raw recipe lines once and package them as work."""
+        kept_ingredients = [line for line in ingredient_lines if line.strip()]
+        kept_steps = [
+            (step_index, line)
+            for step_index, line in enumerate(instruction_lines)
+            if line.strip()
+        ]
+        return cls(
+            recipe_id=recipe_id,
+            title=title,
+            ingredient_lines=tuple(kept_ingredients),
+            ingredient_tokens=tuple(tuple(tokenize(line)) for line in kept_ingredients),
+            instruction_steps=tuple(kept_steps),
+            instruction_tokens=tuple(tuple(tokenize(line)) for _, line in kept_steps),
+        )
+
+    @classmethod
+    def from_recipe(cls, recipe: Recipe) -> "RecipeWork":
+        """Work unit for a corpus recipe (uses only its raw text)."""
+        return cls.from_lines(
+            recipe_id=recipe.recipe_id,
+            title=recipe.title,
+            ingredient_lines=[phrase.text for phrase in recipe.ingredients],
+            instruction_lines=[step.text for step in recipe.instructions],
+        )
+
+    @property
+    def sentences(self) -> int:
+        """Number of non-empty token sequences (decode-kernel rows)."""
+        return sum(1 for tokens in self.ingredient_tokens if tokens) + sum(
+            1 for tokens in self.instruction_tokens if tokens
+        )
+
+    @property
+    def padded_tokens(self) -> int:
+        """Padded-token footprint: each line at its power-of-two bucket width."""
+        return sum(
+            bucket_length(len(tokens))
+            for group in (self.ingredient_tokens, self.instruction_tokens)
+            for tokens in group
+            if tokens
+        )
+
+
+def plan_corpus_chunks(
+    recipes: Iterable[Recipe | RecipeWork],
+    *,
+    max_recipes: int | None = None,
+    max_sentences: int = DEFAULT_MAX_SENTENCES,
+    max_tokens: int = DEFAULT_MAX_TOKENS,
+) -> Iterator[list[RecipeWork]]:
+    """Lazily partition a recipe stream into budget-bounded work chunks.
+
+    Mirrors the semantics of
+    :func:`repro.engine.batching.plan_flush_chunks` at recipe granularity:
+    a chunk closes as soon as adding the next recipe would exceed
+    ``max_recipes`` recipes, ``max_sentences`` sentences or ``max_tokens``
+    padded tokens — but a single over-budget recipe still gets its own
+    chunk, so the stream always makes progress.  The input is consumed
+    lazily, one recipe ahead of the chunk being yielded.
+    """
+    if max_recipes is not None and max_recipes < 1:
+        raise ConfigurationError("max_recipes must be at least 1")
+    if max_sentences < 1:
+        raise ConfigurationError("max_sentences must be at least 1")
+    if max_tokens < 1:
+        raise ConfigurationError("max_tokens must be at least 1")
+    current: list[RecipeWork] = []
+    current_sentences = 0
+    current_tokens = 0
+    for recipe in recipes:
+        work = recipe if isinstance(recipe, RecipeWork) else RecipeWork.from_recipe(recipe)
+        over_budget = current and (
+            (max_recipes is not None and len(current) >= max_recipes)
+            or current_sentences + work.sentences > max_sentences
+            or current_tokens + work.padded_tokens > max_tokens
+        )
+        if over_budget:
+            yield current
+            current = []
+            current_sentences = 0
+            current_tokens = 0
+        current.append(work)
+        current_sentences += work.sentences
+        current_tokens += work.padded_tokens
+    if current:
+        yield current

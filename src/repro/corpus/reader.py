@@ -1,0 +1,99 @@
+"""Lazy JSONL corpus ingestion.
+
+A corpus never needs to fit in memory: :func:`iter_jsonl` yields one parsed
+record per non-blank line, holding only the current line, and every parse
+failure is re-raised as a :class:`~repro.errors.DataError` carrying the file
+path and the 1-based line number so a bad record inside a multi-gigabyte
+dump can be found and fixed.  :class:`CorpusReader` wraps a path as a
+re-iterable recipe stream with optional count-based chunking.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+from repro.data.models import Recipe
+from repro.errors import ConfigurationError, DataError, ReproError
+
+__all__ = ["CorpusReader", "iter_jsonl"]
+
+
+def iter_jsonl(
+    path: str | Path,
+    parse: Callable[[str], object] = Recipe.from_json,
+    *,
+    what: str = "recipe",
+) -> Iterator:
+    """Lazily parse one record per non-blank line of a JSONL file.
+
+    Args:
+        path: JSONL file to read.
+        parse: ``line -> record`` callable (defaults to ``Recipe.from_json``;
+            pass ``StructuredRecipe.from_json`` to read a sink's output).
+        what: Record noun used in error messages.
+
+    Yields:
+        Parsed records in file order; blank lines are skipped.
+
+    Raises:
+        DataError: On the first malformed line, with ``path:line`` context.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                yield parse(stripped)
+            except (json.JSONDecodeError, ReproError, KeyError, TypeError, ValueError) as error:
+                raise DataError(
+                    f"{path}:{line_number}: malformed {what} line: {error}"
+                ) from error
+
+
+class CorpusReader:
+    """A re-iterable, lazily parsed JSONL corpus.
+
+    Each iteration re-opens the file and streams records, so the reader can
+    feed several passes (planning, structuring) without ever materialising
+    the corpus.
+
+    Args:
+        path: JSONL file holding one record per line.
+        parse: ``line -> record`` callable (defaults to ``Recipe.from_json``).
+        what: Record noun used in error messages.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        parse: Callable[[str], object] = Recipe.from_json,
+        what: str = "recipe",
+    ) -> None:
+        self.path = Path(path)
+        self._parse = parse
+        self._what = what
+
+    def __iter__(self) -> Iterator:
+        return iter_jsonl(self.path, self._parse, what=self._what)
+
+    def iter_chunks(self, size: int) -> Iterator[list]:
+        """Yield consecutive lists of at most ``size`` records."""
+        if size < 1:
+            raise ConfigurationError("chunk size must be at least 1")
+        chunk: list = []
+        for record in self:
+            chunk.append(record)
+            if len(chunk) >= size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def count(self) -> int:
+        """Number of records in the file (streams the whole file once)."""
+        return sum(1 for _ in self)

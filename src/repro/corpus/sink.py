@@ -1,0 +1,76 @@
+"""Streaming JSONL sinks for structured recipes.
+
+The structuring pipeline yields :class:`StructuredRecipe` objects one chunk
+at a time; :class:`StructuredRecipeSink` writes each one as a single JSON
+line the moment it arrives, so the output side of the corpus path is as
+memory-bounded as the input side.  :func:`iter_structured_jsonl` reads a
+sink's output back with the same per-line error context as the recipe
+reader.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import IO
+
+from repro.core.recipe_model import StructuredRecipe
+from repro.corpus.reader import iter_jsonl
+
+__all__ = [
+    "StructuredRecipeSink",
+    "iter_structured_jsonl",
+    "write_structured_jsonl",
+]
+
+
+class StructuredRecipeSink:
+    """Write structured recipes as JSONL, one line per :meth:`write`.
+
+    Args:
+        target: Destination path, or an already open text handle (e.g.
+            ``sys.stdout``).  A path is opened (and closed) by the sink; a
+            handle is flushed but left open for its owner.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = Path(target).open("w", encoding="utf-8")
+            self._owns_handle = True
+        self.count = 0
+
+    def write(self, recipe: StructuredRecipe) -> None:
+        """Append one structured recipe as a JSON line."""
+        self._handle.write(recipe.to_json())
+        self._handle.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        """Flush, and close the handle if the sink opened it."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "StructuredRecipeSink":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+def write_structured_jsonl(
+    target: str | Path | IO[str], recipes: Iterable[StructuredRecipe]
+) -> int:
+    """Stream ``recipes`` into a JSONL target; returns the count written."""
+    with StructuredRecipeSink(target) as sink:
+        for recipe in recipes:
+            sink.write(recipe)
+        return sink.count
+
+
+def iter_structured_jsonl(path: str | Path) -> Iterator[StructuredRecipe]:
+    """Lazily read structured recipes written by a sink (with line context)."""
+    return iter_jsonl(path, StructuredRecipe.from_json, what="structured recipe")

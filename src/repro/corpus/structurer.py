@@ -1,0 +1,152 @@
+"""Chunk structuring: pre-tokenised recipes -> :class:`StructuredRecipe`.
+
+:class:`RecipeStructurer` holds the three tag-time components (ingredient
+pipeline, instruction pipeline, relation extractor) and turns a chunk of
+:class:`~repro.corpus.planner.RecipeWork` into structured recipes with
+exactly two batched decodes per chunk — one over every ingredient line, one
+over every instruction line.  It is the single assembly path shared by
+``RecipeModeler.model_text``, the streaming ``model_corpus_iter`` and the
+multiprocessing workers, which is what makes all three element-wise
+identical by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.ingredient_pipeline import IngredientPipeline
+from repro.core.instruction_pipeline import InstructionEntities, InstructionPipeline
+from repro.core.recipe_model import IngredientRecord, InstructionEvent, StructuredRecipe
+from repro.core.relation_extraction import RelationExtractor
+from repro.corpus.planner import RecipeWork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.pipeline import RecipeModeler
+    from repro.persistence import PipelineBundle
+
+__all__ = ["RecipeStructurer"]
+
+_EMPTY_ENTITIES = InstructionEntities((), (), (), (), ())
+
+
+@dataclass
+class RecipeStructurer:
+    """Structures pre-tokenised recipes with fitted tag-time components.
+
+    Args:
+        ingredient_pipeline: Trained ingredient-section pipeline.
+        instruction_pipeline: Trained instruction-section pipeline (with its
+            dictionaries attached when filtering is wanted).
+        relation_extractor: Relation extractor over the bundled POS tagger.
+        apply_dictionary: Filter instruction predictions through the
+            frequency dictionaries (the paper's two-stage filter).
+    """
+
+    ingredient_pipeline: IngredientPipeline
+    instruction_pipeline: InstructionPipeline
+    relation_extractor: RelationExtractor
+    apply_dictionary: bool = True
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def from_modeler(cls, modeler: "RecipeModeler") -> "RecipeStructurer":
+        """Share a fitted modeler's components (in-process structuring)."""
+        components = modeler.components
+        return cls(
+            ingredient_pipeline=components.ingredient_pipeline,
+            instruction_pipeline=components.instruction_pipeline,
+            relation_extractor=components.relation_extractor,
+            apply_dictionary=modeler.config.apply_dictionary,
+        )
+
+    @classmethod
+    def from_bundle(
+        cls, bundle: "PipelineBundle", *, apply_dictionary: bool = True
+    ) -> "RecipeStructurer":
+        """Build from a loaded serving bundle (worker processes, CLI)."""
+        return cls(
+            ingredient_pipeline=bundle.ingredient_pipeline,
+            instruction_pipeline=bundle.instruction_pipeline,
+            relation_extractor=RelationExtractor(bundle.pos_tagger),
+            apply_dictionary=apply_dictionary,
+        )
+
+    # ------------------------------------------------------------ structuring
+
+    def structure(self, work: RecipeWork) -> StructuredRecipe:
+        """Structure one pre-tokenised recipe."""
+        return self.structure_chunk([work])[0]
+
+    def structure_chunk(self, works: Sequence[RecipeWork]) -> list[StructuredRecipe]:
+        """Structure a chunk of recipes with two batched decodes.
+
+        All ingredient lines of the chunk are tagged in one batch, all
+        instruction lines in another; per-recipe assembly then consumes the
+        tag sequences in order.  Lines the tokenizer yields nothing for
+        still produce their (empty) record/event, exactly like the
+        per-recipe path.
+        """
+        ingredient_batch = [
+            list(tokens) for work in works for tokens in work.ingredient_tokens if tokens
+        ]
+        ingredient_tags = iter(
+            self.ingredient_pipeline.tag_token_batch(ingredient_batch)
+            if ingredient_batch
+            else ()
+        )
+        instruction_batch = [
+            list(tokens) for work in works for tokens in work.instruction_tokens if tokens
+        ]
+        instruction_tags = iter(
+            self.instruction_pipeline.tag_token_batch(
+                instruction_batch, apply_dictionary=self.apply_dictionary
+            )
+            if instruction_batch
+            else ()
+        )
+        return [
+            self._assemble(work, ingredient_tags, instruction_tags) for work in works
+        ]
+
+    def _assemble(self, work, ingredient_tags, instruction_tags) -> StructuredRecipe:
+        records: list[IngredientRecord] = []
+        for line, tokens in zip(work.ingredient_lines, work.ingredient_tokens):
+            if tokens:
+                records.append(
+                    self.ingredient_pipeline.record_from_tagged(
+                        line, list(tokens), next(ingredient_tags)
+                    )
+                )
+            else:
+                records.append(IngredientRecord(phrase=line))
+        events: list[InstructionEvent] = []
+        for (step_index, line), tokens in zip(work.instruction_steps, work.instruction_tokens):
+            entities = (
+                self.instruction_pipeline.entities_from_tagged(
+                    list(tokens), next(instruction_tags)
+                )
+                if tokens
+                else _EMPTY_ENTITIES
+            )
+            relations = self.relation_extractor.extract(
+                list(entities.tokens), list(entities.tags)
+            )
+            events.append(
+                InstructionEvent(
+                    step_index=step_index,
+                    text=line,
+                    processes=entities.processes,
+                    ingredients=entities.ingredients,
+                    utensils=entities.utensils,
+                    relations=tuple(relations),
+                )
+            )
+        return StructuredRecipe(
+            recipe_id=work.recipe_id,
+            title=work.title,
+            ingredients=tuple(records),
+            events=tuple(events),
+        )

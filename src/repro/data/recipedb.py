@@ -63,14 +63,16 @@ class RecipeDB:
 
     @classmethod
     def load_jsonl(cls, path: str | Path) -> "RecipeDB":
-        """Load a corpus previously saved with :meth:`save_jsonl`."""
-        recipes = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    recipes.append(Recipe.from_json(line))
-        return cls(recipes)
+        """Load a corpus previously saved with :meth:`save_jsonl`.
+
+        Blank lines are skipped; a malformed line raises
+        :class:`~repro.errors.DataError` carrying the file path and 1-based
+        line number.  For corpora too large to materialise, iterate
+        :class:`repro.corpus.CorpusReader` instead.
+        """
+        from repro.corpus.reader import iter_jsonl  # deferred: keeps data import-light
+
+        return cls(iter_jsonl(path))
 
     def save_jsonl(self, path: str | Path) -> None:
         """Persist the corpus as one JSON object per line."""

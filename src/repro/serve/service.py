@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.engine.batching import plan_flush_chunks
 from repro.errors import ConfigurationError
 from repro.serve.microbatch import MicrobatchQueue
 from repro.serve.registry import ModelRecord, ModelRegistry
@@ -84,19 +85,28 @@ class TaggingService:
 
         Every line becomes one queue request, so concurrent callers' lines
         coalesce into shared flushes.  Blank lines yield empty token/tag
-        lists without occupying the queue.
+        lists without occupying the queue.  An oversized request is cut with
+        the queue's own flush budgets (sentences and padded tokens) and
+        streamed through one budgeted chunk at a time, so a single caller
+        can never enqueue an unbounded line list: the request's in-flight
+        footprint stays capped at one flush regardless of its length.
         """
         queue = self._queue(section)
         token_sequences = [tokenize(line) for line in lines]
-        nonempty = [tokens for tokens in token_sequences if tokens]
-        submitted = iter(queue.submit_many(nonempty)) if nonempty else iter(())
-        futures = [next(submitted) if tokens else None for tokens in token_sequences]
+        tags: list[list[str]] = [[] for _ in lines]
+        nonempty = [index for index, tokens in enumerate(token_sequences) if tokens]
+        for chunk in plan_flush_chunks(
+            [len(token_sequences[index]) for index in nonempty],
+            max_sentences=queue.max_batch,
+            max_tokens=queue.max_tokens,
+        ):
+            positions = [nonempty[offset] for offset in chunk]
+            futures = queue.submit_many([token_sequences[index] for index in positions])
+            for index, future in zip(positions, futures):
+                tags[index] = future.result(timeout=timeout)
         return [
-            {
-                "tokens": list(tokens),
-                "tags": future.result(timeout=timeout) if future is not None else [],
-            }
-            for tokens, future in zip(token_sequences, futures)
+            {"tokens": list(tokens), "tags": line_tags}
+            for tokens, line_tags in zip(token_sequences, tags)
         ]
 
     def tag_line(self, section: str, line: str, *, timeout: float | None = 30.0) -> dict:

@@ -1,0 +1,152 @@
+"""Tests for the streaming corpus path: equivalence, ordering, parallelism."""
+
+import pytest
+
+from repro.corpus.executor import structure_chunks
+from repro.corpus.planner import RecipeWork, plan_corpus_chunks
+from repro.corpus.structurer import RecipeStructurer
+from repro.data.recipedb import RecipeDB
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def per_recipe(modeler, corpus):
+    """Reference output: the per-recipe modelling path."""
+    return [modeler.model_recipe(recipe) for recipe in corpus]
+
+
+class TestModelCorpusIter:
+    def test_matches_per_recipe_path(self, modeler, corpus, per_recipe):
+        assert list(modeler.model_corpus_iter(corpus)) == per_recipe
+
+    def test_model_corpus_is_a_thin_wrapper(self, modeler, corpus, per_recipe):
+        assert modeler.model_corpus(corpus) == per_recipe
+
+    @pytest.mark.parametrize("chunk_recipes", [1, 3, 1000])
+    def test_chunk_boundaries_never_change_results(
+        self, modeler, corpus, per_recipe, chunk_recipes
+    ):
+        streamed = list(modeler.model_corpus_iter(corpus, chunk_recipes=chunk_recipes))
+        assert streamed == per_recipe
+
+    def test_tight_token_budget_never_changes_results(self, modeler, corpus, per_recipe):
+        streamed = list(
+            modeler.model_corpus_iter(corpus, max_sentences=2, max_tokens=8)
+        )
+        assert streamed == per_recipe
+
+    def test_empty_stream(self, modeler):
+        assert list(modeler.model_corpus_iter([])) == []
+
+    def test_single_recipe(self, modeler, corpus, per_recipe):
+        assert list(modeler.model_corpus_iter([corpus[0]])) == per_recipe[:1]
+
+    def test_consumes_the_stream_lazily(self, modeler, corpus):
+        consumed = 0
+
+        def stream():
+            nonlocal consumed
+            for recipe in corpus:
+                consumed += 1
+                yield recipe
+
+        iterator = modeler.model_corpus_iter(stream(), chunk_recipes=4)
+        next(iterator)
+        assert consumed <= 5 < len(corpus)
+
+    def test_subcorpus_matches_slice(self, modeler, corpus, per_recipe):
+        subset = RecipeDB(corpus.recipes[:5])
+        assert list(modeler.model_corpus_iter(subset)) == per_recipe[:5]
+
+
+class TestParallelExecution:
+    def test_workers_preserve_order_and_content(self, modeler, corpus, per_recipe):
+        streamed = list(
+            modeler.model_corpus_iter(corpus, workers=2, chunk_recipes=4)
+        )
+        assert streamed == per_recipe
+
+    def test_bundle_path_initialised_workers(self, modeler, corpus, per_recipe, tmp_path):
+        bundle_path = tmp_path / "bundle.json"
+        modeler.save_bundle(bundle_path)
+        chunks = plan_corpus_chunks(corpus, max_recipes=6)
+        streamed = list(
+            structure_chunks(chunks, workers=2, bundle_path=bundle_path)
+        )
+        assert streamed == per_recipe
+
+    def test_max_inflight_bounds_submission(self, modeler, corpus, per_recipe):
+        consumed = 0
+
+        def stream():
+            nonlocal consumed
+            for recipe in corpus:
+                consumed += 1
+                yield recipe
+
+        chunks = plan_corpus_chunks(stream(), max_recipes=2)
+        results = structure_chunks(
+            chunks,
+            workers=2,
+            bundle_payload=modeler.to_bundle().to_payload(),
+            max_inflight=2,
+        )
+        first = next(results)
+        assert first == per_recipe[0]
+        # <= 2 chunks in flight -> at most ~3 chunks of input pulled so far.
+        assert consumed <= 7 < len(corpus)
+        assert [first, *results] == per_recipe
+
+    def test_parallel_requires_a_bundle(self, corpus):
+        chunks = plan_corpus_chunks(corpus, max_recipes=4)
+        with pytest.raises(ConfigurationError, match="bundle"):
+            next(structure_chunks(chunks, workers=2))
+
+    def test_bad_bundle_path_raises_instead_of_hanging(self, corpus, tmp_path):
+        chunks = plan_corpus_chunks(corpus, max_recipes=4)
+        with pytest.raises(OSError):
+            list(
+                structure_chunks(
+                    chunks, workers=2, bundle_path=tmp_path / "missing.json"
+                )
+            )
+
+    def test_corrupt_bundle_raises_persistence_error(self, corpus, tmp_path):
+        from repro.errors import PersistenceError
+
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("{truncated", encoding="utf-8")
+        chunks = plan_corpus_chunks(corpus, max_recipes=4)
+        with pytest.raises(PersistenceError):
+            list(structure_chunks(chunks, workers=2, bundle_path=bad))
+
+    def test_in_process_requires_structurer_or_bundle(self, corpus):
+        chunks = plan_corpus_chunks(corpus, max_recipes=4)
+        with pytest.raises(ConfigurationError):
+            next(structure_chunks(chunks))
+
+
+class TestStructurerPaths:
+    def test_bundle_structurer_matches_modeler_structurer(
+        self, modeler, corpus, per_recipe
+    ):
+        """A payload round-trip must not perturb any weight or output."""
+        bundle = modeler.to_bundle()
+        reloaded = type(bundle).from_payload(bundle.to_payload())
+        structurer = RecipeStructurer.from_bundle(reloaded)
+        works = [RecipeWork.from_recipe(recipe) for recipe in corpus.recipes[:4]]
+        assert structurer.structure_chunk(works) == per_recipe[:4]
+
+    def test_structure_single_work(self, modeler, corpus, per_recipe):
+        structurer = RecipeStructurer.from_modeler(modeler)
+        assert structurer.structure(RecipeWork.from_recipe(corpus[0])) == per_recipe[0]
+
+    def test_model_text_handles_blank_and_untokenizable_lines(self, modeler):
+        structured = modeler.model_text(
+            recipe_id="edge",
+            title="Edge",
+            ingredient_lines=["2 cups sugar", "", "   "],
+            instruction_lines=["", "Mix well."],
+        )
+        assert len(structured.ingredients) == 1
+        assert [event.step_index for event in structured.events] == [1]

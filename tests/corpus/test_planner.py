@@ -1,0 +1,104 @@
+"""Tests for the budget-bounded chunk planner."""
+
+import pytest
+
+from repro.corpus.planner import RecipeWork, plan_corpus_chunks
+from repro.engine.batching import bucket_length
+from repro.errors import ConfigurationError
+from repro.text.tokenizer import tokenize
+
+
+class TestRecipeWork:
+    def test_from_recipe_tokenises_every_line_once(self, corpus):
+        recipe = corpus[0]
+        work = RecipeWork.from_recipe(recipe)
+        assert work.recipe_id == recipe.recipe_id
+        assert work.title == recipe.title
+        assert list(work.ingredient_lines) == [p.text for p in recipe.ingredients]
+        assert [list(tokens) for tokens in work.ingredient_tokens] == [
+            tokenize(p.text) for p in recipe.ingredients
+        ]
+        assert [list(tokens) for tokens in work.instruction_tokens] == [
+            tokenize(s.text) for s in recipe.instructions
+        ]
+
+    def test_from_lines_drops_blank_lines_but_keeps_step_indexes(self):
+        work = RecipeWork.from_lines(
+            recipe_id="r",
+            title="t",
+            ingredient_lines=["2 cups sugar", "   ", "1 onion"],
+            instruction_lines=["Mix well.", "", "Serve."],
+        )
+        assert work.ingredient_lines == ("2 cups sugar", "1 onion")
+        assert work.instruction_steps == ((0, "Mix well."), (2, "Serve."))
+
+    def test_budget_accounting_uses_power_of_two_buckets(self):
+        work = RecipeWork.from_lines(
+            recipe_id="r",
+            title="t",
+            ingredient_lines=["2 cups white sugar"],  # 4 tokens -> width 4
+            instruction_lines=["Mix the sugar and water well."],  # 7 tokens -> width 8
+        )
+        assert work.sentences == 2
+        assert work.padded_tokens == bucket_length(4) + bucket_length(7) == 12
+
+
+class TestPlanCorpusChunks:
+    def test_preserves_order_and_covers_all_recipes(self, corpus):
+        chunks = list(plan_corpus_chunks(corpus, max_recipes=4))
+        flattened = [work.recipe_id for chunk in chunks for work in chunk]
+        assert flattened == [recipe.recipe_id for recipe in corpus]
+        assert all(len(chunk) <= 4 for chunk in chunks)
+
+    def test_sentence_budget_closes_chunks(self, corpus):
+        works = [RecipeWork.from_recipe(recipe) for recipe in corpus]
+        budget = max(work.sentences for work in works)
+        chunks = list(plan_corpus_chunks(works, max_sentences=budget))
+        assert all(
+            sum(work.sentences for work in chunk) <= budget for chunk in chunks
+        )
+
+    def test_token_budget_closes_chunks(self, corpus):
+        works = [RecipeWork.from_recipe(recipe) for recipe in corpus]
+        budget = max(work.padded_tokens for work in works)
+        chunks = list(plan_corpus_chunks(works, max_tokens=budget))
+        assert all(
+            sum(work.padded_tokens for work in chunk) <= budget for chunk in chunks
+        )
+        assert len(chunks) > 1
+
+    def test_oversized_recipe_still_gets_its_own_chunk(self, corpus):
+        chunks = list(plan_corpus_chunks(corpus, max_sentences=1, max_tokens=1))
+        assert all(len(chunk) == 1 for chunk in chunks)
+        assert len(chunks) == len(corpus)
+
+    def test_accepts_prebuilt_work_items(self, corpus):
+        works = [RecipeWork.from_recipe(recipe) for recipe in corpus]
+        direct = list(plan_corpus_chunks(works, max_recipes=3))
+        via_recipes = list(plan_corpus_chunks(corpus, max_recipes=3))
+        assert direct == via_recipes
+
+    def test_is_lazy(self, corpus):
+        consumed = 0
+
+        def counting():
+            nonlocal consumed
+            for recipe in corpus:
+                consumed += 1
+                yield recipe
+
+        chunks = plan_corpus_chunks(counting(), max_recipes=4)
+        next(chunks)
+        # One chunk out means at most chunk + the recipe that overflowed it.
+        assert consumed <= 5 < len(corpus)
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(plan_corpus_chunks([])) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_recipes": 0}, {"max_sentences": 0}, {"max_tokens": 0}],
+    )
+    def test_rejects_non_positive_budgets(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            next(plan_corpus_chunks([], **kwargs))

@@ -1,0 +1,97 @@
+"""Tests for lazy JSONL ingestion (reader + error context)."""
+
+import json
+
+import pytest
+
+from repro.corpus.reader import CorpusReader, iter_jsonl
+from repro.data.models import Recipe
+from repro.data.recipedb import RecipeDB
+from repro.errors import ConfigurationError, DataError
+
+
+@pytest.fixture()
+def corpus_path(corpus, tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    corpus.save_jsonl(path)
+    return path
+
+
+class TestIterJsonl:
+    def test_yields_every_recipe_in_order(self, corpus, corpus_path):
+        recipes = list(iter_jsonl(corpus_path))
+        assert recipes == list(corpus)
+
+    def test_is_lazy(self, corpus_path):
+        iterator = iter_jsonl(corpus_path)
+        first = next(iterator)
+        assert isinstance(first, Recipe)
+
+    def test_skips_blank_lines(self, corpus, corpus_path):
+        interleaved = corpus_path.parent / "blank.jsonl"
+        lines = corpus_path.read_text(encoding="utf-8").splitlines()
+        interleaved.write_text(
+            "\n\n" + "\n   \n".join(lines) + "\n\n", encoding="utf-8"
+        )
+        assert list(iter_jsonl(interleaved)) == list(corpus)
+
+    def test_malformed_json_reports_path_and_line(self, corpus_path, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        lines = corpus_path.read_text(encoding="utf-8").splitlines()
+        lines.insert(2, "{not json")
+        bad.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(DataError, match=rf"{bad}:3: malformed recipe"):
+            list(iter_jsonl(bad))
+
+    def test_structurally_invalid_recipe_reports_line(self, corpus_path, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        lines = corpus_path.read_text(encoding="utf-8").splitlines()
+        lines[0] = json.dumps({"recipe_id": "r", "title": "t"})  # missing sections
+        bad.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(DataError, match=rf"{bad}:1"):
+            next(iter_jsonl(bad))
+
+    def test_custom_parse_callable(self, corpus_path):
+        ids = list(
+            iter_jsonl(corpus_path, lambda line: json.loads(line)["recipe_id"])
+        )
+        assert len(ids) == len(set(ids)) and ids
+
+
+class TestCorpusReader:
+    def test_reiterable(self, corpus, corpus_path):
+        reader = CorpusReader(corpus_path)
+        assert list(reader) == list(corpus)
+        assert list(reader) == list(corpus)  # second pass re-opens the file
+
+    def test_count(self, corpus, corpus_path):
+        assert CorpusReader(corpus_path).count() == len(corpus)
+
+    def test_iter_chunks_sizes_and_order(self, corpus, corpus_path):
+        chunks = list(CorpusReader(corpus_path).iter_chunks(5))
+        assert all(len(chunk) <= 5 for chunk in chunks)
+        assert [recipe for chunk in chunks for recipe in chunk] == list(corpus)
+
+    def test_iter_chunks_rejects_non_positive_size(self, corpus_path):
+        with pytest.raises(ConfigurationError):
+            next(CorpusReader(corpus_path).iter_chunks(0))
+
+
+class TestRecipeDbLoadJsonl:
+    def test_round_trip(self, corpus, corpus_path):
+        assert RecipeDB.load_jsonl(corpus_path).recipes == list(corpus)
+
+    def test_blank_lines_skipped(self, corpus, corpus_path, tmp_path):
+        padded = tmp_path / "padded.jsonl"
+        padded.write_text(
+            "\n" + corpus_path.read_text(encoding="utf-8") + "   \n", encoding="utf-8"
+        )
+        assert RecipeDB.load_jsonl(padded).recipes == list(corpus)
+
+    def test_malformed_line_raises_data_error_with_context(self, corpus_path, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        lines = corpus_path.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "][")
+        bad.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(DataError, match=rf"{bad}:2"):
+            RecipeDB.load_jsonl(bad)

@@ -1,0 +1,98 @@
+"""Tests for StructuredRecipe serialisation and the streaming JSONL sink."""
+
+import io
+
+import pytest
+
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.corpus.sink import (
+    StructuredRecipeSink,
+    iter_structured_jsonl,
+    write_structured_jsonl,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def structured(modeler, corpus):
+    return [modeler.model_recipe(recipe) for recipe in corpus.recipes[:6]]
+
+
+def _hand_built() -> StructuredRecipe:
+    return StructuredRecipe(
+        recipe_id="r1",
+        title="Test",
+        ingredients=(
+            IngredientRecord(
+                phrase="2 cups sugar",
+                name="sugar",
+                quantity="2",
+                unit="cup",
+                quantity_value=2.0,
+            ),
+            IngredientRecord(phrase="---"),
+        ),
+        events=(
+            InstructionEvent(
+                step_index=1,
+                text="Mix the sugar.",
+                processes=("mix",),
+                ingredients=("sugar",),
+                relations=(RelationTuple(process="mix", ingredients=("sugar",)),),
+            ),
+        ),
+    )
+
+
+class TestSerialisation:
+    def test_dict_round_trip_hand_built(self):
+        recipe = _hand_built()
+        assert StructuredRecipe.from_dict(recipe.to_dict()) == recipe
+
+    def test_json_round_trip_hand_built(self):
+        recipe = _hand_built()
+        assert StructuredRecipe.from_json(recipe.to_json()) == recipe
+
+    def test_json_round_trip_model_output(self, structured):
+        for recipe in structured:
+            assert StructuredRecipe.from_json(recipe.to_json()) == recipe
+
+    def test_quantity_value_none_survives(self):
+        record = IngredientRecord(phrase="some salt", name="salt")
+        assert IngredientRecord.from_dict(record.to_dict()).quantity_value is None
+
+
+class TestSink:
+    def test_streams_to_path_and_reads_back(self, structured, tmp_path):
+        path = tmp_path / "structured.jsonl"
+        written = write_structured_jsonl(path, iter(structured))
+        assert written == len(structured)
+        assert list(iter_structured_jsonl(path)) == structured
+
+    def test_writes_to_open_handle_without_closing_it(self, structured):
+        buffer = io.StringIO()
+        with StructuredRecipeSink(buffer) as sink:
+            for recipe in structured[:2]:
+                sink.write(recipe)
+        assert not buffer.closed
+        lines = buffer.getvalue().strip().splitlines()
+        assert [StructuredRecipe.from_json(line) for line in lines] == structured[:2]
+
+    def test_count_tracks_writes(self, structured, tmp_path):
+        with StructuredRecipeSink(tmp_path / "out.jsonl") as sink:
+            assert sink.count == 0
+            sink.write(structured[0])
+            assert sink.count == 1
+
+    def test_reader_reports_malformed_structured_line(self, structured, tmp_path):
+        path = tmp_path / "structured.jsonl"
+        write_structured_jsonl(path, structured[:2])
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(DataError, match=rf"{path}:3: malformed structured recipe"):
+            list(iter_structured_jsonl(path))

@@ -1,0 +1,48 @@
+"""Tests for TaggingService request handling (budget-capped submission)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ModelRegistry, TaggingService
+from repro.text.tokenizer import tokenize
+
+
+@pytest.fixture()
+def tiny_budget_service(bundle_path):
+    """A service whose flush budgets are far smaller than one big request."""
+    registry = ModelRegistry()
+    registry.load(bundle_path)
+    with TaggingService(
+        registry, max_batch=4, max_tokens=32, max_delay_s=0.0
+    ) as service:
+        yield service
+
+
+class TestOversizedRequests:
+    def test_results_identical_to_unchunked_decode(
+        self, tiny_budget_service, modeler, corpus
+    ):
+        lines = [phrase.text for recipe in corpus.recipes[:8] for phrase in recipe.ingredients]
+        assert len(lines) > 16  # far beyond the 4-sentence budget
+        results = tiny_budget_service.tag_lines("ingredient", lines)
+        pipeline = modeler.components.ingredient_pipeline
+        expected = pipeline.tag_token_batch([tokenize(line) for line in lines])
+        assert [row["tags"] for row in results] == expected
+        assert [row["tokens"] for row in results] == [tokenize(line) for line in lines]
+
+    def test_flushes_never_exceed_the_sentence_budget(self, tiny_budget_service, corpus):
+        lines = [phrase.text for recipe in corpus.recipes[:8] for phrase in recipe.ingredients]
+        tiny_budget_service.tag_lines("ingredient", lines)
+        stats = tiny_budget_service.stats()["queues"]["ingredient"]
+        assert stats["largest_flush"] <= 4
+        assert stats["flushes_total"] >= len(lines) / 4
+
+    def test_blank_lines_keep_positions_without_queueing(self, tiny_budget_service):
+        results = tiny_budget_service.tag_lines(
+            "ingredient", ["2 cups sugar", "", "1 onion", "   "]
+        )
+        assert results[1] == {"tokens": [], "tags": []}
+        assert results[3] == {"tokens": [], "tags": []}
+        assert results[0]["tokens"] == ["2", "cups", "sugar"]
+        assert results[0]["tags"] and results[2]["tags"]

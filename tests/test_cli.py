@@ -81,6 +81,79 @@ class TestServingCommands:
         assert len(row["tags"]) == len(row["tokens"])
 
 
+class TestTagCorpusMode:
+    @pytest.fixture(scope="class")
+    def bundle_path(self, modeler, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-corpus") / "bundle.json"
+        modeler.save_bundle(path)
+        return path
+
+    @pytest.fixture(scope="class")
+    def corpus_path(self, corpus, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-corpus") / "corpus.jsonl"
+        corpus.save_jsonl(path)
+        return path
+
+    def test_streaming_flags_parse(self):
+        arguments = build_parser().parse_args(
+            ["tag", "--bundle", "b.json", "--input", "c.jsonl", "--output", "o.jsonl",
+             "--workers", "4", "--chunk-size", "16"]
+        )
+        assert arguments.input == "c.jsonl"
+        assert arguments.output == "o.jsonl"
+        assert arguments.workers == 4
+        assert arguments.chunk_size == 16
+
+    def test_structures_corpus_to_output_file(
+        self, bundle_path, corpus_path, corpus, modeler, tmp_path, capsys
+    ):
+        from repro.corpus import iter_structured_jsonl
+
+        output = tmp_path / "structured.jsonl"
+        exit_code = main(
+            ["tag", "--bundle", str(bundle_path), "--input", str(corpus_path),
+             "--output", str(output), "--chunk-size", "8"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert f"structured {len(corpus)} recipes" in captured.err
+        structured = list(iter_structured_jsonl(output))
+        assert structured == [modeler.model_recipe(recipe) for recipe in corpus]
+
+    def test_structures_corpus_to_stdout(self, bundle_path, corpus_path, corpus, capsys):
+        from repro.core.recipe_model import StructuredRecipe
+
+        exit_code = main(
+            ["tag", "--bundle", str(bundle_path), "--input", str(corpus_path)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == len(corpus)
+        first = StructuredRecipe.from_json(lines[0])
+        assert first.recipe_id == corpus[0].recipe_id
+
+    def test_input_and_lines_are_mutually_exclusive(
+        self, bundle_path, corpus_path, capsys
+    ):
+        exit_code = main(
+            ["tag", "--bundle", str(bundle_path), "--input", str(corpus_path),
+             "some line"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "mutually exclusive" in captured.err
+
+    def test_input_rejects_an_explicit_section(self, bundle_path, corpus_path, capsys):
+        exit_code = main(
+            ["tag", "--bundle", str(bundle_path), "--input", str(corpus_path),
+             "--section", "ingredient"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--section" in captured.err
+
+
 class TestMain:
     def test_main_runs_a_cheap_experiment(self, capsys):
         exit_code = main(["fig3", "--scale", "tiny", "--seed", "0"])
