@@ -1,0 +1,153 @@
+"""Index query perf smoke: posting-list queries vs brute-force JSONL scans.
+
+Builds a corpus-scale structured JSONL (model-structured recipes replicated
+with distinct ids), indexes it once, then answers a set of representative
+entity queries two ways:
+
+* **brute force** — ``scan_structured_jsonl``: parse every line, evaluate
+  the predicate per recipe (what a corpus without an index has to do);
+* **indexed** — ``QueryEngine`` over the loaded artifact: sorted
+  posting-list intersection/union/difference.
+
+Both paths must return element-wise identical results (ids, titles *and*
+matched spans), and the indexed path must clear a >=10x speedup floor —
+that gap is the entire point of the subsystem ("precompute once, answer
+interactively").  Results land in ``benchmarks/BENCH_index.json``; runners
+where the scan is too fast to time reliably record a guarded skip for the
+floor instead of failing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import write_structured_jsonl
+from repro.index import IndexBuilder, QueryEngine, RecipeIndex, scan_structured_jsonl
+
+from conftest import emit
+
+RESULT_PATH = Path(__file__).parent / "BENCH_index.json"
+MIN_SPEEDUP = 10.0
+#: Recipes structured with the fitted model; the corpus is COPIES replicas.
+STRUCTURE_HEAD = 40
+COPIES = 40
+#: Indexed queries are microsecond-scale; repeat them to get a stable clock.
+INDEX_REPS = 25
+#: Below this much total scan time the ratio is noise: record, don't assert.
+MIN_MEASURABLE_SCAN_S = 0.2
+
+
+@pytest.fixture(scope="module")
+def structured_corpus_path(modeler, corpora, tmp_path_factory):
+    """Corpus-scale structured JSONL: model output replicated with fresh ids."""
+    structured = [
+        modeler.model_recipe(recipe)
+        for recipe in corpora.combined.recipes[:STRUCTURE_HEAD]
+    ]
+    documents = (
+        dataclasses.replace(recipe, recipe_id=f"{recipe.recipe_id}-c{copy}")
+        for copy in range(COPIES)
+        for recipe in structured
+    )
+    path = tmp_path_factory.mktemp("bench-index") / "structured.jsonl"
+    write_structured_jsonl(path, documents)
+    return path
+
+
+def _bench_queries(index: RecipeIndex) -> list[str]:
+    """Representative queries over the corpus's own most common entities."""
+
+    def top(field: str, rank: int = 0) -> str:
+        terms = sorted(
+            index.terms(field),
+            key=lambda term: -len(index.postings(field, term)),
+        )
+        term = terms[min(rank, len(terms) - 1)]
+        return f'{field}:"{term}"' if " " in term else f"{field}:{term}"
+
+    ingredient, other = top("ingredient"), top("ingredient", rank=1)
+    process, utensil = top("process"), top("utensil")
+    return [
+        ingredient,
+        f"{ingredient} AND {process}",
+        f"{process} AND NOT {other}",
+        f"({ingredient} OR {other}) AND {utensil}",
+        f"{ingredient} AND {process} AND NOT {utensil}",
+    ]
+
+
+def test_bench_index(structured_corpus_path, tmp_path):
+    # ---- build + persist the index once (the amortised cost).
+    started = time.perf_counter()
+    index = IndexBuilder.build_from_jsonl(structured_corpus_path)
+    build_s = time.perf_counter() - started
+    artifact = tmp_path / "index.json"
+    index.save(artifact)
+    started = time.perf_counter()
+    engine = QueryEngine(RecipeIndex.load(artifact))
+    load_s = time.perf_counter() - started
+
+    queries = _bench_queries(engine.index)
+    rows = []
+    scan_total_s = 0.0
+    indexed_total_s = 0.0
+    for query in queries:
+        # ---- equivalence first: identical ids, titles and matched spans.
+        indexed = engine.execute(query)
+        started = time.perf_counter()
+        scanned = scan_structured_jsonl(structured_corpus_path, query)
+        scan_s = time.perf_counter() - started
+        assert indexed == scanned, f"indexed vs scanned mismatch for {query!r}"
+
+        started = time.perf_counter()
+        for _ in range(INDEX_REPS):
+            engine.execute(query)
+        indexed_s = (time.perf_counter() - started) / INDEX_REPS
+
+        scan_total_s += scan_s
+        indexed_total_s += indexed_s
+        rows.append(
+            {
+                "query": query,
+                "matches": len(indexed),
+                "scan_s": round(scan_s, 4),
+                "indexed_s": round(indexed_s, 6),
+                "speedup": round(scan_s / indexed_s, 1) if indexed_s else None,
+            }
+        )
+
+    speedup = scan_total_s / indexed_total_s if indexed_total_s else float("inf")
+    floor_asserted = scan_total_s >= MIN_MEASURABLE_SCAN_S
+    report = {
+        "documents": engine.index.doc_count,
+        "postings": engine.index.stats()["postings"],
+        "artifact_bytes": artifact.stat().st_size,
+        "build_s": round(build_s, 3),
+        "load_s": round(load_s, 3),
+        "index_reps": INDEX_REPS,
+        "queries": rows,
+        "identical_to_scan": True,
+        "speedup": round(speedup, 1),
+        "floor": MIN_SPEEDUP,
+        "floor_asserted": floor_asserted,
+    }
+    if not floor_asserted:
+        report["skipped"] = (
+            f"total scan time {scan_total_s:.3f}s is below the "
+            f"{MIN_MEASURABLE_SCAN_S}s measurement floor on this runner; "
+            "speedup recorded but not asserted"
+        )
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit("INDEX PERF SMOKE (BENCH_index.json)", json.dumps(report, indent=2))
+
+    if floor_asserted:
+        assert speedup >= MIN_SPEEDUP, (
+            f"indexed query speedup {speedup:.1f}x is below the "
+            f"{MIN_SPEEDUP}x floor over a brute-force scan of "
+            f"{engine.index.doc_count} structured recipes"
+        )

@@ -8,7 +8,10 @@ Usage::
     python -m repro tag --bundle bundle.json --section ingredient "2 cups sugar"
     python -m repro tag --bundle bundle.json --input corpus.jsonl \
         --output structured.jsonl --workers 4
-    python -m repro serve --bundle bundle.json --port 8080
+    python -m repro index build --input structured.jsonl --output index.json
+    python -m repro index query --index index.json \
+        'ingredient:tomato AND process:saute AND NOT ingredient:garlic'
+    python -m repro serve --bundle bundle.json --index index.json --port 8080
 
 The experiment sub-commands print the same rows/series the paper reports.
 ``train`` fits the end-to-end pipeline on the simulated corpus and writes an
@@ -19,6 +22,10 @@ microbatching queue (one JSON object per input line on stdout for ``tag``).
 With ``--input``, ``tag`` instead streams a whole recipe-corpus JSONL through
 the :mod:`repro.corpus` substrate — budget-bounded chunks, optionally across
 ``--workers`` processes — writing one structured recipe per output line.
+``index build`` turns that structured JSONL into a checksummed inverted-index
+artifact and ``index query`` answers boolean entity queries from it (or, with
+``--scan``, by brute-forcing the JSONL — same results, corpus-scan cost);
+``serve --index`` additionally exposes the index on ``POST /v1/search``.
 """
 
 from __future__ import annotations
@@ -170,10 +177,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tag.set_defaults(handler=_cmd_tag)
 
+    index = subparsers.add_parser(
+        "index",
+        help="build or query an inverted index over structured-recipe JSONL",
+    )
+    index_commands = index.add_subparsers(
+        dest="index_command", required=True, metavar="subcommand"
+    )
+
+    index_build = index_commands.add_parser(
+        "build", help="stream a structured-recipe JSONL into an index artifact"
+    )
+    index_build.add_argument(
+        "--input",
+        required=True,
+        help="structured-recipe JSONL to index (output of `tag --input`)",
+    )
+    index_build.add_argument(
+        "--output", required=True, help="path the index artifact is written to"
+    )
+    index_build.set_defaults(handler=_cmd_index_build)
+
+    index_query = index_commands.add_parser(
+        "query", help="evaluate an entity query (JSON object per match on stdout)"
+    )
+    index_query.add_argument(
+        "--index", dest="index_path", help="index artifact built by `index build`"
+    )
+    index_query.add_argument(
+        "--scan",
+        help=(
+            "brute-force a structured-recipe JSONL instead of using an index "
+            "(same results, corpus-scan cost)"
+        ),
+    )
+    index_query.add_argument(
+        "--limit", type=int, default=None, help="return at most this many matches"
+    )
+    index_query.add_argument(
+        "query",
+        help=(
+            "boolean entity query, e.g. "
+            "'ingredient:tomato AND process:saute AND NOT ingredient:garlic'"
+        ),
+    )
+    index_query.set_defaults(handler=_cmd_index_query)
+
     serve = subparsers.add_parser(
         "serve", help="serve a saved bundle over HTTP with microbatched decoding"
     )
     serve.add_argument("--bundle", required=True, help="bundle artifact to serve")
+    serve.add_argument(
+        "--index",
+        help="recipe-index artifact to serve on POST /v1/search (optional)",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8080, help="bind port (default: 8080)")
     serve.add_argument(
@@ -279,22 +336,73 @@ def _cmd_tag_corpus(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(arguments: argparse.Namespace) -> int:
+    from repro.index import IndexBuilder
+
+    index = IndexBuilder.build_from_jsonl(arguments.input)
+    index.save(arguments.output)
+    print(json.dumps({"indexed": index.stats(), "output": arguments.output}))
+    return 0
+
+
+def _cmd_index_query(arguments: argparse.Namespace) -> int:
+    from repro.errors import QueryError
+    from repro.index import QueryEngine, RecipeIndex, scan_structured_jsonl
+
+    if bool(arguments.index_path) == bool(arguments.scan):
+        print(
+            "index query: exactly one of --index or --scan is required",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if arguments.index_path:
+            engine = QueryEngine(RecipeIndex.load(arguments.index_path))
+            total, matches = engine.search(arguments.query, limit=arguments.limit)
+        else:
+            # Scan the whole file so the reported total matches --index mode;
+            # --limit only truncates what is printed.
+            matches = scan_structured_jsonl(arguments.scan, arguments.query)
+            total = len(matches)
+            if arguments.limit is not None:
+                matches = matches[: max(arguments.limit, 0)]
+    except QueryError as error:
+        print(f"index query: {error}", file=sys.stderr)
+        return 2
+    for match in matches:
+        print(json.dumps(match.to_dict()))
+    source = arguments.index_path or arguments.scan
+    print(f"{total} match{'es' if total != 1 else ''} in {source}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(arguments: argparse.Namespace) -> int:
-    from repro.serve import make_server
+    from repro.serve import SearchService, make_server
 
     service = _make_service(
         arguments,
         max_batch=arguments.max_batch,
         max_delay_s=arguments.max_delay_ms / 1000.0,
     )
+    search = SearchService.from_artifact(arguments.index) if arguments.index else None
     server = make_server(
-        service, host=arguments.host, port=arguments.port, verbose=arguments.verbose
+        service,
+        search=search,
+        host=arguments.host,
+        port=arguments.port,
+        verbose=arguments.verbose,
     )
     record = service.model_record()
     print(
         f"serving bundle {record.path} (sha256 {record.sha256[:12]}, "
         f"generation {record.generation}) on http://{arguments.host}:{server.server_address[1]}"
     )
+    if search is not None:
+        index_record = search.record()
+        print(
+            f"serving index {index_record.path} (sha256 {index_record.sha256[:12]}, "
+            f"{index_record.bundle.doc_count} recipes) on POST /v1/search"
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

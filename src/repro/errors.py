@@ -41,12 +41,17 @@ class PersistenceError(ReproError):
     """A serialised artifact is corrupt, truncated or of an unknown version."""
 
 
+class QueryError(ReproError):
+    """A recipe query string or query tree is malformed."""
+
+
 __all__ = [
     "ConfigurationError",
     "DataError",
     "NotFittedError",
     "ParsingError",
     "PersistenceError",
+    "QueryError",
     "ReproError",
     "SchemaError",
     "VocabularyError",

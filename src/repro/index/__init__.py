@@ -1,0 +1,60 @@
+"""Inverted-index query subsystem over structured-recipe corpora.
+
+The corpus pipeline (:mod:`repro.corpus`) writes structured recipes as
+JSONL; this package makes that output queryable:
+
+* :mod:`repro.index.builder` — :class:`IndexBuilder` streams structured
+  recipes into a :class:`RecipeIndex` (sorted posting lists per normalised
+  ingredient/process/utensil/title term, plus per-doc metadata), persisted
+  through the same checksummed, version-gated artifact envelope as the
+  pipeline bundles;
+* :mod:`repro.index.query` — a boolean query language
+  (``ingredient:tomato AND process:saute AND NOT ingredient:garlic``), a
+  :class:`QueryEngine` evaluating it with posting-list algebra, and a
+  brute-force scan path that is element-wise identical by construction.
+
+Surfaced as ``repro index build`` / ``repro index query`` on the CLI and
+``POST /v1/search`` on the serving layer.
+"""
+
+from repro.index.builder import (
+    FIELDS,
+    INDEX_ARTIFACT_FORMAT,
+    IndexBuilder,
+    PostingList,
+    RecipeIndex,
+    extract_entities,
+)
+from repro.index.query import (
+    And,
+    Not,
+    Or,
+    QueryEngine,
+    QueryMatch,
+    Term,
+    matches_recipe,
+    parse_query,
+    render_query,
+    scan_recipes,
+    scan_structured_jsonl,
+)
+
+__all__ = [
+    "And",
+    "FIELDS",
+    "INDEX_ARTIFACT_FORMAT",
+    "IndexBuilder",
+    "Not",
+    "Or",
+    "PostingList",
+    "QueryEngine",
+    "QueryMatch",
+    "RecipeIndex",
+    "Term",
+    "extract_entities",
+    "matches_recipe",
+    "parse_query",
+    "render_query",
+    "scan_recipes",
+    "scan_structured_jsonl",
+]

@@ -1,0 +1,298 @@
+"""Inverted index over a structured-recipe corpus.
+
+The whole point of structuring recipes is to make the corpus *queryable*:
+once ingredients, processes and utensils are named entities, "every recipe
+that sautes tomatoes without garlic" is a posting-list intersection instead
+of a corpus scan.  This module builds that index:
+
+* :func:`extract_entities` defines the indexed view of one
+  :class:`~repro.core.recipe_model.StructuredRecipe` — normalised entity
+  terms per field, each with the spans (ingredient-record or event positions)
+  where it occurs.  The brute-force matcher in :mod:`repro.index.query` uses
+  the *same* function, so indexed and scanned answers agree by construction.
+* :class:`IndexBuilder` streams recipes (typically
+  :func:`~repro.corpus.sink.iter_structured_jsonl` output) and accumulates
+  one sorted posting list per ``(field, term)``; doc ids are assigned in
+  stream order, so the lists are sorted for free.
+* :class:`RecipeIndex` is the immutable, queryable result.  It persists
+  through the same hardened envelope as the pipeline bundles —
+  ``{format, version, sha256, payload}``, written atomically — so indexes
+  are first-class artifacts: checksummed, version-gated and hot-swappable
+  through the serving registry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.recipe_model import StructuredRecipe
+from repro.errors import ConfigurationError, PersistenceError, QueryError
+from repro.persistence import (
+    check_payload_version,
+    FORMAT_VERSION,
+    parse_artifact,
+    write_artifact,
+)
+from repro.text.normalize import normalize_phrase
+
+__all__ = [
+    "FIELDS",
+    "INDEX_ARTIFACT_FORMAT",
+    "IndexBuilder",
+    "PostingList",
+    "RecipeIndex",
+    "extract_entities",
+]
+
+#: ``format`` marker of the index artifact envelope.
+INDEX_ARTIFACT_FORMAT = "repro-recipe-index"
+
+#: Queryable fields, each keyed by normalised entity terms.
+FIELDS = ("ingredient", "process", "utensil", "title")
+
+
+def extract_entities(recipe: StructuredRecipe) -> dict[str, dict[str, list[list]]]:
+    """The indexed view of one recipe: field -> term -> occurrence spans.
+
+    Terms are :func:`~repro.text.normalize.normalize_phrase` forms of the
+    recipe's entities; a span is ``[where, position]`` addressing the
+    occurrence inside the recipe document:
+
+    * ``["ingredients", i]`` — the ``i``-th ingredient record (its canonical
+      ``name``; records without a recognised name are not indexed);
+    * ``["events", i]`` — the ``i``-th instruction event (detected
+      ingredients, processes and utensils of that step);
+    * ``["title", 0]`` — the recipe title (indexed whole and per token).
+
+    Both the index builder and the brute-force query matcher call this
+    function, which is what makes their answers identical by construction.
+    """
+    entities: dict[str, dict[str, list[list]]] = {field: {} for field in FIELDS}
+
+    def add(field: str, raw: str, where: str, position: int) -> None:
+        term = normalize_phrase(raw)
+        if term:
+            entities[field].setdefault(term, []).append([where, position])
+
+    for position, record in enumerate(recipe.ingredients):
+        add("ingredient", record.name, "ingredients", position)
+    for position, event in enumerate(recipe.events):
+        for name in event.ingredients:
+            add("ingredient", name, "events", position)
+        for process in event.processes:
+            add("process", process, "events", position)
+        for utensil in event.utensils:
+            add("utensil", utensil, "events", position)
+    title = normalize_phrase(recipe.title)
+    if title:
+        entities["title"].setdefault(title, []).append(["title", 0])
+        for token in title.split(" "):
+            if token != title:
+                entities["title"].setdefault(token, []).append(["title", 0])
+    return entities
+
+
+@dataclass(frozen=True)
+class PostingList:
+    """One term's occurrences: sorted doc ids with aligned span groups.
+
+    Attributes:
+        ids: Strictly increasing doc ids containing the term.
+        spans: ``spans[k]`` is the span list (see :func:`extract_entities`)
+            of the term inside doc ``ids[k]``.
+    """
+
+    ids: list[int]
+    spans: list[list[list]]
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class RecipeIndex:
+    """Immutable inverted index built by :class:`IndexBuilder`.
+
+    Args:
+        postings: field -> term -> :class:`PostingList`.
+        docs: Per-doc metadata, ``docs[doc_id] == {"recipe_id", "title"}``.
+        source: Provenance label (e.g. the JSONL path the index was built
+            from); carried through the artifact for the stats endpoints.
+    """
+
+    def __init__(
+        self,
+        postings: dict[str, dict[str, PostingList]],
+        docs: list[dict],
+        *,
+        source: str = "",
+    ) -> None:
+        self._postings = postings
+        self.docs = docs
+        self.source = source
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def doc_count(self) -> int:
+        """Number of indexed recipes (doc ids are ``0 .. doc_count - 1``)."""
+        return len(self.docs)
+
+    def terms(self, field: str) -> list[str]:
+        """Sorted terms indexed under ``field``."""
+        return sorted(self._field(field))
+
+    def postings(self, field: str, term: str) -> PostingList | None:
+        """The posting list for a normalised ``term``, or ``None`` if absent.
+
+        ``term`` is normalised with the same function the builder used, so
+        callers may pass raw surface forms.
+        """
+        return self._field(field).get(normalize_phrase(term))
+
+    def doc(self, doc_id: int) -> dict:
+        """Metadata of one indexed recipe."""
+        return self.docs[doc_id]
+
+    def stats(self) -> dict:
+        """Index shape for the stats endpoints and CLI summaries."""
+        return {
+            "documents": self.doc_count,
+            "source": self.source,
+            "terms": {field: len(table) for field, table in self._postings.items()},
+            "postings": sum(
+                len(posting.ids)
+                for table in self._postings.values()
+                for posting in table.values()
+            ),
+        }
+
+    def _field(self, field: str) -> dict[str, PostingList]:
+        table = self._postings.get(field)
+        if table is None:
+            raise QueryError(f"unknown query field {field!r}; expected one of {FIELDS}")
+        return table
+
+    # ------------------------------------------------------------ persistence
+
+    def to_payload(self) -> dict:
+        """Serialise the index to a JSON-compatible payload."""
+        return {
+            "version": FORMAT_VERSION,
+            "source": self.source,
+            "docs": list(self.docs),
+            "postings": {
+                field: {
+                    term: {"ids": posting.ids, "spans": posting.spans}
+                    for term, posting in table.items()
+                }
+                for field, table in self._postings.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RecipeIndex":
+        """Rebuild an index from :meth:`to_payload` output (version-gated)."""
+        if not isinstance(payload, dict):
+            raise PersistenceError(
+                f"recipe-index payload must be a JSON object, got {type(payload).__name__}"
+            )
+        check_payload_version(payload, "recipe index")
+        for field in ("docs", "postings"):
+            if field not in payload:
+                raise PersistenceError(f"recipe-index payload is missing its {field!r} field")
+        postings = {
+            field: {
+                term: PostingList(ids=list(entry["ids"]), spans=list(entry["spans"]))
+                for term, entry in payload["postings"].get(field, {}).items()
+            }
+            for field in FIELDS
+        }
+        return cls(postings, list(payload["docs"]), source=payload.get("source", ""))
+
+    def save(self, path: str | Path) -> None:
+        """Atomically write the index as a checksummed artifact (see bundle)."""
+        write_artifact(path, self.to_payload(), format=INDEX_ARTIFACT_FORMAT)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RecipeIndex":
+        """Load and validate an index previously written by :meth:`save`."""
+        path = Path(path)
+        return cls.loads(path.read_text(encoding="utf-8"), source=str(path))
+
+    @classmethod
+    def loads(cls, text: str, source: str = "<index>") -> "RecipeIndex":
+        """Validate and rebuild an index from artifact text already in hand.
+
+        The positional ``source`` (error label) matches the registry loader
+        signature, so ``ModelRegistry(loader=RecipeIndex.loads)`` manages
+        index artifacts with the same hot-swap lifecycle as model bundles.
+        """
+        payload = parse_artifact(
+            text, format=INDEX_ARTIFACT_FORMAT, source=source, what="index artifact"
+        )
+        return cls.from_payload(payload)
+
+
+class IndexBuilder:
+    """Accumulates recipes into posting lists, one :meth:`add` at a time.
+
+    Doc ids are assigned in arrival order, so every posting list is sorted
+    by construction and :meth:`build` is a constant-time freeze: the built
+    index takes ownership of the posting arrays, and the builder refuses
+    further :meth:`add` calls (mutating them behind the index would break
+    its immutability).  The builder streams: it holds the postings and
+    per-doc metadata, never the recipes.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, PostingList]] = {
+            field: {} for field in FIELDS
+        }
+        self._docs: list[dict] = []
+        self._built = False
+
+    def add(self, recipe: StructuredRecipe) -> int:
+        """Index one recipe; returns its doc id."""
+        if self._built:
+            raise ConfigurationError(
+                "this IndexBuilder already built its index; create a new "
+                "builder to index more recipes"
+            )
+        doc_id = len(self._docs)
+        self._docs.append({"recipe_id": recipe.recipe_id, "title": recipe.title})
+        for field, terms in extract_entities(recipe).items():
+            table = self._postings[field]
+            for term, spans in terms.items():
+                posting = table.get(term)
+                if posting is None:
+                    posting = table[term] = PostingList(ids=[], spans=[])
+                posting.ids.append(doc_id)
+                posting.spans.append(spans)
+        return doc_id
+
+    def add_all(self, recipes: Iterable[StructuredRecipe]) -> int:
+        """Index a recipe stream; returns the number of docs added."""
+        added = 0
+        for recipe in recipes:
+            self.add(recipe)
+            added += 1
+        return added
+
+    def build(self, *, source: str = "") -> RecipeIndex:
+        """Freeze the accumulated postings into a :class:`RecipeIndex`.
+
+        The builder is consumed: subsequent :meth:`add` calls raise.
+        """
+        self._built = True
+        return RecipeIndex(self._postings, self._docs, source=source)
+
+    @classmethod
+    def build_from_jsonl(cls, path: str | Path) -> RecipeIndex:
+        """Stream a structured-recipe JSONL file into a ready index."""
+        from repro.corpus.sink import iter_structured_jsonl
+
+        builder = cls()
+        builder.add_all(iter_structured_jsonl(path))
+        return builder.build(source=str(path))

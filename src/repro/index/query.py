@@ -1,0 +1,529 @@
+"""Boolean entity queries over a :class:`~repro.index.builder.RecipeIndex`.
+
+The query language is conjunctive/disjunctive/negated entity predicates::
+
+    ingredient:tomato AND process:saute AND NOT ingredient:garlic
+    (ingredient:basil OR ingredient:"olive oil") AND utensil:skillet
+
+``NOT`` binds tightest, then ``AND``, then ``OR``; parentheses group; quoted
+values carry spaces.  :func:`parse_query` produces a small AST
+(:class:`Term` / :class:`And` / :class:`Or` / :class:`Not`) which two
+evaluators consume:
+
+* :class:`QueryEngine` answers from the index with sorted-posting-list
+  intersection/union/difference — the interactive path ("precompute once,
+  answer interactively");
+* :func:`matches_recipe` / :func:`scan_structured_jsonl` answer by scanning
+  recipes directly — the brute-force baseline.
+
+Both build the recipe's indexed view with the same
+:func:`~repro.index.builder.extract_entities`, so their results (ids *and*
+matched spans) are element-wise identical by construction; the property
+tests and ``BENCH_index.json`` enforce exactly that.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.recipe_model import StructuredRecipe
+from repro.errors import QueryError
+from repro.index.builder import FIELDS, PostingList, RecipeIndex, extract_entities
+from repro.text.normalize import normalize_phrase
+
+__all__ = [
+    "And",
+    "Not",
+    "Or",
+    "QueryEngine",
+    "QueryMatch",
+    "Term",
+    "difference_sorted",
+    "intersect_sorted",
+    "matches_recipe",
+    "parse_query",
+    "render_query",
+    "scan_recipes",
+    "scan_structured_jsonl",
+    "union_sorted",
+]
+
+
+# ------------------------------------------------------------------------ AST
+
+
+@dataclass(frozen=True)
+class Term:
+    """One entity predicate, e.g. ``ingredient:tomato``."""
+
+    field: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.field not in FIELDS:
+            raise QueryError(
+                f"unknown query field {self.field!r}; expected one of {FIELDS}"
+            )
+        if not str(self.value).strip():
+            raise QueryError(f"query term for field {self.field!r} has an empty value")
+
+    @property
+    def normalized(self) -> str:
+        """The normalised form the index keys on."""
+        return normalize_phrase(self.value)
+
+
+@dataclass(frozen=True)
+class And:
+    """Every child must match."""
+
+    children: tuple
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise QueryError("AND requires at least one operand")
+
+
+@dataclass(frozen=True)
+class Or:
+    """At least one child must match."""
+
+    children: tuple
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise QueryError("OR requires at least one operand")
+
+
+@dataclass(frozen=True)
+class Not:
+    """The child must not match."""
+
+    child: object
+
+
+# --------------------------------------------------------------------- parser
+
+_TOKEN_PATTERN = re.compile(
+    r"""\(|\)|[A-Za-z_]+:"[^"]*"|[^\s()]+""",
+)
+_QUOTED_TERM = re.compile(r'^(?P<field>[A-Za-z_]+):"(?P<value>[^"]*)"$')
+_KEYWORDS = {"AND", "OR", "NOT"}
+
+
+def parse_query(text: str):
+    """Parse a query string into an AST (``NOT`` > ``AND`` > ``OR``).
+
+    Raises:
+        QueryError: On empty input, unbalanced parentheses, dangling
+            operators, valueless terms or unknown fields.
+    """
+    tokens = _TOKEN_PATTERN.findall(text)
+    if not tokens:
+        raise QueryError("empty query")
+    parser = _Parser(tokens)
+    node = parser.parse_or()
+    if parser.peek() is not None:
+        raise QueryError(f"unexpected token {parser.peek()!r} after the query")
+    return node
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def peek(self) -> str | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("query ended unexpectedly (dangling operator?)")
+        self._position += 1
+        return token
+
+    def _keyword(self) -> str | None:
+        """The upper-cased keyword at the cursor, if any."""
+        token = self.peek()
+        if token is not None and token.upper() in _KEYWORDS:
+            return token.upper()
+        return None
+
+    def parse_or(self):
+        children = [self.parse_and()]
+        while self._keyword() == "OR":
+            self._take()
+            children.append(self.parse_and())
+        return children[0] if len(children) == 1 else Or(tuple(children))
+
+    def parse_and(self):
+        children = [self.parse_unary()]
+        while self._keyword() == "AND":
+            self._take()
+            children.append(self.parse_unary())
+        return children[0] if len(children) == 1 else And(tuple(children))
+
+    def parse_unary(self):
+        if self._keyword() == "NOT":
+            self._take()
+            return Not(self.parse_unary())
+        token = self._take()
+        if token == "(":
+            node = self.parse_or()
+            if self.peek() != ")":
+                raise QueryError("unbalanced parentheses in query")
+            self._take()
+            return node
+        if token == ")":
+            raise QueryError("unbalanced parentheses in query")
+        if token.upper() in _KEYWORDS:
+            raise QueryError(f"operator {token!r} is missing an operand")
+        quoted = _QUOTED_TERM.match(token)
+        if quoted is not None:
+            return Term(quoted.group("field"), quoted.group("value"))
+        field, separator, value = token.partition(":")
+        if not separator or not value:
+            raise QueryError(
+                f"malformed term {token!r}; expected field:value "
+                f'(e.g. ingredient:tomato or ingredient:"olive oil")'
+            )
+        return Term(field, value)
+
+
+def render_query(node) -> str:
+    """Render an AST back to a parseable query string (canonical form)."""
+    if isinstance(node, Term):
+        value = node.value
+        if re.search(r"[\s()]", value):
+            if '"' in value:
+                raise QueryError(
+                    f"cannot render term value {value!r}: the query grammar has "
+                    "no escape for a double quote inside a quoted value"
+                )
+            return f'{node.field}:"{value}"'
+        rendered = f"{node.field}:{value}"
+        if _QUOTED_TERM.match(rendered):
+            # A value that is itself quote-wrapped would re-parse with the
+            # quotes stripped; refuse rather than round-trip to a different term.
+            raise QueryError(
+                f"cannot render term value {value!r}: it is indistinguishable "
+                "from quoting syntax"
+            )
+        return rendered
+    if isinstance(node, Not):
+        return f"NOT {_render_group(node.child)}"
+    if isinstance(node, And):
+        return " AND ".join(_render_group(child) for child in node.children)
+    if isinstance(node, Or):
+        return " OR ".join(_render_group(child) for child in node.children)
+    raise QueryError(f"not a query node: {node!r}")
+
+
+def _render_group(node) -> str:
+    rendered = render_query(node)
+    return f"({rendered})" if isinstance(node, (And, Or)) else rendered
+
+
+def _as_node(query):
+    node = parse_query(query) if isinstance(query, str) else query
+    if not isinstance(node, (Term, And, Or, Not)):
+        raise QueryError(f"not a query string or query node: {query!r}")
+    return node
+
+
+# ------------------------------------------------------- sorted-list algebra
+
+
+def intersect_sorted(left: list[int], right: list[int]) -> list[int]:
+    """Merge-intersect two sorted id lists."""
+    result: list[int] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i], right[j]
+        if a == b:
+            result.append(a)
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return result
+
+
+def union_sorted(left: list[int], right: list[int]) -> list[int]:
+    """Merge-union two sorted id lists."""
+    result: list[int] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i], right[j]
+        if a == b:
+            result.append(a)
+            i += 1
+            j += 1
+        elif a < b:
+            result.append(a)
+            i += 1
+        else:
+            result.append(b)
+            j += 1
+    result.extend(left[i:])
+    result.extend(right[j:])
+    return result
+
+
+def difference_sorted(left: list[int], right: list[int]) -> list[int]:
+    """Sorted ids in ``left`` but not in ``right``."""
+    result: list[int] = []
+    i = j = 0
+    while i < len(left):
+        while j < len(right) and right[j] < left[i]:
+            j += 1
+        if j >= len(right) or right[j] != left[i]:
+            result.append(left[i])
+        i += 1
+    return result
+
+
+# -------------------------------------------------------------------- results
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One matching recipe: identity plus where the query's terms occurred.
+
+    Attributes:
+        doc_id: Position of the recipe in the indexed corpus (JSONL order).
+        recipe_id: The recipe's own identifier.
+        title: Recipe title.
+        spans: ``"field:term" -> [[where, position], ...]`` for every
+            positive term of the query that occurs in this recipe (negated
+            terms contribute nothing — they matched by absence).
+    """
+
+    doc_id: int
+    recipe_id: str
+    title: str
+    spans: dict[str, list]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the ``/v1/search`` result shape)."""
+        return {
+            "doc_id": self.doc_id,
+            "recipe_id": self.recipe_id,
+            "title": self.title,
+            "spans": self.spans,
+        }
+
+
+def _collect_spans(node, lookup, out: dict[str, list]) -> None:
+    """Gather spans of every positive term via ``lookup(field, term)``."""
+    if isinstance(node, Term):
+        spans = lookup(node.field, node.normalized)
+        if spans:
+            out[f"{node.field}:{node.normalized}"] = spans
+    elif isinstance(node, (And, Or)):
+        for child in node.children:
+            _collect_spans(child, lookup, out)
+    # Not: matched by absence; nothing to point at.
+
+
+def _resolve_terms(node, index: RecipeIndex, out: dict) -> None:
+    """Resolve every positive term's posting list once (same traversal as
+    :func:`_collect_spans`, so the lookup dict covers exactly its keys)."""
+    if isinstance(node, Term):
+        key = (node.field, node.normalized)
+        if key not in out:
+            out[key] = index.postings(node.field, node.normalized)
+    elif isinstance(node, (And, Or)):
+        for child in node.children:
+            _resolve_terms(child, index, out)
+
+
+# --------------------------------------------------------------------- engine
+
+
+class QueryEngine:
+    """Evaluates query trees against a :class:`RecipeIndex`.
+
+    Evaluation is pure posting-list algebra: ``AND`` intersects its positive
+    children smallest-list-first and subtracts its negated children,
+    ``OR`` unions, and a bare ``NOT`` complements against the doc universe.
+    """
+
+    def __init__(self, index: RecipeIndex) -> None:
+        self._index = index
+
+    @property
+    def index(self) -> RecipeIndex:
+        return self._index
+
+    def doc_ids(self, query) -> list[int]:
+        """Sorted doc ids matching ``query`` (string or AST)."""
+        return self._eval(_as_node(query))
+
+    def execute(self, query, *, limit: int | None = None) -> list[QueryMatch]:
+        """Matching recipes in doc order, with matched spans per recipe."""
+        node = _as_node(query)
+        ids = self._eval(node)
+        if limit is not None:
+            if limit < 0:
+                raise QueryError("limit must not be negative")
+            ids = ids[:limit]
+        return self._materialize(node, ids)
+
+    def count(self, query) -> int:
+        """Number of matching recipes."""
+        return len(self._eval(_as_node(query)))
+
+    def search(self, query, *, limit: int | None = None) -> tuple[int, list[QueryMatch]]:
+        """One evaluation returning ``(total, limited matches)``.
+
+        What the serving layer wants: the full match count plus at most
+        ``limit`` materialised results, without evaluating the query twice.
+        """
+        node = _as_node(query)
+        ids = self._eval(node)
+        total = len(ids)
+        if limit is not None:
+            if limit < 0:
+                raise QueryError("limit must not be negative")
+            ids = ids[:limit]
+        return total, self._materialize(node, ids)
+
+    # ------------------------------------------------------------- internals
+
+    def _term_ids(self, term: Term) -> list[int]:
+        posting = self._index.postings(term.field, term.value)
+        # Copy: the evaluator's lists are the caller's to keep; the index's
+        # posting arrays must never leak out mutable.
+        return list(posting.ids) if posting is not None else []
+
+    def _eval(self, node) -> list[int]:
+        if isinstance(node, Term):
+            return self._term_ids(node)
+        if isinstance(node, Or):
+            result: list[int] = []
+            for child in node.children:
+                result = union_sorted(result, self._eval(child))
+            return result
+        if isinstance(node, And):
+            positives = [c for c in node.children if not isinstance(c, Not)]
+            negatives = [c for c in node.children if isinstance(c, Not)]
+            if positives:
+                evaluated = sorted((self._eval(c) for c in positives), key=len)
+                result = evaluated[0]
+                for ids in evaluated[1:]:
+                    if not result:
+                        break
+                    result = intersect_sorted(result, ids)
+            else:
+                result = list(range(self._index.doc_count))
+            for negative in negatives:
+                if not result:
+                    break
+                result = difference_sorted(result, self._eval(negative.child))
+            return result
+        if isinstance(node, Not):
+            return difference_sorted(
+                list(range(self._index.doc_count)), self._eval(node.child)
+            )
+        raise QueryError(f"not a query node: {node!r}")
+
+    def _materialize(self, node, ids: list[int]) -> list[QueryMatch]:
+        """Build the result objects: resolve each positive term's posting
+        list once for the whole query, then only bisect per (term, doc)."""
+        resolved: dict[tuple[str, str], PostingList | None] = {}
+        _resolve_terms(node, self._index, resolved)
+
+        def match(doc_id: int) -> QueryMatch:
+            def lookup(field: str, normalized: str):
+                posting = resolved[(field, normalized)]
+                if posting is None:
+                    return None
+                at = bisect_left(posting.ids, doc_id)
+                if at < len(posting.ids) and posting.ids[at] == doc_id:
+                    return posting.spans[at]
+                return None
+
+            spans: dict[str, list] = {}
+            _collect_spans(node, lookup, spans)
+            doc = self._index.doc(doc_id)
+            return QueryMatch(
+                doc_id=doc_id,
+                recipe_id=doc["recipe_id"],
+                title=doc["title"],
+                spans=spans,
+            )
+
+        return [match(doc_id) for doc_id in ids]
+
+
+# --------------------------------------------------------------- brute force
+
+
+def matches_recipe(query, recipe: StructuredRecipe) -> bool:
+    """Evaluate ``query`` directly against one structured recipe."""
+    return _matches(_as_node(query), extract_entities(recipe))
+
+
+def _matches(node, entities: dict[str, dict[str, list]]) -> bool:
+    if isinstance(node, Term):
+        if node.field not in entities:
+            raise QueryError(f"unknown query field {node.field!r}; expected one of {FIELDS}")
+        return node.normalized in entities[node.field]
+    if isinstance(node, And):
+        return all(_matches(child, entities) for child in node.children)
+    if isinstance(node, Or):
+        return any(_matches(child, entities) for child in node.children)
+    if isinstance(node, Not):
+        return not _matches(node.child, entities)
+    raise QueryError(f"not a query node: {node!r}")
+
+
+def scan_recipes(
+    recipes: Iterable[StructuredRecipe], query, *, limit: int | None = None
+) -> list[QueryMatch]:
+    """Brute-force scan: evaluate ``query`` against every recipe in order.
+
+    Returns the same :class:`QueryMatch` objects (ids, titles *and* spans)
+    an indexed :meth:`QueryEngine.execute` produces over the same corpus —
+    the equivalence the property tests and the benchmark pin down.
+    """
+    node = _as_node(query)
+    if limit is not None and limit < 0:
+        raise QueryError("limit must not be negative")
+    matches: list[QueryMatch] = []
+    for doc_id, recipe in enumerate(recipes):
+        if limit is not None and len(matches) >= limit:
+            break
+        entities = extract_entities(recipe)
+        if not _matches(node, entities):
+            continue
+        spans: dict[str, list] = {}
+        _collect_spans(node, lambda field, term: entities[field].get(term), spans)
+        matches.append(
+            QueryMatch(
+                doc_id=doc_id,
+                recipe_id=recipe.recipe_id,
+                title=recipe.title,
+                spans=spans,
+            )
+        )
+    return matches
+
+
+def scan_structured_jsonl(path: str | Path, query, *, limit: int | None = None) -> list[QueryMatch]:
+    """Brute-force a structured-recipe JSONL file (parses every line)."""
+    from repro.corpus.sink import iter_structured_jsonl
+
+    return scan_recipes(iter_structured_jsonl(path), query, limit=limit)

@@ -51,15 +51,18 @@ __all__ = [
     "ARTIFACT_FORMAT",
     "FORMAT_VERSION",
     "PipelineBundle",
+    "check_payload_version",
     "dictionary_from_payload",
     "dictionary_to_payload",
     "load_ner_model",
     "load_pos_tagger",
     "load_sequence_model",
     "ner_model_to_payload",
+    "parse_artifact",
     "payload_checksum",
     "pos_tagger_to_payload",
     "sequence_model_to_payload",
+    "write_artifact",
     "write_json_atomic",
 ]
 
@@ -80,7 +83,7 @@ _FEATURE_EXTRACTORS = {
 _SEQUENCE_MODEL_KINDS = ("perceptron", "crf", "hmm")
 
 
-def _check_version(payload: dict, what: str) -> None:
+def check_payload_version(payload: dict, what: str) -> None:
     """Gate a payload on its ``version`` field (no silent defaulting)."""
     version = payload.get("version")
     if version is None:
@@ -92,6 +95,9 @@ def _check_version(payload: dict, what: str) -> None:
             f"{what} payload has format version {version!r} but this build reads "
             f"version {_FORMAT_VERSION}; re-export the artifact with a matching build"
         )
+
+
+_check_version = check_payload_version
 
 
 def payload_checksum(payload: dict) -> str:
@@ -123,6 +129,70 @@ def write_json_atomic(path: str | Path, document: dict) -> None:
         with suppress(OSError):
             os.unlink(temp_name)
         raise
+
+
+def write_artifact(path: str | Path, payload: dict, *, format: str) -> None:
+    """Atomically write ``payload`` inside the checksummed artifact envelope.
+
+    The envelope is ``{format, version, sha256, payload}`` — the same shape
+    :meth:`PipelineBundle.save` writes — so every artifact kind (bundles,
+    indexes, ...) shares one hardened on-disk format.
+    """
+    envelope = {
+        "format": format,
+        "version": _FORMAT_VERSION,
+        "sha256": payload_checksum(payload),
+        "payload": payload,
+    }
+    write_json_atomic(path, envelope)
+
+
+def parse_artifact(
+    text: str,
+    *,
+    format: str,
+    source: str = "<artifact>",
+    what: str = "artifact",
+    allow_bare: bool = False,
+) -> dict:
+    """Validate an artifact envelope and return its payload.
+
+    Checks, in order: the text parses as a JSON object, the envelope's
+    ``format`` marker matches ``format``, its ``version`` is readable by this
+    build, and the recorded SHA-256 matches the recomputed payload checksum.
+    ``allow_bare`` accepts a document without the envelope marker as a legacy
+    bare payload (the caller still version-gates it).  ``what`` and ``source``
+    only label error messages.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PersistenceError(
+            f"{what} {source} is not valid JSON (truncated or corrupt): {error}"
+        ) from error
+    if not isinstance(document, dict):
+        raise PersistenceError(
+            f"{what} {source} must hold a JSON object, got {type(document).__name__}"
+        )
+    if document.get("format") != format:
+        if allow_bare:
+            return document
+        raise PersistenceError(
+            f"{what} {source} has format marker {document.get('format')!r}; "
+            f"expected {format!r}"
+        )
+    check_payload_version(document, f"{what} {source}")
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise PersistenceError(f"{what} {source} envelope has no payload object")
+    expected = document.get("sha256")
+    actual = payload_checksum(payload)
+    if expected != actual:
+        raise PersistenceError(
+            f"{what} {source} failed its checksum "
+            f"(recorded {expected!r}, recomputed {actual!r}); the file is corrupt"
+        )
+    return payload
 
 
 # ------------------------------------------------------------ sequence models
@@ -403,14 +473,7 @@ class PipelineBundle:
         fsynced and moved into place with ``os.replace`` — a crash mid-save
         (or a concurrent save) can never leave a truncated artifact behind.
         """
-        payload = self.to_payload()
-        envelope = {
-            "format": ARTIFACT_FORMAT,
-            "version": _FORMAT_VERSION,
-            "sha256": payload_checksum(payload),
-            "payload": payload,
-        }
-        write_json_atomic(path, envelope)
+        write_artifact(path, self.to_payload(), format=ARTIFACT_FORMAT)
 
     @classmethod
     def load(cls, path: str | Path) -> "PipelineBundle":
@@ -433,30 +496,13 @@ class PipelineBundle:
         file reads can never pair one file's checksum with another's weights.
         ``source`` only labels error messages.
         """
-        try:
-            document = json.loads(text)
-        except json.JSONDecodeError as error:
-            raise PersistenceError(
-                f"bundle artifact {source} is not valid JSON (truncated or corrupt): {error}"
-            ) from error
-        if not isinstance(document, dict):
-            raise PersistenceError(
-                f"bundle artifact {source} must hold a JSON object, got {type(document).__name__}"
-            )
-        if document.get("format") == ARTIFACT_FORMAT:
-            _check_version(document, f"bundle artifact {source}")
-            payload = document.get("payload")
-            if not isinstance(payload, dict):
-                raise PersistenceError(f"bundle artifact {source} envelope has no payload object")
-            expected = document.get("sha256")
-            actual = payload_checksum(payload)
-            if expected != actual:
-                raise PersistenceError(
-                    f"bundle artifact {source} failed its checksum "
-                    f"(recorded {expected!r}, recomputed {actual!r}); the file is corrupt"
-                )
-        else:
-            payload = document  # legacy bare payload; still version-gated below
+        payload = parse_artifact(
+            text,
+            format=ARTIFACT_FORMAT,
+            source=source,
+            what="bundle artifact",
+            allow_bare=True,  # legacy bare payloads; still version-gated below
+        )
         return cls.from_payload(payload)
 
     # ------------------------------------------------------------- modelling

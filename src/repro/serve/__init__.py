@@ -12,7 +12,10 @@ which needs three things the library core deliberately does not provide:
   (one kernel call instead of one per request);
 * :mod:`repro.serve.service` / :mod:`repro.serve.http` -- the
   :class:`TaggingService` facade over both, and a stdlib-only threaded HTTP
-  server exposing tag / stats / reload endpoints.
+  server exposing tag / search / stats / reload endpoints;
+* :mod:`repro.serve.search` -- the :class:`SearchService` facade answering
+  ``POST /v1/search`` from a registry-managed, hot-swappable
+  :class:`~repro.index.RecipeIndex` artifact.
 
 Everything here is pure stdlib + the existing engine; there is no new
 dependency to deploy.
@@ -21,6 +24,7 @@ dependency to deploy.
 from repro.serve.http import TaggingHTTPServer, make_server
 from repro.serve.microbatch import MicrobatchQueue, QueueSaturatedError
 from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.serve.search import SearchService, index_registry
 from repro.serve.service import TaggingService
 
 __all__ = [
@@ -28,7 +32,9 @@ __all__ = [
     "ModelRecord",
     "ModelRegistry",
     "QueueSaturatedError",
+    "SearchService",
     "TaggingHTTPServer",
     "TaggingService",
+    "index_registry",
     "make_server",
 ]

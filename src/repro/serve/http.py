@@ -13,8 +13,12 @@ Endpoints:
   per-model decode/feature cache hit rates.
 * ``POST /v1/tag`` -- body ``{"section": "ingredient"|"instruction",
   "lines": [...]}``; responds with one ``{"tokens", "tags"}`` object per line.
-* ``POST /v1/reload`` -- hot-swap the serving bundle from its artifact path
-  (body ``{"force": true}`` to swap even when the file is unchanged).
+* ``POST /v1/search`` -- body ``{"query": "ingredient:tomato AND ...",
+  "limit": 10}``; answers from the serving recipe index (503 when the server
+  was started without one).
+* ``POST /v1/reload`` -- hot-swap the serving bundle (and index, when one is
+  configured) from its artifact path (body ``{"force": true}`` to swap even
+  when the file is unchanged).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import PersistenceError, ReproError
 from repro.serve.microbatch import QueueSaturatedError
+from repro.serve.search import SearchService
 from repro.serve.service import TaggingService
 
 __all__ = ["TaggingHTTPServer", "TaggingRequestHandler", "make_server"]
@@ -44,7 +49,10 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
             if self.path == "/healthz":
                 self._respond(200, self._handle_health())
             elif self.path == "/stats":
-                self._respond(200, self.server.service.stats())
+                document = self.server.service.stats()
+                if self.server.search is not None:
+                    document["index"] = self.server.search.stats()
+                self._respond(200, document)
             else:
                 self._respond(404, {"error": f"unknown path {self.path!r}"})
         except ReproError as error:
@@ -62,6 +70,14 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
             return
         if self.path == "/v1/tag":
             handler = self._handle_tag
+        elif self.path == "/v1/search":
+            if self.server.search is None:
+                self._respond(
+                    503,
+                    {"error": "no recipe index is configured; start the server with --index"},
+                )
+                return
+            handler = self._handle_search
         elif self.path == "/v1/reload":
             handler = self._handle_reload
         else:
@@ -82,7 +98,10 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
     # -------------------------------------------------------------- handlers
 
     def _handle_health(self) -> dict:
-        return {"status": "ok", "model": self.server.service.model_record().describe()}
+        document = {"status": "ok", "model": self.server.service.model_record().describe()}
+        if self.server.search is not None:
+            document["index"] = self.server.search.record().describe()
+        return document
 
     def _handle_tag(self, body: dict) -> dict:
         section = body.get("section", "instruction")
@@ -98,15 +117,45 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
             "results": results,
         }
 
+    def _handle_search(self, body: dict) -> dict:
+        limit = body.get("limit")
+        return self.server.search.search(body.get("query"), limit=limit)
+
     def _handle_reload(self, body: dict) -> dict:
+        force = bool(body.get("force", False))
         before = self.server.service.model_record().generation
-        record = self.server.service.reload(force=bool(body.get("force", False)))
-        return {"swapped": record.generation != before, "model": record.describe()}
+        record = self.server.service.reload(force=force)
+        document = {"swapped": record.generation != before, "model": record.describe()}
+        search = self.server.search
+        if search is not None:
+            index_before = search.record().generation
+            try:
+                index_record = search.reload(force=force)
+            except ReproError as error:
+                # The model swap above already happened; the client must not
+                # read the failure as "nothing changed".
+                raise type(error)(
+                    f"model reload succeeded (swapped={document['swapped']}, "
+                    f"generation {record.generation}) but index reload failed: {error}"
+                ) from error
+            document["index_swapped"] = index_record.generation != index_before
+            document["index"] = index_record.describe()
+        return document
 
     # -------------------------------------------------------------- plumbing
 
     def _read_json_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length else 0
+        except ValueError as error:
+            # The body length is unknowable, so the connection cannot be
+            # reused: the unread body would desync keep-alive framing.
+            self.close_connection = True
+            raise ReproError(f"invalid Content-Length header {raw_length!r}") from error
+        if length < 0:
+            self.close_connection = True
+            raise ReproError(f"invalid Content-Length header {raw_length!r}")
         if length > _MAX_BODY_BYTES:
             self.close_connection = True  # the unread body would desync keep-alive
             raise ReproError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
@@ -126,6 +175,10 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            # Tell keep-alive clients this socket is done (e.g. after a
+            # request whose body length was unreadable).
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(data)
 
@@ -144,19 +197,26 @@ class TaggingHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: TaggingService,
         *,
+        search: SearchService | None = None,
         verbose: bool = False,
     ) -> None:
         super().__init__(address, TaggingRequestHandler)
         self.service = service
+        self.search = search
         self.verbose = verbose
 
 
 def make_server(
     service: TaggingService,
     *,
+    search: SearchService | None = None,
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = False,
 ) -> TaggingHTTPServer:
-    """Build a ready-to-``serve_forever`` server (``port=0`` picks a free port)."""
-    return TaggingHTTPServer((host, port), service, verbose=verbose)
+    """Build a ready-to-``serve_forever`` server (``port=0`` picks a free port).
+
+    ``search`` enables ``POST /v1/search`` over a serving recipe index; left
+    ``None``, that endpoint answers 503.
+    """
+    return TaggingHTTPServer((host, port), service, search=search, verbose=verbose)

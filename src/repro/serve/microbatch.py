@@ -170,6 +170,18 @@ class MicrobatchQueue:
                 for _, future in requests:
                     future.set_exception(error)
                 continue
+            if len(results) != len(requests):
+                # A short list would strand the unmatched futures forever
+                # (their callers block until timeout); a long one would tag
+                # requests with the wrong results.  Fail the whole chunk.
+                mismatch = ReproError(
+                    f"tag_batch returned {len(results)} results for "
+                    f"{len(requests)} requests; every request in a flush must "
+                    "receive exactly one tag sequence"
+                )
+                for _, future in requests:
+                    future.set_exception(mismatch)
+                continue
             for (_, future), tags in zip(requests, results):
                 future.set_result(list(tags))
             with self._lock:
@@ -179,7 +191,7 @@ class MicrobatchQueue:
 
     # ----------------------------------------------------------------- admin
 
-    def stats(self) -> dict[str, float]:
+    def stats(self) -> dict[str, float | str]:
         """Coalescing counters: how many kernel calls the queue saved."""
         with self._lock:
             flushes = self._flushes_total

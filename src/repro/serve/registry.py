@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -37,7 +38,9 @@ class ModelRecord:
     Attributes:
         name: Registry key the bundle is served under.
         path: Artifact file the bundle was loaded from.
-        bundle: The warm, validated :class:`PipelineBundle`.
+        bundle: The warm, validated artifact — a :class:`PipelineBundle` under
+            the default loader, whatever the registry's loader returns
+            otherwise (e.g. a :class:`~repro.index.RecipeIndex`).
         sha256: SHA-256 of the artifact file bytes (not the payload checksum;
             this identifies the exact file that was loaded).
         size_bytes: Artifact file size.
@@ -71,11 +74,21 @@ def _fingerprint(path: Path) -> tuple[str, int]:
 
 
 class ModelRegistry:
-    """Thread-safe name -> :class:`ModelRecord` store with hot-swap reload."""
+    """Thread-safe name -> :class:`ModelRecord` store with hot-swap reload.
 
-    def __init__(self) -> None:
+    Args:
+        loader: ``(text, source) -> artifact`` callable that validates and
+            rebuilds the warm object from the artifact text.  Defaults to
+            :meth:`PipelineBundle.loads`; pass ``RecipeIndex.loads`` (via a
+            wrapper) to manage search indexes with the same hot-swap logic.
+    """
+
+    def __init__(self, *, loader: Callable[[str, str], object] | None = None) -> None:
         self._lock = threading.RLock()
         self._records: dict[str, ModelRecord] = {}
+        self._loader = loader or (
+            lambda text, source: PipelineBundle.loads(text, source=source)
+        )
 
     # ------------------------------------------------------------------ load
 
@@ -91,7 +104,7 @@ class ModelRegistry:
         # atomic re-save cannot pair one file's checksum with another's weights.
         data = path.read_bytes()
         sha256, size_bytes = hashlib.sha256(data).hexdigest(), len(data)
-        bundle = PipelineBundle.loads(data.decode("utf-8"), source=str(path))
+        bundle = self._loader(data.decode("utf-8"), str(path))
         with self._lock:
             previous = self._records.get(name)
             record = ModelRecord(

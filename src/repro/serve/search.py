@@ -1,0 +1,100 @@
+"""Registry-backed search facade over a hot-swappable recipe index.
+
+:class:`SearchService` is to ``POST /v1/search`` what
+:class:`~repro.serve.service.TaggingService` is to ``POST /v1/tag``: the
+front ends talk to it, and it resolves the serving artifact through a
+:class:`~repro.serve.registry.ModelRegistry` *per request*, so a hot-swap
+reload (new index artifact on disk) takes effect on the very next query
+without restarting the server.  The registry is constructed with
+``loader=RecipeIndex.loads``, which gives index artifacts the exact
+lifecycle model bundles have: checksum-validated loads, file-sha
+provenance, generation counters, swap-only-on-change reloads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import QueryError
+from repro.index import QueryEngine, RecipeIndex
+from repro.serve.registry import ModelRecord, ModelRegistry
+
+__all__ = ["SearchService", "index_registry"]
+
+
+def index_registry() -> ModelRegistry:
+    """A :class:`ModelRegistry` that loads :class:`RecipeIndex` artifacts."""
+    return ModelRegistry(loader=RecipeIndex.loads)
+
+
+class SearchService:
+    """Answer entity queries from a registry-managed :class:`RecipeIndex`.
+
+    Args:
+        registry: Registry holding the index (see :func:`index_registry`).
+        index: Registry name the serving index is registered under.
+        default_limit: Result cap applied when a request does not send its
+            own ``limit`` (``None`` disables the default cap).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        index: str = "default",
+        default_limit: int | None = 100,
+    ) -> None:
+        self._registry = registry
+        self._index_name = index
+        self._default_limit = default_limit
+        registry.get(index)  # fail fast if nothing is registered under `index`
+
+    @classmethod
+    def from_artifact(cls, path: str | Path, **options) -> "SearchService":
+        """Build a service over a fresh registry with one loaded artifact."""
+        registry = index_registry()
+        registry.load(path)
+        return cls(registry, **options)
+
+    # ---------------------------------------------------------------- public
+
+    def search(self, query: str, *, limit: int | None = None) -> dict:
+        """Evaluate ``query`` against the live index; returns a JSON-ready doc.
+
+        The result carries the total match count, the (possibly truncated)
+        matches with their spans, and the provenance of the index generation
+        that answered — so a client can tell mid-swap which artifact it hit.
+        """
+        if not isinstance(query, str) or not query.strip():
+            raise QueryError("request must carry 'query': a non-empty query string")
+        if limit is None:
+            limit = self._default_limit
+        elif not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
+            raise QueryError("'limit' must be a non-negative integer")
+        record = self.record()
+        engine = QueryEngine(record.bundle)
+        total, matches = engine.search(query, limit=limit)
+        return {
+            "query": query,
+            "total": total,
+            "returned": len(matches),
+            "index": {
+                "name": record.name,
+                "generation": record.generation,
+                "sha256": record.sha256,
+            },
+            "results": [match.to_dict() for match in matches],
+        }
+
+    def reload(self, *, force: bool = False) -> ModelRecord:
+        """Hot-swap the serving index from its artifact path (see registry)."""
+        return self._registry.reload(self._index_name, force=force)
+
+    def record(self) -> ModelRecord:
+        """Provenance of the currently serving index."""
+        return self._registry.get(self._index_name)
+
+    def stats(self) -> dict:
+        """Index provenance plus shape (doc/term/posting counts)."""
+        record = self.record()
+        return {**record.describe(), "index": record.bundle.stats()}

@@ -1,0 +1,205 @@
+"""Tests for entity extraction, the index builder and the index artifact."""
+
+import json
+
+import pytest
+
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.corpus.sink import write_structured_jsonl
+from repro.errors import PersistenceError, QueryError
+from repro.index import (
+    FIELDS,
+    INDEX_ARTIFACT_FORMAT,
+    IndexBuilder,
+    RecipeIndex,
+    extract_entities,
+)
+
+
+def _recipe(recipe_id="r1", title="Tomato Soup", names=("tomato", "onion"),
+            processes=("saute", "simmer"), utensils=("pan",)) -> StructuredRecipe:
+    return StructuredRecipe(
+        recipe_id=recipe_id,
+        title=title,
+        ingredients=tuple(
+            IngredientRecord(phrase=f"1 {name}", name=name) for name in names
+        ),
+        events=(
+            InstructionEvent(
+                step_index=0,
+                text="Saute it.",
+                processes=processes[:1],
+                ingredients=names[:1],
+                utensils=utensils,
+                relations=(RelationTuple(process=processes[0], ingredients=names[:1]),),
+            ),
+            InstructionEvent(
+                step_index=1,
+                text="Simmer it.",
+                processes=processes[1:],
+                ingredients=names[1:],
+            ),
+        ),
+    )
+
+
+class TestExtractEntities:
+    def test_every_field_is_present(self):
+        entities = extract_entities(_recipe())
+        assert set(entities) == set(FIELDS)
+
+    def test_ingredient_spans_cover_records_and_events(self):
+        entities = extract_entities(_recipe())
+        assert entities["ingredient"]["tomato"] == [["ingredients", 0], ["events", 0]]
+        assert entities["ingredient"]["onion"] == [["ingredients", 1], ["events", 1]]
+
+    def test_process_and_utensil_spans_point_at_events(self):
+        entities = extract_entities(_recipe())
+        assert entities["process"] == {"saute": [["events", 0]], "simmer": [["events", 1]]}
+        assert entities["utensil"] == {"pan": [["events", 0]]}
+
+    def test_title_is_indexed_whole_and_per_token(self):
+        entities = extract_entities(_recipe(title="Tomato Soup"))
+        assert "tomato soup" in entities["title"]
+        assert "tomato" in entities["title"]
+        assert "soup" in entities["title"]
+
+    def test_terms_are_normalized(self):
+        recipe = StructuredRecipe(
+            recipe_id="r",
+            title="",
+            ingredients=(IngredientRecord(phrase="Olive Oil", name="Olive  Oil"),),
+        )
+        assert "olive oil" in extract_entities(recipe)["ingredient"]
+
+    def test_nameless_records_and_empty_titles_are_not_indexed(self):
+        recipe = StructuredRecipe(
+            recipe_id="r",
+            title="",
+            ingredients=(IngredientRecord(phrase="---"),),
+        )
+        entities = extract_entities(recipe)
+        assert entities["ingredient"] == {}
+        assert entities["title"] == {}
+
+
+class TestIndexBuilder:
+    def test_doc_ids_follow_stream_order(self):
+        builder = IndexBuilder()
+        assert builder.add(_recipe("a")) == 0
+        assert builder.add(_recipe("b")) == 1
+        index = builder.build()
+        assert [doc["recipe_id"] for doc in index.docs] == ["a", "b"]
+
+    def test_posting_lists_are_sorted_with_aligned_spans(self):
+        builder = IndexBuilder()
+        builder.add_all([_recipe("a"), _recipe("b", names=("garlic",)), _recipe("c")])
+        index = builder.build()
+        posting = index.postings("ingredient", "tomato")
+        assert posting.ids == [0, 2]
+        assert posting.spans == [
+            [["ingredients", 0], ["events", 0]],
+            [["ingredients", 0], ["events", 0]],
+        ]
+
+    def test_postings_lookup_normalizes_the_term(self):
+        index = IndexBuilder()
+        index.add(_recipe())
+        built = index.build()
+        assert built.postings("ingredient", "  Tomato ").ids == [0]
+        assert built.postings("ingredient", "nope") is None
+
+    def test_unknown_field_raises(self):
+        index = IndexBuilder()
+        index.add(_recipe())
+        with pytest.raises(QueryError, match="unknown query field"):
+            index.build().postings("cuisine", "thai")
+
+    def test_builder_is_consumed_by_build(self):
+        from repro.errors import ConfigurationError
+
+        builder = IndexBuilder()
+        builder.add(_recipe("a"))
+        index = builder.build()
+        with pytest.raises(ConfigurationError, match="already built"):
+            builder.add(_recipe("b"))
+        assert index.doc_count == 1  # the frozen index never saw "b"
+
+    def test_build_from_jsonl_matches_in_memory_build(self, tmp_path):
+        recipes = [_recipe("a"), _recipe("b", names=("garlic",), title="Garlic Dip")]
+        path = tmp_path / "structured.jsonl"
+        write_structured_jsonl(path, recipes)
+        streamed = IndexBuilder.build_from_jsonl(path)
+        builder = IndexBuilder()
+        builder.add_all(recipes)
+        in_memory = builder.build(source=str(path))
+        assert streamed.to_payload() == in_memory.to_payload()
+        assert streamed.source == str(path)
+
+    def test_stats_counts_docs_terms_and_postings(self):
+        builder = IndexBuilder()
+        builder.add_all([_recipe("a"), _recipe("b")])
+        stats = builder.build(source="here").stats()
+        assert stats["documents"] == 2
+        assert stats["source"] == "here"
+        assert stats["terms"]["ingredient"] == 2
+        assert stats["postings"] > 0
+
+
+class TestIndexArtifact:
+    @pytest.fixture()
+    def index(self):
+        builder = IndexBuilder()
+        builder.add_all([_recipe("a"), _recipe("b", names=("garlic",))])
+        return builder.build(source="unit-test")
+
+    def test_save_writes_the_checksummed_envelope(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        document = json.loads(path.read_text())
+        assert document["format"] == INDEX_ARTIFACT_FORMAT
+        assert set(document) == {"format", "version", "sha256", "payload"}
+
+    def test_round_trip_preserves_postings_and_docs(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = RecipeIndex.load(path)
+        assert loaded.to_payload() == index.to_payload()
+        assert loaded.doc_count == 2
+        assert loaded.postings("ingredient", "tomato").ids == [0]
+
+    def test_corrupt_artifact_fails_its_checksum(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        document = json.loads(path.read_text())
+        document["payload"]["docs"][0]["recipe_id"] = "tampered"
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="checksum"):
+            RecipeIndex.load(path)
+
+    def test_wrong_format_marker_is_rejected(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        document = json.loads(path.read_text())
+        document["format"] = "repro-pipeline-bundle"
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="format marker"):
+            RecipeIndex.load(path)
+
+    def test_version_mismatch_is_rejected(self, index, tmp_path):
+        payload = index.to_payload()
+        payload["version"] = 99
+        with pytest.raises(PersistenceError, match="version 99"):
+            RecipeIndex.from_payload(payload)
+
+    def test_truncated_artifact_is_rejected(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        path.write_text(path.read_text()[:50])
+        with pytest.raises(PersistenceError, match="truncated or corrupt"):
+            RecipeIndex.load(path)

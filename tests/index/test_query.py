@@ -1,0 +1,211 @@
+"""Tests for the query language, the engine and the brute-force matcher."""
+
+import pytest
+
+from repro.core.recipe_model import IngredientRecord, InstructionEvent, StructuredRecipe
+from repro.errors import QueryError
+from repro.index import (
+    And,
+    IndexBuilder,
+    Not,
+    Or,
+    QueryEngine,
+    Term,
+    matches_recipe,
+    parse_query,
+    render_query,
+    scan_recipes,
+)
+from repro.index.query import difference_sorted, intersect_sorted, union_sorted
+
+
+def _recipe(recipe_id, *, names=(), processes=(), utensils=(), title=""):
+    return StructuredRecipe(
+        recipe_id=recipe_id,
+        title=title,
+        ingredients=tuple(IngredientRecord(phrase=n, name=n) for n in names),
+        events=(
+            InstructionEvent(
+                step_index=0,
+                text="Do it.",
+                processes=tuple(processes),
+                ingredients=tuple(names),
+                utensils=tuple(utensils),
+            ),
+        ),
+    )
+
+
+#: Fixed corpus with known matches for every operator combination.
+RECIPES = [
+    _recipe("r0", names=("tomato", "basil"), processes=("saute",), utensils=("pan",)),
+    _recipe("r1", names=("tomato", "garlic"), processes=("saute",)),
+    _recipe("r2", names=("garlic",), processes=("roast",), utensils=("pan",)),
+    _recipe("r3", names=("basil", "olive oil"), processes=("mix",), title="Basil Oil"),
+    _recipe("r4", names=(), processes=("boil",)),
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    builder = IndexBuilder()
+    builder.add_all(RECIPES)
+    return QueryEngine(builder.build())
+
+
+class TestParser:
+    def test_single_term(self):
+        assert parse_query("ingredient:tomato") == Term("ingredient", "tomato")
+
+    def test_precedence_not_over_and_over_or(self):
+        node = parse_query("ingredient:a OR ingredient:b AND NOT process:c")
+        assert node == Or(
+            (
+                Term("ingredient", "a"),
+                And((Term("ingredient", "b"), Not(Term("process", "c")))),
+            )
+        )
+
+    def test_parentheses_group(self):
+        node = parse_query("(ingredient:a OR ingredient:b) AND process:c")
+        assert node == And(
+            (Or((Term("ingredient", "a"), Term("ingredient", "b"))), Term("process", "c"))
+        )
+
+    def test_quoted_values_carry_spaces(self):
+        assert parse_query('ingredient:"olive oil"') == Term("ingredient", "olive oil")
+
+    def test_keywords_are_case_insensitive(self):
+        assert parse_query("ingredient:a and not process:b") == And(
+            (Term("ingredient", "a"), Not(Term("process", "b")))
+        )
+
+    def test_double_negation(self):
+        assert parse_query("NOT NOT ingredient:a") == Not(Not(Term("ingredient", "a")))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "ingredient:a AND",
+            "AND ingredient:a",
+            "(ingredient:a",
+            "ingredient:a)",
+            "ingredient:",
+            "tomato",
+            "ingredient:a OR OR ingredient:b",
+            "NOT",
+        ],
+    )
+    def test_malformed_queries_raise(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(QueryError, match="unknown query field"):
+            parse_query("cuisine:thai")
+
+    def test_render_round_trips(self):
+        for text in [
+            "ingredient:tomato",
+            'ingredient:"olive oil" AND (process:mix OR process:boil)',
+            "NOT (ingredient:a OR NOT process:b) AND utensil:pan",
+            'ingredient:foo"bar',  # embedded quote, no whitespace: legal term
+        ]:
+            node = parse_query(text)
+            assert parse_query(render_query(node)) == node
+
+    def test_unrenderable_values_raise_instead_of_round_tripping_wrong(self):
+        with pytest.raises(QueryError, match="cannot render"):
+            render_query(Term("ingredient", 'olive "extra" oil'))
+        with pytest.raises(QueryError, match="cannot render"):
+            render_query(Term("ingredient", '"quoted"'))
+
+
+class TestSortedAlgebra:
+    def test_intersect(self):
+        assert intersect_sorted([1, 3, 5, 7], [2, 3, 7, 9]) == [3, 7]
+        assert intersect_sorted([], [1]) == []
+
+    def test_union(self):
+        assert union_sorted([1, 3], [2, 3, 4]) == [1, 2, 3, 4]
+        assert union_sorted([], [1]) == [1]
+
+    def test_difference(self):
+        assert difference_sorted([1, 2, 3, 4], [2, 4]) == [1, 3]
+        assert difference_sorted([1, 2], []) == [1, 2]
+
+
+class TestEngine:
+    @pytest.mark.parametrize(
+        ("query", "expected"),
+        [
+            ("ingredient:tomato", [0, 1]),
+            ("ingredient:tomato AND process:saute", [0, 1]),
+            ("ingredient:tomato AND NOT ingredient:garlic", [0]),
+            ("ingredient:garlic OR process:mix", [1, 2, 3]),
+            ("NOT ingredient:tomato", [2, 3, 4]),
+            ("utensil:pan AND NOT process:roast", [0]),
+            ('ingredient:"olive oil"', [3]),
+            ("title:basil", [3]),
+            ("process:saute AND process:roast", []),
+            ("ingredient:unseen", []),
+            ("NOT NOT process:boil", [4]),
+            ("(ingredient:basil OR ingredient:garlic) AND NOT utensil:pan", [1, 3]),
+        ],
+    )
+    def test_known_corpus_answers(self, engine, query, expected):
+        assert engine.doc_ids(query) == expected
+
+    def test_execute_returns_matches_with_spans(self, engine):
+        matches = engine.execute("ingredient:tomato AND process:saute")
+        assert [match.recipe_id for match in matches] == ["r0", "r1"]
+        assert matches[0].spans["ingredient:tomato"] == [["ingredients", 0], ["events", 0]]
+        assert matches[0].spans["process:saute"] == [["events", 0]]
+
+    def test_negated_terms_contribute_no_spans(self, engine):
+        match = engine.execute("ingredient:tomato AND NOT ingredient:garlic")[0]
+        assert set(match.spans) == {"ingredient:tomato"}
+
+    def test_limit_truncates_and_search_reports_the_total(self, engine):
+        assert [m.doc_id for m in engine.execute("ingredient:tomato", limit=1)] == [0]
+        total, matches = engine.search("ingredient:tomato", limit=1)
+        assert total == 2
+        assert len(matches) == 1
+        with pytest.raises(QueryError, match="negative"):
+            engine.execute("ingredient:tomato", limit=-1)
+
+    def test_ast_and_string_queries_agree(self, engine):
+        node = And((Term("ingredient", "tomato"), Not(Term("ingredient", "garlic"))))
+        assert engine.execute(node) == engine.execute(
+            "ingredient:tomato AND NOT ingredient:garlic"
+        )
+
+    def test_non_query_input_raises(self, engine):
+        with pytest.raises(QueryError, match="not a query"):
+            engine.execute(42)
+
+
+class TestBruteForceParity:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "ingredient:tomato",
+            "ingredient:tomato AND process:saute AND NOT ingredient:garlic",
+            "(ingredient:basil OR ingredient:garlic) AND NOT utensil:pan",
+            "NOT ingredient:tomato",
+            'title:"basil oil" OR process:boil',
+        ],
+    )
+    def test_scan_equals_engine(self, engine, query):
+        assert scan_recipes(RECIPES, query) == engine.execute(query)
+
+    def test_matches_recipe_is_the_scan_predicate(self):
+        query = "ingredient:tomato AND NOT ingredient:garlic"
+        expected = [matches_recipe(query, recipe) for recipe in RECIPES]
+        scanned = {match.doc_id for match in scan_recipes(RECIPES, query)}
+        assert [index in scanned for index in range(len(RECIPES))] == expected
+
+    def test_scan_limit_stops_early(self):
+        assert [m.doc_id for m in scan_recipes(RECIPES, "process:saute", limit=1)] == [0]

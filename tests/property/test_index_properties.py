@@ -1,0 +1,110 @@
+"""Property test: indexed query answers equal brute-force scans, always.
+
+Random structured corpora (random entity draws from small vocabularies, so
+term overlap is dense) and random query trees (every operator, nested to
+random depth) are thrown at both evaluation paths:
+
+* ``QueryEngine`` over an ``IndexBuilder`` index **round-tripped through its
+  JSONL-backed artifact** (build -> save -> load), and
+* ``scan_structured_jsonl`` brute-forcing the same JSONL file,
+
+and the results — doc ids, recipe ids, titles *and* matched spans — must be
+element-wise identical.  The parser is exercised on the same trees via
+``render_query`` round trips.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.recipe_model import IngredientRecord, InstructionEvent, StructuredRecipe
+from repro.corpus.sink import write_structured_jsonl
+from repro.index import (
+    And,
+    IndexBuilder,
+    Not,
+    Or,
+    QueryEngine,
+    RecipeIndex,
+    Term,
+    parse_query,
+    render_query,
+    scan_structured_jsonl,
+)
+
+INGREDIENTS = ["tomato", "garlic", "onion", "basil", "olive oil", "salt", "rice"]
+PROCESSES = ["saute", "mix", "boil", "roast", "simmer"]
+UTENSILS = ["pan", "bowl", "skillet"]
+TITLES = ["Tomato Soup", "Garlic Rice", "Basil Salad", "Onion Roast", ""]
+
+_VOCAB = {"ingredient": INGREDIENTS, "process": PROCESSES, "utensil": UTENSILS,
+          "title": ["tomato", "soup", "garlic rice", "salad", "unseen term"]}
+
+
+def _random_recipe(rng: random.Random, recipe_id: str) -> StructuredRecipe:
+    ingredients = tuple(
+        IngredientRecord(phrase=f"1 {name}", name=name if rng.random() < 0.9 else "")
+        for name in rng.sample(INGREDIENTS, rng.randint(0, 4))
+    )
+    events = tuple(
+        InstructionEvent(
+            step_index=step,
+            text="Step text.",
+            processes=tuple(rng.sample(PROCESSES, rng.randint(0, 2))),
+            ingredients=tuple(rng.sample(INGREDIENTS, rng.randint(0, 2))),
+            utensils=tuple(rng.sample(UTENSILS, rng.randint(0, 1))),
+        )
+        for step in range(rng.randint(0, 3))
+    )
+    return StructuredRecipe(
+        recipe_id=recipe_id,
+        title=rng.choice(TITLES),
+        ingredients=ingredients,
+        events=events,
+    )
+
+
+def _random_query(rng: random.Random, depth: int = 0):
+    roll = rng.random()
+    if depth >= 3 or roll < 0.45:
+        field = rng.choice(list(_VOCAB))
+        return Term(field, rng.choice(_VOCAB[field]))
+    if roll < 0.65:
+        return Not(_random_query(rng, depth + 1))
+    children = tuple(
+        _random_query(rng, depth + 1) for _ in range(rng.randint(2, 3))
+    )
+    return And(children) if roll < 0.85 else Or(children)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_indexed_results_equal_brute_force_scan(seed, tmp_path):
+    rng = random.Random(seed)
+    recipes = [_random_recipe(rng, f"r{i}") for i in range(rng.randint(1, 40))]
+    path = tmp_path / "structured.jsonl"
+    write_structured_jsonl(path, recipes)
+
+    index = IndexBuilder.build_from_jsonl(path)
+    artifact = tmp_path / "index.json"
+    index.save(artifact)
+    engine = QueryEngine(RecipeIndex.load(artifact))
+
+    for _ in range(25):
+        query = _random_query(rng)
+        indexed = engine.execute(query)
+        scanned = scan_structured_jsonl(path, query)
+        assert indexed == scanned, (
+            f"seed={seed} query={render_query(query)}: "
+            f"indexed {[m.doc_id for m in indexed]} != "
+            f"scanned {[m.doc_id for m in scanned]}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_render_parse_round_trip_on_random_trees(seed):
+    rng = random.Random(1000 + seed)
+    for _ in range(50):
+        query = _random_query(rng)
+        assert parse_query(render_query(query)) == query

@@ -11,6 +11,8 @@ import threading
 
 import pytest
 
+from repro.corpus.sink import write_structured_jsonl
+from repro.index import IndexBuilder
 from repro.serve import ModelRegistry, TaggingService, make_server
 
 
@@ -19,6 +21,22 @@ def bundle_path(modeler, tmp_path_factory):
     """A saved bundle artifact for the fitted tiny-scale modeler."""
     path = tmp_path_factory.mktemp("serve") / "bundle.json"
     modeler.save_bundle(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def structured_path(modeler, corpus, tmp_path_factory):
+    """A structured-recipe JSONL of the tiny corpus (the index's input)."""
+    path = tmp_path_factory.mktemp("serve-index") / "structured.jsonl"
+    write_structured_jsonl(path, (modeler.model_recipe(recipe) for recipe in corpus))
+    return path
+
+
+@pytest.fixture(scope="session")
+def index_path(structured_path, tmp_path_factory):
+    """A saved recipe-index artifact over the structured tiny corpus."""
+    path = tmp_path_factory.mktemp("serve-index") / "index.json"
+    IndexBuilder.build_from_jsonl(structured_path).save(path)
     return path
 
 
@@ -41,6 +59,27 @@ def service(registry):
 def server(service):
     """A running HTTP server on an OS-assigned port (stopped after the test)."""
     server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+@pytest.fixture()
+def search_service(index_path):
+    """A search service over a fresh registry with the index loaded."""
+    from repro.serve import SearchService
+
+    return SearchService.from_artifact(index_path)
+
+
+@pytest.fixture()
+def search_server(service, search_service):
+    """A running HTTP server with POST /v1/search enabled."""
+    server = make_server(service, search=search_service, port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:

@@ -3,6 +3,7 @@
 import http.client
 import json
 import shutil
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -89,12 +90,16 @@ class TestErrorHandling:
         assert _request(server, "/nope")[0] == 404
         assert _request(server, "/v1/nope", body={})[0] == 404
 
-    def test_unknown_section_is_400(self, server):
+    def test_unknown_section_is_400_and_lists_the_valid_sections(self, server):
         status, document = _request(
             server, "/v1/tag", body={"section": "dessert", "lines": ["x"]}
         )
         assert status == 400
         assert "unknown recipe section" in document["error"]
+        assert "'dessert'" in document["error"]
+        # The error must tell the caller what it can send instead.
+        assert "ingredient" in document["error"]
+        assert "instruction" in document["error"]
 
     def test_malformed_json_is_400(self, server):
         status, document = _request(server, "/v1/tag", raw_body=b"{not json")
@@ -106,6 +111,40 @@ class TestErrorHandling:
         status, document = _request(server, "/v1/tag", body=body)
         assert status == 400
         assert "lines" in document["error"]
+
+    @pytest.mark.parametrize("bad_length", ["banana", "-5", "1e3", "0x10"])
+    def test_malformed_content_length_is_400_not_a_dropped_connection(
+        self, server, bad_length
+    ):
+        """`int("banana")` used to raise outside the handled exception set,
+        killing the connection with no response at all.  The client must get
+        a 400, and the connection must close (the body length is unknowable,
+        so keep-alive framing cannot be trusted)."""
+        with socket.create_connection(
+            ("127.0.0.1", server.server_address[1]), timeout=10
+        ) as connection:
+            connection.sendall(
+                (
+                    f"POST /v1/tag HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {bad_length}\r\n\r\n"
+                ).encode("ascii")
+            )
+            response = b""
+            while b"\r\n\r\n" not in response:
+                chunk = connection.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+            head, _, body = response.partition(b"\r\n\r\n")
+            assert b" 400 " in head.splitlines()[0]
+            assert b"Connection: close" in head
+            # Read to EOF: the server must actually close the socket.
+            while True:
+                chunk = connection.recv(65536)
+                body += chunk
+                if not chunk:
+                    break
+            assert "Content-Length" in json.loads(body)["error"]
 
     def test_keep_alive_connection_survives_a_404_with_body(self, server):
         """An unread POST body must not desync the persistent connection."""

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.errors import ConfigurationError, DataError
+from repro.errors import ConfigurationError, DataError, ReproError
 from repro.serve import MicrobatchQueue, QueueSaturatedError
 
 
@@ -76,6 +76,34 @@ class TestFailureModes:
             for future in futures:
                 with pytest.raises(DataError, match="decode blew up"):
                     future.result(timeout=10)
+
+    @pytest.mark.parametrize("extra", [-1, 1], ids=["short", "long"])
+    def test_lying_tag_batch_fails_every_future_instead_of_hanging(self, extra):
+        """A result list that does not match the request count must not
+        strand futures forever (short) or mis-assign results (long)."""
+
+        def liar(token_sequences):
+            results = [[token.upper() for token in tokens] for tokens in token_sequences]
+            return results[:extra] if extra < 0 else results + [["BOGUS"]]
+
+        with MicrobatchQueue(liar, max_delay_s=0.02) as queue:
+            futures = queue.submit_many([["a"], ["b"], ["c"]])
+            for future in futures:
+                with pytest.raises(ReproError, match="3 requests"):
+                    future.result(timeout=5)
+
+    def test_queue_survives_a_lying_flush(self):
+        state = {"lie": True}
+
+        def flaky(token_sequences):
+            results = [list(tokens) for tokens in token_sequences]
+            return results[:-1] if state["lie"] else results
+
+        with MicrobatchQueue(flaky, max_delay_s=0.01) as queue:
+            with pytest.raises(ReproError, match="must receive exactly one"):
+                queue.tag(["a"], timeout=5)
+            state["lie"] = False
+            assert queue.tag(["b"], timeout=5) == ["b"]
 
     def test_queue_survives_a_failing_flush(self):
         state = {"fail": True}

@@ -1,0 +1,152 @@
+"""Tests for the search service and the HTTP /v1/search endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError, QueryError
+from repro.index import IndexBuilder, QueryEngine, RecipeIndex, scan_structured_jsonl
+from repro.serve import SearchService, index_registry
+
+
+def _request(server, path, *, body=None):
+    port = server.server_address[1]
+    url = f"http://127.0.0.1:{port}{path}"
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _a_matching_query(index_path) -> str:
+    """A process-term query guaranteed to match at least one indexed recipe."""
+    index = RecipeIndex.load(index_path)
+    term = max(index.terms("process"), key=lambda t: len(index.postings("process", t)))
+    return f'process:"{term}"'
+
+
+class TestSearchService:
+    def test_results_equal_a_brute_force_scan(self, search_service, index_path, structured_path):
+        query = _a_matching_query(index_path)
+        document = search_service.search(query)
+        expected = [m.to_dict() for m in scan_structured_jsonl(structured_path, query)]
+        assert document["results"] == expected
+        assert document["total"] == len(expected) > 0
+        assert document["returned"] == len(expected)
+        assert document["index"]["generation"] == 1
+
+    def test_limit_truncates_but_reports_the_full_total(self, search_service, index_path):
+        query = _a_matching_query(index_path)
+        full = search_service.search(query)
+        limited = search_service.search(query, limit=1)
+        assert limited["total"] == full["total"]
+        assert limited["returned"] == 1
+        assert limited["results"] == full["results"][:1]
+
+    @pytest.mark.parametrize("bad_limit", [-1, "ten", True])
+    def test_invalid_limit_raises(self, search_service, bad_limit):
+        with pytest.raises(QueryError, match="limit"):
+            search_service.search("process:mix", limit=bad_limit)
+
+    @pytest.mark.parametrize("bad_query", [None, "", "   ", 7])
+    def test_missing_query_raises(self, search_service, bad_query):
+        with pytest.raises(QueryError, match="query"):
+            search_service.search(bad_query)
+
+    def test_requires_a_registered_index(self):
+        with pytest.raises(ConfigurationError, match="no model named"):
+            SearchService(index_registry())
+
+    def test_stats_carry_provenance_and_index_shape(self, search_service):
+        stats = search_service.stats()
+        assert stats["generation"] == 1
+        assert stats["sha256"]
+        assert stats["index"]["documents"] > 0
+        assert set(stats["index"]["terms"]) == {"ingredient", "process", "utensil", "title"}
+
+    def test_reload_hot_swaps_a_changed_artifact(self, structured_path, tmp_path):
+        artifact = tmp_path / "index.json"
+        builder = IndexBuilder()
+        from repro.corpus.sink import iter_structured_jsonl
+
+        recipes = list(iter_structured_jsonl(structured_path))
+        builder.add_all(recipes[:3])
+        builder.build(source="small").save(artifact)
+        service = SearchService.from_artifact(artifact)
+        assert service.record().bundle.doc_count == 3
+
+        assert service.reload().generation == 1  # unchanged file: no swap
+
+        IndexBuilder.build_from_jsonl(structured_path).save(artifact)
+        record = service.reload()
+        assert record.generation == 2
+        assert record.bundle.doc_count == len(recipes)
+
+    def test_registry_rejects_a_bundle_artifact_as_an_index(self, bundle_path):
+        from repro.errors import PersistenceError
+
+        with pytest.raises(PersistenceError, match="format marker"):
+            index_registry().load(bundle_path)
+
+
+class TestSearchEndpoint:
+    def test_search_equals_a_brute_force_scan(
+        self, search_server, index_path, structured_path
+    ):
+        query = _a_matching_query(index_path)
+        status, document = _request(search_server, "/v1/search", body={"query": query})
+        assert status == 200
+        expected = [m.to_dict() for m in scan_structured_jsonl(structured_path, query)]
+        assert document["results"] == expected
+        assert document["total"] == len(expected)
+
+    def test_search_respects_the_limit(self, search_server, index_path):
+        query = _a_matching_query(index_path)
+        status, document = _request(
+            search_server, "/v1/search", body={"query": query, "limit": 1}
+        )
+        assert status == 200
+        assert document["returned"] == 1
+
+    def test_search_without_an_index_is_503(self, server):
+        status, document = _request(server, "/v1/search", body={"query": "process:mix"})
+        assert status == 503
+        assert "no recipe index" in document["error"]
+
+    @pytest.mark.parametrize(
+        "body", [{}, {"query": ""}, {"query": "not a term"}, {"query": "cuisine:thai"}]
+    )
+    def test_bad_search_requests_are_400(self, search_server, body):
+        status, document = _request(search_server, "/v1/search", body=body)
+        assert status == 400
+        assert "error" in document
+
+    def test_stats_and_healthz_include_the_index(self, search_server):
+        status, document = _request(search_server, "/stats")
+        assert status == 200
+        assert document["index"]["index"]["documents"] > 0
+        status, document = _request(search_server, "/healthz")
+        assert status == 200
+        assert document["index"]["generation"] == 1
+
+    def test_reload_reports_both_artifacts(self, search_server):
+        status, document = _request(search_server, "/v1/reload", body={})
+        assert status == 200
+        assert document["swapped"] is False
+        assert document["index_swapped"] is False
+        assert document["index"]["generation"] == 1
+
+    def test_forced_reload_swaps_the_index_too(self, search_server):
+        status, document = _request(
+            search_server, "/v1/reload", body={"force": True}
+        )
+        assert status == 200
+        assert document["index_swapped"] is True
+        assert document["index"]["generation"] == 2

@@ -154,6 +154,115 @@ class TestTagCorpusMode:
         assert "--section" in captured.err
 
 
+class TestIndexCommands:
+    @pytest.fixture(scope="class")
+    def structured_path(self, modeler, corpus, tmp_path_factory):
+        from repro.corpus import write_structured_jsonl
+
+        path = tmp_path_factory.mktemp("cli-index") / "structured.jsonl"
+        write_structured_jsonl(path, (modeler.model_recipe(recipe) for recipe in corpus))
+        return path
+
+    @pytest.fixture(scope="class")
+    def index_path(self, structured_path, tmp_path_factory):
+        from repro.index import IndexBuilder
+
+        path = tmp_path_factory.mktemp("cli-index") / "index.json"
+        IndexBuilder.build_from_jsonl(structured_path).save(path)
+        return path
+
+    @pytest.fixture(scope="class")
+    def query(self, index_path):
+        """A process query guaranteed to match at least one indexed recipe."""
+        from repro.index import RecipeIndex
+
+        index = RecipeIndex.load(index_path)
+        term = max(
+            index.terms("process"), key=lambda t: len(index.postings("process", t))
+        )
+        return f'process:"{term}" AND NOT ingredient:"no such thing"'
+
+    def test_build_prints_a_summary(self, structured_path, tmp_path, capsys):
+        output = tmp_path / "index.json"
+        exit_code = main(
+            ["index", "build", "--input", str(structured_path), "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        summary = json.loads(captured.out)
+        assert summary["output"] == str(output)
+        assert summary["indexed"]["documents"] > 0
+        assert output.exists()
+
+    def test_query_results_equal_a_brute_force_scan(
+        self, index_path, structured_path, query, capsys
+    ):
+        from repro.index import scan_structured_jsonl
+
+        exit_code = main(["index", "query", "--index", str(index_path), query])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        rows = [json.loads(line) for line in captured.out.strip().splitlines()]
+        expected = [m.to_dict() for m in scan_structured_jsonl(structured_path, query)]
+        assert rows == expected
+        assert len(expected) > 0
+        assert f"{len(expected)} matches" in captured.err
+
+    def test_scan_mode_prints_identical_results(
+        self, index_path, structured_path, query, capsys
+    ):
+        assert main(["index", "query", "--index", str(index_path), query]) == 0
+        indexed_out = capsys.readouterr().out
+        assert main(["index", "query", "--scan", str(structured_path), query]) == 0
+        scanned_out = capsys.readouterr().out
+        assert indexed_out == scanned_out
+
+    def test_limit_caps_the_output(self, index_path, query, capsys):
+        exit_code = main(
+            ["index", "query", "--index", str(index_path), "--limit", "1", query]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert len(captured.out.strip().splitlines()) == 1
+
+    def test_scan_mode_reports_the_true_total_under_a_limit(
+        self, index_path, structured_path, query, capsys
+    ):
+        def total_reported(argv) -> str:
+            assert main(argv) == 0
+            return capsys.readouterr().err.strip().split(" ")[0]
+
+        unlimited = total_reported(["index", "query", "--index", str(index_path), query])
+        indexed = total_reported(
+            ["index", "query", "--index", str(index_path), "--limit", "1", query]
+        )
+        scanned = total_reported(
+            ["index", "query", "--scan", str(structured_path), "--limit", "1", query]
+        )
+        # Both modes report the full match count, not the printed count.
+        assert indexed == scanned == unlimited
+
+    def test_exactly_one_source_is_required(self, index_path, structured_path, capsys):
+        assert main(["index", "query", "ingredient:salt"]) == 2
+        assert "exactly one of --index or --scan" in capsys.readouterr().err
+        assert main(
+            ["index", "query", "--index", str(index_path), "--scan",
+             str(structured_path), "ingredient:salt"]
+        ) == 2
+
+    def test_malformed_query_is_a_usage_error(self, index_path, capsys):
+        exit_code = main(["index", "query", "--index", str(index_path), "nonsense"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "malformed term" in captured.err
+
+    def test_serve_parser_accepts_an_index(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--bundle", "b.json", "--index", "i.json"]
+        )
+        assert arguments.index == "i.json"
+
+
 class TestMain:
     def test_main_runs_a_cheap_experiment(self, capsys):
         exit_code = main(["fig3", "--scale", "tiny", "--seed", "0"])

@@ -265,3 +265,50 @@ class TestArtifactHardening:
         path.write_text(json.dumps({"version": 1, "pos_tagger": {}}))
         with pytest.raises(PersistenceError, match="ingredient_ner"):
             PipelineBundle.load(path)
+
+
+class TestGenericArtifactHelpers:
+    """write_artifact / parse_artifact — the envelope shared by every kind."""
+
+    PAYLOAD = {"version": 1, "data": [1, 2, 3]}
+
+    def test_round_trip(self, tmp_path):
+        from repro.persistence import parse_artifact, write_artifact
+
+        path = tmp_path / "thing.json"
+        write_artifact(path, self.PAYLOAD, format="repro-test-artifact")
+        text = path.read_text()
+        payload = parse_artifact(text, format="repro-test-artifact", source=str(path))
+        assert payload == self.PAYLOAD
+
+    def test_format_marker_mismatch_rejected_unless_bare_allowed(self, tmp_path):
+        from repro.persistence import parse_artifact, write_artifact
+
+        path = tmp_path / "thing.json"
+        write_artifact(path, self.PAYLOAD, format="repro-test-artifact")
+        text = path.read_text()
+        with pytest.raises(PersistenceError, match="format marker"):
+            parse_artifact(text, format="repro-other-artifact")
+        # allow_bare treats the whole envelope as a legacy bare payload.
+        bare = parse_artifact(text, format="repro-other-artifact", allow_bare=True)
+        assert bare["payload"] == self.PAYLOAD
+
+    def test_checksum_and_version_gates(self, tmp_path):
+        from repro.persistence import parse_artifact, write_artifact
+
+        path = tmp_path / "thing.json"
+        write_artifact(path, self.PAYLOAD, format="repro-test-artifact")
+        document = json.loads(path.read_text())
+        document["payload"]["data"] = [9]
+        with pytest.raises(PersistenceError, match="checksum"):
+            parse_artifact(json.dumps(document), format="repro-test-artifact")
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        with pytest.raises(PersistenceError, match="version 99"):
+            parse_artifact(json.dumps(document), format="repro-test-artifact")
+
+    def test_error_messages_carry_the_source_label(self):
+        from repro.persistence import parse_artifact
+
+        with pytest.raises(PersistenceError, match="my-index thing.json"):
+            parse_artifact("{broken", format="x", source="thing.json", what="my-index")
