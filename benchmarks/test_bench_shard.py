@@ -1,0 +1,172 @@
+"""Sharded index perf smoke: parallel shard builds vs the serial path.
+
+Builds a corpus-scale structured JSONL (model-structured recipes replicated
+with distinct ids, so the doc-id hash spreads them over every shard), then
+builds the same ``N``-shard index twice through ``build_sharded_index``:
+
+* **serial** — ``workers=1``: the shard tasks run one after another in
+  process (the deterministic reference);
+* **parallel** — ``workers=N``: the same self-contained tasks spread over a
+  process pool via the corpus executor's ``ordered_parallel_map``.
+
+Both builds must produce payload-identical shards, the loaded sharded index
+must answer representative queries element-wise identically to a monolithic
+build, and the parallel build must clear a >=2x speedup floor on runners
+with at least 4 cores — that concurrency is the entire point of partitioning
+the build.  Incremental-update and compaction timings are recorded alongside
+for the perf trajectory.  Results land in ``benchmarks/BENCH_shard.json``;
+small runners record a guarded skip for the floor instead of failing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import write_structured_jsonl
+from repro.index import (
+    IndexBuilder,
+    QueryEngine,
+    ShardedRecipeIndex,
+    add_jsonl,
+    build_sharded_index,
+    merge_shards,
+)
+
+from conftest import emit
+
+RESULT_PATH = Path(__file__).parent / "BENCH_shard.json"
+MIN_SPEEDUP = 2.0
+NUM_SHARDS = 4
+WORKERS = 4
+MIN_CORES = 4
+#: Recipes structured with the fitted model; the corpus is COPIES replicas.
+STRUCTURE_HEAD = 40
+COPIES = 50
+#: Below this much serial build time the ratio is noise: record, don't assert.
+MIN_MEASURABLE_SERIAL_S = 0.5
+
+
+@pytest.fixture(scope="module")
+def structured_corpus_path(modeler, corpora, tmp_path_factory):
+    """Corpus-scale structured JSONL: model output replicated with fresh ids."""
+    structured = [
+        modeler.model_recipe(recipe)
+        for recipe in corpora.combined.recipes[:STRUCTURE_HEAD]
+    ]
+    documents = (
+        dataclasses.replace(recipe, recipe_id=f"{recipe.recipe_id}-c{copy}")
+        for copy in range(COPIES)
+        for recipe in structured
+    )
+    path = tmp_path_factory.mktemp("bench-shard") / "structured.jsonl"
+    write_structured_jsonl(path, documents)
+    return path
+
+
+def _probe_queries(index) -> list[str]:
+    def top(field: str, rank: int = 0) -> str:
+        terms = sorted(
+            index.terms(field),
+            key=lambda term: -len(index.postings(field, term)),
+        )
+        term = terms[min(rank, len(terms) - 1)]
+        return f'{field}:"{term}"' if " " in term else f"{field}:{term}"
+
+    ingredient, other = top("ingredient"), top("ingredient", rank=1)
+    process = top("process")
+    return [
+        ingredient,
+        f"{ingredient} AND {process}",
+        f"({ingredient} OR {other}) AND NOT {process}",
+    ]
+
+
+def test_bench_shard(structured_corpus_path, tmp_path):
+    # ---- the serial reference build (same tasks, one after another).
+    started = time.perf_counter()
+    build_sharded_index(
+        structured_corpus_path,
+        tmp_path / "serial.json",
+        num_shards=NUM_SHARDS,
+        workers=1,
+    )
+    serial_s = time.perf_counter() - started
+
+    # ---- the parallel build of the same shards.
+    started = time.perf_counter()
+    build_sharded_index(
+        structured_corpus_path,
+        tmp_path / "parallel.json",
+        num_shards=NUM_SHARDS,
+        workers=WORKERS,
+    )
+    parallel_s = time.perf_counter() - started
+
+    # ---- equivalence: parallel == serial, shard by shard ...
+    serial_index = ShardedRecipeIndex.load(tmp_path / "serial.json")
+    parallel_index = ShardedRecipeIndex.load(tmp_path / "parallel.json")
+    for left, right in zip(serial_index.shards, parallel_index.shards):
+        left_payload, right_payload = left.to_payload(), right.to_payload()
+        assert left_payload["docs"] == right_payload["docs"]
+        assert left_payload["postings"] == right_payload["postings"]
+
+    # ---- ... and sharded == monolithic on representative queries.
+    monolithic = QueryEngine(IndexBuilder.build_from_jsonl(structured_corpus_path))
+    sharded = QueryEngine(parallel_index)
+    queries = _probe_queries(monolithic.index)
+    for query in queries:
+        assert sharded.execute(query) == monolithic.execute(query), (
+            f"sharded vs monolithic mismatch for {query!r}"
+        )
+
+    # ---- incremental update + compaction timings (recorded, not asserted).
+    started = time.perf_counter()
+    add_jsonl(tmp_path / "parallel.json", structured_corpus_path)
+    update_s = time.perf_counter() - started
+    started = time.perf_counter()
+    merge_shards(
+        ShardedRecipeIndex.load(tmp_path / "parallel.json"),
+        num_shards=NUM_SHARDS,
+        manifest_path=tmp_path / "parallel.json",
+    )
+    merge_s = time.perf_counter() - started
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    cores = os.cpu_count() or 1
+    floor_asserted = cores >= MIN_CORES and serial_s >= MIN_MEASURABLE_SERIAL_S
+    report = {
+        "documents": serial_index.doc_count,
+        "num_shards": NUM_SHARDS,
+        "workers": WORKERS,
+        "cores": cores,
+        "serial_build_s": round(serial_s, 3),
+        "parallel_build_s": round(parallel_s, 3),
+        "update_s": round(update_s, 3),
+        "merge_s": round(merge_s, 3),
+        "queries": queries,
+        "identical_to_serial_and_monolithic": True,
+        "speedup": round(speedup, 2),
+        "floor": MIN_SPEEDUP,
+        "floor_asserted": floor_asserted,
+    }
+    if not floor_asserted:
+        report["skipped"] = (
+            f"runner has {cores} cores and the serial build took {serial_s:.3f}s "
+            f"(need >= {MIN_CORES} cores and >= {MIN_MEASURABLE_SERIAL_S}s to "
+            "assert the floor); speedup recorded but not asserted"
+        )
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit("SHARD PERF SMOKE (BENCH_shard.json)", json.dumps(report, indent=2))
+
+    if floor_asserted:
+        assert speedup >= MIN_SPEEDUP, (
+            f"parallel shard build speedup {speedup:.2f}x is below the "
+            f"{MIN_SPEEDUP}x floor ({NUM_SHARDS} shards, {WORKERS} workers, "
+            f"{serial_index.doc_count} docs)"
+        )

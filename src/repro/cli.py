@@ -9,9 +9,14 @@ Usage::
     python -m repro tag --bundle bundle.json --input corpus.jsonl \
         --output structured.jsonl --workers 4
     python -m repro index build --input structured.jsonl --output index.json
+    python -m repro index build --input structured.jsonl --output manifest.json \
+        --shards 4 --workers 4
+    python -m repro index update --manifest manifest.json --input new.jsonl
+    python -m repro index merge --manifest manifest.json --output manifest.json \
+        --shards 2
     python -m repro index query --index index.json \
         'ingredient:tomato AND process:saute AND NOT ingredient:garlic'
-    python -m repro serve --bundle bundle.json --index index.json --port 8080
+    python -m repro serve --bundle bundle.json --index manifest.json --port 8080
 
 The experiment sub-commands print the same rows/series the paper reports.
 ``train`` fits the end-to-end pipeline on the simulated corpus and writes an
@@ -23,9 +28,14 @@ With ``--input``, ``tag`` instead streams a whole recipe-corpus JSONL through
 the :mod:`repro.corpus` substrate — budget-bounded chunks, optionally across
 ``--workers`` processes — writing one structured recipe per output line.
 ``index build`` turns that structured JSONL into a checksummed inverted-index
-artifact and ``index query`` answers boolean entity queries from it (or, with
+artifact — or, with ``--shards N``, into a shard manifest whose N
+hash-partitioned shards are built in parallel across ``--workers`` processes;
+``index update`` appends new recipes as a delta shard and ``index merge``
+compacts a manifest into fewer shards or one monolithic artifact.  ``index
+query`` answers boolean entity queries from either artifact kind (or, with
 ``--scan``, by brute-forcing the JSONL — same results, corpus-scan cost);
-``serve --index`` additionally exposes the index on ``POST /v1/search``.
+``serve --index`` additionally exposes the index (monolithic or manifest) on
+``POST /v1/search``, hot-swappable through ``POST /v1/reload``.
 """
 
 from __future__ import annotations
@@ -196,13 +206,71 @@ def build_parser() -> argparse.ArgumentParser:
     index_build.add_argument(
         "--output", required=True, help="path the index artifact is written to"
     )
+    index_build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "partition into N hash shards and write a shard manifest (shard "
+            "artifacts land next to it) instead of one monolithic index"
+        ),
+    )
+    index_build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for parallel shard builds with --shards (default: 1)",
+    )
     index_build.set_defaults(handler=_cmd_index_build)
+
+    index_merge = index_commands.add_parser(
+        "merge",
+        help=(
+            "compact a shard manifest: fold base + delta shards into fewer "
+            "shards (--shards) or one monolithic index artifact"
+        ),
+    )
+    index_merge.add_argument(
+        "--manifest", required=True, help="shard manifest built by `index build --shards`"
+    )
+    index_merge.add_argument(
+        "--output",
+        required=True,
+        help=(
+            "destination: a new shard manifest with --shards, otherwise a "
+            "monolithic index artifact"
+        ),
+    )
+    index_merge.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="target base shard count (omit to produce one monolithic index)",
+    )
+    index_merge.set_defaults(handler=_cmd_index_merge)
+
+    index_update = index_commands.add_parser(
+        "update",
+        help=(
+            "append a structured-recipe JSONL as a delta shard (incremental "
+            "update; base shards untouched, manifest generation bumped)"
+        ),
+    )
+    index_update.add_argument(
+        "--manifest", required=True, help="shard manifest to update in place"
+    )
+    index_update.add_argument(
+        "--input", required=True, help="structured-recipe JSONL to append"
+    )
+    index_update.set_defaults(handler=_cmd_index_update)
 
     index_query = index_commands.add_parser(
         "query", help="evaluate an entity query (JSON object per match on stdout)"
     )
     index_query.add_argument(
-        "--index", dest="index_path", help="index artifact built by `index build`"
+        "--index",
+        dest="index_path",
+        help="index artifact or shard manifest built by `index build`",
     )
     index_query.add_argument(
         "--scan",
@@ -229,7 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--bundle", required=True, help="bundle artifact to serve")
     serve.add_argument(
         "--index",
-        help="recipe-index artifact to serve on POST /v1/search (optional)",
+        help=(
+            "recipe-index artifact or shard manifest to serve on "
+            "POST /v1/search (optional)"
+        ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8080, help="bind port (default: 8080)")
@@ -337,17 +408,55 @@ def _cmd_tag_corpus(arguments: argparse.Namespace) -> int:
 
 
 def _cmd_index_build(arguments: argparse.Namespace) -> int:
-    from repro.index import IndexBuilder
+    from repro.index import IndexBuilder, build_sharded_index
 
+    if arguments.shards is None and arguments.workers != 1:
+        print(
+            "index build: --workers applies to sharded builds only; add --shards N",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.shards is not None:
+        manifest = build_sharded_index(
+            arguments.input,
+            arguments.output,
+            num_shards=arguments.shards,
+            workers=arguments.workers,
+        )
+        print(json.dumps({"indexed": manifest.describe(), "output": arguments.output}))
+        return 0
     index = IndexBuilder.build_from_jsonl(arguments.input)
     index.save(arguments.output)
     print(json.dumps({"indexed": index.stats(), "output": arguments.output}))
     return 0
 
 
+def _cmd_index_merge(arguments: argparse.Namespace) -> int:
+    from repro.index import ShardedRecipeIndex, merge_shards
+
+    sharded = ShardedRecipeIndex.load(arguments.manifest)
+    merged = merge_shards(
+        sharded, num_shards=arguments.shards, manifest_path=arguments.output
+    )
+    if isinstance(merged, ShardedRecipeIndex):
+        summary = merged.manifest.describe()
+    else:
+        summary = merged.stats()
+    print(json.dumps({"merged": summary, "output": arguments.output}))
+    return 0
+
+
+def _cmd_index_update(arguments: argparse.Namespace) -> int:
+    from repro.index import add_jsonl
+
+    manifest = add_jsonl(arguments.manifest, arguments.input)
+    print(json.dumps({"updated": manifest.describe(), "manifest": arguments.manifest}))
+    return 0
+
+
 def _cmd_index_query(arguments: argparse.Namespace) -> int:
     from repro.errors import QueryError
-    from repro.index import QueryEngine, RecipeIndex, scan_structured_jsonl
+    from repro.index import QueryEngine, load_index_path, scan_structured_jsonl
 
     if bool(arguments.index_path) == bool(arguments.scan):
         print(
@@ -357,7 +466,9 @@ def _cmd_index_query(arguments: argparse.Namespace) -> int:
         return 2
     try:
         if arguments.index_path:
-            engine = QueryEngine(RecipeIndex.load(arguments.index_path))
+            # Accepts a monolithic index artifact or a shard manifest; the
+            # engine answers identically from either.
+            engine = QueryEngine(load_index_path(arguments.index_path))
             total, matches = engine.search(arguments.query, limit=arguments.limit)
         else:
             # Scan the whole file so the reported total matches --index mode;
@@ -399,9 +510,11 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     )
     if search is not None:
         index_record = search.record()
+        shards = getattr(index_record.bundle, "shard_count", 1)
         print(
             f"serving index {index_record.path} (sha256 {index_record.sha256[:12]}, "
-            f"{index_record.bundle.doc_count} recipes) on POST /v1/search"
+            f"{index_record.bundle.doc_count} recipes, "
+            f"{shards} shard{'s' if shards != 1 else ''}) on POST /v1/search"
         )
     try:
         server.serve_forever()

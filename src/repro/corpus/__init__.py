@@ -19,7 +19,7 @@ Peak memory on this path is bounded by the chunk budgets, never by the
 corpus size.
 """
 
-from repro.corpus.executor import structure_chunks
+from repro.corpus.executor import ordered_parallel_map, structure_chunks
 from repro.corpus.planner import (
     DEFAULT_MAX_SENTENCES,
     DEFAULT_MAX_TOKENS,
@@ -43,6 +43,7 @@ __all__ = [
     "StructuredRecipeSink",
     "iter_jsonl",
     "iter_structured_jsonl",
+    "ordered_parallel_map",
     "plan_corpus_chunks",
     "structure_chunks",
     "write_structured_jsonl",

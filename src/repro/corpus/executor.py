@@ -1,28 +1,33 @@
-"""Ordered parallel execution of corpus-structuring chunks.
+"""Ordered parallel execution over a ``multiprocessing`` pool.
 
-``structure_chunks`` drives a ``multiprocessing`` pool whose workers each
-load the pipeline bundle **once** (in the pool initializer) and then
-structure whole chunks per task, so IPC carries recipes and results — never
-model weights — after start-up.  Results are yielded strictly in input
-order while later chunks keep decoding in the background, and the number of
-in-flight chunks is capped so neither the task queue nor the result buffer
-grows with corpus size.  ``workers <= 1`` falls back to a deterministic
-in-process loop over the same :class:`RecipeStructurer` code path, which is
-the reference the parallel path must match element-wise.
+:func:`ordered_parallel_map` is the shared machinery: submit one task per
+pool call, keep a bounded number in flight, and yield results strictly in
+task order while later tasks keep running in the background.  Two substrates
+ride on it:
+
+* ``structure_chunks`` (this module) structures corpus chunks with workers
+  that each load the pipeline bundle **once** (in the pool initializer), so
+  IPC carries recipes and results — never model weights — after start-up;
+* :func:`repro.index.sharding.build_sharded_index` builds index shards
+  concurrently, one self-contained task per shard.
+
+``workers <= 1`` always falls back to a deterministic in-process loop over
+the same per-task code path, which is the reference the parallel path must
+match element-wise.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from collections import deque
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.core.recipe_model import StructuredRecipe
 from repro.corpus.planner import RecipeWork
 from repro.corpus.structurer import RecipeStructurer
 from repro.errors import ConfigurationError
 
-__all__ = ["structure_chunks"]
+__all__ = ["ordered_parallel_map", "structure_chunks"]
 
 #: In-flight chunks beyond the worker count: enough to keep every worker
 #: busy while the consumer drains the head of the queue.
@@ -53,6 +58,59 @@ def _initialize_worker(bundle_path, bundle_payload, apply_dictionary: bool) -> N
         )
     except BaseException as error:  # noqa: BLE001 - must reach the parent process
         _worker_error = error
+
+
+def ordered_parallel_map(
+    function: Callable,
+    tasks: Iterable,
+    *,
+    workers: int = 1,
+    mp_context: multiprocessing.context.BaseContext | None = None,
+    max_inflight: int | None = None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    serial: Callable | None = None,
+) -> Iterator:
+    """Yield ``function(task)`` for every task, strictly in task order.
+
+    Args:
+        function: Top-level (picklable) callable applied to each task in a
+            worker process.
+        tasks: Task iterable (consumed lazily).
+        workers: Process count.  ``<= 1`` runs in-process and
+            deterministically; ``> 1`` spreads tasks over a pool.
+        mp_context: Multiprocessing context (defaults to the platform one).
+        max_inflight: Cap on tasks submitted but not yet yielded (default
+            ``workers + 2``); this is what bounds memory.
+        initializer / initargs: Pool initializer, run once per worker (e.g.
+            to load a model bundle before the first task arrives).
+        serial: Optional in-process replacement for ``function`` on the
+            ``workers <= 1`` path (when the worker function depends on
+            pool-initializer state that an in-process run sets up
+            differently).
+
+    Yields:
+        One result per task, in exact task order.
+    """
+    if max_inflight is not None and max_inflight < 1:
+        raise ConfigurationError("max_inflight must be at least 1")
+    if workers <= 1:
+        apply = serial if serial is not None else function
+        for task in tasks:
+            yield apply(task)
+        return
+    limit = max_inflight if max_inflight is not None else workers + _INFLIGHT_SLACK
+    context = mp_context or multiprocessing.get_context()
+    with context.Pool(
+        processes=workers, initializer=initializer, initargs=initargs
+    ) as pool:
+        pending: deque = deque()
+        for task in tasks:
+            pending.append(pool.apply_async(function, (task,)))
+            while len(pending) >= limit:
+                yield pending.popleft().get()
+        while pending:
+            yield pending.popleft().get()
 
 
 def _structure_chunk(works: list[RecipeWork]) -> list[StructuredRecipe]:
@@ -127,19 +185,14 @@ def structure_chunks(
             "parallel structuring needs a bundle_path or bundle_payload "
             "to initialize the worker processes"
         )
-    if max_inflight is not None and max_inflight < 1:
-        raise ConfigurationError("max_inflight must be at least 1")
-    limit = max_inflight if max_inflight is not None else workers + _INFLIGHT_SLACK
-    context = mp_context or multiprocessing.get_context()
-    with context.Pool(
-        processes=workers,
+    results = ordered_parallel_map(
+        _structure_chunk,
+        chunks,
+        workers=workers,
+        mp_context=mp_context,
+        max_inflight=max_inflight,
         initializer=_initialize_worker,
         initargs=(bundle_path, bundle_payload, apply_dictionary),
-    ) as pool:
-        pending: deque = deque()
-        for chunk in chunks:
-            pending.append(pool.apply_async(_structure_chunk, (chunk,)))
-            while len(pending) >= limit:
-                yield from pending.popleft().get()
-        while pending:
-            yield from pending.popleft().get()
+    )
+    for recipes in results:
+        yield from recipes

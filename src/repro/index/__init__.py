@@ -13,8 +13,17 @@ JSONL; this package makes that output queryable:
   :class:`QueryEngine` evaluating it with posting-list algebra, and a
   brute-force scan path that is element-wise identical by construction.
 
-Surfaced as ``repro index build`` / ``repro index query`` on the CLI and
-``POST /v1/search`` on the serving layer.
+* :mod:`repro.index.sharding` — the sharded substrate:
+  :func:`build_sharded_index` hash-partitions a corpus into N shards built
+  in parallel, a checksummed :class:`ShardManifest` artifact is the atomic
+  commit point, :func:`add_jsonl` appends incremental delta shards, and
+  :func:`merge_shards` compacts everything into fewer shards or one
+  monolithic index — all element-wise identical to the monolithic engine.
+
+Surfaced as ``repro index build [--shards N] [--workers W]`` /
+``repro index query`` / ``repro index merge`` / ``repro index update`` on
+the CLI and ``POST /v1/search`` on the serving layer (which hot-swaps whole
+manifests atomically).
 """
 
 from repro.index.builder import (
@@ -24,6 +33,18 @@ from repro.index.builder import (
     PostingList,
     RecipeIndex,
     extract_entities,
+)
+from repro.index.sharding import (
+    MANIFEST_ARTIFACT_FORMAT,
+    ShardEntry,
+    ShardManifest,
+    ShardedRecipeIndex,
+    add_jsonl,
+    build_sharded_index,
+    load_index_artifact,
+    load_index_path,
+    merge_shards,
+    shard_for,
 )
 from repro.index.query import (
     And,
@@ -44,17 +65,27 @@ __all__ = [
     "FIELDS",
     "INDEX_ARTIFACT_FORMAT",
     "IndexBuilder",
+    "MANIFEST_ARTIFACT_FORMAT",
     "Not",
     "Or",
     "PostingList",
     "QueryEngine",
     "QueryMatch",
     "RecipeIndex",
+    "ShardEntry",
+    "ShardManifest",
+    "ShardedRecipeIndex",
     "Term",
+    "add_jsonl",
+    "build_sharded_index",
     "extract_entities",
+    "load_index_artifact",
+    "load_index_path",
     "matches_recipe",
+    "merge_shards",
     "parse_query",
     "render_query",
     "scan_recipes",
     "scan_structured_jsonl",
+    "shard_for",
 ]

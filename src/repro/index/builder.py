@@ -222,15 +222,23 @@ class RecipeIndex:
         return cls.loads(path.read_text(encoding="utf-8"), source=str(path))
 
     @classmethod
-    def loads(cls, text: str, source: str = "<index>") -> "RecipeIndex":
+    def loads(
+        cls, text: str, source: str = "<index>", *, document: dict | None = None
+    ) -> "RecipeIndex":
         """Validate and rebuild an index from artifact text already in hand.
 
         The positional ``source`` (error label) matches the registry loader
         signature, so ``ModelRegistry(loader=RecipeIndex.loads)`` manages
         index artifacts with the same hot-swap lifecycle as model bundles.
+        ``document`` optionally forwards an existing ``json.loads(text)`` so
+        dispatching callers never parse a large artifact twice.
         """
         payload = parse_artifact(
-            text, format=INDEX_ARTIFACT_FORMAT, source=source, what="index artifact"
+            text,
+            format=INDEX_ARTIFACT_FORMAT,
+            source=source,
+            what="index artifact",
+            document=document,
         )
         return cls.from_payload(payload)
 
@@ -253,24 +261,34 @@ class IndexBuilder:
         self._docs: list[dict] = []
         self._built = False
 
-    def add(self, recipe: StructuredRecipe) -> int:
-        """Index one recipe; returns its doc id."""
+    def add(self, recipe: StructuredRecipe, *, doc_id: int | None = None) -> int:
+        """Index one recipe; returns its **local** doc id.
+
+        ``doc_id`` optionally records a *global* corpus position in the doc
+        metadata (``docs[local]["doc_id"]``).  Posting lists always use local
+        positions; the sharded substrate uses the recorded global ids to
+        merge per-shard answers back into corpus order.  Callers must add
+        recipes in increasing global order for the mapping to stay sorted.
+        """
         if self._built:
             raise ConfigurationError(
                 "this IndexBuilder already built its index; create a new "
                 "builder to index more recipes"
             )
-        doc_id = len(self._docs)
-        self._docs.append({"recipe_id": recipe.recipe_id, "title": recipe.title})
+        local_id = len(self._docs)
+        metadata = {"recipe_id": recipe.recipe_id, "title": recipe.title}
+        if doc_id is not None:
+            metadata["doc_id"] = doc_id
+        self._docs.append(metadata)
         for field, terms in extract_entities(recipe).items():
             table = self._postings[field]
             for term, spans in terms.items():
                 posting = table.get(term)
                 if posting is None:
                     posting = table[term] = PostingList(ids=[], spans=[])
-                posting.ids.append(doc_id)
+                posting.ids.append(local_id)
                 posting.spans.append(spans)
-        return doc_id
+        return local_id
 
     def add_all(self, recipes: Iterable[StructuredRecipe]) -> int:
         """Index a recipe stream; returns the number of docs added."""

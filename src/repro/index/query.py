@@ -24,15 +24,18 @@ tests and ``BENCH_index.json`` enforce exactly that.
 
 from __future__ import annotations
 
+import heapq
 import re
 from bisect import bisect_left
+from collections import deque
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.core.recipe_model import StructuredRecipe
 from repro.errors import QueryError
 from repro.index.builder import FIELDS, PostingList, RecipeIndex, extract_entities
+from repro.index.sharding import ShardedRecipeIndex
 from repro.text.normalize import normalize_phrase
 
 __all__ = [
@@ -353,37 +356,53 @@ def _resolve_terms(node, index: RecipeIndex, out: dict) -> None:
 
 
 class QueryEngine:
-    """Evaluates query trees against a :class:`RecipeIndex`.
+    """Evaluates query trees against a :class:`RecipeIndex` — or per shard.
 
     Evaluation is pure posting-list algebra: ``AND`` intersects its positive
     children smallest-list-first and subtracts its negated children,
     ``OR`` unions, and a bare ``NOT`` complements against the doc universe.
+
+    Over a :class:`~repro.index.sharding.ShardedRecipeIndex` the same
+    algebra runs once per shard (boolean entity queries are per-document
+    predicates, so a shard's answer over its own doc universe is exactly its
+    slice of the global answer) and the sorted per-shard global doc-id
+    streams are k-way merged back into corpus order.  Results — ids,
+    titles *and* matched spans — are element-wise identical to the
+    monolithic engine and to the brute-force scan; the property suite
+    enforces all three.  On both paths the matching doc ids are truncated to
+    ``limit`` *before* any span materialisation, so per-result work is
+    bounded by ``limit``, never by the match count.
     """
 
-    def __init__(self, index: RecipeIndex) -> None:
+    def __init__(self, index: "RecipeIndex | ShardedRecipeIndex") -> None:
         self._index = index
+        self._shard_engines = (
+            [QueryEngine(shard) for shard in index.shards]
+            if isinstance(index, ShardedRecipeIndex)
+            else None
+        )
 
     @property
-    def index(self) -> RecipeIndex:
+    def index(self) -> "RecipeIndex | ShardedRecipeIndex":
         return self._index
 
     def doc_ids(self, query) -> list[int]:
         """Sorted doc ids matching ``query`` (string or AST)."""
-        return self._eval(_as_node(query))
+        node = _as_node(query)
+        if self._shard_engines is not None:
+            return [global_id for global_id, _, _ in self._eval_sharded(node)]
+        return self._eval(node)
 
     def execute(self, query, *, limit: int | None = None) -> list[QueryMatch]:
         """Matching recipes in doc order, with matched spans per recipe."""
-        node = _as_node(query)
-        ids = self._eval(node)
-        if limit is not None:
-            if limit < 0:
-                raise QueryError("limit must not be negative")
-            ids = ids[:limit]
-        return self._materialize(node, ids)
+        return self.search(query, limit=limit)[1]
 
     def count(self, query) -> int:
         """Number of matching recipes."""
-        return len(self._eval(_as_node(query)))
+        node = _as_node(query)
+        if self._shard_engines is not None:
+            return sum(len(engine._eval(node)) for engine in self._shard_engines)
+        return len(self._eval(node))
 
     def search(self, query, *, limit: int | None = None) -> tuple[int, list[QueryMatch]]:
         """One evaluation returning ``(total, limited matches)``.
@@ -392,13 +411,53 @@ class QueryEngine:
         ``limit`` materialised results, without evaluating the query twice.
         """
         node = _as_node(query)
+        if limit is not None and limit < 0:
+            raise QueryError("limit must not be negative")
+        if self._shard_engines is not None:
+            selected = self._eval_sharded(node)
+            total = len(selected)
+            if limit is not None:
+                selected = selected[:limit]
+            return total, self._materialize_sharded(node, selected)
         ids = self._eval(node)
         total = len(ids)
         if limit is not None:
-            if limit < 0:
-                raise QueryError("limit must not be negative")
             ids = ids[:limit]
         return total, self._materialize(node, ids)
+
+    # ------------------------------------------------------- sharded internals
+
+    def _eval_sharded(self, node) -> list[tuple[int, int, int]]:
+        """Merged ``(global_id, shard, local_id)`` triples in corpus order."""
+        streams = []
+        for shard_index, engine in enumerate(self._shard_engines):
+            global_ids = self._index.global_ids(shard_index)
+            streams.append(
+                [
+                    (global_ids[local], shard_index, local)
+                    for local in engine._eval(node)
+                ]
+            )
+        if len(streams) == 1:
+            return streams[0]
+        # Streams are ascending in global id (and ids are disjoint across
+        # shards), so a k-way heap merge restores exact corpus order.
+        return list(heapq.merge(*streams))
+
+    def _materialize_sharded(
+        self, node, selected: list[tuple[int, int, int]]
+    ) -> list[QueryMatch]:
+        per_shard: dict[int, list[int]] = {}
+        for _, shard_index, local in selected:
+            per_shard.setdefault(shard_index, []).append(local)
+        materialized = {
+            shard_index: deque(self._shard_engines[shard_index]._materialize(node, locals_))
+            for shard_index, locals_ in per_shard.items()
+        }
+        return [
+            replace(materialized[shard_index].popleft(), doc_id=global_id)
+            for global_id, shard_index, _ in selected
+        ]
 
     # ------------------------------------------------------------- internals
 

@@ -1,0 +1,723 @@
+"""Sharded recipe indexes: parallel builds, merge/compaction, deltas.
+
+A monolithic :class:`~repro.index.builder.RecipeIndex` is rebuilt from
+scratch on every corpus change and is bounded by one process's memory.  This
+module partitions the index instead:
+
+* :func:`shard_for` assigns every document to one of ``N`` base shards by a
+  **stable hash of its recipe id** (SHA-256, so the assignment is identical
+  across processes, platforms and ``PYTHONHASHSEED`` values);
+* each shard is an ordinary :class:`RecipeIndex` whose doc metadata carries
+  the document's **global** corpus position (``docs[local]["doc_id"]``), so
+  per-shard answers can be merged back into exact corpus order;
+* a :class:`ShardManifest` artifact (the same checksummed
+  ``{format, version, sha256, payload}`` envelope as every other artifact)
+  lists the shard files with their byte-level SHA-256, doc counts, global
+  doc-id ranges and a monotonically increasing **generation** — the manifest
+  is the single atomic commit point: shard files are immutable once written
+  (new generations get new file names), so a reader of any manifest always
+  sees a consistent set of shards;
+* :func:`build_sharded_index` builds the base shards **in parallel** over
+  :func:`~repro.corpus.executor.ordered_parallel_map` (one self-contained
+  task per shard);
+* :func:`add_jsonl` appends new documents as a **delta shard** without
+  touching the base shards (an incremental update is one shard build plus a
+  manifest rewrite, not a full rebuild);
+* :func:`merge_shards` is the k-way merge/compaction path: fold every base
+  and delta shard into ``K`` fresh base shards, or into one monolithic
+  :class:`RecipeIndex` whose payload is identical to what a from-scratch
+  :class:`~repro.index.builder.IndexBuilder` build would have produced.
+
+Query evaluation over a :class:`ShardedRecipeIndex` lives in
+:class:`repro.index.query.QueryEngine`, which evaluates per shard and merges
+the sorted global doc-id streams — element-wise identical to the monolithic
+engine and to the brute-force scan, which the property suite enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.recipe_model import StructuredRecipe
+from repro.corpus.executor import ordered_parallel_map
+from repro.corpus.reader import iter_jsonl
+from repro.errors import ConfigurationError, DataError, PersistenceError
+from repro.index.builder import (
+    FIELDS,
+    IndexBuilder,
+    PostingList,
+    RecipeIndex,
+)
+from repro.persistence import (
+    FORMAT_VERSION,
+    check_payload_version,
+    file_sha256,
+    parse_artifact,
+    write_artifact,
+)
+
+__all__ = [
+    "MANIFEST_ARTIFACT_FORMAT",
+    "ShardEntry",
+    "ShardManifest",
+    "ShardedRecipeIndex",
+    "add_jsonl",
+    "build_sharded_index",
+    "load_index_artifact",
+    "load_index_path",
+    "merge_shards",
+    "shard_for",
+]
+
+#: ``format`` marker of the shard-manifest artifact envelope.
+MANIFEST_ARTIFACT_FORMAT = "repro-shard-manifest"
+
+_SHARD_KINDS = ("base", "delta")
+
+
+def shard_for(recipe_id: str, num_shards: int) -> int:
+    """The base shard owning ``recipe_id`` (stable across processes).
+
+    The assignment hashes the recipe id with SHA-256 rather than Python's
+    ``hash`` so it never depends on ``PYTHONHASHSEED`` — the same document
+    lands in the same shard no matter which process (or machine) built it.
+    """
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be at least 1")
+    digest = hashlib.sha256(str(recipe_id).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+# ------------------------------------------------------------------- manifest
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard file as recorded by the manifest.
+
+    Attributes:
+        path: Shard artifact file name, relative to the manifest's directory
+            (shards always live next to their manifest).
+        sha256: SHA-256 of the shard artifact's exact bytes; verified on
+            every manifest load, so a manifest can never be served with a
+            shard file it was not written against.
+        docs: Documents in the shard.
+        doc_ids: ``(lowest, highest)`` global doc id in the shard, or
+            ``None`` when the shard is empty.
+        kind: ``"base"`` (hash-partitioned) or ``"delta"`` (incremental
+            append, folded into base shards by compaction).
+    """
+
+    path: str
+    sha256: str
+    docs: int
+    doc_ids: tuple[int, int] | None
+    kind: str
+
+    def to_payload(self) -> dict:
+        return {
+            "path": self.path,
+            "sha256": self.sha256,
+            "docs": self.docs,
+            "doc_ids": list(self.doc_ids) if self.doc_ids is not None else None,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardEntry":
+        if not isinstance(payload, dict):
+            raise PersistenceError(
+                f"shard-manifest entry must be a JSON object, got {type(payload).__name__}"
+            )
+        for field in ("path", "sha256", "docs", "kind"):
+            if field not in payload:
+                raise PersistenceError(
+                    f"shard-manifest entry is missing its {field!r} field"
+                )
+        if payload["kind"] not in _SHARD_KINDS:
+            raise PersistenceError(
+                f"shard-manifest entry has unknown kind {payload['kind']!r}; "
+                f"expected one of {_SHARD_KINDS}"
+            )
+        doc_ids = payload.get("doc_ids")
+        return cls(
+            path=str(payload["path"]),
+            sha256=str(payload["sha256"]),
+            docs=int(payload["docs"]),
+            doc_ids=(int(doc_ids[0]), int(doc_ids[1])) if doc_ids else None,
+            kind=payload["kind"],
+        )
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The sharded index's commit record: which shard files are live.
+
+    Attributes:
+        num_shards: Hash modulus of the base shards (what :func:`shard_for`
+            was called with when they were built).
+        generation: 1-based, bumps on every update/compaction.  New
+            generations write new shard file names, so older manifests keep
+            resolving against untouched files — the manifest rewrite is the
+            only commit point.
+        doc_count: Total documents across every shard (global doc ids are
+            ``0 .. doc_count - 1``).
+        source: Provenance label (the JSONL the base build consumed).
+        entries: Base shards in shard order, then delta shards in append
+            order.
+    """
+
+    num_shards: int
+    generation: int
+    doc_count: int
+    source: str
+    entries: tuple[ShardEntry, ...]
+
+    # ----------------------------------------------------------------- shape
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def delta_count(self) -> int:
+        return sum(1 for entry in self.entries if entry.kind == "delta")
+
+    def describe(self) -> dict:
+        """JSON-ready summary (CLI output and the stats endpoints)."""
+        return {
+            "num_shards": self.num_shards,
+            "shards": self.shard_count,
+            "deltas": self.delta_count,
+            "generation": self.generation,
+            "documents": self.doc_count,
+            "source": self.source,
+        }
+
+    # ------------------------------------------------------------ persistence
+
+    def to_payload(self) -> dict:
+        return {
+            "version": FORMAT_VERSION,
+            "num_shards": self.num_shards,
+            "generation": self.generation,
+            "doc_count": self.doc_count,
+            "source": self.source,
+            "shards": [entry.to_payload() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardManifest":
+        if not isinstance(payload, dict):
+            raise PersistenceError(
+                f"shard-manifest payload must be a JSON object, got {type(payload).__name__}"
+            )
+        check_payload_version(payload, "shard manifest")
+        for field in ("num_shards", "generation", "doc_count", "shards"):
+            if field not in payload:
+                raise PersistenceError(
+                    f"shard-manifest payload is missing its {field!r} field"
+                )
+        entries = tuple(ShardEntry.from_payload(entry) for entry in payload["shards"])
+        listed = sum(entry.docs for entry in entries)
+        if listed != int(payload["doc_count"]):
+            raise PersistenceError(
+                f"shard manifest records doc_count {payload['doc_count']} but its "
+                f"shards list {listed} documents; the manifest is inconsistent"
+            )
+        return cls(
+            num_shards=int(payload["num_shards"]),
+            generation=int(payload["generation"]),
+            doc_count=int(payload["doc_count"]),
+            source=payload.get("source", ""),
+            entries=entries,
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Atomically write the manifest artifact (the swap commit point)."""
+        write_artifact(path, self.to_payload(), format=MANIFEST_ARTIFACT_FORMAT)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ShardManifest":
+        path = Path(path)
+        return cls.loads(path.read_text(encoding="utf-8"), source=str(path))
+
+    @classmethod
+    def loads(
+        cls, text: str, source: str = "<manifest>", *, document: dict | None = None
+    ) -> "ShardManifest":
+        payload = parse_artifact(
+            text,
+            format=MANIFEST_ARTIFACT_FORMAT,
+            source=source,
+            what="shard manifest",
+            document=document,
+        )
+        return cls.from_payload(payload)
+
+
+# -------------------------------------------------------------- sharded index
+
+
+class ShardedRecipeIndex:
+    """A set of shard :class:`RecipeIndex` objects behind one manifest.
+
+    Every document lives in exactly one shard and carries its global corpus
+    position in the shard's doc metadata, so boolean queries (which are
+    per-document predicates) can be evaluated per shard and merged back into
+    corpus order — see :class:`repro.index.query.QueryEngine`.
+    """
+
+    def __init__(self, shards: list[RecipeIndex], manifest: ShardManifest) -> None:
+        self._shards = list(shards)
+        self.manifest = manifest
+        # Per-shard global doc ids, aligned with the shard's local positions
+        # (ascending by construction: builders add in global order).
+        self._global_ids: list[list[int]] = [
+            [doc.get("doc_id", local) for local, doc in enumerate(shard.docs)]
+            for shard in self._shards
+        ]
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def shards(self) -> list[RecipeIndex]:
+        return list(self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def generation(self) -> int:
+        return self.manifest.generation
+
+    @property
+    def doc_count(self) -> int:
+        """Total indexed recipes (global doc ids are ``0 .. doc_count - 1``)."""
+        return self.manifest.doc_count
+
+    @property
+    def source(self) -> str:
+        return self.manifest.source
+
+    def global_ids(self, shard_index: int) -> list[int]:
+        """Ascending global doc ids of one shard, aligned with local ids."""
+        return self._global_ids[shard_index]
+
+    def stats(self) -> dict:
+        """Shape + provenance for the stats endpoints and CLI summaries."""
+        return {
+            "documents": self.doc_count,
+            "shards": self.shard_count,
+            "base_shards": self.shard_count - self.manifest.delta_count,
+            "delta_shards": self.manifest.delta_count,
+            "generation": self.generation,
+            "num_shards": self.manifest.num_shards,
+            "source": self.source,
+            "postings": sum(shard.stats()["postings"] for shard in self._shards),
+            "terms": {
+                # Distinct terms per field: a term indexed in several shards
+                # is still one term (summing would inflate across shards and
+                # shrink after compaction with no content change).
+                field: len(set().union(*(shard.terms(field) for shard in self._shards)))
+                if self._shards
+                else 0
+                for field in FIELDS
+            },
+        }
+
+    # ------------------------------------------------------------ persistence
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ShardedRecipeIndex":
+        """Load a manifest and every shard it lists, verifying each checksum."""
+        path = Path(path)
+        return cls.loads(path.read_text(encoding="utf-8"), source=str(path))
+
+    @classmethod
+    def loads(
+        cls,
+        text: str,
+        source: str = "<manifest>",
+        *,
+        document: dict | None = None,
+    ) -> "ShardedRecipeIndex":
+        """Rebuild from manifest text; shard paths resolve next to ``source``.
+
+        The positional ``source`` matches the registry loader signature, so
+        a :class:`~repro.serve.registry.ModelRegistry` hot-swaps whole
+        manifests with the same lifecycle as any other artifact: the swap is
+        atomic because the replacement's shards are fully loaded and
+        checksum-verified before the registry record changes.
+        """
+        manifest = ShardManifest.loads(text, source=source, document=document)
+        base = Path(source).parent if source != "<manifest>" else Path(".")
+        shards: list[RecipeIndex] = []
+        for entry in manifest.entries:
+            entry_path = Path(entry.path)
+            shard_path = entry_path if entry_path.is_absolute() else base / entry_path
+            try:
+                data = shard_path.read_bytes()
+            except OSError as error:
+                raise PersistenceError(
+                    f"shard manifest {source} lists shard {entry.path!r} but it "
+                    f"cannot be read: {error}"
+                ) from error
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != entry.sha256:
+                raise PersistenceError(
+                    f"shard artifact {shard_path} does not match its manifest "
+                    f"checksum (recorded {entry.sha256!r}, recomputed {actual!r}); "
+                    "the manifest and shard are out of sync"
+                )
+            shard = RecipeIndex.loads(data.decode("utf-8"), source=str(shard_path))
+            if shard.doc_count != entry.docs:
+                raise PersistenceError(
+                    f"shard artifact {shard_path} holds {shard.doc_count} documents "
+                    f"but the manifest records {entry.docs}"
+                )
+            shards.append(shard)
+        return cls(shards, manifest)
+
+    # ----------------------------------------------------------------- merges
+
+    def _term_streams(self, field: str) -> dict[str, list[list[tuple[int, list]]]]:
+        """term -> one ``(global_id, spans)`` stream per shard holding it."""
+        streams: dict[str, list[list[tuple[int, list]]]] = {}
+        for shard_index, shard in enumerate(self._shards):
+            gids = self._global_ids[shard_index]
+            for term, posting in shard._field(field).items():
+                streams.setdefault(term, []).append(
+                    [
+                        (gids[local], spans)
+                        for local, spans in zip(posting.ids, posting.spans)
+                    ]
+                )
+        return streams
+
+    def _docs_in_global_order(self) -> list[tuple[int, dict]]:
+        streams = [
+            list(zip(self._global_ids[shard_index], shard.docs))
+            for shard_index, shard in enumerate(self._shards)
+        ]
+        return list(heapq.merge(*streams, key=lambda pair: pair[0]))
+
+    def to_monolithic(self, *, source: str = "") -> RecipeIndex:
+        """K-way merge every shard into one monolithic :class:`RecipeIndex`.
+
+        The result's payload is identical to what a from-scratch
+        :class:`IndexBuilder` run over the same corpus produces (the property
+        suite pins this), so compaction and rebuild are interchangeable.
+        """
+        merged_docs = self._docs_in_global_order()
+        position = {
+            global_id: index for index, (global_id, _) in enumerate(merged_docs)
+        }
+        docs = [
+            {key: value for key, value in doc.items() if key != "doc_id"}
+            for _, doc in merged_docs
+        ]
+        postings: dict[str, dict[str, PostingList]] = {field: {} for field in FIELDS}
+        for field in FIELDS:
+            table = postings[field]
+            for term, streams in self._term_streams(field).items():
+                merged = (
+                    heapq.merge(*streams, key=lambda pair: pair[0])
+                    if len(streams) > 1
+                    else streams[0]
+                )
+                ids: list[int] = []
+                spans: list[list] = []
+                for global_id, span_group in merged:
+                    ids.append(position[global_id])
+                    spans.append(list(span_group))
+                table[term] = PostingList(ids=ids, spans=spans)
+        return RecipeIndex(postings, docs, source=source)
+
+    def repartition(self, num_shards: int) -> list[RecipeIndex]:
+        """Fold every base and delta shard into ``num_shards`` fresh base
+        shards (stable hash partitioning; global doc ids are preserved)."""
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        buckets: list[list[tuple[int, dict]]] = [[] for _ in range(num_shards)]
+        for global_id, doc in self._docs_in_global_order():
+            target = shard_for(doc["recipe_id"], num_shards)
+            metadata = {key: value for key, value in doc.items() if key != "doc_id"}
+            metadata["doc_id"] = global_id
+            buckets[target].append((global_id, metadata))
+        local_of: dict[int, tuple[int, int]] = {}
+        target_docs: list[list[dict]] = []
+        for target, bucket in enumerate(buckets):
+            docs = []
+            for local, (global_id, metadata) in enumerate(bucket):
+                local_of[global_id] = (target, local)
+                docs.append(metadata)
+            target_docs.append(docs)
+        target_postings = [
+            {field: {} for field in FIELDS} for _ in range(num_shards)
+        ]
+        for field in FIELDS:
+            for term, streams in self._term_streams(field).items():
+                merged = (
+                    heapq.merge(*streams, key=lambda pair: pair[0])
+                    if len(streams) > 1
+                    else streams[0]
+                )
+                for global_id, span_group in merged:
+                    target, local = local_of[global_id]
+                    table = target_postings[target][field]
+                    posting = table.get(term)
+                    if posting is None:
+                        posting = table[term] = PostingList(ids=[], spans=[])
+                    posting.ids.append(local)
+                    posting.spans.append(list(span_group))
+        return [
+            RecipeIndex(
+                target_postings[target],
+                target_docs[target],
+                source=f"{self.source}#shard{target}/{num_shards}",
+            )
+            for target in range(num_shards)
+        ]
+
+
+# ---------------------------------------------------------------- shard build
+
+
+def _shard_file_name(stem: str, generation: int, label: str) -> str:
+    return f"{stem}.g{generation}.{label}.json"
+
+
+def _entry_for(shard: RecipeIndex, path: str | Path, *, kind: str) -> ShardEntry:
+    if shard.doc_count:
+        doc_ids = (shard.docs[0]["doc_id"], shard.docs[-1]["doc_id"])
+    else:
+        doc_ids = None
+    return ShardEntry(
+        path=Path(path).name,
+        sha256=file_sha256(path),
+        docs=shard.doc_count,
+        doc_ids=doc_ids,
+        kind=kind,
+    )
+
+
+def _build_shard_task(task: tuple) -> ShardEntry:
+    """Build and save one base shard from structured JSONL (pool task).
+
+    Self-contained so :func:`ordered_parallel_map` can run it in a worker
+    process: streams the file, keeps only the documents
+    :func:`shard_for` assigns to this shard, records each one's global doc
+    id (its position in the full stream), and writes the shard artifact.
+    """
+    input_path, shard_index, num_shards, output_path = task
+    builder = IndexBuilder()
+    documents = iter_jsonl(input_path, json.loads, what="structured recipe")
+    for global_id, document in enumerate(documents):
+        if not isinstance(document, dict):
+            raise DataError(
+                f"{input_path}: structured recipe {global_id} is not a JSON object"
+            )
+        if shard_for(str(document.get("recipe_id", "")), num_shards) != shard_index:
+            continue
+        try:
+            recipe = StructuredRecipe.from_dict(document)
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataError(
+                f"{input_path}: malformed structured recipe {global_id}: {error}"
+            ) from error
+        builder.add(recipe, doc_id=global_id)
+    shard = builder.build(source=f"{input_path}#shard{shard_index}/{num_shards}")
+    shard.save(output_path)
+    return _entry_for(shard, output_path, kind="base")
+
+
+def build_sharded_index(
+    input_path: str | Path,
+    manifest_path: str | Path,
+    *,
+    num_shards: int,
+    workers: int = 1,
+    mp_context=None,
+) -> ShardManifest:
+    """Partition a structured-recipe JSONL into ``num_shards`` base shards.
+
+    Shard artifacts are written next to ``manifest_path`` (named
+    ``<stem>.g<generation>.s<k>.json``) and built concurrently when
+    ``workers > 1`` — one :func:`ordered_parallel_map` task per shard.  Each
+    task is a self-contained pass over the input (it json-parses every line
+    but only materialises and indexes its own documents), trading aggregate
+    parse work for shared-nothing tasks that ship no recipes over IPC.  The
+    manifest is written last, and rebuilding over an existing manifest bumps
+    its generation so live shard files are never overwritten — a crash
+    mid-build never publishes a partial index and never corrupts the
+    previous one.  Returns the saved manifest; load it with
+    :class:`ShardedRecipeIndex.load` to query.
+    """
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be at least 1")
+    manifest_path = Path(manifest_path)
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    generation = 1
+    if manifest_path.exists():
+        try:
+            generation = ShardManifest.load(manifest_path).generation + 1
+        except (PersistenceError, OSError):
+            # Not a readable manifest: nothing tracks shard files here, so
+            # generation 1 names cannot clobber a live generation.
+            pass
+    tasks = [
+        (
+            str(input_path),
+            shard_index,
+            num_shards,
+            str(
+                manifest_path.parent
+                / _shard_file_name(manifest_path.stem, generation, f"s{shard_index}")
+            ),
+        )
+        for shard_index in range(num_shards)
+    ]
+    entries = list(
+        ordered_parallel_map(
+            _build_shard_task,
+            tasks,
+            workers=min(workers, num_shards),
+            mp_context=mp_context,
+        )
+    )
+    manifest = ShardManifest(
+        num_shards=num_shards,
+        generation=generation,
+        doc_count=sum(entry.docs for entry in entries),
+        source=str(input_path),
+        entries=tuple(entries),
+    )
+    manifest.save(manifest_path)
+    return manifest
+
+
+# --------------------------------------------------------- incremental update
+
+
+def add_jsonl(manifest_path: str | Path, input_path: str | Path) -> ShardManifest:
+    """Append a structured-recipe JSONL as a delta shard (incremental update).
+
+    New documents get global doc ids continuing after the current corpus
+    (``doc_count ..``), are indexed into a single new delta shard artifact,
+    and the manifest is atomically rewritten with the delta appended and the
+    generation bumped.  Base shards are untouched; run :func:`merge_shards`
+    to fold accumulated deltas back into hash-partitioned base shards.
+    """
+    from repro.corpus.sink import iter_structured_jsonl
+
+    manifest_path = Path(manifest_path)
+    manifest = ShardManifest.load(manifest_path)
+    generation = manifest.generation + 1
+    builder = IndexBuilder()
+    next_id = manifest.doc_count
+    for offset, recipe in enumerate(iter_structured_jsonl(input_path)):
+        builder.add(recipe, doc_id=next_id + offset)
+    delta = builder.build(source=str(input_path))
+    delta_path = manifest_path.parent / _shard_file_name(
+        manifest_path.stem, generation, "delta"
+    )
+    delta.save(delta_path)
+    updated = ShardManifest(
+        num_shards=manifest.num_shards,
+        generation=generation,
+        doc_count=manifest.doc_count + delta.doc_count,
+        source=manifest.source,
+        entries=(*manifest.entries, _entry_for(delta, delta_path, kind="delta")),
+    )
+    updated.save(manifest_path)
+    return updated
+
+
+# ---------------------------------------------------------- merge / compaction
+
+
+def merge_shards(
+    index: ShardedRecipeIndex,
+    *,
+    num_shards: int | None = None,
+    manifest_path: str | Path | None = None,
+    source: str | None = None,
+) -> "ShardedRecipeIndex | RecipeIndex":
+    """Compact a sharded index.
+
+    With ``num_shards=None`` the k-way merge produces **one monolithic**
+    :class:`RecipeIndex` (saved to ``manifest_path`` as a plain index
+    artifact when given).  With ``num_shards=K`` every base and delta shard
+    is folded into ``K`` fresh hash-partitioned base shards written next to
+    ``manifest_path`` under a bumped generation; the manifest rewrite is the
+    atomic commit, and previous-generation shard files are left untouched so
+    concurrent readers of the old manifest stay consistent.
+    """
+    if num_shards is None:
+        monolithic = index.to_monolithic(
+            source=source if source is not None else index.source
+        )
+        if manifest_path is not None:
+            monolithic.save(manifest_path)
+        return monolithic
+    if manifest_path is None:
+        raise ConfigurationError(
+            "merging to shards needs a manifest_path to write the compacted "
+            "shards next to"
+        )
+    manifest_path = Path(manifest_path)
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    generation = index.generation + 1
+    shards = index.repartition(num_shards)
+    entries = []
+    for shard_index, shard in enumerate(shards):
+        shard_path = manifest_path.parent / _shard_file_name(
+            manifest_path.stem, generation, f"s{shard_index}"
+        )
+        shard.save(shard_path)
+        entries.append(_entry_for(shard, shard_path, kind="base"))
+    manifest = ShardManifest(
+        num_shards=num_shards,
+        generation=generation,
+        doc_count=index.doc_count,
+        source=source if source is not None else index.source,
+        entries=tuple(entries),
+    )
+    manifest.save(manifest_path)
+    return ShardedRecipeIndex.load(manifest_path)
+
+
+# ------------------------------------------------------------ artifact loading
+
+
+def load_index_artifact(text: str, source: str = "<index>"):
+    """Registry loader accepting either index artifact kind.
+
+    Dispatches on the envelope's ``format`` marker: a shard manifest loads
+    (and checksum-verifies) every shard it lists, anything else goes through
+    :meth:`RecipeIndex.loads` for the canonical validation errors.  This is
+    what lets ``serve --index`` and the hot-swap registry take a monolithic
+    artifact and a manifest interchangeably.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None  # RecipeIndex.loads raises the canonical error
+    marker = document.get("format") if isinstance(document, dict) else None
+    if marker == MANIFEST_ARTIFACT_FORMAT:
+        return ShardedRecipeIndex.loads(text, source=source, document=document)
+    # document=None (invalid JSON) re-parses inside parse_artifact, which
+    # raises the canonical truncated/corrupt error with the source label.
+    return RecipeIndex.loads(text, source=source, document=document)
+
+
+def load_index_path(path: str | Path):
+    """Load an index artifact **or** a shard manifest from ``path``."""
+    path = Path(path)
+    return load_index_artifact(path.read_text(encoding="utf-8"), source=str(path))

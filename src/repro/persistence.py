@@ -54,6 +54,7 @@ __all__ = [
     "check_payload_version",
     "dictionary_from_payload",
     "dictionary_to_payload",
+    "file_sha256",
     "load_ner_model",
     "load_pos_tagger",
     "load_sequence_model",
@@ -106,6 +107,17 @@ def payload_checksum(payload: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def file_sha256(path: str | Path) -> str:
+    """SHA-256 over a file's exact bytes.
+
+    This is the *file* fingerprint (not the payload checksum inside the
+    envelope): the serving registry uses it for swap-only-on-change reloads
+    and shard manifests record it per shard so a manifest can never be paired
+    with a shard artifact it was not written against.
+    """
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
 def write_json_atomic(path: str | Path, document: dict) -> None:
     """Write ``document`` as JSON via a same-directory temp file + ``os.replace``.
 
@@ -154,6 +166,7 @@ def parse_artifact(
     source: str = "<artifact>",
     what: str = "artifact",
     allow_bare: bool = False,
+    document: dict | None = None,
 ) -> dict:
     """Validate an artifact envelope and return its payload.
 
@@ -162,14 +175,17 @@ def parse_artifact(
     build, and the recorded SHA-256 matches the recomputed payload checksum.
     ``allow_bare`` accepts a document without the envelope marker as a legacy
     bare payload (the caller still version-gates it).  ``what`` and ``source``
-    only label error messages.
+    only label error messages.  A caller that already parsed ``text`` (e.g.
+    to dispatch on the format marker) passes the parse as ``document`` so
+    large artifacts are never json-parsed twice.
     """
-    try:
-        document = json.loads(text)
-    except json.JSONDecodeError as error:
-        raise PersistenceError(
-            f"{what} {source} is not valid JSON (truncated or corrupt): {error}"
-        ) from error
+    if document is None:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise PersistenceError(
+                f"{what} {source} is not valid JSON (truncated or corrupt): {error}"
+            ) from error
     if not isinstance(document, dict):
         raise PersistenceError(
             f"{what} {source} must hold a JSON object, got {type(document).__name__}"

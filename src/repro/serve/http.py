@@ -8,7 +8,8 @@ deployable in the same environment the library runs in.
 
 Endpoints:
 
-* ``GET /healthz`` -- liveness plus the serving artifact's provenance.
+* ``GET /healthz`` -- liveness plus the serving artifact's provenance (for
+  a serving index: shard count and, when sharded, the manifest generation).
 * ``GET /stats`` -- model provenance, queue coalescing counters and the
   per-model decode/feature cache hit rates.
 * ``POST /v1/tag`` -- body ``{"section": "ingredient"|"instruction",
@@ -100,7 +101,16 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
     def _handle_health(self) -> dict:
         document = {"status": "ok", "model": self.server.service.model_record().describe()}
         if self.server.search is not None:
-            document["index"] = self.server.search.record().describe()
+            record = self.server.search.record()
+            info = record.describe()
+            # Index shape at a glance: shard count always (1 for a monolithic
+            # artifact), plus the manifest's own generation when sharded (the
+            # registry generation above counts swaps, not compactions).
+            info["shards"] = getattr(record.bundle, "shard_count", 1)
+            index_generation = getattr(record.bundle, "generation", None)
+            if index_generation is not None:
+                info["index_generation"] = index_generation
+            document["index"] = info
         return document
 
     def _handle_tag(self, body: dict) -> dict:

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.persistence import PipelineBundle
+from repro.persistence import PipelineBundle, file_sha256
 
 __all__ = ["ModelRecord", "ModelRegistry"]
 
@@ -66,11 +66,6 @@ class ModelRecord:
             "generation": self.generation,
             "loaded_at": self.loaded_at,
         }
-
-
-def _fingerprint(path: Path) -> tuple[str, int]:
-    data = path.read_bytes()
-    return hashlib.sha256(data).hexdigest(), len(data)
 
 
 class ModelRegistry:
@@ -127,10 +122,8 @@ class ModelRegistry:
         failing reload raises and leaves the live record serving.
         """
         current = self.get(name)
-        if not force:
-            sha256, _ = _fingerprint(current.path)
-            if sha256 == current.sha256:
-                return current
+        if not force and file_sha256(current.path) == current.sha256:
+            return current
         return self.load(current.path, name=name)
 
     # ---------------------------------------------------------------- access

@@ -6,9 +6,13 @@ front ends talk to it, and it resolves the serving artifact through a
 :class:`~repro.serve.registry.ModelRegistry` *per request*, so a hot-swap
 reload (new index artifact on disk) takes effect on the very next query
 without restarting the server.  The registry is constructed with
-``loader=RecipeIndex.loads``, which gives index artifacts the exact
-lifecycle model bundles have: checksum-validated loads, file-sha
-provenance, generation counters, swap-only-on-change reloads.
+``loader=load_index_artifact``, which dispatches on the artifact's format
+marker: a monolithic :class:`~repro.index.RecipeIndex` artifact and a
+:class:`~repro.index.ShardManifest` (whose shards are all loaded and
+checksum-verified *before* the registry record swaps, so no request can
+ever observe a torn index) get the exact lifecycle model bundles have:
+checksum-validated loads, file-sha provenance, generation counters,
+swap-only-on-change reloads.
 """
 
 from __future__ import annotations
@@ -16,15 +20,15 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.errors import QueryError
-from repro.index import QueryEngine, RecipeIndex
+from repro.index import QueryEngine, load_index_artifact
 from repro.serve.registry import ModelRecord, ModelRegistry
 
 __all__ = ["SearchService", "index_registry"]
 
 
 def index_registry() -> ModelRegistry:
-    """A :class:`ModelRegistry` that loads :class:`RecipeIndex` artifacts."""
-    return ModelRegistry(loader=RecipeIndex.loads)
+    """A :class:`ModelRegistry` loading index artifacts *or* shard manifests."""
+    return ModelRegistry(loader=load_index_artifact)
 
 
 class SearchService:

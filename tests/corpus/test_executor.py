@@ -2,11 +2,16 @@
 
 import pytest
 
-from repro.corpus.executor import structure_chunks
+from repro.corpus.executor import ordered_parallel_map, structure_chunks
 from repro.corpus.planner import RecipeWork, plan_corpus_chunks
 from repro.corpus.structurer import RecipeStructurer
 from repro.data.recipedb import RecipeDB
 from repro.errors import ConfigurationError
+
+
+def _square(value):
+    """Top-level so the parallel path can pickle it."""
+    return value * value
 
 
 @pytest.fixture(scope="module")
@@ -150,3 +155,39 @@ class TestStructurerPaths:
         )
         assert len(structured.ingredients) == 1
         assert [event.step_index for event in structured.events] == [1]
+
+
+class TestOrderedParallelMap:
+    """The generic machinery both corpus structuring and shard builds ride."""
+
+    def test_serial_path_preserves_order(self):
+        assert list(ordered_parallel_map(_square, range(10))) == [
+            value * value for value in range(10)
+        ]
+
+    def test_parallel_path_preserves_order(self):
+        results = list(ordered_parallel_map(_square, range(25), workers=3))
+        assert results == [value * value for value in range(25)]
+
+    def test_serial_override_replaces_the_worker_function(self):
+        results = list(
+            ordered_parallel_map(_square, range(4), workers=1, serial=lambda v: -v)
+        )
+        assert results == [0, -1, -2, -3]
+
+    def test_rejects_a_nonpositive_inflight_cap(self):
+        with pytest.raises(ConfigurationError, match="max_inflight"):
+            list(ordered_parallel_map(_square, range(3), workers=2, max_inflight=0))
+
+    def test_lazy_consumption_of_the_task_stream(self):
+        consumed = []
+
+        def tasks():
+            for value in range(6):
+                consumed.append(value)
+                yield value
+
+        stream = ordered_parallel_map(_square, tasks())
+        assert next(stream) == 0
+        # The serial path pulls one task per yielded result.
+        assert consumed == [0]

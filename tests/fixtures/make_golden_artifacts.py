@@ -1,0 +1,105 @@
+"""Regenerate the committed golden artifacts (format-drift fixtures).
+
+The committed files pin the v1 on-disk artifact formats: a monolithic
+:class:`RecipeIndex` artifact, a two-shard :class:`ShardManifest` with its
+shard artifacts, and the structured JSONL they were built from.  The
+regression test (``tests/index/test_golden_artifacts.py``) asserts today's
+loaders still read them — and that re-serialising reproduces the committed
+bytes exactly — so any change to the envelope or payload shape must be a
+conscious decision that includes regenerating these fixtures::
+
+    PYTHONPATH=src python -m tests.fixtures.make_golden_artifacts
+
+Everything here is deterministic: a fixed hand-built corpus, relative
+source labels, and no timestamps, so regeneration on an unchanged build is
+byte-for-byte idempotent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.recipe_model import IngredientRecord, InstructionEvent, StructuredRecipe
+from repro.corpus.sink import write_structured_jsonl
+from repro.index import IndexBuilder, ShardManifest, ShardedRecipeIndex, shard_for
+from repro.index.sharding import _entry_for
+
+FIXTURES = Path(__file__).parent
+
+#: File names of the committed fixtures (v1 format, two base shards).
+STRUCTURED_JSONL = "golden_structured_v1.jsonl"
+INDEX_ARTIFACT = "golden_index_v1.json"
+MANIFEST_ARTIFACT = "golden_manifest_v1.json"
+NUM_SHARDS = 2
+
+
+def _recipe(recipe_id, title, names, processes, utensils):
+    return StructuredRecipe(
+        recipe_id=recipe_id,
+        title=title,
+        ingredients=tuple(IngredientRecord(phrase=f"1 {name}", name=name) for name in names),
+        events=(
+            InstructionEvent(
+                step_index=0,
+                text="Combine and cook.",
+                processes=tuple(processes),
+                ingredients=tuple(names),
+                utensils=tuple(utensils),
+            ),
+        ),
+    )
+
+
+def golden_recipes() -> list[StructuredRecipe]:
+    """The fixed corpus behind every golden artifact."""
+    return [
+        _recipe("golden-0", "Tomato Soup", ("tomato", "onion"), ("simmer",), ("pot",)),
+        _recipe("golden-1", "Garlic Rice", ("rice", "garlic"), ("boil",), ("pan",)),
+        _recipe("golden-2", "Basil Salad", ("basil", "olive oil"), ("mix",), ("bowl",)),
+        _recipe("golden-3", "", ("tomato", "garlic"), ("saute",), ("skillet",)),
+        _recipe("golden-4", "Onion Roast", ("onion",), ("roast",), ("pan",)),
+    ]
+
+
+def build_monolithic() -> "IndexBuilder":
+    builder = IndexBuilder()
+    builder.add_all(golden_recipes())
+    return builder.build(source=STRUCTURED_JSONL)
+
+
+def build_shards():
+    """The hash-partitioned shard indexes (global doc ids preserved)."""
+    builders = [IndexBuilder() for _ in range(NUM_SHARDS)]
+    for global_id, recipe in enumerate(golden_recipes()):
+        builders[shard_for(recipe.recipe_id, NUM_SHARDS)].add(recipe, doc_id=global_id)
+    return [
+        builder.build(source=f"{STRUCTURED_JSONL}#shard{index}/{NUM_SHARDS}")
+        for index, builder in enumerate(builders)
+    ]
+
+
+def regenerate() -> None:
+    recipes = golden_recipes()
+    write_structured_jsonl(FIXTURES / STRUCTURED_JSONL, recipes)
+    build_monolithic().save(FIXTURES / INDEX_ARTIFACT)
+
+    entries = []
+    for index, shard in enumerate(build_shards()):
+        name = f"golden_manifest_v1.g1.s{index}.json"
+        shard.save(FIXTURES / name)
+        entries.append(_entry_for(shard, FIXTURES / name, kind="base"))
+    manifest = ShardManifest(
+        num_shards=NUM_SHARDS,
+        generation=1,
+        doc_count=len(recipes),
+        source=STRUCTURED_JSONL,
+        entries=tuple(entries),
+    )
+    manifest.save(FIXTURES / MANIFEST_ARTIFACT)
+    loaded = ShardedRecipeIndex.load(FIXTURES / MANIFEST_ARTIFACT)
+    print(f"regenerated golden artifacts: {loaded.doc_count} docs, "
+          f"{loaded.shard_count} shards, in {FIXTURES}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -1,0 +1,172 @@
+"""Golden-artifact regression: the committed v1 files must keep loading.
+
+The fixtures under ``tests/fixtures/`` were written by the v1 serialisers
+(see ``tests/fixtures/make_golden_artifacts.py``).  These tests pin the
+on-disk format against silent drift from three directions:
+
+* **loaders** — today's code must read the committed bytes and rebuild
+  payload-identical objects;
+* **writers** — re-serialising the loaded objects must reproduce the
+  committed files byte-for-byte (envelope key order, separators, checksum);
+* **validators** — checksum and version tampering must raise
+  :class:`PersistenceError` with the pinned messages.
+
+If one of these fails because the format intentionally changed, regenerate
+the fixtures with ``python -m tests.fixtures.make_golden_artifacts`` and
+bump the format version — never loosen the assertions.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.index import (
+    QueryEngine,
+    RecipeIndex,
+    ShardManifest,
+    ShardedRecipeIndex,
+    scan_structured_jsonl,
+    shard_for,
+)
+from repro.persistence import payload_checksum, write_artifact
+
+from tests.fixtures.make_golden_artifacts import (
+    INDEX_ARTIFACT,
+    MANIFEST_ARTIFACT,
+    NUM_SHARDS,
+    STRUCTURED_JSONL,
+    build_monolithic,
+    build_shards,
+    golden_recipes,
+)
+
+FIXTURES = Path(__file__).parent.parent / "fixtures"
+
+
+@pytest.fixture()
+def fixture_copy(tmp_path):
+    """A throwaway copy of every golden file (for the tampering tests)."""
+    for name in FIXTURES.iterdir():
+        if name.suffix in (".json", ".jsonl"):
+            shutil.copy(name, tmp_path / name.name)
+    return tmp_path
+
+
+class TestGoldenIndexArtifact:
+    def test_loader_reads_the_committed_artifact(self):
+        index = RecipeIndex.load(FIXTURES / INDEX_ARTIFACT)
+        assert index.doc_count == len(golden_recipes())
+        assert [doc["recipe_id"] for doc in index.docs] == [
+            recipe.recipe_id for recipe in golden_recipes()
+        ]
+        committed = json.loads((FIXTURES / INDEX_ARTIFACT).read_text())
+        assert index.to_payload() == committed["payload"]
+        assert committed["sha256"] == payload_checksum(committed["payload"])
+
+    def test_todays_builder_reproduces_the_committed_payload(self):
+        committed = json.loads((FIXTURES / INDEX_ARTIFACT).read_text())
+        assert build_monolithic().to_payload() == committed["payload"]
+
+    def test_reserialising_reproduces_the_committed_bytes(self, tmp_path):
+        index = RecipeIndex.load(FIXTURES / INDEX_ARTIFACT)
+        out = tmp_path / "rewritten.json"
+        write_artifact(out, index.to_payload(), format="repro-recipe-index")
+        assert out.read_bytes() == (FIXTURES / INDEX_ARTIFACT).read_bytes()
+
+    def test_checksum_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_ARTIFACT
+        document = json.loads(path.read_text())
+        document["payload"]["docs"][0]["title"] = "Tampered"
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="failed its checksum"):
+            RecipeIndex.load(path)
+
+    def test_version_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_ARTIFACT
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            PersistenceError,
+            match=r"has format version 99 but this build reads version 1",
+        ):
+            RecipeIndex.load(path)
+
+    def test_format_marker_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_ARTIFACT
+        document = json.loads(path.read_text())
+        document["format"] = "repro-mystery-artifact"
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="format marker"):
+            RecipeIndex.load(path)
+
+
+class TestGoldenManifestArtifact:
+    def test_loader_reads_the_committed_manifest_and_shards(self):
+        sharded = ShardedRecipeIndex.load(FIXTURES / MANIFEST_ARTIFACT)
+        assert sharded.doc_count == len(golden_recipes())
+        assert sharded.shard_count == NUM_SHARDS
+        assert sharded.generation == 1
+        for shard_index, shard in enumerate(sharded.shards):
+            for doc in shard.docs:
+                assert shard_for(doc["recipe_id"], NUM_SHARDS) == shard_index
+
+    def test_todays_partitioner_reproduces_the_committed_shards(self):
+        sharded = ShardedRecipeIndex.load(FIXTURES / MANIFEST_ARTIFACT)
+        for rebuilt, committed in zip(build_shards(), sharded.shards):
+            assert rebuilt.to_payload() == committed.to_payload()
+
+    def test_reserialising_reproduces_the_committed_bytes(self, tmp_path):
+        manifest = ShardManifest.load(FIXTURES / MANIFEST_ARTIFACT)
+        out = tmp_path / "manifest.json"
+        write_artifact(out, manifest.to_payload(), format="repro-shard-manifest")
+        assert out.read_bytes() == (FIXTURES / MANIFEST_ARTIFACT).read_bytes()
+        for entry in manifest.entries:
+            shard = RecipeIndex.load(FIXTURES / entry.path)
+            shard_out = tmp_path / entry.path
+            write_artifact(shard_out, shard.to_payload(), format="repro-recipe-index")
+            assert shard_out.read_bytes() == (FIXTURES / entry.path).read_bytes()
+
+    def test_committed_artifacts_answer_like_a_scan(self):
+        sharded = QueryEngine(ShardedRecipeIndex.load(FIXTURES / MANIFEST_ARTIFACT))
+        monolithic = QueryEngine(RecipeIndex.load(FIXTURES / INDEX_ARTIFACT))
+        for query in (
+            "ingredient:tomato AND NOT ingredient:garlic",
+            "process:roast OR utensil:pan",
+            'ingredient:"olive oil"',
+            "NOT process:boil",
+        ):
+            scanned = scan_structured_jsonl(FIXTURES / STRUCTURED_JSONL, query)
+            assert sharded.execute(query) == monolithic.execute(query) == scanned
+
+    def test_shard_checksum_tampering_is_rejected(self, fixture_copy):
+        manifest = ShardManifest.load(fixture_copy / MANIFEST_ARTIFACT)
+        victim = next(entry for entry in manifest.entries if entry.docs > 0)
+        shard_path = fixture_copy / victim.path
+        document = json.loads(shard_path.read_text())
+        document["payload"]["docs"][0]["title"] = "Tampered"
+        shard_path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="does not match its manifest checksum"):
+            ShardedRecipeIndex.load(fixture_copy / MANIFEST_ARTIFACT)
+
+    def test_manifest_version_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / MANIFEST_ARTIFACT
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            PersistenceError,
+            match=r"has format version 99 but this build reads version 1",
+        ):
+            ShardedRecipeIndex.load(path)
+
+    def test_manifest_checksum_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / MANIFEST_ARTIFACT
+        document = json.loads(path.read_text())
+        document["payload"]["generation"] = 7
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="failed its checksum"):
+            ShardedRecipeIndex.load(path)

@@ -176,6 +176,41 @@ class TestEngine:
         with pytest.raises(QueryError, match="negative"):
             engine.execute("ingredient:tomato", limit=-1)
 
+    def test_limit_bounds_materialization_work(self):
+        """Regression: span materialisation must be bounded by ``limit``.
+
+        ``search``/``execute`` truncate the matching doc ids *before*
+        ``_materialize`` runs, so per-result work (doc-metadata lookups and
+        span bisects) scales with ``limit``, never with the match count.
+        The counting subclass observes exactly one ``doc()`` lookup per
+        materialised result.
+        """
+
+        from repro.index import RecipeIndex
+
+        class CountingIndex(RecipeIndex):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.doc_calls = 0
+
+            def doc(self, doc_id):
+                self.doc_calls += 1
+                return super().doc(doc_id)
+
+        builder = IndexBuilder()
+        builder.add_all(RECIPES * 20)  # 100 docs, every query matches many
+        counting = CountingIndex.from_payload(builder.build().to_payload())
+        engine = QueryEngine(counting)
+
+        total, matches = engine.search("process:saute", limit=3)
+        assert total == 40
+        assert len(matches) == 3
+        assert counting.doc_calls == 3
+
+        counting.doc_calls = 0
+        assert len(engine.execute("NOT ingredient:unseen", limit=2)) == 2
+        assert counting.doc_calls == 2
+
     def test_ast_and_string_queries_agree(self, engine):
         node = And((Term("ingredient", "tomato"), Not(Term("ingredient", "garlic"))))
         assert engine.execute(node) == engine.execute(

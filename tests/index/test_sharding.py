@@ -1,0 +1,326 @@
+"""Tests for the sharded index substrate: manifests, builds, deltas, merges."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, DataError, PersistenceError
+from repro.index import (
+    IndexBuilder,
+    QueryEngine,
+    RecipeIndex,
+    ShardManifest,
+    ShardedRecipeIndex,
+    add_jsonl,
+    build_sharded_index,
+    load_index_path,
+    merge_shards,
+    scan_structured_jsonl,
+    shard_for,
+)
+from repro.corpus.sink import write_structured_jsonl
+
+from tests.property.test_index_properties import _random_query, _random_recipe
+
+
+@pytest.fixture(scope="module")
+def recipes():
+    rng = random.Random(42)
+    return [_random_recipe(rng, f"r{i}") for i in range(30)]
+
+
+@pytest.fixture(scope="module")
+def corpus_path(recipes, tmp_path_factory):
+    path = tmp_path_factory.mktemp("shards") / "structured.jsonl"
+    write_structured_jsonl(path, recipes)
+    return path
+
+
+@pytest.fixture()
+def manifest_path(corpus_path, tmp_path):
+    path = tmp_path / "manifest.json"
+    build_sharded_index(corpus_path, path, num_shards=3)
+    return path
+
+
+class TestShardFor:
+    def test_stable_and_in_range(self):
+        for num_shards in (1, 2, 5, 8):
+            for i in range(50):
+                shard = shard_for(f"recipe-{i}", num_shards)
+                assert 0 <= shard < num_shards
+                assert shard == shard_for(f"recipe-{i}", num_shards)
+
+    def test_single_shard_owns_everything(self):
+        assert all(shard_for(f"r{i}", 1) == 0 for i in range(20))
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ConfigurationError, match="num_shards"):
+            shard_for("r0", 0)
+
+
+class TestBuildShardedIndex:
+    def test_manifest_records_every_document_once(self, corpus_path, manifest_path, recipes):
+        manifest = ShardManifest.load(manifest_path)
+        assert manifest.generation == 1
+        assert manifest.num_shards == 3
+        assert manifest.doc_count == len(recipes)
+        assert all(entry.kind == "base" for entry in manifest.entries)
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        seen = sorted(
+            global_id
+            for shard_index in range(sharded.shard_count)
+            for global_id in sharded.global_ids(shard_index)
+        )
+        assert seen == list(range(len(recipes)))
+
+    def test_documents_land_on_their_hash_shard(self, manifest_path):
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        for shard_index, shard in enumerate(sharded.shards):
+            for doc in shard.docs:
+                # Base shard k holds exactly the docs shard_for assigns to k.
+                assert shard_for(doc["recipe_id"], 3) == shard_index
+
+    def test_doc_id_ranges_cover_the_shard(self, manifest_path):
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        for entry, shard in zip(sharded.manifest.entries, sharded.shards):
+            if shard.doc_count == 0:
+                assert entry.doc_ids is None
+            else:
+                assert entry.doc_ids == (
+                    shard.docs[0]["doc_id"],
+                    shard.docs[-1]["doc_id"],
+                )
+
+    def test_parallel_build_is_payload_identical_to_serial(self, corpus_path, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        build_sharded_index(corpus_path, serial, num_shards=4, workers=1)
+        build_sharded_index(corpus_path, parallel, num_shards=4, workers=3)
+        left = ShardedRecipeIndex.load(serial)
+        right = ShardedRecipeIndex.load(parallel)
+        for shard_left, shard_right in zip(left.shards, right.shards):
+            left_payload = shard_left.to_payload()
+            right_payload = shard_right.to_payload()
+            assert left_payload["docs"] == right_payload["docs"]
+            assert left_payload["postings"] == right_payload["postings"]
+
+    def test_empty_corpus_builds_empty_shards(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        manifest = build_sharded_index(empty, tmp_path / "m.json", num_shards=2)
+        assert manifest.doc_count == 0
+        sharded = ShardedRecipeIndex.load(tmp_path / "m.json")
+        assert QueryEngine(sharded).doc_ids("ingredient:tomato") == []
+
+    def test_rejects_nonpositive_shard_counts(self, corpus_path, tmp_path):
+        with pytest.raises(ConfigurationError, match="num_shards"):
+            build_sharded_index(corpus_path, tmp_path / "m.json", num_shards=0)
+
+    def test_rebuild_over_an_existing_manifest_bumps_the_generation(
+        self, corpus_path, manifest_path
+    ):
+        """Shard files are immutable: a rebuild must never overwrite a live
+        generation's files (a crash mid-rebuild would corrupt the old index)."""
+        before = ShardManifest.load(manifest_path)
+        old_files = {
+            entry.path: (manifest_path.parent / entry.path).read_bytes()
+            for entry in before.entries
+        }
+        rebuilt = build_sharded_index(corpus_path, manifest_path, num_shards=2)
+        assert rebuilt.generation == before.generation + 1
+        assert not set(entry.path for entry in rebuilt.entries) & set(old_files)
+        for path, data in old_files.items():
+            assert (manifest_path.parent / path).read_bytes() == data
+        assert ShardedRecipeIndex.load(manifest_path).shard_count == 2
+
+    def test_malformed_line_raises_data_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"recipe_id": "r0"}\n[1, 2, 3]\n')
+        with pytest.raises(DataError):
+            build_sharded_index(bad, tmp_path / "m.json", num_shards=2)
+
+
+class TestManifestIntegrity:
+    def test_tampered_shard_file_fails_its_manifest_checksum(self, manifest_path):
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        victim = next(
+            entry for entry in sharded.manifest.entries if entry.docs > 0
+        )
+        shard_file = manifest_path.parent / victim.path
+        shard_file.write_text(shard_file.read_text().replace("r", "R", 1))
+        with pytest.raises(PersistenceError, match="manifest checksum"):
+            ShardedRecipeIndex.load(manifest_path)
+
+    def test_missing_shard_file_is_reported(self, manifest_path):
+        victim = ShardManifest.load(manifest_path).entries[0]
+        (manifest_path.parent / victim.path).unlink()
+        with pytest.raises(PersistenceError, match="cannot be read"):
+            ShardedRecipeIndex.load(manifest_path)
+
+    def test_version_mismatch_is_rejected(self, manifest_path):
+        document = json.loads(manifest_path.read_text())
+        document["version"] = 99
+        manifest_path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="format version"):
+            ShardManifest.load(manifest_path)
+
+    def test_inconsistent_doc_count_is_rejected(self, manifest_path):
+        from repro.persistence import payload_checksum
+
+        document = json.loads(manifest_path.read_text())
+        document["payload"]["doc_count"] += 1
+        document["sha256"] = payload_checksum(document["payload"])
+        manifest_path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="inconsistent"):
+            ShardManifest.load(manifest_path)
+
+    def test_wrong_format_marker_is_rejected(self, manifest_path):
+        document = json.loads(manifest_path.read_text())
+        document["format"] = "something-else"
+        manifest_path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="format marker"):
+            ShardManifest.load(manifest_path)
+
+
+class TestIncrementalUpdates:
+    def test_delta_shard_appends_without_touching_bases(
+        self, corpus_path, manifest_path, recipes, tmp_path
+    ):
+        before = ShardManifest.load(manifest_path)
+        base_files = {
+            entry.path: (manifest_path.parent / entry.path).read_bytes()
+            for entry in before.entries
+        }
+        rng = random.Random(7)
+        extra = [_random_recipe(rng, f"d{i}") for i in range(8)]
+        delta_path = tmp_path / "delta.jsonl"
+        write_structured_jsonl(delta_path, extra)
+
+        updated = add_jsonl(manifest_path, delta_path)
+        assert updated.generation == before.generation + 1
+        assert updated.doc_count == before.doc_count + len(extra)
+        assert updated.entries[-1].kind == "delta"
+        assert updated.entries[:-1] == before.entries
+        for path, data in base_files.items():
+            assert (manifest_path.parent / path).read_bytes() == data
+
+        # The updated index answers exactly like a scan of the full corpus.
+        combined = tmp_path / "combined.jsonl"
+        write_structured_jsonl(combined, recipes + extra)
+        engine = QueryEngine(ShardedRecipeIndex.load(manifest_path))
+        for seed in range(5):
+            query = _random_query(random.Random(seed))
+            assert engine.execute(query) == scan_structured_jsonl(combined, query)
+
+    def test_delta_doc_ids_continue_the_corpus(self, manifest_path, recipes, tmp_path):
+        delta_path = tmp_path / "delta.jsonl"
+        write_structured_jsonl(
+            delta_path, [_random_recipe(random.Random(1), "dx")]
+        )
+        add_jsonl(manifest_path, delta_path)
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        assert sharded.global_ids(sharded.shard_count - 1) == [len(recipes)]
+
+
+class TestMergeShards:
+    @pytest.fixture()
+    def updated_manifest(self, manifest_path, tmp_path):
+        rng = random.Random(11)
+        for batch in range(2):
+            delta_path = tmp_path / f"delta{batch}.jsonl"
+            write_structured_jsonl(
+                delta_path, [_random_recipe(rng, f"d{batch}-{i}") for i in range(5)]
+            )
+            add_jsonl(manifest_path, delta_path)
+        return manifest_path
+
+    def test_compaction_folds_deltas_into_base_shards(self, updated_manifest):
+        before = ShardedRecipeIndex.load(updated_manifest)
+        assert before.manifest.delta_count == 2
+        reference = {
+            query: QueryEngine(before).execute(query)
+            for query in ("ingredient:tomato", "NOT process:boil", "title:salad")
+        }
+        merged = merge_shards(before, num_shards=2, manifest_path=updated_manifest)
+        assert merged.generation == before.generation + 1
+        assert merged.manifest.num_shards == 2
+        assert merged.manifest.delta_count == 0
+        assert merged.doc_count == before.doc_count
+        engine = QueryEngine(merged)
+        for query, expected in reference.items():
+            assert engine.execute(query) == expected
+
+    def test_monolithic_merge_equals_a_from_scratch_build(self, updated_manifest):
+        sharded = ShardedRecipeIndex.load(updated_manifest)
+        monolithic = merge_shards(sharded, source="combined")
+        assert isinstance(monolithic, RecipeIndex)
+        assert monolithic.doc_count == sharded.doc_count
+        engine = QueryEngine(monolithic)
+        for seed in range(5):
+            query = _random_query(random.Random(100 + seed))
+            assert engine.execute(query) == QueryEngine(sharded).execute(query)
+
+    def test_monolithic_merge_saves_a_loadable_artifact(self, manifest_path, tmp_path):
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        output = tmp_path / "mono.json"
+        merge_shards(sharded, manifest_path=output)
+        loaded = load_index_path(output)
+        assert isinstance(loaded, RecipeIndex)
+        assert loaded.doc_count == sharded.doc_count
+
+    def test_merge_to_shards_requires_a_manifest_path(self, manifest_path):
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        with pytest.raises(ConfigurationError, match="manifest_path"):
+            merge_shards(sharded, num_shards=2)
+
+
+class TestLoadIndexPath:
+    def test_dispatches_on_the_format_marker(self, corpus_path, manifest_path, tmp_path):
+        mono_path = tmp_path / "mono.json"
+        IndexBuilder.build_from_jsonl(corpus_path).save(mono_path)
+        assert isinstance(load_index_path(mono_path), RecipeIndex)
+        assert isinstance(load_index_path(manifest_path), ShardedRecipeIndex)
+
+    def test_stats_report_shard_shape(self, manifest_path):
+        stats = ShardedRecipeIndex.load(manifest_path).stats()
+        assert stats["shards"] == 3
+        assert stats["base_shards"] == 3
+        assert stats["delta_shards"] == 0
+        assert stats["generation"] == 1
+        assert stats["documents"] == 30
+        assert set(stats["terms"]) == {"ingredient", "process", "utensil", "title"}
+
+    def test_stats_count_distinct_terms_across_shards(self, corpus_path, manifest_path):
+        # A term present in several shards is still one term: the sharded
+        # counts must equal the monolithic index's, not a per-shard sum.
+        monolithic = IndexBuilder.build_from_jsonl(corpus_path)
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        assert sharded.stats()["terms"] == monolithic.stats()["terms"]
+        assert sharded.stats()["postings"] == monolithic.stats()["postings"]
+
+
+class _CountingShard(RecipeIndex):
+    """RecipeIndex that counts doc-metadata lookups (materialisation work)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.doc_calls = 0
+
+    def doc(self, doc_id):
+        self.doc_calls += 1
+        return super().doc(doc_id)
+
+
+class TestShardedLimitBoundsWork:
+    def test_materialisation_is_bounded_by_limit(self, manifest_path):
+        sharded = ShardedRecipeIndex.load(manifest_path)
+        counting = [
+            _CountingShard.from_payload(shard.to_payload()) for shard in sharded.shards
+        ]
+        engine = QueryEngine(ShardedRecipeIndex(counting, sharded.manifest))
+        total, matches = engine.search("NOT ingredient:unseen", limit=3)
+        assert total == sharded.doc_count
+        assert len(matches) == 3
+        assert sum(shard.doc_calls for shard in counting) == 3

@@ -1,0 +1,148 @@
+"""Property tests: sharded == monolithic == brute-force scan, always.
+
+Random structured corpora, random shard counts (1..8) and random query
+trees (every operator, nested to random depth) are thrown at three
+evaluation paths:
+
+* ``QueryEngine`` over a :class:`ShardedRecipeIndex` **round-tripped through
+  its manifest artifact** (build -> save -> load, shard checksums verified),
+* ``QueryEngine`` over the monolithic ``IndexBuilder`` index, and
+* ``scan_structured_jsonl`` brute-forcing the same JSONL file,
+
+and the results — doc ids, recipe ids, titles *and* matched spans — must be
+element-wise identical, with and without ``limit``.  Build/save/load/merge
+round-trips must also be payload-identical: compacting every shard back into
+one monolithic index reproduces the exact payload a from-scratch build
+produces, and incremental delta updates answer exactly like a scan of the
+concatenated corpus.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.sink import write_structured_jsonl
+from repro.index import (
+    IndexBuilder,
+    QueryEngine,
+    ShardManifest,
+    ShardedRecipeIndex,
+    add_jsonl,
+    build_sharded_index,
+    merge_shards,
+    render_query,
+    scan_structured_jsonl,
+)
+
+from tests.property.test_index_properties import _random_query, _random_recipe
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_sharded_equals_monolithic_equals_scan(seed, tmp_path):
+    rng = random.Random(2000 + seed)
+    recipes = [_random_recipe(rng, f"r{i}") for i in range(rng.randint(1, 40))]
+    path = tmp_path / "structured.jsonl"
+    write_structured_jsonl(path, recipes)
+    num_shards = rng.randint(1, 8)
+
+    manifest_path = tmp_path / "manifest.json"
+    build_sharded_index(path, manifest_path, num_shards=num_shards)
+    sharded = QueryEngine(ShardedRecipeIndex.load(manifest_path))
+    monolithic = QueryEngine(IndexBuilder.build_from_jsonl(path))
+
+    for _ in range(25):
+        query = _random_query(rng)
+        from_shards = sharded.execute(query)
+        from_monolith = monolithic.execute(query)
+        scanned = scan_structured_jsonl(path, query)
+        assert from_shards == from_monolith == scanned, (
+            f"seed={seed} shards={num_shards} query={render_query(query)}: "
+            f"sharded {[m.doc_id for m in from_shards]} vs "
+            f"monolithic {[m.doc_id for m in from_monolith]} vs "
+            f"scanned {[m.doc_id for m in scanned]}"
+        )
+
+        limit = rng.randint(0, len(recipes) + 1)
+        total_sharded, limited_sharded = sharded.search(query, limit=limit)
+        total_mono, limited_mono = monolithic.search(query, limit=limit)
+        assert total_sharded == total_mono == len(scanned)
+        assert limited_sharded == limited_mono == scanned[:limit]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_shard_round_trips_and_merges_are_payload_identical(seed, tmp_path):
+    rng = random.Random(3000 + seed)
+    recipes = [_random_recipe(rng, f"r{i}") for i in range(rng.randint(2, 30))]
+    path = tmp_path / "structured.jsonl"
+    write_structured_jsonl(path, recipes)
+    num_shards = rng.randint(1, 8)
+
+    manifest_path = tmp_path / "manifest.json"
+    build_sharded_index(path, manifest_path, num_shards=num_shards)
+
+    # save -> load -> save round-trips are payload-identical, shard by shard.
+    first = ShardedRecipeIndex.load(manifest_path)
+    second = ShardedRecipeIndex.load(manifest_path)
+    assert first.manifest == second.manifest
+    for left, right in zip(first.shards, second.shards):
+        assert left.to_payload() == right.to_payload()
+
+    # Compacting every shard back into one index reproduces the exact payload
+    # of a from-scratch monolithic build over the same JSONL.
+    monolithic = IndexBuilder.build_from_jsonl(path)
+    merged = merge_shards(first, source=str(path))
+    assert merged.to_payload() == monolithic.to_payload()
+
+    # Re-sharding to a random different count preserves every answer.
+    new_count = rng.randint(1, 8)
+    resharded = merge_shards(
+        first, num_shards=new_count, manifest_path=tmp_path / "resharded.json"
+    )
+    engine = QueryEngine(resharded)
+    reference = QueryEngine(monolithic)
+    for _ in range(10):
+        query = _random_query(rng)
+        assert engine.execute(query) == reference.execute(query)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_incremental_shard_updates_stay_scan_identical(seed, tmp_path):
+    rng = random.Random(4000 + seed)
+    base = [_random_recipe(rng, f"r{i}") for i in range(rng.randint(1, 20))]
+    base_path = tmp_path / "base.jsonl"
+    write_structured_jsonl(base_path, base)
+    manifest_path = tmp_path / "manifest.json"
+    build_sharded_index(base_path, manifest_path, num_shards=rng.randint(1, 4))
+
+    corpus = list(base)
+    for batch in range(rng.randint(1, 3)):
+        extra = [
+            _random_recipe(rng, f"d{batch}-{i}") for i in range(rng.randint(1, 8))
+        ]
+        delta_path = tmp_path / f"delta{batch}.jsonl"
+        write_structured_jsonl(delta_path, extra)
+        add_jsonl(manifest_path, delta_path)
+        corpus.extend(extra)
+
+    combined_path = tmp_path / "combined.jsonl"
+    write_structured_jsonl(combined_path, corpus)
+    sharded = ShardedRecipeIndex.load(manifest_path)
+    assert sharded.doc_count == len(corpus)
+    assert sharded.manifest.delta_count > 0
+    engine = QueryEngine(sharded)
+    for _ in range(15):
+        query = _random_query(rng)
+        assert engine.execute(query) == scan_structured_jsonl(combined_path, query)
+
+    # Compaction folds the deltas without changing a single answer.
+    compacted = merge_shards(sharded, num_shards=2, manifest_path=manifest_path)
+    assert compacted.manifest.delta_count == 0
+    assert ShardManifest.load(manifest_path).generation == sharded.generation + 1
+    compacted_engine = QueryEngine(compacted)
+    for _ in range(10):
+        query = _random_query(rng)
+        assert compacted_engine.execute(query) == scan_structured_jsonl(
+            combined_path, query
+        )

@@ -96,6 +96,48 @@ class TestSearchService:
             index_registry().load(bundle_path)
 
 
+class TestShardedSearchService:
+    @pytest.fixture()
+    def manifest_path(self, structured_path, tmp_path):
+        from repro.index import build_sharded_index
+
+        path = tmp_path / "manifest.json"
+        build_sharded_index(structured_path, path, num_shards=3)
+        return path
+
+    def test_manifest_results_equal_the_monolithic_service(
+        self, manifest_path, index_path
+    ):
+        query = _a_matching_query(index_path)
+        sharded = SearchService.from_artifact(manifest_path).search(query)
+        monolithic = SearchService.from_artifact(index_path).search(query)
+        assert sharded["results"] == monolithic["results"]
+        assert sharded["total"] == monolithic["total"]
+
+    def test_stats_report_shard_shape_and_manifest_generation(self, manifest_path):
+        stats = SearchService.from_artifact(manifest_path).stats()
+        assert stats["index"]["shards"] == 3
+        assert stats["index"]["generation"] == 1
+        assert stats["index"]["documents"] > 0
+
+    def test_reload_swaps_a_new_manifest_generation(
+        self, manifest_path, structured_path, tmp_path
+    ):
+        from repro.corpus.sink import iter_structured_jsonl
+        from repro.index import add_jsonl
+        from repro.corpus.sink import write_structured_jsonl
+
+        service = SearchService.from_artifact(manifest_path)
+        before = service.record().bundle.doc_count
+        delta = tmp_path / "delta.jsonl"
+        write_structured_jsonl(delta, list(iter_structured_jsonl(structured_path))[:2])
+        add_jsonl(manifest_path, delta)
+        record = service.reload()
+        assert record.generation == 2
+        assert record.bundle.generation == 2
+        assert record.bundle.doc_count == before + 2
+
+
 class TestSearchEndpoint:
     def test_search_equals_a_brute_force_scan(
         self, search_server, index_path, structured_path
@@ -135,6 +177,10 @@ class TestSearchEndpoint:
         status, document = _request(search_server, "/healthz")
         assert status == 200
         assert document["index"]["generation"] == 1
+        # A monolithic artifact serves as one shard (and has no manifest
+        # generation to report).
+        assert document["index"]["shards"] == 1
+        assert "index_generation" not in document["index"]
 
     def test_reload_reports_both_artifacts(self, search_server):
         status, document = _request(search_server, "/v1/reload", body={})

@@ -263,6 +263,110 @@ class TestIndexCommands:
         assert arguments.index == "i.json"
 
 
+class TestShardCommands:
+    @pytest.fixture(scope="class")
+    def structured_path(self, modeler, corpus, tmp_path_factory):
+        from repro.corpus import write_structured_jsonl
+
+        path = tmp_path_factory.mktemp("cli-shards") / "structured.jsonl"
+        write_structured_jsonl(path, (modeler.model_recipe(recipe) for recipe in corpus))
+        return path
+
+    @pytest.fixture(scope="class")
+    def query(self, structured_path):
+        from repro.index import IndexBuilder
+
+        index = IndexBuilder.build_from_jsonl(structured_path)
+        term = max(
+            index.terms("process"), key=lambda t: len(index.postings("process", t))
+        )
+        return f'process:"{term}"'
+
+    def test_build_shards_writes_a_manifest(self, structured_path, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        exit_code = main(
+            ["index", "build", "--input", str(structured_path),
+             "--output", str(manifest), "--shards", "2", "--workers", "2"]
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert summary["indexed"]["shards"] == 2
+        assert summary["indexed"]["generation"] == 1
+        assert manifest.exists()
+
+    def test_manifest_query_equals_monolithic_query(
+        self, structured_path, query, tmp_path, capsys
+    ):
+        manifest = tmp_path / "manifest.json"
+        mono = tmp_path / "mono.json"
+        main(["index", "build", "--input", str(structured_path),
+              "--output", str(manifest), "--shards", "3"])
+        main(["index", "build", "--input", str(structured_path),
+              "--output", str(mono)])
+        capsys.readouterr()
+        assert main(["index", "query", "--index", str(manifest), query]) == 0
+        from_manifest = capsys.readouterr().out
+        assert main(["index", "query", "--index", str(mono), query]) == 0
+        assert from_manifest == capsys.readouterr().out
+        assert from_manifest.strip()
+
+    def test_update_then_merge_round_trip(self, structured_path, query, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        main(["index", "build", "--input", str(structured_path),
+              "--output", str(manifest), "--shards", "2"])
+        capsys.readouterr()
+
+        exit_code = main(["index", "update", "--manifest", str(manifest),
+                          "--input", str(structured_path)])
+        summary = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert summary["updated"]["deltas"] == 1
+        assert summary["updated"]["generation"] == 2
+
+        exit_code = main(["index", "merge", "--manifest", str(manifest),
+                          "--output", str(manifest), "--shards", "2"])
+        summary = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert summary["merged"]["deltas"] == 0
+        assert summary["merged"]["generation"] == 3
+
+        mono = tmp_path / "mono.json"
+        exit_code = main(["index", "merge", "--manifest", str(manifest),
+                          "--output", str(mono)])
+        summary = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert summary["merged"]["documents"] > 0
+        # The compacted monolithic artifact answers the probe query too.
+        assert main(["index", "query", "--index", str(mono), query]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_workers_without_shards_is_a_usage_error(self, tmp_path, capsys):
+        exit_code = main(
+            ["index", "build", "--input", "s.jsonl",
+             "--output", str(tmp_path / "i.json"), "--workers", "4"]
+        )
+        assert exit_code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_build_parser_accepts_shard_flags(self):
+        arguments = build_parser().parse_args(
+            ["index", "build", "--input", "s.jsonl", "--output", "m.json",
+             "--shards", "4", "--workers", "2"]
+        )
+        assert arguments.shards == 4
+        assert arguments.workers == 2
+
+    def test_merge_and_update_parsers(self):
+        arguments = build_parser().parse_args(
+            ["index", "merge", "--manifest", "m.json", "--output", "out.json"]
+        )
+        assert arguments.shards is None
+        arguments = build_parser().parse_args(
+            ["index", "update", "--manifest", "m.json", "--input", "d.jsonl"]
+        )
+        assert arguments.input == "d.jsonl"
+
+
 class TestMain:
     def test_main_runs_a_cheap_experiment(self, capsys):
         exit_code = main(["fig3", "--scale", "tiny", "--seed", "0"])
