@@ -12,9 +12,13 @@ entity queries two ways:
 Both paths must return element-wise identical results (ids, titles *and*
 matched spans), and the indexed path must clear a >=10x speedup floor —
 that gap is the entire point of the subsystem ("precompute once, answer
-interactively").  Results land in ``benchmarks/BENCH_index.json``; runners
-where the scan is too fast to time reliably record a guarded skip for the
-floor instead of failing.
+interactively").  The same index is also saved in the v2 compact binary
+posting format and must clear two more floors: the artifact >=10x smaller
+than v1 (deterministic, always asserted) and the mmap'd lazy open >=20x
+faster than the v1 full-parse load (asserted only when the v1 load is slow
+enough to time reliably).  Results land in ``benchmarks/BENCH_index.json``;
+runners where a baseline is too fast to time record a guarded skip for
+that floor instead of failing.
 """
 
 from __future__ import annotations
@@ -40,6 +44,12 @@ COPIES = 40
 INDEX_REPS = 25
 #: Below this much total scan time the ratio is noise: record, don't assert.
 MIN_MEASURABLE_SCAN_S = 0.2
+#: v2 compact binary artifact floors: bytes on disk and cold-open latency.
+MIN_SIZE_RATIO = 10.0
+MIN_OPEN_RATIO = 20.0
+#: Opens are timed best-of-N; below this v1 load time the open ratio is noise.
+LOAD_REPS = 5
+MIN_MEASURABLE_LOAD_S = 0.02
 
 
 @pytest.fixture(scope="module")
@@ -92,6 +102,22 @@ def test_bench_index(structured_corpus_path, tmp_path):
     engine = QueryEngine(RecipeIndex.load(artifact))
     load_s = time.perf_counter() - started
 
+    # ---- the same index in the v2 compact binary posting format.
+    artifact_v2 = tmp_path / "index.bin"
+    index.save(artifact_v2, kind="v2")
+
+    def best_open(path: Path) -> float:
+        best = float("inf")
+        for _ in range(LOAD_REPS):
+            started = time.perf_counter()
+            RecipeIndex.load(path)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    load_v1_s = best_open(artifact)
+    load_v2_s = best_open(artifact_v2)
+    engine_v2 = QueryEngine(RecipeIndex.load(artifact_v2))
+
     queries = _bench_queries(engine.index)
     rows = []
     scan_total_s = 0.0
@@ -103,6 +129,9 @@ def test_bench_index(structured_corpus_path, tmp_path):
         scanned = scan_structured_jsonl(structured_corpus_path, query)
         scan_s = time.perf_counter() - started
         assert indexed == scanned, f"indexed vs scanned mismatch for {query!r}"
+        assert engine_v2.execute(query) == scanned, (
+            f"v2 lazy-decode vs scanned mismatch for {query!r}"
+        )
 
         started = time.perf_counter()
         for _ in range(INDEX_REPS):
@@ -123,12 +152,23 @@ def test_bench_index(structured_corpus_path, tmp_path):
 
     speedup = scan_total_s / indexed_total_s if indexed_total_s else float("inf")
     floor_asserted = scan_total_s >= MIN_MEASURABLE_SCAN_S
+    size_ratio = artifact.stat().st_size / artifact_v2.stat().st_size
+    open_ratio = load_v1_s / load_v2_s if load_v2_s else float("inf")
+    open_floor_asserted = load_v1_s >= MIN_MEASURABLE_LOAD_S
     report = {
         "documents": engine.index.doc_count,
         "postings": engine.index.stats()["postings"],
         "artifact_bytes": artifact.stat().st_size,
+        "artifact_bytes_v2": artifact_v2.stat().st_size,
         "build_s": round(build_s, 3),
         "load_s": round(load_s, 3),
+        "load_s_v1_best": round(load_v1_s, 5),
+        "load_s_v2": round(load_v2_s, 5),
+        "size_ratio_v2": round(size_ratio, 1),
+        "size_floor": MIN_SIZE_RATIO,
+        "open_ratio_v2": round(open_ratio, 1),
+        "open_floor": MIN_OPEN_RATIO,
+        "open_floor_asserted": open_floor_asserted,
         "index_reps": INDEX_REPS,
         "queries": rows,
         "identical_to_scan": True,
@@ -142,9 +182,27 @@ def test_bench_index(structured_corpus_path, tmp_path):
             f"{MIN_MEASURABLE_SCAN_S}s measurement floor on this runner; "
             "speedup recorded but not asserted"
         )
+    if not open_floor_asserted:
+        report["open_skipped"] = (
+            f"v1 load time {load_v1_s:.4f}s is below the "
+            f"{MIN_MEASURABLE_LOAD_S}s measurement floor on this runner; "
+            "open ratio recorded but not asserted"
+        )
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     emit("INDEX PERF SMOKE (BENCH_index.json)", json.dumps(report, indent=2))
 
+    # The size ratio is deterministic (same bytes every run): always assert.
+    assert size_ratio >= MIN_SIZE_RATIO, (
+        f"v2 artifact is only {size_ratio:.1f}x smaller than v1 "
+        f"({artifact_v2.stat().st_size} vs {artifact.stat().st_size} bytes); "
+        f"floor is {MIN_SIZE_RATIO}x"
+    )
+    if open_floor_asserted:
+        assert open_ratio >= MIN_OPEN_RATIO, (
+            f"v2 mmap open is only {open_ratio:.1f}x faster than the v1 "
+            f"full-parse load ({load_v2_s:.5f}s vs {load_v1_s:.5f}s); "
+            f"floor is {MIN_OPEN_RATIO}x"
+        )
     if floor_asserted:
         assert speedup >= MIN_SPEEDUP, (
             f"indexed query speedup {speedup:.1f}x is below the "

@@ -13,6 +13,11 @@ JSONL; this package makes that output queryable:
   :class:`QueryEngine` evaluating it with posting-list algebra, and a
   brute-force scan path that is element-wise identical by construction.
 
+* :mod:`repro.index.codec` — the compact binary posting format ("v2"):
+  delta+varint posting lists behind an mmap'd, checksum-verified binary
+  section, decoded lazily per term through an LRU, so artifacts are an
+  order of magnitude smaller and open in O(header) time;
+
 * :mod:`repro.index.sharding` — the sharded substrate:
   :func:`build_sharded_index` hash-partitions a corpus into N shards built
   in parallel, a checksummed :class:`ShardManifest` artifact is the atomic
@@ -33,6 +38,13 @@ from repro.index.builder import (
     PostingList,
     RecipeIndex,
     extract_entities,
+    load_index_bytes,
+)
+from repro.index.codec import (
+    INDEX_V2_ARTIFACT_FORMAT,
+    RecipeIndexV2,
+    load_index_v2,
+    save_index_v2,
 )
 from repro.index.sharding import (
     MANIFEST_ARTIFACT_FORMAT,
@@ -44,6 +56,7 @@ from repro.index.sharding import (
     load_index_artifact,
     load_index_path,
     merge_shards,
+    migrate_manifest,
     shard_for,
 )
 from repro.index.query import (
@@ -64,6 +77,7 @@ __all__ = [
     "And",
     "FIELDS",
     "INDEX_ARTIFACT_FORMAT",
+    "INDEX_V2_ARTIFACT_FORMAT",
     "IndexBuilder",
     "MANIFEST_ARTIFACT_FORMAT",
     "Not",
@@ -72,6 +86,7 @@ __all__ = [
     "QueryEngine",
     "QueryMatch",
     "RecipeIndex",
+    "RecipeIndexV2",
     "ShardEntry",
     "ShardManifest",
     "ShardedRecipeIndex",
@@ -80,11 +95,15 @@ __all__ = [
     "build_sharded_index",
     "extract_entities",
     "load_index_artifact",
+    "load_index_bytes",
     "load_index_path",
+    "load_index_v2",
     "matches_recipe",
     "merge_shards",
+    "migrate_manifest",
     "parse_query",
     "render_query",
+    "save_index_v2",
     "scan_recipes",
     "scan_structured_jsonl",
     "shard_for",

@@ -32,6 +32,7 @@ from repro.errors import ConfigurationError, PersistenceError, QueryError
 from repro.persistence import (
     check_payload_version,
     FORMAT_VERSION,
+    open_artifact_buffer,
     parse_artifact,
     write_artifact,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "PostingList",
     "RecipeIndex",
     "extract_entities",
+    "load_index_bytes",
 ]
 
 #: ``format`` marker of the index artifact envelope.
@@ -121,6 +123,10 @@ class RecipeIndex:
             from); carried through the artifact for the stats endpoints.
     """
 
+    #: Artifact kind this class materialises ("v1": eager JSON postings).
+    #: :class:`~repro.index.codec.RecipeIndexV2` overrides it with "v2".
+    kind = "v1"
+
     def __init__(
         self,
         postings: dict[str, dict[str, PostingList]],
@@ -155,6 +161,16 @@ class RecipeIndex:
         """Metadata of one indexed recipe."""
         return self.docs[doc_id]
 
+    def posting_count(self, field: str, term: str) -> int:
+        """Length of a term's posting list (0 when absent).
+
+        On a lazily decoded v2 index this reads header metadata without
+        decoding the list, which is why the query planner orders AND
+        children by it.
+        """
+        posting = self.postings(field, term)
+        return len(posting.ids) if posting is not None else 0
+
     def stats(self) -> dict:
         """Index shape for the stats endpoints and CLI summaries."""
         return {
@@ -166,6 +182,7 @@ class RecipeIndex:
                 for table in self._postings.values()
                 for posting in table.values()
             ),
+            "format": self.kind,
         }
 
     def _field(self, field: str) -> dict[str, PostingList]:
@@ -211,15 +228,43 @@ class RecipeIndex:
         }
         return cls(postings, list(payload["docs"]), source=payload.get("source", ""))
 
-    def save(self, path: str | Path) -> None:
-        """Atomically write the index as a checksummed artifact (see bundle)."""
-        write_artifact(path, self.to_payload(), format=INDEX_ARTIFACT_FORMAT)
+    def save(self, path: str | Path, *, kind: str | None = None) -> None:
+        """Atomically write the index as a checksummed artifact (see bundle).
+
+        ``kind`` selects the on-disk representation: ``"v1"`` is the eager
+        JSON payload, ``"v2"`` the compact binary posting format of
+        :mod:`repro.index.codec` (delta+varint chunks behind an mmap'd
+        lazy-decode load).  Defaults to the index's own :attr:`kind`, so a
+        loaded artifact round-trips in its native format; pass the other
+        kind to convert.
+        """
+        kind = self.kind if kind is None else kind
+        if kind == "v1":
+            write_artifact(path, self.to_payload(), format=INDEX_ARTIFACT_FORMAT)
+        elif kind == "v2":
+            from repro.index.codec import save_index_v2
+
+            save_index_v2(self, path)
+        else:
+            raise PersistenceError(
+                f"unknown index artifact kind {kind!r}; expected 'v1' or 'v2'"
+            )
 
     @classmethod
     def load(cls, path: str | Path) -> "RecipeIndex":
-        """Load and validate an index previously written by :meth:`save`."""
+        """Load and validate an index previously written by :meth:`save`.
+
+        Dispatches on the artifact's format marker: v1 artifacts are parsed
+        eagerly as before; v2 artifacts are mmap'd and decoded lazily (the
+        return value is a :class:`~repro.index.codec.RecipeIndexV2`).
+        """
+        from repro.index.codec import is_v2_artifact, load_index_v2_buffer
+
         path = Path(path)
-        return cls.loads(path.read_text(encoding="utf-8"), source=str(path))
+        buffer = open_artifact_buffer(path)
+        if is_v2_artifact(buffer):
+            return load_index_v2_buffer(buffer, source=str(path))
+        return cls.loads(_decode_artifact_text(buffer, str(path)), source=str(path))
 
     @classmethod
     def loads(
@@ -232,7 +277,16 @@ class RecipeIndex:
         index artifacts with the same hot-swap lifecycle as model bundles.
         ``document`` optionally forwards an existing ``json.loads(text)`` so
         dispatching callers never parse a large artifact twice.
+
+        v2 artifacts arrive here as text when a text-oriented caller (the
+        registry) read the file with ``errors="surrogateescape"``; the
+        original bytes are recovered losslessly and decoded lazily.
         """
+        from repro.index.codec import is_v2_artifact, load_index_v2_buffer
+
+        if is_v2_artifact(text):
+            data = text.encode("utf-8", errors="surrogateescape")
+            return load_index_v2_buffer(data, source=source)
         payload = parse_artifact(
             text,
             format=INDEX_ARTIFACT_FORMAT,
@@ -241,6 +295,32 @@ class RecipeIndex:
             document=document,
         )
         return cls.from_payload(payload)
+
+
+def _decode_artifact_text(buffer, source: str) -> str:
+    """Decode presumed-v1 artifact bytes, raising the canonical error on
+    binary content (e.g. a v2 artifact whose format marker was tampered)."""
+    try:
+        return bytes(buffer[:]).decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise PersistenceError(
+            f"index artifact {source} is not valid UTF-8 (binary or corrupt): {error}"
+        ) from error
+
+
+def load_index_bytes(buffer, source: str = "<index>") -> RecipeIndex:
+    """Open an index artifact from bytes already in hand (either kind).
+
+    ``buffer`` is any bytes-like object — typically the mmap a caller just
+    checksummed, so the very bytes that were verified are the bytes decoded.
+    v2 artifacts stay in the buffer and decode lazily; v1 artifacts parse
+    eagerly as before.
+    """
+    from repro.index.codec import is_v2_artifact, load_index_v2_buffer
+
+    if is_v2_artifact(buffer):
+        return load_index_v2_buffer(buffer, source=source)
+    return RecipeIndex.loads(_decode_artifact_text(buffer, source), source=source)
 
 
 class IndexBuilder:

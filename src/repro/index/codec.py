@@ -1,0 +1,434 @@
+"""Compact binary posting format (v2): delta+varint chunks behind mmap.
+
+A v1 :class:`~repro.index.builder.RecipeIndex` artifact is one JSON envelope
+holding every posting list and span group as JSON arrays — 1.87 MB and a
+full parse for 54k postings on the benchmark corpus.  This module is the v2
+alternative: the same hardened envelope discipline, but the posting lists
+live in a **binary section** after the JSON header and are decoded **lazily,
+one term at a time**:
+
+* the header (small JSON) carries the format marker, version, per-term byte
+  offsets/lengths/counts and the per-section SHA-256s;
+* each term's posting list is delta-encoded (strictly increasing doc ids →
+  gaps), varint-compressed, and deflated when that wins;
+* the per-doc metadata table is one deflated JSON blob, decoded on first
+  doc access, so opening an artifact materialises nothing;
+* loads :func:`mmap <repro.persistence.open_artifact_buffer>` the file and
+  verify the binary checksum over the **raw mapped bytes** — open cost is
+  O(header), not O(index) — then hand out a :class:`RecipeIndexV2` whose
+  :meth:`postings` decodes through a bounded LRU of warm terms.
+
+Wire format of one raw (pre-deflate) term chunk::
+
+    uvarint  posting_count
+    repeat posting_count times:
+        uvarint  doc id delta   (the id itself for the first posting)
+        uvarint  span_count
+        repeat span_count times:
+            uvarint  where code     (index into the header's "wheres" table)
+            uvarint  position
+
+The header's term table maps ``field -> term -> [offset, length, count,
+enc]`` into the binary section (``enc``: 0 raw, 1 zlib) and ``"docs" ->
+[offset, length, enc]`` points at the doc-metadata blob.  Everything a
+query planner wants *without* decoding — posting-list lengths — is header
+metadata, which is what :meth:`RecipeIndexV2.posting_count` exposes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import PersistenceError, QueryError
+from repro.index.builder import FIELDS, PostingList, RecipeIndex
+from repro.persistence import (
+    FORMAT_VERSION,
+    check_payload_version,
+    open_artifact_buffer,
+    parse_binary_artifact,
+    write_artifact,
+)
+from repro.text.normalize import normalize_phrase
+
+__all__ = [
+    "INDEX_V2_ARTIFACT_FORMAT",
+    "RecipeIndexV2",
+    "build_v2_sections",
+    "decode_posting",
+    "decode_uvarint",
+    "encode_posting",
+    "encode_uvarint",
+    "is_v2_artifact",
+    "load_index_v2",
+    "load_index_v2_buffer",
+    "save_index_v2",
+]
+
+#: ``format`` marker of the v2 (binary-section) index artifact envelope.
+INDEX_V2_ARTIFACT_FORMAT = "repro-recipe-index-v2"
+
+#: Envelopes are written with the format marker first, so a v2 artifact is
+#: identified by its literal byte prefix without parsing anything.
+_V2_PREFIX_TEXT = f'{{"format": "{INDEX_V2_ARTIFACT_FORMAT}"'
+_V2_PREFIX = _V2_PREFIX_TEXT.encode("utf-8")
+
+#: Per-chunk encodings recorded in the header's term table.
+ENC_RAW = 0
+ENC_ZLIB = 1
+
+#: Decoded-term LRU capacity of a lazily loaded index.
+DEFAULT_LRU_TERMS = 256
+
+
+def is_v2_artifact(data) -> bool:
+    """Whether ``data`` (bytes-like or str) starts like a v2 index artifact."""
+    if isinstance(data, str):
+        return data.startswith(_V2_PREFIX_TEXT)
+    return bytes(data[: len(_V2_PREFIX)]) == _V2_PREFIX
+
+
+# ------------------------------------------------------------------- varints
+
+
+def encode_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (non-negative) as a LEB128 varint."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_uvarint(data, position: int) -> tuple[int, int]:
+    """Read one varint at ``position``; returns ``(value, next_position)``."""
+    result = 0
+    shift = 0
+    try:
+        while True:
+            byte = data[position]
+            position += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, position
+            shift += 7
+    except IndexError:
+        raise PersistenceError(
+            "posting chunk ends mid-varint; the binary section is corrupt"
+        ) from None
+
+
+# ------------------------------------------------------------- posting chunks
+
+
+def encode_posting(posting: PostingList, where_code: dict[str, int]) -> bytes:
+    """Delta+varint encode one posting list with its span payloads."""
+    out = bytearray()
+    encode_uvarint(out, len(posting.ids))
+    previous = 0
+    for index, (doc_id, span_group) in enumerate(zip(posting.ids, posting.spans)):
+        encode_uvarint(out, doc_id if index == 0 else doc_id - previous)
+        previous = doc_id
+        encode_uvarint(out, len(span_group))
+        for where, position in span_group:
+            encode_uvarint(out, where_code[where])
+            encode_uvarint(out, position)
+    return bytes(out)
+
+
+def decode_posting(data, wheres: list[str], expected_count: int) -> PostingList:
+    """Decode one raw term chunk back into a :class:`PostingList`.
+
+    The decoded spans are plain ``[where, position]`` lists — exactly the
+    structures a v1 JSON load produces — so v1 and v2 answers compare
+    element-wise equal, spans included.
+    """
+    count, position = decode_uvarint(data, 0)
+    if count != expected_count:
+        raise PersistenceError(
+            f"posting chunk holds {count} postings but the term table records "
+            f"{expected_count}; the artifact is corrupt"
+        )
+    ids: list[int] = []
+    spans: list[list[list]] = []
+    doc_id = 0
+    n_wheres = len(wheres)
+    for index in range(count):
+        delta, position = decode_uvarint(data, position)
+        doc_id = delta if index == 0 else doc_id + delta
+        ids.append(doc_id)
+        span_count, position = decode_uvarint(data, position)
+        group: list[list] = []
+        for _ in range(span_count):
+            code, position = decode_uvarint(data, position)
+            if code >= n_wheres:
+                raise PersistenceError(
+                    f"posting chunk references where-code {code} but the "
+                    f"header lists only {n_wheres}; the artifact is corrupt"
+                )
+            span_position, position = decode_uvarint(data, position)
+            group.append([wheres[code], span_position])
+        spans.append(group)
+    if position != len(data):
+        raise PersistenceError(
+            f"posting chunk has {len(data) - position} trailing bytes; "
+            "the artifact is corrupt"
+        )
+    return PostingList(ids=ids, spans=spans)
+
+
+def _pack_chunk(raw: bytes) -> tuple[int, bytes]:
+    """Deflate a chunk when that is smaller; returns ``(enc, data)``."""
+    deflated = zlib.compress(raw, 6)
+    if len(deflated) < len(raw):
+        return ENC_ZLIB, deflated
+    return ENC_RAW, raw
+
+
+def _unpack_chunk(view, enc: int):
+    """Inverse of :func:`_pack_chunk`; raw chunks stay zero-copy views."""
+    if enc == ENC_ZLIB:
+        try:
+            return zlib.decompress(view)
+        except zlib.error as error:
+            raise PersistenceError(
+                f"deflated chunk does not inflate ({error}); the artifact is corrupt"
+            ) from error
+    if enc == ENC_RAW:
+        return view
+    raise PersistenceError(f"unknown chunk encoding {enc!r}; the artifact is corrupt")
+
+
+# --------------------------------------------------------------- whole files
+
+
+def build_v2_sections(index: RecipeIndex) -> tuple[dict, bytes]:
+    """Serialise ``index`` into the v2 ``(header payload, binary section)``.
+
+    Deterministic: terms are laid out in sorted order per field, the
+    where-code table in first-appearance order of that layout, so the same
+    index always produces the same bytes.
+    """
+    binary = bytearray()
+    wheres: list[str] = []
+    where_code: dict[str, int] = {}
+    term_tables: dict[str, dict[str, list]] = {}
+    for field in FIELDS:
+        table = index._field(field)
+        entries: dict[str, list] = {}
+        for term in sorted(table):
+            posting = table[term]
+            for span_group in posting.spans:
+                for where, _ in span_group:
+                    if where not in where_code:
+                        where_code[where] = len(wheres)
+                        wheres.append(where)
+            enc, data = _pack_chunk(encode_posting(posting, where_code))
+            entries[term] = [len(binary), len(data), len(posting.ids), enc]
+            binary.extend(data)
+        term_tables[field] = entries
+    docs_raw = json.dumps(
+        list(index.docs), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    docs_enc, docs_data = _pack_chunk(docs_raw)
+    docs_entry = [len(binary), len(docs_data), docs_enc]
+    binary.extend(docs_data)
+    payload = {
+        "version": FORMAT_VERSION,
+        "source": index.source,
+        "doc_count": index.doc_count,
+        "wheres": wheres,
+        "docs": docs_entry,
+        "terms": term_tables,
+    }
+    return payload, bytes(binary)
+
+
+def save_index_v2(index: RecipeIndex, path: str | Path) -> None:
+    """Atomically write ``index`` as a v2 binary artifact (see module doc)."""
+    payload, binary = build_v2_sections(index)
+    write_artifact(path, payload, format=INDEX_V2_ARTIFACT_FORMAT, binary=binary)
+
+
+def load_index_v2_buffer(buffer, source: str = "<index>") -> "RecipeIndexV2":
+    """Open a v2 artifact from a bytes-like buffer (typically an mmap).
+
+    Cost is O(header): the envelope JSON is parsed, both section checksums
+    are verified over raw bytes, and the index is handed back with every
+    posting list still encoded — queries decode only the terms they touch.
+    """
+    payload, binary = parse_binary_artifact(
+        buffer, format=INDEX_V2_ARTIFACT_FORMAT, source=source, what="index artifact"
+    )
+    check_payload_version(payload, f"recipe index {source}")
+    for field in ("doc_count", "wheres", "docs", "terms"):
+        if field not in payload:
+            raise PersistenceError(
+                f"index artifact {source} header is missing its {field!r} field"
+            )
+    return RecipeIndexV2(payload, binary, buffer=buffer)
+
+
+def load_index_v2(path: str | Path) -> "RecipeIndexV2":
+    """mmap a v2 artifact file and open it lazily (see buffer variant)."""
+    return load_index_v2_buffer(open_artifact_buffer(path), source=str(path))
+
+
+# ----------------------------------------------------------------- the index
+
+
+class RecipeIndexV2(RecipeIndex):
+    """A :class:`RecipeIndex` whose postings decode lazily from mmap'd bytes.
+
+    Drop-in for the v1 class everywhere it is read (the query engine, the
+    sharded substrate's merges, the serving layer): same methods, same
+    decoded structures.  Differences are purely operational:
+
+    * construction holds only the header tables plus a buffer view — no
+      posting list or doc metadata is materialised until touched;
+    * :meth:`postings` decodes one term on demand and keeps the most
+      recently used ``lru_terms`` decoded lists warm;
+    * :meth:`posting_count` answers from header metadata with no decode,
+      which is what the query planner orders AND children by;
+    * doc metadata inflates on first :meth:`doc`/:attr:`docs` access.
+
+    Thread-safe for concurrent readers: the LRU is guarded by a lock, and
+    the lazy doc decode is idempotent.
+    """
+
+    kind = "v2"
+
+    def __init__(
+        self,
+        payload: dict,
+        binary,
+        *,
+        buffer=None,
+        lru_terms: int = DEFAULT_LRU_TERMS,
+    ) -> None:
+        self._binary = binary
+        self._buffer = buffer  # keeps the mmap alive for the index's lifetime
+        self._wheres = list(payload["wheres"])
+        self._tables = payload["terms"]
+        self._docs_entry = payload["docs"]
+        self._doc_count = int(payload["doc_count"])
+        self.source = payload.get("source", "")
+        self._docs_cache: list[dict] | None = None
+        self._lru: OrderedDict[tuple[str, str], PostingList] = OrderedDict()
+        self._lru_terms = lru_terms
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def doc_count(self) -> int:
+        return self._doc_count
+
+    @property
+    def docs(self) -> list[dict]:
+        """Per-doc metadata, inflated from the binary section on first use."""
+        if self._docs_cache is None:
+            offset, length, enc = self._docs_entry
+            raw = _unpack_chunk(self._chunk(offset, length), enc)
+            try:
+                docs = json.loads(bytes(raw))
+            except json.JSONDecodeError as error:
+                raise PersistenceError(
+                    f"doc-metadata chunk is not valid JSON ({error}); "
+                    "the artifact is corrupt"
+                ) from error
+            self._docs_cache = docs
+        return self._docs_cache
+
+    def doc(self, doc_id: int) -> dict:
+        return self.docs[doc_id]
+
+    def terms(self, field: str) -> list[str]:
+        return sorted(self._table(field))
+
+    def postings(self, field: str, term: str) -> PostingList | None:
+        normalized = normalize_phrase(term)
+        entry = self._table(field).get(normalized)
+        if entry is None:
+            return None
+        key = (field, normalized)
+        with self._lock:
+            cached = self._lru.get(key)
+            if cached is not None:
+                self._lru.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
+            offset, length, count, enc = entry
+            posting = decode_posting(
+                _unpack_chunk(self._chunk(offset, length), enc), self._wheres, count
+            )
+            self._lru[key] = posting
+            if len(self._lru) > self._lru_terms:
+                self._lru.popitem(last=False)
+            return posting
+
+    def posting_count(self, field: str, term: str) -> int:
+        """Posting-list length from header metadata — no decode, no I/O."""
+        entry = self._table(field).get(normalize_phrase(term))
+        return entry[2] if entry is not None else 0
+
+    def stats(self) -> dict:
+        return {
+            "documents": self.doc_count,
+            "source": self.source,
+            "terms": {field: len(table) for field, table in self._tables.items()},
+            "postings": sum(
+                entry[2] for table in self._tables.values() for entry in table.values()
+            ),
+            "format": self.kind,
+            "lazy": {
+                "decoded_terms": len(self._lru),
+                "lru_terms": self._lru_terms,
+                "hits": self._hits,
+                "misses": self._misses,
+            },
+        }
+
+    def _table(self, field: str) -> dict[str, list]:
+        table = self._tables.get(field)
+        if table is None:
+            raise QueryError(f"unknown query field {field!r}; expected one of {FIELDS}")
+        return table
+
+    def _field(self, field: str) -> dict[str, PostingList]:
+        # Full decode of one field — the merge/compaction path, which reads
+        # everything anyway.  Interactive queries never come through here.
+        return {term: self.postings(field, term) for term in self._table(field)}
+
+    def _chunk(self, offset: int, length: int):
+        if offset + length > len(self._binary):
+            raise PersistenceError(
+                "term table points past the binary section; the artifact is corrupt"
+            )
+        return self._binary[offset : offset + length]
+
+    # ------------------------------------------------------------ persistence
+
+    def to_payload(self) -> dict:
+        """The v1-shaped payload (full decode — a format conversion)."""
+        return {
+            "version": FORMAT_VERSION,
+            "source": self.source,
+            "docs": list(self.docs),
+            "postings": {
+                field: {
+                    term: {"ids": posting.ids, "spans": posting.spans}
+                    for term, posting in self._field(field).items()
+                }
+                for field in FIELDS
+            },
+        }

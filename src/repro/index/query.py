@@ -467,6 +467,29 @@ class QueryEngine:
         # posting arrays must never leak out mutable.
         return list(posting.ids) if posting is not None else []
 
+    def _selectivity(self, node) -> int:
+        """Upper-bound estimate of a node's result size, without evaluating.
+
+        Term estimates come from :meth:`RecipeIndex.posting_count`, which on
+        a lazy v2 index is header metadata — the planner orders work without
+        decoding a single posting list.  Estimates only order the AND plan;
+        intersection is commutative, so any order gives identical results.
+        """
+        if isinstance(node, Term):
+            return self._index.posting_count(node.field, node.value)
+        if isinstance(node, And):
+            positives = [c for c in node.children if not isinstance(c, Not)]
+            if positives:
+                return min(self._selectivity(child) for child in positives)
+            return self._index.doc_count
+        if isinstance(node, Or):
+            return min(
+                self._index.doc_count,
+                sum(self._selectivity(child) for child in node.children),
+            )
+        # Not: complement — could be anything up to the whole universe.
+        return self._index.doc_count
+
     def _eval(self, node) -> list[int]:
         if isinstance(node, Term):
             return self._term_ids(node)
@@ -479,12 +502,16 @@ class QueryEngine:
             positives = [c for c in node.children if not isinstance(c, Not)]
             negatives = [c for c in node.children if isinstance(c, Not)]
             if positives:
-                evaluated = sorted((self._eval(c) for c in positives), key=len)
-                result = evaluated[0]
-                for ids in evaluated[1:]:
+                # Plan: evaluate the (estimated) most selective child first
+                # and intersect upward, stopping as soon as the running
+                # result empties — later children are then never evaluated
+                # (on a lazy v2 index: never even decoded).
+                positives.sort(key=self._selectivity)
+                result = self._eval(positives[0])
+                for child in positives[1:]:
                     if not result:
                         break
-                    result = intersect_sorted(result, ids)
+                    result = intersect_sorted(result, self._eval(child))
             else:
                 result = list(range(self._index.doc_count))
             for negative in negatives:

@@ -51,11 +51,13 @@ from repro.index.builder import (
     IndexBuilder,
     PostingList,
     RecipeIndex,
+    load_index_bytes,
 )
 from repro.persistence import (
     FORMAT_VERSION,
     check_payload_version,
     file_sha256,
+    open_artifact_buffer,
     parse_artifact,
     write_artifact,
 )
@@ -70,6 +72,7 @@ __all__ = [
     "load_index_artifact",
     "load_index_path",
     "merge_shards",
+    "migrate_manifest",
     "shard_for",
 ]
 
@@ -77,6 +80,10 @@ __all__ = [
 MANIFEST_ARTIFACT_FORMAT = "repro-shard-manifest"
 
 _SHARD_KINDS = ("base", "delta")
+
+#: On-disk representations a shard artifact can use (see
+#: :meth:`repro.index.builder.RecipeIndex.save`).
+_SHARD_FORMATS = ("v1", "v2")
 
 
 def shard_for(recipe_id: str, num_shards: int) -> int:
@@ -110,6 +117,10 @@ class ShardEntry:
             ``None`` when the shard is empty.
         kind: ``"base"`` (hash-partitioned) or ``"delta"`` (incremental
             append, folded into base shards by compaction).
+        format: On-disk representation of the shard artifact — ``"v1"``
+            (eager JSON postings) or ``"v2"`` (compact binary posting format,
+            mmap'd and decoded lazily).  Per-entry so a rolling migration can
+            publish manifests mixing both kinds.
     """
 
     path: str
@@ -117,15 +128,21 @@ class ShardEntry:
     docs: int
     doc_ids: tuple[int, int] | None
     kind: str
+    format: str = "v1"
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "path": self.path,
             "sha256": self.sha256,
             "docs": self.docs,
             "doc_ids": list(self.doc_ids) if self.doc_ids is not None else None,
             "kind": self.kind,
         }
+        if self.format != "v1":
+            # Omitted for v1 so all-v1 manifests are byte-identical to those
+            # written before the field existed (the golden fixtures pin this).
+            payload["format"] = self.format
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ShardEntry":
@@ -143,6 +160,12 @@ class ShardEntry:
                 f"shard-manifest entry has unknown kind {payload['kind']!r}; "
                 f"expected one of {_SHARD_KINDS}"
             )
+        format = payload.get("format", "v1")
+        if format not in _SHARD_FORMATS:
+            raise PersistenceError(
+                f"shard-manifest entry has unknown format {format!r}; "
+                f"expected one of {_SHARD_FORMATS}"
+            )
         doc_ids = payload.get("doc_ids")
         return cls(
             path=str(payload["path"]),
@@ -150,6 +173,7 @@ class ShardEntry:
             docs=int(payload["docs"]),
             doc_ids=(int(doc_ids[0]), int(doc_ids[1])) if doc_ids else None,
             kind=payload["kind"],
+            format=format,
         )
 
 
@@ -276,11 +300,10 @@ class ShardedRecipeIndex:
         self._shards = list(shards)
         self.manifest = manifest
         # Per-shard global doc ids, aligned with the shard's local positions
-        # (ascending by construction: builders add in global order).
-        self._global_ids: list[list[int]] = [
-            [doc.get("doc_id", local) for local, doc in enumerate(shard.docs)]
-            for shard in self._shards
-        ]
+        # (ascending by construction: builders add in global order).  Built
+        # lazily per shard: a v2 shard's doc table only inflates when a query
+        # actually touches that shard, keeping manifest opens O(header).
+        self._global_ids: list[list[int] | None] = [None] * len(self._shards)
 
     # ----------------------------------------------------------------- access
 
@@ -307,7 +330,20 @@ class ShardedRecipeIndex:
 
     def global_ids(self, shard_index: int) -> list[int]:
         """Ascending global doc ids of one shard, aligned with local ids."""
-        return self._global_ids[shard_index]
+        ids = self._global_ids[shard_index]
+        if ids is None:
+            # Idempotent under concurrent readers: both compute the same
+            # list and a single atomic assignment wins.
+            ids = self._global_ids[shard_index] = [
+                doc.get("doc_id", local)
+                for local, doc in enumerate(self._shards[shard_index].docs)
+            ]
+        return ids
+
+    @property
+    def shard_formats(self) -> list[str]:
+        """Per-shard artifact format ("v1"/"v2"), in manifest entry order."""
+        return [shard.kind for shard in self._shards]
 
     def stats(self) -> dict:
         """Shape + provenance for the stats endpoints and CLI summaries."""
@@ -319,6 +355,10 @@ class ShardedRecipeIndex:
             "generation": self.generation,
             "num_shards": self.manifest.num_shards,
             "source": self.source,
+            "shard_formats": {
+                format: self.shard_formats.count(format)
+                for format in sorted(set(self.shard_formats))
+            },
             "postings": sum(shard.stats()["postings"] for shard in self._shards),
             "terms": {
                 # Distinct terms per field: a term indexed in several shards
@@ -362,20 +402,28 @@ class ShardedRecipeIndex:
             entry_path = Path(entry.path)
             shard_path = entry_path if entry_path.is_absolute() else base / entry_path
             try:
-                data = shard_path.read_bytes()
+                buffer = open_artifact_buffer(shard_path)
             except OSError as error:
                 raise PersistenceError(
                     f"shard manifest {source} lists shard {entry.path!r} but it "
                     f"cannot be read: {error}"
                 ) from error
-            actual = hashlib.sha256(data).hexdigest()
+            # Hash the mapped bytes directly — no copy of the file contents,
+            # and the verified bytes are the very bytes decoded below.
+            actual = hashlib.sha256(buffer).hexdigest()
             if actual != entry.sha256:
                 raise PersistenceError(
                     f"shard artifact {shard_path} does not match its manifest "
                     f"checksum (recorded {entry.sha256!r}, recomputed {actual!r}); "
                     "the manifest and shard are out of sync"
                 )
-            shard = RecipeIndex.loads(data.decode("utf-8"), source=str(shard_path))
+            shard = load_index_bytes(buffer, source=str(shard_path))
+            if shard.kind != entry.format:
+                raise PersistenceError(
+                    f"shard artifact {shard_path} is a {shard.kind} artifact but "
+                    f"the manifest records format {entry.format!r}; the manifest "
+                    "and shard are out of sync"
+                )
             if shard.doc_count != entry.docs:
                 raise PersistenceError(
                     f"shard artifact {shard_path} holds {shard.doc_count} documents "
@@ -390,7 +438,7 @@ class ShardedRecipeIndex:
         """term -> one ``(global_id, spans)`` stream per shard holding it."""
         streams: dict[str, list[list[tuple[int, list]]]] = {}
         for shard_index, shard in enumerate(self._shards):
-            gids = self._global_ids[shard_index]
+            gids = self.global_ids(shard_index)
             for term, posting in shard._field(field).items():
                 streams.setdefault(term, []).append(
                     [
@@ -402,7 +450,7 @@ class ShardedRecipeIndex:
 
     def _docs_in_global_order(self) -> list[tuple[int, dict]]:
         streams = [
-            list(zip(self._global_ids[shard_index], shard.docs))
+            list(zip(self.global_ids(shard_index), shard.docs))
             for shard_index, shard in enumerate(self._shards)
         ]
         return list(heapq.merge(*streams, key=lambda pair: pair[0]))
@@ -493,7 +541,9 @@ def _shard_file_name(stem: str, generation: int, label: str) -> str:
     return f"{stem}.g{generation}.{label}.json"
 
 
-def _entry_for(shard: RecipeIndex, path: str | Path, *, kind: str) -> ShardEntry:
+def _entry_for(
+    shard: RecipeIndex, path: str | Path, *, kind: str, format: str = "v1"
+) -> ShardEntry:
     if shard.doc_count:
         doc_ids = (shard.docs[0]["doc_id"], shard.docs[-1]["doc_id"])
     else:
@@ -504,7 +554,15 @@ def _entry_for(shard: RecipeIndex, path: str | Path, *, kind: str) -> ShardEntry
         docs=shard.doc_count,
         doc_ids=doc_ids,
         kind=kind,
+        format=format,
     )
+
+
+def _check_shard_format(format: str) -> None:
+    if format not in _SHARD_FORMATS:
+        raise ConfigurationError(
+            f"unknown shard artifact format {format!r}; expected one of {_SHARD_FORMATS}"
+        )
 
 
 def _build_shard_task(task: tuple) -> ShardEntry:
@@ -515,7 +573,7 @@ def _build_shard_task(task: tuple) -> ShardEntry:
     :func:`shard_for` assigns to this shard, records each one's global doc
     id (its position in the full stream), and writes the shard artifact.
     """
-    input_path, shard_index, num_shards, output_path = task
+    input_path, shard_index, num_shards, output_path, format = task
     builder = IndexBuilder()
     documents = iter_jsonl(input_path, json.loads, what="structured recipe")
     for global_id, document in enumerate(documents):
@@ -533,8 +591,8 @@ def _build_shard_task(task: tuple) -> ShardEntry:
             ) from error
         builder.add(recipe, doc_id=global_id)
     shard = builder.build(source=f"{input_path}#shard{shard_index}/{num_shards}")
-    shard.save(output_path)
-    return _entry_for(shard, output_path, kind="base")
+    shard.save(output_path, kind=format)
+    return _entry_for(shard, output_path, kind="base", format=format)
 
 
 def build_sharded_index(
@@ -544,6 +602,7 @@ def build_sharded_index(
     num_shards: int,
     workers: int = 1,
     mp_context=None,
+    format: str = "v1",
 ) -> ShardManifest:
     """Partition a structured-recipe JSONL into ``num_shards`` base shards.
 
@@ -561,6 +620,7 @@ def build_sharded_index(
     """
     if num_shards < 1:
         raise ConfigurationError("num_shards must be at least 1")
+    _check_shard_format(format)
     manifest_path = Path(manifest_path)
     manifest_path.parent.mkdir(parents=True, exist_ok=True)
     generation = 1
@@ -580,6 +640,7 @@ def build_sharded_index(
                 manifest_path.parent
                 / _shard_file_name(manifest_path.stem, generation, f"s{shard_index}")
             ),
+            format,
         )
         for shard_index in range(num_shards)
     ]
@@ -605,17 +666,21 @@ def build_sharded_index(
 # --------------------------------------------------------- incremental update
 
 
-def add_jsonl(manifest_path: str | Path, input_path: str | Path) -> ShardManifest:
+def add_jsonl(
+    manifest_path: str | Path, input_path: str | Path, *, format: str = "v1"
+) -> ShardManifest:
     """Append a structured-recipe JSONL as a delta shard (incremental update).
 
     New documents get global doc ids continuing after the current corpus
-    (``doc_count ..``), are indexed into a single new delta shard artifact,
-    and the manifest is atomically rewritten with the delta appended and the
+    (``doc_count ..``), are indexed into a single new delta shard artifact
+    (written in ``format``, independently of the base shards' formats), and
+    the manifest is atomically rewritten with the delta appended and the
     generation bumped.  Base shards are untouched; run :func:`merge_shards`
     to fold accumulated deltas back into hash-partitioned base shards.
     """
     from repro.corpus.sink import iter_structured_jsonl
 
+    _check_shard_format(format)
     manifest_path = Path(manifest_path)
     manifest = ShardManifest.load(manifest_path)
     generation = manifest.generation + 1
@@ -627,13 +692,16 @@ def add_jsonl(manifest_path: str | Path, input_path: str | Path) -> ShardManifes
     delta_path = manifest_path.parent / _shard_file_name(
         manifest_path.stem, generation, "delta"
     )
-    delta.save(delta_path)
+    delta.save(delta_path, kind=format)
     updated = ShardManifest(
         num_shards=manifest.num_shards,
         generation=generation,
         doc_count=manifest.doc_count + delta.doc_count,
         source=manifest.source,
-        entries=(*manifest.entries, _entry_for(delta, delta_path, kind="delta")),
+        entries=(
+            *manifest.entries,
+            _entry_for(delta, delta_path, kind="delta", format=format),
+        ),
     )
     updated.save(manifest_path)
     return updated
@@ -648,6 +716,7 @@ def merge_shards(
     num_shards: int | None = None,
     manifest_path: str | Path | None = None,
     source: str | None = None,
+    format: str = "v1",
 ) -> "ShardedRecipeIndex | RecipeIndex":
     """Compact a sharded index.
 
@@ -657,14 +726,17 @@ def merge_shards(
     is folded into ``K`` fresh hash-partitioned base shards written next to
     ``manifest_path`` under a bumped generation; the manifest rewrite is the
     atomic commit, and previous-generation shard files are left untouched so
-    concurrent readers of the old manifest stay consistent.
+    concurrent readers of the old manifest stay consistent.  ``format``
+    selects the on-disk representation of everything written ("v1"/"v2") —
+    compaction doubles as a bulk format migration.
     """
+    _check_shard_format(format)
     if num_shards is None:
         monolithic = index.to_monolithic(
             source=source if source is not None else index.source
         )
         if manifest_path is not None:
-            monolithic.save(manifest_path)
+            monolithic.save(manifest_path, kind=format)
         return monolithic
     if manifest_path is None:
         raise ConfigurationError(
@@ -680,8 +752,8 @@ def merge_shards(
         shard_path = manifest_path.parent / _shard_file_name(
             manifest_path.stem, generation, f"s{shard_index}"
         )
-        shard.save(shard_path)
-        entries.append(_entry_for(shard, shard_path, kind="base"))
+        shard.save(shard_path, kind=format)
+        entries.append(_entry_for(shard, shard_path, kind="base", format=format))
     manifest = ShardManifest(
         num_shards=num_shards,
         generation=generation,
@@ -693,18 +765,81 @@ def merge_shards(
     return ShardedRecipeIndex.load(manifest_path)
 
 
+# -------------------------------------------------------------- migration
+
+
+def migrate_manifest(
+    manifest_path: str | Path,
+    *,
+    format: str = "v2",
+    select=None,
+) -> ShardManifest:
+    """Rewrite a live manifest's shards into ``format`` (rolling migration).
+
+    Loads the manifest (verifying every shard checksum), rewrites each shard
+    not already in the target format as a **new** immutable artifact named
+    ``<stem>.g<generation>.m<position>.json`` under a bumped generation, and
+    atomically republishes the manifest.  Shards already in the target
+    format keep their existing files — their bytes, names and checksums are
+    untouched — so migrating an all-``format`` manifest only bumps the
+    generation.  A crash before the final manifest write publishes nothing.
+
+    ``select`` optionally maps each :class:`ShardEntry` to its target format
+    (``"v1"``/``"v2"``) or ``None`` to keep it as-is, overriding ``format``
+    per shard — the hook that produces deliberately mixed-kind manifests
+    (rolling migrations migrate a subset per pass; the test suites randomise
+    kinds with it).
+    """
+    _check_shard_format(format)
+    manifest_path = Path(manifest_path)
+    index = ShardedRecipeIndex.load(manifest_path)
+    manifest = index.manifest
+    generation = manifest.generation + 1
+    entries: list[ShardEntry] = []
+    for position, (entry, shard) in enumerate(zip(manifest.entries, index.shards)):
+        target = select(entry) if select is not None else format
+        if target is None or target == entry.format:
+            entries.append(entry)
+            continue
+        _check_shard_format(target)
+        shard_path = manifest_path.parent / _shard_file_name(
+            manifest_path.stem, generation, f"m{position}"
+        )
+        shard.save(shard_path, kind=target)
+        entries.append(_entry_for(shard, shard_path, kind=entry.kind, format=target))
+    updated = ShardManifest(
+        num_shards=manifest.num_shards,
+        generation=generation,
+        doc_count=manifest.doc_count,
+        source=manifest.source,
+        entries=tuple(entries),
+    )
+    updated.save(manifest_path)
+    return updated
+
+
 # ------------------------------------------------------------ artifact loading
 
 
 def load_index_artifact(text: str, source: str = "<index>"):
-    """Registry loader accepting either index artifact kind.
+    """Registry loader accepting any index artifact kind.
 
     Dispatches on the envelope's ``format`` marker: a shard manifest loads
-    (and checksum-verifies) every shard it lists, anything else goes through
+    (and checksum-verifies) every shard it lists, a v2 binary artifact is
+    recovered to bytes and decoded lazily, anything else goes through
     :meth:`RecipeIndex.loads` for the canonical validation errors.  This is
     what lets ``serve --index`` and the hot-swap registry take a monolithic
     artifact and a manifest interchangeably.
+
+    ``text`` that originated as binary must have been decoded with
+    ``errors="surrogateescape"`` (the registry does) so the v2 branch can
+    re-encode it losslessly.
     """
+    from repro.index.codec import is_v2_artifact
+
+    if is_v2_artifact(text):
+        # RecipeIndex.loads recovers the raw bytes via surrogateescape.
+        return RecipeIndex.loads(text, source=source)
     try:
         document = json.loads(text)
     except json.JSONDecodeError:
@@ -718,6 +853,16 @@ def load_index_artifact(text: str, source: str = "<index>"):
 
 
 def load_index_path(path: str | Path):
-    """Load an index artifact **or** a shard manifest from ``path``."""
+    """Load an index artifact **or** a shard manifest from ``path``.
+
+    v2 artifacts are mmap'd and decoded lazily; v1 artifacts and manifests
+    parse as before (a manifest's shards then dispatch per entry format).
+    """
+    from repro.index.builder import _decode_artifact_text
+    from repro.index.codec import is_v2_artifact, load_index_v2_buffer
+
     path = Path(path)
-    return load_index_artifact(path.read_text(encoding="utf-8"), source=str(path))
+    buffer = open_artifact_buffer(path)
+    if is_v2_artifact(buffer):
+        return load_index_v2_buffer(buffer, source=str(path))
+    return load_index_artifact(_decode_artifact_text(buffer, str(path)), source=str(path))

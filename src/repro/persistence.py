@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import tempfile
 from contextlib import suppress
@@ -59,7 +60,9 @@ __all__ = [
     "load_pos_tagger",
     "load_sequence_model",
     "ner_model_to_payload",
+    "open_artifact_buffer",
     "parse_artifact",
+    "parse_binary_artifact",
     "payload_checksum",
     "pos_tagger_to_payload",
     "sequence_model_to_payload",
@@ -102,9 +105,18 @@ _check_version = check_payload_version
 
 
 def payload_checksum(payload: dict) -> str:
-    """SHA-256 over the canonical (sorted-key, compact) JSON form of ``payload``."""
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    """SHA-256 over the canonical (sorted-key, compact) JSON form of ``payload``.
+
+    The canonical serialisation is *streamed* into the hash chunk by chunk
+    (``JSONEncoder.iterencode``) rather than materialised as one string, so
+    checksumming a multi-megabyte payload no longer doubles peak memory —
+    the hash is identical to the one over ``json.dumps`` of the same payload.
+    """
+    digest = hashlib.sha256()
+    encoder = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+    for chunk in encoder.iterencode(payload):
+        digest.update(chunk.encode("utf-8"))
+    return digest.hexdigest()
 
 
 def file_sha256(path: str | Path) -> str:
@@ -143,20 +155,145 @@ def write_json_atomic(path: str | Path, document: dict) -> None:
         raise
 
 
-def write_artifact(path: str | Path, payload: dict, *, format: str) -> None:
+def write_artifact(
+    path: str | Path, payload: dict, *, format: str, binary: bytes | None = None
+) -> None:
     """Atomically write ``payload`` inside the checksummed artifact envelope.
 
     The envelope is ``{format, version, sha256, payload}`` — the same shape
     :meth:`PipelineBundle.save` writes — so every artifact kind (bundles,
     indexes, ...) shares one hardened on-disk format.
+
+    With ``binary``, the artifact gains a raw byte section after the JSON
+    envelope: the file is ``<envelope JSON>\\n<binary bytes>`` and the
+    envelope additionally records ``{"binary": {"length", "sha256"}}`` — the
+    SHA-256 over the section's *exact bytes*, so a loader verifies it by
+    hashing the raw file tail (an mmap slice) with no decode of any kind.
+    The JSON envelope itself never contains a raw newline (``json`` escapes
+    them), so the first ``\\n`` in the file is always the section boundary.
     """
-    envelope = {
+    envelope: dict = {
         "format": format,
         "version": _FORMAT_VERSION,
         "sha256": payload_checksum(payload),
-        "payload": payload,
     }
-    write_json_atomic(path, envelope)
+    if binary is None:
+        envelope["payload"] = payload
+        write_json_atomic(path, envelope)
+        return
+    envelope["binary"] = {
+        "length": len(binary),
+        "sha256": hashlib.sha256(binary).hexdigest(),
+    }
+    envelope["payload"] = payload
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(json.dumps(envelope).encode("utf-8"))
+            handle.write(b"\n")
+            handle.write(binary)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        with suppress(OSError):
+            os.unlink(temp_name)
+        raise
+
+
+def open_artifact_buffer(path: str | Path):
+    """A zero-copy read-only buffer over an artifact file.
+
+    Returns an ``mmap`` of the file (or ``b""`` for an empty file, which
+    cannot be mapped).  The mapping stays valid after the file object is
+    closed and after the path is atomically replaced on disk (the old inode
+    lives until unmapped), which is exactly the immutable-artifact lifecycle
+    every writer here follows.  Callers keep the buffer alive for as long as
+    they hold views into it (lazy v2 indexes do so by reference).
+    """
+    with open(path, "rb") as handle:
+        if os.fstat(handle.fileno()).st_size == 0:
+            return b""
+        return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+
+
+def parse_binary_artifact(
+    buffer,
+    *,
+    format: str,
+    source: str = "<artifact>",
+    what: str = "artifact",
+):
+    """Validate a binary-section artifact; return ``(payload, binary_view)``.
+
+    ``buffer`` is any bytes-like object (``bytes`` or an ``mmap`` from
+    :func:`open_artifact_buffer`).  Only the JSON envelope before the first
+    newline is parsed; the binary section is verified by streaming SHA-256
+    over its **raw bytes** through a zero-copy ``memoryview`` — no JSON
+    parse, no decode, no copy — and returned as that view, so the caller
+    can decode slices of it lazily.  Checks mirror :func:`parse_artifact`:
+    format marker, version gate, payload checksum, then the binary
+    section's recorded length and checksum.
+    """
+    boundary = buffer.find(b"\n")
+    if boundary < 0:
+        raise PersistenceError(
+            f"{what} {source} has no binary section boundary; the file is "
+            "truncated or not a binary artifact"
+        )
+    view = memoryview(buffer)
+    try:
+        document = json.loads(bytes(view[:boundary]))
+    except json.JSONDecodeError as error:
+        raise PersistenceError(
+            f"{what} {source} envelope is not valid JSON (truncated or corrupt): {error}"
+        ) from error
+    if not isinstance(document, dict):
+        raise PersistenceError(
+            f"{what} {source} must hold a JSON object, got {type(document).__name__}"
+        )
+    if document.get("format") != format:
+        raise PersistenceError(
+            f"{what} {source} has format marker {document.get('format')!r}; "
+            f"expected {format!r}"
+        )
+    check_payload_version(document, f"{what} {source}")
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise PersistenceError(f"{what} {source} envelope has no payload object")
+    expected = document.get("sha256")
+    actual = payload_checksum(payload)
+    if expected != actual:
+        raise PersistenceError(
+            f"{what} {source} failed its checksum "
+            f"(recorded {expected!r}, recomputed {actual!r}); the file is corrupt"
+        )
+    binary_info = document.get("binary")
+    if not isinstance(binary_info, dict):
+        raise PersistenceError(
+            f"{what} {source} envelope has no binary section descriptor"
+        )
+    binary_view = view[boundary + 1 :]
+    recorded_length = binary_info.get("length")
+    if len(binary_view) != recorded_length:
+        raise PersistenceError(
+            f"{what} {source} binary section is {len(binary_view)} bytes but "
+            f"the envelope records {recorded_length}; the file is truncated "
+            "or corrupt"
+        )
+    recorded_sha = binary_info.get("sha256")
+    actual_sha = hashlib.sha256(binary_view).hexdigest()
+    if actual_sha != recorded_sha:
+        raise PersistenceError(
+            f"{what} {source} binary section failed its checksum "
+            f"(recorded {recorded_sha!r}, recomputed {actual_sha!r}); "
+            "the file is corrupt"
+        )
+    return payload, binary_view
 
 
 def parse_artifact(

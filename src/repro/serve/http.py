@@ -110,6 +110,13 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
             index_generation = getattr(record.bundle, "generation", None)
             if index_generation is not None:
                 info["index_generation"] = index_generation
+            # Artifact format(s): "v1"/"v2" for a monolithic index, the
+            # per-shard list for a manifest (mixed mid-migration is normal).
+            shard_formats = getattr(record.bundle, "shard_formats", None)
+            if shard_formats is not None:
+                info["shard_formats"] = shard_formats
+            else:
+                info["format"] = getattr(record.bundle, "kind", "v1")
             document["index"] = info
         return document
 

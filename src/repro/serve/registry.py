@@ -99,7 +99,11 @@ class ModelRegistry:
         # atomic re-save cannot pair one file's checksum with another's weights.
         data = path.read_bytes()
         sha256, size_bytes = hashlib.sha256(data).hexdigest(), len(data)
-        bundle = self._loader(data.decode("utf-8"), str(path))
+        # surrogateescape keeps artifacts with a binary section (the v2 index
+        # format) lossless through the text interface: loaders that detect a
+        # binary format marker re-encode with the same handler to recover the
+        # exact bytes that were fingerprinted above.
+        bundle = self._loader(data.decode("utf-8", errors="surrogateescape"), str(path))
         with self._lock:
             previous = self._records.get(name)
             record = ModelRecord(

@@ -99,6 +99,12 @@ class SearchService:
         return self._registry.get(self._index_name)
 
     def stats(self) -> dict:
-        """Index provenance plus shape (doc/term/posting counts)."""
+        """Index provenance plus shape (doc/term/posting counts).
+
+        The nested shape carries the artifact format too: ``"format"``
+        ("v1"/"v2") for a monolithic index, ``"shard_formats"`` (per-format
+        counts) for a sharded one — operators watch it converge during a
+        rolling v2 migration.
+        """
         record = self.record()
         return {**record.describe(), "index": record.bundle.stats()}

@@ -32,6 +32,13 @@ INDEX_ARTIFACT = "golden_index_v1.json"
 MANIFEST_ARTIFACT = "golden_manifest_v1.json"
 NUM_SHARDS = 2
 
+#: The same monolithic index in the v2 compact binary posting format.  The
+#: layout is deterministic (sorted terms, first-appearance where codes) but
+#: chunk bytes go through ``zlib.compress`` when that wins, so regeneration
+#: assumes the zlib build in the test container (CPython's bundled zlib has
+#: produced stable level-6 output across versions for years).
+INDEX_V2_ARTIFACT = "golden_index_v2.bin"
+
 
 def _recipe(recipe_id, title, names, processes, utensils):
     return StructuredRecipe(
@@ -81,7 +88,9 @@ def build_shards():
 def regenerate() -> None:
     recipes = golden_recipes()
     write_structured_jsonl(FIXTURES / STRUCTURED_JSONL, recipes)
-    build_monolithic().save(FIXTURES / INDEX_ARTIFACT)
+    monolithic = build_monolithic()
+    monolithic.save(FIXTURES / INDEX_ARTIFACT)
+    monolithic.save(FIXTURES / INDEX_V2_ARTIFACT, kind="v2")
 
     entries = []
     for index, shard in enumerate(build_shards()):

@@ -1,0 +1,237 @@
+"""Unit coverage of the v2 compact binary posting codec.
+
+The golden-artifact suite pins the on-disk bytes; these tests cover the
+kernels and the lazy-load behaviour directly: varint round-trips, posting
+chunk round-trips over randomised lists, the decoded-term LRU, metadata
+answers without decoding, and format conversion in both directions.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.index import (
+    IndexBuilder,
+    QueryEngine,
+    RecipeIndex,
+    RecipeIndexV2,
+    load_index_v2,
+    save_index_v2,
+)
+from repro.index.builder import PostingList
+from repro.index.codec import (
+    build_v2_sections,
+    decode_posting,
+    decode_uvarint,
+    encode_posting,
+    encode_uvarint,
+    is_v2_artifact,
+)
+
+from tests.property.test_index_properties import _random_recipe
+
+
+def _varint_roundtrip(value):
+    out = bytearray()
+    encode_uvarint(out, value)
+    decoded, position = decode_uvarint(bytes(out), 0)
+    assert position == len(out)
+    return decoded
+
+
+class TestVarints:
+    def test_small_values_are_one_byte(self):
+        for value in range(128):
+            out = bytearray()
+            encode_uvarint(out, value)
+            assert len(out) == 1
+            assert _varint_roundtrip(value) == value
+
+    def test_boundary_values_roundtrip(self):
+        for value in (127, 128, 129, 16383, 16384, 2**31, 2**63, 2**70):
+            assert _varint_roundtrip(value) == value
+
+    def test_random_values_roundtrip(self):
+        rng = random.Random(7)
+        stream = bytearray()
+        values = [rng.randrange(0, 2**40) for _ in range(500)]
+        for value in values:
+            encode_uvarint(stream, value)
+        position, decoded = 0, []
+        while position < len(stream):
+            value, position = decode_uvarint(bytes(stream), position)
+            decoded.append(value)
+        assert decoded == values
+
+    def test_truncated_varint_is_rejected(self):
+        out = bytearray()
+        encode_uvarint(out, 300)  # two bytes, first has the continuation bit
+        with pytest.raises(PersistenceError, match="ends mid-varint"):
+            decode_uvarint(bytes(out[:1]), 0)
+
+
+def _random_posting(rng, doc_count):
+    ids = sorted(rng.sample(range(doc_count), rng.randint(1, min(40, doc_count))))
+    wheres = ("ingredients", "events", "title")
+    spans = [
+        [[rng.choice(wheres), rng.randrange(0, 12)] for _ in range(rng.randint(1, 4))]
+        for _ in ids
+    ]
+    return PostingList(ids=ids, spans=spans)
+
+
+class TestPostingChunks:
+    def test_random_posting_lists_roundtrip(self):
+        rng = random.Random(11)
+        wheres = ["ingredients", "events", "title"]
+        code = {where: index for index, where in enumerate(wheres)}
+        for _ in range(50):
+            posting = _random_posting(rng, 500)
+            data = encode_posting(posting, code)
+            decoded = decode_posting(data, wheres, len(posting.ids))
+            assert decoded.ids == posting.ids
+            assert decoded.spans == posting.spans
+
+    def test_count_mismatch_is_rejected(self):
+        posting = PostingList(ids=[1, 5], spans=[[["events", 0]], [["events", 1]]])
+        code = {"events": 0}
+        data = encode_posting(posting, code)
+        with pytest.raises(PersistenceError, match="the term table records"):
+            decode_posting(data, ["events"], 3)
+
+    def test_unknown_where_code_is_rejected(self):
+        posting = PostingList(ids=[1], spans=[[["events", 0]]])
+        data = encode_posting(posting, {"events": 5})
+        with pytest.raises(PersistenceError, match="where-code 5"):
+            decode_posting(data, ["events"], 1)
+
+    def test_trailing_bytes_are_rejected(self):
+        posting = PostingList(ids=[1], spans=[[["events", 0]]])
+        data = encode_posting(posting, {"events": 0})
+        with pytest.raises(PersistenceError, match="trailing bytes"):
+            decode_posting(data + b"\x00", ["events"], 1)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(3)
+    return [_random_recipe(rng, f"r{i}") for i in range(40)]
+
+
+@pytest.fixture(scope="module")
+def v1_index(corpus):
+    builder = IndexBuilder()
+    builder.add_all(corpus)
+    return builder.build(source="codec-test")
+
+
+class TestV2Artifacts:
+    def test_save_load_roundtrips_the_payload(self, v1_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index_v2(v1_index, path)
+        assert is_v2_artifact(path.read_bytes())
+        loaded = load_index_v2(path)
+        assert isinstance(loaded, RecipeIndexV2)
+        assert loaded.to_payload() == v1_index.to_payload()
+
+    def test_generic_load_dispatches_on_the_marker(self, v1_index, tmp_path):
+        v1_index.save(tmp_path / "a.json", kind="v1")
+        v1_index.save(tmp_path / "b.bin", kind="v2")
+        assert RecipeIndex.load(tmp_path / "a.json").kind == "v1"
+        assert RecipeIndex.load(tmp_path / "b.bin").kind == "v2"
+
+    def test_unknown_save_kind_is_rejected(self, v1_index, tmp_path):
+        with pytest.raises(PersistenceError, match="unknown index artifact kind"):
+            v1_index.save(tmp_path / "x.bin", kind="v3")
+
+    def test_posting_count_answers_without_decoding(self, v1_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index_v2(v1_index, path)
+        loaded = load_index_v2(path)
+        for field in ("ingredient", "process", "utensil", "title"):
+            for term in v1_index.terms(field):
+                expected = len(v1_index.postings(field, term).ids)
+                assert loaded.posting_count(field, term) == expected
+        assert loaded.posting_count("ingredient", "never-indexed") == 0
+        # Metadata answers must not have warmed the LRU.
+        assert loaded.stats()["lazy"]["decoded_terms"] == 0
+
+    def test_lru_caches_and_evicts(self, v1_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index_v2(v1_index, path)
+        payload, binary = build_v2_sections(v1_index)
+        loaded = RecipeIndexV2(payload, binary, lru_terms=2)
+        terms = v1_index.terms("ingredient")[:3]
+        assert len(terms) == 3
+        first = loaded.postings("ingredient", terms[0])
+        assert loaded.postings("ingredient", terms[0]) is first  # cache hit
+        loaded.postings("ingredient", terms[1])
+        loaded.postings("ingredient", terms[2])  # evicts terms[0]
+        stats = loaded.stats()["lazy"]
+        assert stats["decoded_terms"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+        assert loaded.postings("ingredient", terms[0]) is not first  # re-decoded
+        assert loaded.postings("ingredient", terms[0]).ids == first.ids
+
+    def test_concurrent_readers_decode_consistently(self, v1_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index_v2(v1_index, path)
+        loaded = load_index_v2(path)
+        errors = []
+
+        def hammer(seed):
+            rng = random.Random(seed)
+            for _ in range(200):
+                field = rng.choice(("ingredient", "process", "utensil", "title"))
+                terms = v1_index.terms(field)
+                term = rng.choice(terms)
+                expected = v1_index.postings(field, term)
+                posting = loaded.postings(field, term)
+                if posting.ids != expected.ids or posting.spans != expected.spans:
+                    errors.append((field, term))
+
+        workers = [threading.Thread(target=hammer, args=(seed,)) for seed in range(6)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+
+    def test_queries_are_identical_across_kinds(self, v1_index, corpus, tmp_path):
+        from repro.index import scan_recipes
+
+        path = tmp_path / "index.bin"
+        save_index_v2(v1_index, path)
+        v2_engine = QueryEngine(load_index_v2(path))
+        v1_engine = QueryEngine(v1_index)
+        for query in (
+            "ingredient:tomato",
+            "ingredient:garlic AND process:mix",
+            "(ingredient:garlic OR process:mix) AND NOT utensil:pan",
+            "NOT ingredient:unseen",
+        ):
+            scanned = [match.to_dict() for match in scan_recipes(corpus, query)]
+            v1_result = [match.to_dict() for match in v1_engine.execute(query)]
+            v2_result = [match.to_dict() for match in v2_engine.execute(query)]
+            assert v1_result == v2_result == scanned
+
+    def test_v2_converts_back_to_equivalent_v1(self, v1_index, tmp_path):
+        # Byte-identity is out of reach (v2 stores terms sorted, the builder
+        # emits them first-seen), but the round-trip must be payload-lossless.
+        save_index_v2(v1_index, tmp_path / "index.bin")
+        loaded = load_index_v2(tmp_path / "index.bin")
+        loaded.save(tmp_path / "back.json", kind="v1")
+        back = RecipeIndex.load(tmp_path / "back.json")
+        assert back.kind == "v1"
+        assert back.to_payload() == v1_index.to_payload()
+
+    def test_empty_index_roundtrips(self, tmp_path):
+        empty = IndexBuilder().build(source="empty")
+        path = tmp_path / "empty.bin"
+        save_index_v2(empty, path)
+        loaded = load_index_v2(path)
+        assert loaded.doc_count == 0
+        assert loaded.to_payload() == empty.to_payload()

@@ -1,8 +1,8 @@
-"""Golden-artifact regression: the committed v1 files must keep loading.
+"""Golden-artifact regression: the committed files must keep loading.
 
-The fixtures under ``tests/fixtures/`` were written by the v1 serialisers
-(see ``tests/fixtures/make_golden_artifacts.py``).  These tests pin the
-on-disk format against silent drift from three directions:
+The fixtures under ``tests/fixtures/`` were written by the v1 and v2
+serialisers (see ``tests/fixtures/make_golden_artifacts.py``).  These tests
+pin the on-disk formats against silent drift from three directions:
 
 * **loaders** — today's code must read the committed bytes and rebuild
   payload-identical objects;
@@ -26,15 +26,18 @@ from repro.errors import PersistenceError
 from repro.index import (
     QueryEngine,
     RecipeIndex,
+    RecipeIndexV2,
     ShardManifest,
     ShardedRecipeIndex,
     scan_structured_jsonl,
     shard_for,
 )
+from repro.index.codec import load_index_v2_buffer
 from repro.persistence import payload_checksum, write_artifact
 
 from tests.fixtures.make_golden_artifacts import (
     INDEX_ARTIFACT,
+    INDEX_V2_ARTIFACT,
     MANIFEST_ARTIFACT,
     NUM_SHARDS,
     STRUCTURED_JSONL,
@@ -50,7 +53,7 @@ FIXTURES = Path(__file__).parent.parent / "fixtures"
 def fixture_copy(tmp_path):
     """A throwaway copy of every golden file (for the tampering tests)."""
     for name in FIXTURES.iterdir():
-        if name.suffix in (".json", ".jsonl"):
+        if name.suffix in (".json", ".jsonl", ".bin"):
             shutil.copy(name, tmp_path / name.name)
     return tmp_path
 
@@ -101,6 +104,119 @@ class TestGoldenIndexArtifact:
         document["format"] = "repro-mystery-artifact"
         path.write_text(json.dumps(document))
         with pytest.raises(PersistenceError, match="format marker"):
+            RecipeIndex.load(path)
+
+
+class TestGoldenIndexV2Artifact:
+    """The committed v2 binary artifact: same index, compact representation."""
+
+    def test_loader_reads_the_committed_artifact(self):
+        index = RecipeIndex.load(FIXTURES / INDEX_V2_ARTIFACT)
+        assert isinstance(index, RecipeIndexV2)
+        assert index.kind == "v2"
+        assert index.doc_count == len(golden_recipes())
+        # Full lazy decode reproduces the v1 payload exactly — spans included.
+        v1 = RecipeIndex.load(FIXTURES / INDEX_ARTIFACT)
+        assert index.to_payload() == v1.to_payload()
+
+    def test_todays_writer_reproduces_the_committed_bytes(self, tmp_path):
+        out = tmp_path / "rewritten.bin"
+        build_monolithic().save(out, kind="v2")
+        assert out.read_bytes() == (FIXTURES / INDEX_V2_ARTIFACT).read_bytes()
+
+    def test_committed_artifact_answers_like_a_scan(self):
+        engine = QueryEngine(RecipeIndex.load(FIXTURES / INDEX_V2_ARTIFACT))
+        for query in (
+            "ingredient:tomato AND NOT ingredient:garlic",
+            "process:roast OR utensil:pan",
+            'ingredient:"olive oil"',
+            "NOT process:boil",
+        ):
+            scanned = scan_structured_jsonl(FIXTURES / STRUCTURED_JSONL, query)
+            assert engine.execute(query) == scanned
+
+    def test_truncation_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_V2_ARTIFACT
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])
+        with pytest.raises(
+            PersistenceError, match=r"the file is truncated or corrupt"
+        ):
+            RecipeIndex.load(path)
+
+    def test_truncation_inside_the_envelope_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_V2_ARTIFACT
+        data = path.read_bytes()
+        # Cut before the header/binary boundary: no complete envelope remains.
+        path.write_bytes(data[:40])
+        with pytest.raises(
+            PersistenceError,
+            match=r"has no binary section boundary|envelope is not valid JSON",
+        ):
+            RecipeIndex.load(path)
+
+    def test_binary_section_bit_flip_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_V2_ARTIFACT
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0x40  # deep inside the binary section
+        path.write_bytes(bytes(data))
+        with pytest.raises(
+            PersistenceError, match=r"binary section failed its checksum"
+        ):
+            RecipeIndex.load(path)
+
+    def test_header_checksum_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_V2_ARTIFACT
+        data = path.read_bytes()
+        boundary = data.index(b"\n")
+        document = json.loads(data[:boundary])
+        document["payload"]["doc_count"] = 99
+        path.write_bytes(json.dumps(document).encode() + data[boundary:])
+        with pytest.raises(PersistenceError, match=r"failed its checksum"):
+            RecipeIndex.load(path)
+
+    def test_binary_descriptor_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_V2_ARTIFACT
+        data = path.read_bytes()
+        boundary = data.index(b"\n")
+        document = json.loads(data[:boundary])
+        document["binary"]["length"] -= 1
+        path.write_bytes(json.dumps(document).encode() + data[boundary:])
+        with pytest.raises(
+            PersistenceError,
+            match=r"binary section is \d+ bytes but the envelope records",
+        ):
+            RecipeIndex.load(path)
+
+    def test_version_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_V2_ARTIFACT
+        data = path.read_bytes()
+        boundary = data.index(b"\n")
+        document = json.loads(data[:boundary])
+        document["version"] = 99
+        path.write_bytes(json.dumps(document).encode() + data[boundary:])
+        with pytest.raises(
+            PersistenceError,
+            match=r"has format version 99 but this build reads version 1",
+        ):
+            RecipeIndex.load(path)
+
+    def test_format_marker_tampering_is_rejected(self, fixture_copy):
+        path = fixture_copy / INDEX_V2_ARTIFACT
+        data = path.read_bytes()
+        boundary = data.index(b"\n")
+        document = json.loads(data[:boundary])
+        document["format"] = "repro-mystery-artifact"
+        tampered = json.dumps(document).encode() + data[boundary:]
+        # Routed straight to the v2 parser the marker check is pinned...
+        with pytest.raises(PersistenceError, match=r"format marker"):
+            load_index_v2_buffer(tampered, source=str(path))
+        # ...and the dispatching loader (which no longer sniffs v2) must
+        # still fail it cleanly: the binary tail is not a v1 JSON artifact.
+        path.write_bytes(tampered)
+        with pytest.raises(
+            PersistenceError, match=r"not valid UTF-8|not valid JSON"
+        ):
             RecipeIndex.load(path)
 
 

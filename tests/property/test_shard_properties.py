@@ -15,6 +15,11 @@ round-trips must also be payload-identical: compacting every shard back into
 one monolithic index reproduces the exact payload a from-scratch build
 produces, and incremental delta updates answer exactly like a scan of the
 concatenated corpus.
+
+Every build/update/merge randomises the on-disk artifact format per shard
+(v1 JSON vs v2 compact binary, including mixed-format manifests produced by
+``migrate_manifest``), so the lazy-decode v2 load path is held to the same
+"identical to a brute-force scan" bar as the eager v1 path.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.index import (
     add_jsonl,
     build_sharded_index,
     merge_shards,
+    migrate_manifest,
     render_query,
     scan_structured_jsonl,
 )
@@ -48,7 +54,14 @@ def test_sharded_equals_monolithic_equals_scan(seed, tmp_path):
     num_shards = rng.randint(1, 8)
 
     manifest_path = tmp_path / "manifest.json"
-    build_sharded_index(path, manifest_path, num_shards=num_shards)
+    build_sharded_index(
+        path, manifest_path, num_shards=num_shards, format=rng.choice(("v1", "v2"))
+    )
+    # Re-encode a random subset of shards so the manifest mixes v1 and v2
+    # artifacts; answers must not depend on any shard's on-disk format.
+    migrate_manifest(
+        manifest_path, select=lambda entry: rng.choice(("v1", "v2", None))
+    )
     sharded = QueryEngine(ShardedRecipeIndex.load(manifest_path))
     monolithic = QueryEngine(IndexBuilder.build_from_jsonl(path))
 
@@ -80,7 +93,9 @@ def test_shard_round_trips_and_merges_are_payload_identical(seed, tmp_path):
     num_shards = rng.randint(1, 8)
 
     manifest_path = tmp_path / "manifest.json"
-    build_sharded_index(path, manifest_path, num_shards=num_shards)
+    build_sharded_index(
+        path, manifest_path, num_shards=num_shards, format=rng.choice(("v1", "v2"))
+    )
 
     # save -> load -> save round-trips are payload-identical, shard by shard.
     first = ShardedRecipeIndex.load(manifest_path)
@@ -98,7 +113,10 @@ def test_shard_round_trips_and_merges_are_payload_identical(seed, tmp_path):
     # Re-sharding to a random different count preserves every answer.
     new_count = rng.randint(1, 8)
     resharded = merge_shards(
-        first, num_shards=new_count, manifest_path=tmp_path / "resharded.json"
+        first,
+        num_shards=new_count,
+        manifest_path=tmp_path / "resharded.json",
+        format=rng.choice(("v1", "v2")),
     )
     engine = QueryEngine(resharded)
     reference = QueryEngine(monolithic)
@@ -114,7 +132,12 @@ def test_incremental_shard_updates_stay_scan_identical(seed, tmp_path):
     base_path = tmp_path / "base.jsonl"
     write_structured_jsonl(base_path, base)
     manifest_path = tmp_path / "manifest.json"
-    build_sharded_index(base_path, manifest_path, num_shards=rng.randint(1, 4))
+    build_sharded_index(
+        base_path,
+        manifest_path,
+        num_shards=rng.randint(1, 4),
+        format=rng.choice(("v1", "v2")),
+    )
 
     corpus = list(base)
     for batch in range(rng.randint(1, 3)):
@@ -123,7 +146,8 @@ def test_incremental_shard_updates_stay_scan_identical(seed, tmp_path):
         ]
         delta_path = tmp_path / f"delta{batch}.jsonl"
         write_structured_jsonl(delta_path, extra)
-        add_jsonl(manifest_path, delta_path)
+        # Delta shards pick their own format: bases and deltas may mix freely.
+        add_jsonl(manifest_path, delta_path, format=rng.choice(("v1", "v2")))
         corpus.extend(extra)
 
     combined_path = tmp_path / "combined.jsonl"
@@ -137,7 +161,12 @@ def test_incremental_shard_updates_stay_scan_identical(seed, tmp_path):
         assert engine.execute(query) == scan_structured_jsonl(combined_path, query)
 
     # Compaction folds the deltas without changing a single answer.
-    compacted = merge_shards(sharded, num_shards=2, manifest_path=manifest_path)
+    compacted = merge_shards(
+        sharded,
+        num_shards=2,
+        manifest_path=manifest_path,
+        format=rng.choice(("v1", "v2")),
+    )
     assert compacted.manifest.delta_count == 0
     assert ShardManifest.load(manifest_path).generation == sharded.generation + 1
     compacted_engine = QueryEngine(compacted)

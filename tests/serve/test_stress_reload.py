@@ -1,9 +1,12 @@
 """Concurrency stress: searches must never observe a torn index mid-swap.
 
 N threads hammer ``POST /v1/search`` while the main thread keeps publishing
-new manifest generations (alternating between two pre-built corpus variants
-with different doc counts and shard layouts) and hot-swapping them through
-``POST /v1/reload``.  The invariants:
+new manifest generations — cycling through three pre-built variants that
+model a rolling v1 -> v2 migration: an all-v1 manifest, a mixed-format one
+(``migrate_manifest`` rewrote a subset of its shards to the v2 compact
+binary format), and an all-v2 manifest over a larger corpus with a
+different shard layout — and hot-swapping them through ``POST /v1/reload``.
+The invariants:
 
 * **no torn index** — every response must be fully consistent with exactly
   one published generation: the ``index.sha256`` it reports identifies the
@@ -31,7 +34,13 @@ import urllib.request
 import pytest
 
 from repro.corpus.sink import write_structured_jsonl
-from repro.index import QueryEngine, ShardManifest, ShardedRecipeIndex, build_sharded_index
+from repro.index import (
+    QueryEngine,
+    ShardManifest,
+    ShardedRecipeIndex,
+    build_sharded_index,
+    migrate_manifest,
+)
 from repro.persistence import file_sha256
 from repro.serve import SearchService, make_server
 
@@ -65,15 +74,32 @@ def _get(port, path, timeout=30):
 
 @pytest.fixture()
 def variants(tmp_path):
-    """Two pre-built shard sets over different corpora, plus expected answers."""
+    """Three shard sets modelling a rolling v1 -> v2 migration, plus answers.
+
+    ``a`` is all-v1 over the base corpus, ``m`` is the same corpus with a
+    subset of its shards rewritten to v2 (a migration caught mid-way), and
+    ``b`` is all-v2 over an extended corpus with a different shard layout.
+    """
     rng = random.Random(5)
     base = [_random_recipe(rng, f"r{i}") for i in range(18)]
     extended = base + [_random_recipe(rng, f"x{i}") for i in range(9)]
     built = {}
-    for name, recipes, shards in (("a", base, 2), ("b", extended, 3)):
+    for name, recipes, shards, format in (
+        ("a", base, 2, "v1"),
+        ("m", base, 2, "v1"),
+        ("b", extended, 3, "v2"),
+    ):
         jsonl = tmp_path / f"{name}.jsonl"
         write_structured_jsonl(jsonl, recipes)
-        manifest = build_sharded_index(jsonl, tmp_path / f"{name}.json", num_shards=shards)
+        manifest = build_sharded_index(
+            jsonl, tmp_path / f"{name}.json", num_shards=shards, format=format
+        )
+        if name == "m":
+            # Rewrite every other shard to v2: a deliberately mixed manifest.
+            targets = iter(("v2", None))
+            manifest = migrate_manifest(
+                tmp_path / "m.json", select=lambda entry: next(targets)
+            )
         engine = QueryEngine(ShardedRecipeIndex.load(tmp_path / f"{name}.json"))
         built[name] = {
             "manifest": manifest,
@@ -82,6 +108,9 @@ def variants(tmp_path):
                 for query in QUERIES
             },
         }
+    mixed = set(built["m"]["manifest"].entries[index].format for index in range(2))
+    assert mixed == {"v1", "v2"}
+    assert built["a"]["expected"] == built["m"]["expected"]  # same corpus
     assert built["a"]["expected"][QUERIES[0]] != built["b"]["expected"][QUERIES[0]]
     return built
 
@@ -154,7 +183,9 @@ def test_stress_search_never_sees_a_torn_index_during_hot_swaps(
         for worker in workers:
             worker.start()
         for generation in range(2, SWAPS + 2):
-            variant = variants["a" if generation % 2 else "b"]
+            # v1 -> mixed -> v2 and around again: the full migration sequence
+            # keeps getting hot-swapped under the storm.
+            variant = variants[("a", "m", "b")[generation % 3]]
             sha = _publish(live_path, variant, generation)
             with lock:
                 expected_by_sha[sha] = variant["expected"]
@@ -179,6 +210,7 @@ def test_stress_search_never_sees_a_torn_index_during_hot_swaps(
         assert final.bundle.generation == SWAPS + 1
         assert health["index"]["shards"] == final.bundle.shard_count
         assert health["index"]["index_generation"] == SWAPS + 1
+        assert health["index"]["shard_formats"] == final.bundle.shard_formats
     finally:
         stop.set()
         server.shutdown()
