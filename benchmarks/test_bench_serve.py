@@ -18,14 +18,24 @@ throughput is less than 3x the per-request loop.
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.serve import MicrobatchQueue
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    MicrobatchQueue,
+    ModelRegistry,
+    TaggingService,
+    make_server,
+    start_in_thread,
+)
 
 from conftest import emit
 
@@ -33,6 +43,14 @@ RESULT_PATH = Path(__file__).parent / "BENCH_serve.json"
 MIN_SPEEDUP = 3.0
 MIN_LINES = 1000
 REPEATS = 3
+
+#: End-to-end front-end sweep shape: requests per sweep x lines per request.
+SWEEP_REQUESTS = 64
+LINES_PER_REQUEST = 8
+CONNECTIONS = (1, 8, 32)
+#: The async front end must at least match the threaded one at 32
+#: connections (it measures ~10-20x ahead; the report records the ratio).
+MIN_ASYNC_RATIO = 1.0
 
 
 def _best_time(function, *, setup=None):
@@ -109,9 +127,206 @@ def test_bench_serve(modeler, serving_corpus):
         "speedup": round(speedup, 2),
         "byte_identical": True,
     }
+    if RESULT_PATH.exists():
+        # Keep the front-end sweep's section if it already ran.
+        previous = json.loads(RESULT_PATH.read_text())
+        if "frontends" in previous:
+            report["frontends"] = previous["frontends"]
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     emit("SERVE PERF SMOKE (BENCH_serve.json)", json.dumps(report, indent=2))
 
     assert speedup >= MIN_SPEEDUP, (
         f"microbatched serving speedup {speedup:.1f}x below the {MIN_SPEEDUP}x floor"
+    )
+
+
+# --------------------------------------------------------- front-end sweep
+
+
+def _sweep(port, request_bodies, connections):
+    """POST every body through ``connections`` persistent keep-alive
+    connections; returns (elapsed_s, raw response bytes by request index)."""
+    results: list[bytes | None] = [None] * len(request_bodies)
+    failures: list[str] = []
+
+    def worker(offset):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            for index in range(offset, len(request_bodies), connections):
+                connection.request(
+                    "POST",
+                    "/v1/tag",
+                    body=request_bodies[index],
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                if response.status != 200:
+                    failures.append(f"request {index} -> {response.status}")
+                    return
+                results[index] = payload
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(offset,))
+        for offset in range(connections)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not failures, failures[:5]
+    assert all(result is not None for result in results)
+    return elapsed, results
+
+
+def _shed_burst(service, *, clients=16, requests_each=4):
+    """Hammer a deliberately tiny admission gate; returns (served, shed)."""
+    admission = AdmissionController(
+        AdmissionPolicy(max_inflight=1, queue_depth=0, deadline_s=30.0)
+    )
+    body = json.dumps(
+        {"section": "ingredient", "lines": ["2 cups sugar"] * LINES_PER_REQUEST}
+    ).encode("utf-8")
+    counts = {"served": 0, "shed": 0}
+    lock = threading.Lock()
+    with start_in_thread(service, admission=admission) as handle:
+        barrier = threading.Barrier(clients)
+
+        def worker():
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=60
+            )
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(requests_each):
+                    connection.request(
+                        "POST",
+                        "/v1/tag",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    response.read()
+                    with lock:
+                        if response.status == 200:
+                            counts["served"] += 1
+                        elif response.status == 429:
+                            counts["shed"] += 1
+            finally:
+                connection.close()
+
+        threads = [threading.Thread(target=worker) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    return counts["served"], counts["shed"]
+
+
+def test_bench_serve_frontends(modeler, serving_corpus, tmp_path_factory):
+    """Threaded vs async front end, end to end, at 1/8/32 connections.
+
+    Both servers run over the *same* TaggingService (same registry, same
+    microbatch queues), so any throughput difference is the front end's:
+    thread-per-connection dispatch vs one event loop with admission
+    control.  Responses must be byte-identical across servers.
+    """
+    bundle = tmp_path_factory.mktemp("bench-serve") / "bundle.json"
+    modeler.save_bundle(bundle)
+    registry = ModelRegistry()
+    registry.load(bundle)
+
+    pool = [" ".join(tokens) for tokens in serving_corpus]
+    request_bodies = [
+        json.dumps(
+            {
+                "section": "ingredient",
+                "lines": pool[
+                    (index * LINES_PER_REQUEST) % len(pool):
+                ][:LINES_PER_REQUEST],
+            }
+        ).encode("utf-8")
+        for index in range(SWEEP_REQUESTS)
+    ]
+
+    sweeps: dict[str, dict] = {"threaded": {}, "async": {}}
+    baseline: list[bytes] | None = None
+    total_lines = SWEEP_REQUESTS * LINES_PER_REQUEST
+
+    with TaggingService(registry, max_delay_s=0.001) as service:
+        # ---- threaded front end
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            _sweep(port, request_bodies, 8)  # warm caches outside the clock
+            for connections in CONNECTIONS:
+                elapsed, results = _sweep(port, request_bodies, connections)
+                sweeps["threaded"][str(connections)] = {
+                    "seconds": round(elapsed, 6),
+                    "lines_per_s": round(total_lines / elapsed, 1),
+                }
+                baseline = results
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        # ---- async front end (same service, fresh metrics)
+        with start_in_thread(service) as handle:
+            _sweep(handle.port, request_bodies, 8)  # warm-up parity
+            for connections in CONNECTIONS:
+                elapsed, results = _sweep(handle.port, request_bodies, connections)
+                sweeps["async"][str(connections)] = {
+                    "seconds": round(elapsed, 6),
+                    "lines_per_s": round(total_lines / elapsed, 1),
+                }
+                assert results == baseline, (
+                    "async responses must be byte-identical to the threaded "
+                    "server's"
+                )
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=30
+            )
+            try:
+                connection.request("GET", "/stats")
+                stats = json.loads(connection.getresponse().read())
+            finally:
+                connection.close()
+
+        served, shed = _shed_burst(service)
+
+    tag_metrics = stats["server"]["tag"]
+    ratio = (
+        sweeps["async"]["32"]["lines_per_s"]
+        / sweeps["threaded"]["32"]["lines_per_s"]
+    )
+    report = {
+        "requests": SWEEP_REQUESTS,
+        "lines_per_request": LINES_PER_REQUEST,
+        "throughput": sweeps,
+        "async_vs_threaded_at_32": round(ratio, 3),
+        "async_latency_p50_ms": tag_metrics["latency"]["p50_ms"],
+        "async_latency_p99_ms": tag_metrics["latency"]["p99_ms"],
+        "async_queue_wait_p99_ms": tag_metrics["queue_wait"]["p99_ms"],
+        "saturation_burst": {"served": served, "shed": shed},
+        "byte_identical": True,
+    }
+
+    merged = {}
+    if RESULT_PATH.exists():
+        merged = json.loads(RESULT_PATH.read_text())
+    merged["frontends"] = report
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    emit("SERVE FRONT-END SWEEP (BENCH_serve.json)", json.dumps(report, indent=2))
+
+    assert shed >= 1, "the saturation burst must shed at least one request"
+    assert served >= 1, "the saturation burst must still serve requests"
+    assert ratio >= MIN_ASYNC_RATIO, (
+        f"async throughput ratio {ratio:.2f}x at 32 connections fell below "
+        f"the {MIN_ASYNC_RATIO}x floor"
     )

@@ -19,6 +19,8 @@ Usage::
     python -m repro index query --index index.json \
         'ingredient:tomato AND process:saute AND NOT ingredient:garlic'
     python -m repro serve --bundle bundle.json --index manifest.json --port 8080
+    python -m repro serve --bundle bundle.json --async --max-inflight 64 \
+        --queue-depth 128 --deadline-ms 30000
 
 The experiment sub-commands print the same rows/series the paper reports.
 ``train`` fits the end-to-end pipeline on the simulated corpus and writes an
@@ -42,7 +44,13 @@ format, generation, per-shard size — without decoding postings.  ``index
 query`` answers boolean entity queries from either artifact kind (or, with
 ``--scan``, by brute-forcing the JSONL — same results, corpus-scan cost);
 ``serve --index`` additionally exposes the index (monolithic or manifest) on
-``POST /v1/search``, hot-swappable through ``POST /v1/reload``.
+``POST /v1/search``, hot-swappable through ``POST /v1/reload``.  ``serve
+--async`` swaps the threaded front end for the asyncio event-loop server:
+keep-alive + pipelined connections, per-endpoint admission control
+(``--max-inflight`` concurrent requests, ``--queue-depth`` waiters, excess
+load shed with ``429 + Retry-After``, ``--deadline-ms`` per-request budget)
+and chunked NDJSON streaming (``"stream": true``) for corpus-sized tag and
+search responses.
 """
 
 from __future__ import annotations
@@ -387,6 +395,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="microbatch coalescing window in milliseconds (default: 2)",
     )
     serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help=(
+            "serve from the asyncio event-loop front end (keep-alive + "
+            "pipelining, admission control, NDJSON streaming) instead of the "
+            "threaded fallback server"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="async only: concurrent requests admitted per endpoint (default: 64)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        help=(
+            "async only: requests allowed to wait for a slot per endpoint; "
+            "excess load is shed with 429 + Retry-After (default: 128)"
+        ),
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=30_000.0,
+        help=(
+            "async only: total per-request budget in milliseconds, queue wait "
+            "included; expired requests are abandoned (default: 30000, 0 disables)"
+        ),
+    )
+    serve.add_argument(
         "--no-dictionary",
         action="store_true",
         help="skip the frequency-dictionary filter on instruction predictions",
@@ -646,26 +688,12 @@ def _cmd_index_query(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(arguments: argparse.Namespace) -> int:
-    from repro.serve import SearchService, make_server
-
-    service = _make_service(
-        arguments,
-        max_batch=arguments.max_batch,
-        max_delay_s=arguments.max_delay_ms / 1000.0,
-    )
-    search = SearchService.from_artifact(arguments.index) if arguments.index else None
-    server = make_server(
-        service,
-        search=search,
-        host=arguments.host,
-        port=arguments.port,
-        verbose=arguments.verbose,
-    )
+def _print_serving_banner(arguments, service, search, port: int, front_end: str) -> None:
     record = service.model_record()
     print(
         f"serving bundle {record.path} (sha256 {record.sha256[:12]}, "
-        f"generation {record.generation}) on http://{arguments.host}:{server.server_address[1]}"
+        f"generation {record.generation}) on http://{arguments.host}:{port} "
+        f"({front_end} front end)"
     )
     if search is not None:
         index_record = search.record()
@@ -675,6 +703,29 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             f"{index_record.bundle.doc_count} recipes, "
             f"{shards} shard{'s' if shards != 1 else ''}) on POST /v1/search"
         )
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from repro.serve import SearchService, make_server
+
+    service = _make_service(
+        arguments,
+        max_batch=arguments.max_batch,
+        max_delay_s=arguments.max_delay_ms / 1000.0,
+    )
+    search = SearchService.from_artifact(arguments.index) if arguments.index else None
+    if arguments.use_async:
+        return _serve_async(arguments, service, search)
+    server = make_server(
+        service,
+        search=search,
+        host=arguments.host,
+        port=arguments.port,
+        verbose=arguments.verbose,
+    )
+    _print_serving_banner(
+        arguments, service, search, server.server_address[1], "threaded"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -682,6 +733,44 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     finally:
         server.shutdown()
         server.server_close()
+        service.close()
+    return 0
+
+
+def _serve_async(arguments: argparse.Namespace, service, search) -> int:
+    import asyncio
+
+    from repro.serve import AdmissionController, AdmissionPolicy, AsyncTaggingServer
+
+    policy = AdmissionPolicy(
+        max_inflight=arguments.max_inflight,
+        queue_depth=arguments.queue_depth,
+        deadline_s=(
+            arguments.deadline_ms / 1000.0 if arguments.deadline_ms > 0 else None
+        ),
+    )
+    server = AsyncTaggingServer(
+        service,
+        search=search,
+        host=arguments.host,
+        port=arguments.port,
+        admission=AdmissionController(policy),
+        verbose=arguments.verbose,
+    )
+
+    async def run() -> None:
+        await server.start()
+        _print_serving_banner(arguments, service, search, server.port, "async")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
         service.close()
     return 0
 

@@ -1,7 +1,7 @@
-"""Serving layer: warm model registry, microbatching queue, HTTP front end.
+"""Serving layer: warm registry, microbatching, two HTTP front ends.
 
 The ROADMAP north star is serving recipe tagging to many concurrent clients,
-which needs three things the library core deliberately does not provide:
+which needs things the library core deliberately does not provide:
 
 * :mod:`repro.serve.registry` -- a :class:`ModelRegistry` that loads
   versioned, checksummed :class:`~repro.persistence.PipelineBundle`
@@ -10,31 +10,62 @@ which needs three things the library core deliberately does not provide:
 * :mod:`repro.serve.microbatch` -- a :class:`MicrobatchQueue` that coalesces
   concurrent tag requests into one length-bucketed batch decode per flush
   (one kernel call instead of one per request);
-* :mod:`repro.serve.service` / :mod:`repro.serve.http` -- the
-  :class:`TaggingService` facade over both, and a stdlib-only threaded HTTP
-  server exposing tag / search / stats / reload endpoints;
-* :mod:`repro.serve.search` -- the :class:`SearchService` facade answering
-  ``POST /v1/search`` from a registry-managed, hot-swappable
-  :class:`~repro.index.RecipeIndex` artifact.
+* :mod:`repro.serve.service` / :mod:`repro.serve.search` -- the
+  :class:`TaggingService` and :class:`SearchService` facades both front
+  ends talk to;
+* :mod:`repro.serve.aio` -- the event-loop front door: an asyncio HTTP/1.1
+  server with keep-alive + pipelining, admission control
+  (:mod:`repro.serve.admission`: bounded per-endpoint queues, load shedding
+  with ``429 + Retry-After``, request deadlines) and chunked NDJSON
+  streaming for corpus-sized responses;
+* :mod:`repro.serve.http` -- the stdlib threaded HTTP server, kept as a
+  fallback front end over the same facades and shared route logic
+  (:mod:`repro.serve.routes`);
+* :mod:`repro.serve.metrics` -- per-endpoint latency/queue-wait histograms
+  and request/shed/error counters recorded by both servers and reported by
+  ``GET /stats``.
 
 Everything here is pure stdlib + the existing engine; there is no new
 dependency to deploy.
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDeniedError,
+    AdmissionPolicy,
+    DeadlineExceededError,
+)
+from repro.serve.aio import (
+    AsyncServerHandle,
+    AsyncTaggingServer,
+    start_in_thread,
+    tag_lines_async,
+)
 from repro.serve.http import TaggingHTTPServer, make_server
+from repro.serve.metrics import LatencyHistogram, ServerMetrics
 from repro.serve.microbatch import MicrobatchQueue, QueueSaturatedError
 from repro.serve.registry import ModelRecord, ModelRegistry
 from repro.serve.search import SearchService, index_registry
 from repro.serve.service import TaggingService
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDeniedError",
+    "AdmissionPolicy",
+    "AsyncServerHandle",
+    "AsyncTaggingServer",
+    "DeadlineExceededError",
+    "LatencyHistogram",
     "MicrobatchQueue",
     "ModelRecord",
     "ModelRegistry",
     "QueueSaturatedError",
     "SearchService",
+    "ServerMetrics",
     "TaggingHTTPServer",
     "TaggingService",
     "index_registry",
     "make_server",
+    "start_in_thread",
+    "tag_lines_async",
 ]

@@ -1,4 +1,4 @@
-"""Stdlib-only HTTP front end for the tagging service.
+"""Stdlib-only threaded HTTP front end for the tagging service.
 
 ``http.server.ThreadingHTTPServer`` gives one thread per connection; every
 concurrently arriving ``POST /v1/tag`` therefore lands its lines in the
@@ -6,12 +6,19 @@ microbatch queues at the same time and they are decoded together.  No
 third-party web framework is required, which keeps the serving path
 deployable in the same environment the library runs in.
 
+This is the *fallback* front end: :mod:`repro.serve.aio` serves the same
+endpoints from an asyncio event loop with admission control and streaming
+responses, and scales to far more concurrent connections.  Both run over the
+same :class:`TaggingService`/:class:`SearchService` facades and the shared
+route logic in :mod:`repro.serve.routes`, and both record per-endpoint
+latency histograms into a :class:`~repro.serve.metrics.ServerMetrics`.
+
 Endpoints:
 
 * ``GET /healthz`` -- liveness plus the serving artifact's provenance (for
   a serving index: shard count and, when sharded, the manifest generation).
-* ``GET /stats`` -- model provenance, queue coalescing counters and the
-  per-model decode/feature cache hit rates.
+* ``GET /stats`` -- model provenance, queue coalescing counters, per-model
+  decode/feature cache hit rates and per-endpoint latency histograms.
 * ``POST /v1/tag`` -- body ``{"section": "ingredient"|"instruction",
   "lines": [...]}``; responds with one ``{"tokens", "tags"}`` object per line.
 * ``POST /v1/search`` -- body ``{"query": "ingredient:tomato AND ...",
@@ -20,21 +27,29 @@ Endpoints:
 * ``POST /v1/reload`` -- hot-swap the serving bundle (and index, when one is
   configured) from its artifact path (body ``{"force": true}`` to swap even
   when the file is unchanged).
+
+A saturated microbatch backlog sheds the request with ``429`` and a
+``Retry-After`` header instead of queueing it; a request body sent with
+``Transfer-Encoding: chunked`` is refused with ``411 Length Required`` (the
+unread chunked body would desync keep-alive framing).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import PersistenceError, ReproError
-from repro.serve.microbatch import QueueSaturatedError
+from repro.errors import ReproError
+from repro.serve import routes
+from repro.serve.metrics import ServerMetrics
+from repro.serve.routes import HttpError
 from repro.serve.search import SearchService
 from repro.serve.service import TaggingService
 
 __all__ = ["TaggingHTTPServer", "TaggingRequestHandler", "make_server"]
 
-_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_BODY_BYTES = routes.MAX_BODY_BYTES
 
 
 class TaggingRequestHandler(BaseHTTPRequestHandler):
@@ -46,28 +61,33 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
     # ----------------------------------------------------------------- verbs
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._started = time.perf_counter()
         try:
             if self.path == "/healthz":
-                self._respond(200, self._handle_health())
+                document = routes.health_document(
+                    self.server.service, self.server.search
+                )
+                self._respond(200, document)
             elif self.path == "/stats":
-                document = self.server.service.stats()
-                if self.server.search is not None:
-                    document["index"] = self.server.search.stats()
+                document = routes.stats_document(
+                    self.server.service,
+                    self.server.search,
+                    server=self.server.metrics.snapshot(),
+                )
                 self._respond(200, document)
             else:
                 self._respond(404, {"error": f"unknown path {self.path!r}"})
-        except ReproError as error:
-            self._respond(400, {"error": str(error)})
         except Exception as error:  # noqa: BLE001 - client must get a status line
-            self._respond(500, {"error": f"internal error: {error}"})
+            self._respond_error(error)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._started = time.perf_counter()
         # Drain the body before routing: on HTTP/1.1 keep-alive connections an
         # unread body would be parsed as the next request line.
         try:
             body = self._read_json_body()
-        except ReproError as error:
-            self._respond(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - framing errors must respond
+            self._respond_error(error)
             return
         if self.path == "/v1/tag":
             handler = self._handle_tag
@@ -86,82 +106,37 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             self._respond(200, handler(body))
-        except QueueSaturatedError as error:
-            self._respond(503, {"error": str(error)})
-        except PersistenceError as error:
-            # The live model keeps serving; the *replacement* artifact is bad.
-            self._respond(500, {"error": str(error)})
-        except ReproError as error:
-            self._respond(400, {"error": str(error)})
         except Exception as error:  # noqa: BLE001 - client must get a status line
-            self._respond(500, {"error": f"internal error: {error}"})
+            self._respond_error(error)
 
     # -------------------------------------------------------------- handlers
 
-    def _handle_health(self) -> dict:
-        document = {"status": "ok", "model": self.server.service.model_record().describe()}
-        if self.server.search is not None:
-            record = self.server.search.record()
-            info = record.describe()
-            # Index shape at a glance: shard count always (1 for a monolithic
-            # artifact), plus the manifest's own generation when sharded (the
-            # registry generation above counts swaps, not compactions).
-            info["shards"] = getattr(record.bundle, "shard_count", 1)
-            index_generation = getattr(record.bundle, "generation", None)
-            if index_generation is not None:
-                info["index_generation"] = index_generation
-            # Artifact format(s): "v1"/"v2" for a monolithic index, the
-            # per-shard list for a manifest (mixed mid-migration is normal).
-            shard_formats = getattr(record.bundle, "shard_formats", None)
-            if shard_formats is not None:
-                info["shard_formats"] = shard_formats
-            else:
-                info["format"] = getattr(record.bundle, "kind", "v1")
-            document["index"] = info
-        return document
-
     def _handle_tag(self, body: dict) -> dict:
-        section = body.get("section", "instruction")
-        lines = body.get("lines")
-        if lines is None and "line" in body:
-            lines = [body["line"]]
-        if not isinstance(lines, list) or not all(isinstance(line, str) for line in lines):
-            raise ReproError("request body must carry 'lines': a list of strings")
+        section, lines = routes.validate_tag_body(body)
         results = self.server.service.tag_lines(section, lines)
-        record = self.server.service.model_record()
-        return {
-            "model": {"name": record.name, "generation": record.generation},
-            "results": results,
-        }
+        return routes.tag_document(self.server.service, results)
 
     def _handle_search(self, body: dict) -> dict:
-        limit = body.get("limit")
-        return self.server.search.search(body.get("query"), limit=limit)
+        query, limit = routes.search_arguments(body)
+        return self.server.search.search(query, limit=limit)
 
     def _handle_reload(self, body: dict) -> dict:
-        force = bool(body.get("force", False))
-        before = self.server.service.model_record().generation
-        record = self.server.service.reload(force=force)
-        document = {"swapped": record.generation != before, "model": record.describe()}
-        search = self.server.search
-        if search is not None:
-            index_before = search.record().generation
-            try:
-                index_record = search.reload(force=force)
-            except ReproError as error:
-                # The model swap above already happened; the client must not
-                # read the failure as "nothing changed".
-                raise type(error)(
-                    f"model reload succeeded (swapped={document['swapped']}, "
-                    f"generation {record.generation}) but index reload failed: {error}"
-                ) from error
-            document["index_swapped"] = index_record.generation != index_before
-            document["index"] = index_record.describe()
-        return document
+        return routes.reload_document(self.server.service, self.server.search, body)
 
     # -------------------------------------------------------------- plumbing
 
     def _read_json_body(self) -> dict:
+        transfer_encoding = self.headers.get("Transfer-Encoding", "")
+        if "chunked" in transfer_encoding.lower():
+            # Without a Content-Length the chunked body would go unread and
+            # desync keep-alive framing; refuse it and close the connection.
+            self.close_connection = True
+            raise HttpError(
+                411,
+                "chunked request bodies are not supported; "
+                "send Content-Length instead",
+                close=True,
+            )
         raw_length = self.headers.get("Content-Length")
         try:
             length = int(raw_length) if raw_length else 0
@@ -187,17 +162,36 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
             raise ReproError("request body must be a JSON object")
         return body
 
-    def _respond(self, status: int, document: dict) -> None:
+    def _respond_error(self, error: Exception) -> None:
+        """Answer a failed request with the shared status mapping."""
+        status, retry_after_s = routes.error_status(error)
+        if isinstance(error, HttpError) and error.close:
+            self.close_connection = True
+        message = str(error) if isinstance(error, ReproError) else f"internal error: {error}"
+        self._respond(status, {"error": message}, retry_after_s=retry_after_s)
+
+    def _respond(
+        self, status: int, document: dict, *, retry_after_s: float | None = None
+    ) -> None:
         data = json.dumps(document).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if retry_after_s is not None:
+            # Shed load politely: tell the client when to come back.
+            self.send_header("Retry-After", f"{retry_after_s:g}")
         if self.close_connection:
             # Tell keep-alive clients this socket is done (e.g. after a
             # request whose body length was unreadable).
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(data)
+        self.server.metrics.observe(
+            self.path,
+            self.command or "-",
+            status,
+            time.perf_counter() - getattr(self, "_started", time.perf_counter()),
+        )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
@@ -215,11 +209,13 @@ class TaggingHTTPServer(ThreadingHTTPServer):
         service: TaggingService,
         *,
         search: SearchService | None = None,
+        metrics: ServerMetrics | None = None,
         verbose: bool = False,
     ) -> None:
         super().__init__(address, TaggingRequestHandler)
         self.service = service
         self.search = search
+        self.metrics = metrics or ServerMetrics()
         self.verbose = verbose
 
 
@@ -229,11 +225,16 @@ def make_server(
     search: SearchService | None = None,
     host: str = "127.0.0.1",
     port: int = 8080,
+    metrics: ServerMetrics | None = None,
     verbose: bool = False,
 ) -> TaggingHTTPServer:
     """Build a ready-to-``serve_forever`` server (``port=0`` picks a free port).
 
     ``search`` enables ``POST /v1/search`` over a serving recipe index; left
-    ``None``, that endpoint answers 503.
+    ``None``, that endpoint answers 503.  ``metrics`` shares one
+    :class:`~repro.serve.metrics.ServerMetrics` across front ends; by
+    default the server records into its own instance.
     """
-    return TaggingHTTPServer((host, port), service, search=search, verbose=verbose)
+    return TaggingHTTPServer(
+        (host, port), service, search=search, metrics=metrics, verbose=verbose
+    )

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 
 from repro.engine.batching import plan_flush_chunks
 from repro.errors import ConfigurationError, ReproError
@@ -81,6 +81,7 @@ class MicrobatchQueue:
         self._flushes_total = 0
         self._flushed_requests = 0
         self._largest_flush = 0
+        self._cancelled_total = 0
         self._worker = threading.Thread(
             target=self._run, name=f"microbatch-{name}", daemon=True
         )
@@ -123,9 +124,34 @@ class MicrobatchQueue:
     def tag_many(
         self, token_sequences: Sequence[Sequence[str]], *, timeout: float | None = None
     ) -> list[list[str]]:
-        """Submit every sequence up front, then gather (requests coalesce)."""
+        """Submit every sequence up front, then gather (requests coalesce).
+
+        ``timeout`` is an *overall* deadline for the whole batch, not a
+        per-future wait: a 100-sequence call cannot stretch the budget
+        100-fold.  The first wait to find the deadline spent raises
+        ``TimeoutError`` immediately instead of polling the remaining
+        futures.
+        """
         futures = self.submit_many(token_sequences)
-        return [future.result(timeout=timeout) for future in futures]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results: list[list[str]] = []
+        for future in futures:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 and not future.done():
+                    raise TimeoutError(
+                        f"tag_many exceeded its overall {timeout:g}s deadline "
+                        f"after {len(results)} of {len(futures)} results"
+                    )
+            try:
+                results.append(future.result(timeout=remaining))
+            except TimeoutError:
+                raise TimeoutError(
+                    f"tag_many exceeded its overall {timeout:g}s deadline "
+                    f"after {len(results)} of {len(futures)} results"
+                ) from None
+        return results
 
     def _check_accepts(self, count: int) -> None:
         """Reject submits on a closed or saturated queue (holds the lock)."""
@@ -157,6 +183,16 @@ class MicrobatchQueue:
             self._flush(batch)
 
     def _flush(self, batch: list[tuple[tuple[str, ...], Future]]) -> None:
+        # Abandoned work is dropped here, not decoded: a caller that gave up
+        # (an async request past its deadline cancels its future) should not
+        # cost a lattice sweep.  Cancellation can still race the flush, so
+        # every set_result/set_exception below tolerates a concurrently
+        # cancelled future instead of crashing the worker.
+        abandoned = sum(1 for _, future in batch if future.cancelled())
+        if abandoned:
+            with self._lock:
+                self._cancelled_total += abandoned
+            batch = [entry for entry in batch if not entry[1].cancelled()]
         chunks = plan_flush_chunks(
             [len(tokens) for tokens, _ in batch],
             max_sentences=self.max_batch,
@@ -168,7 +204,7 @@ class MicrobatchQueue:
                 results = self._tag_batch([tokens for tokens, _ in requests])
             except BaseException as error:  # noqa: BLE001 - must reach the callers
                 for _, future in requests:
-                    future.set_exception(error)
+                    self._resolve(future, error=error)
                 continue
             if len(results) != len(requests):
                 # A short list would strand the unmatched futures forever
@@ -180,14 +216,31 @@ class MicrobatchQueue:
                     "receive exactly one tag sequence"
                 )
                 for _, future in requests:
-                    future.set_exception(mismatch)
+                    self._resolve(future, error=mismatch)
                 continue
             for (_, future), tags in zip(requests, results):
-                future.set_result(list(tags))
+                self._resolve(future, result=list(tags))
             with self._lock:
                 self._flushes_total += 1
                 self._flushed_requests += len(requests)
                 self._largest_flush = max(self._largest_flush, len(requests))
+
+    @staticmethod
+    def _resolve(future: Future, *, result=None, error=None) -> None:
+        """Complete ``future``, tolerating a concurrent cancellation.
+
+        An async caller whose deadline expired may cancel its future at any
+        moment; ``set_result`` on a cancelled future raises
+        ``InvalidStateError``, which would kill the worker thread and strand
+        every queue forever.
+        """
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass
 
     # ----------------------------------------------------------------- admin
 
@@ -203,6 +256,7 @@ class MicrobatchQueue:
                 "largest_flush": self._largest_flush,
                 "mean_flush_size": (flushed / flushes) if flushes else 0.0,
                 "pending": len(self._pending),
+                "cancelled_total": self._cancelled_total,
             }
 
     def close(self, *, timeout: float | None = 5.0) -> None:

@@ -17,6 +17,7 @@ swap-only-on-change reloads.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro.errors import QueryError
@@ -69,6 +70,22 @@ class SearchService:
         matches with their spans, and the provenance of the index generation
         that answered — so a client can tell mid-swap which artifact it hit.
         """
+        meta, matches = self.search_stream(query, limit=limit)
+        return {**meta, "results": list(matches)}
+
+    def search_stream(
+        self, query: str, *, limit: int | None = None
+    ) -> tuple[dict, Iterator[dict]]:
+        """Like :meth:`search`, but split for NDJSON streaming responses.
+
+        Returns ``(meta, matches)``: the meta document (query, total,
+        returned count, index provenance — everything :meth:`search` carries
+        except ``results``) plus an iterator yielding one JSON-ready match
+        dict at a time, so the front end can stream a corpus-sized answer
+        without ever rendering it into a single buffer.  The whole result
+        set is resolved against one index generation before the meta is
+        returned; a hot-swap mid-iteration cannot tear the stream.
+        """
         if not isinstance(query, str) or not query.strip():
             raise QueryError("request must carry 'query': a non-empty query string")
         if limit is None:
@@ -78,7 +95,7 @@ class SearchService:
         record = self.record()
         engine = QueryEngine(record.bundle)
         total, matches = engine.search(query, limit=limit)
-        return {
+        meta = {
             "query": query,
             "total": total,
             "returned": len(matches),
@@ -87,8 +104,8 @@ class SearchService:
                 "generation": record.generation,
                 "sha256": record.sha256,
             },
-            "results": [match.to_dict() for match in matches],
         }
+        return meta, (match.to_dict() for match in matches)
 
     def reload(self, *, force: bool = False) -> ModelRecord:
         """Hot-swap the serving index from its artifact path (see registry)."""

@@ -9,7 +9,9 @@ the queues or dropping queued requests.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.engine.batching import plan_flush_chunks
 from repro.errors import ConfigurationError
@@ -17,7 +19,24 @@ from repro.serve.microbatch import MicrobatchQueue
 from repro.serve.registry import ModelRecord, ModelRegistry
 from repro.text.tokenizer import tokenize
 
-__all__ = ["TaggingService"]
+__all__ = ["TagPlan", "TaggingService"]
+
+
+@dataclass(frozen=True)
+class TagPlan:
+    """A tag request cut into budget-bounded queue submissions.
+
+    ``chunks`` holds ascending positions into the original line list, one
+    inner list per flush-budgeted submission; empty lines appear in no chunk
+    (they yield empty token/tag lists without occupying the queue).  Both the
+    blocking path (:meth:`TaggingService.tag_lines`) and the asyncio bridge
+    (:func:`repro.serve.aio.tag_lines_async`) execute the same plan, so their
+    results are identical by construction.
+    """
+
+    queue: MicrobatchQueue
+    token_sequences: list[list[str]]
+    chunks: list[list[int]]
 
 #: Recipe sections a request may address, each served by its own queue.
 SECTIONS = ("ingredient", "instruction")
@@ -78,6 +97,27 @@ class TaggingService:
 
     # ---------------------------------------------------------------- public
 
+    def plan_tag(self, section: str, lines: Sequence[str]) -> TagPlan:
+        """Tokenize ``lines`` and cut them into budget-bounded submissions.
+
+        The chunks follow the queue's own flush budgets (sentences and
+        padded tokens), so a single caller can never enqueue an unbounded
+        line list: executing the plan one chunk at a time caps the request's
+        in-flight footprint at one flush regardless of its length.
+        """
+        queue = self._queue(section)
+        token_sequences = [tokenize(line) for line in lines]
+        nonempty = [index for index, tokens in enumerate(token_sequences) if tokens]
+        chunks = [
+            [nonempty[offset] for offset in chunk]
+            for chunk in plan_flush_chunks(
+                [len(token_sequences[index]) for index in nonempty],
+                max_sentences=queue.max_batch,
+                max_tokens=queue.max_tokens,
+            )
+        ]
+        return TagPlan(queue=queue, token_sequences=token_sequences, chunks=chunks)
+
     def tag_lines(
         self, section: str, lines: Sequence[str], *, timeout: float | None = 30.0
     ) -> list[dict]:
@@ -85,28 +125,35 @@ class TaggingService:
 
         Every line becomes one queue request, so concurrent callers' lines
         coalesce into shared flushes.  Blank lines yield empty token/tag
-        lists without occupying the queue.  An oversized request is cut with
-        the queue's own flush budgets (sentences and padded tokens) and
-        streamed through one budgeted chunk at a time, so a single caller
-        can never enqueue an unbounded line list: the request's in-flight
-        footprint stays capped at one flush regardless of its length.
+        lists without occupying the queue.  ``timeout`` is an *overall*
+        deadline for the whole request, not a per-line wait: a 100-line
+        request cannot stretch its budget 100-fold, and the first expired
+        wait raises ``TimeoutError`` immediately.
         """
-        queue = self._queue(section)
-        token_sequences = [tokenize(line) for line in lines]
+        plan = self.plan_tag(section, lines)
+        deadline = None if timeout is None else time.monotonic() + timeout
         tags: list[list[str]] = [[] for _ in lines]
-        nonempty = [index for index, tokens in enumerate(token_sequences) if tokens]
-        for chunk in plan_flush_chunks(
-            [len(token_sequences[index]) for index in nonempty],
-            max_sentences=queue.max_batch,
-            max_tokens=queue.max_tokens,
-        ):
-            positions = [nonempty[offset] for offset in chunk]
-            futures = queue.submit_many([token_sequences[index] for index in positions])
+        for positions in plan.chunks:
+            futures = plan.queue.submit_many(
+                [plan.token_sequences[index] for index in positions]
+            )
             for index, future in zip(positions, futures):
-                tags[index] = future.result(timeout=timeout)
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 and not future.done():
+                        raise TimeoutError(
+                            f"tag request exceeded its {timeout:g}s deadline"
+                        )
+                try:
+                    tags[index] = future.result(timeout=remaining)
+                except TimeoutError:
+                    raise TimeoutError(
+                        f"tag request exceeded its {timeout:g}s deadline"
+                    ) from None
         return [
             {"tokens": list(tokens), "tags": line_tags}
-            for tokens, line_tags in zip(token_sequences, tags)
+            for tokens, line_tags in zip(plan.token_sequences, tags)
         ]
 
     def tag_line(self, section: str, line: str, *, timeout: float | None = 30.0) -> dict:

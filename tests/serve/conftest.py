@@ -69,6 +69,24 @@ def server(service):
 
 
 @pytest.fixture()
+def aio_server(service):
+    """A running asyncio server on a background event loop (closed after)."""
+    from repro.serve import start_in_thread
+
+    with start_in_thread(service) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def aio_search_server(service, search_service):
+    """A running asyncio server with POST /v1/search enabled."""
+    from repro.serve import start_in_thread
+
+    with start_in_thread(service, search=search_service) as handle:
+        yield handle
+
+
+@pytest.fixture()
 def search_service(index_path):
     """A search service over a fresh registry with the index loaded."""
     from repro.serve import SearchService

@@ -1,0 +1,161 @@
+"""Tests for the admission controller: bounded queues, shedding, deadlines."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDeniedError,
+    AdmissionPolicy,
+    DeadlineExceededError,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestPolicy:
+    def test_invalid_policies_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(max_inflight=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(queue_depth=-1)
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(deadline_s=0)
+
+    def test_per_endpoint_overrides(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_inflight=8),
+            per_endpoint={"reload": AdmissionPolicy(max_inflight=1)},
+        )
+        assert controller.gate("tag").policy.max_inflight == 8
+        assert controller.gate("reload").policy.max_inflight == 1
+
+
+class TestGate:
+    def test_admits_up_to_max_inflight_without_waiting(self):
+        async def scenario():
+            controller = AdmissionController(AdmissionPolicy(max_inflight=2))
+            gate = controller.gate("tag")
+            assert await gate.acquire() == 0.0
+            assert await gate.acquire() == 0.0
+            assert gate.stats()["in_flight"] == 2
+            gate.release()
+            gate.release()
+            assert gate.stats()["in_flight"] == 0
+            assert gate.stats()["admitted_total"] == 2
+
+        run(scenario())
+
+    def test_full_wait_queue_sheds_immediately(self):
+        async def scenario():
+            controller = AdmissionController(
+                AdmissionPolicy(max_inflight=1, queue_depth=0, retry_after_s=2.5)
+            )
+            gate = controller.gate("tag")
+            await gate.acquire()
+            with pytest.raises(AdmissionDeniedError) as excinfo:
+                await gate.acquire()
+            assert excinfo.value.retry_after_s == 2.5
+            assert gate.stats()["shed_total"] == 1
+            gate.release()
+
+        run(scenario())
+
+    def test_released_slot_hands_off_to_the_longest_waiter(self):
+        async def scenario():
+            controller = AdmissionController(
+                AdmissionPolicy(max_inflight=1, queue_depth=2, deadline_s=5.0)
+            )
+            gate = controller.gate("tag")
+            await gate.acquire()
+            order = []
+
+            async def waiter(tag):
+                wait = await gate.acquire()
+                order.append(tag)
+                return wait
+
+            first = asyncio.create_task(waiter("first"))
+            await asyncio.sleep(0)
+            second = asyncio.create_task(waiter("second"))
+            await asyncio.sleep(0)
+            assert gate.stats()["queued"] == 2
+            gate.release()  # hand-off: in-flight never drops below 1
+            first_wait = await first
+            assert gate.stats()["in_flight"] == 1
+            gate.release()
+            await second
+            assert order == ["first", "second"]
+            assert first_wait >= 0.0
+            gate.release()
+            assert gate.stats()["in_flight"] == 0
+
+        run(scenario())
+
+    def test_queued_request_expires_at_its_deadline(self):
+        async def scenario():
+            controller = AdmissionController(
+                AdmissionPolicy(max_inflight=1, queue_depth=4, deadline_s=0.05)
+            )
+            gate = controller.gate("tag")
+            await gate.acquire()
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                await gate.acquire()
+            stats = gate.stats()
+            assert stats["deadline_expired_total"] == 1
+            assert stats["queued"] == 0  # the expired waiter left the queue
+            gate.release()
+            assert gate.stats()["in_flight"] == 0
+
+        run(scenario())
+
+    def test_cancelled_waiter_leaves_the_queue(self):
+        async def scenario():
+            controller = AdmissionController(
+                AdmissionPolicy(max_inflight=1, queue_depth=4, deadline_s=10.0)
+            )
+            gate = controller.gate("tag")
+            await gate.acquire()
+            task = asyncio.create_task(gate.acquire())
+            await asyncio.sleep(0)
+            assert gate.stats()["queued"] == 1
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert gate.stats()["queued"] == 0
+            gate.release()
+            assert gate.stats()["in_flight"] == 0
+
+        run(scenario())
+
+
+class TestController:
+    def test_admit_context_manager_releases_on_error(self):
+        async def scenario():
+            controller = AdmissionController(AdmissionPolicy(max_inflight=1))
+            with pytest.raises(RuntimeError):
+                async with controller.admit("tag"):
+                    raise RuntimeError("handler blew up")
+            assert controller.gate("tag").stats()["in_flight"] == 0
+            async with controller.admit("tag") as queue_wait:
+                assert queue_wait == 0.0
+
+        run(scenario())
+
+    def test_stats_covers_every_touched_endpoint(self):
+        async def scenario():
+            controller = AdmissionController()
+            async with controller.admit("tag"):
+                pass
+            async with controller.admit("search"):
+                pass
+            stats = controller.stats()
+            assert set(stats) == {"search", "tag"}
+            assert stats["tag"]["admitted_total"] == 1
+            assert stats["tag"]["max_inflight"] == controller.policy.max_inflight
+
+        run(scenario())

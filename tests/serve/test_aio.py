@@ -1,0 +1,412 @@
+"""Tests for the asyncio HTTP front end.
+
+The async server must answer byte-identically to the threaded server for
+every buffered endpoint (both run the same route logic over the same
+facades), plus everything only it provides: NDJSON streaming, admission
+control with 429 + Retry-After shedding, request deadlines, and keep-alive
+pipelining on one event loop.
+"""
+
+import contextlib
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    start_in_thread,
+)
+
+
+def _request(port, method, path, *, body=None, raw_body=None, headers=None):
+    """One HTTP request; returns (status, parsed-json-body, headers)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        data = raw_body if raw_body is not None else (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        connection.request(
+            method, path, body=data, headers=headers or {"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw), dict(
+            (name.lower(), value) for name, value in response.getheaders()
+        )
+    finally:
+        connection.close()
+
+
+def _raw_request(port, method, path, *, body=None):
+    """Like :func:`_request` but returns the raw (status, bytes) body."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        connection.request(method, path, body=data)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _stream_request(port, path, body):
+    """POST expecting an NDJSON stream; returns (status, headers, lines)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request(
+            "POST", path, body=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        raw = response.read()  # http.client de-chunks transparently
+        lines = [json.loads(line) for line in raw.decode("utf-8").splitlines()]
+        return response.status, dict(
+            (name.lower(), value) for name, value in response.getheaders()
+        ), lines
+    finally:
+        connection.close()
+
+
+def _read_response(reader):
+    """Parse one HTTP response from a socket file (for pipelining tests)."""
+    status_line = reader.readline()
+    if not status_line:
+        return None
+    headers = {}
+    while True:
+        line = reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "content-length" in headers:
+        body = reader.read(int(headers["content-length"]))
+    elif headers.get("transfer-encoding") == "chunked":
+        body = b""
+        while True:
+            size = int(reader.readline().strip(), 16)
+            chunk = reader.read(size)
+            reader.read(2)
+            if size == 0:
+                break
+            body += chunk
+    else:
+        body = b""
+    return int(status_line.split()[1]), headers, body
+
+
+@contextlib.contextmanager
+def _slow_instruction_decode(service):
+    """Block the instruction queue's decode until ``release`` is set."""
+    queue = service._queues["instruction"]
+    original = queue._tag_batch
+    started = threading.Event()
+    release = threading.Event()
+
+    def slow(token_sequences):
+        started.set()
+        assert release.wait(timeout=30)
+        return original(token_sequences)
+
+    queue._tag_batch = slow
+    try:
+        yield started, release
+    finally:
+        release.set()
+        queue._tag_batch = original
+
+
+LINES = [
+    "Mix the sugar and onion in a bowl.",
+    "",
+    "Saute the garlic until golden.",
+]
+
+
+class TestThreadedParity:
+    """Both front ends must answer the same bytes over the same facades."""
+
+    def test_healthz_is_byte_identical(self, server, aio_server):
+        threaded = _raw_request(server.server_address[1], "GET", "/healthz")
+        asynced = _raw_request(aio_server.port, "GET", "/healthz")
+        assert threaded == asynced
+
+    def test_tag_is_byte_identical(self, server, aio_server):
+        body = {"section": "instruction", "lines": LINES}
+        threaded = _raw_request(server.server_address[1], "POST", "/v1/tag", body=body)
+        asynced = _raw_request(aio_server.port, "POST", "/v1/tag", body=body)
+        assert threaded[0] == asynced[0] == 200
+        assert threaded[1] == asynced[1]
+
+    def test_search_is_byte_identical(self, search_server, aio_search_server):
+        body = {"query": "ingredient:sugar OR process:mix", "limit": 5}
+        threaded = _raw_request(
+            search_server.server_address[1], "POST", "/v1/search", body=body
+        )
+        asynced = _raw_request(aio_search_server.port, "POST", "/v1/search", body=body)
+        assert threaded[0] == asynced[0] == 200
+        assert threaded[1] == asynced[1]
+
+    def test_error_bodies_match_the_threaded_server(self, server, aio_server):
+        for method, path, kwargs in (
+            ("GET", "/nope", {}),
+            ("POST", "/v1/nope", {"body": {}}),
+            ("POST", "/v1/tag", {"body": {"section": "dessert", "lines": ["x"]}}),
+            ("POST", "/v1/tag", {"raw_body": b"{not json"}),
+        ):
+            threaded_status, threaded_doc, _ = _request(
+                server.server_address[1], method, path, **kwargs
+            )
+            async_status, async_doc, _ = _request(
+                aio_server.port, method, path, **kwargs
+            )
+            assert (async_status, async_doc) == (threaded_status, threaded_doc)
+
+    def test_search_without_an_index_is_503(self, aio_server):
+        status, document, _ = _request(
+            aio_server.port, "POST", "/v1/search", body={"query": "ingredient:salt"}
+        )
+        assert status == 503
+        assert "no recipe index" in document["error"]
+
+    def test_reload_endpoint_hot_swaps(self, aio_server):
+        status, document, _ = _request(
+            aio_server.port, "POST", "/v1/reload", body={"force": True}
+        )
+        assert status == 200
+        assert document["swapped"] is True
+        status, document, _ = _request(aio_server.port, "POST", "/v1/reload", body={})
+        assert status == 200
+        assert document["swapped"] is False
+
+
+class TestProtocol:
+    def test_keep_alive_pipelined_posts_answer_in_order(self, aio_server):
+        """Two POSTs written back-to-back on one socket get two in-order
+        responses on the same socket — the event loop serves pipelined
+        requests without a round trip between them."""
+        first = json.dumps({"section": "ingredient", "lines": ["2 cups sugar"]}).encode()
+        second = json.dumps({"section": "instruction", "lines": ["Mix well."]}).encode()
+        request = b"".join(
+            b"POST /v1/tag HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(payload)}\r\n\r\n".encode() + payload
+            for payload in (first, second)
+        )
+        with socket.create_connection(("127.0.0.1", aio_server.port), timeout=30) as sock:
+            sock.sendall(request)
+            reader = sock.makefile("rb")
+            one = _read_response(reader)
+            two = _read_response(reader)
+        assert one[0] == 200 and two[0] == 200
+        assert json.loads(one[2])["results"][0]["tokens"] == ["2", "cups", "sugar"]
+        assert json.loads(two[2])["results"][0]["tokens"] == ["Mix", "well", "."]
+
+    def test_chunked_request_body_is_411_length_required(self, aio_server):
+        with socket.create_connection(("127.0.0.1", aio_server.port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /v1/tag HTTP/1.1\r\nHost: t\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                b"5\r\nhello\r\n0\r\n\r\n"
+            )
+            reader = sock.makefile("rb")
+            status, headers, body = _read_response(reader)
+            assert status == 411
+            assert headers.get("connection") == "close"
+            assert "Content-Length" in json.loads(body)["error"]
+            assert reader.read() == b""  # the server really closed the socket
+
+    @pytest.mark.parametrize("bad_length", ["banana", "-5", "1e3"])
+    def test_malformed_content_length_is_400_and_closes(self, aio_server, bad_length):
+        with socket.create_connection(("127.0.0.1", aio_server.port), timeout=30) as sock:
+            sock.sendall(
+                f"POST /v1/tag HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {bad_length}\r\n\r\n".encode()
+            )
+            reader = sock.makefile("rb")
+            status, headers, body = _read_response(reader)
+            assert status == 400
+            assert headers.get("connection") == "close"
+            assert "Content-Length" in json.loads(body)["error"]
+            assert reader.read() == b""
+
+    def test_unread_body_does_not_desync_keep_alive(self, aio_server):
+        connection = http.client.HTTPConnection("127.0.0.1", aio_server.port)
+        try:
+            connection.request(
+                "POST", "/v2/wrong", body=json.dumps({"lines": ["some body"]})
+            )
+            assert connection.getresponse().read()  # drain the 404
+            connection.request("GET", "/healthz")  # same socket, next request
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_unsupported_method_is_405(self, aio_server):
+        status, document, _ = _request(aio_server.port, "PUT", "/v1/tag", body={})
+        assert status == 405
+        assert "PUT" in document["error"]
+
+    def test_oversized_body_is_rejected_with_400_and_close(self, aio_server):
+        huge = str(9 * 1024 * 1024)
+        with socket.create_connection(("127.0.0.1", aio_server.port), timeout=30) as sock:
+            sock.sendall(
+                f"POST /v1/tag HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {huge}\r\n\r\n".encode()
+            )
+            reader = sock.makefile("rb")
+            status, headers, body = _read_response(reader)
+            assert status == 400
+            assert headers.get("connection") == "close"
+            assert "exceeds" in json.loads(body)["error"]
+
+
+class TestStreaming:
+    def test_tag_stream_matches_the_buffered_response(self, aio_server):
+        body = {"section": "instruction", "lines": LINES}
+        status, buffered, _ = _request(aio_server.port, "POST", "/v1/tag", body=body)
+        assert status == 200
+        status, headers, lines = _stream_request(
+            aio_server.port, "/v1/tag", {**body, "stream": True}
+        )
+        assert status == 200
+        assert headers["content-type"] == "application/x-ndjson"
+        assert headers.get("transfer-encoding") == "chunked"
+        meta, results = lines[0], lines[1:]
+        assert meta["model"] == buffered["model"]
+        assert meta["lines"] == len(LINES)
+        assert results == buffered["results"]
+
+    def test_tag_stream_handles_trailing_blank_lines(self, aio_server):
+        body = {"section": "ingredient", "lines": ["1 cup milk", "", ""], "stream": True}
+        status, _, lines = _stream_request(aio_server.port, "/v1/tag", body)
+        assert status == 200
+        assert len(lines) == 4  # meta + one object per input line
+        assert lines[2] == {"tokens": [], "tags": []}
+        assert lines[3] == {"tokens": [], "tags": []}
+
+    def test_search_stream_matches_the_buffered_response(self, aio_search_server):
+        body = {"query": "ingredient:sugar OR process:mix"}
+        status, buffered, _ = _request(
+            aio_search_server.port, "POST", "/v1/search", body=body
+        )
+        assert status == 200
+        status, headers, lines = _stream_request(
+            aio_search_server.port, "/v1/search", {**body, "stream": True}
+        )
+        assert status == 200
+        assert headers["content-type"] == "application/x-ndjson"
+        meta, results = lines[0], lines[1:]
+        assert meta == {
+            key: value for key, value in buffered.items() if key != "results"
+        }
+        assert results == buffered["results"]
+
+    def test_stream_error_before_headers_is_a_clean_400(self, aio_server):
+        status, document, _ = _request(
+            aio_server.port, "POST", "/v1/tag",
+            body={"section": "dessert", "lines": ["x"], "stream": True},
+        )
+        assert status == 400
+        assert "unknown recipe section" in document["error"]
+
+
+class TestAdmissionControl:
+    def test_saturation_sheds_429_while_inflight_completes(self, service):
+        """The acceptance scenario: with max_inflight exceeded, excess
+        requests get 429 + Retry-After while the in-flight request completes
+        correctly."""
+        admission = AdmissionController(
+            AdmissionPolicy(max_inflight=1, queue_depth=0, retry_after_s=3.0)
+        )
+        with start_in_thread(service, admission=admission) as handle:
+            with _slow_instruction_decode(service) as (started, release):
+                results = {}
+
+                def inflight():
+                    results["inflight"] = _request(
+                        handle.port, "POST", "/v1/tag",
+                        body={"section": "instruction", "lines": ["Mix the salt."]},
+                    )
+
+                worker = threading.Thread(target=inflight)
+                worker.start()
+                assert started.wait(timeout=10)
+                # The slot is held: the next request is shed immediately.
+                status, document, headers = _request(
+                    handle.port, "POST", "/v1/tag",
+                    body={"section": "instruction", "lines": ["Stir."]},
+                )
+                assert status == 429
+                assert "retry later" in document["error"]
+                assert headers["retry-after"] == "3"
+                release.set()
+                worker.join(timeout=30)
+            status, document, _ = results["inflight"]
+            assert status == 200
+            expected = service.tag_lines("instruction", ["Mix the salt."])
+            assert document["results"] == expected
+
+            # Shedding is visible to operators: gate counters + histograms.
+            status, stats, _ = _request(handle.port, "GET", "/stats")
+            assert stats["admission"]["tag"]["shed_total"] == 1
+            assert stats["server"]["tag"]["shed_total"] == 1
+            assert stats["server"]["tag"]["requests_total"] >= 2
+            assert stats["server"]["tag"]["latency"]["count"] >= 2
+
+    def test_queued_request_expires_with_503_deadline(self, service):
+        """A queued request whose slot never frees expires at its deadline
+        with a distinct 'waiting for a slot' 503."""
+        import asyncio
+
+        admission = AdmissionController(
+            AdmissionPolicy(max_inflight=1, queue_depth=4, deadline_s=0.3)
+        )
+        with start_in_thread(service, admission=admission) as handle:
+            loop = handle._loop
+            gate = admission.gate("tag")
+            # Hold the only slot out-of-band so no handler deadline frees it.
+            asyncio.run_coroutine_threadsafe(gate.acquire(), loop).result(timeout=5)
+            try:
+                status, document, _ = _request(
+                    handle.port, "POST", "/v1/tag",
+                    body={"section": "instruction", "lines": ["Stir."]},
+                )
+                assert status == 503
+                assert "waiting for a slot" in document["error"]
+            finally:
+                loop.call_soon_threadsafe(gate.release)
+            # The server is healthy again once the slot frees.
+            status, document, _ = _request(
+                handle.port, "POST", "/v1/tag",
+                body={"section": "instruction", "lines": ["Stir again."]},
+            )
+            assert status == 200
+            status, stats, _ = _request(handle.port, "GET", "/stats")
+            assert stats["admission"]["tag"]["deadline_expired_total"] == 1
+
+    def test_inflight_deadline_abandons_the_work_with_503(self, service):
+        admission = AdmissionController(
+            AdmissionPolicy(max_inflight=4, queue_depth=4, deadline_s=0.3)
+        )
+        with start_in_thread(service, admission=admission) as handle:
+            with _slow_instruction_decode(service) as (started, release):
+                status, document, _ = _request(
+                    handle.port, "POST", "/v1/tag",
+                    body={"section": "instruction", "lines": ["Mix the salt."]},
+                )
+                assert status == 503
+                assert "deadline" in document["error"]
+                release.set()
+            # The abandoned decode resolved into a cancelled future without
+            # killing the flush worker; the queue keeps serving.
+            status, document, _ = _request(
+                handle.port, "POST", "/v1/tag",
+                body={"section": "instruction", "lines": ["Stir."]},
+            )
+            assert status == 200

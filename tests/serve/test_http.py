@@ -160,6 +160,81 @@ class TestErrorHandling:
         finally:
             connection.close()
 
+    def test_chunked_request_body_is_411_length_required(self, server):
+        """A chunked body cannot be framed without reading it; the server
+        must answer 411 and close rather than let keep-alive desync."""
+        with socket.create_connection(
+            ("127.0.0.1", server.server_address[1]), timeout=10
+        ) as connection:
+            connection.sendall(
+                b"POST /v1/tag HTTP/1.1\r\nHost: t\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                b"5\r\nhello\r\n0\r\n\r\n"
+            )
+            response = b""
+            while True:
+                chunk = connection.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+            head, _, body = response.partition(b"\r\n\r\n")
+            assert b" 411 " in head.splitlines()[0]
+            assert b"Connection: close" in head
+            assert "Content-Length" in json.loads(body)["error"]
+
+    def test_oversized_body_is_400_and_closes_the_connection(self, server):
+        """An 8 MiB+ Content-Length is refused before reading; the unread
+        body makes the connection unframeable, so it must close."""
+        with socket.create_connection(
+            ("127.0.0.1", server.server_address[1]), timeout=10
+        ) as connection:
+            connection.sendall(
+                f"POST /v1/tag HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {9 * 1024 * 1024}\r\n\r\n".encode("ascii")
+            )
+            response = b""
+            while True:
+                chunk = connection.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+            head, _, body = response.partition(b"\r\n\r\n")
+            assert b" 400 " in head.splitlines()[0]
+            assert b"Connection: close" in head
+            assert "exceeds" in json.loads(body)["error"]
+
+    def test_pipelined_posts_answer_in_order_on_one_socket(self, server):
+        """Two POSTs written back-to-back are answered in order on the same
+        connection (keep-alive framing stays intact across bodies)."""
+        first = json.dumps({"section": "ingredient", "lines": ["2 cups sugar"]}).encode()
+        second = json.dumps({"section": "instruction", "lines": ["Mix well."]}).encode()
+        request = b"".join(
+            b"POST /v1/tag HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(payload)}\r\n\r\n".encode() + payload
+            for payload in (first, second)
+        )
+        with socket.create_connection(
+            ("127.0.0.1", server.server_address[1]), timeout=30
+        ) as connection:
+            connection.sendall(request)
+            reader = connection.makefile("rb")
+            documents = []
+            for _ in range(2):
+                status_line = reader.readline()
+                assert b" 200 " in status_line
+                headers = {}
+                while True:
+                    line = reader.readline()
+                    if line in (b"\r\n", b"\n"):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                documents.append(
+                    json.loads(reader.read(int(headers["content-length"])))
+                )
+        assert documents[0]["results"][0]["tokens"] == ["2", "cups", "sugar"]
+        assert documents[1]["results"][0]["tokens"] == ["Mix", "well", "."]
+
     def test_reload_of_a_vanished_artifact_is_500_not_a_dropped_connection(
         self, bundle_path, tmp_path
     ):

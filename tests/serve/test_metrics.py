@@ -1,0 +1,130 @@
+"""Tests for the serving observability layer (histograms, counters, log)."""
+
+import io
+import json
+import threading
+
+from repro.serve.metrics import (
+    BUCKET_BOUNDS_S,
+    EndpointMetrics,
+    LatencyHistogram,
+    ServerMetrics,
+    endpoint_label,
+)
+
+
+class TestLatencyHistogram:
+    def test_bounds_are_log_spaced_quarter_decades(self):
+        assert BUCKET_BOUNDS_S[0] == 1e-4
+        assert BUCKET_BOUNDS_S[-1] == 10 ** (24 / 4) / 1e4  # 100 s
+        ratios = [
+            BUCKET_BOUNDS_S[i + 1] / BUCKET_BOUNDS_S[i]
+            for i in range(len(BUCKET_BOUNDS_S) - 1)
+        ]
+        assert all(abs(ratio - 10 ** 0.25) < 1e-9 for ratio in ratios)
+
+    def test_quantiles_land_in_the_right_buckets(self):
+        histogram = LatencyHistogram()
+        for _ in range(50):
+            histogram.observe(0.001)  # exactly the 1 ms bucket bound
+        for _ in range(45):
+            histogram.observe(0.01)
+        for _ in range(5):
+            histogram.observe(0.1)
+        # p50 sits at the top of the 1 ms bucket, p95 at the top of the
+        # 10 ms bucket; p99 interpolates inside the 100 ms bucket.
+        assert abs(histogram.quantile(0.50) - 0.001) < 1e-9
+        assert abs(histogram.quantile(0.95) - 0.01) < 1e-9
+        assert 0.05 < histogram.quantile(0.99) <= 0.1
+
+    def test_quantile_never_exceeds_the_observed_maximum(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.00042)
+        assert histogram.quantile(0.99) <= 0.00042 + 1e-12
+
+    def test_overflow_bucket_uses_the_maximum_as_its_edge(self):
+        histogram = LatencyHistogram()
+        histogram.observe(250.0)  # past the last 100 s bound
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["buckets"] == [{"le_ms": None, "count": 1}]
+        assert histogram.quantile(0.99) <= 250.0
+
+    def test_empty_histogram_snapshots_zeros(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50_ms"] == 0.0
+        assert snapshot["buckets"] == []
+
+    def test_negative_jitter_clamps_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.observe(-0.001)
+        assert histogram.snapshot()["count"] == 1
+        assert histogram.quantile(0.5) >= 0.0
+
+    def test_concurrent_observers_lose_nothing(self):
+        histogram = LatencyHistogram()
+
+        def hammer():
+            for _ in range(1000):
+                histogram.observe(0.002)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.snapshot()["count"] == 4000
+
+
+class TestEndpointMetrics:
+    def test_counters_by_status_class(self):
+        metrics = EndpointMetrics("tag")
+        metrics.record(200, 0.01)
+        metrics.record(200, 0.02, queue_wait_s=0.001)
+        metrics.record(400, 0.005)
+        metrics.record(429, 0.001)
+        metrics.record(500, 0.05)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == 5
+        assert snapshot["responses"] == {"2xx": 2, "3xx": 0, "4xx": 2, "5xx": 1}
+        assert snapshot["shed_total"] == 1
+        assert snapshot["errors_total"] == 1
+        assert snapshot["latency"]["count"] == 5
+        assert snapshot["queue_wait"]["count"] == 5
+
+
+class TestServerMetrics:
+    def test_endpoint_labels(self):
+        assert endpoint_label("/v1/tag") == "tag"
+        assert endpoint_label("/v1/search") == "search"
+        assert endpoint_label("/v1/reload") == "reload"
+        assert endpoint_label("/healthz") == "healthz"
+        assert endpoint_label("/stats") == "stats"
+        assert endpoint_label("/nope") == "other"
+
+    def test_observe_routes_to_the_right_endpoint(self):
+        metrics = ServerMetrics()
+        metrics.observe("/v1/tag", "POST", 200, 0.01)
+        metrics.observe("/v1/tag", "POST", 429, 0.001)
+        metrics.observe("/healthz", "GET", 200, 0.0005)
+        snapshot = metrics.snapshot()
+        assert set(snapshot) == {"tag", "healthz"}
+        assert snapshot["tag"]["requests_total"] == 2
+        assert snapshot["tag"]["shed_total"] == 1
+        assert snapshot["healthz"]["requests_total"] == 1
+
+    def test_access_log_writes_one_json_object_per_request(self):
+        log = io.StringIO()
+        metrics = ServerMetrics(access_log=log)
+        metrics.observe("/v1/tag", "POST", 200, 0.0123, queue_wait_s=0.002)
+        metrics.observe("/nope", "GET", 404, 0.0001)
+        lines = [json.loads(line) for line in log.getvalue().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["endpoint"] == "tag"
+        assert lines[0]["method"] == "POST"
+        assert lines[0]["status"] == 200
+        assert abs(lines[0]["latency_ms"] - 12.3) < 0.01
+        assert abs(lines[0]["queue_wait_ms"] - 2.0) < 0.01
+        assert lines[1]["endpoint"] == "other"
+        assert lines[1]["path"] == "/nope"

@@ -164,3 +164,103 @@ class TestFailureModes:
             release.set()
             queue.close()
         assert [future.result(timeout=5) for future in accepted] == [["B"], ["C"]]
+
+
+class TestDeadlinesAndCancellation:
+    def test_tag_many_timeout_is_an_overall_deadline(self):
+        """A blocked flush must fail a 3-sequence tag_many after ~one
+        timeout, not three: the deadline covers the whole batch."""
+        import time
+
+        release = threading.Event()
+
+        def stuck(token_sequences):
+            assert release.wait(timeout=10)
+            return [list(tokens) for tokens in token_sequences]
+
+        queue = MicrobatchQueue(stuck, max_delay_s=0.0)
+        try:
+            started = time.monotonic()
+            with pytest.raises(TimeoutError, match="overall"):
+                queue.tag_many([["a"], ["b"], ["c"]], timeout=0.3)
+            elapsed = time.monotonic() - started
+            assert elapsed < 0.3 * 2.5  # one budget (+ slack), never 3x
+        finally:
+            release.set()
+            queue.close()
+
+    def test_tag_many_fails_fast_once_the_deadline_is_spent(self):
+        """After the deadline passes, undone futures raise immediately
+        instead of each paying another zero-second result() poll."""
+        import time
+
+        release = threading.Event()
+
+        def stuck(token_sequences):
+            assert release.wait(timeout=10)
+            return [list(tokens) for tokens in token_sequences]
+
+        queue = MicrobatchQueue(stuck, max_delay_s=0.0)
+        try:
+            with pytest.raises(TimeoutError) as excinfo:
+                queue.tag_many([["a"], ["b"]], timeout=0.2)
+            assert "0 of 2 results" in str(excinfo.value)
+        finally:
+            release.set()
+            queue.close()
+
+    def test_cancelled_futures_are_dropped_before_decoding(self):
+        """Futures cancelled while queued never reach tag_batch, and the
+        drop is visible in stats()."""
+        recorder = Recorder()
+        blocker_started = threading.Event()
+        blocker_release = threading.Event()
+
+        def gated(token_sequences):
+            if tuple(token_sequences[0]) == ("block",):
+                blocker_started.set()
+                assert blocker_release.wait(timeout=10)
+            return recorder(token_sequences)
+
+        queue = MicrobatchQueue(gated, max_delay_s=0.0)
+        try:
+            blocker = queue.submit(["block"])  # occupies the worker
+            assert blocker_started.wait(timeout=5)
+            doomed = queue.submit(["doomed"])
+            survivor = queue.submit(["kept"])
+            assert doomed.cancel()  # still queued: cancellation must win
+            blocker_release.set()
+            assert survivor.result(timeout=5) == ["KEPT"]
+            assert blocker.result(timeout=5) == ["BLOCK"]
+        finally:
+            blocker_release.set()
+            queue.close()
+        flushed = [tokens for call in recorder.calls for tokens in call]
+        assert ("doomed",) not in flushed
+        assert queue.stats()["cancelled_total"] == 1
+
+    def test_cancellation_racing_a_flush_does_not_kill_the_worker(self):
+        """A future cancelled after the flush snapshot must not crash the
+        worker via set_result on a cancelled future; the queue keeps
+        serving afterwards."""
+        decoding = threading.Event()
+        release = threading.Event()
+
+        def slow(token_sequences):
+            decoding.set()
+            assert release.wait(timeout=10)
+            return [[token.upper() for token in tokens] for tokens in token_sequences]
+
+        queue = MicrobatchQueue(slow, max_delay_s=0.0)
+        try:
+            future = queue.submit(["a"])
+            assert decoding.wait(timeout=5)
+            # The flush already owns the future; concurrent.futures only
+            # allows cancel() before it runs, so force the race directly.
+            future.cancel()
+            release.set()
+            # The worker survived the InvalidStateError path: new work flows.
+            assert queue.tag(["b"], timeout=5) == ["B"]
+        finally:
+            release.set()
+            queue.close()

@@ -25,6 +25,7 @@ manifest and every shard it lists were fully loaded and checksum-verified.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import random
 import threading
@@ -42,7 +43,7 @@ from repro.index import (
     migrate_manifest,
 )
 from repro.persistence import file_sha256
-from repro.serve import SearchService, make_server
+from repro.serve import SearchService, make_server, start_in_thread
 
 from tests.property.test_index_properties import _random_recipe
 
@@ -128,8 +129,26 @@ def _publish(live_path, variant, generation):
     return file_sha256(live_path)
 
 
+@contextlib.contextmanager
+def _running_server(front_end, service, search):
+    """Run either front end over the same facades; yields the bound port."""
+    if front_end == "threaded":
+        server = make_server(service, search=search, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server.server_address[1]
+        finally:
+            server.shutdown()
+            server.server_close()
+    else:
+        with start_in_thread(service, search=search) as handle:
+            yield handle.port
+
+
+@pytest.mark.parametrize("front_end", ["threaded", "async"])
 def test_stress_search_never_sees_a_torn_index_during_hot_swaps(
-    service, variants, tmp_path
+    service, variants, tmp_path, front_end
 ):
     live_path = tmp_path / "live.json"
     expected_by_sha = {}
@@ -137,10 +156,6 @@ def test_stress_search_never_sees_a_torn_index_during_hot_swaps(
     expected_by_sha[sha] = variants["a"]["expected"]
 
     search = SearchService.from_artifact(live_path, default_limit=None)
-    server = make_server(service, search=search, port=0)
-    port = server.server_address[1]
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
 
     stop = threading.Event()
     errors: list[str] = []
@@ -148,70 +163,74 @@ def test_stress_search_never_sees_a_torn_index_during_hot_swaps(
     responses = [0]
     lock = threading.Lock()
 
-    def hammer(worker):
-        rng = random.Random(worker)
-        while not stop.is_set():
-            query = rng.choice(QUERIES)
-            try:
-                status, document = _post(port, "/v1/search", {"query": query})
-            except urllib.error.HTTPError as error:
+    with _running_server(front_end, service, search) as port:
+
+        def hammer(worker):
+            rng = random.Random(worker)
+            while not stop.is_set():
+                query = rng.choice(QUERIES)
+                try:
+                    status, document = _post(port, "/v1/search", {"query": query})
+                except urllib.error.HTTPError as error:
+                    with lock:
+                        errors.append(
+                            f"search returned {error.code}: {error.read()!r}"
+                        )
+                    continue
                 with lock:
-                    errors.append(f"search returned {error.code}: {error.read()!r}")
-                continue
-            with lock:
-                responses[0] += 1
-                observed = document["index"]["sha256"]
-                seen_shas.add(observed)
-                expected = expected_by_sha.get(observed)
-                if expected is None:
-                    errors.append(f"response reports unknown index sha {observed!r}")
-                elif document["results"] != expected[query] or document[
-                    "total"
-                ] != len(expected[query]):
-                    # Provenance from one generation, results from another:
-                    # exactly what a torn index would look like.
-                    errors.append(
-                        f"torn read: sha {observed[:12]} but results do not "
-                        f"match that generation for {query!r}"
-                    )
+                    responses[0] += 1
+                    observed = document["index"]["sha256"]
+                    seen_shas.add(observed)
+                    expected = expected_by_sha.get(observed)
+                    if expected is None:
+                        errors.append(
+                            f"response reports unknown index sha {observed!r}"
+                        )
+                    elif document["results"] != expected[query] or document[
+                        "total"
+                    ] != len(expected[query]):
+                        # Provenance from one generation, results from another:
+                        # exactly what a torn index would look like.
+                        errors.append(
+                            f"torn read: sha {observed[:12]} but results do not "
+                            f"match that generation for {query!r}"
+                        )
 
-    workers = [
-        threading.Thread(target=hammer, args=(worker,), daemon=True)
-        for worker in range(SEARCH_THREADS)
-    ]
-    try:
-        for worker in workers:
-            worker.start()
-        for generation in range(2, SWAPS + 2):
-            # v1 -> mixed -> v2 and around again: the full migration sequence
-            # keeps getting hot-swapped under the storm.
-            variant = variants[("a", "m", "b")[generation % 3]]
-            sha = _publish(live_path, variant, generation)
-            with lock:
-                expected_by_sha[sha] = variant["expected"]
-            status, document = _post(port, "/v1/reload", {})
+        workers = [
+            threading.Thread(target=hammer, args=(worker,), daemon=True)
+            for worker in range(SEARCH_THREADS)
+        ]
+        try:
+            for worker in workers:
+                worker.start()
+            for generation in range(2, SWAPS + 2):
+                # v1 -> mixed -> v2 and around again: the full migration
+                # sequence keeps getting hot-swapped under the storm.
+                variant = variants[("a", "m", "b")[generation % 3]]
+                sha = _publish(live_path, variant, generation)
+                with lock:
+                    expected_by_sha[sha] = variant["expected"]
+                status, document = _post(port, "/v1/reload", {})
+                assert status == 200
+                assert document["index_swapped"] is True
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30)
+
+            assert not errors, errors[:10]
+            assert responses[0] > 0
+            # The storm really did cross generations mid-flight.
+            assert len(seen_shas) >= 2
+
+            # The registry never dropped the live model: the server is still
+            # healthy and serving the last published generation.
+            status, health = _get(port, "/healthz")
             assert status == 200
-            assert document["index_swapped"] is True
-        stop.set()
-        for worker in workers:
-            worker.join(timeout=30)
-
-        assert not errors, errors[:10]
-        assert responses[0] > 0
-        # The storm really did cross generations mid-flight.
-        assert len(seen_shas) >= 2
-
-        # The registry never dropped the live model: the server is still
-        # healthy and serving the last published generation.
-        status, health = _get(port, "/healthz")
-        assert status == 200
-        final = search.record()
-        assert final.generation == SWAPS + 1
-        assert final.bundle.generation == SWAPS + 1
-        assert health["index"]["shards"] == final.bundle.shard_count
-        assert health["index"]["index_generation"] == SWAPS + 1
-        assert health["index"]["shard_formats"] == final.bundle.shard_formats
-    finally:
-        stop.set()
-        server.shutdown()
-        server.server_close()
+            final = search.record()
+            assert final.generation == SWAPS + 1
+            assert final.bundle.generation == SWAPS + 1
+            assert health["index"]["shards"] == final.bundle.shard_count
+            assert health["index"]["index_generation"] == SWAPS + 1
+            assert health["index"]["shard_formats"] == final.bundle.shard_formats
+        finally:
+            stop.set()
