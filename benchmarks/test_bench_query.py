@@ -1,0 +1,266 @@
+"""Ranked-retrieval perf smoke: BM25 top-k, galloping algebra, shard fan-out.
+
+Three floors over the same corpus-scale structured JSONL the index bench
+uses (model-structured recipes replicated with distinct ids):
+
+* **ranked top-k vs brute-scored scan** — ``QueryEngine.search(rank=True)``
+  over the v2 artifact (df/doc-stats from header metadata, postings decoded
+  only for scoring) against :func:`rank_recipes`, which parses every JSONL
+  line, extracts entities and scores every match from scratch.  Results
+  must be element-wise identical (ids, order, scores to 1e-9) and the
+  indexed path must clear a >=10x speedup floor.
+* **galloping vs linear set algebra** — adversarially skewed sorted lists
+  (a few hundred candidates against a dense run of hundreds of thousands):
+  the exponential-probe kernels must produce identical output and clear a
+  >=2x floor over the linear merge.
+* **shard-parallel query evaluation** — :func:`parallel_ranked_search` over
+  a 4-shard manifest with a process pool vs the same batch evaluated
+  serially, >=2x floor.  Only asserted on runners with >=4 cores; below
+  that the report records a guarded skip (pool spin-up would dominate).
+
+Results land in ``benchmarks/BENCH_query.json``; floors whose baseline is
+too fast to time reliably are recorded but not asserted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import iter_structured_jsonl, write_structured_jsonl
+from repro.index import (
+    IndexBuilder,
+    QueryEngine,
+    RecipeIndex,
+    build_sharded_index,
+    parallel_ranked_search,
+    rank_recipes,
+)
+from repro.index.query import intersect_galloping, intersect_sorted
+
+from conftest import emit
+
+RESULT_PATH = Path(__file__).parent / "BENCH_query.json"
+#: Ranked top-k vs parsing + scoring the whole corpus per query.
+MIN_RANKED_SPEEDUP = 10.0
+MIN_MEASURABLE_SCAN_S = 0.2
+#: Galloping vs linear intersection on skewed lists.
+MIN_GALLOP_SPEEDUP = 2.0
+MIN_MEASURABLE_LINEAR_S = 0.05
+#: Shard-parallel batch vs serial; only meaningful with real cores.
+MIN_PARALLEL_SPEEDUP = 2.0
+MIN_PARALLEL_CORES = 4
+PARALLEL_WORKERS = 4
+NUM_SHARDS = 4
+
+STRUCTURE_HEAD = 40
+COPIES = 40
+TOP_K = 10
+RANKED_REPS = 25
+GALLOP_REPS = 40
+
+
+@pytest.fixture(scope="module")
+def structured_corpus_path(modeler, corpora, tmp_path_factory):
+    """Corpus-scale structured JSONL: model output replicated with fresh ids."""
+    structured = [
+        modeler.model_recipe(recipe)
+        for recipe in corpora.combined.recipes[:STRUCTURE_HEAD]
+    ]
+    documents = (
+        dataclasses.replace(recipe, recipe_id=f"{recipe.recipe_id}-c{copy}")
+        for copy in range(COPIES)
+        for recipe in structured
+    )
+    path = tmp_path_factory.mktemp("bench-query") / "structured.jsonl"
+    write_structured_jsonl(path, documents)
+    return path
+
+
+def _ranked_queries(index: RecipeIndex) -> list[str]:
+    """Scoring-heavy queries over the corpus's own most common entities."""
+
+    def top(field: str, rank: int = 0) -> str:
+        terms = sorted(
+            index.terms(field), key=lambda term: -index.posting_count(field, term)
+        )
+        term = terms[min(rank, len(terms) - 1)]
+        return f'{field}:"{term}"' if " " in term else f"{field}:{term}"
+
+    ingredient, other = top("ingredient"), top("ingredient", rank=1)
+    process, utensil = top("process"), top("utensil")
+    return [
+        ingredient,
+        f"{ingredient} OR {other} OR {process}",
+        f"({ingredient} OR {other}) AND {utensil}",
+        f"{process} AND NOT {other}",
+    ]
+
+
+def _assert_ranked_equal(indexed, oracle, query):
+    indexed_total, indexed_matches = indexed
+    oracle_total, oracle_matches = oracle
+    assert indexed_total == oracle_total, f"total mismatch for {query!r}"
+    assert [m.doc_id for m in indexed_matches] == [
+        m.doc_id for m in oracle_matches
+    ], f"ranked order mismatch for {query!r}"
+    for ours, theirs in zip(indexed_matches, oracle_matches):
+        assert abs(ours.score - theirs.score) <= 1e-9, f"score drift for {query!r}"
+
+
+def test_bench_ranked_query(structured_corpus_path, tmp_path):
+    artifact = tmp_path / "index.bin"
+    IndexBuilder.build_from_jsonl(structured_corpus_path).save(artifact, kind="v2")
+    engine = QueryEngine(RecipeIndex.load(artifact))
+    manifest = tmp_path / "manifest.json"
+    build_sharded_index(
+        structured_corpus_path, manifest, num_shards=NUM_SHARDS, format="v2"
+    )
+
+    # ---- ranked top-k: indexed vs brute-scored scan ------------------------
+    queries = _ranked_queries(engine._index)
+    rows = []
+    scan_total_s = 0.0
+    ranked_total_s = 0.0
+    for query in queries:
+        started = time.perf_counter()
+        oracle = rank_recipes(
+            iter_structured_jsonl(structured_corpus_path), query, limit=TOP_K
+        )
+        scan_s = time.perf_counter() - started
+        indexed = engine.search(query, limit=TOP_K, rank=True)
+        _assert_ranked_equal(indexed, oracle, query)
+
+        started = time.perf_counter()
+        for _ in range(RANKED_REPS):
+            engine.search(query, limit=TOP_K, rank=True)
+        ranked_s = (time.perf_counter() - started) / RANKED_REPS
+
+        scan_total_s += scan_s
+        ranked_total_s += ranked_s
+        rows.append(
+            {
+                "query": query,
+                "total": indexed[0],
+                "scan_s": round(scan_s, 4),
+                "ranked_s": round(ranked_s, 6),
+                "speedup": round(scan_s / ranked_s, 1) if ranked_s else None,
+            }
+        )
+    ranked_speedup = scan_total_s / ranked_total_s if ranked_total_s else float("inf")
+    ranked_asserted = scan_total_s >= MIN_MEASURABLE_SCAN_S
+
+    # ---- galloping vs linear intersection on adversarial skew --------------
+    rng = random.Random(17)
+    large = list(range(400_000))
+    small = sorted(rng.sample(large, 300))
+    assert intersect_galloping(small, large) == intersect_sorted(small, large)
+
+    started = time.perf_counter()
+    for _ in range(GALLOP_REPS):
+        intersect_sorted(small, large)
+    linear_s = (time.perf_counter() - started) / GALLOP_REPS
+    started = time.perf_counter()
+    for _ in range(GALLOP_REPS):
+        intersect_galloping(small, large)
+    gallop_s = (time.perf_counter() - started) / GALLOP_REPS
+    gallop_speedup = linear_s / gallop_s if gallop_s else float("inf")
+    gallop_asserted = linear_s * GALLOP_REPS >= MIN_MEASURABLE_LINEAR_S
+
+    # ---- shard-parallel batch evaluation vs serial -------------------------
+    cores = os.cpu_count() or 1
+    batch = queries * 4
+    parallel_section: dict = {
+        "cores": cores,
+        "workers": PARALLEL_WORKERS,
+        "shards": NUM_SHARDS,
+        "floor": MIN_PARALLEL_SPEEDUP,
+        "floor_asserted": False,
+    }
+    if cores >= MIN_PARALLEL_CORES:
+        serial = parallel_ranked_search(manifest, batch, k=TOP_K, workers=1)
+        started = time.perf_counter()
+        serial = parallel_ranked_search(manifest, batch, k=TOP_K, workers=1)
+        serial_s = time.perf_counter() - started
+        started = time.perf_counter()
+        pooled = parallel_ranked_search(
+            manifest, batch, k=TOP_K, workers=PARALLEL_WORKERS
+        )
+        parallel_s = time.perf_counter() - started
+        assert pooled == serial, "process-pool batch diverged from serial"
+        parallel_speedup = serial_s / parallel_s if parallel_s else float("inf")
+        parallel_section.update(
+            {
+                "queries": len(batch),
+                "serial_s": round(serial_s, 4),
+                "parallel_s": round(parallel_s, 4),
+                "speedup": round(parallel_speedup, 1),
+                "floor_asserted": True,
+            }
+        )
+    else:
+        parallel_speedup = None
+        parallel_section["skipped"] = (
+            f"runner has {cores} core(s); the {MIN_PARALLEL_SPEEDUP}x "
+            f"shard-parallel floor needs >={MIN_PARALLEL_CORES} to be "
+            "meaningful (pool spin-up would dominate)"
+        )
+
+    report = {
+        "documents": engine._index.doc_count,
+        "top_k": TOP_K,
+        "ranked": {
+            "queries": rows,
+            "identical_to_oracle": True,
+            "speedup": round(ranked_speedup, 1),
+            "floor": MIN_RANKED_SPEEDUP,
+            "floor_asserted": ranked_asserted,
+        },
+        "galloping": {
+            "small": len(small),
+            "large": len(large),
+            "linear_s": round(linear_s, 6),
+            "gallop_s": round(gallop_s, 6),
+            "speedup": round(gallop_speedup, 1),
+            "floor": MIN_GALLOP_SPEEDUP,
+            "floor_asserted": gallop_asserted,
+        },
+        "shard_parallel": parallel_section,
+    }
+    if not ranked_asserted:
+        report["ranked"]["skipped"] = (
+            f"total brute-scored scan time {scan_total_s:.3f}s is below the "
+            f"{MIN_MEASURABLE_SCAN_S}s measurement floor on this runner"
+        )
+    if not gallop_asserted:
+        report["galloping"]["skipped"] = (
+            f"linear intersection is too fast to time reliably "
+            f"({linear_s:.6f}s per rep) on this runner"
+        )
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit("RANKED QUERY PERF SMOKE (BENCH_query.json)", json.dumps(report, indent=2))
+
+    if ranked_asserted:
+        assert ranked_speedup >= MIN_RANKED_SPEEDUP, (
+            f"ranked top-{TOP_K} speedup {ranked_speedup:.1f}x is below the "
+            f"{MIN_RANKED_SPEEDUP}x floor over a brute-scored scan of "
+            f"{engine._index.doc_count} structured recipes"
+        )
+    if gallop_asserted:
+        assert gallop_speedup >= MIN_GALLOP_SPEEDUP, (
+            f"galloping intersection speedup {gallop_speedup:.1f}x is below "
+            f"the {MIN_GALLOP_SPEEDUP}x floor on a "
+            f"{len(small)}-vs-{len(large)} skew"
+        )
+    if parallel_section["floor_asserted"]:
+        assert parallel_speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"shard-parallel batch speedup {parallel_speedup:.1f}x is below "
+            f"the {MIN_PARALLEL_SPEEDUP}x floor with {PARALLEL_WORKERS} "
+            f"workers on {cores} cores"
+        )

@@ -18,6 +18,8 @@ Usage::
     python -m repro index inspect --index manifest.json
     python -m repro index query --index index.json \
         'ingredient:tomato AND process:saute AND NOT ingredient:garlic'
+    python -m repro index query --index manifest.json --rank -k 10 \
+        --facet ingredient --workers 4 'ingredient:tomato OR ingredient:basil'
     python -m repro serve --bundle bundle.json --index manifest.json --port 8080
     python -m repro serve --bundle bundle.json --async --max-inflight 64 \
         --queue-depth 128 --deadline-ms 30000
@@ -43,6 +45,9 @@ bumped generation) and ``index inspect`` prints an artifact's shape —
 format, generation, per-shard size — without decoding postings.  ``index
 query`` answers boolean entity queries from either artifact kind (or, with
 ``--scan``, by brute-forcing the JSONL — same results, corpus-scan cost);
+``--rank``/``-k`` order matches by BM25 score from artifact metadata,
+``--facet FIELD`` adds per-term match-count aggregations, and ``--workers``
+fans per-shard evaluation of a manifest across threads;
 ``serve --index`` additionally exposes the index (monolithic or manifest) on
 ``POST /v1/search``, hot-swappable through ``POST /v1/reload``.  ``serve
 --async`` swaps the threaded front end for the asyncio event-loop server:
@@ -364,6 +369,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, help="return at most this many matches"
     )
     index_query.add_argument(
+        "--rank",
+        action="store_true",
+        help="order matches by BM25 score (each printed match carries 'score')",
+    )
+    index_query.add_argument(
+        "-k",
+        "--top-k",
+        dest="top_k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="ranked top-k shorthand: implies --rank and caps the results at K",
+    )
+    index_query.add_argument(
+        "--facet",
+        dest="facets",
+        action="append",
+        metavar="FIELD",
+        help=(
+            "aggregate per-term match counts for FIELD over all matches "
+            "(repeatable; printed as one trailing JSON object on stdout)"
+        ),
+    )
+    index_query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "threads fanning per-shard evaluation of a manifest "
+            "(default: 1, serial)"
+        ),
+    )
+    index_query.add_argument(
         "query",
         help=(
             "boolean entity query, e.g. "
@@ -618,6 +656,14 @@ def _cmd_index_inspect(arguments: argparse.Namespace) -> int:
         shards = []
         for entry in manifest.entries:
             shard_path = path.parent / entry.path
+            if not shard_path.exists():
+                has_stats = None
+            elif entry.format == "v1":
+                # v1 carries full postings, so doc stats are always
+                # computable (the loader derives them lazily in memory).
+                has_stats = True
+            else:
+                has_stats = load_index_path(shard_path).has_doc_stats
             shards.append(
                 {
                     "path": entry.path,
@@ -629,6 +675,7 @@ def _cmd_index_inspect(arguments: argparse.Namespace) -> int:
                         shard_path.stat().st_size if shard_path.exists() else None
                     ),
                     "sha256": entry.sha256,
+                    "doc_stats": has_stats,
                 }
             )
         print(
@@ -638,6 +685,12 @@ def _cmd_index_inspect(arguments: argparse.Namespace) -> int:
                     **manifest.describe(),
                     "size_bytes": path.stat().st_size,
                     "shards": shards,
+                    # v2 shards written before the doc-stats section existed:
+                    # ranked search over them falls back to decoding postings,
+                    # so mixed-generation manifests are worth flagging.
+                    "doc_stats_missing": [
+                        shard["path"] for shard in shards if shard["doc_stats"] is False
+                    ],
                 }
             )
         )
@@ -649,10 +702,30 @@ def _cmd_index_inspect(arguments: argparse.Namespace) -> int:
                 "artifact": "recipe-index",
                 **index.stats(),
                 "size_bytes": path.stat().st_size,
+                "doc_stats": _doc_stats_summary(index),
             }
         )
     )
     return 0
+
+
+def _doc_stats_summary(index) -> dict:
+    """The doc-stats view `index inspect` prints for a monolithic artifact.
+
+    A v2 artifact written before the doc-stats section existed reports
+    ``{"present": false}`` instead of decoding every posting to rebuild it.
+    """
+    if not index.has_doc_stats:
+        return {"present": False}
+    documents = index.doc_count
+    total = index.total_occurrences()
+    return {
+        "present": True,
+        "documents": documents,
+        "total_occurrences": total,
+        "mean_doc_length": (total / documents) if documents else 0.0,
+        "term_table_size": sum(index.stats()["terms"].values()),
+    }
 
 
 def _cmd_index_query(arguments: argparse.Namespace) -> int:
@@ -665,27 +738,84 @@ def _cmd_index_query(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    rank = arguments.rank or arguments.top_k is not None
+    limit = arguments.top_k if arguments.top_k is not None else arguments.limit
+    facets = None
     try:
         if arguments.index_path:
             # Accepts a monolithic index artifact or a shard manifest; the
             # engine answers identically from either.
-            engine = QueryEngine(load_index_path(arguments.index_path))
-            total, matches = engine.search(arguments.query, limit=arguments.limit)
+            engine = QueryEngine(
+                load_index_path(arguments.index_path), workers=arguments.workers
+            )
+            total, matches = engine.search(arguments.query, limit=limit, rank=rank)
+            if arguments.facets:
+                facets = engine.facets(arguments.query, arguments.facets)
+        elif rank:
+            # The scoring oracle over a corpus scan: same scores, same order
+            # as --index mode, corpus-scan cost.
+            from repro.corpus.sink import iter_structured_jsonl
+            from repro.index import rank_recipes
+
+            total, matches = rank_recipes(
+                iter_structured_jsonl(arguments.scan), arguments.query, limit=limit
+            )
         else:
             # Scan the whole file so the reported total matches --index mode;
             # --limit only truncates what is printed.
             matches = scan_structured_jsonl(arguments.scan, arguments.query)
             total = len(matches)
-            if arguments.limit is not None:
-                matches = matches[: max(arguments.limit, 0)]
+            if limit is not None:
+                matches = matches[: max(limit, 0)]
+        if arguments.facets and not arguments.index_path:
+            facets = _scan_facets(arguments.scan, arguments.query, arguments.facets)
     except QueryError as error:
         print(f"index query: {error}", file=sys.stderr)
         return 2
     for match in matches:
         print(json.dumps(match.to_dict()))
+    if facets is not None:
+        print(
+            json.dumps(
+                {
+                    "facets": {
+                        field: [{"term": term, "count": count} for term, count in rows]
+                        for field, rows in facets.items()
+                    }
+                }
+            )
+        )
     source = arguments.index_path or arguments.scan
     print(f"{total} match{'es' if total != 1 else ''} in {source}", file=sys.stderr)
     return 0
+
+
+def _scan_facets(
+    path: str, query: str, fields: list[str]
+) -> dict[str, list[tuple[str, int]]]:
+    """Brute-force facet aggregation over a structured JSONL (scan parity)."""
+    from collections import Counter
+
+    from repro.corpus.sink import iter_structured_jsonl
+    from repro.errors import QueryError
+    from repro.index import FIELDS, extract_entities, matches_recipe, parse_query
+
+    counters: dict[str, Counter] = {}
+    for field in fields:
+        if field not in FIELDS:
+            raise QueryError(f"unknown facet field {field!r}; expected one of {FIELDS}")
+        counters[field] = Counter()
+    node = parse_query(query)
+    for recipe in iter_structured_jsonl(path):
+        if not matches_recipe(node, recipe):
+            continue
+        entities = extract_entities(recipe)
+        for field, counter in counters.items():
+            counter.update(entities[field].keys())
+    return {
+        field: sorted(counter.items(), key=lambda row: (-row[1], row[0]))[:10]
+        for field, counter in counters.items()
+    }
 
 
 def _print_serving_banner(arguments, service, search, port: int, front_end: str) -> None:

@@ -70,16 +70,19 @@ def ordered_parallel_map(
     initializer: Callable | None = None,
     initargs: tuple = (),
     serial: Callable | None = None,
+    threads: bool = False,
 ) -> Iterator:
     """Yield ``function(task)`` for every task, strictly in task order.
 
     Args:
         function: Top-level (picklable) callable applied to each task in a
-            worker process.
+            worker process.  With ``threads=True`` any callable (closures
+            included) works — nothing crosses a process boundary.
         tasks: Task iterable (consumed lazily).
-        workers: Process count.  ``<= 1`` runs in-process and
+        workers: Worker count.  ``<= 1`` runs in-process and
             deterministically; ``> 1`` spreads tasks over a pool.
-        mp_context: Multiprocessing context (defaults to the platform one).
+        mp_context: Multiprocessing context (defaults to the platform one;
+            ignored with ``threads=True``).
         max_inflight: Cap on tasks submitted but not yet yielded (default
             ``workers + 2``); this is what bounds memory.
         initializer / initargs: Pool initializer, run once per worker (e.g.
@@ -88,6 +91,11 @@ def ordered_parallel_map(
             ``workers <= 1`` path (when the worker function depends on
             pool-initializer state that an in-process run sets up
             differently).
+        threads: Use a thread pool instead of processes.  The right choice
+            when tasks share in-memory state that cannot (or should not) be
+            pickled — e.g. per-shard query evaluation over one mmap'd index
+            — and the per-task work releases the GIL (zlib inflate, page
+            faults) or is latency-bound rather than CPU-bound.
 
     Yields:
         One result per task, in exact task order.
@@ -100,8 +108,14 @@ def ordered_parallel_map(
             yield apply(task)
         return
     limit = max_inflight if max_inflight is not None else workers + _INFLIGHT_SLACK
-    context = mp_context or multiprocessing.get_context()
-    with context.Pool(
+    if threads:
+        from multiprocessing.pool import ThreadPool
+
+        pool_factory = ThreadPool
+    else:
+        context = mp_context or multiprocessing.get_context()
+        pool_factory = context.Pool
+    with pool_factory(
         processes=workers, initializer=initializer, initargs=initargs
     ) as pool:
         pending: deque = deque()

@@ -10,8 +10,16 @@ JSONL; this package makes that output queryable:
   pipeline bundles;
 * :mod:`repro.index.query` — a boolean query language
   (``ingredient:tomato AND process:saute AND NOT ingredient:garlic``), a
-  :class:`QueryEngine` evaluating it with posting-list algebra, and a
-  brute-force scan path that is element-wise identical by construction.
+  :class:`QueryEngine` evaluating it with posting-list algebra (linear or
+  galloping kernels, picked adaptively by size skew; chunk-skipping AND
+  over the v2 skip headers), and a brute-force scan path that is
+  element-wise identical by construction;
+
+* :mod:`repro.index.ranking` — BM25 ranked top-k retrieval
+  (``QueryEngine.search(rank=True)``) with every statistic read from
+  artifact metadata, facet aggregations (``QueryEngine.facets``), a
+  brute-force scoring oracle, and a process-parallel batch search over
+  shard manifests (:func:`parallel_ranked_search`).
 
 * :mod:`repro.index.codec` — the compact binary posting format ("v2"):
   delta+varint posting lists behind an mmap'd, checksum-verified binary
@@ -35,10 +43,20 @@ from repro.index.builder import (
     FIELDS,
     INDEX_ARTIFACT_FORMAT,
     IndexBuilder,
+    PostingBlocks,
     PostingList,
     RecipeIndex,
     extract_entities,
     load_index_bytes,
+)
+from repro.index.ranking import (
+    Bm25Parameters,
+    Bm25Scorer,
+    CorpusStats,
+    RankedMatch,
+    facet_counts,
+    parallel_ranked_search,
+    rank_recipes,
 )
 from repro.index.codec import (
     INDEX_V2_ARTIFACT_FORMAT,
@@ -75,6 +93,9 @@ from repro.index.query import (
 
 __all__ = [
     "And",
+    "Bm25Parameters",
+    "Bm25Scorer",
+    "CorpusStats",
     "FIELDS",
     "INDEX_ARTIFACT_FORMAT",
     "INDEX_V2_ARTIFACT_FORMAT",
@@ -82,9 +103,11 @@ __all__ = [
     "MANIFEST_ARTIFACT_FORMAT",
     "Not",
     "Or",
+    "PostingBlocks",
     "PostingList",
     "QueryEngine",
     "QueryMatch",
+    "RankedMatch",
     "RecipeIndex",
     "RecipeIndexV2",
     "ShardEntry",
@@ -94,6 +117,7 @@ __all__ = [
     "add_jsonl",
     "build_sharded_index",
     "extract_entities",
+    "facet_counts",
     "load_index_artifact",
     "load_index_bytes",
     "load_index_path",
@@ -101,7 +125,9 @@ __all__ = [
     "matches_recipe",
     "merge_shards",
     "migrate_manifest",
+    "parallel_ranked_search",
     "parse_query",
+    "rank_recipes",
     "render_query",
     "save_index_v2",
     "scan_recipes",

@@ -23,7 +23,7 @@ of a corpus scan.  This module builds that index:
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -42,6 +42,7 @@ __all__ = [
     "FIELDS",
     "INDEX_ARTIFACT_FORMAT",
     "IndexBuilder",
+    "PostingBlocks",
     "PostingList",
     "RecipeIndex",
     "extract_entities",
@@ -113,6 +114,36 @@ class PostingList:
         return len(self.ids)
 
 
+@dataclass(frozen=True)
+class PostingBlocks:
+    """Chunk-granular view of one term's posting list, for skip-scans.
+
+    An AND-intersection that already holds a candidate id range can consult
+    :attr:`bounds` and decode only the blocks that overlap it.  A v1 index
+    exposes its eager posting list as one block with exact bounds; a v2
+    artifact maps each on-disk chunk to a block whose ``(first_id, last_id)``
+    come straight from the header's skip metadata (``(None, None)`` for
+    PR-6-era entries, which carried no bounds — such blocks are never
+    skipped, only decoded).
+
+    Attributes:
+        count: Total postings across all blocks (header metadata, no decode).
+        bounds: ``bounds[k]`` is ``(first_id, last_id)`` of block ``k``, each
+            ``None`` when unknown.
+        load: ``load(k)`` decodes block ``k`` into a :class:`PostingList`.
+    """
+
+    count: int
+    bounds: list[tuple[int | None, int | None]]
+    load: Callable[[int], PostingList]
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    def block(self, k: int) -> PostingList:
+        return self.load(k)
+
+
 class RecipeIndex:
     """Immutable inverted index built by :class:`IndexBuilder`.
 
@@ -126,6 +157,11 @@ class RecipeIndex:
     #: Artifact kind this class materialises ("v1": eager JSON postings).
     #: :class:`~repro.index.codec.RecipeIndexV2` overrides it with "v2".
     kind = "v1"
+
+    #: Lazily computed per-doc lengths (see :meth:`doc_lengths`).  A class
+    #: default instead of ``__init__`` state so every subclass constructor
+    #: (v2 does not chain) starts with an empty cache.
+    _doc_lengths_cache: list[int] | None = None
 
     def __init__(
         self,
@@ -170,6 +206,54 @@ class RecipeIndex:
         """
         posting = self.postings(field, term)
         return len(posting.ids) if posting is not None else 0
+
+    def posting_blocks(self, field: str, term: str) -> PostingBlocks | None:
+        """Skip-scannable block view of a term's posting list (see class doc).
+
+        A v1 index is fully decoded in memory, so the view is one block over
+        the eager posting list with exact ``(first, last)`` bounds; the v2
+        override maps header chunks without decoding any of them.
+        """
+        posting = self.postings(field, term)
+        if posting is None:
+            return None
+        bounds = (posting.ids[0], posting.ids[-1]) if posting.ids else (None, None)
+        return PostingBlocks(
+            count=len(posting.ids), bounds=[bounds], load=lambda k: posting
+        )
+
+    def doc_lengths(self) -> list[int]:
+        """Per-doc total entity occurrences — the BM25 document lengths.
+
+        ``doc_lengths()[doc_id]`` counts every indexed occurrence (span) of
+        every term in that doc, across all fields.  A v1 artifact does not
+        persist this (its payload shape is frozen); it is derived lazily from
+        the already-decoded postings on first use and cached.  The v2 format
+        persists it as a dedicated doc-stats section, so the override there
+        never touches the posting lists.
+        """
+        if self._doc_lengths_cache is None:
+            lengths = [0] * self.doc_count
+            for field in FIELDS:
+                for posting in self._field(field).values():
+                    for doc_id, group in zip(posting.ids, posting.spans):
+                        lengths[doc_id] += len(group)
+            self._doc_lengths_cache = lengths
+        return self._doc_lengths_cache
+
+    def total_occurrences(self) -> int:
+        """Sum of :meth:`doc_lengths` — the corpus length BM25 averages over."""
+        return sum(self.doc_lengths())
+
+    @property
+    def has_doc_stats(self) -> bool:
+        """Whether doc lengths are available without decoding posting lists.
+
+        Always true for a v1 index (its postings are already in memory); true
+        for a v2 artifact only when it carries the doc-stats section —
+        PR-6-era v2 artifacts do not, and ``index inspect`` flags them.
+        """
+        return True
 
     def stats(self) -> dict:
         """Index shape for the stats endpoints and CLI summaries."""

@@ -28,11 +28,27 @@ Wire format of one raw (pre-deflate) term chunk::
             uvarint  where code     (index into the header's "wheres" table)
             uvarint  position
 
-The header's term table maps ``field -> term -> [offset, length, count,
-enc]`` into the binary section (``enc``: 0 raw, 1 zlib) and ``"docs" ->
-[offset, length, enc]`` points at the doc-metadata blob.  Everything a
-query planner wants *without* decoding — posting-list lengths — is header
-metadata, which is what :meth:`RecipeIndexV2.posting_count` exposes.
+The header's term table maps ``field -> term -> entry`` into the binary
+section.  Three entry shapes coexist (readers accept all of them):
+
+* ``[offset, length, count, enc]`` — PR-6 era, one chunk, no skip bounds
+  (``enc``: 0 raw, 1 zlib);
+* ``[offset, length, count, enc, first_id, last_id]`` — one chunk
+  (``count <= CHUNK_DOCS``) carrying its doc-id bounds;
+* ``[offset, total_length, count, 2, blocks]`` — ``enc == ENC_CHUNKED``:
+  the list is split into ``CHUNK_DOCS``-doc chunks, each independently
+  encoded/deflated, and ``blocks`` is
+  ``[[rel_offset, length, count, enc, first_id, last_id], ...]``.
+
+The ``(first_id, last_id)`` skip bounds are what lets an AND-intersection
+holding a candidate range decode only the chunks that overlap it
+(:meth:`RecipeIndexV2.posting_blocks`).  ``"docs" -> [offset, length,
+enc]`` points at the doc-metadata blob, and ``"doc_stats" -> [offset,
+length, enc, total_occurrences]`` (absent from PR-6 artifacts) at a varint
+array of per-doc lengths — the BM25 normalization statistics, readable
+without touching any posting list.  Everything a query planner wants
+*without* decoding — posting-list lengths, chunk bounds, doc lengths — is
+header or stats-section metadata.
 """
 
 from __future__ import annotations
@@ -44,7 +60,7 @@ from collections import OrderedDict
 from pathlib import Path
 
 from repro.errors import PersistenceError, QueryError
-from repro.index.builder import FIELDS, PostingList, RecipeIndex
+from repro.index.builder import FIELDS, PostingBlocks, PostingList, RecipeIndex
 from repro.persistence import (
     FORMAT_VERSION,
     check_payload_version,
@@ -55,6 +71,7 @@ from repro.persistence import (
 from repro.text.normalize import normalize_phrase
 
 __all__ = [
+    "CHUNK_DOCS",
     "INDEX_V2_ARTIFACT_FORMAT",
     "RecipeIndexV2",
     "build_v2_sections",
@@ -79,8 +96,15 @@ _V2_PREFIX = _V2_PREFIX_TEXT.encode("utf-8")
 #: Per-chunk encodings recorded in the header's term table.
 ENC_RAW = 0
 ENC_ZLIB = 1
+#: Term-entry marker: the posting list is split into skip-scannable chunks.
+ENC_CHUNKED = 2
 
-#: Decoded-term LRU capacity of a lazily loaded index.
+#: Max docs per posting chunk; lists longer than this are split so an
+#: AND-intersection can skip whole chunks via their (first, last) bounds.
+CHUNK_DOCS = 128
+
+#: Decoded-block LRU capacity of a lazily loaded index (a short posting
+#: list is one block; long lists count one slot per decoded chunk).
 DEFAULT_LRU_TERMS = 256
 
 
@@ -208,6 +232,36 @@ def _unpack_chunk(view, enc: int):
 # --------------------------------------------------------------- whole files
 
 
+def _encode_term_entry(
+    binary: bytearray, posting: PostingList, where_code: dict[str, int]
+) -> list:
+    """Append one term's chunk(s) to ``binary``; returns its header entry.
+
+    Short lists (``<= CHUNK_DOCS`` docs) stay one chunk and record their
+    doc-id bounds inline; longer lists split into ``CHUNK_DOCS``-doc chunks
+    behind an ``ENC_CHUNKED`` block table so readers can skip-decode.
+    """
+    count = len(posting.ids)
+    if count <= CHUNK_DOCS:
+        enc, data = _pack_chunk(encode_posting(posting, where_code))
+        entry = [len(binary), len(data), count, enc, posting.ids[0], posting.ids[-1]]
+        binary.extend(data)
+        return entry
+    start = len(binary)
+    blocks: list[list] = []
+    for begin in range(0, count, CHUNK_DOCS):
+        sub = PostingList(
+            ids=posting.ids[begin : begin + CHUNK_DOCS],
+            spans=posting.spans[begin : begin + CHUNK_DOCS],
+        )
+        enc, data = _pack_chunk(encode_posting(sub, where_code))
+        blocks.append(
+            [len(binary) - start, len(data), len(sub.ids), enc, sub.ids[0], sub.ids[-1]]
+        )
+        binary.extend(data)
+    return [start, len(binary) - start, count, ENC_CHUNKED, blocks]
+
+
 def build_v2_sections(index: RecipeIndex) -> tuple[dict, bytes]:
     """Serialise ``index`` into the v2 ``(header payload, binary section)``.
 
@@ -229,9 +283,7 @@ def build_v2_sections(index: RecipeIndex) -> tuple[dict, bytes]:
                     if where not in where_code:
                         where_code[where] = len(wheres)
                         wheres.append(where)
-            enc, data = _pack_chunk(encode_posting(posting, where_code))
-            entries[term] = [len(binary), len(data), len(posting.ids), enc]
-            binary.extend(data)
+            entries[term] = _encode_term_entry(binary, posting, where_code)
         term_tables[field] = entries
     docs_raw = json.dumps(
         list(index.docs), sort_keys=True, separators=(",", ":")
@@ -239,12 +291,23 @@ def build_v2_sections(index: RecipeIndex) -> tuple[dict, bytes]:
     docs_enc, docs_data = _pack_chunk(docs_raw)
     docs_entry = [len(binary), len(docs_data), docs_enc]
     binary.extend(docs_data)
+    # Doc-stats section: one varint per doc (its BM25 length), so ranking
+    # normalization never has to decode a single posting list.
+    lengths = index.doc_lengths()
+    stats_raw = bytearray()
+    encode_uvarint(stats_raw, len(lengths))
+    for value in lengths:
+        encode_uvarint(stats_raw, value)
+    stats_enc, stats_data = _pack_chunk(bytes(stats_raw))
+    stats_entry = [len(binary), len(stats_data), stats_enc, sum(lengths)]
+    binary.extend(stats_data)
     payload = {
         "version": FORMAT_VERSION,
         "source": index.source,
         "doc_count": index.doc_count,
         "wheres": wheres,
         "docs": docs_entry,
+        "doc_stats": stats_entry,
         "terms": term_tables,
     }
     return payload, bytes(binary)
@@ -278,6 +341,33 @@ def load_index_v2_buffer(buffer, source: str = "<index>") -> "RecipeIndexV2":
 def load_index_v2(path: str | Path) -> "RecipeIndexV2":
     """mmap a v2 artifact file and open it lazily (see buffer variant)."""
     return load_index_v2_buffer(open_artifact_buffer(path), source=str(path))
+
+
+def _term_blocks(entry: list) -> list[tuple]:
+    """Normalise a term-table entry of any generation to its block list.
+
+    Returns ``[(abs_offset, length, count, enc, first_id, last_id), ...]``.
+    PR-6 4-element entries become one block with ``(None, None)`` bounds
+    (never skipped, always decoded); 6-element entries one bounded block;
+    ``ENC_CHUNKED`` entries expand their relative block table.
+    """
+    if len(entry) == 4:
+        offset, length, count, enc = entry
+        return [(offset, length, count, enc, None, None)]
+    offset, length, count, enc = entry[0], entry[1], entry[2], entry[3]
+    if enc != ENC_CHUNKED:
+        first, last = entry[4], entry[5]
+        return [(offset, length, count, enc, first, last)]
+    blocks = entry[4]
+    if sum(block[2] for block in blocks) != count:
+        raise PersistenceError(
+            "chunked term entry's block counts do not sum to its posting "
+            "count; the artifact is corrupt"
+        )
+    return [
+        (offset + rel, clen, ccount, cenc, first, last)
+        for rel, clen, ccount, cenc, first, last in blocks
+    ]
 
 
 # ----------------------------------------------------------------- the index
@@ -317,6 +407,7 @@ class RecipeIndexV2(RecipeIndex):
         self._wheres = list(payload["wheres"])
         self._tables = payload["terms"]
         self._docs_entry = payload["docs"]
+        self._stats_entry = payload.get("doc_stats")  # absent in PR-6 artifacts
         self._doc_count = int(payload["doc_count"])
         self.source = payload.get("source", "")
         self._docs_cache: list[dict] | None = None
@@ -359,7 +450,37 @@ class RecipeIndexV2(RecipeIndex):
         entry = self._table(field).get(normalized)
         if entry is None:
             return None
-        key = (field, normalized)
+        blocks = _term_blocks(entry)
+        if len(blocks) == 1:
+            return self._load_block(field, normalized, 0, blocks[0])
+        ids: list[int] = []
+        spans: list[list[list]] = []
+        for k, block in enumerate(blocks):
+            part = self._load_block(field, normalized, k, block)
+            ids.extend(part.ids)
+            spans.extend(part.spans)
+        return PostingList(ids=ids, spans=spans)
+
+    def posting_blocks(self, field: str, term: str) -> PostingBlocks | None:
+        """Skip-scannable block view straight off the header's chunk table.
+
+        Nothing is decoded here: bounds come from the per-chunk skip
+        metadata, and each ``load(k)`` decodes one chunk through the LRU.
+        """
+        normalized = normalize_phrase(term)
+        entry = self._table(field).get(normalized)
+        if entry is None:
+            return None
+        blocks = _term_blocks(entry)
+        return PostingBlocks(
+            count=entry[2],
+            bounds=[(block[4], block[5]) for block in blocks],
+            load=lambda k: self._load_block(field, normalized, k, blocks[k]),
+        )
+
+    def _load_block(self, field: str, normalized: str, k: int, block: tuple):
+        """Decode one chunk through the LRU (one slot per ``(term, chunk)``)."""
+        key = (field, normalized, k)
         with self._lock:
             cached = self._lru.get(key)
             if cached is not None:
@@ -367,7 +488,7 @@ class RecipeIndexV2(RecipeIndex):
                 self._hits += 1
                 return cached
             self._misses += 1
-            offset, length, count, enc = entry
+            offset, length, count, enc, _first, _last = block
             posting = decode_posting(
                 _unpack_chunk(self._chunk(offset, length), enc), self._wheres, count
             )
@@ -381,6 +502,47 @@ class RecipeIndexV2(RecipeIndex):
         entry = self._table(field).get(normalize_phrase(term))
         return entry[2] if entry is not None else 0
 
+    @property
+    def has_doc_stats(self) -> bool:
+        """Whether the artifact carries the doc-stats section (PR-6 ones do not)."""
+        return self._stats_entry is not None
+
+    def doc_lengths(self) -> list[int]:
+        """Per-doc BM25 lengths, from the doc-stats section when present.
+
+        A PR-6 artifact has no such section; its lengths are derived once by
+        decoding every posting list (the v1 fallback) and cached — correct,
+        just not O(header), which ``index inspect`` flags.
+        """
+        if self._doc_lengths_cache is None:
+            if self._stats_entry is None:
+                return super().doc_lengths()
+            offset, length, enc = self._stats_entry[0], self._stats_entry[1], self._stats_entry[2]
+            raw = _unpack_chunk(self._chunk(offset, length), enc)
+            count, position = decode_uvarint(raw, 0)
+            if count != self._doc_count:
+                raise PersistenceError(
+                    f"doc-stats section holds {count} lengths but the header "
+                    f"records {self._doc_count} docs; the artifact is corrupt"
+                )
+            lengths: list[int] = []
+            for _ in range(count):
+                value, position = decode_uvarint(raw, position)
+                lengths.append(value)
+            if position != len(raw):
+                raise PersistenceError(
+                    f"doc-stats section has {len(raw) - position} trailing "
+                    "bytes; the artifact is corrupt"
+                )
+            self._doc_lengths_cache = lengths
+        return self._doc_lengths_cache
+
+    def total_occurrences(self) -> int:
+        """Corpus length from the doc-stats header entry — no decode at all."""
+        if self._stats_entry is not None:
+            return self._stats_entry[3]
+        return super().total_occurrences()
+
     def stats(self) -> dict:
         return {
             "documents": self.doc_count,
@@ -390,6 +552,7 @@ class RecipeIndexV2(RecipeIndex):
                 entry[2] for table in self._tables.values() for entry in table.values()
             ),
             "format": self.kind,
+            "doc_stats": self.has_doc_stats,
             "lazy": {
                 "decoded_terms": len(self._lru),
                 "lru_terms": self._lru_terms,

@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import heapq
 import re
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass, replace
+from itertools import islice
 from pathlib import Path
 
 from repro.core.recipe_model import StructuredRecipe
@@ -45,7 +46,12 @@ __all__ = [
     "QueryEngine",
     "QueryMatch",
     "Term",
+    "difference_adaptive",
+    "difference_galloping",
     "difference_sorted",
+    "intersect_adaptive",
+    "intersect_count",
+    "intersect_galloping",
     "intersect_sorted",
     "matches_recipe",
     "parse_query",
@@ -297,6 +303,132 @@ def difference_sorted(left: list[int], right: list[int]) -> list[int]:
     return result
 
 
+#: Size ratio at which the adaptive kernels switch from a linear merge to a
+#: galloping (exponential-probe) scan of the larger list.  Linear is
+#: O(n + m); galloping is O(n log m) — the crossover sits around m/n ≈ 8.
+GALLOP_SKEW = 8
+
+
+def _gallop_to(values: list[int], start: int, target: int) -> int:
+    """First position ``>= start`` with ``values[position] >= target``.
+
+    Exponential probe (1, 2, 4, ... elements ahead) brackets the target,
+    then a bisect inside the final bracket pins it — O(log distance), so a
+    pass over the small list advances through the large one in amortised
+    O(small * log(large / small)) instead of O(large).
+    """
+    length = len(values)
+    offset = 1
+    while start + offset < length and values[start + offset] < target:
+        offset <<= 1
+    return bisect_left(values, target, start + (offset >> 1), min(start + offset, length))
+
+
+def intersect_galloping(small: list[int], large: list[int]) -> list[int]:
+    """Intersect two sorted lists, galloping through the larger one.
+
+    Callers are expected to pass the smaller list first; the result is
+    element-wise identical to :func:`intersect_sorted` either way.
+    """
+    result: list[int] = []
+    position = 0
+    length = len(large)
+    for value in small:
+        position = _gallop_to(large, position, value)
+        if position >= length:
+            break
+        if large[position] == value:
+            result.append(value)
+            position += 1
+    return result
+
+
+def intersect_adaptive(left: list[int], right: list[int]) -> list[int]:
+    """Intersect, picking the kernel by size skew (identical results).
+
+    Near-equal lengths take the linear merge; once one side is
+    ``GALLOP_SKEW``× the other, galloping through the long side wins.
+    """
+    small, large = (left, right) if len(left) <= len(right) else (right, left)
+    if len(small) * GALLOP_SKEW <= len(large):
+        return intersect_galloping(small, large)
+    return intersect_sorted(left, right)
+
+
+def intersect_count(left: list[int], right: list[int]) -> int:
+    """``len(intersect_adaptive(left, right))`` without building the list.
+
+    The facet aggregator's kernel: counts co-occurrence cardinalities
+    against thousands of terms without materialising a single id list.
+    """
+    small, large = (left, right) if len(left) <= len(right) else (right, left)
+    count = 0
+    if len(small) * GALLOP_SKEW <= len(large):
+        position = 0
+        length = len(large)
+        for value in small:
+            position = _gallop_to(large, position, value)
+            if position >= length:
+                break
+            if large[position] == value:
+                count += 1
+                position += 1
+        return count
+    i = j = 0
+    while i < len(small) and j < len(large):
+        a, b = small[i], large[j]
+        if a == b:
+            count += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+def difference_galloping(left: list[int], right: list[int]) -> list[int]:
+    """``left - right`` galloping through whichever side is longer.
+
+    ``left`` small: gallop each of its values through ``right``.  ``right``
+    small: gallop through ``left`` copying the untouched slices between the
+    (few) removed values wholesale.
+    """
+    if not left or not right:
+        return list(left)
+    if len(left) <= len(right):
+        result: list[int] = []
+        position = 0
+        length = len(right)
+        for value in left:
+            position = _gallop_to(right, position, value)
+            if position >= length or right[position] != value:
+                result.append(value)
+        return result
+    result = []
+    start = 0
+    length = len(left)
+    for value in right:
+        at = _gallop_to(left, start, value)
+        result.extend(left[start:at])
+        if at < length and left[at] == value:
+            at += 1
+        start = at
+        if start >= length:
+            break
+    result.extend(left[start:])
+    return result
+
+
+def difference_adaptive(left: list[int], right: list[int]) -> list[int]:
+    """``left - right``, picking the kernel by size skew (identical results)."""
+    shorter, longer = min(len(left), len(right)), max(len(left), len(right))
+    if shorter * GALLOP_SKEW <= longer:
+        return difference_galloping(left, right)
+    return difference_sorted(left, right)
+
+
 # -------------------------------------------------------------------- results
 
 
@@ -372,10 +504,21 @@ class QueryEngine:
     enforces all three.  On both paths the matching doc ids are truncated to
     ``limit`` *before* any span materialisation, so per-result work is
     bounded by ``limit``, never by the match count.
+
+    ``rank=True`` turns :meth:`search` into BM25 top-k retrieval (see
+    :mod:`repro.index.ranking`); :meth:`facets` aggregates match counts per
+    term without materialising a single match.  ``workers > 1`` fans
+    per-shard evaluation (boolean, ranked and facet) out over
+    :func:`~repro.corpus.executor.ordered_parallel_map` threads and k-way
+    heap-merges the per-shard answers — results stay element-wise identical
+    to the serial path (``workers=1``, the default).
     """
 
-    def __init__(self, index: "RecipeIndex | ShardedRecipeIndex") -> None:
+    def __init__(
+        self, index: "RecipeIndex | ShardedRecipeIndex", *, workers: int = 1
+    ) -> None:
         self._index = index
+        self._workers = max(1, int(workers))
         self._shard_engines = (
             [QueryEngine(shard) for shard in index.shards]
             if isinstance(index, ShardedRecipeIndex)
@@ -398,21 +541,49 @@ class QueryEngine:
         return self.search(query, limit=limit)[1]
 
     def count(self, query) -> int:
-        """Number of matching recipes."""
+        """Number of matching recipes.
+
+        A bare term answers straight from header metadata
+        (:meth:`RecipeIndex.posting_count`; summed per shard on a manifest)
+        — no posting decode, no global id-list merge.  Compound queries
+        evaluate per shard and sum the per-shard cardinalities; the global
+        doc-id stream is never built (each doc lives in exactly one shard,
+        so the sum is exact).
+        """
         node = _as_node(query)
+        if isinstance(node, Term):
+            return self._index.posting_count(node.field, node.value)
         if self._shard_engines is not None:
-            return sum(len(engine._eval(node)) for engine in self._shard_engines)
+            return sum(
+                self._map_shards(lambda i: len(self._shard_engines[i]._eval(node)))
+            )
         return len(self._eval(node))
 
-    def search(self, query, *, limit: int | None = None) -> tuple[int, list[QueryMatch]]:
+    def search(
+        self,
+        query,
+        *,
+        limit: int | None = None,
+        rank: bool = False,
+        params=None,
+    ) -> tuple[int, list[QueryMatch]]:
         """One evaluation returning ``(total, limited matches)``.
 
         What the serving layer wants: the full match count plus at most
         ``limit`` materialised results, without evaluating the query twice.
+
+        ``rank=True`` scores every matching doc with BM25
+        (:mod:`repro.index.ranking`; ``params`` overrides the k1/b
+        defaults) and returns the top ``limit``
+        :class:`~repro.index.ranking.RankedMatch` objects best-first, ties
+        on ascending doc id — element-wise identical across the monolithic,
+        sharded and brute-force oracle paths.
         """
         node = _as_node(query)
         if limit is not None and limit < 0:
             raise QueryError("limit must not be negative")
+        if rank:
+            return self._search_ranked(node, limit=limit, params=params)
         if self._shard_engines is not None:
             selected = self._eval_sharded(node)
             total = len(selected)
@@ -425,24 +596,183 @@ class QueryEngine:
             ids = ids[:limit]
         return total, self._materialize(node, ids)
 
+    def facets(
+        self, query, fields, *, top: int | None = 10
+    ) -> dict[str, list[tuple[str, int]]]:
+        """Top facet terms co-occurring with the query's matches.
+
+        For each requested field: ``[(term, count), ...]`` where ``count``
+        is how many matching docs carry that term, ordered by ``(-count,
+        term)`` and truncated to ``top`` per field.  Counts come from
+        posting-list intersection cardinalities
+        (:func:`~repro.index.ranking.facet_counts`) — no match is ever
+        materialised.  Sharded: per-shard counts sum exactly (each doc
+        lives in one shard); shards are counted with ``top=None`` so the
+        global top-N cannot miss a term that is mid-pack in every shard.
+        """
+        from repro.index import ranking
+
+        node = _as_node(query)
+        if isinstance(fields, str):
+            fields = (fields,)
+        fields = list(fields)
+        if not fields:
+            raise QueryError("facets requires at least one field")
+        for field in fields:
+            if field not in FIELDS:
+                raise QueryError(
+                    f"unknown facet field {field!r}; expected one of {FIELDS}"
+                )
+        if top is not None and (
+            not isinstance(top, int) or isinstance(top, bool) or top < 0
+        ):
+            raise QueryError("facet 'top' must be a non-negative integer")
+        if self._shard_engines is not None:
+
+            def shard_counts(shard_index: int) -> dict[str, list[tuple[str, int]]]:
+                engine = self._shard_engines[shard_index]
+                ids = engine._eval(node)
+                return {
+                    field: ranking.facet_counts(engine._index, ids, field, top=None)
+                    for field in fields
+                }
+
+            per_shard = self._map_shards(shard_counts)
+            result: dict[str, list[tuple[str, int]]] = {}
+            for field in fields:
+                totals: dict[str, int] = {}
+                for counts in per_shard:
+                    for term, count in counts[field]:
+                        totals[term] = totals.get(term, 0) + count
+                rows = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+                result[field] = rows[:top] if top is not None else rows
+            return result
+        ids = self._eval(node)
+        return {
+            field: ranking.facet_counts(self._index, ids, field, top=top)
+            for field in fields
+        }
+
     # ------------------------------------------------------- sharded internals
+
+    def _map_shards(self, function) -> list:
+        """``[function(shard_index) for every shard]``, threaded on request.
+
+        With ``workers > 1`` the per-shard closures fan out over
+        :func:`~repro.corpus.executor.ordered_parallel_map` threads (the
+        engines share one in-memory index, so processes are not an option
+        here; v2 shards release the GIL in zlib inflate and mmap page
+        faults).  Results come back in shard order either way, so callers
+        are oblivious to the mode.
+        """
+        count = len(self._shard_engines)
+        if self._workers <= 1 or count <= 1:
+            return [function(index) for index in range(count)]
+        from repro.corpus.executor import ordered_parallel_map
+
+        return list(
+            ordered_parallel_map(
+                function,
+                range(count),
+                workers=min(self._workers, count),
+                threads=True,
+            )
+        )
 
     def _eval_sharded(self, node) -> list[tuple[int, int, int]]:
         """Merged ``(global_id, shard, local_id)`` triples in corpus order."""
-        streams = []
-        for shard_index, engine in enumerate(self._shard_engines):
+
+        def shard_stream(shard_index: int) -> list[tuple[int, int, int]]:
             global_ids = self._index.global_ids(shard_index)
-            streams.append(
-                [
-                    (global_ids[local], shard_index, local)
-                    for local in engine._eval(node)
-                ]
-            )
+            return [
+                (global_ids[local], shard_index, local)
+                for local in self._shard_engines[shard_index]._eval(node)
+            ]
+
+        streams = self._map_shards(shard_stream)
         if len(streams) == 1:
             return streams[0]
         # Streams are ascending in global id (and ids are disjoint across
         # shards), so a k-way heap merge restores exact corpus order.
         return list(heapq.merge(*streams))
+
+    def _search_ranked(self, node, *, limit, params):
+        """BM25-ranked :meth:`search` (both the monolithic and sharded paths)."""
+        from repro.index import ranking
+
+        if self._shard_engines is not None:
+            # Global statistics, so each shard scores its local docs to the
+            # exact floats the monolithic engine would produce.
+            stats = ranking.CorpusStats.of(self._index)
+            df = {
+                (term.field, term.normalized): self._index.posting_count(
+                    term.field, term.normalized
+                )
+                for term in ranking.positive_terms(node)
+            }
+
+            def shard_top(shard_index: int):
+                engine = self._shard_engines[shard_index]
+                ids = engine._eval(node)
+                scores = ranking.Bm25Scorer(
+                    engine._index, node, stats=stats, df=df, params=params
+                ).scores(ids)
+                global_ids = self._index.global_ids(shard_index)
+                scored = [
+                    (scores[i], global_ids[local], shard_index, local)
+                    for i, local in enumerate(ids)
+                ]
+                key = lambda row: (-row[0], row[1])  # noqa: E731
+                if limit is None:
+                    return len(ids), sorted(scored, key=key)
+                # Bounded per-shard heap: k rows per shard suffice — the
+                # global top-k cannot contain a doc outside its shard's top-k.
+                return len(ids), heapq.nsmallest(limit, scored, key=key)
+
+            shard_results = self._map_shards(shard_top)
+            total = sum(shard_total for shard_total, _ in shard_results)
+            merged = heapq.merge(
+                *(rows for _, rows in shard_results),
+                key=lambda row: (-row[0], row[1]),
+            )
+            selected = list(merged if limit is None else islice(merged, limit))
+            per_shard: dict[int, list[int]] = {}
+            for _, _, shard_index, local in selected:
+                per_shard.setdefault(shard_index, []).append(local)
+            materialized = {
+                shard_index: deque(
+                    self._shard_engines[shard_index]._materialize(node, locals_)
+                )
+                for shard_index, locals_ in per_shard.items()
+            }
+            matches = [
+                ranking.RankedMatch(
+                    doc_id=global_id,
+                    recipe_id=match.recipe_id,
+                    title=match.title,
+                    spans=match.spans,
+                    score=score,
+                )
+                for score, global_id, shard_index, _ in selected
+                for match in (materialized[shard_index].popleft(),)
+            ]
+            return total, matches
+        ids = self._eval(node)
+        total = len(ids)
+        scores = ranking.Bm25Scorer(self._index, node, params=params).scores(ids)
+        selected = ranking.select_top_k(zip(ids, scores), limit)
+        base = self._materialize(node, [doc_id for doc_id, _ in selected])
+        matches = [
+            ranking.RankedMatch(
+                doc_id=match.doc_id,
+                recipe_id=match.recipe_id,
+                title=match.title,
+                spans=match.spans,
+                score=score,
+            )
+            for match, (_, score) in zip(base, selected)
+        ]
+        return total, matches
 
     def _materialize_sharded(
         self, node, selected: list[tuple[int, int, int]]
@@ -511,19 +841,49 @@ class QueryEngine:
                 for child in positives[1:]:
                     if not result:
                         break
-                    result = intersect_sorted(result, self._eval(child))
+                    if isinstance(child, Term):
+                        # Chunk-skipping path: only the term's blocks that
+                        # overlap the running candidate range are decoded.
+                        result = self._intersect_with_term(result, child)
+                    else:
+                        result = intersect_adaptive(result, self._eval(child))
             else:
                 result = list(range(self._index.doc_count))
             for negative in negatives:
                 if not result:
                     break
-                result = difference_sorted(result, self._eval(negative.child))
+                result = difference_adaptive(result, self._eval(negative.child))
             return result
         if isinstance(node, Not):
             return difference_sorted(
                 list(range(self._index.doc_count)), self._eval(node.child)
             )
         raise QueryError(f"not a query node: {node!r}")
+
+    def _intersect_with_term(self, result: list[int], term: Term) -> list[int]:
+        """``result ∩ term``, decoding only chunks the candidates can hit.
+
+        The term's :meth:`~repro.index.builder.RecipeIndex.posting_blocks`
+        view carries per-chunk ``(first_id, last_id)`` bounds from the v2
+        skip headers; a chunk whose bound window holds no candidate is
+        skipped without inflating a byte.  PR-6-era entries have no bounds
+        (``(None, None)``) and simply decode — same answer, no skips.
+        """
+        blocks = self._index.posting_blocks(term.field, term.value)
+        if blocks is None or not result:
+            return []
+        out: list[int] = []
+        for k, (first, last) in enumerate(blocks.bounds):
+            if first is None:
+                candidates = result
+            else:
+                low = bisect_left(result, first)
+                high = bisect_right(result, last, low)
+                if low == high:
+                    continue  # no candidate inside this chunk's id window
+                candidates = result[low:high]
+            out.extend(intersect_adaptive(candidates, blocks.block(k).ids))
+        return out
 
     def _materialize(self, node, ids: list[int]) -> list[QueryMatch]:
         """Build the result objects: resolve each positive term's posting

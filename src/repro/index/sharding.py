@@ -345,8 +345,38 @@ class ShardedRecipeIndex:
         """Per-shard artifact format ("v1"/"v2"), in manifest entry order."""
         return [shard.kind for shard in self._shards]
 
+    def posting_count(self, field: str, term: str) -> int:
+        """Global document frequency of a term: the sum of per-shard counts.
+
+        Each document lives in exactly one shard, so the sum is exact — and
+        on v2 shards each addend is header metadata, so the global df behind
+        BM25's idf costs no posting decode at all.
+        """
+        return sum(shard.posting_count(field, term) for shard in self._shards)
+
+    def total_occurrences(self) -> int:
+        """Global corpus length (sum of per-shard doc-stats totals).
+
+        With v2 shards carrying the doc-stats section this reads one header
+        field per shard; v1 (and PR-6 v2) shards derive theirs lazily once.
+        """
+        return sum(shard.total_occurrences() for shard in self._shards)
+
     def stats(self) -> dict:
         """Shape + provenance for the stats endpoints and CLI summaries."""
+        lazy_shards = {
+            str(index): shard.stats()["lazy"]
+            for index, shard in enumerate(self._shards)
+            if shard.kind == "v2"
+        }
+        lazy = {
+            "hits": sum(entry["hits"] for entry in lazy_shards.values()),
+            "misses": sum(entry["misses"] for entry in lazy_shards.values()),
+            "decoded_terms": sum(
+                entry["decoded_terms"] for entry in lazy_shards.values()
+            ),
+            "shards": lazy_shards,
+        }
         return {
             "documents": self.doc_count,
             "shards": self.shard_count,
@@ -369,6 +399,9 @@ class ShardedRecipeIndex:
                 else 0
                 for field in FIELDS
             },
+            # Cache efficacy of the lazily decoded (v2) shards, aggregated
+            # and per shard — what serve's /stats surfaces in production.
+            "lazy": lazy,
         }
 
     # ------------------------------------------------------------ persistence

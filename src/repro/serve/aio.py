@@ -528,11 +528,11 @@ class AsyncTaggingServer:
         await responder.finish_stream()
 
     async def _post_search(self, body: dict, responder: _Responder) -> int:
-        query, limit = routes.search_arguments(body)
+        query, limit, options = routes.search_arguments(body)
         loop = asyncio.get_running_loop()
         if body.get("stream"):
             meta, matches = await loop.run_in_executor(
-                None, partial(self.search.search_stream, query, limit=limit)
+                None, partial(self.search.search_stream, query, limit=limit, **options)
             )
             await responder.start_stream()
             await responder.write_line(meta)
@@ -541,7 +541,7 @@ class AsyncTaggingServer:
             await responder.finish_stream()
             return 200
         document = await loop.run_in_executor(
-            None, partial(self.search.search, query, limit=limit)
+            None, partial(self.search.search, query, limit=limit, **options)
         )
         await responder.send(200, document)
         return 200

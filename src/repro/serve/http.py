@@ -117,8 +117,8 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
         return routes.tag_document(self.server.service, results)
 
     def _handle_search(self, body: dict) -> dict:
-        query, limit = routes.search_arguments(body)
-        return self.server.search.search(query, limit=limit)
+        query, limit, options = routes.search_arguments(body)
+        return self.server.search.search(query, limit=limit, **options)
 
     def _handle_reload(self, body: dict) -> dict:
         return routes.reload_document(self.server.service, self.server.search, body)

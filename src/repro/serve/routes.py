@@ -150,9 +150,21 @@ def tag_document(service: TaggingService, results: list[dict]) -> dict:
     }
 
 
-def search_arguments(body: dict) -> tuple[str, int | None]:
-    """Extract ``(query, limit)`` from a ``POST /v1/search`` body."""
-    return body.get("query"), body.get("limit")
+def search_arguments(body: dict) -> tuple[str, int | None, dict]:
+    """Extract ``(query, limit, options)`` from a ``POST /v1/search`` body.
+
+    ``options`` carries the ranked-retrieval extensions — ``"rank": true``
+    for BM25 top-k ordering, ``"facets": ["ingredient", ...]`` for per-field
+    match-count aggregations — exactly as the client sent them; the
+    :class:`~repro.serve.search.SearchService` validates their types so both
+    front ends reject malformed values with the same message.
+    """
+    options = {}
+    if "rank" in body:
+        options["rank"] = body.get("rank")
+    if "facets" in body:
+        options["facets"] = body.get("facets")
+    return body.get("query"), body.get("limit"), options
 
 
 def reload_document(

@@ -63,28 +63,45 @@ class SearchService:
 
     # ---------------------------------------------------------------- public
 
-    def search(self, query: str, *, limit: int | None = None) -> dict:
+    def search(
+        self,
+        query: str,
+        *,
+        limit: int | None = None,
+        rank: bool = False,
+        facets: list[str] | None = None,
+    ) -> dict:
         """Evaluate ``query`` against the live index; returns a JSON-ready doc.
 
         The result carries the total match count, the (possibly truncated)
         matches with their spans, and the provenance of the index generation
         that answered — so a client can tell mid-swap which artifact it hit.
+        ``rank=True`` orders results by BM25 score (each match then carries
+        ``"score"``); ``facets`` adds per-field ``[{"term", "count"}, ...]``
+        aggregations over *all* matches (not just the returned page).
         """
-        meta, matches = self.search_stream(query, limit=limit)
+        meta, matches = self.search_stream(query, limit=limit, rank=rank, facets=facets)
         return {**meta, "results": list(matches)}
 
     def search_stream(
-        self, query: str, *, limit: int | None = None
+        self,
+        query: str,
+        *,
+        limit: int | None = None,
+        rank: bool = False,
+        facets: list[str] | None = None,
     ) -> tuple[dict, Iterator[dict]]:
         """Like :meth:`search`, but split for NDJSON streaming responses.
 
         Returns ``(meta, matches)``: the meta document (query, total,
-        returned count, index provenance — everything :meth:`search` carries
-        except ``results``) plus an iterator yielding one JSON-ready match
-        dict at a time, so the front end can stream a corpus-sized answer
-        without ever rendering it into a single buffer.  The whole result
-        set is resolved against one index generation before the meta is
-        returned; a hot-swap mid-iteration cannot tear the stream.
+        returned count, index provenance, and — when requested — the
+        ``ranked`` flag and the ``facets`` aggregation, everything
+        :meth:`search` carries except ``results``) plus an iterator yielding
+        one JSON-ready match dict at a time, so the front end can stream a
+        corpus-sized answer without ever rendering it into a single buffer.
+        The whole result set is resolved against one index generation before
+        the meta is returned; a hot-swap mid-iteration cannot tear the
+        stream.
         """
         if not isinstance(query, str) or not query.strip():
             raise QueryError("request must carry 'query': a non-empty query string")
@@ -92,9 +109,16 @@ class SearchService:
             limit = self._default_limit
         elif not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
             raise QueryError("'limit' must be a non-negative integer")
+        if not isinstance(rank, bool):
+            raise QueryError("'rank' must be a boolean")
+        if facets is not None and (
+            not isinstance(facets, list)
+            or not all(isinstance(field, str) for field in facets)
+        ):
+            raise QueryError("'facets' must be a list of field names")
         record = self.record()
         engine = QueryEngine(record.bundle)
-        total, matches = engine.search(query, limit=limit)
+        total, matches = engine.search(query, limit=limit, rank=rank)
         meta = {
             "query": query,
             "total": total,
@@ -105,6 +129,13 @@ class SearchService:
                 "sha256": record.sha256,
             },
         }
+        if rank:
+            meta["ranked"] = True
+        if facets:
+            meta["facets"] = {
+                field: [{"term": term, "count": count} for term, count in rows]
+                for field, rows in engine.facets(query, facets).items()
+            }
         return meta, (match.to_dict() for match in matches)
 
     def reload(self, *, force: bool = False) -> ModelRecord:

@@ -39,6 +39,13 @@ NUM_SHARDS = 2
 #: produced stable level-6 output across versions for years).
 INDEX_V2_ARTIFACT = "golden_index_v2.bin"
 
+#: FROZEN — the v2 artifact exactly as the PR-6 writer produced it: no
+#: doc-stats section, 4-element term entries without skip bounds.  It pins
+#: the compatibility path for already-deployed artifacts and is deliberately
+#: **not** regenerated here (today's writer can no longer produce it; the
+#: bytes are the fixture).
+INDEX_V2_PR6_ARTIFACT = "golden_index_v2_pr6.bin"
+
 
 def _recipe(recipe_id, title, names, processes, utensils):
     return StructuredRecipe(

@@ -235,3 +235,111 @@ class TestV2Artifacts:
         loaded = load_index_v2(path)
         assert loaded.doc_count == 0
         assert loaded.to_payload() == empty.to_payload()
+
+
+def _hot_corpus(doc_count=300):
+    """A corpus whose hottest term spans several 128-doc posting chunks."""
+    from repro.core.recipe_model import IngredientRecord, StructuredRecipe
+
+    rng = random.Random(19)
+    recipes = []
+    for index in range(doc_count):
+        names = ["tomato"]  # in every doc: posting crosses chunk boundaries
+        if index % 7 == 0:
+            names.append("garlic")  # mid-sized posting
+        if index in (5, 150, 299):
+            names.append("saffron")  # rare term far apart in doc-id space
+        recipes.append(
+            StructuredRecipe(
+                recipe_id=f"r{index}",
+                title="",
+                ingredients=tuple(
+                    IngredientRecord(phrase=f"1 {name}", name=name) for name in names
+                ),
+                events=(),
+            )
+        )
+    return recipes
+
+
+@pytest.fixture(scope="module")
+def hot_v1():
+    builder = IndexBuilder()
+    builder.add_all(_hot_corpus())
+    return builder.build(source="chunk-test")
+
+
+@pytest.fixture(scope="module")
+def hot_v2(hot_v1, tmp_path_factory):
+    path = tmp_path_factory.mktemp("chunks") / "index.bin"
+    save_index_v2(hot_v1, path)
+    return load_index_v2(path)
+
+
+class TestChunkedPostingsAndDocStats:
+    """Per-chunk skip headers and the doc-stats section of the v2 format."""
+
+    def test_hot_terms_are_chunked_with_exact_bounds(self, hot_v2):
+        from repro.index.codec import CHUNK_DOCS
+
+        blocks = hot_v2.posting_blocks("ingredient", "tomato")
+        assert blocks.count == 300
+        assert len(blocks) == -(-300 // CHUNK_DOCS)  # ceil: 3 chunks
+        decoded_ids: list[int] = []
+        for position, (first, last) in enumerate(blocks.bounds):
+            chunk = blocks.block(position)
+            assert 0 < len(chunk.ids) <= CHUNK_DOCS
+            assert (first, last) == (chunk.ids[0], chunk.ids[-1])
+            decoded_ids.extend(chunk.ids)
+        assert decoded_ids == hot_v2.postings("ingredient", "tomato").ids
+
+    def test_small_terms_stay_single_chunk(self, hot_v2):
+        blocks = hot_v2.posting_blocks("ingredient", "saffron")
+        assert len(blocks) == 1
+        assert blocks.bounds == [(5, 299)]
+
+    def test_chunked_payload_roundtrips_exactly(self, hot_v1, hot_v2):
+        assert hot_v2.to_payload() == hot_v1.to_payload()
+
+    def test_doc_stats_match_a_recount(self, hot_v1, hot_v2):
+        assert hot_v2.has_doc_stats is True
+        assert hot_v2.doc_lengths() == hot_v1.doc_lengths()
+        assert hot_v2.total_occurrences() == hot_v1.total_occurrences()
+
+    def test_doc_stats_answer_without_decoding_postings(self, hot_v1, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index_v2(hot_v1, path)
+        fresh = load_index_v2(path)
+        assert fresh.doc_lengths() == hot_v1.doc_lengths()
+        assert fresh.stats()["lazy"]["decoded_terms"] == 0
+
+    def test_skip_and_intersection_matches_v1(self, hot_v1, hot_v2):
+        v1_engine = QueryEngine(hot_v1)
+        v2_engine = QueryEngine(hot_v2)
+        for query in (
+            "ingredient:tomato AND ingredient:saffron",
+            "ingredient:tomato AND ingredient:garlic",
+            "ingredient:garlic AND ingredient:saffron",
+            "ingredient:tomato AND NOT ingredient:garlic",
+        ):
+            assert v2_engine.execute(query) == v1_engine.execute(query)
+
+    def test_block_lru_is_chunk_granular(self, hot_v1, tmp_path):
+        # Intersecting with a rare term must decode only the chunks whose
+        # bounds bracket a candidate — not the hot term's whole posting.
+        path = tmp_path / "index.bin"
+        save_index_v2(hot_v1, path)
+        fresh = load_index_v2(path)
+        engine = QueryEngine(fresh)
+        engine.execute("ingredient:saffron AND ingredient:garlic")
+        decoded_after_and = fresh.stats()["lazy"]["decoded_terms"]
+        # garlic (43 docs, single chunk) + at most the 3 bracketing tomato...
+        # no tomato at all in this query: saffron 1 chunk + garlic 1 chunk.
+        assert decoded_after_and == 2
+
+    def test_eager_index_exposes_the_same_block_api(self, hot_v1):
+        blocks = hot_v1.posting_blocks("ingredient", "tomato")
+        assert len(blocks) == 1
+        assert blocks.count == 300
+        assert blocks.block(0) is hot_v1.postings("ingredient", "tomato")
+        assert hot_v1.posting_blocks("ingredient", "never-indexed") is None

@@ -38,6 +38,7 @@ from repro.persistence import payload_checksum, write_artifact
 from tests.fixtures.make_golden_artifacts import (
     INDEX_ARTIFACT,
     INDEX_V2_ARTIFACT,
+    INDEX_V2_PR6_ARTIFACT,
     MANIFEST_ARTIFACT,
     NUM_SHARDS,
     STRUCTURED_JSONL,
@@ -218,6 +219,60 @@ class TestGoldenIndexV2Artifact:
             PersistenceError, match=r"not valid UTF-8|not valid JSON"
         ):
             RecipeIndex.load(path)
+
+
+class TestGoldenIndexV2Pr6Compat:
+    """The frozen pre-doc-stats v2 artifact must keep loading unchanged.
+
+    ``golden_index_v2_pr6.bin`` is a byte-copy of the v2 golden artifact as
+    the original codec wrote it — no doc-stats section, no per-chunk skip
+    bounds.  It is deliberately *not* regenerable: it pins the compat path
+    readers must keep for artifacts already on disk.
+    """
+
+    def test_loads_and_reproduces_the_v1_payload(self):
+        index = RecipeIndex.load(FIXTURES / INDEX_V2_PR6_ARTIFACT)
+        assert isinstance(index, RecipeIndexV2)
+        assert index.kind == "v2"
+        v1 = RecipeIndex.load(FIXTURES / INDEX_ARTIFACT)
+        assert index.to_payload() == v1.to_payload()
+
+    def test_doc_stats_section_is_absent_and_flagged(self):
+        index = RecipeIndex.load(FIXTURES / INDEX_V2_PR6_ARTIFACT)
+        assert index.has_doc_stats is False
+        assert index.stats()["doc_stats"] is False
+        current = RecipeIndex.load(FIXTURES / INDEX_V2_ARTIFACT)
+        assert current.has_doc_stats is True
+        assert current.stats()["doc_stats"] is True
+
+    def test_doc_lengths_fall_back_to_decoding(self):
+        pr6 = RecipeIndex.load(FIXTURES / INDEX_V2_PR6_ARTIFACT)
+        v1 = RecipeIndex.load(FIXTURES / INDEX_ARTIFACT)
+        current = RecipeIndex.load(FIXTURES / INDEX_V2_ARTIFACT)
+        assert pr6.doc_lengths() == v1.doc_lengths() == current.doc_lengths()
+        assert (
+            pr6.total_occurrences()
+            == v1.total_occurrences()
+            == current.total_occurrences()
+        )
+
+    def test_answers_like_a_scan(self):
+        engine = QueryEngine(RecipeIndex.load(FIXTURES / INDEX_V2_PR6_ARTIFACT))
+        for query in (
+            "ingredient:tomato AND NOT ingredient:garlic",
+            "process:roast OR utensil:pan",
+            'ingredient:"olive oil"',
+            "NOT process:boil",
+        ):
+            scanned = scan_structured_jsonl(FIXTURES / STRUCTURED_JSONL, query)
+            assert engine.execute(query) == scanned
+
+    def test_ranked_search_matches_the_current_artifact(self):
+        pr6 = QueryEngine(RecipeIndex.load(FIXTURES / INDEX_V2_PR6_ARTIFACT))
+        current = QueryEngine(RecipeIndex.load(FIXTURES / INDEX_V2_ARTIFACT))
+        query = "ingredient:tomato OR process:roast OR utensil:pan"
+        assert pr6.search(query, rank=True) == current.search(query, rank=True)
+        assert pr6.facets(query, "ingredient") == current.facets(query, "ingredient")
 
 
 class TestGoldenManifestArtifact:

@@ -324,3 +324,50 @@ class TestShardedLimitBoundsWork:
         assert total == sharded.doc_count
         assert len(matches) == 3
         assert sum(shard.doc_calls for shard in counting) == 3
+
+
+class TestShardedCountStaysLocal:
+    """`count()` must sum per-shard cardinalities, never merge global ids."""
+
+    def test_count_matches_execute(self, manifest_path, corpus_path):
+        engine = QueryEngine(ShardedRecipeIndex.load(manifest_path))
+        rng = random.Random(99)
+        for _ in range(20):
+            query = _random_query(rng)
+            assert engine.count(query) == len(engine.execute(query))
+
+    def test_compound_count_never_builds_the_global_stream(
+        self, manifest_path, monkeypatch
+    ):
+        from repro.index import parse_query
+
+        engine = QueryEngine(ShardedRecipeIndex.load(manifest_path))
+
+        def boom(self, node):
+            raise AssertionError("count() materialised the merged global stream")
+
+        monkeypatch.setattr(QueryEngine, "_eval_sharded", boom)
+        node = parse_query("ingredient:tomato AND NOT process:boil")
+        expected = sum(
+            len(QueryEngine(shard)._eval(node)) for shard in engine._index.shards
+        )
+        assert engine.count("ingredient:tomato AND NOT process:boil") == expected
+
+    def test_bare_term_count_reads_header_metadata_only(
+        self, manifest_path, monkeypatch
+    ):
+        engine = QueryEngine(ShardedRecipeIndex.load(manifest_path))
+        expected = engine.count("ingredient:tomato")
+
+        def boom(self, node):
+            raise AssertionError("a bare-term count decoded postings")
+
+        # Neither the merged stream nor any per-shard evaluation may run:
+        # the posting counts in the shard headers already hold the answer.
+        monkeypatch.setattr(QueryEngine, "_eval", boom)
+        monkeypatch.setattr(QueryEngine, "_eval_sharded", boom)
+        assert engine.count("ingredient:tomato") == expected
+        assert expected == sum(
+            shard.posting_count("ingredient", "tomato")
+            for shard in engine._index.shards
+        )

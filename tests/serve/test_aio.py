@@ -151,6 +151,30 @@ class TestThreadedParity:
         assert threaded[0] == asynced[0] == 200
         assert threaded[1] == asynced[1]
 
+    def test_ranked_faceted_search_is_byte_identical(
+        self, search_server, aio_search_server
+    ):
+        for body in (
+            {
+                "query": "ingredient:sugar OR process:mix",
+                "limit": 5,
+                "rank": True,
+                "facets": ["ingredient", "process"],
+            },
+            # Malformed extensions must shed with the same 400 body too.
+            {"query": "process:mix", "rank": "yes"},
+            {"query": "process:mix", "facets": "ingredient"},
+            {"query": "process:mix", "facets": ["ingredient", 7]},
+        ):
+            threaded = _raw_request(
+                search_server.server_address[1], "POST", "/v1/search", body=body
+            )
+            asynced = _raw_request(
+                aio_search_server.port, "POST", "/v1/search", body=body
+            )
+            assert threaded[0] == asynced[0]
+            assert threaded[1] == asynced[1]
+
     def test_error_bodies_match_the_threaded_server(self, server, aio_server):
         for method, path, kwargs in (
             ("GET", "/nope", {}),

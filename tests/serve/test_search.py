@@ -196,3 +196,125 @@ class TestSearchEndpoint:
         assert status == 200
         assert document["index_swapped"] is True
         assert document["index"]["generation"] == 2
+
+
+class TestRankedSearchAndFacets:
+    def test_ranked_results_match_the_engine(self, search_service, index_path):
+        query = _a_matching_query(index_path)
+        document = search_service.search(query, rank=True)
+        assert document["ranked"] is True
+        engine = QueryEngine(RecipeIndex.load(index_path))
+        total, matches = engine.search(query, limit=100, rank=True)
+        assert document["total"] == total
+        assert document["results"] == [m.to_dict() for m in matches]
+        scores = [row["score"] for row in document["results"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unranked_responses_carry_no_ranked_key(self, search_service, index_path):
+        document = search_service.search(_a_matching_query(index_path))
+        assert "ranked" not in document
+        assert "facets" not in document
+        assert all("score" not in row for row in document["results"])
+
+    def test_facets_aggregate_over_all_matches(self, search_service, index_path):
+        query = _a_matching_query(index_path)
+        document = search_service.search(query, limit=1, facets=["ingredient"])
+        engine = QueryEngine(RecipeIndex.load(index_path))
+        expected = engine.facets(query, ["ingredient"])
+        assert document["facets"] == {
+            "ingredient": [
+                {"term": term, "count": count}
+                for term, count in expected["ingredient"]
+            ]
+        }
+        # The aggregation covers every match even though only one returned.
+        assert document["returned"] == 1
+
+    @pytest.mark.parametrize("bad_rank", ["yes", 1, None])
+    def test_invalid_rank_raises(self, search_service, bad_rank):
+        with pytest.raises(QueryError, match="'rank' must be a boolean"):
+            search_service.search("process:mix", rank=bad_rank)
+
+    @pytest.mark.parametrize("bad_facets", ["ingredient", [7], ["ingredient", None]])
+    def test_invalid_facets_raise(self, search_service, bad_facets):
+        with pytest.raises(QueryError, match="'facets' must be a list"):
+            search_service.search("process:mix", facets=bad_facets)
+
+    def test_unknown_facet_field_raises(self, search_service):
+        with pytest.raises(QueryError, match="unknown facet field"):
+            search_service.search("process:mix", facets=["cuisine"])
+
+    def test_endpoint_serves_rank_and_facets(self, search_server, index_path):
+        query = _a_matching_query(index_path)
+        status, document = _request(
+            search_server,
+            "/v1/search",
+            body={"query": query, "rank": True, "facets": ["process"]},
+        )
+        assert status == 200
+        assert document["ranked"] is True
+        assert document["facets"]["process"]
+        assert all("score" in row for row in document["results"])
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"query": "process:mix", "rank": "yes"},
+            {"query": "process:mix", "facets": "ingredient"},
+            {"query": "process:mix", "facets": ["cuisine"]},
+        ],
+    )
+    def test_bad_rank_or_facet_requests_are_400(self, search_server, body):
+        status, document = _request(search_server, "/v1/search", body=body)
+        assert status == 400
+        assert "error" in document
+
+
+class TestLazyCountersOverServe:
+    """Satellite: per-shard v2 lazy-decode LRU counters surface on /stats."""
+
+    @pytest.fixture()
+    def v2_manifest_path(self, structured_path, tmp_path):
+        from repro.index import build_sharded_index
+
+        path = tmp_path / "manifest.json"
+        build_sharded_index(structured_path, path, num_shards=3, format="v2")
+        return path
+
+    def test_service_stats_expose_per_shard_lazy_counters(self, v2_manifest_path):
+        service = SearchService.from_artifact(v2_manifest_path)
+        before = service.stats()["index"]["lazy"]
+        assert before["decoded_terms"] == 0
+        assert set(before["shards"]) == {"0", "1", "2"}
+
+        service.search("ingredient:sugar OR process:mix")
+        after = service.stats()["index"]["lazy"]
+        assert after["misses"] > 0
+        assert after["decoded_terms"] > 0
+        assert after["misses"] == sum(
+            shard["misses"] for shard in after["shards"].values()
+        )
+
+        service.search("ingredient:sugar OR process:mix")
+        assert service.stats()["index"]["lazy"]["hits"] > after["hits"]
+
+    def test_stats_endpoint_carries_the_counters(self, service, v2_manifest_path):
+        import threading
+
+        from repro.serve import SearchService as Service
+        from repro.serve import make_server
+
+        search = Service.from_artifact(v2_manifest_path)
+        server = make_server(service, search=search, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            _request(server, "/v1/search", body={"query": "process:mix"})
+            status, document = _request(server, "/stats")
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert status == 200
+        lazy = document["index"]["index"]["lazy"]
+        assert lazy["decoded_terms"] > 0
+        assert set(lazy["shards"]) == {"0", "1", "2"}

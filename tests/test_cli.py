@@ -380,3 +380,120 @@ class TestMain:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "Table III" in captured.out
+
+
+class TestRankedQueryCli:
+    @pytest.fixture(scope="class")
+    def structured_path(self, modeler, corpus, tmp_path_factory):
+        from repro.corpus import write_structured_jsonl
+
+        path = tmp_path_factory.mktemp("cli-rank") / "structured.jsonl"
+        write_structured_jsonl(path, (modeler.model_recipe(recipe) for recipe in corpus))
+        return path
+
+    @pytest.fixture(scope="class")
+    def v2_index_path(self, structured_path, tmp_path_factory):
+        from repro.index import IndexBuilder
+
+        path = tmp_path_factory.mktemp("cli-rank") / "index.bin"
+        IndexBuilder.build_from_jsonl(structured_path).save(path, kind="v2")
+        return path
+
+    @pytest.fixture(scope="class")
+    def query(self, v2_index_path):
+        from repro.index import RecipeIndex
+
+        index = RecipeIndex.load(v2_index_path)
+        term = max(
+            index.terms("process"), key=lambda t: index.posting_count("process", t)
+        )
+        return f'process:"{term}" OR ingredient:sugar'
+
+    def test_ranked_output_carries_descending_scores(
+        self, v2_index_path, query, capsys
+    ):
+        exit_code = main(
+            ["index", "query", "--index", str(v2_index_path), "--rank", query]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        rows = [json.loads(line) for line in captured.out.strip().splitlines()]
+        scores = [row["score"] for row in rows]
+        assert len(scores) > 0
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_implies_rank_and_caps_output(self, v2_index_path, query, capsys):
+        assert main(["index", "query", "--index", str(v2_index_path), "--rank", query]) == 0
+        full = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert main(["index", "query", "--index", str(v2_index_path), "-k", "1", query]) == 0
+        captured = capsys.readouterr()
+        top = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert top == full[:1]
+        # The true total is still reported, not the printed count.
+        assert captured.err.strip().split(" ")[0] == str(len(full))
+
+    def test_ranked_scan_equals_ranked_index(
+        self, v2_index_path, structured_path, query, capsys
+    ):
+        assert main(["index", "query", "--index", str(v2_index_path), "-k", "5", query]) == 0
+        indexed_out = capsys.readouterr().out
+        assert main(["index", "query", "--scan", str(structured_path), "-k", "5", query]) == 0
+        assert capsys.readouterr().out == indexed_out
+
+    def test_facets_print_a_trailing_json_object(
+        self, v2_index_path, structured_path, query, capsys
+    ):
+        argv = ["index", "query", "--index", str(v2_index_path),
+                "--facet", "ingredient", "--facet", "process", query]
+        assert main(argv) == 0
+        last = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert set(last["facets"]) == {"ingredient", "process"}
+        assert all(
+            {"term", "count"} == set(row) for rows in last["facets"].values() for row in rows
+        )
+        # Scan mode aggregates identically.
+        assert main(["index", "query", "--scan", str(structured_path),
+                     "--facet", "ingredient", "--facet", "process", query]) == 0
+        scanned = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert scanned == last
+
+    def test_unknown_facet_field_is_a_usage_error(self, v2_index_path, capsys):
+        argv = ["index", "query", "--index", str(v2_index_path),
+                "--facet", "cuisine", "ingredient:sugar"]
+        assert main(argv) == 2
+        assert "unknown facet field" in capsys.readouterr().err
+
+    def test_inspect_prints_doc_stats(self, v2_index_path, capsys):
+        assert main(["index", "inspect", "--index", str(v2_index_path)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        stats = summary["doc_stats"]
+        assert stats["present"] is True
+        assert stats["documents"] == summary["documents"] > 0
+        assert stats["total_occurrences"] > 0
+        assert stats["mean_doc_length"] == pytest.approx(
+            stats["total_occurrences"] / stats["documents"]
+        )
+        assert stats["term_table_size"] == sum(summary["terms"].values())
+
+    def test_inspect_flags_a_pre_doc_stats_v2_artifact(self, capsys):
+        from pathlib import Path
+
+        fixture = (
+            Path(__file__).parent / "fixtures" / "golden_index_v2_pr6.bin"
+        )
+        assert main(["index", "inspect", "--index", str(fixture)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["doc_stats"] == {"present": False}
+
+    def test_inspect_reports_per_shard_doc_stats(
+        self, structured_path, tmp_path, capsys
+    ):
+        manifest = tmp_path / "manifest.json"
+        assert main(["index", "build", "--input", str(structured_path),
+                     "--output", str(manifest), "--shards", "2",
+                     "--format", "v2"]) == 0
+        capsys.readouterr()
+        assert main(["index", "inspect", "--index", str(manifest)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert [shard["doc_stats"] for shard in summary["shards"]] == [True, True]
+        assert summary["doc_stats_missing"] == []
