@@ -125,6 +125,8 @@ def test_bench_serve(modeler, serving_corpus):
             "mean_flush_size": round(last_stats.get("mean_flush_size", 0.0), 1),
         },
         "speedup": round(speedup, 2),
+        "floor": MIN_SPEEDUP,
+        "floor_asserted": True,
         "byte_identical": True,
     }
     if RESULT_PATH.exists():
