@@ -1,0 +1,188 @@
+"""Continuous-ingestion perf smoke: sustained throughput under live reads.
+
+Seeds a shard manifest, then runs the real :class:`IngestDaemon` (tailer
+thread + compaction thread) while a feed writer streams the rest of the
+corpus in waves and a query thread hammers the search service through its
+auto-reload path — the serving-side configuration of ``serve
+--ingest-watch``.  Measured:
+
+* **sustained ingest throughput** (docs/sec from first append to a fully
+  drained feed), which must clear a floor on capable runners — the
+  daemon's one-commit-per-batch design lives or dies on batching;
+* **query latency during compaction** (p50/p95 across the storm, every
+  search checking the manifest file for republication), where p95 must
+  stay under a ceiling — readers are never blocked by the writer, so
+  latency must not degrade to rebuild-the-index territory.
+
+The run must cross enough generations and at least one compaction to be
+representative.  Results land in ``benchmarks/BENCH_ingest.json``; small
+runners record a guarded skip for the floors instead of failing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import write_structured_jsonl
+from repro.index import ShardManifest, build_sharded_index
+from repro.ingest import IngestDaemon, TieredCompactionPolicy
+from repro.serve import SearchService
+
+from conftest import emit
+
+RESULT_PATH = Path(__file__).parent / "BENCH_ingest.json"
+MIN_CORES = 4
+MIN_DOCS_PER_S = 20.0
+MAX_QUERY_P95_MS = 250.0
+#: Below this much ingest wall time the throughput ratio is noise.
+MIN_MEASURABLE_INGEST_S = 0.5
+STRUCTURE_HEAD = 40
+BASE_COPIES = 5
+WAVES = 12
+WAVE_COPIES = 2  # docs per wave = STRUCTURE_HEAD * WAVE_COPIES
+QUERIES = (
+    "NOT ingredient:unseen",
+    "ingredient:salt AND NOT process:bake",
+)
+
+
+@pytest.fixture(scope="module")
+def structured_recipes(modeler, corpora):
+    return [
+        modeler.model_recipe(recipe)
+        for recipe in corpora.combined.recipes[:STRUCTURE_HEAD]
+    ]
+
+
+def _replicas(recipes, tag, copies):
+    return [
+        dataclasses.replace(recipe, recipe_id=f"{recipe.recipe_id}-{tag}{copy}")
+        for copy in range(copies)
+        for recipe in recipes
+    ]
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def test_bench_ingest(structured_recipes, tmp_path):
+    base_jsonl = tmp_path / "base.jsonl"
+    write_structured_jsonl(base_jsonl, _replicas(structured_recipes, "b", BASE_COPIES))
+    manifest_path = tmp_path / "live.manifest.json"
+    build_sharded_index(base_jsonl, manifest_path, num_shards=4)
+
+    feed = tmp_path / "feed.jsonl"
+    feed.write_text("")
+    generations = []
+    daemon = IngestDaemon(
+        manifest_path,
+        feed,
+        policy=TieredCompactionPolicy(max_deltas=4),
+        batch_limit=1024,
+        poll_interval_s=0.002,
+        compact_interval_s=0.01,
+        on_publish=lambda manifest: generations.append(manifest.generation),
+    )
+    search = SearchService.from_artifact(
+        manifest_path, default_limit=10, auto_reload_interval_s=0.0
+    )
+
+    latencies_ms = []
+    stop = threading.Event()
+
+    def query_storm():
+        while not stop.is_set():
+            for query in QUERIES:
+                started = time.perf_counter()
+                search.search(query, rank=True)
+                latencies_ms.append((time.perf_counter() - started) * 1000.0)
+
+    reader = threading.Thread(target=query_storm, daemon=True)
+    waves = [
+        _replicas(structured_recipes, f"w{wave}", WAVE_COPIES)
+        for wave in range(WAVES)
+    ]
+    ingested_docs = sum(len(wave) for wave in waves)
+
+    reader.start()
+    started = time.perf_counter()
+    with daemon:
+        for wave in waves:
+            with feed.open("a") as handle:
+                for recipe in wave:
+                    handle.write(recipe.to_json() + "\n")
+            # Pace the writer just enough for waves to land as separate
+            # generations (a firehose would coalesce into a few batches).
+            deadline = time.perf_counter() + 2.0
+            while (
+                daemon.stats()["pending_bytes"] > 0
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.001)
+        while daemon.stats()["pending_bytes"] > 0:
+            time.sleep(0.005)
+    ingest_s = time.perf_counter() - started
+    stop.set()
+    reader.join(timeout=30)
+
+    stats = daemon.stats()
+    assert stats["docs_ingested"] == ingested_docs
+    assert stats["feed_errors"] == 0
+    assert len(set(generations)) >= 10, generations
+    assert stats["compactions"] >= 1
+    final = ShardManifest.load(manifest_path)
+    assert final.live_doc_count == ingested_docs + STRUCTURE_HEAD * BASE_COPIES
+
+    docs_per_s = ingested_docs / ingest_s if ingest_s else float("inf")
+    p50 = _percentile(latencies_ms, 0.50)
+    p95 = _percentile(latencies_ms, 0.95)
+    cores = os.cpu_count() or 1
+    floor_asserted = cores >= MIN_CORES and ingest_s >= MIN_MEASURABLE_INGEST_S
+    report = {
+        "base_documents": STRUCTURE_HEAD * BASE_COPIES,
+        "ingested_documents": ingested_docs,
+        "waves": WAVES,
+        "generations": len(set(generations)),
+        "compactions": stats["compactions"],
+        "commit_conflicts": stats["commit_conflicts"],
+        "cores": cores,
+        "ingest_s": round(ingest_s, 3),
+        "docs_per_s": round(docs_per_s, 1),
+        "queries_during_storm": len(latencies_ms),
+        "query_p50_ms": round(p50, 3),
+        "query_p95_ms": round(p95, 3),
+        "auto_reload_swaps": search.stats()["auto_reload"]["swaps"],
+        "floor": {
+            "docs_per_s": MIN_DOCS_PER_S,
+            "query_p95_ms": MAX_QUERY_P95_MS,
+        },
+        "floor_asserted": floor_asserted,
+    }
+    if not floor_asserted:
+        report["skipped"] = (
+            f"runner has {cores} cores and ingest took {ingest_s:.3f}s (need "
+            f">= {MIN_CORES} cores and >= {MIN_MEASURABLE_INGEST_S}s to assert "
+            "the floors); throughput and latency recorded but not asserted"
+        )
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit("INGEST PERF SMOKE (BENCH_ingest.json)", json.dumps(report, indent=2))
+
+    if floor_asserted:
+        assert docs_per_s >= MIN_DOCS_PER_S, (
+            f"sustained ingest throughput {docs_per_s:.1f} docs/s is below the "
+            f"{MIN_DOCS_PER_S} docs/s floor ({len(set(generations))} "
+            "generations)"
+        )
+        assert p95 <= MAX_QUERY_P95_MS, (
+            f"query p95 {p95:.1f}ms during live ingest/compaction exceeds the "
+            f"{MAX_QUERY_P95_MS}ms ceiling ({len(latencies_ms)} queries)"
+        )

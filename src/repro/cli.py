@@ -335,6 +335,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_migrate.set_defaults(handler=_cmd_index_migrate)
 
+    index_delete = index_commands.add_parser(
+        "delete",
+        help=(
+            "tombstone documents in a shard manifest (masked from queries "
+            "immediately, dropped for good at the next merge)"
+        ),
+    )
+    index_delete.add_argument(
+        "--manifest", required=True, help="shard manifest to delete from"
+    )
+    index_delete.add_argument(
+        "--recipe-id",
+        dest="recipe_ids",
+        action="append",
+        metavar="ID",
+        help="tombstone every live document with this recipe id (repeatable)",
+    )
+    index_delete.add_argument(
+        "--doc-id",
+        dest="doc_ids",
+        action="append",
+        type=int,
+        metavar="N",
+        help="tombstone this global doc id (repeatable)",
+    )
+    index_delete.set_defaults(handler=_cmd_index_delete)
+
     index_inspect = index_commands.add_parser(
         "inspect",
         help=(
@@ -410,6 +437,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_query.set_defaults(handler=_cmd_index_query)
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="continuously ingest a growing JSONL feed into a shard manifest",
+    )
+    ingest_commands = ingest.add_subparsers(
+        dest="ingest_command", required=True, metavar="subcommand"
+    )
+    ingest_run = ingest_commands.add_parser(
+        "run",
+        help=(
+            "tail a feed file or *.jsonl drop directory into delta shards "
+            "with background tiered compaction (Ctrl-C to stop)"
+        ),
+    )
+    ingest_run.add_argument(
+        "--manifest", required=True, help="shard manifest to append to (must exist)"
+    )
+    ingest_run.add_argument(
+        "--watch",
+        required=True,
+        help=(
+            "JSONL feed to tail: recipe documents or {\"_delete\": id} "
+            "directives, one JSON object per line; a directory tails every "
+            "*.jsonl inside it"
+        ),
+    )
+    ingest_run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="base shard count compaction rewrites to (default: keep current)",
+    )
+    ingest_run.add_argument(
+        "--format",
+        choices=("v1", "v2"),
+        default="v1",
+        help="representation for delta and compacted shards (default: v1)",
+    )
+    ingest_run.add_argument(
+        "--max-deltas",
+        type=int,
+        default=4,
+        help="compact once this many delta shards accumulated (default: 4)",
+    )
+    ingest_run.add_argument(
+        "--max-tombstone-fraction",
+        type=float,
+        default=0.25,
+        help=(
+            "compact once tombstoned docs exceed this corpus fraction "
+            "(default: 0.25; negative disables)"
+        ),
+    )
+    ingest_run.add_argument(
+        "--poll-interval-ms",
+        type=float,
+        default=200.0,
+        help="sleep between feed polls in milliseconds (default: 200)",
+    )
+    ingest_run.add_argument(
+        "--once",
+        action="store_true",
+        help=(
+            "drain what is pending now (poll + compact until quiescent), "
+            "print stats, and exit instead of running forever"
+        ),
+    )
+    ingest_run.set_defaults(handler=_cmd_ingest_run)
+
     serve = subparsers.add_parser(
         "serve", help="serve a saved bundle over HTTP with microbatched decoding"
     )
@@ -464,6 +560,27 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "async only: total per-request budget in milliseconds, queue wait "
             "included; expired requests are abandoned (default: 30000, 0 disables)"
+        ),
+    )
+    serve.add_argument(
+        "--index-auto-reload",
+        dest="index_auto_reload_s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "hot-swap the index when its artifact changes on disk, checking "
+            "at most every SECONDS per search (how the server follows an "
+            "ingest daemon republishing the manifest; default: off)"
+        ),
+    )
+    serve.add_argument(
+        "--ingest-watch",
+        metavar="PATH",
+        help=(
+            "also run an in-process ingest daemon tailing PATH (feed file or "
+            "*.jsonl drop directory) into the --index shard manifest; "
+            "implies --index-auto-reload 1.0 unless set explicitly"
         ),
     )
     serve.add_argument(
@@ -613,6 +730,61 @@ def _cmd_index_update(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_delete(arguments: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.index import delete_docs
+
+    if not arguments.recipe_ids and not arguments.doc_ids:
+        raise ConfigurationError(
+            "index delete needs at least one --recipe-id or --doc-id"
+        )
+    manifest = delete_docs(
+        arguments.manifest,
+        doc_ids=arguments.doc_ids,
+        recipe_ids=arguments.recipe_ids,
+    )
+    print(json.dumps({"deleted": manifest.describe(), "manifest": arguments.manifest}))
+    return 0
+
+
+def _cmd_ingest_run(arguments: argparse.Namespace) -> int:
+    import time
+
+    from repro.ingest import IngestDaemon, TieredCompactionPolicy
+
+    policy = TieredCompactionPolicy(
+        max_deltas=arguments.max_deltas,
+        max_tombstone_fraction=(
+            arguments.max_tombstone_fraction
+            if arguments.max_tombstone_fraction >= 0
+            else None
+        ),
+    )
+    daemon = IngestDaemon(
+        arguments.manifest,
+        arguments.watch,
+        policy=policy,
+        num_shards=arguments.shards,
+        format=arguments.format,
+        poll_interval_s=arguments.poll_interval_ms / 1000.0,
+    )
+    if arguments.once:
+        while daemon.run_once() is not None:
+            pass
+        print(json.dumps({"ingest": daemon.stats(), "manifest": arguments.manifest}))
+        return 0
+    daemon.start()
+    try:
+        while True:
+            time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+    print(json.dumps({"ingest": daemon.stats(), "manifest": arguments.manifest}))
+    return 0
+
+
 def _cmd_index_migrate(arguments: argparse.Namespace) -> int:
     from repro.index import RecipeIndex, migrate_manifest
 
@@ -656,7 +828,9 @@ def _cmd_index_inspect(arguments: argparse.Namespace) -> int:
         shards = []
         for entry in manifest.entries:
             shard_path = path.parent / entry.path
-            if not shard_path.exists():
+            if not shard_path.exists() or entry.kind == "tombstone":
+                # Tombstone shards carry doc ids, not postings — doc stats
+                # do not apply.
                 has_stats = None
             elif entry.format == "v1":
                 # v1 carries full postings, so doc stats are always
@@ -836,6 +1010,7 @@ def _print_serving_banner(arguments, service, search, port: int, front_end: str)
 
 
 def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
     from repro.serve import SearchService, make_server
 
     service = _make_service(
@@ -843,31 +1018,56 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         max_batch=arguments.max_batch,
         max_delay_s=arguments.max_delay_ms / 1000.0,
     )
-    search = SearchService.from_artifact(arguments.index) if arguments.index else None
-    if arguments.use_async:
-        return _serve_async(arguments, service, search)
-    server = make_server(
-        service,
-        search=search,
-        host=arguments.host,
-        port=arguments.port,
-        verbose=arguments.verbose,
+    auto_reload_s = arguments.index_auto_reload_s
+    if arguments.ingest_watch and auto_reload_s is None:
+        auto_reload_s = 1.0  # an ingesting server must follow its own writes
+    search = (
+        SearchService.from_artifact(
+            arguments.index, auto_reload_interval_s=auto_reload_s
+        )
+        if arguments.index
+        else None
     )
-    _print_serving_banner(
-        arguments, service, search, server.server_address[1], "threaded"
-    )
+    ingest = None
+    if arguments.ingest_watch:
+        if not arguments.index:
+            raise ConfigurationError(
+                "--ingest-watch needs --index pointing at the shard manifest "
+                "to ingest into"
+            )
+        from repro.ingest import IngestDaemon
+
+        ingest = IngestDaemon(arguments.index, arguments.ingest_watch)
+        ingest.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        if arguments.use_async:
+            return _serve_async(arguments, service, search, ingest)
+        server = make_server(
+            service,
+            search=search,
+            host=arguments.host,
+            port=arguments.port,
+            ingest=ingest,
+            verbose=arguments.verbose,
+        )
+        _print_serving_banner(
+            arguments, service, search, server.server_address[1], "threaded"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+        return 0
     finally:
-        server.shutdown()
-        server.server_close()
-        service.close()
-    return 0
+        if ingest is not None:
+            ingest.stop()
 
 
-def _serve_async(arguments: argparse.Namespace, service, search) -> int:
+def _serve_async(arguments: argparse.Namespace, service, search, ingest=None) -> int:
     import asyncio
 
     from repro.serve import AdmissionController, AdmissionPolicy, AsyncTaggingServer
@@ -885,6 +1085,7 @@ def _serve_async(arguments: argparse.Namespace, service, search) -> int:
         host=arguments.host,
         port=arguments.port,
         admission=AdmissionController(policy),
+        ingest=ingest,
         verbose=arguments.verbose,
     )
 

@@ -29,14 +29,19 @@ JSONL; this package makes that output queryable:
 * :mod:`repro.index.sharding` — the sharded substrate:
   :func:`build_sharded_index` hash-partitions a corpus into N shards built
   in parallel, a checksummed :class:`ShardManifest` artifact is the atomic
-  commit point, :func:`add_jsonl` appends incremental delta shards, and
-  :func:`merge_shards` compacts everything into fewer shards or one
-  monolithic index — all element-wise identical to the monolithic engine.
+  commit point, :func:`add_jsonl` appends incremental delta shards,
+  :func:`delete_docs` tombstones documents (masked at query time, resolved
+  at the next merge), and :func:`merge_shards` compacts everything into
+  fewer shards or one monolithic index — all element-wise identical to the
+  monolithic engine.  Publication is guarded by a manifest write lock with
+  a generation compare-and-swap, so concurrent writers (appender,
+  compactor, the :mod:`repro.ingest` daemon) cannot clobber each other.
 
 Surfaced as ``repro index build [--shards N] [--workers W]`` /
-``repro index query`` / ``repro index merge`` / ``repro index update`` on
-the CLI and ``POST /v1/search`` on the serving layer (which hot-swaps whole
-manifests atomically).
+``repro index query`` / ``repro index merge`` / ``repro index update`` /
+``repro index delete`` / ``repro ingest run`` on the CLI and
+``POST /v1/search`` on the serving layer (which hot-swaps whole manifests
+atomically).
 """
 
 from repro.index.builder import (
@@ -66,11 +71,14 @@ from repro.index.codec import (
 )
 from repro.index.sharding import (
     MANIFEST_ARTIFACT_FORMAT,
+    TOMBSTONE_ARTIFACT_FORMAT,
     ShardEntry,
     ShardManifest,
     ShardedRecipeIndex,
     add_jsonl,
     build_sharded_index,
+    commit_update,
+    delete_docs,
     load_index_artifact,
     load_index_path,
     merge_shards,
@@ -113,9 +121,12 @@ __all__ = [
     "ShardEntry",
     "ShardManifest",
     "ShardedRecipeIndex",
+    "TOMBSTONE_ARTIFACT_FORMAT",
     "Term",
     "add_jsonl",
     "build_sharded_index",
+    "commit_update",
+    "delete_docs",
     "extract_entities",
     "facet_counts",
     "load_index_artifact",

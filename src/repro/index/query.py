@@ -552,11 +552,13 @@ class QueryEngine:
         """
         node = _as_node(query)
         if isinstance(node, Term):
+            if self._shard_engines is not None:
+                # Tombstone-aware df: identical to posting_count (and as
+                # metadata-cheap) when no deletes are pending compaction.
+                return self._index.live_posting_count(node.field, node.value)
             return self._index.posting_count(node.field, node.value)
         if self._shard_engines is not None:
-            return sum(
-                self._map_shards(lambda i: len(self._shard_engines[i]._eval(node)))
-            )
+            return sum(self._map_shards(lambda i: len(self._live_eval(i, node))))
         return len(self._eval(node))
 
     def search(
@@ -631,7 +633,7 @@ class QueryEngine:
 
             def shard_counts(shard_index: int) -> dict[str, list[tuple[str, int]]]:
                 engine = self._shard_engines[shard_index]
-                ids = engine._eval(node)
+                ids = self._live_eval(shard_index, node)
                 return {
                     field: ranking.facet_counts(engine._index, ids, field, top=None)
                     for field in fields
@@ -679,6 +681,21 @@ class QueryEngine:
             )
         )
 
+    def _live_eval(self, shard_index: int, node) -> list[int]:
+        """One shard's matching local ids, tombstoned docs masked out.
+
+        Boolean queries are per-document predicates, so subtracting the
+        shard's (sorted) dead locals *after* evaluation is exact — a bare
+        ``NOT`` complements against the shard universe first and the dead
+        docs are removed from that complement here.  With no tombstones
+        the mask is a no-op and the underlying answer returns untouched.
+        """
+        ids = self._shard_engines[shard_index]._eval(node)
+        dead = self._index.tombstoned_locals(shard_index)
+        if dead and ids:
+            ids = difference_adaptive(ids, dead)
+        return ids
+
     def _eval_sharded(self, node) -> list[tuple[int, int, int]]:
         """Merged ``(global_id, shard, local_id)`` triples in corpus order."""
 
@@ -686,7 +703,7 @@ class QueryEngine:
             global_ids = self._index.global_ids(shard_index)
             return [
                 (global_ids[local], shard_index, local)
-                for local in self._shard_engines[shard_index]._eval(node)
+                for local in self._live_eval(shard_index, node)
             ]
 
         streams = self._map_shards(shard_stream)
@@ -702,10 +719,16 @@ class QueryEngine:
 
         if self._shard_engines is not None:
             # Global statistics, so each shard scores its local docs to the
-            # exact floats the monolithic engine would produce.
-            stats = ranking.CorpusStats.of(self._index)
+            # exact floats the monolithic engine would produce.  Live (not
+            # raw) N / avgdl / df: tombstoned docs are out of the corpus as
+            # far as BM25 is concerned, which makes every score bitwise
+            # what a from-scratch build over the survivors computes.
+            stats = ranking.CorpusStats(
+                doc_count=self._index.live_doc_count,
+                total_occurrences=self._index.live_total_occurrences(),
+            )
             df = {
-                (term.field, term.normalized): self._index.posting_count(
+                (term.field, term.normalized): self._index.live_posting_count(
                     term.field, term.normalized
                 )
                 for term in ranking.positive_terms(node)
@@ -713,7 +736,7 @@ class QueryEngine:
 
             def shard_top(shard_index: int):
                 engine = self._shard_engines[shard_index]
-                ids = engine._eval(node)
+                ids = self._live_eval(shard_index, node)
                 scores = ranking.Bm25Scorer(
                     engine._index, node, stats=stats, df=df, params=params
                 ).scores(ids)

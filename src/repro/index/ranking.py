@@ -389,7 +389,13 @@ def _initialize_rank_worker(manifest_path: str, params: tuple) -> None:
         index = ShardedRecipeIndex.load(manifest_path)
         _worker_state["index"] = index
         _worker_state["engines"] = [QueryEngine(shard) for shard in index.shards]
-        _worker_state["stats"] = CorpusStats.of(index)
+        # Live statistics: tombstoned docs are out of N / avgdl, exactly as
+        # the in-process sharded engine scores them (identical to raw stats
+        # when no deletes are pending compaction).
+        _worker_state["stats"] = CorpusStats(
+            doc_count=index.live_doc_count,
+            total_occurrences=index.live_total_occurrences(),
+        )
         _worker_state["params"] = Bm25Parameters(*params)
         _worker_state.pop("error", None)
     except BaseException as error:  # noqa: BLE001 - must reach the parent
@@ -411,10 +417,17 @@ def _rank_shard_task(task: tuple) -> tuple:
     params = _worker_state["params"]
     node = parse_query(query_text)
     df = {
-        (term.field, term.normalized): index.posting_count(term.field, term.normalized)
+        (term.field, term.normalized): index.live_posting_count(
+            term.field, term.normalized
+        )
         for term in positive_terms(node)
     }
     ids = engine._eval(node)
+    dead = index.tombstoned_locals(shard_index)
+    if dead and ids:
+        from repro.index.query import difference_adaptive
+
+        ids = difference_adaptive(ids, dead)
     scores = Bm25Scorer(
         engine.index, node, stats=_worker_state["stats"], df=df, params=params
     ).scores(ids)

@@ -26,7 +26,20 @@ module partitions the index instead:
 * :func:`merge_shards` is the k-way merge/compaction path: fold every base
   and delta shard into ``K`` fresh base shards, or into one monolithic
   :class:`RecipeIndex` whose payload is identical to what a from-scratch
-  :class:`~repro.index.builder.IndexBuilder` build would have produced.
+  :class:`~repro.index.builder.IndexBuilder` build would have produced;
+* :func:`delete_docs` records deletions as a **tombstone shard** (a small
+  artifact listing dead global doc ids) — readers mask tombstoned documents
+  out of every query path, and the next :func:`merge_shards` drops them for
+  good, renumbering the survivors so the compacted output is byte-identical
+  to a from-scratch build over the surviving documents;
+* every manifest rewrite goes through an exclusive lock file plus a
+  load-generation compare-and-swap, so two racing writers cannot both
+  publish the same generation (the loser gets a
+  :class:`~repro.errors.PersistenceError` and must reload);
+* the manifest optionally carries an **ingest offset journal**
+  (``ingest``: source path -> committed byte offset) so the continuous
+  ingestion daemon in :mod:`repro.ingest` resumes exactly once after a
+  crash — the atomic manifest commit is also the offset commit.
 
 Query evaluation over a :class:`ShardedRecipeIndex` lives in
 :class:`repro.index.query.QueryEngine`, which evaluates per shard and merges
@@ -36,9 +49,12 @@ engine and to the brute-force scan, which the property suite enforces.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import heapq
 import json
+import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -64,11 +80,14 @@ from repro.persistence import (
 
 __all__ = [
     "MANIFEST_ARTIFACT_FORMAT",
+    "TOMBSTONE_ARTIFACT_FORMAT",
     "ShardEntry",
     "ShardManifest",
     "ShardedRecipeIndex",
     "add_jsonl",
     "build_sharded_index",
+    "commit_update",
+    "delete_docs",
     "load_index_artifact",
     "load_index_path",
     "merge_shards",
@@ -79,7 +98,15 @@ __all__ = [
 #: ``format`` marker of the shard-manifest artifact envelope.
 MANIFEST_ARTIFACT_FORMAT = "repro-shard-manifest"
 
-_SHARD_KINDS = ("base", "delta")
+#: ``format`` marker of a tombstone shard artifact (dead global doc ids).
+TOMBSTONE_ARTIFACT_FORMAT = "repro-tombstone-shard"
+
+_SHARD_KINDS = ("base", "delta", "tombstone")
+
+#: How long a writer waits for the manifest's exclusive lock file before
+#: giving up (a crashed writer leaves a stale lock; the error says so).
+_LOCK_TIMEOUT_S = 10.0
+_LOCK_POLL_S = 0.01
 
 #: On-disk representations a shard artifact can use (see
 #: :meth:`repro.index.builder.RecipeIndex.save`).
@@ -115,8 +142,12 @@ class ShardEntry:
         docs: Documents in the shard.
         doc_ids: ``(lowest, highest)`` global doc id in the shard, or
             ``None`` when the shard is empty.
-        kind: ``"base"`` (hash-partitioned) or ``"delta"`` (incremental
-            append, folded into base shards by compaction).
+        kind: ``"base"`` (hash-partitioned), ``"delta"`` (incremental
+            append, folded into base shards by compaction) or
+            ``"tombstone"`` (deleted global doc ids, masked at query time
+            and dropped for good at the next compaction).  A tombstone
+            entry's ``docs`` counts tombstoned ids, which do **not**
+            contribute to the manifest's ``doc_count``.
         format: On-disk representation of the shard artifact — ``"v1"``
             (eager JSON postings) or ``"v2"`` (compact binary posting format,
             mmap'd and decoded lazily).  Per-entry so a rolling migration can
@@ -191,8 +222,12 @@ class ShardManifest:
         doc_count: Total documents across every shard (global doc ids are
             ``0 .. doc_count - 1``).
         source: Provenance label (the JSONL the base build consumed).
-        entries: Base shards in shard order, then delta shards in append
-            order.
+        entries: Base shards in shard order, then delta and tombstone
+            shards in append order.
+        ingest: Optional offset journal of the continuous ingestion daemon
+            (absolute source path -> committed byte offset).  Committed in
+            the same atomic manifest write as the delta shard built from
+            those bytes, so a restarted tailer resumes exactly once.
     """
 
     num_shards: int
@@ -200,6 +235,7 @@ class ShardManifest:
     doc_count: int
     source: str
     entries: tuple[ShardEntry, ...]
+    ingest: dict[str, int] | None = None
 
     # ----------------------------------------------------------------- shape
 
@@ -211,21 +247,37 @@ class ShardManifest:
     def delta_count(self) -> int:
         return sum(1 for entry in self.entries if entry.kind == "delta")
 
+    @property
+    def tombstone_shard_count(self) -> int:
+        return sum(1 for entry in self.entries if entry.kind == "tombstone")
+
+    @property
+    def tombstone_count(self) -> int:
+        """Tombstoned (deleted) documents still awaiting compaction."""
+        return sum(entry.docs for entry in self.entries if entry.kind == "tombstone")
+
+    @property
+    def live_doc_count(self) -> int:
+        """Documents that survive tombstone masking (what queries can see)."""
+        return self.doc_count - self.tombstone_count
+
     def describe(self) -> dict:
         """JSON-ready summary (CLI output and the stats endpoints)."""
         return {
             "num_shards": self.num_shards,
             "shards": self.shard_count,
             "deltas": self.delta_count,
+            "tombstones": self.tombstone_count,
             "generation": self.generation,
             "documents": self.doc_count,
+            "live_documents": self.live_doc_count,
             "source": self.source,
         }
 
     # ------------------------------------------------------------ persistence
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "version": FORMAT_VERSION,
             "num_shards": self.num_shards,
             "generation": self.generation,
@@ -233,6 +285,11 @@ class ShardManifest:
             "source": self.source,
             "shards": [entry.to_payload() for entry in self.entries],
         }
+        if self.ingest:
+            # Omitted when empty so manifests written before continuous
+            # ingestion existed stay byte-identical (golden fixtures).
+            payload["ingest"] = dict(self.ingest)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ShardManifest":
@@ -247,18 +304,31 @@ class ShardManifest:
                     f"shard-manifest payload is missing its {field!r} field"
                 )
         entries = tuple(ShardEntry.from_payload(entry) for entry in payload["shards"])
-        listed = sum(entry.docs for entry in entries)
+        # Tombstone entries count *deleted* ids, not stored documents, so
+        # they stay out of the doc_count consistency check.
+        listed = sum(entry.docs for entry in entries if entry.kind != "tombstone")
         if listed != int(payload["doc_count"]):
             raise PersistenceError(
                 f"shard manifest records doc_count {payload['doc_count']} but its "
                 f"shards list {listed} documents; the manifest is inconsistent"
             )
+        ingest = payload.get("ingest")
+        if ingest is not None:
+            if not isinstance(ingest, dict) or not all(
+                isinstance(source, str) and isinstance(offset, int) and offset >= 0
+                for source, offset in ingest.items()
+            ):
+                raise PersistenceError(
+                    "shard-manifest 'ingest' field must map source paths to "
+                    "non-negative byte offsets"
+                )
         return cls(
             num_shards=int(payload["num_shards"]),
             generation=int(payload["generation"]),
             doc_count=int(payload["doc_count"]),
             source=payload.get("source", ""),
             entries=entries,
+            ingest=dict(ingest) if ingest else None,
         )
 
     def save(self, path: str | Path) -> None:
@@ -284,6 +354,117 @@ class ShardManifest:
         return cls.from_payload(payload)
 
 
+# ---------------------------------------------------------- tombstone shards
+
+
+def _save_tombstone_shard(path: str | Path, doc_ids: list[int]) -> None:
+    """Write a tombstone shard artifact (sorted dead global doc ids)."""
+    write_artifact(
+        path,
+        {"version": FORMAT_VERSION, "doc_ids": list(doc_ids)},
+        format=TOMBSTONE_ARTIFACT_FORMAT,
+    )
+
+
+def _parse_tombstone_shard(text: str, source: str) -> list[int]:
+    """Checksum-verify and decode a tombstone shard to its doc-id list."""
+    payload = parse_artifact(
+        text,
+        format=TOMBSTONE_ARTIFACT_FORMAT,
+        source=source,
+        what="tombstone shard",
+    )
+    check_payload_version(payload, "tombstone shard")
+    doc_ids = payload.get("doc_ids")
+    if not isinstance(doc_ids, list) or not all(
+        isinstance(doc_id, int) for doc_id in doc_ids
+    ):
+        raise PersistenceError(
+            f"tombstone shard {source} must carry 'doc_ids': a list of integers"
+        )
+    return doc_ids
+
+
+def _count_common(sorted_a: list[int], sorted_b: list[int]) -> int:
+    """How many values two ascending integer lists share (linear merge)."""
+    count = i = j = 0
+    len_a, len_b = len(sorted_a), len(sorted_b)
+    while i < len_a and j < len_b:
+        a, b = sorted_a[i], sorted_b[j]
+        if a == b:
+            count += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+# ------------------------------------------------------- exclusive publishing
+
+
+def _manifest_lock_path(manifest_path: Path) -> Path:
+    return manifest_path.with_name(manifest_path.name + ".lock")
+
+
+def _current_generation(manifest_path: Path) -> int:
+    """The committed generation at ``manifest_path`` (0 when absent/unreadable)."""
+    if not manifest_path.exists():
+        return 0
+    try:
+        return ShardManifest.load(manifest_path).generation
+    except (PersistenceError, OSError):
+        return 0
+
+
+@contextlib.contextmanager
+def _publish_guard(manifest_path: Path, *, expected_generation: int | None):
+    """Exclusive critical section around writing one manifest generation.
+
+    Acquires an ``O_CREAT | O_EXCL`` lock file next to the manifest (the
+    portable stdlib-only mutual exclusion between processes), then — with
+    the lock held — re-reads the committed generation and refuses to
+    proceed unless it still equals ``expected_generation`` (the
+    compare-and-swap that makes two racing writers unable to both publish
+    the same generation).  Shard files for the new generation are written
+    *inside* the guard, so a CAS loser never clobbers the winner's
+    same-named files.  ``expected_generation=None`` skips the CAS (lock
+    only) for writers targeting a fresh or unreadable path.
+    """
+    lock_path = _manifest_lock_path(manifest_path)
+    deadline = time.monotonic() + _LOCK_TIMEOUT_S
+    while True:
+        try:
+            descriptor = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            if time.monotonic() >= deadline:
+                raise PersistenceError(
+                    f"timed out waiting for manifest write lock {lock_path}; "
+                    "another writer holds it (or crashed and left it stale — "
+                    "remove the lock file to recover)"
+                ) from None
+            time.sleep(_LOCK_POLL_S)
+    try:
+        with contextlib.suppress(OSError):
+            os.write(descriptor, f"{os.getpid()}\n".encode("ascii"))
+        os.close(descriptor)
+        if expected_generation is not None:
+            current = _current_generation(manifest_path)
+            if current != expected_generation:
+                raise PersistenceError(
+                    f"shard manifest {manifest_path} was modified concurrently: "
+                    f"expected generation {expected_generation}, found "
+                    f"{current}; reload the manifest and retry"
+                )
+        yield
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(lock_path)
+
+
 # -------------------------------------------------------------- sharded index
 
 
@@ -294,16 +475,30 @@ class ShardedRecipeIndex:
     position in the shard's doc metadata, so boolean queries (which are
     per-document predicates) can be evaluated per shard and merged back into
     corpus order — see :class:`repro.index.query.QueryEngine`.
+
+    ``tombstones`` are the global doc ids the manifest's tombstone shards
+    declare dead: still physically present in their shards, but masked out
+    of every query path (and excluded from the live doc/occurrence counts
+    that feed BM25) until the next compaction drops them for good.
     """
 
-    def __init__(self, shards: list[RecipeIndex], manifest: ShardManifest) -> None:
+    def __init__(
+        self,
+        shards: list[RecipeIndex],
+        manifest: ShardManifest,
+        tombstones: "list[int] | tuple[int, ...] | set[int] | frozenset[int]" = (),
+    ) -> None:
         self._shards = list(shards)
         self.manifest = manifest
+        self._tombstones = sorted(set(tombstones))
+        self._tombstone_set = frozenset(self._tombstones)
         # Per-shard global doc ids, aligned with the shard's local positions
         # (ascending by construction: builders add in global order).  Built
         # lazily per shard: a v2 shard's doc table only inflates when a query
         # actually touches that shard, keeping manifest opens O(header).
         self._global_ids: list[list[int] | None] = [None] * len(self._shards)
+        # Per-shard sorted *local* ids of tombstoned docs, same laziness.
+        self._dead_locals: list[list[int] | None] = [None] * len(self._shards)
 
     # ----------------------------------------------------------------- access
 
@@ -327,6 +522,39 @@ class ShardedRecipeIndex:
     @property
     def source(self) -> str:
         return self.manifest.source
+
+    # ------------------------------------------------------------- tombstones
+
+    @property
+    def tombstones(self) -> tuple[int, ...]:
+        """Sorted global doc ids declared dead by the manifest's tombstones."""
+        return tuple(self._tombstones)
+
+    @property
+    def tombstone_count(self) -> int:
+        return len(self._tombstones)
+
+    @property
+    def live_doc_count(self) -> int:
+        """Documents queries can see (``doc_count`` minus tombstoned)."""
+        return self.manifest.doc_count - len(self._tombstones)
+
+    def is_tombstoned(self, global_id: int) -> bool:
+        return global_id in self._tombstone_set
+
+    def tombstoned_locals(self, shard_index: int) -> list[int]:
+        """Sorted local ids of one shard's tombstoned docs (lazy, cached)."""
+        dead = self._dead_locals[shard_index]
+        if dead is None:
+            if not self._tombstones:
+                dead = self._dead_locals[shard_index] = []
+            else:
+                dead = self._dead_locals[shard_index] = [
+                    local
+                    for local, global_id in enumerate(self.global_ids(shard_index))
+                    if global_id in self._tombstone_set
+                ]
+        return dead
 
     def global_ids(self, shard_index: int) -> list[int]:
         """Ascending global doc ids of one shard, aligned with local ids."""
@@ -362,6 +590,46 @@ class ShardedRecipeIndex:
         """
         return sum(shard.total_occurrences() for shard in self._shards)
 
+    def live_posting_count(self, field: str, term: str) -> int:
+        """Document frequency among **live** docs (tombstones excluded).
+
+        With no tombstones this is exactly :meth:`posting_count` (and as
+        cheap).  With tombstones pending compaction, each shard subtracts
+        how many of the term's postings fall on its dead locals — both
+        lists are sorted, so one linear merge per shard.
+        """
+        if not self._tombstones:
+            return self.posting_count(field, term)
+        total = 0
+        for shard_index, shard in enumerate(self._shards):
+            count = shard.posting_count(field, term)
+            if not count:
+                continue
+            dead = self.tombstoned_locals(shard_index)
+            if dead:
+                posting = shard.postings(field, term)
+                if posting is not None:
+                    count -= _count_common(posting.ids, dead)
+            total += count
+        return total
+
+    def live_total_occurrences(self) -> int:
+        """Corpus token count over live docs only (BM25's ``N * avgdl``).
+
+        Matches what :meth:`total_occurrences` reports on a from-scratch
+        build over the surviving documents, so ranked scores under
+        tombstone masking are bitwise-identical to post-compaction scores.
+        """
+        total = self.total_occurrences()
+        if not self._tombstones:
+            return total
+        for shard_index, shard in enumerate(self._shards):
+            dead = self.tombstoned_locals(shard_index)
+            if dead:
+                lengths = shard.doc_lengths()
+                total -= sum(lengths[local] for local in dead)
+        return total
+
     def stats(self) -> dict:
         """Shape + provenance for the stats endpoints and CLI summaries."""
         lazy_shards = {
@@ -379,6 +647,9 @@ class ShardedRecipeIndex:
         }
         return {
             "documents": self.doc_count,
+            "live_documents": self.live_doc_count,
+            "tombstones": self.tombstone_count,
+            "tombstone_shards": self.manifest.tombstone_shard_count,
             "shards": self.shard_count,
             "base_shards": self.shard_count - self.manifest.delta_count,
             "delta_shards": self.manifest.delta_count,
@@ -431,6 +702,7 @@ class ShardedRecipeIndex:
         manifest = ShardManifest.loads(text, source=source, document=document)
         base = Path(source).parent if source != "<manifest>" else Path(".")
         shards: list[RecipeIndex] = []
+        tombstones: set[int] = set()
         for entry in manifest.entries:
             entry_path = Path(entry.path)
             shard_path = entry_path if entry_path.is_absolute() else base / entry_path
@@ -450,6 +722,17 @@ class ShardedRecipeIndex:
                     f"checksum (recorded {entry.sha256!r}, recomputed {actual!r}); "
                     "the manifest and shard are out of sync"
                 )
+            if entry.kind == "tombstone":
+                doc_ids = _parse_tombstone_shard(
+                    bytes(buffer).decode("utf-8"), str(shard_path)
+                )
+                if len(doc_ids) != entry.docs:
+                    raise PersistenceError(
+                        f"tombstone shard {shard_path} lists {len(doc_ids)} doc "
+                        f"ids but the manifest records {entry.docs}"
+                    )
+                tombstones.update(doc_ids)
+                continue
             shard = load_index_bytes(buffer, source=str(shard_path))
             if shard.kind != entry.format:
                 raise PersistenceError(
@@ -463,7 +746,7 @@ class ShardedRecipeIndex:
                     f"but the manifest records {entry.docs}"
                 )
             shards.append(shard)
-        return cls(shards, manifest)
+        return cls(shards, manifest, tombstones)
 
     # ----------------------------------------------------------------- merges
 
@@ -491,11 +774,17 @@ class ShardedRecipeIndex:
     def to_monolithic(self, *, source: str = "") -> RecipeIndex:
         """K-way merge every shard into one monolithic :class:`RecipeIndex`.
 
-        The result's payload is identical to what a from-scratch
-        :class:`IndexBuilder` run over the same corpus produces (the property
-        suite pins this), so compaction and rebuild are interchangeable.
+        Tombstoned documents are dropped and the survivors renumbered
+        ``0 .. live_doc_count - 1`` in global order, so the result's payload
+        is identical to what a from-scratch :class:`IndexBuilder` run over
+        the surviving corpus produces (the property suite pins this) —
+        compaction and rebuild are interchangeable.
         """
-        merged_docs = self._docs_in_global_order()
+        merged_docs = [
+            (global_id, doc)
+            for global_id, doc in self._docs_in_global_order()
+            if global_id not in self._tombstone_set
+        ]
         position = {
             global_id: index for index, (global_id, _) in enumerate(merged_docs)
         }
@@ -515,22 +804,40 @@ class ShardedRecipeIndex:
                 ids: list[int] = []
                 spans: list[list] = []
                 for global_id, span_group in merged:
-                    ids.append(position[global_id])
+                    renumbered = position.get(global_id)
+                    if renumbered is None:  # tombstoned: resolved at merge
+                        continue
+                    ids.append(renumbered)
                     spans.append(list(span_group))
-                table[term] = PostingList(ids=ids, spans=spans)
+                if ids:
+                    # A term whose every occurrence was tombstoned vanishes
+                    # entirely, exactly as in a from-scratch build.
+                    table[term] = PostingList(ids=ids, spans=spans)
         return RecipeIndex(postings, docs, source=source)
 
-    def repartition(self, num_shards: int) -> list[RecipeIndex]:
+    def repartition(
+        self, num_shards: int, *, source: str | None = None
+    ) -> list[RecipeIndex]:
         """Fold every base and delta shard into ``num_shards`` fresh base
-        shards (stable hash partitioning; global doc ids are preserved)."""
+        shards (stable hash partitioning).  Tombstoned documents are
+        dropped and the survivors renumbered ``0 .. live_doc_count - 1`` in
+        global order — the compacted shards are byte-identical to a
+        from-scratch :func:`build_sharded_index` over the surviving
+        corpus.  ``source`` overrides the provenance label baked into each
+        shard (default: this index's own source)."""
         if num_shards < 1:
             raise ConfigurationError("num_shards must be at least 1")
+        label = source if source is not None else self.source
         buckets: list[list[tuple[int, dict]]] = [[] for _ in range(num_shards)]
+        next_id = 0
         for global_id, doc in self._docs_in_global_order():
+            if global_id in self._tombstone_set:
+                continue
             target = shard_for(doc["recipe_id"], num_shards)
             metadata = {key: value for key, value in doc.items() if key != "doc_id"}
-            metadata["doc_id"] = global_id
+            metadata["doc_id"] = next_id
             buckets[target].append((global_id, metadata))
+            next_id += 1
         local_of: dict[int, tuple[int, int]] = {}
         target_docs: list[list[dict]] = []
         for target, bucket in enumerate(buckets):
@@ -550,7 +857,10 @@ class ShardedRecipeIndex:
                     else streams[0]
                 )
                 for global_id, span_group in merged:
-                    target, local = local_of[global_id]
+                    placement = local_of.get(global_id)
+                    if placement is None:  # tombstoned: resolved at merge
+                        continue
+                    target, local = placement
                     table = target_postings[target][field]
                     posting = table.get(term)
                     if posting is None:
@@ -561,7 +871,7 @@ class ShardedRecipeIndex:
             RecipeIndex(
                 target_postings[target],
                 target_docs[target],
-                source=f"{self.source}#shard{target}/{num_shards}",
+                source=f"{label}#shard{target}/{num_shards}",
             )
             for target in range(num_shards)
         ]
@@ -657,13 +967,16 @@ def build_sharded_index(
     manifest_path = Path(manifest_path)
     manifest_path.parent.mkdir(parents=True, exist_ok=True)
     generation = 1
+    expected: int | None = 0
     if manifest_path.exists():
         try:
             generation = ShardManifest.load(manifest_path).generation + 1
+            expected = generation - 1
         except (PersistenceError, OSError):
             # Not a readable manifest: nothing tracks shard files here, so
-            # generation 1 names cannot clobber a live generation.
-            pass
+            # generation 1 names cannot clobber a live generation (and
+            # there is no committed generation to compare-and-swap on).
+            expected = None
     tasks = [
         (
             str(input_path),
@@ -692,11 +1005,137 @@ def build_sharded_index(
         source=str(input_path),
         entries=tuple(entries),
     )
-    manifest.save(manifest_path)
+    with _publish_guard(manifest_path, expected_generation=expected):
+        manifest.save(manifest_path)
     return manifest
 
 
 # --------------------------------------------------------- incremental update
+
+
+def _existing_tombstones(manifest_path: Path, manifest: ShardManifest) -> set[int]:
+    """Doc ids already tombstoned by the manifest's tombstone shards."""
+    dead: set[int] = set()
+    for entry in manifest.entries:
+        if entry.kind != "tombstone":
+            continue
+        entry_path = Path(entry.path)
+        shard_path = (
+            entry_path if entry_path.is_absolute() else manifest_path.parent / entry_path
+        )
+        dead.update(
+            _parse_tombstone_shard(
+                shard_path.read_text(encoding="utf-8"), str(shard_path)
+            )
+        )
+    return dead
+
+
+def commit_update(
+    manifest_path: str | Path,
+    *,
+    recipes=None,
+    source: str = "<delta>",
+    tombstone_doc_ids=None,
+    ingest_state: dict[str, int] | None = None,
+    expected_generation: int | None = None,
+    format: str = "v1",
+) -> ShardManifest:
+    """Commit one manifest generation: delta shard, tombstones, offsets.
+
+    The write-path workhorse behind :func:`add_jsonl`, :func:`delete_docs`
+    and the :mod:`repro.ingest` daemon.  Any combination of
+
+    * ``recipes`` — an iterable of :class:`StructuredRecipe` indexed into
+      one new delta shard (global doc ids continue after ``doc_count``);
+    * ``tombstone_doc_ids`` — global ids recorded in one new tombstone
+      shard (already-tombstoned ids are dropped silently, unknown ids
+      raise :class:`~repro.errors.DataError`);
+    * ``ingest_state`` — a replacement offset journal for the tailer
+
+    is published as a **single** generation bump under the manifest write
+    lock, so readers see the delta, its deletes and the offsets together
+    or not at all.  ``expected_generation`` additionally pins the
+    generation the caller computed its update against (e.g. resolved doc
+    ids): if the manifest has moved on, a
+    :class:`~repro.errors.PersistenceError` is raised before anything is
+    written.  With nothing to commit the manifest is returned unchanged.
+    """
+    _check_shard_format(format)
+    manifest_path = Path(manifest_path)
+    manifest = ShardManifest.load(manifest_path)
+    if expected_generation is not None and manifest.generation != expected_generation:
+        raise PersistenceError(
+            f"shard manifest {manifest_path} was modified concurrently: "
+            f"expected generation {expected_generation}, found "
+            f"{manifest.generation}; reload the manifest and retry"
+        )
+    generation = manifest.generation + 1
+
+    delta = None
+    if recipes is not None:
+        builder = IndexBuilder()
+        next_id = manifest.doc_count
+        for offset, recipe in enumerate(recipes):
+            builder.add(recipe, doc_id=next_id + offset)
+        delta = builder.build(source=source)
+
+    new_doc_count = manifest.doc_count + (delta.doc_count if delta is not None else 0)
+    new_dead: list[int] = []
+    if tombstone_doc_ids is not None:
+        requested = sorted(set(int(doc_id) for doc_id in tombstone_doc_ids))
+        out_of_range = [
+            doc_id for doc_id in requested if doc_id < 0 or doc_id >= new_doc_count
+        ]
+        if out_of_range:
+            raise DataError(
+                f"cannot tombstone doc ids {out_of_range}: global doc ids run "
+                f"0 .. {new_doc_count - 1}"
+            )
+        already_dead = _existing_tombstones(manifest_path, manifest)
+        new_dead = [doc_id for doc_id in requested if doc_id not in already_dead]
+
+    if delta is None and not new_dead and (
+        ingest_state is None or ingest_state == (manifest.ingest or {})
+    ):
+        return manifest  # nothing to publish
+
+    entries = list(manifest.entries)
+    with _publish_guard(manifest_path, expected_generation=manifest.generation):
+        # Shard files are written inside the guard: a CAS loser aborts
+        # above without ever clobbering the winner's same-named files.
+        if delta is not None:
+            delta_path = manifest_path.parent / _shard_file_name(
+                manifest_path.stem, generation, "delta"
+            )
+            delta.save(delta_path, kind=format)
+            entries.append(_entry_for(delta, delta_path, kind="delta", format=format))
+        if new_dead:
+            tombstone_path = manifest_path.parent / _shard_file_name(
+                manifest_path.stem, generation, "t"
+            )
+            _save_tombstone_shard(tombstone_path, new_dead)
+            entries.append(
+                ShardEntry(
+                    path=tombstone_path.name,
+                    sha256=file_sha256(tombstone_path),
+                    docs=len(new_dead),
+                    doc_ids=(new_dead[0], new_dead[-1]),
+                    kind="tombstone",
+                )
+            )
+        updated = ShardManifest(
+            num_shards=manifest.num_shards,
+            generation=generation,
+            doc_count=new_doc_count,
+            source=manifest.source,
+            entries=tuple(entries),
+            ingest=dict(ingest_state)
+            if ingest_state is not None
+            else manifest.ingest,
+        )
+        updated.save(manifest_path)
+    return updated
 
 
 def add_jsonl(
@@ -710,34 +1149,63 @@ def add_jsonl(
     the manifest is atomically rewritten with the delta appended and the
     generation bumped.  Base shards are untouched; run :func:`merge_shards`
     to fold accumulated deltas back into hash-partitioned base shards.
+    Publication takes the manifest write lock and compare-and-swaps on the
+    loaded generation, so two racing appenders cannot both commit the same
+    generation — the loser raises :class:`~repro.errors.PersistenceError`.
     """
     from repro.corpus.sink import iter_structured_jsonl
 
-    _check_shard_format(format)
+    return commit_update(
+        manifest_path,
+        recipes=iter_structured_jsonl(input_path),
+        source=str(input_path),
+        format=format,
+    )
+
+
+def delete_docs(
+    manifest_path: str | Path,
+    *,
+    doc_ids=None,
+    recipe_ids=None,
+) -> ShardManifest:
+    """Tombstone documents by global doc id and/or recipe id.
+
+    ``recipe_ids`` resolve to **every live document** carrying that recipe
+    id (an id with no live match raises
+    :class:`~repro.errors.DataError`); ``doc_ids`` are used as-is.  The
+    union is recorded as one new tombstone shard under a bumped generation
+    — queries mask the documents out immediately, the next
+    :func:`merge_shards` drops them for good.  Deleting an
+    already-tombstoned doc id is a no-op; when nothing new is tombstoned
+    the manifest is returned unchanged (no generation bump).
+    """
     manifest_path = Path(manifest_path)
-    manifest = ShardManifest.load(manifest_path)
-    generation = manifest.generation + 1
-    builder = IndexBuilder()
-    next_id = manifest.doc_count
-    for offset, recipe in enumerate(iter_structured_jsonl(input_path)):
-        builder.add(recipe, doc_id=next_id + offset)
-    delta = builder.build(source=str(input_path))
-    delta_path = manifest_path.parent / _shard_file_name(
-        manifest_path.stem, generation, "delta"
+    dead: set[int] = set(int(doc_id) for doc_id in doc_ids) if doc_ids else set()
+    index = ShardedRecipeIndex.load(manifest_path)
+    if recipe_ids:
+        live_of: dict[str, list[int]] = {}
+        for shard_index, shard in enumerate(index.shards):
+            gids = index.global_ids(shard_index)
+            for local, doc in enumerate(shard.docs):
+                global_id = gids[local]
+                if not index.is_tombstoned(global_id):
+                    live_of.setdefault(str(doc.get("recipe_id", "")), []).append(
+                        global_id
+                    )
+        for recipe_id in recipe_ids:
+            matches = live_of.get(str(recipe_id))
+            if not matches:
+                raise DataError(
+                    f"recipe id {recipe_id!r} matches no live document in "
+                    f"{manifest_path}"
+                )
+            dead.update(matches)
+    return commit_update(
+        manifest_path,
+        tombstone_doc_ids=sorted(dead),
+        expected_generation=index.generation,
     )
-    delta.save(delta_path, kind=format)
-    updated = ShardManifest(
-        num_shards=manifest.num_shards,
-        generation=generation,
-        doc_count=manifest.doc_count + delta.doc_count,
-        source=manifest.source,
-        entries=(
-            *manifest.entries,
-            _entry_for(delta, delta_path, kind="delta", format=format),
-        ),
-    )
-    updated.save(manifest_path)
-    return updated
 
 
 # ---------------------------------------------------------- merge / compaction
@@ -762,6 +1230,15 @@ def merge_shards(
     concurrent readers of the old manifest stay consistent.  ``format``
     selects the on-disk representation of everything written ("v1"/"v2") —
     compaction doubles as a bulk format migration.
+
+    Tombstoned documents are **resolved** here: dropped from the merged
+    output, with survivors renumbered so the compacted artifacts are
+    byte-identical to a from-scratch build over the surviving corpus.  The
+    tailer's offset journal (``manifest.ingest``) is carried through
+    unchanged, and publication compare-and-swaps on the input index's
+    generation under the manifest write lock — a compaction racing a
+    concurrent append loses cleanly with a
+    :class:`~repro.errors.PersistenceError` instead of erasing the delta.
     """
     _check_shard_format(format)
     if num_shards is None:
@@ -779,22 +1256,25 @@ def merge_shards(
     manifest_path = Path(manifest_path)
     manifest_path.parent.mkdir(parents=True, exist_ok=True)
     generation = index.generation + 1
-    shards = index.repartition(num_shards)
-    entries = []
-    for shard_index, shard in enumerate(shards):
-        shard_path = manifest_path.parent / _shard_file_name(
-            manifest_path.stem, generation, f"s{shard_index}"
+    shards = index.repartition(num_shards, source=source)
+    expected = index.generation if manifest_path.exists() else None
+    with _publish_guard(manifest_path, expected_generation=expected):
+        entries = []
+        for shard_index, shard in enumerate(shards):
+            shard_path = manifest_path.parent / _shard_file_name(
+                manifest_path.stem, generation, f"s{shard_index}"
+            )
+            shard.save(shard_path, kind=format)
+            entries.append(_entry_for(shard, shard_path, kind="base", format=format))
+        manifest = ShardManifest(
+            num_shards=num_shards,
+            generation=generation,
+            doc_count=index.live_doc_count,
+            source=source if source is not None else index.source,
+            entries=tuple(entries),
+            ingest=index.manifest.ingest,
         )
-        shard.save(shard_path, kind=format)
-        entries.append(_entry_for(shard, shard_path, kind="base", format=format))
-    manifest = ShardManifest(
-        num_shards=num_shards,
-        generation=generation,
-        doc_count=index.doc_count,
-        source=source if source is not None else index.source,
-        entries=tuple(entries),
-    )
-    manifest.save(manifest_path)
+        manifest.save(manifest_path)
     return ShardedRecipeIndex.load(manifest_path)
 
 
@@ -828,26 +1308,37 @@ def migrate_manifest(
     index = ShardedRecipeIndex.load(manifest_path)
     manifest = index.manifest
     generation = manifest.generation + 1
-    entries: list[ShardEntry] = []
-    for position, (entry, shard) in enumerate(zip(manifest.entries, index.shards)):
-        target = select(entry) if select is not None else format
-        if target is None or target == entry.format:
-            entries.append(entry)
-            continue
-        _check_shard_format(target)
-        shard_path = manifest_path.parent / _shard_file_name(
-            manifest_path.stem, generation, f"m{position}"
+    with _publish_guard(manifest_path, expected_generation=manifest.generation):
+        entries: list[ShardEntry] = []
+        shards = iter(index.shards)
+        for position, entry in enumerate(manifest.entries):
+            if entry.kind == "tombstone":
+                # Tombstone shards have one on-disk representation; they
+                # ride along unchanged until compaction resolves them.
+                entries.append(entry)
+                continue
+            shard = next(shards)
+            target = select(entry) if select is not None else format
+            if target is None or target == entry.format:
+                entries.append(entry)
+                continue
+            _check_shard_format(target)
+            shard_path = manifest_path.parent / _shard_file_name(
+                manifest_path.stem, generation, f"m{position}"
+            )
+            shard.save(shard_path, kind=target)
+            entries.append(
+                _entry_for(shard, shard_path, kind=entry.kind, format=target)
+            )
+        updated = ShardManifest(
+            num_shards=manifest.num_shards,
+            generation=generation,
+            doc_count=manifest.doc_count,
+            source=manifest.source,
+            entries=tuple(entries),
+            ingest=manifest.ingest,
         )
-        shard.save(shard_path, kind=target)
-        entries.append(_entry_for(shard, shard_path, kind=entry.kind, format=target))
-    updated = ShardManifest(
-        num_shards=manifest.num_shards,
-        generation=generation,
-        doc_count=manifest.doc_count,
-        source=manifest.source,
-        entries=tuple(entries),
-    )
-    updated.save(manifest_path)
+        updated.save(manifest_path)
     return updated
 
 

@@ -1,0 +1,27 @@
+"""Continuous ingestion: live tailing, delta shards, tiered compaction.
+
+The package turns the incremental-update primitives of
+:mod:`repro.index.sharding` (delta shards, tombstone shards, the
+locked compare-and-swap manifest publish) into a running system:
+
+* :class:`~repro.ingest.tailer.JsonlTailer` follows a growing JSONL
+  feed file — or a drop directory of them — and yields only
+  newline-terminated lines past a committed byte offset, so a restart
+  resumes exactly where the last *published* generation left off.
+* :class:`~repro.ingest.daemon.IngestDaemon` routes tailed lines
+  (recipe documents, ``{"_delete": ...}`` directives) into single-
+  generation commits and runs a size-tiered compaction policy in the
+  background, all while readers keep serving whichever manifest
+  generation they loaded.
+"""
+
+from repro.ingest.daemon import IngestDaemon, TieredCompactionPolicy
+from repro.ingest.tailer import JsonlTailer, TailBatch, TailLine
+
+__all__ = [
+    "IngestDaemon",
+    "JsonlTailer",
+    "TailBatch",
+    "TailLine",
+    "TieredCompactionPolicy",
+]

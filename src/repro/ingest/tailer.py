@@ -1,0 +1,171 @@
+"""Follow growing JSONL feeds with exactly-once, offset-journaled reads.
+
+A :class:`JsonlTailer` watches either one JSONL file or a drop
+directory of ``*.jsonl`` files, and hands back the lines that appeared
+past the last **committed** byte offset.  Two properties make it safe
+to pair with the atomic manifest publish in
+:mod:`repro.index.sharding`:
+
+* :meth:`JsonlTailer.poll` is **idempotent until committed** — it
+  computes every batch from the committed offsets, never from read
+  position, so a crash (or a lost manifest compare-and-swap) between
+  poll and commit simply re-reads the same lines next time.
+* Only **newline-terminated** lines are consumed.  A producer caught
+  mid-``write()`` leaves a partial last line; the tailer stops short of
+  it and picks it up whole on a later poll.
+
+The committed offsets travel inside the shard manifest
+(``ShardManifest.ingest``), so offset journal and index commit are one
+atomic write — the exactly-once guarantee needs no second file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import DataError
+
+__all__ = ["JsonlTailer", "TailBatch", "TailLine"]
+
+
+@dataclass(frozen=True)
+class TailLine:
+    """One newline-terminated feed line.
+
+    Attributes:
+        source: Resolved path of the file the line came from (the
+            offset-journal key).
+        offset: Byte offset of the line's first byte — with ``source``
+            enough to point an error message at the exact feed record.
+        text: Line content without the trailing newline.
+    """
+
+    source: str
+    offset: int
+    text: str
+
+
+@dataclass(frozen=True)
+class TailBatch:
+    """Lines from one poll plus the offsets that committing them implies.
+
+    ``offsets`` maps each source that contributed (or was scanned) to
+    the byte offset *after* the last consumed line — pass it to
+    :meth:`JsonlTailer.commit` once the lines have been durably
+    published, and to the manifest commit as its ``ingest_state``.
+    """
+
+    lines: tuple[TailLine, ...] = ()
+    offsets: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # a batch of only-blank lines still commits
+        return bool(self.lines) or bool(self.offsets)
+
+
+class JsonlTailer:
+    """Tail a JSONL file or a ``*.jsonl`` drop directory.
+
+    Args:
+        watch: Feed file, or directory whose ``*.jsonl`` children (in
+            sorted name order) are all tailed.  Sources may appear
+            after construction; they are picked up on the next poll.
+        offsets: Committed byte offsets to resume from — normally the
+            ``ingest`` field of the loaded shard manifest.  Unknown
+            sources start at offset 0.
+    """
+
+    def __init__(
+        self, watch: str | Path, *, offsets: dict[str, int] | None = None
+    ) -> None:
+        self._watch = Path(watch)
+        self._offsets: dict[str, int] = dict(offsets or {})
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def watch(self) -> Path:
+        return self._watch
+
+    @property
+    def offsets(self) -> dict[str, int]:
+        """Committed offsets (a copy; mutate via :meth:`commit`)."""
+        return dict(self._offsets)
+
+    def pending_bytes(self) -> int:
+        """Feed bytes past the committed offsets (ingest lag, in bytes)."""
+        pending = 0
+        for path in self._sources():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            pending += max(0, size - self._offsets.get(str(path), 0))
+        return pending
+
+    # ------------------------------------------------------------------ poll
+
+    def poll(self, limit: int | None = None) -> TailBatch:
+        """Read up to ``limit`` new lines past the committed offsets.
+
+        Returns a :class:`TailBatch`; an empty batch (falsy) means no
+        complete new line exists anywhere.  Blank lines are consumed
+        (their bytes advance the offset) but not yielded.  A source
+        shorter than its committed offset was truncated or rewritten in
+        place, which the append-only feed contract forbids — that
+        raises :class:`~repro.errors.DataError` rather than silently
+        re-ingesting rewritten history.
+        """
+        lines: list[TailLine] = []
+        offsets: dict[str, int] = {}
+        for path in self._sources():
+            if limit is not None and len(lines) >= limit:
+                break
+            source = str(path)
+            start = self._offsets.get(source, 0)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # dropped between listing and stat; not ours to fail
+            if size < start:
+                raise DataError(
+                    f"ingest source {source} shrank below its committed offset "
+                    f"({size} < {start}): feeds are append-only; rotate new "
+                    "data into a fresh file instead of rewriting"
+                )
+            if size == start:
+                continue
+            with path.open("rb") as handle:
+                handle.seek(start)
+                chunk = handle.read(size - start)
+            consumed = start
+            for raw in chunk.splitlines(keepends=True):
+                if not raw.endswith(b"\n"):
+                    break  # partial last line: leave it for a later poll
+                text = raw.decode("utf-8").rstrip("\r\n")
+                if text.strip():
+                    lines.append(TailLine(source=source, offset=consumed, text=text))
+                consumed += len(raw)
+                if limit is not None and len(lines) >= limit:
+                    break
+            if consumed > start:
+                offsets[source] = consumed
+        return TailBatch(lines=tuple(lines), offsets=offsets)
+
+    def commit(self, offsets: dict[str, int]) -> None:
+        """Advance the committed offsets (call after a durable publish)."""
+        for source, offset in offsets.items():
+            if offset > self._offsets.get(source, 0):
+                self._offsets[source] = offset
+
+    # -------------------------------------------------------------- internals
+
+    def _sources(self) -> list[Path]:
+        if self._watch.is_dir():
+            return sorted(
+                (child.resolve() for child in self._watch.glob("*.jsonl")),
+                key=str,
+            )
+        if self._watch.exists():
+            return [self._watch.resolve()]
+        return []

@@ -201,12 +201,14 @@ class AsyncTaggingServer:
         port: int = 0,
         admission: AdmissionController | None = None,
         metrics: ServerMetrics | None = None,
+        ingest=None,
         verbose: bool = False,
     ) -> None:
         self.service = service
         self.search = search
         self.host = host
         self.port = port
+        self.ingest = ingest
         self.admission = admission or AdmissionController()
         if metrics is None:
             import sys
@@ -430,6 +432,7 @@ class AsyncTaggingServer:
                 self.search,
                 server=self.metrics.snapshot(),
                 admission=self.admission.stats(),
+                ingest=self.ingest.stats() if self.ingest is not None else None,
             )
         else:
             await responder.send(404, {"error": f"unknown path {request.path!r}"})
@@ -601,6 +604,7 @@ def start_in_thread(
     port: int = 0,
     admission: AdmissionController | None = None,
     metrics: ServerMetrics | None = None,
+    ingest=None,
     verbose: bool = False,
     ready_timeout_s: float = 30.0,
 ) -> AsyncServerHandle:
@@ -617,6 +621,7 @@ def start_in_thread(
                 port=port,
                 admission=admission,
                 metrics=metrics,
+                ingest=ingest,
                 verbose=verbose,
             )
             try:

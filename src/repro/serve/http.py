@@ -69,10 +69,12 @@ class TaggingRequestHandler(BaseHTTPRequestHandler):
                 )
                 self._respond(200, document)
             elif self.path == "/stats":
+                ingest = self.server.ingest
                 document = routes.stats_document(
                     self.server.service,
                     self.server.search,
                     server=self.server.metrics.snapshot(),
+                    ingest=ingest.stats() if ingest is not None else None,
                 )
                 self._respond(200, document)
             else:
@@ -210,12 +212,14 @@ class TaggingHTTPServer(ThreadingHTTPServer):
         *,
         search: SearchService | None = None,
         metrics: ServerMetrics | None = None,
+        ingest=None,
         verbose: bool = False,
     ) -> None:
         super().__init__(address, TaggingRequestHandler)
         self.service = service
         self.search = search
         self.metrics = metrics or ServerMetrics()
+        self.ingest = ingest
         self.verbose = verbose
 
 
@@ -226,6 +230,7 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     metrics: ServerMetrics | None = None,
+    ingest=None,
     verbose: bool = False,
 ) -> TaggingHTTPServer:
     """Build a ready-to-``serve_forever`` server (``port=0`` picks a free port).
@@ -233,8 +238,16 @@ def make_server(
     ``search`` enables ``POST /v1/search`` over a serving recipe index; left
     ``None``, that endpoint answers 503.  ``metrics`` shares one
     :class:`~repro.serve.metrics.ServerMetrics` across front ends; by
-    default the server records into its own instance.
+    default the server records into its own instance.  ``ingest`` is an
+    in-process :class:`~repro.ingest.daemon.IngestDaemon` whose counters
+    ``GET /stats`` should report (the server does not manage its
+    lifecycle).
     """
     return TaggingHTTPServer(
-        (host, port), service, search=search, metrics=metrics, verbose=verbose
+        (host, port),
+        service,
+        search=search,
+        metrics=metrics,
+        ingest=ingest,
+        verbose=verbose,
     )

@@ -113,12 +113,15 @@ def stats_document(
     *,
     server: dict | None = None,
     admission: dict | None = None,
+    ingest: dict | None = None,
 ) -> dict:
     """The ``GET /stats`` response body.
 
     ``server`` is the front end's per-endpoint metrics snapshot
     (:meth:`~repro.serve.metrics.ServerMetrics.snapshot`); ``admission`` the
-    asyncio server's gate counters.  Either may be omitted.
+    asyncio server's gate counters; ``ingest`` the in-process
+    :meth:`~repro.ingest.daemon.IngestDaemon.stats` counters (generation,
+    lag in pending bytes, compactions).  Any may be omitted.
     """
     document = service.stats()
     if search is not None:
@@ -127,6 +130,8 @@ def stats_document(
         document["server"] = server
     if admission is not None:
         document["admission"] = admission
+    if ingest is not None:
+        document["ingest"] = ingest
     return document
 
 

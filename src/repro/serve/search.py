@@ -17,10 +17,12 @@ swap-only-on-change reloads.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections.abc import Iterator
 from pathlib import Path
 
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.index import QueryEngine, load_index_artifact
 from repro.serve.registry import ModelRecord, ModelRegistry
 
@@ -40,6 +42,13 @@ class SearchService:
         index: Registry name the serving index is registered under.
         default_limit: Result cap applied when a request does not send its
             own ``limit`` (``None`` disables the default cap).
+        auto_reload_interval_s: When set, each search first checks (at most
+            this often) whether the artifact file changed on disk and
+            hot-swaps it — how a server tracks a manifest the ingest
+            daemon republishes under it.  ``0.0`` checks on every search;
+            ``None`` (default) keeps reloads purely explicit
+            (``POST /v1/reload``).  A failing auto-reload keeps the
+            current index serving and is only counted.
     """
 
     def __init__(
@@ -48,10 +57,16 @@ class SearchService:
         *,
         index: str = "default",
         default_limit: int | None = 100,
+        auto_reload_interval_s: float | None = None,
     ) -> None:
         self._registry = registry
         self._index_name = index
         self._default_limit = default_limit
+        self._auto_reload_interval_s = auto_reload_interval_s
+        self._auto_reload_lock = threading.Lock()
+        self._auto_reload_due = 0.0  # monotonic; first search always checks
+        self._auto_reload_swaps = 0
+        self._auto_reload_failures = 0
         registry.get(index)  # fail fast if nothing is registered under `index`
 
     @classmethod
@@ -116,6 +131,7 @@ class SearchService:
             or not all(isinstance(field, str) for field in facets)
         ):
             raise QueryError("'facets' must be a list of field names")
+        self._maybe_auto_reload()
         record = self.record()
         engine = QueryEngine(record.bundle)
         total, matches = engine.search(query, limit=limit, rank=rank)
@@ -142,6 +158,34 @@ class SearchService:
         """Hot-swap the serving index from its artifact path (see registry)."""
         return self._registry.reload(self._index_name, force=force)
 
+    def _maybe_auto_reload(self) -> None:
+        """Throttled reload-on-change, swallowing (but counting) failures.
+
+        The registry's reload is cheap when the file is unchanged (one
+        hash) and builds the replacement fully before swapping, so a
+        search that triggers the check never observes a torn index; a
+        half-written or vanished artifact leaves the live record serving.
+        """
+        if self._auto_reload_interval_s is None:
+            return
+        now = time.monotonic()
+        with self._auto_reload_lock:
+            if now < self._auto_reload_due:
+                return
+            # Claim the slot before the (possibly slow) reload so other
+            # request threads fall through instead of piling up behind it.
+            self._auto_reload_due = now + self._auto_reload_interval_s
+        before = self.record().generation
+        try:
+            record = self._registry.reload(self._index_name)
+        except (ReproError, OSError):
+            with self._auto_reload_lock:
+                self._auto_reload_failures += 1
+            return
+        if record.generation != before:
+            with self._auto_reload_lock:
+                self._auto_reload_swaps += 1
+
     def record(self) -> ModelRecord:
         """Provenance of the currently serving index."""
         return self._registry.get(self._index_name)
@@ -155,4 +199,12 @@ class SearchService:
         rolling v2 migration.
         """
         record = self.record()
-        return {**record.describe(), "index": record.bundle.stats()}
+        document = {**record.describe(), "index": record.bundle.stats()}
+        if self._auto_reload_interval_s is not None:
+            with self._auto_reload_lock:
+                document["auto_reload"] = {
+                    "interval_s": self._auto_reload_interval_s,
+                    "swaps": self._auto_reload_swaps,
+                    "failures": self._auto_reload_failures,
+                }
+        return document

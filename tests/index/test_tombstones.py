@@ -1,0 +1,359 @@
+"""Tombstones: query-time masking, compaction resolution, writer safety.
+
+The invariants under test, in order of appearance:
+
+* deleting documents masks them from **every** query path (boolean,
+  count fast path, ranked with live BM25 stats, facets) exactly as if
+  the index had been built without them;
+* compaction resolves tombstones: a merged manifest's shard payloads
+  match a from-scratch build over the surviving documents — payload-
+  identical for v1, **byte-identical** for the order-normalised v2
+  format;
+* the manifest write path is safe against concurrent writers: two
+  racing appenders cannot both commit the same generation (satellite
+  regression), a stale lock file times out with a pinned error, and the
+  tailer's offset journal survives merge and migration.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.errors import DataError, PersistenceError
+from repro.index import (
+    IndexBuilder,
+    QueryEngine,
+    ShardManifest,
+    ShardedRecipeIndex,
+    add_jsonl,
+    build_sharded_index,
+    commit_update,
+    delete_docs,
+    merge_shards,
+    migrate_manifest,
+    scan_recipes,
+)
+from repro.index import sharding as sharding_module
+from repro.corpus.sink import write_structured_jsonl
+from repro.persistence import file_sha256
+
+from tests.property.test_index_properties import _random_query, _random_recipe
+
+
+@pytest.fixture(scope="module")
+def recipes():
+    rng = random.Random(77)
+    return [_random_recipe(rng, f"r{i:03d}") for i in range(36)]
+
+
+@pytest.fixture()
+def manifest_path(recipes, tmp_path):
+    """A 3-shard manifest over the first 30 recipes plus a 6-doc delta."""
+    base = tmp_path / "base.jsonl"
+    write_structured_jsonl(base, recipes[:30])
+    path = tmp_path / "idx.manifest.json"
+    build_sharded_index(base, path, num_shards=3)
+    delta = tmp_path / "delta.jsonl"
+    write_structured_jsonl(delta, recipes[30:])
+    add_jsonl(path, delta)
+    return path
+
+
+def _fresh_engine(survivors):
+    builder = IndexBuilder()
+    for doc_id, recipe in enumerate(survivors):
+        builder.add(recipe, doc_id=doc_id)
+    return QueryEngine(builder.build(source="<survivors>"))
+
+
+def _ranked_view(engine, query):
+    total, matches = engine.search(query, limit=5, rank=True)
+    return total, [(match.recipe_id, match.score) for match in matches]
+
+
+# ------------------------------------------------------------------- masking
+
+
+def test_deletes_mask_every_query_path(recipes, manifest_path):
+    dead_ids = ["r002", "r007", "r011", "r030", "r035"]
+    delete_docs(manifest_path, recipe_ids=dead_ids)
+    # Deleting by global doc id composes with recipe ids (doc 0 is r000).
+    delete_docs(manifest_path, doc_ids=[0])
+    gone = set(dead_ids) | {"r000"}
+    survivors = [recipe for recipe in recipes if recipe.recipe_id not in gone]
+
+    index = ShardedRecipeIndex.load(manifest_path)
+    assert index.tombstone_count == len(gone)
+    assert index.live_doc_count == len(survivors)
+
+    engines = [QueryEngine(index), QueryEngine(index, workers=2)]
+    fresh = _fresh_engine(survivors)
+    rng = random.Random(9)
+    queries = [_random_query(rng) for _ in range(40)] + [
+        "ingredient:tomato",  # Term count fast path must use live stats
+        "NOT ingredient:tomato",  # bare NOT complements the shard universe
+        "NOT ingredient:no-such-term",  # matches *all* live docs, only those
+    ]
+    for query in queries:
+        expected = [match.recipe_id for match in scan_recipes(survivors, query)]
+        for engine in engines:
+            assert [
+                match.recipe_id for match in engine.execute(query)
+            ] == expected, query
+            assert engine.count(query) == len(expected), query
+        # Ranked: identical totals, order and bitwise-equal BM25 scores —
+        # doc-frequency, N and avgdl must all exclude the tombstoned docs.
+        assert _ranked_view(engines[0], query) == _ranked_view(fresh, query), query
+        assert engines[0].facets(query, ["ingredient", "process"]) == fresh.facets(
+            query, ["ingredient", "process"]
+        ), query
+
+
+def test_upsert_semantics_one_live_doc_per_recipe_id(recipes, manifest_path):
+    # An "update" is tombstone-old + append-new in one committed generation.
+    replacement = _random_recipe(random.Random(123), "r005")
+    index = ShardedRecipeIndex.load(manifest_path)
+    commit_update(
+        manifest_path,
+        recipes=[replacement],
+        tombstone_doc_ids=[5],
+        expected_generation=index.generation,
+    )
+    updated = ShardedRecipeIndex.load(manifest_path)
+    assert updated.generation == index.generation + 1
+    assert updated.live_doc_count == len(recipes)  # net zero
+    live = [
+        doc["recipe_id"]
+        for shard_index, shard in enumerate(updated.shards)
+        for local, doc in enumerate(shard.docs)
+        if not updated.is_tombstoned(updated.global_ids(shard_index)[local])
+    ]
+    assert live.count("r005") == 1
+
+
+def test_delete_unknown_recipe_id_raises(manifest_path):
+    with pytest.raises(DataError, match="matches no live document"):
+        delete_docs(manifest_path, recipe_ids=["nope"])
+
+
+def test_delete_is_idempotent_without_generation_bump(manifest_path):
+    first = delete_docs(manifest_path, doc_ids=[3])
+    again = delete_docs(manifest_path, doc_ids=[3])
+    assert again.generation == first.generation  # nothing new: no commit
+
+
+def test_tombstone_out_of_range_raises(manifest_path):
+    with pytest.raises(DataError, match="global doc ids run"):
+        commit_update(manifest_path, tombstone_doc_ids=[10_000])
+
+
+def test_corrupt_tombstone_shard_fails_closed(manifest_path, tmp_path):
+    delete_docs(manifest_path, doc_ids=[1, 2])
+    manifest = ShardManifest.load(manifest_path)
+    entry = next(e for e in manifest.entries if e.kind == "tombstone")
+    shard_path = manifest_path.parent / entry.path
+    text = shard_path.read_text(encoding="utf-8")
+    shard_path.write_text(text.replace('"doc_ids": [1, 2]', '"doc_ids": [1, 4]'))
+    with pytest.raises(PersistenceError):
+        ShardedRecipeIndex.load(manifest_path)
+
+
+# ------------------------------------------------ compaction resolves deletes
+
+
+def _delete_some(manifest_path, recipes, rng):
+    doomed = sorted(rng.sample(range(len(recipes)), 9))
+    delete_docs(manifest_path, doc_ids=doomed)
+    return [recipe for i, recipe in enumerate(recipes) if i not in set(doomed)]
+
+
+def test_compaction_v2_is_byte_identical_to_fresh_build(
+    recipes, manifest_path, tmp_path
+):
+    survivors = _delete_some(manifest_path, recipes, random.Random(31))
+    fresh_jsonl = tmp_path / "survivors.jsonl"
+    write_structured_jsonl(fresh_jsonl, survivors)
+    fresh_path = tmp_path / "fresh.manifest.json"
+    build_sharded_index(fresh_jsonl, fresh_path, num_shards=3, format="v2")
+
+    compacted = merge_shards(
+        ShardedRecipeIndex.load(manifest_path),
+        num_shards=3,
+        manifest_path=manifest_path,
+        source=str(fresh_jsonl),
+        format="v2",
+    )
+    assert compacted.manifest.tombstone_count == 0
+    assert compacted.manifest.doc_count == len(survivors)
+
+    fresh = ShardManifest.load(fresh_path)
+    for ours, theirs in zip(compacted.manifest.entries, fresh.entries):
+        assert ours.sha256 == theirs.sha256  # shard files byte-identical
+        assert ours.docs == theirs.docs
+    # The masked engine over the old manifest and the compacted engine
+    # agree too (ids renumbered, recipes identical).
+    engine = QueryEngine(compacted)
+    by_global = {
+        compacted.global_ids(shard_index)[local]: doc["recipe_id"]
+        for shard_index, shard in enumerate(compacted.shards)
+        for local, doc in enumerate(shard.docs)
+    }
+    assert [by_global[i] for i in sorted(by_global)] == [
+        recipe.recipe_id for recipe in survivors
+    ]
+    assert engine.count("NOT ingredient:no-such-term") == len(survivors)
+
+
+def test_compaction_v1_matches_fresh_build_payloads(recipes, manifest_path, tmp_path):
+    survivors = _delete_some(manifest_path, recipes, random.Random(32))
+    fresh_jsonl = tmp_path / "survivors.jsonl"
+    write_structured_jsonl(fresh_jsonl, survivors)
+    fresh_path = tmp_path / "fresh.manifest.json"
+    build_sharded_index(fresh_jsonl, fresh_path, num_shards=2)
+
+    compacted = merge_shards(
+        ShardedRecipeIndex.load(manifest_path),
+        num_shards=2,
+        manifest_path=manifest_path,
+        source=str(fresh_jsonl),
+        format="v1",
+    )
+    fresh = ShardedRecipeIndex.load(fresh_path)
+    for ours, theirs in zip(compacted.shards, fresh.shards):
+        # v1 serialisation preserves builder insertion order, which a merge
+        # cannot reconstruct — the guarantee is payload identity (v2 is the
+        # order-normalised format with byte identity).
+        assert ours.to_payload() == theirs.to_payload()
+
+
+def test_compaction_to_monolithic_drops_tombstoned_docs(recipes, manifest_path):
+    survivors = _delete_some(manifest_path, recipes, random.Random(33))
+    merged = merge_shards(ShardedRecipeIndex.load(manifest_path))
+    builder = IndexBuilder()
+    for doc_id, recipe in enumerate(survivors):
+        builder.add(recipe, doc_id=doc_id)
+    assert merged.to_payload()["postings"] == builder.build(
+        source=merged.source
+    ).to_payload()["postings"]
+
+
+# --------------------------------------------------------- concurrent writers
+
+
+def test_racing_appenders_cannot_both_commit_a_generation(
+    recipes, manifest_path, tmp_path
+):
+    before = ShardManifest.load(manifest_path)
+    inputs = []
+    for worker in range(2):
+        path = tmp_path / f"race{worker}.jsonl"
+        write_structured_jsonl(
+            path, [_random_recipe(random.Random(worker), f"race{worker}")]
+        )
+        inputs.append(path)
+
+    barrier = threading.Barrier(2)
+    outcomes: list[tuple[str, object]] = []
+
+    def appender(worker):
+        barrier.wait()
+        try:
+            manifest = add_jsonl(manifest_path, inputs[worker])
+        except PersistenceError as error:
+            outcomes.append(("conflict", str(error)))
+        else:
+            outcomes.append(("committed", manifest.generation))
+
+    threads = [
+        threading.Thread(target=appender, args=(worker,)) for worker in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    kinds = sorted(kind for kind, _ in outcomes)
+    assert kinds == ["committed", "conflict"], outcomes
+    conflict = next(detail for kind, detail in outcomes if kind == "conflict")
+    assert "modified concurrently" in conflict
+    after = ShardManifest.load(manifest_path)
+    assert after.generation == before.generation + 1  # exactly one commit
+    assert after.delta_count == before.delta_count + 1
+    assert after.doc_count == before.doc_count + 1
+
+
+def test_stale_lock_file_times_out_with_recovery_hint(
+    manifest_path, tmp_path, monkeypatch
+):
+    lock_path = manifest_path.with_name(manifest_path.name + ".lock")
+    lock_path.write_text("12345")  # a crashed writer's leftover
+    monkeypatch.setattr(sharding_module, "_LOCK_TIMEOUT_S", 0.2)
+    jsonl = tmp_path / "late.jsonl"
+    write_structured_jsonl(jsonl, [_random_recipe(random.Random(4), "late")])
+    with pytest.raises(PersistenceError, match="timed out waiting"):
+        add_jsonl(manifest_path, jsonl)
+    lock_path.unlink()  # operator recovery, as the message instructs
+    add_jsonl(manifest_path, jsonl)
+
+
+def test_stale_expected_generation_is_rejected_before_writing(manifest_path):
+    index = ShardedRecipeIndex.load(manifest_path)
+    delete_docs(manifest_path, doc_ids=[4])  # the manifest moves on
+    with pytest.raises(PersistenceError, match="modified concurrently"):
+        commit_update(
+            manifest_path,
+            tombstone_doc_ids=[5],
+            expected_generation=index.generation,
+        )
+
+
+# ------------------------------------------------------- offset journal rides
+
+
+def test_ingest_offsets_survive_merge_and_migration(manifest_path, tmp_path):
+    offsets = {str(tmp_path / "feed.jsonl"): 420}
+    updated = commit_update(manifest_path, ingest_state=offsets)
+    assert updated.ingest == offsets
+    assert ShardManifest.load(manifest_path).ingest == offsets
+
+    # Same offsets again: nothing to publish, no generation bump.
+    assert commit_update(manifest_path, ingest_state=offsets).generation == (
+        updated.generation
+    )
+
+    merged = merge_shards(
+        ShardedRecipeIndex.load(manifest_path),
+        num_shards=2,
+        manifest_path=manifest_path,
+    )
+    assert merged.manifest.ingest == offsets
+    migrated = migrate_manifest(manifest_path, format="v2")
+    assert migrated.ingest == offsets
+
+
+def test_manifest_without_ingest_field_stays_byte_stable(manifest_path):
+    # The ingest journal is omitted when empty, so pre-ingestion manifests
+    # (and the golden fixtures) keep their exact serialised shape.
+    payload = json.loads(manifest_path.read_text())["payload"]
+    assert "ingest" not in payload
+
+
+def test_invalid_ingest_field_is_rejected(manifest_path):
+    envelope = json.loads(manifest_path.read_text())
+    envelope["payload"]["ingest"] = {"feed": -3}
+    bad = manifest_path.with_name("bad.manifest.json")
+    bad.write_text(json.dumps(envelope))
+    with pytest.raises(PersistenceError, match="non-negative byte offsets"):
+        ShardManifest.from_payload(envelope["payload"])
+
+
+def test_file_sha_changes_on_every_publish(manifest_path, tmp_path):
+    # The serving registry polls the manifest's file hash; every committed
+    # generation must change it or auto-reload would miss publications.
+    first = file_sha256(manifest_path)
+    delete_docs(manifest_path, doc_ids=[6])
+    assert file_sha256(manifest_path) != first

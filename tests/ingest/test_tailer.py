@@ -1,0 +1,111 @@
+"""The tailer's contract: offset-journaled, idempotent, partial-line safe."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DataError
+from repro.ingest import JsonlTailer
+
+
+def _lines(batch):
+    return [line.text for line in batch.lines]
+
+
+def test_poll_reads_only_complete_lines(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_text('{"a": 1}\n{"b": 2}\n{"partial": ')
+    tailer = JsonlTailer(feed)
+    batch = tailer.poll()
+    assert _lines(batch) == ['{"a": 1}', '{"b": 2}']
+    # The partial tail is untouched: committing and re-polling yields nothing
+    # until the producer finishes the line.
+    tailer.commit(batch.offsets)
+    assert not tailer.poll()
+    with feed.open("a") as handle:
+        handle.write('3}\n')
+    assert _lines(tailer.poll()) == ['{"partial": 3}']
+
+
+def test_poll_is_idempotent_until_commit(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_text('{"a": 1}\n')
+    tailer = JsonlTailer(feed)
+    first = tailer.poll()
+    second = tailer.poll()  # no commit in between: same batch again
+    assert _lines(first) == _lines(second) == ['{"a": 1}']
+    tailer.commit(first.offsets)
+    assert not tailer.poll()
+
+
+def test_blank_lines_advance_offsets_without_yielding(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_text('\n  \n{"a": 1}\n\n')
+    tailer = JsonlTailer(feed)
+    batch = tailer.poll()
+    assert _lines(batch) == ['{"a": 1}']
+    tailer.commit(batch.offsets)
+    assert tailer.pending_bytes() == 0  # the blanks were consumed too
+
+
+def test_resume_from_committed_offsets(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_text('{"a": 1}\n{"b": 2}\n')
+    first = JsonlTailer(feed)
+    batch = first.poll()
+    first.commit(batch.offsets)
+    with feed.open("a") as handle:
+        handle.write('{"c": 3}\n')
+    # A new tailer (a restarted daemon) resumes from the journal exactly.
+    second = JsonlTailer(feed, offsets=first.offsets)
+    assert _lines(second.poll()) == ['{"c": 3}']
+
+
+def test_directory_mode_tails_every_jsonl_in_name_order(tmp_path):
+    (tmp_path / "b.jsonl").write_text('{"src": "b"}\n')
+    (tmp_path / "a.jsonl").write_text('{"src": "a"}\n')
+    (tmp_path / "ignored.txt").write_text("not a feed\n")
+    tailer = JsonlTailer(tmp_path)
+    batch = tailer.poll()
+    assert [json.loads(text)["src"] for text in _lines(batch)] == ["a", "b"]
+    tailer.commit(batch.offsets)
+    # A file dropped in later is picked up on the next poll.
+    (tmp_path / "c.jsonl").write_text('{"src": "c"}\n')
+    assert [json.loads(text)["src"] for text in _lines(tailer.poll())] == ["c"]
+
+
+def test_limit_caps_a_batch_and_the_rest_waits(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_text("".join(f'{{"n": {i}}}\n' for i in range(5)))
+    tailer = JsonlTailer(feed)
+    batch = tailer.poll(limit=2)
+    assert [json.loads(text)["n"] for text in _lines(batch)] == [0, 1]
+    tailer.commit(batch.offsets)
+    assert [json.loads(text)["n"] for text in _lines(tailer.poll())] == [2, 3, 4]
+
+
+def test_truncated_source_raises(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_text('{"a": 1}\n{"b": 2}\n')
+    tailer = JsonlTailer(feed)
+    tailer.commit(tailer.poll().offsets)
+    feed.write_text('{"x": 1}\n')  # shorter than the committed offset
+    with pytest.raises(DataError, match="append-only"):
+        tailer.poll()
+
+
+def test_pending_bytes_measures_ingest_lag(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_text('{"a": 1}\n')
+    tailer = JsonlTailer(feed)
+    assert tailer.pending_bytes() == len('{"a": 1}\n')
+    tailer.commit(tailer.poll().offsets)
+    assert tailer.pending_bytes() == 0
+
+
+def test_missing_watch_path_polls_empty(tmp_path):
+    tailer = JsonlTailer(tmp_path / "not-yet.jsonl")
+    assert not tailer.poll()
+    assert tailer.pending_bytes() == 0
