@@ -1,0 +1,166 @@
+"""Synthetic-corpus generator perf smoke: scale, determinism, downstream legs.
+
+Streams a 100k-document corpus from :mod:`repro.corpus.synth` and checks
+the three properties the scale-out harness depends on:
+
+* **determinism at scale** — a second full generation pass must hash to
+  the same SHA-256, byte for byte, without writing a second file;
+* **generation throughput** (docs/sec, guarded floor on capable runners)
+  — the generator must outrun every downstream consumer so it is never
+  the bottleneck of a load test;
+* **downstream legs** — a prefix of the corpus feeds ``index build`` and
+  the ingest daemon unchanged (the corpus lines are the daemon's feed
+  protocol), with the built index spot-checked against the ground-truth
+  manifest's document frequencies.
+
+Results land in ``benchmarks/BENCH_synth.json``; small runners record a
+guarded skip for the throughput floor instead of failing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.corpus.synth import (
+    SynthParams,
+    iter_documents,
+    load_manifest,
+    write_synth_corpus,
+)
+from repro.index import IndexBuilder, QueryEngine, build_sharded_index
+from repro.ingest import IngestDaemon
+
+from conftest import emit
+
+RESULT_PATH = Path(__file__).parent / "BENCH_synth.json"
+DOCS = 100_000
+INDEX_DOCS = 4_000
+INGEST_SEED_DOCS = 50
+INGEST_FEED_DOCS = 300
+MIN_DOCS_PER_S = 500.0
+#: On a single core the generator time-slices with pytest's own overhead
+#: and the floor becomes scheduler noise: record, don't assert.
+MIN_CORES = 2
+SPOT_CHECK_TERMS = 10
+
+
+def test_bench_synth(tmp_path):
+    params = SynthParams(seed=20260808, docs=DOCS)
+    corpus = tmp_path / "synth.jsonl"
+    manifest_path = tmp_path / "synth.manifest.json"
+
+    # ---- (a) full generation pass, written to disk with its manifest.
+    started = time.perf_counter()
+    summary = write_synth_corpus(params, corpus, manifest_path=manifest_path)
+    generate_s = time.perf_counter() - started
+    assert summary["documents"] == DOCS
+    docs_per_s = DOCS / generate_s
+
+    # ---- (b) determinism: a second pass re-hashes to the same corpus
+    # SHA-256 without touching disk (same bytes the sink would write).
+    started = time.perf_counter()
+    digest = hashlib.sha256()
+    for document in iter_documents(params):
+        digest.update(document.recipe.to_json().encode("utf-8"))
+        digest.update(b"\n")
+    rehash_s = time.perf_counter() - started
+    assert digest.hexdigest() == summary["corpus_sha256"], (
+        "second generation pass is not byte-identical to the first"
+    )
+
+    # ---- (c) index-build leg over the corpus head (the docs=N corpus is a
+    # byte-prefix of the docs=M corpus, so the head IS the small corpus).
+    head = tmp_path / "head.jsonl"
+    with corpus.open("rb") as source, head.open("wb") as target:
+        for _ in range(INDEX_DOCS):
+            target.write(source.readline())
+    started = time.perf_counter()
+    index = IndexBuilder.build_from_jsonl(head)
+    index_s = time.perf_counter() - started
+    assert index.doc_count == INDEX_DOCS
+
+    # Spot-check retrieval against the ground-truth manifest: over the FULL
+    # corpus the recorded document frequency is exact, so the head index
+    # must return at most that many matches (and at least one for head
+    # terms, which the Zipf skew guarantees appear early).
+    manifest = load_manifest(manifest_path)
+    engine = QueryEngine(index)
+    checked = 0
+    for term, count in list(manifest["fields"]["ingredient"].items()):
+        if checked >= SPOT_CHECK_TERMS:
+            break
+        matches = engine.execute(f'ingredient:"{term}"')
+        assert len(matches) <= count, (term, len(matches), count)
+        checked += 1
+    assert checked == SPOT_CHECK_TERMS
+
+    # ---- (d) ingest-daemon leg: corpus lines are the feed protocol, so a
+    # slice of the corpus streams through the daemon into a live manifest.
+    base = tmp_path / "base.jsonl"
+    with corpus.open("rb") as source, base.open("wb") as target:
+        for _ in range(INGEST_SEED_DOCS):
+            target.write(source.readline())
+    live_manifest = tmp_path / "live.manifest.json"
+    build_sharded_index(base, live_manifest, num_shards=2)
+    feed = tmp_path / "feed.jsonl"
+    with corpus.open("rb") as source, feed.open("wb") as target:
+        for _ in range(INGEST_SEED_DOCS + INGEST_FEED_DOCS):
+            line = source.readline()
+            if _ >= INGEST_SEED_DOCS:
+                target.write(line)
+    daemon = IngestDaemon(live_manifest, feed, batch_limit=1024)
+    started = time.perf_counter()
+    while daemon.poll_once() is not None:
+        pass
+    ingest_s = time.perf_counter() - started
+    stats = daemon.stats()
+    assert stats["docs_ingested"] == INGEST_FEED_DOCS
+    assert stats["feed_errors"] == 0
+    assert stats["pending_bytes"] == 0
+
+    cores = os.cpu_count() or 1
+    floor_asserted = cores >= MIN_CORES
+    report = {
+        "documents": DOCS,
+        "corpus_sha256": summary["corpus_sha256"],
+        "corpus_bytes": corpus.stat().st_size,
+        "byte_identical_across_runs": True,
+        "cores": cores,
+        "generate": {
+            "seconds": round(generate_s, 3),
+            "docs_per_s": round(docs_per_s, 1),
+        },
+        "rehash": {
+            "seconds": round(rehash_s, 3),
+            "docs_per_s": round(DOCS / rehash_s, 1),
+        },
+        "index_build": {
+            "documents": INDEX_DOCS,
+            "seconds": round(index_s, 3),
+            "docs_per_s": round(INDEX_DOCS / index_s, 1),
+        },
+        "ingest": {
+            "documents": INGEST_FEED_DOCS,
+            "seconds": round(ingest_s, 3),
+            "docs_per_s": round(INGEST_FEED_DOCS / ingest_s, 1),
+        },
+        "floor": {"docs_per_s": MIN_DOCS_PER_S},
+        "floor_asserted": floor_asserted,
+    }
+    if not floor_asserted:
+        report["skipped"] = (
+            f"runner has {cores} core(s) (< {MIN_CORES}); generation "
+            "throughput recorded but not asserted"
+        )
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit("SYNTH PERF SMOKE (BENCH_synth.json)", json.dumps(report, indent=2))
+
+    if floor_asserted:
+        assert docs_per_s >= MIN_DOCS_PER_S, (
+            f"generation throughput {docs_per_s:.0f} docs/s is below the "
+            f"{MIN_DOCS_PER_S} docs/s floor"
+        )

@@ -1,0 +1,108 @@
+"""Artifact packaging for the char-tagging workload.
+
+:class:`CharTagBundle` wraps a trained :class:`~repro.chartag.model.CharTagger`
+in the repo's standard checksummed artifact envelope — the same
+``{format, version, sha256, payload}`` shape as the recipe pipeline bundle,
+written atomically and validated byte-for-byte on load — under its own
+format marker, ``repro-chartag-bundle``.  Because :meth:`loads` has the
+``(text, *, source=...)`` signature the serving registry's loader hook
+expects, a :class:`~repro.serve.registry.ModelRegistry` hot-swaps char
+bundles exactly like recipe bundles:
+
+    registry = ModelRegistry(
+        loader=lambda text, source: CharTagBundle.loads(text, source=source)
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import PersistenceError
+from repro.persistence import (
+    FORMAT_VERSION,
+    check_payload_version,
+    load_sequence_model,
+    parse_artifact,
+    sequence_model_to_payload,
+    write_artifact,
+)
+
+from repro.chartag.features import CharFeatureExtractor
+from repro.chartag.model import CharTagger
+
+__all__ = ["CHARTAG_ARTIFACT_FORMAT", "CharTagBundle"]
+
+#: ``format`` marker of the char-tagger artifact envelope.
+CHARTAG_ARTIFACT_FORMAT = "repro-chartag-bundle"
+
+
+@dataclass
+class CharTagBundle:
+    """A trained char tagger, packaged for saving, loading and serving."""
+
+    tagger: CharTagger
+
+    def to_payload(self) -> dict:
+        """Serialise the tagger (family, window, weights) to a payload."""
+        return {
+            "version": FORMAT_VERSION,
+            "task": "chartag",
+            "family": self.tagger.family,
+            "window": self.tagger.feature_extractor.window,
+            "model": sequence_model_to_payload(self.tagger.model),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CharTagBundle":
+        """Rebuild a bundle from :meth:`to_payload` output (version-gated)."""
+        if not isinstance(payload, dict):
+            raise PersistenceError(
+                f"chartag-bundle payload must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        check_payload_version(payload, "chartag bundle")
+        if payload.get("task") != "chartag":
+            raise PersistenceError(
+                f"chartag-bundle payload declares task {payload.get('task')!r}; "
+                "expected 'chartag' — this artifact belongs to another workload"
+            )
+        if "model" not in payload:
+            raise PersistenceError(
+                "chartag-bundle payload is missing its 'model' field"
+            )
+        extractor = CharFeatureExtractor()
+        extractor.window = int(payload.get("window", CharFeatureExtractor.window))
+        tagger = CharTagger(extractor, family=payload.get("family", "perceptron"))
+        tagger.model = load_sequence_model(payload["model"])
+        return cls(tagger)
+
+    # ------------------------------------------------------------------- IO
+
+    def save(self, path: str | Path) -> None:
+        """Atomically write the bundle as one checksummed JSON artifact."""
+        write_artifact(path, self.to_payload(), format=CHARTAG_ARTIFACT_FORMAT)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CharTagBundle":
+        """Load and validate a bundle previously written by :meth:`save`."""
+        path = Path(path)
+        return cls.loads(path.read_text(encoding="utf-8"), source=str(path))
+
+    @classmethod
+    def loads(cls, text: str, *, source: str = "<chartag-bundle>") -> "CharTagBundle":
+        """Validate and rebuild a bundle from artifact text already in hand.
+
+        This is the registry loader hook: the registry fingerprints the
+        exact bytes it parses, and corrupt JSON, checksum mismatches,
+        wrong format markers and unknown versions all raise
+        :class:`~repro.errors.PersistenceError`.
+        """
+        payload = parse_artifact(
+            text,
+            format=CHARTAG_ARTIFACT_FORMAT,
+            source=source,
+            what="chartag bundle artifact",
+        )
+        return cls.from_payload(payload)

@@ -1,0 +1,137 @@
+"""Character-window feature templates for the char-tagging workload.
+
+Where the NER extractors (:mod:`repro.ner.features`) emit features per
+*word*, this extractor emits features per *character* of a text line:
+character identity, a coarse character class (digit / letter / space /
+punctuation), identity and class of the neighbouring characters in a
+±``window`` context, and the two surrounding bigrams.  The output has the
+exact shape the engine's CSR encoder expects — one ``list[str]`` per
+position — so the trained labellers, the batch Viterbi and the inference
+session treat a character sequence like any token sequence.
+
+The alphabet is tiny (printable ASCII plus a long tail), so the same
+``lru_cache`` memoisation strategy as the word-level extractors pays off
+even more here: every static feature string is formatted once per distinct
+character (or character pair) for the life of the process.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+
+__all__ = ["CharFeatureExtractor"]
+
+#: Characters and bigrams are a far smaller space than word vocabularies;
+#: this bound exists only to keep adversarial input from growing the memos.
+_MEMO_SIZE = 65536
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _char_class(char: str) -> str:
+    if char.isdigit():
+        return "d"
+    if char.isalpha():
+        return "A" if char.isupper() else "a"
+    if char.isspace():
+        return "_"
+    return "p"
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _char_static(char: str) -> tuple[tuple[str, ...], bool]:
+    """(static features, is_upper flag) for one character."""
+    lowered = char.lower()
+    return (
+        ("bias", f"c={lowered}", f"cls={_char_class(char)}"),
+        char.isupper(),
+    )
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _neighbor(label: str, char: str) -> str:
+    """Cached ``c[-1]=x`` style context strings (lower-cased identity)."""
+    return f"c[{label}]={char.lower()}"
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _neighbor_class(label: str, char: str) -> str:
+    return f"cls[{label}]={_char_class(char)}"
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _bigram(left: str, right: str) -> str:
+    return f"bi={left.lower()}{right.lower()}"
+
+
+@lru_cache(maxsize=64)
+def _window_labels(window: int) -> tuple[tuple[int, str, str, str, str], ...]:
+    """(offset, left/right labels, left/right boundary features)."""
+    return tuple(
+        (offset, f"-{offset}", f"+{offset}", f"c[-{offset}]=<s>", f"c[+{offset}]=</s>")
+        for offset in range(1, window + 1)
+    )
+
+
+class CharFeatureExtractor:
+    """Per-character features over a text line.
+
+    ``sequence_features`` accepts either a string or any sequence of
+    single-character tokens and treats both identically — the serving
+    queue hands sequences around as tuples of characters, while the
+    training and tagging APIs naturally work on strings, and the two
+    views must produce byte-identical features.
+
+    Stateless (the memos above are module-level and thread-safe), so one
+    instance can be shared across threads and experiments.
+    """
+
+    window = 3
+
+    def sequence_features(self, chars: str | Sequence[str]) -> list[list[str]]:
+        """Feature lists for every character position of ``chars``."""
+        text = chars if isinstance(chars, str) else "".join(chars)
+        return [self.char_features(text, index) for index in range(len(text))]
+
+    def char_features(self, text: str, index: int) -> list[str]:
+        """Features for the character at ``index`` of ``text``."""
+        char = text[index]
+        length = len(text)
+        static, is_upper = _char_static(char)
+        features = list(static)
+        features.append(
+            "pos=first"
+            if index == 0
+            else "pos=last" if index == length - 1 else "pos=mid"
+        )
+        if is_upper:
+            features.append("is_upper")
+        for offset, left_label, right_label, left_bound, right_bound in _window_labels(
+            self.window
+        ):
+            features.append(
+                _neighbor(left_label, text[index - offset])
+                if index - offset >= 0
+                else left_bound
+            )
+            features.append(
+                _neighbor(right_label, text[index + offset])
+                if index + offset < length
+                else right_bound
+            )
+        # Class of the immediate neighbours: lets the model see word
+        # boundaries (letter→space) and number boundaries (digit→letter)
+        # without memorising every character pair.
+        features.append(
+            _neighbor_class("-1", text[index - 1]) if index > 0 else "cls[-1]=<s>"
+        )
+        features.append(
+            _neighbor_class("+1", text[index + 1])
+            if index + 1 < length
+            else "cls[+1]=</s>"
+        )
+        features.append(_bigram(text[index - 1], char) if index > 0 else "bi=<s>")
+        features.append(
+            _bigram(char, text[index + 1]) if index + 1 < length else "bi=</s>"
+        )
+        return features

@@ -1,0 +1,172 @@
+"""The char-level tagging model: NerModel's shape, one level down.
+
+:class:`CharTagger` pairs :class:`~repro.chartag.features.CharFeatureExtractor`
+with any of the three sequence labellers from
+:func:`~repro.ner.model.make_sequence_model` and runs them over *character*
+sequences.  The engine substrate is reused unchanged: the same
+:class:`~repro.engine.InferenceSession` caches features and decodes (keyed
+on the line's text), ``tag_batch`` dedups cache misses into one
+``predict_batch`` call (length-bucketed batch Viterbi for the engine-backed
+labellers), and span extraction reuses
+:func:`~repro.ner.encoding.spans_from_tags` — a span's ``start``/``end``
+are simply character offsets into the line instead of token indices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.engine import InferenceSession
+from repro.errors import DataError
+from repro.ner.encoding import spans_from_tags
+from repro.ner.model import TaggedEntity, make_sequence_model
+from repro.utils import require_equal_lengths
+
+from repro.chartag.features import CharFeatureExtractor
+
+__all__ = ["CharTagger"]
+
+
+def _text(chars: str | Sequence[str]) -> str:
+    """Normalise a line to its string form.
+
+    The serving queue hands lines around as tuples of single-character
+    tokens; the public APIs take strings.  Both must hit the same cache
+    entries and produce identical output, so everything is keyed on the
+    joined string.
+    """
+    return chars if isinstance(chars, str) else "".join(chars)
+
+
+class CharTagger:
+    """Character-level sequence tagger over text lines.
+
+    Args:
+        feature_extractor: Char-window feature extractor; defaults to a
+            fresh :class:`CharFeatureExtractor`.
+        family: Sequence-labeller family (``"crf"``, ``"perceptron"``,
+            ``"hmm"``).
+        seed: Seed for stochastic training procedures.
+        **model_options: Extra options forwarded to
+            :func:`~repro.ner.model.make_sequence_model`.
+    """
+
+    def __init__(
+        self,
+        feature_extractor: CharFeatureExtractor | None = None,
+        *,
+        family: str = "perceptron",
+        seed: int | None = None,
+        **model_options,
+    ) -> None:
+        self.feature_extractor = feature_extractor or CharFeatureExtractor()
+        self.family = family
+        self.model = make_sequence_model(family, seed=seed, **model_options)
+        self.session = InferenceSession()
+
+    # ----------------------------------------------------------------- train
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the underlying sequence model is fitted."""
+        return self.model.is_trained
+
+    def train(
+        self,
+        texts: Sequence[str | Sequence[str]],
+        tag_sequences: Sequence[Sequence[str]],
+    ) -> "CharTagger":
+        """Train on parallel (line, per-character tag sequence) pairs."""
+        require_equal_lengths("texts", texts, "tag_sequences", tag_sequences)
+        if len(texts) == 0:
+            raise DataError("cannot train a char tagger on an empty dataset")
+        lines = [_text(chars) for chars in texts]
+        for line, tags in zip(lines, tag_sequences):
+            if len(line) != len(tags):
+                raise DataError(
+                    f"char/tag length mismatch: {len(line)} characters vs "
+                    f"{len(tags)} tags for line {line!r}"
+                )
+        features = [self.feature_extractor.sequence_features(line) for line in lines]
+        labels = [list(tags) for tags in tag_sequences]
+        self.model.fit(features, labels)
+        self.session.clear()
+        return self
+
+    # ------------------------------------------------------------------- tag
+
+    def _features(self, line: str) -> list[list[str]]:
+        """Session-cached feature extraction keyed on the line."""
+        cached = self.session.get_features(line)
+        if cached is None:
+            cached = self.feature_extractor.sequence_features(line)
+            self.session.put_features(line, cached)
+        return cached
+
+    def tag(self, chars: str | Sequence[str]) -> list[str]:
+        """Predict one tag per character of the line."""
+        line = _text(chars)
+        if not line:
+            return []
+        cached = self.session.get_decode(line)
+        if cached is None:
+            cached = tuple(self.model.predict(self._features(line)))
+            self.session.put_decode(line, cached)
+        return list(cached)
+
+    def tag_batch(
+        self, char_sequences: Sequence[str | Sequence[str]]
+    ) -> list[list[str]]:
+        """Tag many lines with one batched decode for the cache misses.
+
+        Results are element-wise identical to calling :meth:`tag` per line.
+        """
+        results: list[list[str] | None] = [None] * len(char_sequences)
+        miss_positions: dict[str, list[int]] = {}
+        for position, chars in enumerate(char_sequences):
+            line = _text(chars)
+            if not line:
+                results[position] = []
+                continue
+            cached = self.session.get_decode(line)
+            if cached is not None:
+                results[position] = list(cached)
+            else:
+                miss_positions.setdefault(line, []).append(position)
+        if miss_positions:
+            miss_lines = list(miss_positions)
+            features = [self._features(line) for line in miss_lines]
+            predictions = self.model.predict_batch(features)
+            for line, tags in zip(miss_lines, predictions):
+                self.session.put_decode(line, tuple(tags))
+                for position in miss_positions[line]:
+                    results[position] = list(tags)
+        return results  # type: ignore[return-value]
+
+    def extract_spans(self, chars: str | Sequence[str]) -> list[TaggedEntity]:
+        """Group predicted tags into labelled character spans of the line."""
+        line = _text(chars)
+        tags = self.tag(line)
+        return [
+            TaggedEntity(
+                label=span.label,
+                text=line[span.start : span.end],
+                start=span.start,
+                end=span.end,
+            )
+            for span in spans_from_tags(tags)
+        ]
+
+    def labels(self) -> list[str]:
+        """Labels known to the underlying model (includes ``O`` if present)."""
+        return self.model.labels()
+
+    # ----------------------------------------------------------------- stats
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters and entry counts of the inference session caches."""
+        return self.session.stats()
+
+    def reset_stats(self) -> None:
+        """Zero the cache counters while keeping the cached entries warm."""
+        self.session.reset_stats()

@@ -1,0 +1,141 @@
+"""From char spans to structured recipes.
+
+The recipe pipelines structure text through tokens, POS tags and
+dictionaries; the char workload reaches the same
+:class:`~repro.core.recipe_model.StructuredRecipe` from nothing but the
+tagger's character spans.  A line containing a ``PROCESS`` span is an
+instruction step (processes + ingredient names + utensils, one relation
+tuple per process); any other line is an ingredient record (first
+``NAME``/``STATE``/``QUANTITY``/``UNIT`` spans, with the quantity parsed
+numerically).  The output feeds the existing index builder and query
+engine unchanged, which is what closes the char pipeline end to end:
+generate → tag → structure → index → query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.corpus.reader import iter_jsonl
+from repro.corpus.sink import StructuredRecipeSink
+from repro.ner.encoding import spans_from_tags
+from repro.text.normalize import parse_quantity
+
+from repro.chartag.model import CharTagger
+
+__all__ = ["structure_document", "structure_raw_jsonl"]
+
+
+def _first(spans, line: str, label: str) -> str:
+    for span in spans:
+        if span.label == label:
+            return line[span.start : span.end]
+    return ""
+
+
+def structure_document(
+    tagger: CharTagger,
+    doc_id: str,
+    title: str,
+    lines: Sequence[str],
+) -> StructuredRecipe:
+    """Tag every line of a raw document and assemble a structured recipe.
+
+    The lines are decoded in one :meth:`~repro.chartag.model.CharTagger.tag_batch`
+    call (one batched Viterbi for the cache misses), then each line's
+    spans decide its role: ``PROCESS`` anywhere makes it an instruction
+    event, otherwise it is an ingredient record.
+    """
+    tag_sequences = tagger.tag_batch(list(lines))
+    records: list[IngredientRecord] = []
+    events: list[InstructionEvent] = []
+    for line, tags in zip(lines, tag_sequences):
+        spans = spans_from_tags(tags)
+        labels = {span.label for span in spans}
+        if "PROCESS" in labels:
+            processes = tuple(
+                line[span.start : span.end]
+                for span in spans
+                if span.label == "PROCESS"
+            )
+            ingredients = tuple(
+                line[span.start : span.end]
+                for span in spans
+                if span.label == "NAME"
+            )
+            utensils = tuple(
+                line[span.start : span.end]
+                for span in spans
+                if span.label == "UTENSIL"
+            )
+            events.append(
+                InstructionEvent(
+                    step_index=len(events),
+                    text=line,
+                    processes=processes,
+                    ingredients=ingredients,
+                    utensils=utensils,
+                    relations=tuple(
+                        RelationTuple(
+                            process=process,
+                            ingredients=ingredients,
+                            utensils=utensils,
+                        )
+                        for process in processes
+                    ),
+                )
+            )
+        else:
+            quantity = _first(spans, line, "QUANTITY")
+            records.append(
+                IngredientRecord(
+                    phrase=line,
+                    name=_first(spans, line, "NAME"),
+                    state=_first(spans, line, "STATE"),
+                    quantity=quantity,
+                    unit=_first(spans, line, "UNIT"),
+                    quantity_value=parse_quantity(quantity) if quantity else None,
+                )
+            )
+    return StructuredRecipe(
+        recipe_id=doc_id,
+        title=title,
+        ingredients=tuple(records),
+        events=tuple(events),
+    )
+
+
+def structure_raw_jsonl(
+    tagger: CharTagger,
+    input_path: str | Path,
+    output_path: str | Path,
+) -> int:
+    """Structure a raw-document JSONL stream into a structured-recipe sink.
+
+    The input is ``{"doc_id", "title", "lines"}`` per line (the shape
+    :func:`repro.corpus.synth.write_raw_documents` emits); the output is
+    ``StructuredRecipe.to_json`` per line — directly indexable by
+    ``index build`` and ingestable by the daemon.  Both sides stream, so
+    memory stays flat regardless of corpus size.  Returns the count.
+    """
+    import json
+
+    documents = iter_jsonl(input_path, json.loads, what="raw document")
+    with StructuredRecipeSink(Path(output_path)) as sink:
+        for document in documents:
+            sink.write(
+                structure_document(
+                    tagger,
+                    document["doc_id"],
+                    document.get("title", ""),
+                    document["lines"],
+                )
+            )
+        return sink.count

@@ -591,7 +591,208 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
     serve.set_defaults(handler=_cmd_serve)
 
+    chartag = subparsers.add_parser(
+        "chartag",
+        help=(
+            "the character-level tagging workload: train, tag, serve and "
+            "index through the same engine and serving stack"
+        ),
+    )
+    chartag_commands = chartag.add_subparsers(
+        dest="chartag_command", required=True, metavar="subcommand"
+    )
+
+    chartag_train = chartag_commands.add_parser(
+        "train", help="train a char tagger on {text, tags} JSONL examples"
+    )
+    chartag_train.add_argument(
+        "--input",
+        required=True,
+        help=(
+            "training JSONL: {\"text\", \"tags\"} per line with one tag per "
+            "character (`synth chartag` emits this shape)"
+        ),
+    )
+    chartag_train.add_argument(
+        "--output", required=True, help="path the chartag bundle artifact is written to"
+    )
+    chartag_train.add_argument(
+        "--family",
+        default="perceptron",
+        choices=("crf", "perceptron", "hmm"),
+        help="sequence-model family (default: perceptron)",
+    )
+    chartag_train.add_argument(
+        "--seed", type=int, default=0, help="training seed (default: 0)"
+    )
+    chartag_train.set_defaults(handler=_cmd_chartag_train)
+
+    chartag_tag = chartag_commands.add_parser(
+        "tag",
+        help=(
+            "tag lines character-by-character with a saved chartag bundle "
+            "(JSON per line on stdout), or structure a raw-document JSONL "
+            "with --input"
+        ),
+    )
+    chartag_tag.add_argument(
+        "--bundle", required=True, help="chartag bundle artifact to load"
+    )
+    chartag_tag.add_argument(
+        "--input",
+        help=(
+            "raw-document JSONL ({\"doc_id\", \"title\", \"lines\"} per line) "
+            "to structure into recipe JSONL"
+        ),
+    )
+    chartag_tag.add_argument(
+        "--output",
+        help="write structured-recipe JSONL here instead of stdout (with --input)",
+    )
+    chartag_tag.add_argument(
+        "lines",
+        nargs="*",
+        help="text lines to tag (reads one line per stdin row when omitted)",
+    )
+    chartag_tag.set_defaults(handler=_cmd_chartag_tag)
+
+    chartag_serve = chartag_commands.add_parser(
+        "serve",
+        help=(
+            "serve a chartag bundle over HTTP: POST /v1/tag with "
+            "{\"section\": \"char\"} through the shared microbatched stack"
+        ),
+    )
+    chartag_serve.add_argument(
+        "--bundle", required=True, help="chartag bundle artifact to serve"
+    )
+    chartag_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    chartag_serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (default: 8080)"
+    )
+    chartag_serve.add_argument(
+        "--max-batch", type=int, default=256, help="flush threshold per batch decode"
+    )
+    chartag_serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="microbatch coalescing window in milliseconds (default: 2)",
+    )
+    chartag_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    chartag_serve.set_defaults(handler=_cmd_chartag_serve)
+
+    chartag_index = chartag_commands.add_parser(
+        "index",
+        help=(
+            "structure a raw-document JSONL with a chartag bundle and build "
+            "a recipe index from the result in one pass"
+        ),
+    )
+    chartag_index.add_argument(
+        "--bundle", required=True, help="chartag bundle artifact to structure with"
+    )
+    chartag_index.add_argument(
+        "--input", required=True, help="raw-document JSONL to structure and index"
+    )
+    chartag_index.add_argument(
+        "--output", required=True, help="path the index artifact is written to"
+    )
+    chartag_index.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition into N hash shards and write a shard manifest",
+    )
+    chartag_index.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for parallel shard builds with --shards (default: 1)",
+    )
+    chartag_index.add_argument(
+        "--format",
+        choices=("v1", "v2"),
+        default="v1",
+        help="artifact representation (default: v1)",
+    )
+    chartag_index.set_defaults(handler=_cmd_chartag_index)
+
+    synth = subparsers.add_parser(
+        "synth",
+        help=(
+            "generate seeded synthetic corpora offline (same seed + params "
+            "= byte-identical output)"
+        ),
+    )
+    synth_commands = synth.add_subparsers(
+        dest="synth_command", required=True, metavar="subcommand"
+    )
+
+    synth_corpus = synth_commands.add_parser(
+        "corpus",
+        help=(
+            "write a structured-recipe corpus JSONL (feeds `index build` and "
+            "`ingest run` unchanged), optionally with a ground-truth manifest"
+        ),
+    )
+    _add_synth_options(synth_corpus)
+    synth_corpus.add_argument(
+        "--output", required=True, help="corpus JSONL destination"
+    )
+    synth_corpus.add_argument(
+        "--manifest",
+        help=(
+            "also write the ground-truth manifest artifact here (RNG "
+            "contract, params, corpus sha256, per-field document frequencies)"
+        ),
+    )
+    synth_corpus.add_argument(
+        "--raw",
+        help=(
+            "also write the raw-document view ({\"doc_id\", \"title\", "
+            "\"lines\"} JSONL) here — the input `chartag tag/index` structure"
+        ),
+    )
+    synth_corpus.set_defaults(handler=_cmd_synth_corpus)
+
+    synth_chartag = synth_commands.add_parser(
+        "chartag",
+        help=(
+            "write char-level training examples ({\"text\", \"tags\", "
+            "\"kind\"} JSONL) with gold tags aligned per character"
+        ),
+    )
+    _add_synth_options(synth_chartag)
+    synth_chartag.add_argument(
+        "--output", required=True, help="training-example JSONL destination"
+    )
+    synth_chartag.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="stop after this many examples (default: every line of every doc)",
+    )
+    synth_chartag.set_defaults(handler=_cmd_synth_chartag)
+
     return parser
+
+
+def _add_synth_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="corpus seed (default: 0)")
+    parser.add_argument(
+        "--docs", type=int, default=1000, help="documents to generate (default: 1000)"
+    )
+    parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="entity-popularity skew; 0 = uniform (default: 1.1)",
+    )
 
 
 # ------------------------------------------------------------------- commands
@@ -1103,6 +1304,168 @@ def _serve_async(arguments: argparse.Namespace, service, search, ingest=None) ->
         pass
     finally:
         service.close()
+    return 0
+
+
+# ------------------------------------------------------------ char workload
+
+
+def _chartag_registry(bundle_path: str):
+    from repro.chartag import CharTagBundle
+    from repro.serve import ModelRegistry
+
+    registry = ModelRegistry(
+        loader=lambda text, source: CharTagBundle.loads(text, source=source)
+    )
+    registry.load(bundle_path)
+    return registry
+
+
+def _cmd_chartag_train(arguments: argparse.Namespace) -> int:
+    from repro.chartag import CharTagBundle, CharTagger
+    from repro.corpus.reader import iter_jsonl
+
+    texts: list[str] = []
+    tag_sequences: list[list[str]] = []
+    for example in iter_jsonl(arguments.input, json.loads, what="chartag example"):
+        texts.append(example["text"])
+        tag_sequences.append(example["tags"])
+    tagger = CharTagger(family=arguments.family, seed=arguments.seed)
+    tagger.train(texts, tag_sequences)
+    CharTagBundle(tagger).save(arguments.output)
+    record = _chartag_registry(arguments.output).get("default")
+    print(json.dumps({"saved": record.describe(), "examples": len(texts)}))
+    return 0
+
+
+def _cmd_chartag_tag(arguments: argparse.Namespace) -> int:
+    from repro.chartag import CharTagBundle, structure_raw_jsonl
+
+    if arguments.input:
+        if arguments.lines:
+            print(
+                "chartag tag: --input and positional lines are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        tagger = CharTagBundle.load(arguments.bundle).tagger
+        count = structure_raw_jsonl(
+            tagger, arguments.input, arguments.output or "/dev/stdout"
+        )
+        print(
+            f"structured {count} documents from {arguments.input}", file=sys.stderr
+        )
+        return 0
+    from repro.chartag import CHAR_SECTION, CharTagService
+
+    lines = arguments.lines or [line.rstrip("\n") for line in sys.stdin]
+    registry = _chartag_registry(arguments.bundle)
+    with CharTagService(registry, max_delay_s=0.0) as service:
+        for result in service.tag_lines(CHAR_SECTION, lines):
+            print(json.dumps(result))
+    return 0
+
+
+def _cmd_chartag_serve(arguments: argparse.Namespace) -> int:
+    from repro.chartag import CharTagService
+    from repro.serve import make_server
+
+    registry = _chartag_registry(arguments.bundle)
+    service = CharTagService(
+        registry,
+        max_batch=arguments.max_batch,
+        max_delay_s=arguments.max_delay_ms / 1000.0,
+    )
+    server = make_server(
+        service,
+        host=arguments.host,
+        port=arguments.port,
+        verbose=arguments.verbose,
+    )
+    record = service.model_record()
+    print(
+        f"serving chartag bundle {record.path} (sha256 {record.sha256[:12]}, "
+        f"generation {record.generation}) on "
+        f"http://{arguments.host}:{server.server_address[1]} "
+        '(section "char")'
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_chartag_index(arguments: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.chartag import CharTagBundle, structure_raw_jsonl
+    from repro.index import IndexBuilder, build_sharded_index
+
+    tagger = CharTagBundle.load(arguments.bundle).tagger
+    output = Path(arguments.output)
+    with tempfile.TemporaryDirectory(dir=output.parent) as staging:
+        structured = Path(staging) / "structured.jsonl"
+        count = structure_raw_jsonl(tagger, arguments.input, structured)
+        if arguments.shards is not None:
+            manifest = build_sharded_index(
+                structured,
+                output,
+                num_shards=arguments.shards,
+                workers=arguments.workers,
+                format=arguments.format,
+            )
+            summary = manifest.describe()
+        else:
+            index = IndexBuilder.build_from_jsonl(structured)
+            index.save(output, kind=arguments.format)
+            summary = {**index.stats(), "format": arguments.format}
+    print(
+        json.dumps(
+            {"structured": count, "indexed": summary, "output": arguments.output}
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------- synthetic corpus
+
+
+def _synth_params(arguments: argparse.Namespace):
+    from repro.corpus.synth import SynthParams
+
+    return SynthParams(
+        seed=arguments.seed, docs=arguments.docs, zipf_s=arguments.zipf_s
+    )
+
+
+def _cmd_synth_corpus(arguments: argparse.Namespace) -> int:
+    from repro.corpus.synth import write_raw_documents, write_synth_corpus
+
+    summary = write_synth_corpus(
+        _synth_params(arguments),
+        arguments.output,
+        manifest_path=arguments.manifest,
+    )
+    if arguments.raw:
+        write_raw_documents(_synth_params(arguments), arguments.raw)
+        summary["raw"] = arguments.raw
+    print(json.dumps(summary))
+    return 0
+
+
+def _cmd_synth_chartag(arguments: argparse.Namespace) -> int:
+    from repro.corpus.synth import write_chartag_examples
+
+    count = write_chartag_examples(
+        _synth_params(arguments), arguments.output, limit=arguments.limit
+    )
+    print(json.dumps({"examples": count, "path": arguments.output}))
     return 0
 
 

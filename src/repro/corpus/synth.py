@@ -1,0 +1,439 @@
+"""Seeded synthetic-corpus generator: millions of documents, zero I/O deps.
+
+The simulated corpus behind the paper experiments tops out at a few
+thousand recipes — enough to reproduce tables, far too small to exercise
+the sharded index, the ingest daemon or the serving queues at realistic
+load.  This module generates *arbitrarily large* recipe corpora offline
+from the same lexicons, with two properties the load harness needs:
+
+* **Deterministic byte-for-byte.**  Document ``i`` is a pure function of
+  ``(params, seed, i)``: each document draws from its own
+  ``random.Random(f"repro.synth:{seed}:{i}")``, so the same seed and
+  params always produce byte-identical JSONL — across runs, across
+  processes, and independent of generation order or ``PYTHONHASHSEED``.
+  A corollary worth relying on: a ``docs=N`` corpus is a byte-prefix of
+  the same-seed ``docs=M`` corpus for every ``N <= M``.
+* **Known ground truth.**  Every document is built from entities the
+  generator chose, so it can emit, next to the corpus, (a) per-line
+  character-level gold tags for the :mod:`repro.chartag` workload and
+  (b) a manifest of per-field document frequencies that retrieval
+  results can be checked against exactly.
+
+Entity popularity follows a Zipf-like law over each lexicon's order
+(weight of rank ``r`` is ``1 / (r + 1) ** zipf_s``), which is what makes
+the generated posting lists realistically skewed.
+
+Streaming is constant-memory: :func:`iter_documents` yields one
+:class:`SynthDocument` at a time and the writers push them straight into
+the existing corpus sinks, so the generated JSONL feeds ``index build``
+and the ingest daemon unchanged (corpus lines *are*
+``StructuredRecipe.to_json`` lines — the daemon's feed protocol).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from bisect import bisect_right
+from dataclasses import asdict, dataclass, field
+from functools import lru_cache
+from itertools import accumulate
+from pathlib import Path
+
+from repro.core.recipe_model import (
+    IngredientRecord,
+    InstructionEvent,
+    RelationTuple,
+    StructuredRecipe,
+)
+from repro.corpus.sink import StructuredRecipeSink
+from repro.data.lexicons import CUISINES, INGREDIENTS, STATES, TECHNIQUES, UNITS, UTENSILS
+from repro.errors import ConfigurationError
+from repro.ner.encoding import OUTSIDE_TAG
+from repro.persistence import (
+    FORMAT_VERSION,
+    file_sha256,
+    parse_artifact,
+    write_artifact,
+)
+from repro.text.normalize import parse_quantity
+
+__all__ = [
+    "SYNTH_MANIFEST_FORMAT",
+    "CharExample",
+    "SynthDocument",
+    "SynthParams",
+    "document_at",
+    "iter_documents",
+    "load_manifest",
+    "write_chartag_examples",
+    "write_raw_documents",
+    "write_synth_corpus",
+]
+
+#: ``format`` marker of the ground-truth manifest artifact envelope.
+SYNTH_MANIFEST_FORMAT = "repro-synth-manifest"
+
+#: The per-document RNG derivation, recorded in every manifest so the
+#: contract is auditable from the artifact alone.
+RNG_CONTRACT = "random.Random(f'repro.synth:{seed}:{index}') per document"
+
+_QUANTITIES = ("1", "2", "3", "4", "5", "1/2", "1/3", "1/4", "3/4", "1 1/2", "2 1/2")
+
+
+@dataclass(frozen=True)
+class SynthParams:
+    """Generator knobs; equal params + seed means byte-identical output.
+
+    Attributes:
+        seed: Corpus seed; combined with the document index to derive each
+            document's private RNG (see :data:`RNG_CONTRACT`).
+        docs: Number of documents to generate.
+        zipf_s: Skew of the rank-weight law over every lexicon
+            (``0`` = uniform; larger = more head-heavy posting lists).
+        min_ingredients / max_ingredients: Per-document ingredient count
+            range (duplicates sampled within a document are collapsed, so
+            a document may end up with fewer, never more).
+        min_steps / max_steps: Per-document instruction step count range.
+        unit_probability: Chance an ingredient phrase carries a unit.
+        state_probability: Chance an ingredient phrase carries a state.
+        utensil_probability: Chance a step mentions a utensil.
+        second_ingredient_probability: Chance a step names two ingredients.
+    """
+
+    seed: int = 0
+    docs: int = 1000
+    zipf_s: float = 1.1
+    min_ingredients: int = 2
+    max_ingredients: int = 6
+    min_steps: int = 1
+    max_steps: int = 4
+    unit_probability: float = 0.85
+    state_probability: float = 0.5
+    utensil_probability: float = 0.6
+    second_ingredient_probability: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.docs < 0:
+            raise ConfigurationError(f"docs must be >= 0, got {self.docs}")
+        if self.zipf_s < 0:
+            raise ConfigurationError(f"zipf_s must be >= 0, got {self.zipf_s}")
+        for low_name, high_name in (
+            ("min_ingredients", "max_ingredients"),
+            ("min_steps", "max_steps"),
+        ):
+            low, high = getattr(self, low_name), getattr(self, high_name)
+            if not 1 <= low <= high:
+                raise ConfigurationError(
+                    f"need 1 <= {low_name} <= {high_name}, got {low} and {high}"
+                )
+        for name in (
+            "unit_probability",
+            "state_probability",
+            "utensil_probability",
+            "second_ingredient_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SynthParams":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class CharExample:
+    """One rendered text line with aligned per-character gold tags.
+
+    ``tags`` has exactly ``len(text)`` entries; separator spaces (and any
+    punctuation) carry :data:`~repro.ner.encoding.OUTSIDE_TAG`, characters
+    inside a multi-word entity ("olive oil") carry the entity label —
+    internal spaces included, so consecutive-tag span grouping keeps the
+    entity whole.
+    """
+
+    text: str
+    tags: tuple[str, ...]
+    kind: str  # "ingredient" | "instruction"
+
+    def __post_init__(self) -> None:
+        if len(self.tags) != len(self.text):
+            raise ConfigurationError(
+                f"tags/text misaligned: {len(self.tags)} tags for "
+                f"{len(self.text)} characters"
+            )
+
+
+@dataclass(frozen=True)
+class SynthDocument:
+    """One generated document in all three of its views.
+
+    Attributes:
+        index: Document index within the corpus (stable across runs).
+        recipe: The structured view written to the corpus JSONL.
+        lines: The rendered text lines with character-level gold tags —
+            the raw-document view the char tagger consumes, consistent
+            with ``recipe`` by construction.
+    """
+
+    index: int
+    recipe: StructuredRecipe
+    lines: tuple[CharExample, ...] = field(default_factory=tuple)
+
+
+# ------------------------------------------------------------------ sampling
+
+
+@lru_cache(maxsize=64)
+def _cumulative_weights(count: int, zipf_s: float) -> tuple[float, ...]:
+    return tuple(accumulate((rank + 1) ** -zipf_s for rank in range(count)))
+
+
+def _zipf_index(rng: random.Random, count: int, zipf_s: float) -> int:
+    cumulative = _cumulative_weights(count, zipf_s)
+    point = rng.random() * cumulative[-1]
+    return min(bisect_right(cumulative, point), count - 1)
+
+
+def _zipf_pick(rng: random.Random, items, zipf_s: float):
+    return items[_zipf_index(rng, len(items), zipf_s)]
+
+
+def _render(pieces: list[tuple[str, str]], kind: str) -> CharExample:
+    parts: list[str] = []
+    tags: list[str] = []
+    for position, (text, label) in enumerate(pieces):
+        if position:
+            parts.append(" ")
+            tags.append(OUTSIDE_TAG)
+        parts.append(text)
+        tags.extend([label] * len(text))
+    return CharExample(text="".join(parts), tags=tuple(tags), kind=kind)
+
+
+# ---------------------------------------------------------------- generation
+
+
+def document_at(params: SynthParams, index: int) -> SynthDocument:
+    """Generate document ``index`` — order-independent and restartable."""
+    rng = random.Random(f"repro.synth:{params.seed}:{index}")
+
+    wanted = rng.randint(params.min_ingredients, params.max_ingredients)
+    entries = []
+    seen: set[str] = set()
+    for _ in range(wanted):
+        entry = _zipf_pick(rng, INGREDIENTS, params.zipf_s)
+        if entry.name not in seen:
+            seen.add(entry.name)
+            entries.append(entry)
+
+    records: list[IngredientRecord] = []
+    lines: list[CharExample] = []
+    for entry in entries:
+        pieces: list[tuple[str, str]] = [(rng.choice(_QUANTITIES), "QUANTITY")]
+        unit = ""
+        if rng.random() < params.unit_probability:
+            unit_entry = _zipf_pick(rng, UNITS, params.zipf_s)
+            unit = unit_entry.name
+            pieces.append((" ".join(unit_entry.tokens), "UNIT"))
+        state = ""
+        if rng.random() < params.state_probability:
+            state = _zipf_pick(rng, STATES, params.zipf_s)
+            pieces.append((state, "STATE"))
+        pieces.append((" ".join(entry.tokens), "NAME"))
+        example = _render(pieces, "ingredient")
+        lines.append(example)
+        quantity = pieces[0][0]
+        records.append(
+            IngredientRecord(
+                phrase=example.text,
+                name=entry.name,
+                state=state,
+                quantity=quantity,
+                unit=unit,
+                quantity_value=parse_quantity(quantity),
+            )
+        )
+
+    events: list[InstructionEvent] = []
+    steps = rng.randint(params.min_steps, params.max_steps)
+    for step_index in range(steps):
+        process = _zipf_pick(rng, TECHNIQUES, params.zipf_s)
+        step_ingredients = [rng.choice(entries)]
+        if len(entries) > 1 and rng.random() < params.second_ingredient_probability:
+            other = rng.choice(entries)
+            if other.name != step_ingredients[0].name:
+                step_ingredients.append(other)
+        pieces = [(" ".join(process.tokens), "PROCESS"), ("the", OUTSIDE_TAG)]
+        pieces.append((" ".join(step_ingredients[0].tokens), "NAME"))
+        for extra in step_ingredients[1:]:
+            pieces.append(("and", OUTSIDE_TAG))
+            pieces.append((" ".join(extra.tokens), "NAME"))
+        utensils: tuple[str, ...] = ()
+        if rng.random() < params.utensil_probability:
+            utensil = _zipf_pick(rng, UTENSILS, params.zipf_s)
+            surface = " ".join(utensil.tokens)
+            article = "an" if surface[0] in "aeiou" else "a"
+            pieces.extend([("in", OUTSIDE_TAG), (article, OUTSIDE_TAG)])
+            pieces.append((surface, "UTENSIL"))
+            utensils = (utensil.name,)
+        pieces.append((".", OUTSIDE_TAG))
+        example = _render(pieces, "instruction")
+        lines.append(example)
+        ingredient_names = tuple(entry.name for entry in step_ingredients)
+        events.append(
+            InstructionEvent(
+                step_index=step_index,
+                text=example.text,
+                processes=(process.name,),
+                ingredients=ingredient_names,
+                utensils=utensils,
+                relations=(
+                    RelationTuple(
+                        process=process.name,
+                        ingredients=ingredient_names,
+                        utensils=utensils,
+                    ),
+                ),
+            )
+        )
+
+    title = f"{rng.choice(CUISINES)} {entries[0].name}" if entries else "untitled"
+    recipe = StructuredRecipe(
+        recipe_id=f"synth-{params.seed}-{index:08d}",
+        title=title,
+        ingredients=tuple(records),
+        events=tuple(events),
+    )
+    return SynthDocument(index=index, recipe=recipe, lines=tuple(lines))
+
+
+def iter_documents(params: SynthParams):
+    """Stream the corpus one :class:`SynthDocument` at a time."""
+    for index in range(params.docs):
+        yield document_at(params, index)
+
+
+# ------------------------------------------------------------------- writers
+
+
+def write_synth_corpus(
+    params: SynthParams,
+    path: str | Path,
+    *,
+    manifest_path: str | Path | None = None,
+) -> dict:
+    """Write the corpus JSONL (``StructuredRecipe.to_json`` per line).
+
+    The output feeds ``index build --input`` and the ingest daemon's watch
+    path unchanged.  With ``manifest_path``, also writes the ground-truth
+    manifest artifact: the RNG contract, the params, the corpus file's
+    SHA-256 and per-field *document frequencies* (documents containing
+    each indexed term, the exact number an ``ingredient:term`` query over
+    a full index of this corpus must return).  Returns a summary dict.
+    """
+    from repro.index.builder import extract_entities  # local: avoid cycles
+
+    path = Path(path)
+    frequencies: dict[str, dict[str, int]] | None = {} if manifest_path else None
+    with StructuredRecipeSink(path) as sink:
+        for document in iter_documents(params):
+            sink.write(document.recipe)
+            if frequencies is not None:
+                for fieldname, terms in extract_entities(document.recipe).items():
+                    bucket = frequencies.setdefault(fieldname, {})
+                    for term in terms:
+                        bucket[term] = bucket.get(term, 0) + 1
+        count = sink.count
+    summary = {
+        "documents": count,
+        "path": str(path),
+        "corpus_sha256": file_sha256(path),
+    }
+    if manifest_path is not None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "rng": RNG_CONTRACT,
+            "seed": params.seed,
+            "params": params.to_dict(),
+            "documents": count,
+            "corpus_sha256": summary["corpus_sha256"],
+            "fields": {
+                fieldname: dict(sorted(terms.items()))
+                for fieldname, terms in sorted((frequencies or {}).items())
+            },
+        }
+        write_artifact(manifest_path, payload, format=SYNTH_MANIFEST_FORMAT)
+        summary["manifest"] = str(manifest_path)
+    return summary
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Load and validate a ground-truth manifest written by the writer above."""
+    path = Path(path)
+    return parse_artifact(
+        path.read_text(encoding="utf-8"),
+        format=SYNTH_MANIFEST_FORMAT,
+        source=str(path),
+        what="synth manifest",
+    )
+
+
+def write_raw_documents(params: SynthParams, path: str | Path) -> int:
+    """Write the raw-document view: ``{"doc_id", "title", "lines"}`` JSONL.
+
+    This is what ``chartag index`` consumes — the text the char tagger
+    must structure, with the ground truth recoverable from the same seed.
+    Returns the document count.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for document in iter_documents(params):
+            handle.write(
+                json.dumps(
+                    {
+                        "doc_id": document.recipe.recipe_id,
+                        "title": document.recipe.title,
+                        "lines": [line.text for line in document.lines],
+                    },
+                    sort_keys=True,
+                )
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def write_chartag_examples(
+    params: SynthParams, path: str | Path, *, limit: int | None = None
+) -> int:
+    """Write char-level training examples: ``{"text", "tags", "kind"}`` JSONL.
+
+    One example per rendered document line, in document order, stopping
+    after ``limit`` examples when given.  Returns the example count.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for document in iter_documents(params):
+            for example in document.lines:
+                if limit is not None and count >= limit:
+                    return count
+                handle.write(
+                    json.dumps(
+                        {
+                            "text": example.text,
+                            "tags": list(example.tags),
+                            "kind": example.kind,
+                        },
+                        sort_keys=True,
+                    )
+                )
+                handle.write("\n")
+                count += 1
+    return count

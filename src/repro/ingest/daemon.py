@@ -140,6 +140,7 @@ class IngestDaemon:
             "compactions": 0,
             "commit_conflicts": 0,
             "feed_errors": 0,
+            "poison_lines": 0,
         }
         self._last_error: str | None = None
         self._stop = threading.Event()
@@ -282,6 +283,16 @@ class IngestDaemon:
         added_at: dict[str, int] = {}  # recipe id -> position in adds
         dead: set[int] = set()
         for line in batch.lines:
+            if line.poison is not None:
+                # Undecodable bytes: the tailer already advanced the
+                # offset past them; count and move on.
+                self._note_poison(
+                    DataError(
+                        f"poison feed line at {line.source}:{line.offset}: "
+                        f"{line.poison}"
+                    )
+                )
+                continue
             try:
                 payload = json.loads(line.text)
                 if not isinstance(payload, dict):
@@ -296,7 +307,7 @@ class IngestDaemon:
                     else StructuredRecipe.from_dict(payload)
                 )
             except Exception as error:  # poison line: count, keep going
-                self._note_error(
+                self._note_poison(
                     DataError(
                         f"bad feed line at {line.source}:{line.offset}: {error}"
                     )
@@ -387,3 +398,9 @@ class IngestDaemon:
         with self._lock:
             self._counters["feed_errors"] += 1
             self._last_error = f"{type(error).__name__}: {error}"
+
+    def _note_poison(self, error: Exception) -> None:
+        """Count a skipped feed line (also recorded as a feed error)."""
+        with self._lock:
+            self._counters["poison_lines"] += 1
+        self._note_error(error)

@@ -38,12 +38,19 @@ class TailLine:
             offset-journal key).
         offset: Byte offset of the line's first byte — with ``source``
             enough to point an error message at the exact feed record.
-        text: Line content without the trailing newline.
+        text: Line content without the trailing newline.  For a poison
+            line this is a lossy ``errors="replace"`` rendering, good
+            only for error messages.
+        poison: ``None`` for a well-formed line; otherwise a short
+            description of why the raw bytes could not be decoded.
+            Poison lines still advance the committed offset — skipping
+            them is the consumer's job, re-reading them forever is not.
     """
 
     source: str
     offset: int
     text: str
+    poison: str | None = None
 
 
 @dataclass(frozen=True)
@@ -110,7 +117,10 @@ class JsonlTailer:
 
         Returns a :class:`TailBatch`; an empty batch (falsy) means no
         complete new line exists anywhere.  Blank lines are consumed
-        (their bytes advance the offset) but not yielded.  A source
+        (their bytes advance the offset) but not yielded.  Lines whose
+        bytes are not valid UTF-8 are yielded with ``poison`` set and
+        their bytes consumed — never raised, since an exception here
+        would leave the offset stuck before the bad line.  A source
         shorter than its committed offset was truncated or rewritten in
         place, which the append-only feed contract forbids — that
         raises :class:`~repro.errors.DataError` rather than silently
@@ -139,12 +149,39 @@ class JsonlTailer:
                 handle.seek(start)
                 chunk = handle.read(size - start)
             consumed = start
-            for raw in chunk.splitlines(keepends=True):
-                if not raw.endswith(b"\n"):
+            cursor = 0
+            # Split on b"\n" explicitly: bytes.splitlines() also treats a
+            # bare \r as a terminator, turning a record with an embedded
+            # carriage return into a fragment that never ends with \n —
+            # the loop would bail out and the source would stall forever.
+            while True:
+                newline = chunk.find(b"\n", cursor)
+                if newline == -1:
                     break  # partial last line: leave it for a later poll
-                text = raw.decode("utf-8").rstrip("\r\n")
-                if text.strip():
-                    lines.append(TailLine(source=source, offset=consumed, text=text))
+                raw = chunk[cursor : newline + 1]
+                cursor = newline + 1
+                poison: str | None = None
+                try:
+                    text = raw.decode("utf-8")
+                except UnicodeDecodeError as error:
+                    # Poison bytes must not escape as an exception: the
+                    # daemon catches poll() failures *outside* its
+                    # per-line handling and would re-read the same
+                    # committed offset forever.  Surface the line so the
+                    # consumer can count it; its bytes advance the
+                    # offset like any other consumed line.
+                    text = raw.decode("utf-8", errors="replace")
+                    poison = (
+                        f"invalid UTF-8 at byte {consumed + error.start}: "
+                        f"{error.reason}"
+                    )
+                text = text.rstrip("\r\n")
+                if poison is not None or text.strip():
+                    lines.append(
+                        TailLine(
+                            source=source, offset=consumed, text=text, poison=poison
+                        )
+                    )
                 consumed += len(raw)
                 if limit is not None and len(lines) >= limit:
                     break

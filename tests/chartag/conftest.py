@@ -1,0 +1,40 @@
+"""Shared char-workload fixtures: one trained tagger for the whole package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chartag import CharTagger
+from repro.corpus.synth import SynthParams, iter_documents
+
+#: Training and held-out corpora are disjoint seeds of the same generator.
+TRAIN_PARAMS = SynthParams(seed=101, docs=80)
+HELDOUT_PARAMS = SynthParams(seed=202, docs=20)
+
+
+def corpus_lines(params):
+    """(text, tags) pairs for every rendered line of the corpus."""
+    return [
+        (line.text, list(line.tags))
+        for document in iter_documents(params)
+        for line in document.lines
+    ]
+
+
+@pytest.fixture(scope="package")
+def train_lines():
+    return corpus_lines(TRAIN_PARAMS)
+
+
+@pytest.fixture(scope="package")
+def heldout_lines():
+    return corpus_lines(HELDOUT_PARAMS)
+
+
+@pytest.fixture(scope="package")
+def tagger(train_lines):
+    model = CharTagger(family="perceptron", seed=0)
+    model.train(
+        [text for text, _ in train_lines], [tags for _, tags in train_lines]
+    )
+    return model

@@ -1,0 +1,67 @@
+"""The char-window feature extractor."""
+
+from __future__ import annotations
+
+from repro.chartag import CharFeatureExtractor
+
+
+EXTRACTOR = CharFeatureExtractor()
+
+
+def test_string_and_char_list_views_are_identical():
+    # The serving queue hands lines around as tuples of characters; the
+    # training path uses strings.  Both must produce identical features.
+    text = "2 Cups (chopped) tomato"
+    assert EXTRACTOR.sequence_features(text) == EXTRACTOR.sequence_features(
+        list(text)
+    )
+    assert EXTRACTOR.sequence_features(text) == EXTRACTOR.sequence_features(
+        tuple(text)
+    )
+
+
+def test_one_feature_list_per_character():
+    text = "1/2 cup"
+    features = EXTRACTOR.sequence_features(text)
+    assert len(features) == len(text)
+    assert all(isinstance(row, list) and row for row in features)
+
+
+def test_identity_class_and_position_features():
+    features = EXTRACTOR.sequence_features("A 9.")
+    assert "c=a" in features[0] and "cls=A" in features[0]
+    assert "is_upper" in features[0]
+    assert "pos=first" in features[0]
+    assert "cls=_" in features[1]
+    assert "cls=d" in features[2]
+    assert "cls=p" in features[3] and "pos=last" in features[3]
+
+
+def test_window_context_and_boundaries():
+    features = EXTRACTOR.sequence_features("abcde")
+    # Middle position sees ±3 identities; at the edges boundary markers
+    # take over.
+    middle = features[2]
+    assert "c[-1]=b" in middle and "c[+1]=d" in middle
+    assert "c[-2]=a" in middle and "c[+2]=e" in middle
+    assert "c[-3]=<s>" in middle and "c[+3]=</s>" in middle
+    first = features[0]
+    assert "c[-1]=<s>" in first and "cls[-1]=<s>" in first and "bi=<s>" in first
+    last = features[-1]
+    assert "c[+1]=</s>" in last and "cls[+1]=</s>" in last and "bi=</s>" in last
+
+
+def test_bigrams_are_lowercased():
+    features = EXTRACTOR.sequence_features("Ab")
+    assert "bi=ab" in features[1]
+    assert "bi=ab" in features[0]  # right bigram of position 0
+
+
+def test_empty_input():
+    assert EXTRACTOR.sequence_features("") == []
+    assert EXTRACTOR.sequence_features([]) == []
+
+
+def test_deterministic_across_calls():
+    text = "saute the garlic in a pan ."
+    assert EXTRACTOR.sequence_features(text) == EXTRACTOR.sequence_features(text)

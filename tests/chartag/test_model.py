@@ -1,0 +1,115 @@
+"""The CharTagger: training, caching, batch parity, span extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chartag import CharTagger
+from repro.errors import ConfigurationError, DataError
+
+
+def _accuracy(tagger, lines):
+    total = correct = 0
+    predictions = tagger.tag_batch([text for text, _ in lines])
+    for (_, gold), predicted in zip(lines, predictions):
+        total += len(gold)
+        correct += sum(p == g for p, g in zip(predicted, gold))
+    return correct / total
+
+
+class TestTraining:
+    def test_learns_the_synthetic_grammar(self, tagger, heldout_lines):
+        # Held-out documents from a different seed: same entity grammar,
+        # unseen lines.  The char model must generalise nearly perfectly.
+        assert _accuracy(tagger, heldout_lines) > 0.97
+
+    def test_labels_cover_the_synth_inventory(self, tagger):
+        labels = set(tagger.labels())
+        assert {"QUANTITY", "UNIT", "STATE", "NAME", "PROCESS", "UTENSIL", "O"} <= labels
+
+    def test_is_trained_flag(self, tagger):
+        assert tagger.is_trained
+        assert not CharTagger().is_trained
+
+    def test_rejects_misaligned_training_data(self):
+        with pytest.raises(DataError, match="length mismatch"):
+            CharTagger().train(["abc"], [["O", "O"]])
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(DataError, match="empty"):
+            CharTagger().train([], [])
+
+    def test_unknown_family_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sequence model"):
+            CharTagger(family="transformer")
+
+    def test_crf_and_hmm_families_train_too(self, train_lines):
+        sample = train_lines[:40]
+        for family in ("hmm", "crf"):
+            model = CharTagger(family=family, crf_max_iterations=15) if (
+                family == "crf"
+            ) else CharTagger(family=family)
+            model.train([t for t, _ in sample], [g for _, g in sample])
+            assert model.is_trained
+            text = sample[0][0]
+            assert len(model.tag(text)) == len(text)
+
+
+class TestTagging:
+    def test_one_tag_per_character(self, tagger):
+        text = "2 cups chopped tomato"
+        assert len(tagger.tag(text)) == len(text)
+
+    def test_string_and_char_list_parity(self, tagger):
+        text = "boil the onion ."
+        assert tagger.tag(text) == tagger.tag(list(text)) == tagger.tag(tuple(text))
+
+    def test_tag_batch_matches_per_line_tag(self, tagger, heldout_lines):
+        texts = [text for text, _ in heldout_lines[:30]]
+        batched = tagger.tag_batch(texts)
+        assert batched == [tagger.tag(text) for text in texts]
+
+    def test_empty_line(self, tagger):
+        assert tagger.tag("") == []
+        assert tagger.tag_batch(["", "a"]) [0] == []
+
+    def test_decode_cache_hits_on_repeats(self, tagger):
+        tagger.session.clear()
+        tagger.reset_stats()
+        tagger.tag("simmer the tomato .")
+        tagger.tag("simmer the tomato .")
+        stats = tagger.cache_stats()
+        assert stats["decode_hits"] >= 1
+        assert stats["decode_misses"] >= 1
+
+    def test_batch_dedups_repeated_lines(self, tagger):
+        tagger.session.clear()
+        tagger.reset_stats()
+        results = tagger.tag_batch(["mix the sugar ."] * 5)
+        assert len({tuple(tags) for tags in results}) == 1
+        # Five lookups miss the cold decode cache, but the five duplicates
+        # collapse to ONE featurisation and one decoded entry.
+        assert tagger.cache_stats()["feature_misses"] == 1
+
+
+class TestSpans:
+    def test_spans_cover_gold_entities(self, tagger):
+        # A line from the training distribution: spans must recover the
+        # entity segmentation with character offsets.
+        from repro.corpus.synth import SynthParams, document_at
+
+        document = document_at(SynthParams(seed=101, docs=80), 0)
+        line = document.lines[0]
+        spans = tagger.extract_spans(line.text)
+        assert spans, "no spans extracted"
+        for span in spans:
+            assert line.text[span.start : span.end] == span.text
+            assert span.label != "O"
+
+    def test_span_offsets_are_character_offsets(self, tagger):
+        text = "2 cups chopped tomato"
+        spans = {span.label: span for span in tagger.extract_spans(text)}
+        quantity = spans.get("QUANTITY")
+        assert quantity is not None
+        assert quantity.start == 0
+        assert text[quantity.start : quantity.end] == quantity.text

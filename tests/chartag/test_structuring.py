@@ -1,0 +1,75 @@
+"""Char spans -> structured recipes -> the recipe index."""
+
+from __future__ import annotations
+
+import json
+
+from repro.chartag import structure_document, structure_raw_jsonl
+from repro.corpus.sink import iter_structured_jsonl
+from repro.corpus.synth import SynthParams, document_at, write_raw_documents
+from repro.index import IndexBuilder, QueryEngine
+
+#: In-distribution documents the package tagger has effectively memorised.
+PARAMS = SynthParams(seed=101, docs=80)
+
+
+def test_recovers_the_generator_ground_truth(tagger):
+    document = document_at(PARAMS, 2)
+    structured = structure_document(
+        tagger,
+        document.recipe.recipe_id,
+        document.recipe.title,
+        [line.text for line in document.lines],
+    )
+    gold = document.recipe
+    assert structured.recipe_id == gold.recipe_id
+    assert len(structured.ingredients) == len(gold.ingredients)
+    assert len(structured.events) == len(gold.events)
+    for predicted, expected in zip(structured.ingredients, gold.ingredients):
+        assert predicted.phrase == expected.phrase
+        # The surface form of the span equals the gold rendering of the
+        # entity (the record's .name is the lexicon name, whose tokens are
+        # what the line renders).
+        assert predicted.quantity == expected.quantity
+        assert predicted.quantity_value == expected.quantity_value
+    for predicted, expected in zip(structured.events, gold.events):
+        assert predicted.text == expected.text
+        assert len(predicted.processes) == len(expected.processes)
+        assert len(predicted.relations) == len(expected.relations)
+
+
+def test_instruction_lines_are_detected_by_process_spans(tagger):
+    document = document_at(PARAMS, 5)
+    structured = structure_document(
+        tagger, "d", "t", [line.text for line in document.lines]
+    )
+    kinds = [line.kind for line in document.lines]
+    assert len(structured.ingredients) == kinds.count("ingredient")
+    assert len(structured.events) == kinds.count("instruction")
+    assert [event.step_index for event in structured.events] == list(
+        range(len(structured.events))
+    )
+
+
+def test_streaming_structuring_feeds_the_index(tagger, tmp_path):
+    raw = tmp_path / "raw.jsonl"
+    structured_path = tmp_path / "structured.jsonl"
+    write_raw_documents(SynthParams(seed=101, docs=12), raw)
+    count = structure_raw_jsonl(tagger, raw, structured_path)
+    assert count == 12
+    recipes = list(iter_structured_jsonl(structured_path))
+    assert len(recipes) == 12
+    engine = QueryEngine(IndexBuilder.build_from_jsonl(structured_path))
+    # Whatever ingredient the first structured recipe has must be queryable.
+    name = recipes[0].ingredients[0].name
+    matches = engine.execute(f'ingredient:"{name}"')
+    assert any(match.recipe_id == recipes[0].recipe_id for match in matches)
+
+
+def test_raw_jsonl_title_is_optional(tagger, tmp_path):
+    raw = tmp_path / "raw.jsonl"
+    raw.write_text(json.dumps({"doc_id": "d0", "lines": ["2 cups tomato"]}) + "\n")
+    assert structure_raw_jsonl(tagger, raw, tmp_path / "out.jsonl") == 1
+    recipe = next(iter_structured_jsonl(tmp_path / "out.jsonl"))
+    assert recipe.recipe_id == "d0"
+    assert recipe.title == ""

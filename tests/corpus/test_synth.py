@@ -1,0 +1,181 @@
+"""The synthetic-corpus generator: determinism, alignment, ground truth."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus.synth import (
+    SynthParams,
+    document_at,
+    iter_documents,
+    load_manifest,
+    write_chartag_examples,
+    write_raw_documents,
+    write_synth_corpus,
+)
+from repro.errors import ConfigurationError, PersistenceError
+from repro.index import IndexBuilder, QueryEngine
+
+
+PARAMS = SynthParams(seed=11, docs=200)
+
+
+class TestDeterminism:
+    def test_same_seed_and_params_is_byte_identical(self, tmp_path):
+        first = write_synth_corpus(PARAMS, tmp_path / "one.jsonl")
+        second = write_synth_corpus(PARAMS, tmp_path / "two.jsonl")
+        assert first["corpus_sha256"] == second["corpus_sha256"]
+        assert (tmp_path / "one.jsonl").read_bytes() == (
+            tmp_path / "two.jsonl"
+        ).read_bytes()
+
+    def test_different_seed_is_a_different_corpus(self, tmp_path):
+        first = write_synth_corpus(PARAMS, tmp_path / "one.jsonl")
+        second = write_synth_corpus(
+            SynthParams(seed=12, docs=200), tmp_path / "two.jsonl"
+        )
+        assert first["corpus_sha256"] != second["corpus_sha256"]
+
+    def test_documents_are_order_independent(self):
+        # document_at(i) is a pure function of (params, i): generating 7
+        # directly equals generating it inside a full streaming pass.
+        direct = document_at(PARAMS, 7)
+        streamed = None
+        for document in iter_documents(PARAMS):
+            if document.index == 7:
+                streamed = document
+                break
+        assert streamed is not None
+        assert direct.recipe.to_json() == streamed.recipe.to_json()
+        assert direct.lines == streamed.lines
+
+    def test_smaller_corpus_is_a_byte_prefix_of_a_larger_one(self, tmp_path):
+        write_synth_corpus(SynthParams(seed=11, docs=50), tmp_path / "small.jsonl")
+        write_synth_corpus(SynthParams(seed=11, docs=200), tmp_path / "large.jsonl")
+        small = (tmp_path / "small.jsonl").read_bytes()
+        large = (tmp_path / "large.jsonl").read_bytes()
+        assert large.startswith(small)
+
+    def test_raw_and_chartag_views_are_deterministic_too(self, tmp_path):
+        write_raw_documents(PARAMS, tmp_path / "raw1.jsonl")
+        write_raw_documents(PARAMS, tmp_path / "raw2.jsonl")
+        assert (tmp_path / "raw1.jsonl").read_bytes() == (
+            tmp_path / "raw2.jsonl"
+        ).read_bytes()
+        write_chartag_examples(PARAMS, tmp_path / "ex1.jsonl")
+        write_chartag_examples(PARAMS, tmp_path / "ex2.jsonl")
+        assert (tmp_path / "ex1.jsonl").read_bytes() == (
+            tmp_path / "ex2.jsonl"
+        ).read_bytes()
+
+
+class TestDocuments:
+    def test_char_tags_align_with_rendered_text(self):
+        for document in iter_documents(SynthParams(seed=3, docs=30)):
+            for line in document.lines:
+                assert len(line.tags) == len(line.text)
+                assert line.kind in ("ingredient", "instruction")
+
+    def test_lines_and_recipe_views_are_consistent(self):
+        document = document_at(PARAMS, 0)
+        ingredient_lines = [l for l in document.lines if l.kind == "ingredient"]
+        instruction_lines = [l for l in document.lines if l.kind == "instruction"]
+        assert len(ingredient_lines) == len(document.recipe.ingredients)
+        assert len(instruction_lines) == len(document.recipe.events)
+        for line, record in zip(ingredient_lines, document.recipe.ingredients):
+            assert line.text == record.phrase
+        for line, event in zip(instruction_lines, document.recipe.events):
+            assert line.text == event.text
+
+    def test_respects_count_bounds(self):
+        params = SynthParams(seed=5, docs=40, min_steps=2, max_steps=3)
+        for document in iter_documents(params):
+            assert 1 <= len(document.recipe.ingredients) <= params.max_ingredients
+            assert 2 <= len(document.recipe.events) <= 3
+
+    def test_zipf_skew_prefers_head_entities(self):
+        # rank 0 of the ingredient lexicon must appear in far more documents
+        # than the tail rank under the default skew.
+        from repro.data.lexicons import INGREDIENTS
+
+        head, tail = INGREDIENTS[0].name, INGREDIENTS[-1].name
+        head_docs = tail_docs = 0
+        for document in iter_documents(SynthParams(seed=2, docs=1500)):
+            names = {record.name for record in document.recipe.ingredients}
+            head_docs += head in names
+            tail_docs += tail in names
+        assert head_docs > 3 * max(tail_docs, 1)
+
+    def test_params_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            SynthParams(min_ingredients=4, max_ingredients=2)
+        with pytest.raises(ConfigurationError):
+            SynthParams(unit_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            SynthParams(zipf_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            SynthParams(docs=-1)
+
+    def test_params_round_trip_through_dict(self):
+        params = SynthParams(seed=9, docs=10, zipf_s=0.7)
+        assert SynthParams.from_dict(params.to_dict()) == params
+
+
+class TestManifest:
+    def test_manifest_frequencies_match_a_real_index(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+        params = SynthParams(seed=21, docs=300)
+        summary = write_synth_corpus(params, corpus, manifest_path=manifest_path)
+        manifest = load_manifest(manifest_path)
+        assert manifest["documents"] == 300
+        assert manifest["corpus_sha256"] == summary["corpus_sha256"]
+        assert manifest["params"] == params.to_dict()
+        engine = QueryEngine(IndexBuilder.build_from_jsonl(corpus))
+        for field in ("ingredient", "process", "utensil"):
+            terms = manifest["fields"][field]
+            assert terms, f"no {field} terms recorded"
+            # Every recorded document frequency is exactly the number of
+            # matches the query engine returns for that term.
+            for term, count in list(terms.items())[:25]:
+                matches = engine.execute(f'{field}:"{term}"')
+                assert len(matches) == count, (field, term)
+
+    def test_corrupt_manifest_is_rejected(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        write_synth_corpus(
+            SynthParams(seed=1, docs=5), tmp_path / "c.jsonl", manifest_path=manifest_path
+        )
+        document = json.loads(manifest_path.read_text())
+        document["payload"]["documents"] = 999  # breaks the checksum
+        manifest_path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_manifest(manifest_path)
+
+
+class TestWriters:
+    def test_corpus_lines_are_structured_recipes(self, tmp_path):
+        from repro.corpus.sink import iter_structured_jsonl
+
+        corpus = tmp_path / "corpus.jsonl"
+        write_synth_corpus(SynthParams(seed=4, docs=20), corpus)
+        recipes = list(iter_structured_jsonl(corpus))
+        assert len(recipes) == 20
+        assert all(recipe.recipe_id.startswith("synth-4-") for recipe in recipes)
+
+    def test_chartag_example_limit(self, tmp_path):
+        path = tmp_path / "examples.jsonl"
+        count = write_chartag_examples(SynthParams(seed=4, docs=20), path, limit=7)
+        assert count == 7
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 7
+        assert all(len(row["text"]) == len(row["tags"]) for row in rows)
+
+    def test_raw_documents_shape(self, tmp_path):
+        path = tmp_path / "raw.jsonl"
+        assert write_raw_documents(SynthParams(seed=4, docs=6), path) == 6
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(set(row) == {"doc_id", "title", "lines"} for row in rows)
+        assert all(row["lines"] for row in rows)

@@ -116,7 +116,39 @@ def test_poison_lines_are_counted_not_fatal(rng, manifest_path, feed):
         stats["last_error"]
     )
     assert "good" in _live_recipe_ids(manifest_path)
+    assert stats["poison_lines"] == 2
     assert daemon.poll_once() is None  # poison does not wedge the feed
+
+
+def test_undecodable_and_bare_cr_records_do_not_stall_ingest(rng, manifest_path, feed):
+    """Stress the two tailer stall bugs end-to-end through the daemon.
+
+    A feed interleaving good records with invalid-UTF-8 lines and a
+    record holding a bare carriage return must ingest to completion:
+    every good record lands, every bad line is counted as poison, and
+    the committed offsets reach end-of-feed (nothing is re-read).
+    """
+    good = [_random_recipe(rng, f"ok{i}") for i in range(4)]
+    with feed.open("ab") as handle:
+        handle.write(good[0].to_json().encode("utf-8") + b"\n")
+        handle.write(b"\xff\xfe poison bytes \xff\n")
+        handle.write(good[1].to_json().encode("utf-8") + b"\n")
+        # A bare \r embedded in an otherwise fine line: not valid JSON
+        # (raw control character), so it must surface as a counted bad
+        # line — not stall the tailer.
+        handle.write(b'{"recipe_id": "cr\rcr"}\n')
+        handle.write(good[2].to_json().encode("utf-8") + b"\n")
+        handle.write(b"\xc3(\n")  # truncated multi-byte sequence
+        handle.write(good[3].to_json().encode("utf-8") + b"\n")
+    daemon = IngestDaemon(manifest_path, feed)
+    while daemon.poll_once() is not None:
+        pass
+    stats = daemon.stats()
+    live = _live_recipe_ids(manifest_path)
+    assert all(recipe.recipe_id in live for recipe in good)
+    assert stats["poison_lines"] == 3
+    assert stats["pending_bytes"] == 0  # offsets advanced past every bad byte
+    assert daemon.poll_once() is None  # nothing is re-read
 
 
 def test_structure_hook_turns_raw_payloads_into_recipes(rng, manifest_path, feed):

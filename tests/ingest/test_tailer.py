@@ -109,3 +109,57 @@ def test_missing_watch_path_polls_empty(tmp_path):
     tailer = JsonlTailer(tmp_path / "not-yet.jsonl")
     assert not tailer.poll()
     assert tailer.pending_bytes() == 0
+
+
+def test_bare_carriage_return_is_not_a_line_terminator(tmp_path):
+    # Regression: splitlines(keepends=True) treats a bare \r as a line
+    # break, so a record with an embedded carriage return produced a
+    # fragment without a trailing \n — the old loop broke out, never
+    # advanced the offset, and the source stalled permanently.
+    feed = tmp_path / "feed.jsonl"
+    feed.write_bytes(b'{"a": "x"}\rtail\n{"b": 2}\n')
+    tailer = JsonlTailer(feed)
+    batch = tailer.poll()
+    assert _lines(batch) == ['{"a": "x"}\rtail', '{"b": 2}']
+    assert all(line.poison is None for line in batch.lines)
+    tailer.commit(batch.offsets)
+    assert tailer.pending_bytes() == 0  # the \r record's bytes were consumed
+    assert not tailer.poll()
+
+
+def test_crlf_terminated_lines_strip_the_carriage_return(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_bytes(b'{"a": 1}\r\n{"b": 2}\r\n')
+    tailer = JsonlTailer(feed)
+    batch = tailer.poll()
+    assert _lines(batch) == ['{"a": 1}', '{"b": 2}']
+    tailer.commit(batch.offsets)
+    assert tailer.pending_bytes() == 0
+
+
+def test_invalid_utf8_line_is_yielded_as_poison_not_raised(tmp_path):
+    # Regression: raw.decode("utf-8") raised UnicodeDecodeError out of
+    # poll(), before any per-line poison handling — the daemon caught it
+    # at the loop level and re-read the same committed offset forever.
+    feed = tmp_path / "feed.jsonl"
+    feed.write_bytes(b'{"a": 1}\n\xff\xfe{"bad": true}\n{"b": 2}\n')
+    tailer = JsonlTailer(feed)
+    batch = tailer.poll()
+    assert [line.poison is not None for line in batch.lines] == [False, True, False]
+    assert _lines(batch)[0] == '{"a": 1}'
+    assert _lines(batch)[2] == '{"b": 2}'
+    assert "invalid UTF-8" in batch.lines[1].poison
+    tailer.commit(batch.offsets)
+    assert tailer.pending_bytes() == 0  # the poison bytes advanced the offset
+    assert not tailer.poll()
+
+
+def test_poison_lines_count_against_the_poll_limit(tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    feed.write_bytes(b'\xff\n{"a": 1}\n{"b": 2}\n')
+    tailer = JsonlTailer(feed)
+    batch = tailer.poll(limit=2)
+    assert len(batch.lines) == 2
+    assert batch.lines[0].poison is not None
+    tailer.commit(batch.offsets)
+    assert _lines(tailer.poll()) == ['{"b": 2}']
